@@ -1,0 +1,78 @@
+//! Per-tick cost of the simulated cloud services, individually and wired
+//! into the full engine — the dominant cost of long elasticity episodes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flower_cloud::{
+    CloudEngine, DynamoConfig, DynamoTable, EngineConfig, KinesisConfig, KinesisStream,
+    StormCluster, StormConfig, Topology,
+};
+use flower_sim::{SimDuration, SimRng, SimTime};
+use flower_workload::{ClickStreamConfig, ClickStreamGenerator};
+
+fn services(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cloud");
+    let dt = SimDuration::from_secs(1);
+
+    let mut generator =
+        ClickStreamGenerator::new(ClickStreamConfig::default(), SimRng::seed(1));
+    let batch = generator.generate(SimTime::ZERO, 2_000);
+
+    group.bench_function("kinesis_ingest_2000rec", |b| {
+        let mut stream = KinesisStream::new(KinesisConfig {
+            initial_shards: 4,
+            ..Default::default()
+        });
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(stream.ingest(&batch, SimTime::from_secs(t), dt))
+        })
+    });
+
+    group.bench_function("storm_process_2000tuples", |b| {
+        let mut cluster = StormCluster::new(
+            StormConfig {
+                initial_vms: 4,
+                ..Default::default()
+            },
+            Topology::clickstream(),
+        );
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(cluster.process(2_000, SimTime::from_secs(t), dt))
+        })
+    });
+
+    group.bench_function("dynamo_write_100items", |b| {
+        let mut table = DynamoTable::new(DynamoConfig {
+            initial_wcu: 200.0,
+            ..Default::default()
+        });
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(table.write(100, 512, SimTime::from_secs(t), dt))
+        })
+    });
+
+    group.bench_function("engine_full_tick_2000rec", |b| {
+        let mut engine = CloudEngine::new(EngineConfig {
+            kinesis: KinesisConfig {
+                initial_shards: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(engine.tick(&batch, SimTime::from_secs(t), dt))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, services);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Per-tick cost of each controller's `step` — establishes that the
+//! control loop adds negligible overhead to a monitoring period.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flower_control::{
+    AdaptiveConfig, AdaptiveController, Controller, FixedGainConfig, FixedGainController,
+    QuasiAdaptiveConfig, QuasiAdaptiveController, RuleBasedConfig, RuleBasedController,
+};
+
+fn controllers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_step");
+    // A repeatable measurement sequence around the setpoint.
+    let measurements: Vec<f64> = (0..64).map(|i| 60.0 + 30.0 * ((i as f64) * 0.7).sin()).collect();
+
+    group.bench_function("adaptive", |b| {
+        let mut controller = AdaptiveController::new(AdaptiveConfig::default());
+        let mut i = 0;
+        b.iter(|| {
+            let y = measurements[i % measurements.len()];
+            i += 1;
+            black_box(controller.step(black_box(y)))
+        })
+    });
+
+    group.bench_function("adaptive_no_memory", |b| {
+        let mut controller = AdaptiveController::new(AdaptiveConfig {
+            gain_memory: false,
+            ..Default::default()
+        });
+        let mut i = 0;
+        b.iter(|| {
+            let y = measurements[i % measurements.len()];
+            i += 1;
+            black_box(controller.step(black_box(y)))
+        })
+    });
+
+    group.bench_function("fixed_gain", |b| {
+        let mut controller = FixedGainController::new(FixedGainConfig::default());
+        let mut i = 0;
+        b.iter(|| {
+            let y = measurements[i % measurements.len()];
+            i += 1;
+            black_box(controller.step(black_box(y)))
+        })
+    });
+
+    group.bench_function("quasi_adaptive", |b| {
+        let mut controller = QuasiAdaptiveController::new(QuasiAdaptiveConfig::default());
+        let mut i = 0;
+        b.iter(|| {
+            let y = measurements[i % measurements.len()];
+            i += 1;
+            black_box(controller.step(black_box(y)))
+        })
+    });
+
+    group.bench_function("rule_based", |b| {
+        let mut controller = RuleBasedController::new(RuleBasedConfig::default());
+        let mut i = 0;
+        b.iter(|| {
+            let y = measurements[i % measurements.len()];
+            i += 1;
+            black_box(controller.step(black_box(y)))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, controllers);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! NSGA-II throughput on the paper's share problem (A3's performance
+//! half): time per full run at the reference settings and per-generation
+//! scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flower_core::share::ShareProblem;
+use flower_nsga2::{Nsga2, Nsga2Config};
+
+fn nsga2_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nsga2");
+    group.sample_size(10);
+
+    for &(pop, gens) in &[(40usize, 20usize), (100, 50), (100, 250)] {
+        group.bench_with_input(
+            BenchmarkId::new("share_problem", format!("pop{pop}_gen{gens}")),
+            &(pop, gens),
+            |b, &(pop, gens)| {
+                b.iter(|| {
+                    Nsga2::new(
+                        ShareProblem::worked_example(0.75),
+                        Nsga2Config {
+                            population: pop,
+                            generations: gens,
+                            seed: 1,
+                            ..Default::default()
+                        },
+                    )
+                    .run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, nsga2_runs);
+criterion_main!(benches);

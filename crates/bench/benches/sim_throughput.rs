@@ -1,0 +1,55 @@
+//! Event throughput of the discrete-event kernel and the PRNG — the
+//! floor under every simulated experiment's wall time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flower_sim::{Scheduler, SimDuration, SimRng, SimTime};
+
+fn kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+
+    group.bench_function("schedule_and_run_10k_events", |b| {
+        b.iter(|| {
+            let mut sched: Scheduler<u64> = Scheduler::new();
+            for i in 0..10_000u64 {
+                sched.schedule_at(SimTime::from_millis(i), |_, st| {
+                    *st += 1;
+                });
+            }
+            let mut state = 0u64;
+            sched.run(&mut state);
+            black_box(state)
+        })
+    });
+
+    group.bench_function("periodic_event_10k_firings", |b| {
+        b.iter(|| {
+            let mut sched: Scheduler<u64> = Scheduler::new();
+            sched.schedule_periodic(
+                SimTime::ZERO,
+                SimDuration::from_millis(1),
+                |_, st: &mut u64| {
+                    *st += 1;
+                    *st < 10_000
+                },
+            );
+            let mut state = 0u64;
+            sched.run(&mut state);
+            black_box(state)
+        })
+    });
+
+    group.bench_function("rng_next_u64", |b| {
+        let mut rng = SimRng::seed(1);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+
+    group.bench_function("rng_poisson_1000", |b| {
+        let mut rng = SimRng::seed(2);
+        b.iter(|| black_box(rng.poisson(black_box(1_000.0))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, kernel);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Record-generation throughput of the click-stream workload generator
+//! and the arrival-rate processes feeding it.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use flower_sim::{SimDuration, SimRng, SimTime};
+use flower_workload::{
+    ArrivalProcess, ClickStreamConfig, ClickStreamGenerator, DiurnalRate, MmppRate,
+};
+
+fn workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+
+    for &n in &[1_000u64, 10_000] {
+        group.bench_with_input(BenchmarkId::new("generate_records", n), &n, |b, &n| {
+            let mut generator =
+                ClickStreamGenerator::new(ClickStreamConfig::default(), SimRng::seed(1));
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 1;
+                black_box(generator.generate(SimTime::from_secs(t), n))
+            })
+        });
+    }
+
+    group.bench_function("diurnal_rate_query", |b| {
+        let mut process = DiurnalRate::new(
+            1_000.0,
+            800.0,
+            SimDuration::from_hours(2),
+            SimDuration::ZERO,
+        );
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(process.rate(SimTime::from_secs(t)))
+        })
+    });
+
+    group.bench_function("mmpp_rate_query", |b| {
+        let mut process = MmppRate::new(
+            100.0,
+            1_000.0,
+            SimDuration::from_mins(5),
+            SimDuration::from_mins(5),
+            SimRng::seed(2),
+        );
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(process.rate(SimTime::from_secs(t)))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, workload);
+criterion_main!(benches);

@@ -1,0 +1,169 @@
+//! Tiny hand-rolled argument parsing (`--key value` pairs and
+//! subcommands) — keeps the dependency set inside the approved list.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: Option<String>,
+    options: BTreeMap<String, String>,
+}
+
+/// Errors from parsing or validating arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// A `--flag` appeared without a value.
+    MissingValue(String),
+    /// An option value failed to parse.
+    BadValue {
+        /// The option name.
+        option: String,
+        /// The raw value.
+        value: String,
+        /// Expected type description.
+        expected: &'static str,
+    },
+    /// An unexpected positional argument.
+    UnexpectedPositional(String),
+}
+
+impl std::fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgsError::MissingValue(flag) => write!(f, "option --{flag} needs a value"),
+            ArgsError::BadValue {
+                option,
+                value,
+                expected,
+            } => write!(f, "option --{option}: '{value}' is not a valid {expected}"),
+            ArgsError::UnexpectedPositional(arg) => {
+                write!(f, "unexpected argument '{arg}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl Args {
+    /// Parse an iterator of arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, ArgsError> {
+        let mut command = None;
+        let mut options = BTreeMap::new();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            if let Some(flag) = arg.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgsError::MissingValue(flag.to_owned()))?;
+                options.insert(flag.to_owned(), value);
+            } else if command.is_none() {
+                command = Some(arg);
+            } else {
+                return Err(ArgsError::UnexpectedPositional(arg));
+            }
+        }
+        Ok(Args { command, options })
+    }
+
+    /// Raw string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// String option with a default.
+    pub fn str_or(&self, key: &str, default: &str) -> String {
+        self.get(key).unwrap_or(default).to_owned()
+    }
+
+    /// `f64` option with a default.
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, ArgsError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgsError::BadValue {
+                option: key.to_owned(),
+                value: v.to_owned(),
+                expected: "number",
+            }),
+        }
+    }
+
+    /// `u64` option with a default.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, ArgsError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgsError::BadValue {
+                option: key.to_owned(),
+                value: v.to_owned(),
+                expected: "integer",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, ArgsError> {
+        Args::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = parse(&["run", "--seed", "7", "--minutes", "30"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("run"));
+        assert_eq!(a.u64_or("seed", 0).unwrap(), 7);
+        assert_eq!(a.u64_or("minutes", 0).unwrap(), 30);
+        assert_eq!(a.u64_or("absent", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn empty_is_ok() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.command, None);
+        assert_eq!(a.get("x"), None);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert_eq!(
+            parse(&["plan", "--budget"]),
+            Err(ArgsError::MissingValue("budget".into()))
+        );
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let a = parse(&["plan", "--budget", "lots"]).unwrap();
+        assert!(matches!(
+            a.f64_or("budget", 1.0),
+            Err(ArgsError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn extra_positional_is_an_error() {
+        assert!(matches!(
+            parse(&["run", "again"]),
+            Err(ArgsError::UnexpectedPositional(_))
+        ));
+    }
+
+    #[test]
+    fn string_defaults() {
+        let a = parse(&["run", "--workload", "diurnal"]).unwrap();
+        assert_eq!(a.str_or("workload", "constant"), "diurnal");
+        assert_eq!(a.str_or("controller", "adaptive"), "adaptive");
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(ArgsError::MissingValue("x".into()).to_string().contains("--x"));
+        assert!(ArgsError::UnexpectedPositional("y".into())
+            .to_string()
+            .contains("'y'"));
+    }
+}

@@ -1,0 +1,332 @@
+//! The subcommand implementations.
+
+use std::error::Error;
+
+use flower_core::config::ControllerSpec;
+use flower_core::dashboard::{Dashboard, Panel};
+use flower_core::dependency::DependencyAnalyzer;
+use flower_core::flow::{FlowBuilder, Layer, Platform};
+use flower_core::monitor::CrossPlatformMonitor;
+use flower_core::prelude::*;
+use flower_core::share::ShareProblem;
+use flower_nsga2::Nsga2Config;
+use flower_sim::{SimDuration, SimTime};
+
+use crate::args::Args;
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Usage text for `flower help`.
+pub fn usage() -> String {
+    "\
+flower — a data analytics flow elasticity manager (VLDB'17 reproduction)
+
+USAGE:
+  flower <command> [--option value]...
+
+COMMANDS:
+  run       run an elasticity episode on the click-stream flow
+              --minutes N          episode length          [30]
+              --seed N             RNG seed                [0]
+              --workload KIND      constant|diurnal|step|flash|bursts [diurnal]
+              --rate R             base arrival rate rec/s [1500]
+              --controller KIND    adaptive|fixed-gain|quasi-adaptive|
+                                   rule-based|static       [adaptive]
+              --period SECS        monitoring period       [30]
+              --csv PATH           write the per-tick trace as CSV
+              --config PATH        load a wizard config file (overrides
+                                   the flags above; see flower_core::wizard)
+  plan      resource share analysis under a budget (Fig. 4)
+              --budget D           $/hour                  [0.75]
+              --seed N             NSGA-II seed            [2017]
+  analyze   learn cross-layer dependencies from a probe run (Fig. 2)
+              --minutes N          probe length            [120]
+              --seed N             RNG seed                [42]
+  monitor   run briefly and print the all-in-one-place snapshot (Fig. 6)
+              --minutes N          run length              [10]
+              --seed N             RNG seed                [0]
+  help      this text
+"
+    .to_owned()
+}
+
+fn flow() -> flower_core::flow::FlowSpec {
+    FlowBuilder::new("clickstream-analytics")
+        .ingestion(Platform::kinesis("clicks", 2))
+        .analytics(Platform::storm("counter", 2))
+        .storage(Platform::dynamo("aggregates", 100.0))
+        .build()
+        .expect("the reference flow is valid")
+}
+
+fn workload(kind: &str, rate: f64, seed: u64) -> Result<Workload, Box<dyn Error>> {
+    Ok(match kind {
+        "constant" => Workload::constant(rate),
+        "diurnal" => Workload::diurnal(rate, rate * 0.8),
+        "step" => Workload::step(rate * 0.3, rate * 2.0, SimTime::from_mins(10)),
+        "flash" => Workload::flash_crowd(rate * 0.4, rate * 3.0, SimTime::from_mins(10)),
+        "bursts" => Workload::custom(Box::new(flower_workload::MmppRate::new(
+            rate * 0.3,
+            rate * 2.5,
+            SimDuration::from_mins(8),
+            SimDuration::from_mins(4),
+            flower_sim::SimRng::seed(seed ^ 0xB0B5),
+        ))),
+        other => return Err(format!("unknown workload '{other}'").into()),
+    })
+}
+
+fn controller(kind: &str) -> Result<[ControllerSpec; 3], Box<dyn Error>> {
+    Ok(match kind {
+        "adaptive" => [
+            ControllerSpec::adaptive(70.0),
+            ControllerSpec::adaptive(60.0),
+            ControllerSpec::adaptive_for_capacity(70.0),
+        ],
+        "fixed-gain" => [
+            ControllerSpec::fixed_gain(70.0),
+            ControllerSpec::fixed_gain(60.0),
+            ControllerSpec::fixed_gain(70.0),
+        ],
+        "quasi-adaptive" => [
+            ControllerSpec::quasi_adaptive(70.0),
+            ControllerSpec::quasi_adaptive(60.0),
+            ControllerSpec::quasi_adaptive(70.0),
+        ],
+        "rule-based" => [
+            ControllerSpec::rule_based(70.0),
+            ControllerSpec::rule_based(60.0),
+            ControllerSpec::rule_based(70.0),
+        ],
+        "static" => [
+            ControllerSpec::Static,
+            ControllerSpec::Static,
+            ControllerSpec::Static,
+        ],
+        other => return Err(format!("unknown controller '{other}'").into()),
+    })
+}
+
+/// `flower run`
+pub fn run(args: &Args) -> CmdResult {
+    let minutes = args.u64_or("minutes", 30)?;
+
+    let mut manager = if let Some(path) = args.get("config") {
+        let text = std::fs::read_to_string(path)?;
+        let config = flower_core::wizard::WizardConfig::from_text(&text)?;
+        println!(
+            "running {minutes} min from wizard config '{path}' (scenario {}, seed {})",
+            config.scenario.name(),
+            config.seed
+        );
+        config.build_manager()
+    } else {
+        let seed = args.u64_or("seed", 0)?;
+        let rate = args.f64_or("rate", 1_500.0)?;
+        let period = args.u64_or("period", 30)?;
+        let wl_kind = args.str_or("workload", "diurnal");
+        let ctl_kind = args.str_or("controller", "adaptive");
+
+        let specs = controller(&ctl_kind)?;
+        let mut builder = ElasticityManager::builder(flow())
+            .workload(workload(&wl_kind, rate, seed)?)
+            .monitoring_period(SimDuration::from_secs(period))
+            .seed(seed);
+        for (layer, spec) in Layer::ALL.into_iter().zip(specs) {
+            builder = builder.controller(layer, spec);
+        }
+        println!(
+            "running {minutes} min of '{wl_kind}' at ~{rate} rec/s with the {ctl_kind} controller (seed {seed})"
+        );
+        builder.build()
+    };
+    let report = manager.run_for_mins(minutes);
+
+    let dashboard = Dashboard::new()
+        .panel(Panel::new("arrival rate (rec/s)", report.arrival_trace.clone()))
+        .panel(
+            Panel::new(
+                "ingestion utilization (%)",
+                report.measurements(Layer::Ingestion).to_vec(),
+            )
+            .with_reference(70.0),
+        )
+        .panel(Panel::new("shards", report.actuators(Layer::Ingestion).to_vec()))
+        .panel(
+            Panel::new(
+                "analytics CPU (%)",
+                report.measurements(Layer::Analytics).to_vec(),
+            )
+            .with_reference(60.0),
+        )
+        .panel(Panel::new("VMs", report.actuators(Layer::Analytics).to_vec()))
+        .panel(Panel::new("WCU", report.actuators(Layer::Storage).to_vec()));
+    println!("\n{}", dashboard.render(100));
+    println!(
+        "offered {} | accepted {} | loss {:.2}% | actions {} | cost ${:.4}",
+        report.offered_records,
+        report.accepted_records,
+        report.ingest_loss_rate() * 100.0,
+        report.total_actions(),
+        report.total_cost_dollars
+    );
+
+    let slo = flower_core::slo::SloSpec::clickstream_default().evaluate(&report);
+    print!("\n{}", slo.to_table());
+
+    if let Some(path) = args.get("csv") {
+        let file = std::fs::File::create(path)?;
+        flower_core::export::episode_to_csv(&report, std::io::BufWriter::new(file))?;
+        println!("trace written to {path}");
+    }
+    Ok(())
+}
+
+/// `flower plan`
+pub fn plan(args: &Args) -> CmdResult {
+    let budget = args.f64_or("budget", 0.75)?;
+    let seed = args.u64_or("seed", 2017)?;
+    let problem = ShareProblem::worked_example(budget);
+    println!("budget ${budget:.2}/h; constraints:");
+    for c in &problem.constraints {
+        println!("  {}", c.label);
+    }
+    let plans = ShareAnalyzer::new(problem)
+        .with_config(Nsga2Config {
+            seed,
+            ..Default::default()
+        })
+        .solve()?;
+    println!("\n{} Pareto-optimal plans (best spend first):", plans.len());
+    println!("{:>8} {:>6} {:>8} {:>10}", "shards", "VMs", "WCU", "$/hour");
+    for p in &plans {
+        println!(
+            "{:>8.0} {:>6.0} {:>8.0} {:>10.4}",
+            p.shards, p.vms, p.wcu, p.hourly_cost
+        );
+    }
+    Ok(())
+}
+
+/// `flower analyze`
+pub fn analyze(args: &Args) -> CmdResult {
+    let minutes = args.u64_or("minutes", 120)?;
+    let seed = args.u64_or("seed", 42)?;
+    println!("probing the flow for {minutes} min (static over-provisioned deployment)...");
+    let mut probe = ElasticityManager::builder(
+        FlowBuilder::new("probe")
+            .ingestion(Platform::kinesis("clicks", 8))
+            .analytics(Platform::storm("counter", 6))
+            .storage(Platform::dynamo("aggregates", 400.0))
+            .build()?,
+    )
+    .workload(Workload::diurnal(2_500.0, 2_000.0))
+    .all_controllers(ControllerSpec::Static)
+    .seed(seed)
+    .build();
+    probe.run_for_mins(minutes);
+
+    let analyzer = DependencyAnalyzer::for_clickstream("clicks", "counter", "aggregates");
+    let deps = analyzer.dependencies(probe.engine().metrics(), SimTime::ZERO, probe.now())?;
+    if deps.is_empty() {
+        println!("no dependencies above the correlation threshold");
+    } else {
+        println!("learned cross-layer dependencies (strongest first):");
+        for d in &deps {
+            println!("  {}", d.equation());
+        }
+    }
+    Ok(())
+}
+
+/// `flower monitor`
+pub fn monitor(args: &Args) -> CmdResult {
+    let minutes = args.u64_or("minutes", 10)?;
+    let seed = args.u64_or("seed", 0)?;
+    let mut manager = ElasticityManager::builder(flow())
+        .workload(Workload::diurnal(1_500.0, 1_200.0))
+        .seed(seed)
+        .build();
+    manager.run_for_mins(minutes);
+    let monitor = CrossPlatformMonitor::for_clickstream("clicks", "counter", "aggregates");
+    let snapshot = monitor.snapshot(
+        manager.engine().metrics(),
+        manager.now(),
+        SimDuration::from_mins(minutes.min(5)),
+    );
+    print!("{}", snapshot.to_table());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(list.iter().map(|s| s.to_string())).expect("valid args")
+    }
+
+    #[test]
+    fn usage_mentions_every_command() {
+        let text = usage();
+        for cmd in ["run", "plan", "analyze", "monitor", "help"] {
+            assert!(text.contains(cmd), "usage missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn workload_kinds_build() {
+        for kind in ["constant", "diurnal", "step", "flash", "bursts"] {
+            assert!(workload(kind, 1_000.0, 1).is_ok(), "workload {kind}");
+        }
+        assert!(workload("nope", 1_000.0, 1).is_err());
+    }
+
+    #[test]
+    fn controller_kinds_build() {
+        for kind in ["adaptive", "fixed-gain", "quasi-adaptive", "rule-based", "static"] {
+            assert!(controller(kind).is_ok(), "controller {kind}");
+        }
+        assert!(controller("nope").is_err());
+    }
+
+    #[test]
+    fn run_command_executes_and_writes_csv() {
+        let dir = std::env::temp_dir().join("flower-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("episode.csv");
+        let csv_str = csv.to_str().unwrap().to_owned();
+        run(&args(&[
+            "run",
+            "--minutes",
+            "2",
+            "--workload",
+            "constant",
+            "--rate",
+            "500",
+            "--csv",
+            &csv_str,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&csv).unwrap();
+        assert!(text.starts_with("t_seconds,"));
+        assert_eq!(text.lines().count(), 1 + 120);
+        std::fs::remove_file(csv).ok();
+    }
+
+    #[test]
+    fn plan_command_executes() {
+        plan(&args(&["plan", "--budget", "0.5"])).unwrap();
+    }
+
+    #[test]
+    fn monitor_command_executes() {
+        monitor(&args(&["monitor", "--minutes", "2"])).unwrap();
+    }
+
+    #[test]
+    fn bad_workload_surfaces_as_error() {
+        let result = run(&args(&["run", "--minutes", "1", "--workload", "nope"]));
+        assert!(result.is_err());
+    }
+}

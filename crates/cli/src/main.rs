@@ -1,0 +1,47 @@
+//! `flower` — the command-line front end of the Flower reproduction.
+//!
+//! Mirrors the demo walkthrough of the paper's §4 as subcommands:
+//!
+//! ```text
+//! flower run      # build a flow, attach controllers, run an episode
+//! flower plan     # resource share analysis (§3.2, Fig. 4)
+//! flower analyze  # workload dependency analysis (§3.1, Fig. 2 / Eq. 2)
+//! flower monitor  # cross-platform monitoring snapshot (§3.4, Fig. 6)
+//! ```
+//!
+//! Run `flower help` (or any subcommand with bad options) for usage.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", commands::usage());
+            std::process::exit(2);
+        }
+    };
+    let code = match args.command.as_deref() {
+        Some("run") => commands::run(&args),
+        Some("plan") => commands::plan(&args),
+        Some("analyze") => commands::analyze(&args),
+        Some("monitor") => commands::monitor(&args),
+        Some("help") | None => {
+            println!("{}", commands::usage());
+            Ok(())
+        }
+        Some(other) => {
+            eprintln!("error: unknown command '{other}'\n");
+            eprintln!("{}", commands::usage());
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = code {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,570 @@
+//! The cloud engine: the paper's Fig. 1 click-stream flow as one
+//! co-simulated world.
+//!
+//! Each tick the engine:
+//! 1. feeds the step's click records to the Kinesis-like stream,
+//! 2. hands the accepted records to the Storm-like cluster as tuples,
+//! 3. writes the cluster's emitted aggregates to the DynamoDB-like table,
+//! 4. publishes every service metric to the CloudWatch-like store, and
+//! 5. accrues billing for all held resources.
+//!
+//! The chain is what creates the cross-layer workload dependencies the
+//! paper's Fig. 2 exhibits — arrival rate upstream drives CPU% and
+//! consumed write capacity downstream, with saturation and backlogs
+//! decoupling the layers under overload.
+
+use flower_sim::{SimDuration, SimTime};
+use flower_workload::ClickRecord;
+
+use crate::dynamo::{DynamoConfig, DynamoError, DynamoTable, ReadOutcome, WriteOutcome};
+use crate::kinesis::{IngestOutcome, KinesisConfig, KinesisError, KinesisStream};
+use crate::metrics::{MetricId, MetricsStore};
+use crate::pricing::{BillingMeter, PriceList, ResourceKind};
+use crate::storm::{ProcessOutcome, StormCluster, StormConfig, StormError, Topology};
+
+/// Engine-level configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Ingestion layer configuration.
+    pub kinesis: KinesisConfig,
+    /// Analytics layer configuration.
+    pub storm: StormConfig,
+    /// Storage layer configuration.
+    pub dynamo: DynamoConfig,
+    /// The topology the cluster runs.
+    pub topology: Topology,
+    /// Price list used by the billing meter.
+    pub prices: PriceList,
+    /// Average size of an aggregate row written to storage.
+    pub aggregate_item_bytes: u32,
+    /// Read traffic against the storage layer (dashboards and consumers
+    /// querying the aggregates) — §2 of the paper lists "DynamoDB
+    /// read/write units" among the managed resources.
+    pub read_workload: ReadWorkloadConfig,
+}
+
+/// Read traffic against the aggregates table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadWorkloadConfig {
+    /// Baseline read rate in items/second (monitoring dashboards).
+    pub base_rate: f64,
+    /// Additional reads per ingested record (user-facing queries track
+    /// site traffic).
+    pub per_record: f64,
+    /// Average read item size in bytes.
+    pub avg_item_bytes: u32,
+    /// Whether reads are eventually consistent (half RCU cost).
+    pub eventually_consistent: bool,
+}
+
+impl Default for ReadWorkloadConfig {
+    fn default() -> Self {
+        ReadWorkloadConfig {
+            base_rate: 0.0,
+            per_record: 0.0,
+            avg_item_bytes: 2_048,
+            eventually_consistent: true,
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            kinesis: KinesisConfig::default(),
+            storm: StormConfig::default(),
+            dynamo: DynamoConfig::default(),
+            topology: Topology::clickstream(),
+            prices: PriceList::default(),
+            aggregate_item_bytes: 512,
+            read_workload: ReadWorkloadConfig::default(),
+        }
+    }
+}
+
+/// Everything that happened in one engine tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickReport {
+    /// When the tick happened.
+    pub at: SimTime,
+    /// Ingestion-layer outcome.
+    pub ingest: IngestOutcome,
+    /// Analytics-layer outcome.
+    pub process: ProcessOutcome,
+    /// Storage-layer write outcome.
+    pub write: WriteOutcome,
+    /// Storage-layer read outcome (all-zero when no read workload is
+    /// configured).
+    pub read: ReadOutcome,
+    /// Dollars accrued during this tick.
+    pub cost: f64,
+}
+
+/// Metric names the engine publishes (stable identifiers for sensors).
+pub mod metric_names {
+    /// Kinesis namespace.
+    pub const NS_KINESIS: &str = "AWS/Kinesis";
+    /// Storm/EC2 namespace.
+    pub const NS_STORM: &str = "Storm";
+    /// DynamoDB namespace.
+    pub const NS_DYNAMO: &str = "AWS/DynamoDB";
+
+    /// Records offered to the stream per tick.
+    pub const INCOMING_RECORDS: &str = "IncomingRecords";
+    /// Records throttled by the stream per tick.
+    pub const WRITE_THROTTLED: &str = "WriteProvisionedThroughputExceeded";
+    /// Stream utilization (offered rate / capacity).
+    pub const SHARD_UTILIZATION: &str = "ShardUtilization";
+    /// Open shard count.
+    pub const OPEN_SHARDS: &str = "OpenShards";
+    /// Utilization of the hottest shard (enhanced shard-level monitoring).
+    pub const MAX_SHARD_UTILIZATION: &str = "MaxShardUtilization";
+
+    /// Cluster CPU percent.
+    pub const CPU_UTILIZATION: &str = "CpuUtilization";
+    /// Tuples processed per tick.
+    pub const TUPLES_PROCESSED: &str = "TuplesProcessed";
+    /// Backlogged tuples.
+    pub const BACKLOG: &str = "Backlog";
+    /// Estimated processing latency (seconds).
+    pub const PROCESS_LATENCY: &str = "ProcessLatencySecs";
+    /// Running VM count.
+    pub const RUNNING_VMS: &str = "RunningVms";
+
+    /// Consumed write capacity units per second.
+    pub const CONSUMED_WCU: &str = "ConsumedWriteCapacityUnits";
+    /// Throttled storage writes per tick.
+    pub const DYNAMO_THROTTLED: &str = "ThrottledRequests";
+    /// Write utilization (consumed / provisioned).
+    pub const WRITE_UTILIZATION: &str = "WriteUtilization";
+    /// Provisioned WCU.
+    pub const PROVISIONED_WCU: &str = "ProvisionedWriteCapacityUnits";
+    /// Consumed read capacity units per second.
+    pub const CONSUMED_RCU: &str = "ConsumedReadCapacityUnits";
+    /// Throttled storage reads per tick.
+    pub const DYNAMO_READ_THROTTLED: &str = "ReadThrottleEvents";
+    /// Read utilization (consumed / provisioned).
+    pub const READ_UTILIZATION: &str = "ReadUtilization";
+    /// Provisioned RCU.
+    pub const PROVISIONED_RCU: &str = "ProvisionedReadCapacityUnits";
+}
+
+/// Control-plane errors surfaced by the engine's actuator API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Ingestion-layer rejection.
+    Kinesis(KinesisError),
+    /// Analytics-layer rejection.
+    Storm(StormError),
+    /// Storage-layer rejection.
+    Dynamo(DynamoError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Kinesis(e) => write!(f, "kinesis: {e}"),
+            EngineError::Storm(e) => write!(f, "storm: {e}"),
+            EngineError::Dynamo(e) => write!(f, "dynamo: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The co-simulated three-layer flow.
+pub struct CloudEngine {
+    config: EngineConfig,
+    kinesis: KinesisStream,
+    storm: StormCluster,
+    dynamo: DynamoTable,
+    metrics: MetricsStore,
+    billing: BillingMeter,
+    last_cost_total: f64,
+    /// Fractional read items carried between ticks so the configured
+    /// read rate holds exactly in the long run.
+    read_carry: f64,
+}
+
+impl CloudEngine {
+    /// Build the engine from configuration.
+    pub fn new(config: EngineConfig) -> CloudEngine {
+        let kinesis = KinesisStream::new(config.kinesis.clone());
+        let storm = StormCluster::new(config.storm.clone(), config.topology.clone());
+        let dynamo = DynamoTable::new(config.dynamo.clone());
+        CloudEngine {
+            config,
+            kinesis,
+            storm,
+            dynamo,
+            metrics: MetricsStore::new(),
+            billing: BillingMeter::new(),
+            last_cost_total: 0.0,
+            read_carry: 0.0,
+        }
+    }
+
+    /// The ingestion layer.
+    pub fn kinesis(&self) -> &KinesisStream {
+        &self.kinesis
+    }
+
+    /// The analytics layer.
+    pub fn storm(&self) -> &StormCluster {
+        &self.storm
+    }
+
+    /// The storage layer.
+    pub fn dynamo(&self) -> &DynamoTable {
+        &self.dynamo
+    }
+
+    /// The metric store all layers publish into.
+    pub fn metrics(&self) -> &MetricsStore {
+        &self.metrics
+    }
+
+    /// The billing meter.
+    pub fn billing(&self) -> &BillingMeter {
+        &self.billing
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Actuator: request a shard-count change.
+    pub fn scale_shards(&mut self, target: u32, now: SimTime) -> Result<(), EngineError> {
+        self.kinesis
+            .update_shard_count(target, now)
+            .map_err(EngineError::Kinesis)
+    }
+
+    /// Actuator: request a VM-count change.
+    pub fn scale_vms(&mut self, target: u32, now: SimTime) -> Result<(), EngineError> {
+        self.storm
+            .set_vm_target(target, now)
+            .map_err(EngineError::Storm)
+    }
+
+    /// Actuator: request a write-capacity change.
+    pub fn scale_wcu(&mut self, target: f64, now: SimTime) -> Result<(), EngineError> {
+        self.dynamo
+            .update_write_capacity(target, now)
+            .map_err(EngineError::Dynamo)
+    }
+
+    /// Actuator: request a read-capacity change.
+    pub fn scale_rcu(&mut self, target: f64, now: SimTime) -> Result<(), EngineError> {
+        self.dynamo
+            .update_read_capacity(target, now)
+            .map_err(EngineError::Dynamo)
+    }
+
+    /// Advance the whole flow by one step of `dt`, feeding it the step's
+    /// click records.
+    pub fn tick(&mut self, records: &[ClickRecord], now: SimTime, dt: SimDuration) -> TickReport {
+        // Layer 1: ingestion.
+        let ingest = self.kinesis.ingest(records, now, dt);
+        // Layer 2: analytics consumes what ingestion accepted.
+        let process = self.storm.process(ingest.accepted, now, dt);
+        // Layer 3: storage persists the emitted aggregates...
+        let write = self
+            .dynamo
+            .write(process.emitted, self.config.aggregate_item_bytes, now, dt);
+        // ...and serves the read traffic (dashboards + per-record queries).
+        let rw = &self.config.read_workload;
+        let read = if rw.base_rate > 0.0 || rw.per_record > 0.0 {
+            let demand = (rw.base_rate * dt.as_secs_f64()
+                + rw.per_record * records.len() as f64)
+                + self.read_carry;
+            let items = demand.floor() as u64;
+            self.read_carry = demand - items as f64;
+            self.dynamo
+                .read(items, rw.avg_item_bytes, rw.eventually_consistent, now, dt)
+        } else {
+            ReadOutcome::idle()
+        };
+
+        self.publish_metrics(now, records.len() as u64, &ingest, &process, &write, &read);
+
+        // Billing: integrate held resources over the step.
+        let prices = &self.config.prices;
+        self.billing
+            .accrue(prices, ResourceKind::Shard, self.kinesis.shards() as f64, dt);
+        self.billing.accrue(
+            prices,
+            ResourceKind::Vm,
+            // Booting VMs bill too — you pay from launch, not from ready.
+            self.storm.target_vms() as f64,
+            dt,
+        );
+        self.billing.accrue(
+            prices,
+            ResourceKind::WriteCapacityUnit,
+            self.dynamo.provisioned_wcu(),
+            dt,
+        );
+        self.billing.accrue(
+            prices,
+            ResourceKind::ReadCapacityUnit,
+            self.dynamo.provisioned_rcu(),
+            dt,
+        );
+        self.billing.accrue_put_records(prices, ingest.accepted);
+
+        let cost = self.billing.total() - self.last_cost_total;
+        self.last_cost_total = self.billing.total();
+
+        TickReport {
+            at: now,
+            ingest,
+            process,
+            write,
+            read,
+            cost,
+        }
+    }
+
+    fn publish_metrics(
+        &mut self,
+        now: SimTime,
+        offered: u64,
+        ingest: &IngestOutcome,
+        process: &ProcessOutcome,
+        write: &WriteOutcome,
+        read: &ReadOutcome,
+    ) {
+        use metric_names::*;
+        let stream = self.kinesis.name().to_owned();
+        let cluster = self.storm.name().to_owned();
+        let table = self.dynamo.name().to_owned();
+        let m = &mut self.metrics;
+
+        m.put(MetricId::new(NS_KINESIS, INCOMING_RECORDS, &stream), now, offered as f64);
+        m.put(
+            MetricId::new(NS_KINESIS, WRITE_THROTTLED, &stream),
+            now,
+            ingest.throttled as f64,
+        );
+        m.put(
+            MetricId::new(NS_KINESIS, SHARD_UTILIZATION, &stream),
+            now,
+            ingest.utilization,
+        );
+        m.put(
+            MetricId::new(NS_KINESIS, OPEN_SHARDS, &stream),
+            now,
+            self.kinesis.shards() as f64,
+        );
+        m.put(
+            MetricId::new(NS_KINESIS, MAX_SHARD_UTILIZATION, &stream),
+            now,
+            ingest.max_shard_utilization,
+        );
+
+        m.put(MetricId::new(NS_STORM, CPU_UTILIZATION, &cluster), now, process.cpu_pct);
+        m.put(
+            MetricId::new(NS_STORM, TUPLES_PROCESSED, &cluster),
+            now,
+            process.processed as f64,
+        );
+        m.put(MetricId::new(NS_STORM, BACKLOG, &cluster), now, process.backlog as f64);
+        m.put(
+            MetricId::new(NS_STORM, PROCESS_LATENCY, &cluster),
+            now,
+            process.latency_secs,
+        );
+        m.put(
+            MetricId::new(NS_STORM, RUNNING_VMS, &cluster),
+            now,
+            self.storm.running_vms() as f64,
+        );
+
+        m.put(MetricId::new(NS_DYNAMO, CONSUMED_WCU, &table), now, write.consumed_wcu);
+        m.put(
+            MetricId::new(NS_DYNAMO, DYNAMO_THROTTLED, &table),
+            now,
+            write.throttled as f64,
+        );
+        m.put(
+            MetricId::new(NS_DYNAMO, WRITE_UTILIZATION, &table),
+            now,
+            write.utilization,
+        );
+        m.put(
+            MetricId::new(NS_DYNAMO, PROVISIONED_WCU, &table),
+            now,
+            self.dynamo.provisioned_wcu(),
+        );
+        m.put(MetricId::new(NS_DYNAMO, CONSUMED_RCU, &table), now, read.consumed_rcu);
+        m.put(
+            MetricId::new(NS_DYNAMO, DYNAMO_READ_THROTTLED, &table),
+            now,
+            read.throttled as f64,
+        );
+        m.put(
+            MetricId::new(NS_DYNAMO, READ_UTILIZATION, &table),
+            now,
+            read.utilization,
+        );
+        m.put(
+            MetricId::new(NS_DYNAMO, PROVISIONED_RCU, &table),
+            now,
+            self.dynamo.provisioned_rcu(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Statistic;
+    use flower_sim::SimRng;
+    use flower_workload::{ClickStreamConfig, ClickStreamGenerator, ConstantRate};
+
+    fn engine() -> CloudEngine {
+        CloudEngine::new(EngineConfig::default())
+    }
+
+    fn run_constant(engine: &mut CloudEngine, rate: f64, secs: u64, seed: u64) -> Vec<TickReport> {
+        let mut generator =
+            ClickStreamGenerator::new(ClickStreamConfig::default(), SimRng::seed(seed));
+        let mut process = ConstantRate::new(rate);
+        let dt = SimDuration::from_secs(1);
+        (0..secs)
+            .map(|s| {
+                let now = SimTime::from_secs(s);
+                let records = generator.tick(&mut process, now, 1.0);
+                engine.tick(&records, now, dt)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn layers_are_chained() {
+        let mut e = engine();
+        let reports = run_constant(&mut e, 1_000.0, 30, 1);
+        let last = reports.last().unwrap();
+        assert!(last.ingest.accepted > 0);
+        assert!(last.process.processed > 0);
+        // Aggregation 50:1 means some ticks write 15-25 items.
+        let total_written: u64 = reports.iter().map(|r| r.write.written).sum();
+        let total_processed: u64 = reports.iter().map(|r| r.process.processed).sum();
+        let ratio = total_written as f64 / total_processed as f64;
+        assert!((ratio - 0.02).abs() < 0.005, "aggregation ratio {ratio}");
+    }
+
+    #[test]
+    fn metrics_are_published_every_tick() {
+        let mut e = engine();
+        run_constant(&mut e, 500.0, 10, 2);
+        let m = e.metrics();
+        assert_eq!(m.list_namespace("AWS/Kinesis").len(), 5);
+        assert_eq!(m.list_namespace("Storm").len(), 5);
+        assert_eq!(m.list_namespace("AWS/DynamoDB").len(), 8);
+        let id = MetricId::new("Storm", "CpuUtilization", "storm-cluster");
+        let count = m
+            .window_stat(&id, Statistic::SampleCount, SimTime::ZERO, SimTime::from_secs(10))
+            .unwrap();
+        assert_eq!(count, 10.0);
+    }
+
+    #[test]
+    fn cpu_tracks_arrival_rate() {
+        // The Fig. 2 dependency: higher arrival rate → higher CPU.
+        let mut low = engine();
+        let low_reports = run_constant(&mut low, 500.0, 20, 3);
+        let mut high = engine();
+        let high_reports = run_constant(&mut high, 1_800.0, 20, 3);
+        let avg = |rs: &[TickReport]| {
+            rs.iter().map(|r| r.process.cpu_pct).sum::<f64>() / rs.len() as f64
+        };
+        assert!(
+            avg(&high_reports) > avg(&low_reports) + 15.0,
+            "low={}, high={}",
+            avg(&low_reports),
+            avg(&high_reports)
+        );
+    }
+
+    #[test]
+    fn cost_accrues_every_tick() {
+        let mut e = engine();
+        let reports = run_constant(&mut e, 100.0, 60, 4);
+        assert!(reports.iter().all(|r| r.cost > 0.0));
+        let total: f64 = reports.iter().map(|r| r.cost).sum();
+        assert!((total - e.billing().total()).abs() < 1e-9);
+        // 1 minute of 2 shards + 2 VMs + 100 WCU + 50 RCU ≈
+        // (2·0.015 + 2·0.10 + 100·0.00065 + 50·0.00013)/60 ≈ $0.005.
+        assert!(total > 0.003 && total < 0.01, "total=${total}");
+    }
+
+    #[test]
+    fn actuators_reach_all_layers() {
+        let mut e = engine();
+        e.scale_shards(6, SimTime::ZERO).unwrap();
+        e.scale_vms(5, SimTime::ZERO).unwrap();
+        e.scale_wcu(700.0, SimTime::ZERO).unwrap();
+        // Advance past every latency (VM boot = 60 s).
+        run_constant(&mut e, 10.0, 61, 5);
+        assert_eq!(e.kinesis().shards(), 6);
+        assert_eq!(e.storm().running_vms(), 5);
+        assert_eq!(e.dynamo().provisioned_wcu(), 700.0);
+    }
+
+    #[test]
+    fn actuator_errors_are_typed() {
+        let mut e = engine();
+        assert!(matches!(
+            e.scale_shards(0, SimTime::ZERO),
+            Err(EngineError::Kinesis(_))
+        ));
+        assert!(matches!(
+            e.scale_vms(0, SimTime::ZERO),
+            Err(EngineError::Storm(_))
+        ));
+        assert!(matches!(
+            e.scale_wcu(0.0, SimTime::ZERO),
+            Err(EngineError::Dynamo(_))
+        ));
+    }
+
+    #[test]
+    fn overload_shows_up_across_layers() {
+        // Tiny deployment, heavy load: ingestion throttles, analytics
+        // saturates, and the backlog throttles the arrival the storage
+        // layer sees.
+        let mut e = CloudEngine::new(EngineConfig {
+            kinesis: KinesisConfig {
+                initial_shards: 4,
+                ..Default::default()
+            },
+            storm: StormConfig {
+                initial_vms: 1,
+                ..Default::default()
+            },
+            dynamo: DynamoConfig {
+                initial_wcu: 5.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let reports = run_constant(&mut e, 6_000.0, 30, 6);
+        let last = reports.last().unwrap();
+        assert!(last.ingest.throttled > 0, "kinesis should throttle");
+        assert!(last.process.cpu_pct > 99.0, "storm should saturate");
+        let any_dynamo_throttle = reports.iter().any(|r| r.write.throttled > 0);
+        assert!(any_dynamo_throttle, "dynamo should throttle eventually");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut e1 = engine();
+        let r1 = run_constant(&mut e1, 800.0, 20, 7);
+        let mut e2 = engine();
+        let r2 = run_constant(&mut e2, 800.0, 20, 7);
+        assert_eq!(r1, r2);
+    }
+}

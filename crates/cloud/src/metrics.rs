@@ -1,0 +1,361 @@
+//! A CloudWatch-like metric store.
+//!
+//! Services publish datapoints under `(namespace, metric, resource)`
+//! identifiers; consumers query period-aligned statistics over arbitrary
+//! windows — exactly the API shape Flower's sensor module needs
+//! ("resource usage stats as per the specified monitoring window", §2).
+
+use std::collections::BTreeMap;
+
+use flower_sim::{SimDuration, SimTime};
+
+/// Identifies one metric stream, CloudWatch-style: a namespace (the
+/// service), a metric name, and a resource dimension (stream/cluster/
+/// table name).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricId {
+    /// Service namespace, e.g. `AWS/Kinesis`.
+    pub namespace: String,
+    /// Metric name, e.g. `IncomingRecords`.
+    pub metric: String,
+    /// Resource dimension, e.g. the stream name.
+    pub resource: String,
+}
+
+impl MetricId {
+    /// Convenience constructor.
+    pub fn new(
+        namespace: impl Into<String>,
+        metric: impl Into<String>,
+        resource: impl Into<String>,
+    ) -> MetricId {
+        MetricId {
+            namespace: namespace.into(),
+            metric: metric.into(),
+            resource: resource.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for MetricId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}[{}]", self.namespace, self.metric, self.resource)
+    }
+}
+
+/// Statistic to compute over the datapoints of a period bucket or window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Statistic {
+    /// Arithmetic mean.
+    Average,
+    /// Sum.
+    Sum,
+    /// Minimum.
+    Minimum,
+    /// Maximum.
+    Maximum,
+    /// Number of datapoints.
+    SampleCount,
+    /// Percentile in `[0, 100]` (CloudWatch's `p50`/`p90`/`p99`
+    /// extended statistics), linearly interpolated.
+    Percentile(f64),
+}
+
+impl Statistic {
+    /// The `p99`-style label CloudWatch uses.
+    pub fn label(&self) -> String {
+        match self {
+            Statistic::Average => "Average".to_owned(),
+            Statistic::Sum => "Sum".to_owned(),
+            Statistic::Minimum => "Minimum".to_owned(),
+            Statistic::Maximum => "Maximum".to_owned(),
+            Statistic::SampleCount => "SampleCount".to_owned(),
+            Statistic::Percentile(p) => format!("p{p}"),
+        }
+    }
+}
+
+fn apply(stat: Statistic, values: &[f64]) -> f64 {
+    match stat {
+        Statistic::Average => values.iter().sum::<f64>() / values.len() as f64,
+        Statistic::Sum => values.iter().sum(),
+        Statistic::Minimum => values.iter().copied().fold(f64::INFINITY, f64::min),
+        Statistic::Maximum => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        Statistic::SampleCount => values.len() as f64,
+        Statistic::Percentile(p) => {
+            assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+            let mut sorted = values.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite datapoints"));
+            let rank = p / 100.0 * (sorted.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            if lo == hi {
+                sorted[lo]
+            } else {
+                let frac = rank - lo as f64;
+                sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+            }
+        }
+    }
+}
+
+/// The metric store.
+///
+/// ```
+/// use flower_cloud::{MetricId, MetricsStore, Statistic};
+/// use flower_sim::SimTime;
+///
+/// let mut store = MetricsStore::new();
+/// let id = MetricId::new("AWS/Kinesis", "IncomingRecords", "clicks");
+/// for i in 0..5u64 {
+///     store.put(id.clone(), SimTime::from_secs(i), i as f64 * 10.0);
+/// }
+/// let avg = store
+///     .window_stat(&id, Statistic::Average, SimTime::ZERO, SimTime::from_secs(5))
+///     .unwrap();
+/// assert_eq!(avg, 20.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsStore {
+    series: BTreeMap<MetricId, Vec<(SimTime, f64)>>,
+}
+
+impl MetricsStore {
+    /// An empty store.
+    pub fn new() -> MetricsStore {
+        MetricsStore::default()
+    }
+
+    /// Publish one datapoint. Time must be non-decreasing per metric.
+    pub fn put(&mut self, id: MetricId, t: SimTime, value: f64) {
+        debug_assert!(value.is_finite(), "non-finite datapoint for {id}");
+        let series = self.series.entry(id).or_default();
+        if let Some(&(last, _)) = series.last() {
+            assert!(t >= last, "datapoint time went backwards ({last} then {t})");
+        }
+        series.push((t, value));
+    }
+
+    /// All metric ids currently present, in sorted order.
+    pub fn list(&self) -> Vec<&MetricId> {
+        self.series.keys().collect()
+    }
+
+    /// All metric ids in a namespace.
+    pub fn list_namespace(&self, namespace: &str) -> Vec<&MetricId> {
+        self.series
+            .keys()
+            .filter(|id| id.namespace == namespace)
+            .collect()
+    }
+
+    /// The most recent datapoint of a metric.
+    pub fn latest(&self, id: &MetricId) -> Option<(SimTime, f64)> {
+        self.series.get(id).and_then(|s| s.last().copied())
+    }
+
+    /// Raw datapoints in `[from, to)`.
+    pub fn raw(&self, id: &MetricId, from: SimTime, to: SimTime) -> Vec<(SimTime, f64)> {
+        match self.series.get(id) {
+            None => Vec::new(),
+            Some(s) => {
+                let lo = s.partition_point(|&(t, _)| t < from);
+                let hi = s.partition_point(|&(t, _)| t < to);
+                s[lo..hi].to_vec()
+            }
+        }
+    }
+
+    /// A single statistic over all datapoints in `[from, to)`.
+    /// `None` when the window holds no datapoints.
+    pub fn window_stat(
+        &self,
+        id: &MetricId,
+        stat: Statistic,
+        from: SimTime,
+        to: SimTime,
+    ) -> Option<f64> {
+        let pts = self.raw(id, from, to);
+        if pts.is_empty() {
+            return None;
+        }
+        let values: Vec<f64> = pts.iter().map(|&(_, v)| v).collect();
+        Some(apply(stat, &values))
+    }
+
+    /// Period-aligned statistics over `[from, to)`, CloudWatch-style:
+    /// datapoints are bucketed into `period`-aligned bins and the
+    /// statistic is applied per bin. Empty bins are omitted.
+    pub fn get_statistics(
+        &self,
+        id: &MetricId,
+        stat: Statistic,
+        period: SimDuration,
+        from: SimTime,
+        to: SimTime,
+    ) -> Vec<(SimTime, f64)> {
+        assert!(!period.is_zero(), "period must be non-zero");
+        let pts = self.raw(id, from, to);
+        let mut out: Vec<(SimTime, f64)> = Vec::new();
+        let mut bucket: Option<SimTime> = None;
+        let mut values: Vec<f64> = Vec::new();
+        for (t, v) in pts {
+            let b = t.align_down(period);
+            match bucket {
+                Some(cur) if cur == b => values.push(v),
+                Some(cur) => {
+                    out.push((cur, apply(stat, &values)));
+                    values.clear();
+                    values.push(v);
+                    bucket = Some(b);
+                }
+                None => {
+                    bucket = Some(b);
+                    values.push(v);
+                }
+            }
+        }
+        if let Some(cur) = bucket {
+            out.push((cur, apply(stat, &values)));
+        }
+        out
+    }
+
+    /// Total number of stored datapoints across all metrics.
+    pub fn total_datapoints(&self) -> usize {
+        self.series.values().map(Vec::len).sum()
+    }
+
+    /// Drop datapoints older than `horizon` before `now` (retention).
+    pub fn prune(&mut self, now: SimTime, horizon: SimDuration) {
+        let cutoff = now - horizon;
+        for series in self.series.values_mut() {
+            let keep_from = series.partition_point(|&(t, _)| t < cutoff);
+            series.drain(..keep_from);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id() -> MetricId {
+        MetricId::new("AWS/Kinesis", "IncomingRecords", "clicks")
+    }
+
+    fn seeded_store() -> MetricsStore {
+        let mut store = MetricsStore::new();
+        for i in 0..10u64 {
+            store.put(id(), SimTime::from_secs(i * 30), i as f64);
+        }
+        store
+    }
+
+    #[test]
+    fn latest_returns_newest() {
+        let store = seeded_store();
+        assert_eq!(store.latest(&id()), Some((SimTime::from_secs(270), 9.0)));
+        assert_eq!(store.latest(&MetricId::new("x", "y", "z")), None);
+    }
+
+    #[test]
+    fn raw_is_half_open_window() {
+        let store = seeded_store();
+        let pts = store.raw(&id(), SimTime::from_secs(30), SimTime::from_secs(90));
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0], (SimTime::from_secs(30), 1.0));
+        assert_eq!(pts[1], (SimTime::from_secs(60), 2.0));
+    }
+
+    #[test]
+    fn window_statistics() {
+        let store = seeded_store();
+        let w = |stat| {
+            store
+                .window_stat(&id(), stat, SimTime::ZERO, SimTime::from_secs(300))
+                .unwrap()
+        };
+        assert_eq!(w(Statistic::SampleCount), 10.0);
+        assert_eq!(w(Statistic::Sum), 45.0);
+        assert_eq!(w(Statistic::Average), 4.5);
+        assert_eq!(w(Statistic::Minimum), 0.0);
+        assert_eq!(w(Statistic::Maximum), 9.0);
+        assert_eq!(
+            store.window_stat(&id(), Statistic::Sum, SimTime::from_hours(2), SimTime::from_hours(3)),
+            None
+        );
+    }
+
+    #[test]
+    fn period_aligned_statistics() {
+        let store = seeded_store(); // points every 30 s
+        let stats = store.get_statistics(
+            &id(),
+            Statistic::Sum,
+            SimDuration::from_secs(60),
+            SimTime::ZERO,
+            SimTime::from_secs(300),
+        );
+        // Buckets: [0,60) holds 0+1, [60,120) holds 2+3, ...
+        assert_eq!(stats.len(), 5);
+        assert_eq!(stats[0], (SimTime::ZERO, 1.0));
+        assert_eq!(stats[1], (SimTime::from_secs(60), 5.0));
+        assert_eq!(stats[4], (SimTime::from_secs(240), 17.0));
+    }
+
+    #[test]
+    fn namespace_listing() {
+        let mut store = seeded_store();
+        store.put(MetricId::new("AWS/DynamoDB", "ConsumedWCU", "t"), SimTime::ZERO, 1.0);
+        assert_eq!(store.list().len(), 2);
+        assert_eq!(store.list_namespace("AWS/Kinesis").len(), 1);
+        assert_eq!(store.list_namespace("AWS/DynamoDB").len(), 1);
+        assert!(store.list_namespace("AWS/EC2").is_empty());
+    }
+
+    #[test]
+    fn prune_drops_old_points() {
+        let mut store = seeded_store();
+        assert_eq!(store.total_datapoints(), 10);
+        store.prune(SimTime::from_secs(270), SimDuration::from_secs(60));
+        // Cutoff at t=210: keeps 210, 240, 270.
+        assert_eq!(store.total_datapoints(), 3);
+        assert_eq!(store.latest(&id()), Some((SimTime::from_secs(270), 9.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn out_of_order_put_panics() {
+        let mut store = seeded_store();
+        store.put(id(), SimTime::ZERO, 1.0);
+    }
+
+    #[test]
+    fn percentile_statistics() {
+        let store = seeded_store(); // values 0..=9
+        let p = |pct| {
+            store
+                .window_stat(&id(), Statistic::Percentile(pct), SimTime::ZERO, SimTime::from_secs(300))
+                .unwrap()
+        };
+        assert_eq!(p(0.0), 0.0);
+        assert_eq!(p(100.0), 9.0);
+        assert!((p(50.0) - 4.5).abs() < 1e-12);
+        assert!((p(90.0) - 8.1).abs() < 1e-9);
+        assert_eq!(Statistic::Percentile(99.0).label(), "p99");
+        assert_eq!(Statistic::Maximum.label(), "Maximum");
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn out_of_range_percentile_panics() {
+        let store = seeded_store();
+        store.window_stat(&id(), Statistic::Percentile(150.0), SimTime::ZERO, SimTime::from_secs(300));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(id().to_string(), "AWS/Kinesis/IncomingRecords[clicks]");
+    }
+}

@@ -1,0 +1,197 @@
+//! Service pricing and billing.
+//!
+//! Flower's resource share analyzer (§3.2) needs the cost dimension `c_d`
+//! of every resource to enforce the budget constraint (Eq. 4), and the
+//! holistic-savings experiment (E5) integrates actual spend over time.
+//! Prices default to 2017 us-east-1 list prices; only their *ratios*
+//! matter to the reproduced shapes.
+
+use flower_sim::SimDuration;
+
+/// The provisionable resource kinds across the three layers of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// A Kinesis shard (ingestion layer).
+    Shard,
+    /// A Storm worker VM (analytics layer).
+    Vm,
+    /// A DynamoDB write capacity unit (storage layer).
+    WriteCapacityUnit,
+    /// A DynamoDB read capacity unit (storage layer).
+    ReadCapacityUnit,
+}
+
+impl ResourceKind {
+    /// All kinds, for iteration.
+    pub const ALL: [ResourceKind; 4] = [
+        ResourceKind::Shard,
+        ResourceKind::Vm,
+        ResourceKind::WriteCapacityUnit,
+        ResourceKind::ReadCapacityUnit,
+    ];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ResourceKind::Shard => "shard",
+            ResourceKind::Vm => "vm",
+            ResourceKind::WriteCapacityUnit => "wcu",
+            ResourceKind::ReadCapacityUnit => "rcu",
+        }
+    }
+}
+
+/// Hourly unit prices, in dollars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceList {
+    /// $/shard-hour (Kinesis, 2017: $0.015).
+    pub shard_hour: f64,
+    /// $/million PUT payload units (Kinesis, 2017: $0.014).
+    pub put_million_records: f64,
+    /// $/VM-hour (EC2 m4.large on-demand, 2017: $0.10).
+    pub vm_hour: f64,
+    /// $/WCU-hour (DynamoDB, 2017: $0.00065).
+    pub wcu_hour: f64,
+    /// $/RCU-hour (DynamoDB, 2017: $0.00013).
+    pub rcu_hour: f64,
+}
+
+impl Default for PriceList {
+    fn default() -> Self {
+        PriceList {
+            shard_hour: 0.015,
+            put_million_records: 0.014,
+            vm_hour: 0.10,
+            wcu_hour: 0.00065,
+            rcu_hour: 0.00013,
+        }
+    }
+}
+
+impl PriceList {
+    /// Hourly price of one unit of `kind`.
+    pub fn unit_hour(&self, kind: ResourceKind) -> f64 {
+        match kind {
+            ResourceKind::Shard => self.shard_hour,
+            ResourceKind::Vm => self.vm_hour,
+            ResourceKind::WriteCapacityUnit => self.wcu_hour,
+            ResourceKind::ReadCapacityUnit => self.rcu_hour,
+        }
+    }
+
+    /// Hourly cost of a resource bundle
+    /// `(shards, vms, wcu, rcu)` — the left side of the paper's budget
+    /// constraint (Eq. 4) for one time unit.
+    pub fn hourly_cost(&self, shards: f64, vms: f64, wcu: f64, rcu: f64) -> f64 {
+        shards * self.shard_hour + vms * self.vm_hour + wcu * self.wcu_hour + rcu * self.rcu_hour
+    }
+}
+
+/// Integrates dollar spend over virtual time.
+#[derive(Debug, Clone, Default)]
+pub struct BillingMeter {
+    total: f64,
+    by_kind: [f64; 4],
+    request_charges: f64,
+}
+
+impl BillingMeter {
+    /// A zeroed meter.
+    pub fn new() -> BillingMeter {
+        BillingMeter::default()
+    }
+
+    fn kind_index(kind: ResourceKind) -> usize {
+        match kind {
+            ResourceKind::Shard => 0,
+            ResourceKind::Vm => 1,
+            ResourceKind::WriteCapacityUnit => 2,
+            ResourceKind::ReadCapacityUnit => 3,
+        }
+    }
+
+    /// Accrue the cost of holding `amount` units of `kind` for `dt`.
+    pub fn accrue(&mut self, prices: &PriceList, kind: ResourceKind, amount: f64, dt: SimDuration) {
+        debug_assert!(amount >= 0.0, "negative resource amount");
+        let cost = amount * prices.unit_hour(kind) * dt.as_hours_f64();
+        self.total += cost;
+        self.by_kind[Self::kind_index(kind)] += cost;
+    }
+
+    /// Accrue Kinesis per-record PUT charges.
+    pub fn accrue_put_records(&mut self, prices: &PriceList, records: u64) {
+        let cost = records as f64 / 1e6 * prices.put_million_records;
+        self.total += cost;
+        self.request_charges += cost;
+    }
+
+    /// Total dollars accrued.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Dollars accrued for one resource kind (excludes request charges).
+    pub fn by_kind(&self, kind: ResourceKind) -> f64 {
+        self.by_kind[Self::kind_index(kind)]
+    }
+
+    /// Dollars accrued as per-request charges (Kinesis PUTs).
+    pub fn request_charges(&self) -> f64 {
+        self.request_charges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_prices_match_2017_list() {
+        let p = PriceList::default();
+        assert_eq!(p.unit_hour(ResourceKind::Shard), 0.015);
+        assert_eq!(p.unit_hour(ResourceKind::Vm), 0.10);
+        assert_eq!(p.unit_hour(ResourceKind::WriteCapacityUnit), 0.00065);
+        assert_eq!(p.unit_hour(ResourceKind::ReadCapacityUnit), 0.00013);
+    }
+
+    #[test]
+    fn hourly_cost_sums_dimensions() {
+        let p = PriceList::default();
+        let c = p.hourly_cost(10.0, 4.0, 1_000.0, 500.0);
+        let expected = 10.0 * 0.015 + 4.0 * 0.10 + 1_000.0 * 0.00065 + 500.0 * 0.00013;
+        assert!((c - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meter_integrates_over_time() {
+        let p = PriceList::default();
+        let mut m = BillingMeter::new();
+        // 4 VMs for 30 minutes = 2 VM-hours = $0.20.
+        m.accrue(&p, ResourceKind::Vm, 4.0, SimDuration::from_mins(30));
+        assert!((m.total() - 0.20).abs() < 1e-12);
+        assert!((m.by_kind(ResourceKind::Vm) - 0.20).abs() < 1e-12);
+        assert_eq!(m.by_kind(ResourceKind::Shard), 0.0);
+        // 10 shards for 1 hour = $0.15 more.
+        m.accrue(&p, ResourceKind::Shard, 10.0, SimDuration::from_hours(1));
+        assert!((m.total() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn put_charges_accumulate_separately() {
+        let p = PriceList::default();
+        let mut m = BillingMeter::new();
+        m.accrue_put_records(&p, 2_000_000);
+        assert!((m.request_charges() - 0.028).abs() < 1e-12);
+        assert!((m.total() - 0.028).abs() < 1e-12);
+        assert_eq!(m.by_kind(ResourceKind::Shard), 0.0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ResourceKind::Shard.label(), "shard");
+        assert_eq!(ResourceKind::Vm.label(), "vm");
+        assert_eq!(ResourceKind::WriteCapacityUnit.label(), "wcu");
+        assert_eq!(ResourceKind::ReadCapacityUnit.label(), "rcu");
+        assert_eq!(ResourceKind::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,246 @@
+//! Serializable configuration — the programmatic equivalent of the
+//! demo's **Flow Configuration Wizard** (§4 step 2), where the user picks
+//! a controller per layer, its desired reference value (setpoint), and
+//! the monitoring period.
+
+use serde::{Deserialize, Serialize};
+
+use flower_control::{
+    AdaptiveConfig, AdaptiveController, Controller, FixedGainConfig, FixedGainController,
+    QuasiAdaptiveConfig, QuasiAdaptiveController, RuleBasedConfig, RuleBasedController,
+};
+
+/// Which controller a layer runs, with its tunables. `Static` disables
+/// elasticity for the layer (fixed provisioning) — used by the
+/// holistic-vs-partial-scaling experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControllerSpec {
+    /// The paper's adaptive controller (Eqs. 6–7).
+    Adaptive {
+        /// Desired reference value `y_r`.
+        setpoint: f64,
+        /// Gain adaptation rate γ.
+        gamma: f64,
+        /// Gain bounds `[l_min, l_max]`.
+        l_min: f64,
+        /// Upper gain bound.
+        l_max: f64,
+        /// Enable the gain-memory feature.
+        gain_memory: bool,
+    },
+    /// Fixed-gain integral controller with dead-band (Lim et al. 2010).
+    FixedGain {
+        /// Desired reference value.
+        setpoint: f64,
+        /// The constant gain.
+        gain: f64,
+        /// No-action half band.
+        dead_band: f64,
+    },
+    /// Self-tuning controller (Padala et al. 2007).
+    QuasiAdaptive {
+        /// Desired reference value.
+        setpoint: f64,
+        /// RLS forgetting factor.
+        forgetting: f64,
+    },
+    /// Threshold rules with cooldown (Amazon Auto Scaling style).
+    RuleBased {
+        /// Scale-out threshold.
+        high: f64,
+        /// Scale-in threshold.
+        low: f64,
+        /// Consecutive breaches required.
+        breach_count: u32,
+        /// Cooldown in monitoring periods.
+        cooldown_steps: u32,
+    },
+    /// No controller: the layer keeps its initial provisioning.
+    Static,
+}
+
+impl ControllerSpec {
+    /// The paper's adaptive controller with defaults tuned for
+    /// *unit-scale* actuators (shards, VMs — a handful to a few dozen
+    /// units). The gain ceiling respects the discrete-loop stability
+    /// bound `l < 2u/y` at small unit counts.
+    pub fn adaptive(setpoint: f64) -> ControllerSpec {
+        ControllerSpec::Adaptive {
+            setpoint,
+            gamma: 0.0005,
+            l_min: 0.01,
+            l_max: 0.05,
+            gain_memory: true,
+        }
+    }
+
+    /// The adaptive controller tuned for *capacity-unit-scale* actuators
+    /// (DynamoDB WCU — hundreds to thousands of units), where a unit
+    /// moves the measurement a thousandth as much.
+    pub fn adaptive_for_capacity(setpoint: f64) -> ControllerSpec {
+        ControllerSpec::Adaptive {
+            setpoint,
+            gamma: 0.01,
+            l_min: 0.05,
+            l_max: 2.0,
+            gain_memory: true,
+        }
+    }
+
+    /// Fixed-gain defaults: the gain sits at the geometric middle of the
+    /// adaptive controller's `[l_min, l_max]` band, so the comparison is
+    /// between *adapting* the gain and *fixing* it, not between small
+    /// and large gains.
+    pub fn fixed_gain(setpoint: f64) -> ControllerSpec {
+        ControllerSpec::FixedGain {
+            setpoint,
+            gain: 0.01,
+            dead_band: 5.0,
+        }
+    }
+
+    /// Quasi-adaptive defaults.
+    pub fn quasi_adaptive(setpoint: f64) -> ControllerSpec {
+        ControllerSpec::QuasiAdaptive {
+            setpoint,
+            forgetting: 0.9,
+        }
+    }
+
+    /// Rule-based defaults around a setpoint (band ±20).
+    pub fn rule_based(setpoint: f64) -> ControllerSpec {
+        ControllerSpec::RuleBased {
+            high: setpoint + 15.0,
+            low: setpoint - 25.0,
+            breach_count: 2,
+            cooldown_steps: 3,
+        }
+    }
+
+    /// The setpoint this spec regulates to (band centre for rule-based,
+    /// `None` for static).
+    pub fn setpoint(&self) -> Option<f64> {
+        match self {
+            ControllerSpec::Adaptive { setpoint, .. }
+            | ControllerSpec::FixedGain { setpoint, .. }
+            | ControllerSpec::QuasiAdaptive { setpoint, .. } => Some(*setpoint),
+            ControllerSpec::RuleBased { high, low, .. } => Some((high + low) / 2.0),
+            ControllerSpec::Static => None,
+        }
+    }
+
+    /// Instantiate the controller with `u_init` as its initial actuator
+    /// value. Returns `None` for [`ControllerSpec::Static`].
+    pub fn build(&self, u_init: f64) -> Option<Box<dyn Controller>> {
+        match *self {
+            ControllerSpec::Adaptive {
+                setpoint,
+                gamma,
+                l_min,
+                l_max,
+                gain_memory,
+            } => Some(Box::new(AdaptiveController::new(AdaptiveConfig {
+                setpoint,
+                gamma,
+                l_min,
+                l_max,
+                l_init: l_min,
+                u_init,
+                gain_memory,
+                memory_len: 32,
+            }))),
+            ControllerSpec::FixedGain {
+                setpoint,
+                gain,
+                dead_band,
+            } => Some(Box::new(FixedGainController::new(FixedGainConfig {
+                setpoint,
+                gain,
+                dead_band,
+                u_init,
+            }))),
+            ControllerSpec::QuasiAdaptive {
+                setpoint,
+                forgetting,
+            } => Some(Box::new(QuasiAdaptiveController::new(QuasiAdaptiveConfig {
+                setpoint,
+                forgetting,
+                u_init,
+                ..Default::default()
+            }))),
+            ControllerSpec::RuleBased {
+                high,
+                low,
+                breach_count,
+                cooldown_steps,
+            } => Some(Box::new(RuleBasedController::new(RuleBasedConfig {
+                high,
+                low,
+                breach_count,
+                step_up: (u_init * 0.5).max(1.0),
+                step_down: (u_init * 0.25).max(1.0),
+                cooldown_steps,
+                u_init,
+            }))),
+            ControllerSpec::Static => None,
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ControllerSpec::Adaptive { .. } => "adaptive",
+            ControllerSpec::FixedGain { .. } => "fixed-gain",
+            ControllerSpec::QuasiAdaptive { .. } => "quasi-adaptive",
+            ControllerSpec::RuleBased { .. } => "rule-based",
+            ControllerSpec::Static => "static",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_have_expected_setpoints() {
+        assert_eq!(ControllerSpec::adaptive(60.0).setpoint(), Some(60.0));
+        assert_eq!(ControllerSpec::fixed_gain(70.0).setpoint(), Some(70.0));
+        assert_eq!(ControllerSpec::quasi_adaptive(50.0).setpoint(), Some(50.0));
+        assert_eq!(ControllerSpec::rule_based(60.0).setpoint(), Some(55.0));
+        assert_eq!(ControllerSpec::Static.setpoint(), None);
+    }
+
+    #[test]
+    fn build_instantiates_each_kind() {
+        for spec in [
+            ControllerSpec::adaptive(60.0),
+            ControllerSpec::fixed_gain(60.0),
+            ControllerSpec::quasi_adaptive(60.0),
+            ControllerSpec::rule_based(60.0),
+        ] {
+            let c = spec.build(4.0).expect("non-static builds");
+            assert_eq!(c.actuator(), 4.0);
+            assert_eq!(c.name(), spec.name());
+        }
+        assert!(ControllerSpec::Static.build(4.0).is_none());
+        assert_eq!(ControllerSpec::Static.name(), "static");
+    }
+
+    #[test]
+    fn rule_based_steps_scale_with_initial_units() {
+        // A layer starting at 100 units should take bigger rule-based
+        // steps than one starting at 2.
+        let big = ControllerSpec::rule_based(60.0).build(100.0).unwrap();
+        let small = ControllerSpec::rule_based(60.0).build(2.0).unwrap();
+        let drive = |mut c: Box<dyn flower_control::Controller>| {
+            for _ in 0..2 {
+                c.step(95.0);
+            }
+            c.actuator()
+        };
+        let big_delta = drive(big) - 100.0;
+        let small_delta = drive(small) - 2.0;
+        assert!(big_delta > small_delta, "{big_delta} vs {small_delta}");
+    }
+}

@@ -1,0 +1,701 @@
+//! The end-to-end elasticity runtime.
+//!
+//! [`ElasticityManager`] ties every Flower component together the way the
+//! demo (§4) wires them on stage: a click-stream workload feeds the
+//! simulated three-layer cloud deployment; per-layer sensor → controller
+//! → actuator loops run every monitoring period; everything observable is
+//! recorded into an [`EpisodeReport`] for scoring and plotting.
+
+use flower_cloud::{CloudEngine, ReadWorkloadConfig};
+use flower_control::Controller;
+use flower_control::ResponseMetrics;
+use flower_sim::{SimDuration, SimRng, SimTime};
+use flower_workload::{
+    ArrivalProcess, ClickStreamConfig, ClickStreamGenerator, ConstantRate, DiurnalRate,
+    FlashCrowd, RateTrace, StepRate,
+};
+
+use crate::config::ControllerSpec;
+use crate::flow::{FlowSpec, Layer, Platform};
+use crate::provision::{sensors, LayerControllerConfig, ProvisioningManager};
+use crate::replan::{ReplanOutcome, Replanner};
+
+/// A workload: an arrival process plus the click-stream shape.
+pub struct Workload {
+    process: Box<dyn ArrivalProcess>,
+    click: ClickStreamConfig,
+}
+
+impl Workload {
+    /// Constant arrival intensity.
+    pub fn constant(rate: f64) -> Workload {
+        Workload {
+            process: Box::new(ConstantRate::new(rate)),
+            click: ClickStreamConfig::default(),
+        }
+    }
+
+    /// A compressed day/night cycle (2-hour period) so diurnal dynamics
+    /// appear within laptop-scale simulations.
+    pub fn diurnal(base: f64, amplitude: f64) -> Workload {
+        Workload {
+            process: Box::new(DiurnalRate::new(
+                base,
+                amplitude,
+                SimDuration::from_hours(2),
+                SimDuration::ZERO,
+            )),
+            click: ClickStreamConfig::default(),
+        }
+    }
+
+    /// A step disturbance at `at` — the canonical settling-time workload.
+    pub fn step(before: f64, after: f64, at: SimTime) -> Workload {
+        Workload {
+            process: Box::new(StepRate::new(before, after, at)),
+            click: ClickStreamConfig::default(),
+        }
+    }
+
+    /// A flash crowd on a baseline.
+    pub fn flash_crowd(base: f64, spike: f64, at: SimTime) -> Workload {
+        Workload {
+            process: Box::new(FlashCrowd::new(
+                base,
+                spike,
+                at,
+                SimDuration::from_mins(5),
+                SimDuration::from_mins(10),
+            )),
+            click: ClickStreamConfig::default(),
+        }
+    }
+
+    /// Replay a recorded trace.
+    pub fn replay(trace: &RateTrace) -> Workload {
+        Workload {
+            process: Box::new(trace.replay()),
+            click: ClickStreamConfig::default(),
+        }
+    }
+
+    /// Any custom process.
+    pub fn custom(process: Box<dyn ArrivalProcess>) -> Workload {
+        Workload {
+            process,
+            click: ClickStreamConfig::default(),
+        }
+    }
+
+    /// Override the click-stream shape.
+    pub fn with_click_config(mut self, click: ClickStreamConfig) -> Workload {
+        self.click = click;
+        self
+    }
+}
+
+/// Per-layer bounds on the actuator (from the share analysis).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerBounds {
+    /// Minimum units.
+    pub min: f64,
+    /// Maximum units.
+    pub max: f64,
+}
+
+/// Builder for [`ElasticityManager`].
+pub struct ElasticityManagerBuilder {
+    flow: FlowSpec,
+    workload: Option<Workload>,
+    seed: u64,
+    monitoring_period: SimDuration,
+    controllers: [ControllerSpec; 3],
+    bounds: [LayerBounds; 3],
+    replanner: Option<Replanner>,
+    read_workload: Option<ReadWorkloadConfig>,
+    rcu_controller: Option<(ControllerSpec, LayerBounds)>,
+    hot_shard_sensor: bool,
+}
+
+impl ElasticityManagerBuilder {
+    fn new(flow: FlowSpec) -> ElasticityManagerBuilder {
+        ElasticityManagerBuilder {
+            flow,
+            workload: None,
+            seed: 0,
+            monitoring_period: SimDuration::from_secs(30),
+            controllers: [
+                ControllerSpec::adaptive(70.0),
+                ControllerSpec::adaptive(60.0),
+                ControllerSpec::adaptive_for_capacity(70.0),
+            ],
+            bounds: [
+                LayerBounds { min: 1.0, max: 100.0 },
+                LayerBounds { min: 1.0, max: 50.0 },
+                LayerBounds { min: 1.0, max: 10_000.0 },
+            ],
+            replanner: None,
+            read_workload: None,
+            rcu_controller: None,
+            hot_shard_sensor: false,
+        }
+    }
+
+    /// Set the workload (required).
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the monitoring period (sensor window = control interval).
+    pub fn monitoring_period(mut self, period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "monitoring period must be non-zero");
+        self.monitoring_period = period;
+        self
+    }
+
+    /// Choose the controller of one layer.
+    pub fn controller(mut self, layer: Layer, spec: ControllerSpec) -> Self {
+        self.controllers[layer_index(layer)] = spec;
+        self
+    }
+
+    /// Use the same controller spec for all three layers (setpoints are
+    /// taken from the spec as-is).
+    pub fn all_controllers(mut self, spec: ControllerSpec) -> Self {
+        self.controllers = [spec.clone(), spec.clone(), spec];
+        self
+    }
+
+    /// Set one layer's actuator bounds (from the share analysis).
+    pub fn bounds(mut self, layer: Layer, min: f64, max: f64) -> Self {
+        assert!(min >= 1.0 && min <= max, "invalid bounds [{min}, {max}]");
+        self.bounds[layer_index(layer)] = LayerBounds { min, max };
+        self
+    }
+
+    /// Drive the ingestion loop from the *hottest shard's* utilization
+    /// (enhanced shard-level monitoring) instead of the stream-level
+    /// average. Under skewed partition keys the average hides saturated
+    /// shards; this sensor sees them.
+    pub fn hot_shard_sensor(mut self, enabled: bool) -> Self {
+        self.hot_shard_sensor = enabled;
+        self
+    }
+
+    /// Attach a read workload against the storage layer (dashboard and
+    /// consumer queries). Without one the read path stays idle.
+    pub fn read_workload(mut self, config: ReadWorkloadConfig) -> Self {
+        self.read_workload = Some(config);
+        self
+    }
+
+    /// Manage the storage layer's *read* capacity (RCU) with its own
+    /// control loop — the fourth managed resource, per §2's listing of
+    /// "DynamoDB read/write units". Bounds cap the provisioned RCU.
+    pub fn rcu_controller(mut self, spec: ControllerSpec, min: f64, max: f64) -> Self {
+        assert!(min >= 1.0 && min <= max, "invalid RCU bounds [{min}, {max}]");
+        self.rcu_controller = Some((spec, LayerBounds { min, max }));
+        self
+    }
+
+    /// Attach a re-planning outer loop (see [`crate::replan`]): at its
+    /// cadence, dependencies are re-learned from the trailing metric
+    /// window, resource shares re-solved, and the chosen plan's shares
+    /// become the new per-layer maximum bounds.
+    pub fn replanner(mut self, replanner: Replanner) -> Self {
+        self.replanner = Some(replanner);
+        self
+    }
+
+    /// Build the manager.
+    pub fn build(self) -> ElasticityManager {
+        let workload = self.workload.expect("workload is required");
+        let mut engine_config = self.flow.engine_config();
+        if let Some(rw) = self.read_workload {
+            engine_config.read_workload = rw;
+        }
+        let rcu_loop = self.rcu_controller.and_then(|(spec, bounds)| {
+            let u_init = engine_config.dynamo.initial_rcu;
+            spec.build(u_init).map(|controller| RcuLoop {
+                controller,
+                bounds,
+                actions: 0,
+            })
+        });
+        let engine = CloudEngine::new(engine_config);
+        let rng = SimRng::seed(self.seed);
+        let generator = ClickStreamGenerator::new(workload.click.clone(), rng.fork(1));
+
+        let stream = self.flow.ingestion.name().to_owned();
+        let cluster = self.flow.analytics.name().to_owned();
+        let table = self.flow.storage.name().to_owned();
+
+        let initial_units = |layer: Layer| match self.flow.platform(layer) {
+            Platform::Kinesis { shards, .. } => *shards as f64,
+            Platform::Storm { vms, .. } => *vms as f64,
+            Platform::Dynamo { wcu, .. } => *wcu,
+        };
+
+        let mut loops = Vec::new();
+        for layer in Layer::ALL {
+            let spec = &self.controllers[layer_index(layer)];
+            let Some(controller) = spec.build(initial_units(layer)) else {
+                continue; // static layer
+            };
+            let sensor = match layer {
+                Layer::Ingestion if self.hot_shard_sensor => {
+                    sensors::hot_shard_utilization(&stream)
+                }
+                Layer::Ingestion => sensors::shard_utilization(&stream),
+                Layer::Analytics => sensors::cpu_utilization(&cluster),
+                Layer::Storage => sensors::write_utilization(&table),
+            };
+            let b = self.bounds[layer_index(layer)];
+            loops.push(LayerControllerConfig {
+                layer,
+                controller,
+                sensor,
+                min_units: b.min,
+                max_units: b.max,
+            });
+        }
+        let provisioning = ProvisioningManager::new(loops, self.monitoring_period);
+
+        ElasticityManager {
+            flow: self.flow,
+            engine,
+            provisioning,
+            process: workload.process,
+            generator,
+            monitoring_period: self.monitoring_period,
+            now: SimTime::ZERO,
+            controller_specs: self.controllers,
+            replanner: self.replanner,
+            rcu_loop,
+            report: EpisodeReport::empty(),
+        }
+    }
+}
+
+/// The optional fourth control loop: storage-layer read capacity.
+struct RcuLoop {
+    controller: Box<dyn Controller>,
+    bounds: LayerBounds,
+    actions: u64,
+}
+
+fn layer_index(layer: Layer) -> usize {
+    match layer {
+        Layer::Ingestion => 0,
+        Layer::Analytics => 1,
+        Layer::Storage => 2,
+    }
+}
+
+/// Everything one elasticity episode produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeReport {
+    /// Offered arrival rate per second, per tick.
+    pub arrival_trace: Vec<(SimTime, f64)>,
+    /// Per-layer measurement traces (ingestion %, analytics CPU %,
+    /// storage write %) at tick resolution.
+    pub measurement_traces: [Vec<(SimTime, f64)>; 3],
+    /// Per-layer actuator traces (shards, VMs, WCU) at tick resolution.
+    pub actuator_traces: [Vec<(SimTime, f64)>; 3],
+    /// Total dollars spent.
+    pub total_cost_dollars: f64,
+    /// Records throttled at ingestion.
+    pub throttled_ingest: u64,
+    /// Items throttled at storage.
+    pub throttled_storage: u64,
+    /// Items successfully written at storage.
+    pub stored_items: u64,
+    /// Tuples dropped by the analytics backlog bound.
+    pub dropped_tuples: u64,
+    /// Records offered by the workload.
+    pub offered_records: u64,
+    /// Records accepted at ingestion.
+    pub accepted_records: u64,
+    /// Per-layer count of actuator *changes* applied.
+    pub scaling_actions: [u64; 3],
+    /// Per-layer count of rejected actuations.
+    pub rejected_actuations: [u64; 3],
+    /// Storage-layer read utilization trace (%, empty without a read
+    /// workload).
+    pub read_utilization_trace: Vec<(SimTime, f64)>,
+    /// Provisioned-RCU trace.
+    pub rcu_trace: Vec<(SimTime, f64)>,
+    /// Reads throttled at the storage layer.
+    pub throttled_reads: u64,
+    /// Scaling actions taken by the RCU loop.
+    pub rcu_actions: u64,
+}
+
+impl EpisodeReport {
+    fn empty() -> EpisodeReport {
+        EpisodeReport {
+            arrival_trace: Vec::new(),
+            measurement_traces: [Vec::new(), Vec::new(), Vec::new()],
+            actuator_traces: [Vec::new(), Vec::new(), Vec::new()],
+            total_cost_dollars: 0.0,
+            throttled_ingest: 0,
+            throttled_storage: 0,
+            stored_items: 0,
+            dropped_tuples: 0,
+            offered_records: 0,
+            accepted_records: 0,
+            scaling_actions: [0; 3],
+            rejected_actuations: [0; 3],
+            read_utilization_trace: Vec::new(),
+            rcu_trace: Vec::new(),
+            throttled_reads: 0,
+            rcu_actions: 0,
+        }
+    }
+
+    /// One layer's measurement trace.
+    pub fn measurements(&self, layer: Layer) -> &[(SimTime, f64)] {
+        &self.measurement_traces[layer_index(layer)]
+    }
+
+    /// One layer's actuator trace.
+    pub fn actuators(&self, layer: Layer) -> &[(SimTime, f64)] {
+        &self.actuator_traces[layer_index(layer)]
+    }
+
+    /// Fraction of offered records lost to ingestion throttling.
+    pub fn ingest_loss_rate(&self) -> f64 {
+        if self.offered_records == 0 {
+            0.0
+        } else {
+            self.throttled_ingest as f64 / self.offered_records as f64
+        }
+    }
+
+    /// Score one layer's measurement trace against a setpoint ± band.
+    pub fn response_metrics(&self, layer: Layer, setpoint: f64, band: f64) -> ResponseMetrics {
+        ResponseMetrics::of(self.measurements(layer), setpoint, band)
+    }
+
+    /// Scaling actions across all layers.
+    pub fn total_actions(&self) -> u64 {
+        self.scaling_actions.iter().sum()
+    }
+}
+
+/// The elasticity manager: workload + cloud + provisioning loops.
+pub struct ElasticityManager {
+    flow: FlowSpec,
+    engine: CloudEngine,
+    provisioning: ProvisioningManager,
+    process: Box<dyn ArrivalProcess>,
+    generator: ClickStreamGenerator,
+    monitoring_period: SimDuration,
+    now: SimTime,
+    controller_specs: [ControllerSpec; 3],
+    replanner: Option<Replanner>,
+    rcu_loop: Option<RcuLoop>,
+    report: EpisodeReport,
+}
+
+impl ElasticityManager {
+    /// Start building a manager for `flow`.
+    pub fn builder(flow: FlowSpec) -> ElasticityManagerBuilder {
+        ElasticityManagerBuilder::new(flow)
+    }
+
+    /// The flow under management.
+    pub fn flow(&self) -> &FlowSpec {
+        &self.flow
+    }
+
+    /// The simulated cloud (read access for dashboards).
+    pub fn engine(&self) -> &CloudEngine {
+        &self.engine
+    }
+
+    /// The controller spec of one layer.
+    pub fn controller_spec(&self, layer: Layer) -> &ControllerSpec {
+        &self.controller_specs[layer_index(layer)]
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Completed re-planning rounds (empty without a replanner).
+    pub fn replan_history(&self) -> &[ReplanOutcome] {
+        self.replanner.as_ref().map(|r| r.history()).unwrap_or(&[])
+    }
+
+    /// Run for `duration` (1-second ticks), extending any previous run.
+    /// Returns a clone of the cumulative report.
+    pub fn run_for(&mut self, duration: SimDuration) -> EpisodeReport {
+        let dt = SimDuration::from_secs(1);
+        let end = self.now + duration;
+        let mut prev_actuators = [
+            self.engine.kinesis().shards() as f64,
+            self.engine.storm().target_vms() as f64,
+            self.engine.dynamo().provisioned_wcu(),
+        ];
+        while self.now < end {
+            let rate = self.process.rate(self.now);
+            let records = self.generator.tick_at_rate(rate, self.now, 1.0);
+            self.report.offered_records += records.len() as u64;
+            self.report.arrival_trace.push((self.now, rate));
+
+            let tick = self.engine.tick(&records, self.now, dt);
+            self.report.accepted_records += tick.ingest.accepted;
+            self.report.throttled_ingest += tick.ingest.throttled;
+            self.report.throttled_storage += tick.write.throttled;
+            self.report.stored_items += tick.write.written;
+            self.report.dropped_tuples += tick.process.dropped;
+            self.report.total_cost_dollars += tick.cost;
+
+            self.report.measurement_traces[0]
+                .push((self.now, tick.ingest.utilization * 100.0));
+            self.report.measurement_traces[1].push((self.now, tick.process.cpu_pct));
+            self.report.measurement_traces[2]
+                .push((self.now, tick.write.utilization * 100.0));
+            self.report.throttled_reads += tick.read.throttled;
+            self.report
+                .read_utilization_trace
+                .push((self.now, tick.read.utilization * 100.0));
+            self.report
+                .rcu_trace
+                .push((self.now, self.engine.dynamo().provisioned_rcu()));
+
+            let actuators = [
+                self.engine.kinesis().shards() as f64,
+                self.engine.storm().target_vms() as f64,
+                self.engine.dynamo().provisioned_wcu(),
+            ];
+            for (i, &a) in actuators.iter().enumerate() {
+                self.report.actuator_traces[i].push((self.now, a));
+                if (a - prev_actuators[i]).abs() > 1e-9 {
+                    self.report.scaling_actions[i] += 1;
+                }
+            }
+            prev_actuators = actuators;
+
+            // Control rounds on the monitoring-period grid.
+            let next = self.now + dt;
+            if next.as_millis().is_multiple_of(self.monitoring_period.as_millis()) {
+                self.provisioning.step(&mut self.engine, next);
+            }
+            // The RCU loop shares the monitoring-period grid.
+            if next.as_millis().is_multiple_of(self.monitoring_period.as_millis()) {
+                if let Some(rcu) = &mut self.rcu_loop {
+                    let sensor = crate::provision::sensors::read_utilization(
+                        self.flow.storage.name(),
+                    );
+                    if let Some(measurement) =
+                        sensor.read(self.engine.metrics(), next, self.monitoring_period)
+                    {
+                        let commanded = rcu.controller.step(measurement);
+                        let desired = commanded.clamp(rcu.bounds.min, rcu.bounds.max);
+                        let applied = desired.round();
+                        let before = self.engine.dynamo().target_rcu();
+                        let accepted = self.engine.scale_rcu(applied, next).is_ok();
+                        let in_force = if accepted {
+                            desired
+                        } else {
+                            self.engine.dynamo().target_rcu()
+                        };
+                        rcu.controller.sync_actuator(in_force);
+                        if accepted && (applied - before).abs() > 1e-9 {
+                            rcu.actions += 1;
+                        }
+                    }
+                }
+            }
+            // Re-planning rounds at the (much slower) replanner cadence.
+            // A failed round (thin window, infeasible problem) leaves the
+            // previous bounds in force.
+            if let Some(replanner) = &mut self.replanner {
+                if replanner.is_due(next) {
+                    if let Ok(outcome) = replanner.replan(self.engine.metrics(), next) {
+                        let plan = &outcome.plan;
+                        for (layer, max_units) in [
+                            (Layer::Ingestion, plan.shards),
+                            (Layer::Analytics, plan.vms),
+                            (Layer::Storage, plan.wcu),
+                        ] {
+                            self.provisioning.set_bounds(layer, 1.0, max_units.max(1.0));
+                        }
+                    }
+                }
+            }
+            self.now = next;
+        }
+        for layer in Layer::ALL {
+            self.report.rejected_actuations[layer_index(layer)] =
+                self.provisioning.rejected(layer);
+        }
+        if let Some(rcu) = &self.rcu_loop {
+            self.report.rcu_actions = rcu.actions;
+        }
+        self.report.clone()
+    }
+
+    /// Run for `minutes` simulated minutes.
+    pub fn run_for_mins(&mut self, minutes: u64) -> EpisodeReport {
+        self.run_for(SimDuration::from_mins(minutes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::clickstream_flow;
+
+    fn manager(workload: Workload) -> ElasticityManager {
+        ElasticityManager::builder(clickstream_flow())
+            .workload(workload)
+            .seed(11)
+            .build()
+    }
+
+    #[test]
+    fn episode_records_everything() {
+        let mut m = manager(Workload::constant(1_000.0));
+        let report = m.run_for_mins(5);
+        assert_eq!(report.arrival_trace.len(), 300);
+        for layer in Layer::ALL {
+            assert_eq!(report.measurements(layer).len(), 300);
+            assert_eq!(report.actuators(layer).len(), 300);
+        }
+        assert!(report.total_cost_dollars > 0.0);
+        assert!(report.offered_records > 250_000);
+        assert!(report.accepted_records <= report.offered_records);
+        assert_eq!(m.now(), SimTime::from_mins(5));
+    }
+
+    #[test]
+    fn adaptive_manager_relieves_overload() {
+        // Start under-provisioned for 4,500 rec/s and let Flower scale.
+        let mut m = manager(Workload::constant(4_500.0));
+        let report = m.run_for_mins(20);
+        // Shards must have grown beyond the initial 2 (capacity 2,000/s).
+        let final_shards = report.actuators(Layer::Ingestion).last().unwrap().1;
+        assert!(final_shards > 2.0, "shards stuck at {final_shards}");
+        // And VMs beyond the initial 2.
+        let final_vms = report.actuators(Layer::Analytics).last().unwrap().1;
+        assert!(final_vms > 2.0, "vms stuck at {final_vms}");
+        // Loss rate must fall over time: compare first vs last 5 minutes
+        // of ingestion utilization (should approach the 70% setpoint).
+        let meas = report.measurements(Layer::Ingestion);
+        let early: f64 = meas[..60].iter().map(|&(_, v)| v).sum::<f64>() / 60.0;
+        let late: f64 =
+            meas[meas.len() - 300..].iter().map(|&(_, v)| v).sum::<f64>() / 300.0;
+        assert!(early > 100.0, "starts overloaded (util {early})");
+        assert!(late < 100.0, "ends relieved (util {late})");
+        assert!(report.total_actions() > 0);
+    }
+
+    #[test]
+    fn static_layers_never_scale() {
+        let mut m = ElasticityManager::builder(clickstream_flow())
+            .workload(Workload::constant(3_000.0))
+            .all_controllers(ControllerSpec::Static)
+            .seed(3)
+            .build();
+        let report = m.run_for_mins(5);
+        assert_eq!(report.total_actions(), 0);
+        assert_eq!(report.actuators(Layer::Ingestion).last().unwrap().1, 2.0);
+        assert_eq!(report.actuators(Layer::Storage).last().unwrap().1, 100.0);
+        // Under-provisioned static deployment keeps throttling.
+        assert!(report.ingest_loss_rate() > 0.2);
+    }
+
+    #[test]
+    fn scale_down_happens_when_load_drops() {
+        let mut m = ElasticityManager::builder(clickstream_flow())
+            .workload(Workload::step(4_000.0, 300.0, SimTime::from_mins(12)))
+            .seed(5)
+            .build();
+        let report = m.run_for_mins(40);
+        let shards_peak = report
+            .actuators(Layer::Ingestion)
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0, f64::max);
+        let shards_final = report.actuators(Layer::Ingestion).last().unwrap().1;
+        assert!(shards_peak >= 3.0, "peak shards {shards_peak}");
+        assert!(
+            shards_final < shards_peak,
+            "should scale back in: final {shards_final} vs peak {shards_peak}"
+        );
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let mut m = ElasticityManager::builder(clickstream_flow())
+            .workload(Workload::constant(8_000.0))
+            .bounds(Layer::Ingestion, 1.0, 4.0)
+            .seed(7)
+            .build();
+        let report = m.run_for_mins(15);
+        let max_shards = report
+            .actuators(Layer::Ingestion)
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0, f64::max);
+        assert!(max_shards <= 4.0, "bound violated: {max_shards}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut m = manager(Workload::diurnal(1_500.0, 1_000.0));
+            m.run_for_mins(10)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let mut m = ElasticityManager::builder(clickstream_flow())
+                .workload(Workload::constant(1_000.0))
+                .seed(seed)
+                .build();
+            m.run_for_mins(2)
+        };
+        assert_ne!(run(1).offered_records, run(2).offered_records);
+    }
+
+    #[test]
+    fn incremental_runs_accumulate() {
+        let mut m = manager(Workload::constant(500.0));
+        let first = m.run_for_mins(2);
+        let second = m.run_for_mins(2);
+        assert_eq!(first.arrival_trace.len(), 120);
+        assert_eq!(second.arrival_trace.len(), 240);
+        assert!(second.total_cost_dollars > first.total_cost_dollars);
+        assert_eq!(m.now(), SimTime::from_mins(4));
+    }
+
+    #[test]
+    fn response_metrics_are_computable() {
+        let mut m = manager(Workload::constant(2_000.0));
+        let report = m.run_for_mins(10);
+        let rm = report.response_metrics(Layer::Analytics, 60.0, 15.0);
+        assert!(rm.integral_abs_error >= 0.0);
+        assert!(rm.violation_rate >= 0.0 && rm.violation_rate <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "workload is required")]
+    fn missing_workload_panics() {
+        ElasticityManager::builder(clickstream_flow()).build();
+    }
+}

@@ -1,0 +1,70 @@
+//! The crate-wide error type.
+
+use flower_stats::StatsError;
+
+/// Errors surfaced by Flower's components.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowerError {
+    /// A flow definition was structurally invalid.
+    InvalidFlow(String),
+    /// A configuration value was out of range or inconsistent.
+    InvalidConfig(String),
+    /// The dependency analyzer could not fit a model.
+    Analysis(StatsError),
+    /// A requested metric does not exist (yet).
+    UnknownMetric(String),
+    /// The share analyzer found no feasible provisioning plan.
+    NoFeasiblePlan,
+}
+
+impl std::fmt::Display for FlowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowerError::InvalidFlow(msg) => write!(f, "invalid flow: {msg}"),
+            FlowerError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            FlowerError::Analysis(e) => write!(f, "dependency analysis failed: {e}"),
+            FlowerError::UnknownMetric(id) => write!(f, "unknown metric: {id}"),
+            FlowerError::NoFeasiblePlan => {
+                write!(f, "no feasible provisioning plan within the budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowerError::Analysis(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for FlowerError {
+    fn from(e: StatsError) -> Self {
+        FlowerError::Analysis(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(FlowerError::InvalidFlow("no ingestion".into())
+            .to_string()
+            .contains("no ingestion"));
+        assert!(FlowerError::NoFeasiblePlan.to_string().contains("budget"));
+        let err: FlowerError = StatsError::ZeroVariance.into();
+        assert!(err.to_string().contains("zero variance"));
+    }
+
+    #[test]
+    fn source_is_wired() {
+        use std::error::Error;
+        let err: FlowerError = StatsError::ZeroVariance.into();
+        assert!(err.source().is_some());
+        assert!(FlowerError::NoFeasiblePlan.source().is_none());
+    }
+}

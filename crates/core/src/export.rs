@@ -1,0 +1,148 @@
+//! CSV export of episode artifacts.
+//!
+//! Experiment binaries and downstream plotting tools consume episodes as
+//! flat CSV: one row per simulated second with every trace column, plus
+//! a compact summary. Hand-rolled writers keep the dependency set small;
+//! the format round-trips through [`flower_workload::RateTrace`]-style
+//! parsing and ordinary spreadsheet tools.
+
+use std::io::Write;
+
+use crate::elasticity::EpisodeReport;
+use crate::flow::Layer;
+
+/// Write the per-tick traces of an episode as CSV.
+///
+/// Columns: `t_seconds, arrival_rate, ingest_util_pct, shards,
+/// cpu_pct, vms, write_util_pct, wcu, read_util_pct, rcu`.
+pub fn episode_to_csv<W: Write>(report: &EpisodeReport, mut w: W) -> std::io::Result<()> {
+    writeln!(
+        w,
+        "t_seconds,arrival_rate,ingest_util_pct,shards,cpu_pct,vms,write_util_pct,wcu,read_util_pct,rcu"
+    )?;
+    let n = report.arrival_trace.len();
+    for i in 0..n {
+        let (t, arrival) = report.arrival_trace[i];
+        let get = |trace: &[(flower_sim::SimTime, f64)]| {
+            trace.get(i).map(|&(_, v)| v).unwrap_or(f64::NAN)
+        };
+        writeln!(
+            w,
+            "{},{arrival},{},{},{},{},{},{},{},{}",
+            t.as_secs(),
+            get(report.measurements(Layer::Ingestion)),
+            get(report.actuators(Layer::Ingestion)),
+            get(report.measurements(Layer::Analytics)),
+            get(report.actuators(Layer::Analytics)),
+            get(report.measurements(Layer::Storage)),
+            get(report.actuators(Layer::Storage)),
+            get(&report.read_utilization_trace),
+            get(&report.rcu_trace),
+        )?;
+    }
+    Ok(())
+}
+
+/// Write the episode's scalar summary as a two-column `key,value` CSV.
+pub fn summary_to_csv<W: Write>(report: &EpisodeReport, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "key,value")?;
+    writeln!(w, "offered_records,{}", report.offered_records)?;
+    writeln!(w, "accepted_records,{}", report.accepted_records)?;
+    writeln!(w, "throttled_ingest,{}", report.throttled_ingest)?;
+    writeln!(w, "throttled_storage,{}", report.throttled_storage)?;
+    writeln!(w, "throttled_reads,{}", report.throttled_reads)?;
+    writeln!(w, "dropped_tuples,{}", report.dropped_tuples)?;
+    writeln!(w, "total_cost_dollars,{}", report.total_cost_dollars)?;
+    writeln!(w, "ingest_loss_rate,{}", report.ingest_loss_rate())?;
+    for layer in Layer::ALL {
+        writeln!(
+            w,
+            "scaling_actions_{},{}",
+            layer.label(),
+            report.scaling_actions[match layer {
+                Layer::Ingestion => 0,
+                Layer::Analytics => 1,
+                Layer::Storage => 2,
+            }]
+        )?;
+    }
+    writeln!(w, "rcu_actions,{}", report.rcu_actions)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ControllerSpec;
+    use crate::flow::clickstream_flow;
+    use crate::prelude::*;
+
+    fn small_report() -> EpisodeReport {
+        let mut manager = ElasticityManager::builder(clickstream_flow())
+            .workload(Workload::constant(800.0))
+            .all_controllers(ControllerSpec::Static)
+            .seed(3)
+            .build();
+        manager.run_for_mins(2)
+    }
+
+    #[test]
+    fn episode_csv_has_header_and_all_rows() {
+        let report = small_report();
+        let mut buf = Vec::new();
+        episode_to_csv(&report, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + 120, "header + one row per second");
+        assert!(lines[0].starts_with("t_seconds,arrival_rate"));
+        assert_eq!(lines[0].split(',').count(), 10);
+        // Every data row parses as numbers.
+        for row in &lines[1..] {
+            for cell in row.split(',') {
+                cell.parse::<f64>().unwrap_or_else(|_| panic!("bad cell {cell}"));
+            }
+        }
+        // Time column counts up in seconds.
+        assert!(lines[1].starts_with("0,"));
+        assert!(lines[120].starts_with("119,"));
+    }
+
+    #[test]
+    fn summary_csv_contains_all_keys() {
+        let report = small_report();
+        let mut buf = Vec::new();
+        summary_to_csv(&report, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for key in [
+            "offered_records",
+            "accepted_records",
+            "throttled_ingest",
+            "throttled_storage",
+            "throttled_reads",
+            "dropped_tuples",
+            "total_cost_dollars",
+            "ingest_loss_rate",
+            "scaling_actions_ingestion",
+            "scaling_actions_analytics",
+            "scaling_actions_storage",
+            "rcu_actions",
+        ] {
+            assert!(text.contains(&format!("{key},")), "missing {key}");
+        }
+        assert_eq!(text.lines().count(), 13);
+    }
+
+    #[test]
+    fn csv_values_match_report() {
+        let report = small_report();
+        let mut buf = Vec::new();
+        summary_to_csv(&report, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("offered_records,"))
+            .unwrap();
+        let value: u64 = line.split(',').nth(1).unwrap().parse().unwrap();
+        assert_eq!(value, report.offered_records);
+    }
+}

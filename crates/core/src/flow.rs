@@ -1,0 +1,380 @@
+//! Flow definition — the programmatic equivalent of the demo's drag-and-
+//! drop **Flow Builder** (§4 step 1, Fig. 5).
+//!
+//! A flow names one platform per layer; [`FlowBuilder`] validates the
+//! combination and [`FlowSpec::engine_config`] materializes the simulated
+//! cloud deployment the elasticity manager runs against.
+
+use flower_cloud::{DynamoConfig, EngineConfig, KinesisConfig, StormConfig, Topology};
+
+use crate::error::FlowerError;
+
+/// The three layers of a data analytics flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Layer {
+    /// Stream ingestion (Kinesis in the paper's demo).
+    Ingestion,
+    /// Stream analytics (Storm on EC2).
+    Analytics,
+    /// Result storage (DynamoDB).
+    Storage,
+}
+
+impl Layer {
+    /// All layers in pipeline order.
+    pub const ALL: [Layer; 3] = [Layer::Ingestion, Layer::Analytics, Layer::Storage];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Layer::Ingestion => "ingestion",
+            Layer::Analytics => "analytics",
+            Layer::Storage => "storage",
+        }
+    }
+
+    /// The resource unit this layer scales, as the paper names them.
+    pub fn resource_unit(self) -> &'static str {
+        match self {
+            Layer::Ingestion => "shards",
+            Layer::Analytics => "VMs",
+            Layer::Storage => "write capacity units",
+        }
+    }
+}
+
+impl std::fmt::Display for Layer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A platform dropped onto the canvas: which service, its name, and its
+/// initial capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Platform {
+    /// A Kinesis-like stream with an initial shard count.
+    Kinesis {
+        /// Stream name.
+        name: String,
+        /// Initial shards.
+        shards: u32,
+    },
+    /// A Storm-like cluster with an initial VM count.
+    Storm {
+        /// Cluster name.
+        name: String,
+        /// Initial VMs.
+        vms: u32,
+    },
+    /// A DynamoDB-like table with initial write capacity.
+    Dynamo {
+        /// Table name.
+        name: String,
+        /// Initial write capacity units.
+        wcu: f64,
+    },
+}
+
+impl Platform {
+    /// A Kinesis-like stream.
+    pub fn kinesis(name: impl Into<String>, shards: u32) -> Platform {
+        Platform::Kinesis {
+            name: name.into(),
+            shards,
+        }
+    }
+
+    /// A Storm-like cluster.
+    pub fn storm(name: impl Into<String>, vms: u32) -> Platform {
+        Platform::Storm {
+            name: name.into(),
+            vms,
+        }
+    }
+
+    /// A DynamoDB-like table.
+    pub fn dynamo(name: impl Into<String>, wcu: f64) -> Platform {
+        Platform::Dynamo {
+            name: name.into(),
+            wcu,
+        }
+    }
+
+    /// Which layer this platform can serve.
+    pub fn layer(&self) -> Layer {
+        match self {
+            Platform::Kinesis { .. } => Layer::Ingestion,
+            Platform::Storm { .. } => Layer::Analytics,
+            Platform::Dynamo { .. } => Layer::Storage,
+        }
+    }
+
+    /// The platform's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            Platform::Kinesis { name, .. }
+            | Platform::Storm { name, .. }
+            | Platform::Dynamo { name, .. } => name,
+        }
+    }
+}
+
+/// A validated three-layer flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSpec {
+    /// Flow name.
+    pub name: String,
+    /// Ingestion platform.
+    pub ingestion: Platform,
+    /// Analytics platform.
+    pub analytics: Platform,
+    /// Storage platform.
+    pub storage: Platform,
+}
+
+impl FlowSpec {
+    /// The platform serving `layer`.
+    pub fn platform(&self, layer: Layer) -> &Platform {
+        match layer {
+            Layer::Ingestion => &self.ingestion,
+            Layer::Analytics => &self.analytics,
+            Layer::Storage => &self.storage,
+        }
+    }
+
+    /// Materialize the simulated cloud deployment for this flow.
+    pub fn engine_config(&self) -> EngineConfig {
+        let (stream_name, shards) = match &self.ingestion {
+            Platform::Kinesis { name, shards } => (name.clone(), *shards),
+            _ => unreachable!("validated by the builder"),
+        };
+        let (cluster_name, vms) = match &self.analytics {
+            Platform::Storm { name, vms } => (name.clone(), *vms),
+            _ => unreachable!("validated by the builder"),
+        };
+        let (table_name, wcu) = match &self.storage {
+            Platform::Dynamo { name, wcu } => (name.clone(), *wcu),
+            _ => unreachable!("validated by the builder"),
+        };
+        EngineConfig {
+            kinesis: KinesisConfig {
+                name: stream_name,
+                initial_shards: shards,
+                ..Default::default()
+            },
+            storm: StormConfig {
+                name: cluster_name,
+                initial_vms: vms,
+                ..Default::default()
+            },
+            dynamo: DynamoConfig {
+                name: table_name,
+                initial_wcu: wcu,
+                ..Default::default()
+            },
+            topology: Topology::clickstream(),
+            ..Default::default()
+        }
+    }
+}
+
+/// Fluent builder mirroring the demo's drag-and-drop canvas.
+#[derive(Debug, Clone, Default)]
+pub struct FlowBuilder {
+    name: String,
+    ingestion: Option<Platform>,
+    analytics: Option<Platform>,
+    storage: Option<Platform>,
+}
+
+impl FlowBuilder {
+    /// Start a flow with the given name.
+    pub fn new(name: impl Into<String>) -> FlowBuilder {
+        FlowBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Drop a platform onto the ingestion layer.
+    pub fn ingestion(mut self, platform: Platform) -> FlowBuilder {
+        self.ingestion = Some(platform);
+        self
+    }
+
+    /// Drop a platform onto the analytics layer.
+    pub fn analytics(mut self, platform: Platform) -> FlowBuilder {
+        self.analytics = Some(platform);
+        self
+    }
+
+    /// Drop a platform onto the storage layer.
+    pub fn storage(mut self, platform: Platform) -> FlowBuilder {
+        self.storage = Some(platform);
+        self
+    }
+
+    /// Validate and produce the flow.
+    ///
+    /// Checks: every layer is populated, each platform sits on a layer it
+    /// can serve, names are non-empty and unique, and initial capacities
+    /// are positive.
+    pub fn build(self) -> Result<FlowSpec, FlowerError> {
+        if self.name.trim().is_empty() {
+            return Err(FlowerError::InvalidFlow("flow name is empty".into()));
+        }
+        let ingestion = self
+            .ingestion
+            .ok_or_else(|| FlowerError::InvalidFlow("ingestion layer is empty".into()))?;
+        let analytics = self
+            .analytics
+            .ok_or_else(|| FlowerError::InvalidFlow("analytics layer is empty".into()))?;
+        let storage = self
+            .storage
+            .ok_or_else(|| FlowerError::InvalidFlow("storage layer is empty".into()))?;
+
+        for (expected, platform) in [
+            (Layer::Ingestion, &ingestion),
+            (Layer::Analytics, &analytics),
+            (Layer::Storage, &storage),
+        ] {
+            if platform.layer() != expected {
+                return Err(FlowerError::InvalidFlow(format!(
+                    "platform '{}' cannot serve the {expected} layer",
+                    platform.name()
+                )));
+            }
+            if platform.name().trim().is_empty() {
+                return Err(FlowerError::InvalidFlow(format!(
+                    "{expected} platform has an empty name"
+                )));
+            }
+        }
+        let names = [ingestion.name(), analytics.name(), storage.name()];
+        if names[0] == names[1] || names[0] == names[2] || names[1] == names[2] {
+            return Err(FlowerError::InvalidFlow("platform names must be unique".into()));
+        }
+        if let Platform::Kinesis { shards: 0, .. } = ingestion {
+            return Err(FlowerError::InvalidFlow("stream needs at least one shard".into()))
+        }
+        if let Platform::Storm { vms: 0, .. } = analytics {
+            return Err(FlowerError::InvalidFlow("cluster needs at least one VM".into()));
+        }
+        if let Platform::Dynamo { wcu, .. } = storage {
+            if wcu < 1.0 {
+                return Err(FlowerError::InvalidFlow("table needs at least 1 WCU".into()));
+            }
+        }
+
+        Ok(FlowSpec {
+            name: self.name,
+            ingestion,
+            analytics,
+            storage,
+        })
+    }
+}
+
+/// The paper's demo flow (Fig. 1): Kinesis → Storm → DynamoDB with small
+/// initial capacities.
+pub fn clickstream_flow() -> FlowSpec {
+    FlowBuilder::new("clickstream-analytics")
+        .ingestion(Platform::kinesis("clicks", 2))
+        .analytics(Platform::storm("counter", 2))
+        .storage(Platform::dynamo("aggregates", 100.0))
+        .build()
+        .expect("the reference flow is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_flow_builds() {
+        let flow = clickstream_flow();
+        assert_eq!(flow.name, "clickstream-analytics");
+        assert_eq!(flow.platform(Layer::Ingestion).name(), "clicks");
+        assert_eq!(flow.platform(Layer::Analytics).name(), "counter");
+        assert_eq!(flow.platform(Layer::Storage).name(), "aggregates");
+    }
+
+    #[test]
+    fn engine_config_propagates_capacities() {
+        let cfg = clickstream_flow().engine_config();
+        assert_eq!(cfg.kinesis.initial_shards, 2);
+        assert_eq!(cfg.kinesis.name, "clicks");
+        assert_eq!(cfg.storm.initial_vms, 2);
+        assert_eq!(cfg.dynamo.initial_wcu, 100.0);
+    }
+
+    #[test]
+    fn missing_layers_rejected() {
+        let err = FlowBuilder::new("x")
+            .ingestion(Platform::kinesis("a", 1))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, FlowerError::InvalidFlow(ref m) if m.contains("analytics")));
+    }
+
+    #[test]
+    fn wrong_layer_platform_rejected() {
+        let err = FlowBuilder::new("x")
+            .ingestion(Platform::storm("a", 1))
+            .analytics(Platform::storm("b", 1))
+            .storage(Platform::dynamo("c", 10.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, FlowerError::InvalidFlow(ref m) if m.contains("cannot serve")));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = FlowBuilder::new("x")
+            .ingestion(Platform::kinesis("same", 1))
+            .analytics(Platform::storm("same", 1))
+            .storage(Platform::dynamo("c", 10.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, FlowerError::InvalidFlow(ref m) if m.contains("unique")));
+    }
+
+    #[test]
+    fn zero_capacities_rejected() {
+        let base = || {
+            FlowBuilder::new("x")
+                .ingestion(Platform::kinesis("a", 1))
+                .analytics(Platform::storm("b", 1))
+                .storage(Platform::dynamo("c", 10.0))
+        };
+        assert!(base().ingestion(Platform::kinesis("a", 0)).build().is_err());
+        assert!(base().analytics(Platform::storm("b", 0)).build().is_err());
+        assert!(base().storage(Platform::dynamo("c", 0.5)).build().is_err());
+    }
+
+    #[test]
+    fn empty_names_rejected() {
+        assert!(FlowBuilder::new("  ")
+            .ingestion(Platform::kinesis("a", 1))
+            .analytics(Platform::storm("b", 1))
+            .storage(Platform::dynamo("c", 10.0))
+            .build()
+            .is_err());
+        assert!(FlowBuilder::new("x")
+            .ingestion(Platform::kinesis("", 1))
+            .analytics(Platform::storm("b", 1))
+            .storage(Platform::dynamo("c", 10.0))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn layer_metadata() {
+        assert_eq!(Layer::Ingestion.resource_unit(), "shards");
+        assert_eq!(Layer::Analytics.resource_unit(), "VMs");
+        assert_eq!(Layer::Storage.resource_unit(), "write capacity units");
+        assert_eq!(Layer::ALL.len(), 3);
+        assert_eq!(Layer::Analytics.to_string(), "analytics");
+    }
+}

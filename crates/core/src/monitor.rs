@@ -1,0 +1,410 @@
+//! Cross-Platform Monitoring — paper §3.4.
+//!
+//! "Flower introduces a module called all-in-one-place visualizer, which
+//! allows users to visually define a monitoring layer on top of multiple
+//! systems. The module calls the APIs of the systems, such as CloudWatch
+//! and Storm, and consolidates diverse performance measures in an
+//! integrated user interface."
+//!
+//! [`CrossPlatformMonitor`] is that consolidation layer: it snapshots
+//! every registered metric across all service namespaces in one call and
+//! renders the result as a text table (the simulated stand-in for the
+//! demo GUI of Fig. 6).
+
+use flower_cloud::alarms::{Alarm, AlarmSet, AlarmState, AlarmTransition, Comparison};
+use flower_cloud::{MetricId, MetricsStore, Statistic};
+use flower_sim::{SimDuration, SimTime};
+
+use crate::flow::Layer;
+
+/// One consolidated row: a metric's window statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorRow {
+    /// The layer the metric belongs to.
+    pub layer: Layer,
+    /// The metric.
+    pub metric: MetricId,
+    /// Most recent value.
+    pub latest: f64,
+    /// Window average.
+    pub average: f64,
+    /// Window minimum.
+    pub minimum: f64,
+    /// Window maximum.
+    pub maximum: f64,
+    /// Datapoints in the window.
+    pub samples: usize,
+}
+
+/// A point-in-time consolidated view across all layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorSnapshot {
+    /// When the snapshot was taken.
+    pub at: SimTime,
+    /// Window the statistics cover.
+    pub window: SimDuration,
+    /// One row per metric with data.
+    pub rows: Vec<MonitorRow>,
+}
+
+impl MonitorSnapshot {
+    /// Rows of one layer.
+    pub fn layer_rows(&self, layer: Layer) -> Vec<&MonitorRow> {
+        self.rows.iter().filter(|r| r.layer == layer).collect()
+    }
+
+    /// Find a row by metric name (first match).
+    pub fn row(&self, metric_name: &str) -> Option<&MonitorRow> {
+        self.rows.iter().find(|r| r.metric.metric == metric_name)
+    }
+
+    /// Render as an aligned text table — the all-in-one-place view.
+    /// Alarm states, when provided, are appended below the metric rows.
+    pub fn to_table_with_alarms(&self, alarms: &AlarmSet) -> String {
+        let mut out = self.to_table();
+        if !alarms.is_empty() {
+            out.push_str("alarms:\n");
+            let firing = alarms.firing();
+            if firing.is_empty() {
+                out.push_str("  (none firing)\n");
+            }
+            for a in firing {
+                out.push_str(&format!("  {} -> {}\n", a.name, AlarmState::Alarm));
+            }
+        }
+        out
+    }
+
+    /// Render as an aligned text table — the all-in-one-place view.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "=== Flower cross-platform monitor @ {} (window {}) ===\n",
+            self.at, self.window
+        ));
+        out.push_str(&format!(
+            "{:<10} {:<45} {:>12} {:>12} {:>12} {:>12} {:>8}\n",
+            "layer", "metric", "latest", "avg", "min", "max", "samples"
+        ));
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<10} {:<45} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>8}\n",
+                row.layer.label(),
+                row.metric.to_string(),
+                row.latest,
+                row.average,
+                row.minimum,
+                row.maximum,
+                row.samples
+            ));
+        }
+        out
+    }
+}
+
+/// The consolidating monitor.
+#[derive(Debug, Clone)]
+pub struct CrossPlatformMonitor {
+    registered: Vec<(Layer, MetricId)>,
+    alarms: AlarmSet,
+}
+
+impl CrossPlatformMonitor {
+    /// An empty monitor.
+    pub fn new() -> CrossPlatformMonitor {
+        CrossPlatformMonitor {
+            registered: Vec::new(),
+            alarms: AlarmSet::new(),
+        }
+    }
+
+    /// Attach a metric alarm to the consolidated view; alarms are
+    /// evaluated on every [`CrossPlatformMonitor::observe`] call.
+    pub fn add_alarm(&mut self, alarm: Alarm) {
+        self.alarms.add(alarm);
+    }
+
+    /// The alarm set (states, firing list, transition history).
+    pub fn alarms(&self) -> &AlarmSet {
+        &self.alarms
+    }
+
+    /// Evaluate all attached alarms at `now`, returning this round's
+    /// state transitions.
+    pub fn observe(&mut self, store: &MetricsStore, now: SimTime) -> Vec<AlarmTransition> {
+        self.alarms.evaluate(store, now)
+    }
+
+    /// Register a metric under a layer. Duplicates are ignored.
+    pub fn register(&mut self, layer: Layer, metric: MetricId) {
+        if !self.registered.iter().any(|(_, m)| *m == metric) {
+            self.registered.push((layer, metric));
+        }
+    }
+
+    /// Register every headline metric of the click-stream flow.
+    pub fn for_clickstream(stream: &str, cluster: &str, table: &str) -> CrossPlatformMonitor {
+        use flower_cloud::engine::metric_names::*;
+        let mut monitor = CrossPlatformMonitor::new();
+        for name in [INCOMING_RECORDS, WRITE_THROTTLED, SHARD_UTILIZATION, OPEN_SHARDS] {
+            monitor.register(Layer::Ingestion, MetricId::new(NS_KINESIS, name, stream));
+        }
+        for name in [CPU_UTILIZATION, TUPLES_PROCESSED, BACKLOG, PROCESS_LATENCY, RUNNING_VMS] {
+            monitor.register(Layer::Analytics, MetricId::new(NS_STORM, name, cluster));
+        }
+        for name in [
+            CONSUMED_WCU,
+            DYNAMO_THROTTLED,
+            WRITE_UTILIZATION,
+            PROVISIONED_WCU,
+            CONSUMED_RCU,
+            DYNAMO_READ_THROTTLED,
+            READ_UTILIZATION,
+            PROVISIONED_RCU,
+        ] {
+            monitor.register(Layer::Storage, MetricId::new(NS_DYNAMO, name, table));
+        }
+        // Default health alarms, one per layer (1-minute average over two
+        // consecutive evaluations, CloudWatch-style).
+        let minute = SimDuration::from_secs(60);
+        monitor.add_alarm(Alarm::new(
+            "ingestion-throttling",
+            MetricId::new(NS_KINESIS, WRITE_THROTTLED, stream),
+            Statistic::Sum,
+            minute,
+            Comparison::GreaterThan,
+            0.0,
+            2,
+        ));
+        monitor.add_alarm(Alarm::new(
+            "analytics-cpu-high",
+            MetricId::new(NS_STORM, CPU_UTILIZATION, cluster),
+            Statistic::Average,
+            minute,
+            Comparison::GreaterThan,
+            85.0,
+            2,
+        ));
+        monitor.add_alarm(Alarm::new(
+            "storage-throttling",
+            MetricId::new(NS_DYNAMO, DYNAMO_THROTTLED, table),
+            Statistic::Sum,
+            minute,
+            Comparison::GreaterThan,
+            0.0,
+            2,
+        ));
+        monitor
+    }
+
+    /// Registered metric count.
+    pub fn len(&self) -> usize {
+        self.registered.len()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.registered.is_empty()
+    }
+
+    /// Take a consolidated snapshot over `[now − window, now)`. Metrics
+    /// without datapoints in the window are omitted.
+    pub fn snapshot(
+        &self,
+        store: &MetricsStore,
+        now: SimTime,
+        window: SimDuration,
+    ) -> MonitorSnapshot {
+        let from = now - window;
+        let mut rows = Vec::new();
+        for (layer, metric) in &self.registered {
+            let pts = store.raw(metric, from, now);
+            if pts.is_empty() {
+                continue;
+            }
+            let avg = store
+                .window_stat(metric, Statistic::Average, from, now)
+                .expect("non-empty window");
+            let min = store
+                .window_stat(metric, Statistic::Minimum, from, now)
+                .expect("non-empty window");
+            let max = store
+                .window_stat(metric, Statistic::Maximum, from, now)
+                .expect("non-empty window");
+            rows.push(MonitorRow {
+                layer: *layer,
+                metric: metric.clone(),
+                latest: pts.last().expect("non-empty").1,
+                average: avg,
+                minimum: min,
+                maximum: max,
+                samples: pts.len(),
+            });
+        }
+        MonitorSnapshot {
+            at: now,
+            window,
+            rows,
+        }
+    }
+}
+
+impl Default for CrossPlatformMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flower_cloud::{CloudEngine, EngineConfig};
+    use flower_sim::SimRng;
+    use flower_workload::{ClickStreamConfig, ClickStreamGenerator, ConstantRate};
+
+    fn populated_engine() -> CloudEngine {
+        let mut e = CloudEngine::new(EngineConfig::default());
+        let mut generator =
+            ClickStreamGenerator::new(ClickStreamConfig::default(), SimRng::seed(1));
+        let mut process = ConstantRate::new(1_000.0);
+        for s in 0..120u64 {
+            let now = SimTime::from_secs(s);
+            let records = generator.tick(&mut process, now, 1.0);
+            e.tick(&records, now, SimDuration::from_secs(1));
+        }
+        e
+    }
+
+    #[test]
+    fn clickstream_monitor_covers_all_layers() {
+        let m = CrossPlatformMonitor::for_clickstream("clickstream", "storm-cluster", "click-aggregates");
+        assert_eq!(m.len(), 17);
+        assert!(!m.is_empty());
+        let e = populated_engine();
+        let snap = m.snapshot(e.metrics(), SimTime::from_secs(120), SimDuration::from_mins(2));
+        assert_eq!(snap.rows.len(), 17, "all metrics have data");
+        assert_eq!(snap.layer_rows(Layer::Ingestion).len(), 4);
+        assert_eq!(snap.layer_rows(Layer::Analytics).len(), 5);
+        assert_eq!(snap.layer_rows(Layer::Storage).len(), 8);
+    }
+
+    #[test]
+    fn snapshot_statistics_are_consistent() {
+        let m = CrossPlatformMonitor::for_clickstream("clickstream", "storm-cluster", "click-aggregates");
+        let e = populated_engine();
+        let snap = m.snapshot(e.metrics(), SimTime::from_secs(120), SimDuration::from_mins(1));
+        for row in &snap.rows {
+            assert!(row.minimum <= row.average + 1e-9, "{row:?}");
+            assert!(row.average <= row.maximum + 1e-9, "{row:?}");
+            assert!(row.latest >= row.minimum - 1e-9 && row.latest <= row.maximum + 1e-9);
+            assert_eq!(row.samples, 60);
+        }
+    }
+
+    #[test]
+    fn row_lookup_by_name() {
+        let m = CrossPlatformMonitor::for_clickstream("clickstream", "storm-cluster", "click-aggregates");
+        let e = populated_engine();
+        let snap = m.snapshot(e.metrics(), SimTime::from_secs(120), SimDuration::from_mins(1));
+        let cpu = snap.row("CpuUtilization").expect("cpu row");
+        assert!(cpu.average > 4.8);
+        assert!(snap.row("NoSuchMetric").is_none());
+    }
+
+    #[test]
+    fn empty_window_omits_rows() {
+        let m = CrossPlatformMonitor::for_clickstream("clickstream", "storm-cluster", "click-aggregates");
+        let e = populated_engine();
+        // A window entirely in the future of the data.
+        let snap = m.snapshot(
+            e.metrics(),
+            SimTime::from_hours(3),
+            SimDuration::from_mins(1),
+        );
+        assert!(snap.rows.is_empty());
+    }
+
+    #[test]
+    fn duplicate_registration_ignored() {
+        let mut m = CrossPlatformMonitor::new();
+        let id = MetricId::new("ns", "m", "r");
+        m.register(Layer::Ingestion, id.clone());
+        m.register(Layer::Ingestion, id);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn default_alarms_fire_under_stress() {
+        use flower_cloud::alarms::AlarmState;
+        // An overloaded tiny deployment: ingestion throttles immediately.
+        let mut e = CloudEngine::new(EngineConfig {
+            kinesis: flower_cloud::KinesisConfig {
+                initial_shards: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let mut generator =
+            ClickStreamGenerator::new(ClickStreamConfig::default(), SimRng::seed(2));
+        let mut process = ConstantRate::new(3_000.0);
+        let mut m = CrossPlatformMonitor::for_clickstream(
+            "clickstream",
+            "storm-cluster",
+            "click-aggregates",
+        );
+        let mut transitions = Vec::new();
+        for s in 0..300u64 {
+            let now = SimTime::from_secs(s);
+            let records = generator.tick(&mut process, now, 1.0);
+            e.tick(&records, now, SimDuration::from_secs(1));
+            if s % 60 == 59 {
+                transitions.extend(m.observe(e.metrics(), now + SimDuration::from_secs(1)));
+            }
+        }
+        assert_eq!(
+            m.alarms().state("ingestion-throttling"),
+            Some(AlarmState::Alarm),
+            "throttling alarm must fire"
+        );
+        assert!(!transitions.is_empty());
+        let table = {
+            let snap = m.snapshot(
+                e.metrics(),
+                SimTime::from_secs(300),
+                SimDuration::from_mins(2),
+            );
+            snap.to_table_with_alarms(m.alarms())
+        };
+        assert!(table.contains("ingestion-throttling -> ALARM"), "{table}");
+    }
+
+    #[test]
+    fn healthy_flow_keeps_alarms_ok() {
+        use flower_cloud::alarms::AlarmState;
+        let e = populated_engine(); // 1,000 rec/s on the default deployment
+        let mut m = CrossPlatformMonitor::for_clickstream(
+            "clickstream",
+            "storm-cluster",
+            "click-aggregates",
+        );
+        for minute in 1..=2u64 {
+            m.observe(e.metrics(), SimTime::from_secs(minute * 60));
+        }
+        assert_eq!(m.alarms().state("analytics-cpu-high"), Some(AlarmState::Ok));
+        assert!(m.alarms().firing().is_empty());
+        let snap = m.snapshot(e.metrics(), SimTime::from_secs(120), SimDuration::from_mins(2));
+        assert!(snap.to_table_with_alarms(m.alarms()).contains("(none firing)"));
+    }
+
+    #[test]
+    fn table_renders_every_row() {
+        let m = CrossPlatformMonitor::for_clickstream("clickstream", "storm-cluster", "click-aggregates");
+        let e = populated_engine();
+        let snap = m.snapshot(e.metrics(), SimTime::from_secs(120), SimDuration::from_mins(1));
+        let table = snap.to_table();
+        assert!(table.contains("CpuUtilization"));
+        assert!(table.contains("ingestion"));
+        assert!(table.contains("storage"));
+        assert_eq!(table.lines().count(), 2 + snap.rows.len());
+    }
+}

@@ -1,0 +1,441 @@
+//! Resource Provisioning — paper §3.3.
+//!
+//! One sensor → controller → actuator loop per layer. "The sensor module
+//! is responsible for providing resource usage stats as per the specified
+//! monitoring window. The actuator is capable of executing the
+//! controllers' commands, such as adding or removing VMs and increasing
+//! or decreasing number of Shards." (§2)
+//!
+//! The [`ProvisioningManager`] owns the three loops and steps them every
+//! monitoring period against the simulated cloud. Actuator commands are
+//! rounded to deployable units, clamped to the bounds the share analysis
+//! produced, and — crucially — the applied value is synced back into the
+//! controller so it never winds up against a limit it cannot cross.
+
+use flower_cloud::{CloudEngine, MetricId, MetricsStore, Statistic};
+use flower_control::Controller;
+use flower_sim::{SimDuration, SimTime};
+
+use crate::flow::Layer;
+
+/// What a layer's sensor reads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorSpec {
+    /// The metric to read.
+    pub metric: MetricId,
+    /// The statistic over the monitoring window.
+    pub statistic: Statistic,
+    /// Multiplier applied to the raw statistic (e.g. 100 to convert a
+    /// fraction into a percentage so controller setpoints read
+    /// naturally).
+    pub scale: f64,
+}
+
+impl SensorSpec {
+    /// Read the sensor over `[now − window, now)`.
+    /// `None` when the window holds no datapoints yet.
+    pub fn read(
+        &self,
+        store: &MetricsStore,
+        now: SimTime,
+        window: SimDuration,
+    ) -> Option<f64> {
+        store
+            .window_stat(&self.metric, self.statistic, now - window, now)
+            .map(|v| v * self.scale)
+    }
+}
+
+/// One layer's control loop configuration.
+pub struct LayerControllerConfig {
+    /// Which layer this loop manages.
+    pub layer: Layer,
+    /// The controller (any [`Controller`] implementation).
+    pub controller: Box<dyn Controller>,
+    /// The sensor feeding it.
+    pub sensor: SensorSpec,
+    /// Minimum deployable units (share-analysis lower bound).
+    pub min_units: f64,
+    /// Maximum deployable units (share-analysis upper bound — "once the
+    /// upper bound resource shares for each layer are identified, an
+    /// adaptive controller at each of the three layers automatically
+    /// adjusts resource allocations of that layer", §2).
+    pub max_units: f64,
+}
+
+/// A record of one actuation decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActuationRecord {
+    /// When the decision was taken.
+    pub at: SimTime,
+    /// The sensor reading that drove it.
+    pub measurement: f64,
+    /// The controller's raw (continuous) command.
+    pub commanded: f64,
+    /// What was actually applied after rounding/clamping.
+    pub applied: f64,
+    /// Whether the cloud accepted the actuation.
+    pub accepted: bool,
+}
+
+/// One layer's running control loop.
+struct LayerLoop {
+    config: LayerControllerConfig,
+    history: Vec<ActuationRecord>,
+    rejected: u64,
+}
+
+/// The per-layer provisioning manager.
+pub struct ProvisioningManager {
+    loops: Vec<LayerLoop>,
+    window: SimDuration,
+}
+
+impl ProvisioningManager {
+    /// Build a manager stepping each configured layer with the given
+    /// monitoring window.
+    pub fn new(configs: Vec<LayerControllerConfig>, window: SimDuration) -> ProvisioningManager {
+        assert!(!window.is_zero(), "monitoring window must be non-zero");
+        for c in &configs {
+            assert!(
+                c.min_units >= 1.0 && c.min_units <= c.max_units,
+                "invalid bounds for {}: [{}, {}]",
+                c.layer,
+                c.min_units,
+                c.max_units
+            );
+        }
+        ProvisioningManager {
+            loops: configs
+                .into_iter()
+                .map(|config| LayerLoop {
+                    config,
+                    history: Vec::new(),
+                    rejected: 0,
+                })
+                .collect(),
+            window,
+        }
+    }
+
+    /// The monitoring window.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// The layers under management.
+    pub fn layers(&self) -> Vec<Layer> {
+        self.loops.iter().map(|l| l.config.layer).collect()
+    }
+
+    /// Actuation history of one layer.
+    pub fn history(&self, layer: Layer) -> &[ActuationRecord] {
+        self.loops
+            .iter()
+            .find(|l| l.config.layer == layer)
+            .map(|l| l.history.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Rejected actuations (cloud said no: reshard in progress, decrease
+    /// limit, …) for one layer.
+    pub fn rejected(&self, layer: Layer) -> u64 {
+        self.loops
+            .iter()
+            .find(|l| l.config.layer == layer)
+            .map(|l| l.rejected)
+            .unwrap_or(0)
+    }
+
+    /// Update one layer's actuator bounds at runtime — how the
+    /// replanner's fresh resource shares reach the §3.3 loops. Returns
+    /// `false` when the layer is not under management.
+    pub fn set_bounds(&mut self, layer: Layer, min_units: f64, max_units: f64) -> bool {
+        assert!(
+            min_units >= 1.0 && min_units <= max_units,
+            "invalid bounds for {layer}: [{min_units}, {max_units}]"
+        );
+        match self.loops.iter_mut().find(|l| l.config.layer == layer) {
+            Some(l) => {
+                l.config.min_units = min_units;
+                l.config.max_units = max_units;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run one control round against the engine at time `now`:
+    /// read each sensor, step each controller, apply each actuation.
+    /// Returns the records of this round (one per layer that had data).
+    pub fn step(&mut self, engine: &mut CloudEngine, now: SimTime) -> Vec<ActuationRecord> {
+        let mut records = Vec::with_capacity(self.loops.len());
+        for l in &mut self.loops {
+            let Some(measurement) = l.config.sensor.read(engine.metrics(), now, self.window)
+            else {
+                continue; // no data yet — skip this round
+            };
+            let commanded = l.config.controller.step(measurement);
+            // The continuous command, clamped to the share bounds; the
+            // deployment gets its rounding.
+            let desired = commanded.clamp(l.config.min_units, l.config.max_units);
+            let applied = desired.round();
+
+            let accepted = match l.config.layer {
+                Layer::Ingestion => engine.scale_shards(applied as u32, now).is_ok(),
+                Layer::Analytics => engine.scale_vms(applied as u32, now).is_ok(),
+                Layer::Storage => engine.scale_wcu(applied, now).is_ok(),
+            };
+            if !accepted {
+                l.rejected += 1;
+            }
+            // Sync the controller with reality while preserving sub-unit
+            // integral progress: when accepted, sync to the *continuous*
+            // clamped command (anti-windup at the bounds only — rounding
+            // is the deployment's concern, and syncing to the rounded
+            // value would erase small accumulating adjustments). When
+            // rejected, sync to the deployment's current target so an
+            // in-flight change stays visible to the controller.
+            let in_force = if accepted {
+                desired
+            } else {
+                match l.config.layer {
+                    Layer::Ingestion => engine.kinesis().target_shards() as f64,
+                    Layer::Analytics => engine.storm().target_vms() as f64,
+                    Layer::Storage => engine.dynamo().target_wcu(),
+                }
+            };
+            l.config.controller.sync_actuator(in_force);
+
+            let record = ActuationRecord {
+                at: now,
+                measurement,
+                commanded,
+                applied: in_force,
+                accepted,
+            };
+            l.history.push(record);
+            records.push(record);
+        }
+        records
+    }
+}
+
+/// Standard sensors for the paper's click-stream flow.
+pub mod sensors {
+    use super::SensorSpec;
+    use flower_cloud::engine::metric_names::*;
+    use flower_cloud::{MetricId, Statistic};
+
+    /// Ingestion: average stream utilization over the window, as %.
+    pub fn shard_utilization(stream: &str) -> SensorSpec {
+        SensorSpec {
+            metric: MetricId::new(NS_KINESIS, SHARD_UTILIZATION, stream),
+            statistic: Statistic::Average,
+            scale: 100.0,
+        }
+    }
+
+    /// Analytics: average cluster CPU% over the window.
+    pub fn cpu_utilization(cluster: &str) -> SensorSpec {
+        SensorSpec {
+            metric: MetricId::new(NS_STORM, CPU_UTILIZATION, cluster),
+            statistic: Statistic::Average,
+            scale: 1.0,
+        }
+    }
+
+    /// Storage: average write utilization over the window, as %.
+    pub fn write_utilization(table: &str) -> SensorSpec {
+        SensorSpec {
+            metric: MetricId::new(NS_DYNAMO, WRITE_UTILIZATION, table),
+            statistic: Statistic::Average,
+            scale: 100.0,
+        }
+    }
+
+    /// Ingestion, enhanced shard-level monitoring: the *hottest* shard's
+    /// utilization (window maximum), as %. Under skewed partition keys
+    /// this sensor sees saturation the stream-level average hides.
+    pub fn hot_shard_utilization(stream: &str) -> SensorSpec {
+        SensorSpec {
+            metric: MetricId::new(NS_KINESIS, MAX_SHARD_UTILIZATION, stream),
+            statistic: Statistic::Maximum,
+            scale: 100.0,
+        }
+    }
+
+    /// Storage: average read utilization over the window, as %.
+    pub fn read_utilization(table: &str) -> SensorSpec {
+        SensorSpec {
+            metric: MetricId::new(NS_DYNAMO, READ_UTILIZATION, table),
+            statistic: Statistic::Average,
+            scale: 100.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flower_cloud::{CloudEngine, EngineConfig};
+    use flower_control::{AdaptiveConfig, AdaptiveController};
+    use flower_sim::SimRng;
+    use flower_workload::{ClickStreamConfig, ClickStreamGenerator, ConstantRate};
+
+    fn engine() -> CloudEngine {
+        CloudEngine::new(EngineConfig::default())
+    }
+
+    fn drive(engine: &mut CloudEngine, rate: f64, from_secs: u64, to_secs: u64, seed: u64) {
+        let mut generator =
+            ClickStreamGenerator::new(ClickStreamConfig::default(), SimRng::seed(seed));
+        let mut process = ConstantRate::new(rate);
+        for s in from_secs..to_secs {
+            let now = SimTime::from_secs(s);
+            let records = generator.tick(&mut process, now, 1.0);
+            engine.tick(&records, now, SimDuration::from_secs(1));
+        }
+    }
+
+    fn analytics_loop() -> LayerControllerConfig {
+        LayerControllerConfig {
+            layer: Layer::Analytics,
+            controller: Box::new(AdaptiveController::new(AdaptiveConfig {
+                setpoint: 60.0,
+                u_init: 2.0,
+                gamma: 0.01,
+                l_min: 0.01,
+                l_max: 1.0,
+                l_init: 0.05,
+                gain_memory: true,
+                memory_len: 32,
+            })),
+            sensor: sensors::cpu_utilization("storm-cluster"),
+            min_units: 1.0,
+            max_units: 50.0,
+        }
+    }
+
+    #[test]
+    fn sensor_reads_window_average() {
+        let mut e = engine();
+        drive(&mut e, 1_000.0, 0, 60, 1);
+        let sensor = sensors::cpu_utilization("storm-cluster");
+        let v = sensor
+            .read(e.metrics(), SimTime::from_secs(60), SimDuration::from_secs(30))
+            .unwrap();
+        assert!(v > 4.8 && v < 100.0, "cpu={v}");
+    }
+
+    #[test]
+    fn sensor_scale_is_applied() {
+        let mut e = engine();
+        drive(&mut e, 1_000.0, 0, 10, 2);
+        let raw = sensors::shard_utilization("clickstream");
+        let v = raw
+            .read(e.metrics(), SimTime::from_secs(10), SimDuration::from_secs(10))
+            .unwrap();
+        // 1,000 rec/s on 2 shards = 50% utilization after the ×100 scale.
+        assert!((v - 50.0).abs() < 10.0, "utilization={v}");
+    }
+
+    #[test]
+    fn empty_window_reads_none() {
+        let e = engine();
+        let sensor = sensors::cpu_utilization("storm-cluster");
+        assert_eq!(
+            sensor.read(e.metrics(), SimTime::from_secs(60), SimDuration::from_secs(30)),
+            None
+        );
+    }
+
+    #[test]
+    fn manager_scales_out_under_load() {
+        let mut e = engine();
+        let mut manager =
+            ProvisioningManager::new(vec![analytics_loop()], SimDuration::from_secs(30));
+        // Overload: 2 VMs serve 5,000 tuples/s; offer ~4,800 → cpu ≈ 96%.
+        let mut generator =
+            ClickStreamGenerator::new(ClickStreamConfig::default(), SimRng::seed(3));
+        // 6 shards so Kinesis passes the load through.
+        e.scale_shards(6, SimTime::ZERO).unwrap();
+        let mut process = ConstantRate::new(4_800.0);
+        for s in 0..600u64 {
+            let now = SimTime::from_secs(s);
+            let records = generator.tick(&mut process, now, 1.0);
+            e.tick(&records, now, SimDuration::from_secs(1));
+            if s % 30 == 29 {
+                manager.step(&mut e, now);
+            }
+        }
+        assert!(
+            e.storm().target_vms() > 2,
+            "should have scaled out, still at {}",
+            e.storm().target_vms()
+        );
+        let history = manager.history(Layer::Analytics);
+        assert!(!history.is_empty());
+        assert!(history.iter().all(|r| r.accepted));
+    }
+
+    #[test]
+    fn manager_skips_rounds_without_data() {
+        let mut e = engine();
+        let mut manager =
+            ProvisioningManager::new(vec![analytics_loop()], SimDuration::from_secs(30));
+        let records = manager.step(&mut e, SimTime::from_secs(30));
+        assert!(records.is_empty());
+        assert!(manager.history(Layer::Analytics).is_empty());
+    }
+
+    #[test]
+    fn actuation_is_clamped_to_bounds() {
+        let mut e = engine();
+        let mut cfg = analytics_loop();
+        cfg.max_units = 3.0;
+        let mut manager = ProvisioningManager::new(vec![cfg], SimDuration::from_secs(10));
+        e.scale_shards(8, SimTime::ZERO).unwrap();
+        let mut generator =
+            ClickStreamGenerator::new(ClickStreamConfig::default(), SimRng::seed(4));
+        let mut process = ConstantRate::new(7_000.0);
+        for s in 0..600u64 {
+            let now = SimTime::from_secs(s);
+            let records = generator.tick(&mut process, now, 1.0);
+            e.tick(&records, now, SimDuration::from_secs(1));
+            if s % 10 == 9 {
+                manager.step(&mut e, now);
+            }
+        }
+        assert!(e.storm().target_vms() <= 3, "clamped at 3 VMs");
+        let history = manager.history(Layer::Analytics);
+        assert!(history.iter().all(|r| r.applied <= 3.0));
+        // The raw command should exceed the clamp under this overload.
+        assert!(history.iter().any(|r| r.commanded > 3.0));
+    }
+
+    #[test]
+    fn layers_listed() {
+        let manager =
+            ProvisioningManager::new(vec![analytics_loop()], SimDuration::from_secs(30));
+        assert_eq!(manager.layers(), vec![Layer::Analytics]);
+        assert_eq!(manager.window(), SimDuration::from_secs(30));
+        assert_eq!(manager.rejected(Layer::Analytics), 0);
+        assert!(manager.history(Layer::Storage).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "monitoring window must be non-zero")]
+    fn zero_window_rejected() {
+        ProvisioningManager::new(vec![], SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bounds")]
+    fn inverted_bounds_rejected() {
+        let mut cfg = analytics_loop();
+        cfg.min_units = 10.0;
+        cfg.max_units = 2.0;
+        ProvisioningManager::new(vec![cfg], SimDuration::from_secs(30));
+    }
+}

@@ -1,0 +1,436 @@
+//! Resource Share Analysis — paper §3.2.
+//!
+//! "Given the budget and estimated dependencies between workloads, what
+//! would be the maximum share of resources for each layer?" Flower casts
+//! this as the multi-objective program of Eqs. 3–5:
+//!
+//! ```text
+//! max (r_I, r_A, r_S)
+//! s.t.  Σ_d r_I·c_d + Σ_d r_A·c_d + Σ_d r_S·c_d ≤ Bud_t      (budget)
+//!       r_L1 = β0 + β1·r_L2 + ε                              (dependencies)
+//! ```
+//!
+//! and searches the plan space with NSGA-II. This module provides the
+//! problem encoding ([`ShareProblem`]), the analyzer driving the solver
+//! ([`ShareAnalyzer`]), and the worked example of the paper's Fig. 4
+//! (constraints `5·r_A ≥ r_I`, `2·r_A ≤ r_I`, `2·r_I ≤ r_S`), whose
+//! distinct integer-resolution Pareto plans reproduce the "six Pareto
+//! optimal solutions" the demo reports.
+
+use flower_cloud::PriceList;
+use flower_nsga2::{Nsga2, Nsga2Config, Problem};
+
+use crate::error::FlowerError;
+use crate::flow::Layer;
+
+/// A linear inequality over the share vector `(r_I, r_A, r_S)`:
+/// `coeffs · r + constant ≤ 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Coefficients on `(r_I, r_A, r_S)`.
+    pub coeffs: [f64; 3],
+    /// Constant term.
+    pub constant: f64,
+    /// Human-readable form for reports.
+    pub label: String,
+}
+
+impl Constraint {
+    /// `lhs_coeff·r[lhs] ≤ rhs_coeff·r[rhs]`, e.g. `2·r_A ≤ r_I`.
+    pub fn ratio(
+        lhs_coeff: f64,
+        lhs: Layer,
+        rhs_coeff: f64,
+        rhs: Layer,
+    ) -> Constraint {
+        let mut coeffs = [0.0; 3];
+        coeffs[layer_index(lhs)] += lhs_coeff;
+        coeffs[layer_index(rhs)] -= rhs_coeff;
+        Constraint {
+            coeffs,
+            constant: 0.0,
+            label: format!(
+                "{lhs_coeff}*r_{} <= {rhs_coeff}*r_{}",
+                layer_symbol(lhs),
+                layer_symbol(rhs)
+            ),
+        }
+    }
+
+    /// A regression-learned dependency (Eq. 5) as a banded equality:
+    /// `|r[target] − (β0 + β1·r[source])| ≤ tolerance`, expressed as two
+    /// inequalities. Returns both.
+    pub fn equality_band(
+        target: Layer,
+        source: Layer,
+        slope: f64,
+        intercept: f64,
+        tolerance: f64,
+    ) -> [Constraint; 2] {
+        assert!(tolerance >= 0.0, "tolerance must be non-negative");
+        let t = layer_index(target);
+        let s = layer_index(source);
+        // r_t − β1·r_s − β0 − tol ≤ 0
+        let mut up = [0.0; 3];
+        up[t] += 1.0;
+        up[s] -= slope;
+        // −r_t + β1·r_s + β0 − tol ≤ 0
+        let mut down = [0.0; 3];
+        down[t] -= 1.0;
+        down[s] += slope;
+        [
+            Constraint {
+                coeffs: up,
+                constant: -intercept - tolerance,
+                label: format!(
+                    "r_{} <= {slope}*r_{} + {intercept} + {tolerance}",
+                    layer_symbol(target),
+                    layer_symbol(source)
+                ),
+            },
+            Constraint {
+                coeffs: down,
+                constant: intercept - tolerance,
+                label: format!(
+                    "r_{} >= {slope}*r_{} + {intercept} - {tolerance}",
+                    layer_symbol(target),
+                    layer_symbol(source)
+                ),
+            },
+        ]
+    }
+
+    /// Violation magnitude at the share vector `r` (0 when satisfied).
+    pub fn violation(&self, r: &[f64; 3]) -> f64 {
+        (self.coeffs[0] * r[0] + self.coeffs[1] * r[1] + self.coeffs[2] * r[2] + self.constant)
+            .max(0.0)
+    }
+}
+
+fn layer_index(layer: Layer) -> usize {
+    match layer {
+        Layer::Ingestion => 0,
+        Layer::Analytics => 1,
+        Layer::Storage => 2,
+    }
+}
+
+fn layer_symbol(layer: Layer) -> &'static str {
+    match layer {
+        Layer::Ingestion => "I",
+        Layer::Analytics => "A",
+        Layer::Storage => "S",
+    }
+}
+
+/// One provisioning plan: the resource shares of the three layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceShares {
+    /// Kinesis shards (ingestion).
+    pub shards: f64,
+    /// Storm VMs (analytics).
+    pub vms: f64,
+    /// DynamoDB write capacity units (storage).
+    pub wcu: f64,
+    /// Hourly cost of the plan in dollars.
+    pub hourly_cost: f64,
+}
+
+impl ResourceShares {
+    /// The share of `layer`.
+    pub fn of(&self, layer: Layer) -> f64 {
+        match layer {
+            Layer::Ingestion => self.shards,
+            Layer::Analytics => self.vms,
+            Layer::Storage => self.wcu,
+        }
+    }
+
+    /// Round to deployable integer units.
+    pub fn rounded(&self) -> (u32, u32, u32) {
+        (
+            self.shards.round().max(1.0) as u32,
+            self.vms.round().max(1.0) as u32,
+            self.wcu.round().max(1.0) as u32,
+        )
+    }
+}
+
+/// The NSGA-II encoding of the share problem.
+#[derive(Debug, Clone)]
+pub struct ShareProblem {
+    /// Hourly budget in dollars (Eq. 4's `Bud_t`).
+    pub budget: f64,
+    /// Unit prices (`c_d`).
+    pub prices: PriceList,
+    /// Dependency constraints (Eq. 5).
+    pub constraints: Vec<Constraint>,
+    /// Upper bound per layer `(r_I, r_A, r_S)`.
+    pub upper_bounds: [f64; 3],
+}
+
+impl ShareProblem {
+    /// The worked example of §3.2 / Fig. 4: constraints `5·r_A ≥ r_I`,
+    /// `2·r_A ≤ r_I`, `2·r_I ≤ r_S`, 2017 list prices.
+    pub fn worked_example(budget: f64) -> ShareProblem {
+        ShareProblem {
+            budget,
+            prices: PriceList::default(),
+            constraints: vec![
+                // 5·r_A ≥ r_I  ⇔  r_I − 5·r_A ≤ 0
+                Constraint::ratio(1.0, Layer::Ingestion, 5.0, Layer::Analytics),
+                // 2·r_A ≤ r_I
+                Constraint::ratio(2.0, Layer::Analytics, 1.0, Layer::Ingestion),
+                // 2·r_I ≤ r_S
+                Constraint::ratio(2.0, Layer::Ingestion, 1.0, Layer::Storage),
+            ],
+            upper_bounds: [100.0, 50.0, 5_000.0],
+        }
+    }
+
+    /// Hourly cost of a share vector.
+    pub fn cost(&self, r: &[f64; 3]) -> f64 {
+        self.prices.hourly_cost(r[0], r[1], r[2], 0.0)
+    }
+}
+
+impl Problem for ShareProblem {
+    fn n_vars(&self) -> usize {
+        3
+    }
+
+    fn n_objectives(&self) -> usize {
+        3
+    }
+
+    fn n_constraints(&self) -> usize {
+        1 + self.constraints.len()
+    }
+
+    fn bounds(&self, i: usize) -> (f64, f64) {
+        (1.0, self.upper_bounds[i])
+    }
+
+    fn evaluate(&self, x: &[f64], out: &mut [f64]) {
+        // Maximize each share → minimize its negation.
+        out[0] = -x[0];
+        out[1] = -x[1];
+        out[2] = -x[2];
+    }
+
+    fn constraints(&self, x: &[f64], out: &mut [f64]) {
+        let r = [x[0], x[1], x[2]];
+        out[0] = (self.cost(&r) - self.budget).max(0.0);
+        for (i, c) in self.constraints.iter().enumerate() {
+            out[i + 1] = c.violation(&r);
+        }
+    }
+}
+
+/// Drives NSGA-II over a [`ShareProblem`] and post-processes the front
+/// into deployable plans.
+#[derive(Debug, Clone)]
+pub struct ShareAnalyzer {
+    problem: ShareProblem,
+    config: Nsga2Config,
+}
+
+impl ShareAnalyzer {
+    /// Analyzer with the reference NSGA-II settings (pop 100, gen 250).
+    pub fn new(problem: ShareProblem) -> ShareAnalyzer {
+        ShareAnalyzer {
+            problem,
+            config: Nsga2Config::default(),
+        }
+    }
+
+    /// Override the NSGA-II settings.
+    pub fn with_config(mut self, config: Nsga2Config) -> ShareAnalyzer {
+        self.config = config;
+        self
+    }
+
+    /// The wrapped problem.
+    pub fn problem(&self) -> &ShareProblem {
+        &self.problem
+    }
+
+    /// Run the optimizer and return the distinct feasible Pareto plans at
+    /// integer resolution, sorted by hourly cost descending (the
+    /// "maximum shares" first). Errors with
+    /// [`FlowerError::NoFeasiblePlan`] when nothing feasible was found.
+    pub fn solve(&self) -> Result<Vec<ResourceShares>, FlowerError> {
+        let result = Nsga2::new(self.problem.clone(), self.config).run();
+        let mut seen: Vec<(u32, u32, u32)> = Vec::new();
+        let mut plans = Vec::new();
+        for ind in result.pareto_front() {
+            if !ind.is_feasible() {
+                continue;
+            }
+            let shares = ResourceShares {
+                shards: ind.genes[0],
+                vms: ind.genes[1],
+                wcu: ind.genes[2],
+                hourly_cost: self
+                    .problem
+                    .cost(&[ind.genes[0], ind.genes[1], ind.genes[2]]),
+            };
+            let key = shares.rounded();
+            // The rounded plan must stay within budget and (near-)satisfy
+            // every dependency constraint — integer rounding can push a
+            // feasible continuous plan across a ratio constraint. Since
+            // rounding moves each variable by at most 0.5, a violation of
+            // up to `0.5·Σ|coeffs|` is a pure rounding artifact and is
+            // tolerated; anything larger means the continuous plan was
+            // near-infeasible and is dropped.
+            let rounded = [key.0 as f64, key.1 as f64, key.2 as f64];
+            let rounded_cost = self.problem.cost(&rounded);
+            if rounded_cost > self.problem.budget + 1e-9 {
+                continue;
+            }
+            if self.problem.constraints.iter().any(|c| {
+                let rounding_slack = 0.5 * c.coeffs.iter().map(|v| v.abs()).sum::<f64>();
+                c.violation(&rounded) > rounding_slack + 1e-9
+            }) {
+                continue;
+            }
+            if !seen.contains(&key) {
+                seen.push(key);
+                plans.push(ResourceShares {
+                    shards: key.0 as f64,
+                    vms: key.1 as f64,
+                    wcu: key.2 as f64,
+                    hourly_cost: rounded_cost,
+                });
+            }
+        }
+        if plans.is_empty() {
+            return Err(FlowerError::NoFeasiblePlan);
+        }
+        plans.sort_by(|a, b| {
+            b.hourly_cost
+                .partial_cmp(&a.hourly_cost)
+                .expect("finite costs")
+        });
+        Ok(plans)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyzer(budget: f64) -> ShareAnalyzer {
+        ShareAnalyzer::new(ShareProblem::worked_example(budget)).with_config(Nsga2Config {
+            population: 80,
+            generations: 120,
+            seed: 42,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn worked_example_produces_feasible_front() {
+        let plans = analyzer(1.0).solve().unwrap();
+        assert!(!plans.is_empty());
+        let p = ShareProblem::worked_example(1.0);
+        for plan in &plans {
+            let r = [plan.shards, plan.vms, plan.wcu];
+            assert!(p.cost(&r) <= 1.0 + 1e-9, "over budget: {plan:?}");
+            for c in &p.constraints {
+                // Integer plans may carry up to half a unit of rounding
+                // slack per variable (see `ShareAnalyzer::solve`).
+                let slack = 0.5 * c.coeffs.iter().map(|v| v.abs()).sum::<f64>();
+                assert!(
+                    c.violation(&r) <= slack + 1e-9,
+                    "constraint '{}' violated by {plan:?}",
+                    c.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn front_is_small_and_distinct() {
+        let plans = analyzer(1.0).solve().unwrap();
+        // The paper reports six Pareto-optimal plans for its instance; at
+        // integer resolution ours must be a similar handful, all unique.
+        assert!(plans.len() >= 2, "front collapsed: {}", plans.len());
+        assert!(plans.len() <= 60, "front exploded: {}", plans.len());
+        let mut keys: Vec<_> = plans.iter().map(|p| p.rounded()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), plans.len(), "duplicate plans");
+    }
+
+    #[test]
+    fn budget_binds_the_best_plans() {
+        let plans = analyzer(1.0).solve().unwrap();
+        // The costliest plan should spend most of the budget: these are
+        // *maximum* shares.
+        assert!(plans[0].hourly_cost > 0.8, "best plan spends {}", plans[0].hourly_cost);
+    }
+
+    #[test]
+    fn bigger_budget_buys_bigger_shares() {
+        let small = analyzer(0.5).solve().unwrap();
+        let large = analyzer(2.0).solve().unwrap();
+        let max_vms =
+            |plans: &[ResourceShares]| plans.iter().map(|p| p.vms).fold(0.0, f64::max);
+        assert!(max_vms(&large) > max_vms(&small));
+    }
+
+    #[test]
+    fn impossible_budget_errors() {
+        // Cheapest possible plan is (1, 1, 2) ≈ $0.116/h; a lower budget
+        // must be infeasible.
+        let err = analyzer(0.05).solve().unwrap_err();
+        assert_eq!(err, FlowerError::NoFeasiblePlan);
+    }
+
+    #[test]
+    fn ratio_constraint_violation() {
+        // 2·r_A ≤ r_I
+        let c = Constraint::ratio(2.0, Layer::Analytics, 1.0, Layer::Ingestion);
+        assert_eq!(c.violation(&[10.0, 5.0, 0.0]), 0.0, "2·5 = 10 ≤ 10");
+        assert!((c.violation(&[10.0, 6.0, 0.0]) - 2.0).abs() < 1e-12, "2·6 − 10 = 2");
+        assert!(c.label.contains("r_A"));
+    }
+
+    #[test]
+    fn equality_band_constraints() {
+        // r_A = 0.5·r_I + 1 ± 0.5
+        let [up, down] =
+            Constraint::equality_band(Layer::Analytics, Layer::Ingestion, 0.5, 1.0, 0.5);
+        // Inside the band: r_I = 10 → r_A ∈ [5.5, 6.5].
+        assert_eq!(up.violation(&[10.0, 6.0, 0.0]), 0.0);
+        assert_eq!(down.violation(&[10.0, 6.0, 0.0]), 0.0);
+        // Above the band.
+        assert!(up.violation(&[10.0, 7.0, 0.0]) > 0.0);
+        assert_eq!(down.violation(&[10.0, 7.0, 0.0]), 0.0);
+        // Below the band.
+        assert_eq!(up.violation(&[10.0, 5.0, 0.0]), 0.0);
+        assert!(down.violation(&[10.0, 5.0, 0.0]) > 0.0);
+    }
+
+    #[test]
+    fn shares_accessors() {
+        let s = ResourceShares {
+            shards: 4.4,
+            vms: 2.6,
+            wcu: 100.2,
+            hourly_cost: 0.5,
+        };
+        assert_eq!(s.of(Layer::Ingestion), 4.4);
+        assert_eq!(s.of(Layer::Analytics), 2.6);
+        assert_eq!(s.of(Layer::Storage), 100.2);
+        assert_eq!(s.rounded(), (4, 3, 100));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = analyzer(1.0).solve().unwrap();
+        let b = analyzer(1.0).solve().unwrap();
+        assert_eq!(a, b);
+    }
+}

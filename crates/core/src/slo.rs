@@ -1,0 +1,344 @@
+//! Service Level Objectives.
+//!
+//! The paper frames the whole system around SLOs: "Resource allocation
+//! thus needs to cater for diverse resource requirements and their cost
+//! dimensions to meet the users' Service Level Objectives (SLOs)" (§1),
+//! and the demo lets attendees "compare their impacts on SLOs" (§4).
+//! This module makes the objective a first-class value: an [`SloSpec`]
+//! declares what the user promises, [`SloSpec::evaluate`] scores a
+//! finished [`EpisodeReport`] against it, and the resulting [`SloReport`]
+//! says which objectives held, which broke, and by how much.
+
+use crate::elasticity::EpisodeReport;
+use crate::flow::Layer;
+
+/// One service-level objective over an episode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Objective {
+    /// At most this fraction of offered records may be lost at ingestion
+    /// (e.g. `0.01` = 99 % delivery).
+    MaxIngestLossRate(f64),
+    /// At most this fraction of storage writes may be throttled.
+    MaxStorageThrottleRate(f64),
+    /// A layer's measurement must stay within `setpoint ± band` for at
+    /// least `min_attainment` of the episode (utilization SLO).
+    UtilizationBand {
+        /// The layer measured.
+        layer: Layer,
+        /// Band centre.
+        setpoint: f64,
+        /// Band half-width.
+        band: f64,
+        /// Required in-band fraction of samples (e.g. 0.9).
+        min_attainment: f64,
+    },
+    /// Total episode cost must not exceed this many dollars.
+    MaxCost(f64),
+    /// The analytics backlog must never exceed this many tuples
+    /// (a processing-latency proxy).
+    MaxBacklog(u64),
+}
+
+impl Objective {
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Objective::MaxIngestLossRate(r) => format!("ingest loss <= {:.2}%", r * 100.0),
+            Objective::MaxStorageThrottleRate(r) => {
+                format!("storage throttle <= {:.2}%", r * 100.0)
+            }
+            Objective::UtilizationBand {
+                layer,
+                setpoint,
+                band,
+                min_attainment,
+            } => format!(
+                "{layer} within {setpoint}±{band} for >= {:.0}%",
+                min_attainment * 100.0
+            ),
+            Objective::MaxCost(d) => format!("cost <= ${d:.2}"),
+            Objective::MaxBacklog(n) => format!("backlog <= {n} tuples"),
+        }
+    }
+}
+
+/// The outcome of evaluating one objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectiveOutcome {
+    /// The objective.
+    pub objective: Objective,
+    /// Whether it held.
+    pub met: bool,
+    /// The measured value the objective was compared against.
+    pub measured: f64,
+    /// The threshold it was compared to.
+    pub threshold: f64,
+}
+
+impl ObjectiveOutcome {
+    /// Margin to the threshold: positive = headroom, negative = breach
+    /// magnitude (in the objective's own unit).
+    pub fn margin(&self) -> f64 {
+        self.threshold - self.measured
+    }
+}
+
+/// A set of objectives — the user's service promise for a flow.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SloSpec {
+    objectives: Vec<Objective>,
+}
+
+impl SloSpec {
+    /// An empty spec (always met).
+    pub fn new() -> SloSpec {
+        SloSpec::default()
+    }
+
+    /// Add an objective (builder style).
+    pub fn with(mut self, objective: Objective) -> SloSpec {
+        self.objectives.push(objective);
+        self
+    }
+
+    /// A sensible default promise for the click-stream demo flow:
+    /// 99 % ingest delivery, 98 % storage writes, analytics CPU within
+    /// 60 ± 25 for 80 % of the episode.
+    pub fn clickstream_default() -> SloSpec {
+        SloSpec::new()
+            .with(Objective::MaxIngestLossRate(0.01))
+            .with(Objective::MaxStorageThrottleRate(0.02))
+            .with(Objective::UtilizationBand {
+                layer: Layer::Analytics,
+                setpoint: 60.0,
+                band: 25.0,
+                min_attainment: 0.8,
+            })
+    }
+
+    /// Number of objectives.
+    pub fn len(&self) -> usize {
+        self.objectives.len()
+    }
+
+    /// Whether the spec is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objectives.is_empty()
+    }
+
+    /// Score an episode against every objective.
+    pub fn evaluate(&self, report: &EpisodeReport) -> SloReport {
+        let outcomes = self
+            .objectives
+            .iter()
+            .map(|o| evaluate_objective(o, report))
+            .collect();
+        SloReport { outcomes }
+    }
+}
+
+fn evaluate_objective(objective: &Objective, report: &EpisodeReport) -> ObjectiveOutcome {
+    let (measured, threshold) = match objective {
+        Objective::MaxIngestLossRate(r) => (report.ingest_loss_rate(), *r),
+        Objective::MaxStorageThrottleRate(r) => {
+            // Throttle rate over attempted writes.
+            let attempted = report.stored_items + report.throttled_storage;
+            let rate = if attempted == 0 {
+                0.0
+            } else {
+                report.throttled_storage as f64 / attempted as f64
+            };
+            (rate, *r)
+        }
+        Objective::UtilizationBand {
+            layer,
+            setpoint,
+            band,
+            min_attainment,
+        } => {
+            let samples = report.measurements(*layer);
+            if samples.is_empty() {
+                (0.0, *min_attainment)
+            } else {
+                let in_band = samples
+                    .iter()
+                    .filter(|&&(_, v)| (v - setpoint).abs() <= *band)
+                    .count();
+                (in_band as f64 / samples.len() as f64, *min_attainment)
+            }
+        }
+        Objective::MaxCost(d) => (report.total_cost_dollars, *d),
+        Objective::MaxBacklog(limit) => {
+            // Backlog is not traced directly in the report; the latency
+            // proxy is dropped tuples (backlog bound breaches).
+            (report.dropped_tuples as f64, *limit as f64)
+        }
+    };
+    let met = match objective {
+        // "At most" objectives: measured must not exceed the threshold.
+        Objective::MaxIngestLossRate(_)
+        | Objective::MaxStorageThrottleRate(_)
+        | Objective::MaxCost(_) => measured <= threshold + 1e-12,
+        // Attainment objectives: measured must reach the threshold.
+        Objective::UtilizationBand { .. } => measured >= threshold - 1e-12,
+        // Backlog: any drop is a breach.
+        Objective::MaxBacklog(limit) => report.dropped_tuples <= *limit,
+    };
+    ObjectiveOutcome {
+        objective: objective.clone(),
+        met,
+        measured,
+        threshold,
+    }
+}
+
+/// The scored promise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// One outcome per objective, in spec order.
+    pub outcomes: Vec<ObjectiveOutcome>,
+}
+
+impl SloReport {
+    /// Whether every objective held.
+    pub fn all_met(&self) -> bool {
+        self.outcomes.iter().all(|o| o.met)
+    }
+
+    /// The objectives that broke.
+    pub fn breaches(&self) -> Vec<&ObjectiveOutcome> {
+        self.outcomes.iter().filter(|o| !o.met).collect()
+    }
+
+    /// Render as an aligned text summary.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from("SLO report:\n");
+        for o in &self.outcomes {
+            out.push_str(&format!(
+                "  [{}] {:<45} measured {:.4} vs {:.4}\n",
+                if o.met { "MET " } else { "MISS" },
+                o.objective.label(),
+                o.measured,
+                o.threshold
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ControllerSpec;
+    use crate::flow::clickstream_flow;
+    use crate::prelude::*;
+
+    fn run(rate: f64, spec: ControllerSpec, minutes: u64) -> EpisodeReport {
+        let mut manager = ElasticityManager::builder(clickstream_flow())
+            .workload(Workload::constant(rate))
+            .all_controllers(spec)
+            .seed(7)
+            .build();
+        manager.run_for_mins(minutes)
+    }
+
+    #[test]
+    fn healthy_episode_meets_the_default_slo() {
+        let report = run(1_200.0, ControllerSpec::adaptive(60.0), 20);
+        let slo = SloSpec::clickstream_default();
+        assert_eq!(slo.len(), 3);
+        assert!(!slo.is_empty());
+        let scored = slo.evaluate(&report);
+        assert!(
+            scored.all_met(),
+            "healthy flow should meet the default promise:\n{}",
+            scored.to_table()
+        );
+        assert!(scored.breaches().is_empty());
+    }
+
+    #[test]
+    fn starved_static_episode_breaks_delivery() {
+        // 2 shards cannot carry 5,000 rec/s; the static flow loses >1 %.
+        let report = run(5_000.0, ControllerSpec::Static, 10);
+        let scored = SloSpec::new()
+            .with(Objective::MaxIngestLossRate(0.01))
+            .evaluate(&report);
+        assert!(!scored.all_met());
+        let breach = &scored.breaches()[0];
+        assert!(breach.measured > 0.01);
+        assert!(breach.margin() < 0.0);
+    }
+
+    #[test]
+    fn cost_objective_binds() {
+        let report = run(1_000.0, ControllerSpec::adaptive(60.0), 20);
+        let generous = SloSpec::new().with(Objective::MaxCost(10.0)).evaluate(&report);
+        assert!(generous.all_met());
+        let stingy = SloSpec::new().with(Objective::MaxCost(0.0001)).evaluate(&report);
+        assert!(!stingy.all_met());
+    }
+
+    #[test]
+    fn utilization_band_attainment() {
+        let report = run(1_200.0, ControllerSpec::adaptive(60.0), 20);
+        // A generous band is attained; an impossible band is not.
+        let wide = SloSpec::new()
+            .with(Objective::UtilizationBand {
+                layer: Layer::Analytics,
+                setpoint: 60.0,
+                band: 60.0,
+                min_attainment: 0.9,
+            })
+            .evaluate(&report);
+        assert!(wide.all_met());
+        let impossible = SloSpec::new()
+            .with(Objective::UtilizationBand {
+                layer: Layer::Analytics,
+                setpoint: 60.0,
+                band: 0.01,
+                min_attainment: 0.99,
+            })
+            .evaluate(&report);
+        assert!(!impossible.all_met());
+    }
+
+    #[test]
+    fn backlog_objective_counts_drops() {
+        let report = run(800.0, ControllerSpec::adaptive(60.0), 5);
+        assert_eq!(report.dropped_tuples, 0);
+        let scored = SloSpec::new().with(Objective::MaxBacklog(0)).evaluate(&report);
+        assert!(scored.all_met());
+    }
+
+    #[test]
+    fn empty_spec_is_always_met() {
+        let report = run(500.0, ControllerSpec::Static, 2);
+        assert!(SloSpec::new().evaluate(&report).all_met());
+    }
+
+    #[test]
+    fn table_renders_outcomes() {
+        let report = run(800.0, ControllerSpec::adaptive(60.0), 5);
+        let scored = SloSpec::clickstream_default().evaluate(&report);
+        let table = scored.to_table();
+        assert!(table.contains("SLO report"));
+        assert!(table.contains("ingest loss"));
+        assert_eq!(table.lines().count(), 1 + scored.outcomes.len());
+    }
+
+    #[test]
+    fn labels_are_readable() {
+        assert!(Objective::MaxIngestLossRate(0.01).label().contains("1.00%"));
+        assert!(Objective::MaxCost(2.5).label().contains("$2.50"));
+        assert!(Objective::MaxBacklog(10).label().contains("10 tuples"));
+        assert!(Objective::UtilizationBand {
+            layer: Layer::Analytics,
+            setpoint: 60.0,
+            band: 15.0,
+            min_attainment: 0.8
+        }
+        .label()
+        .contains("analytics"));
+    }
+}

@@ -1,0 +1,395 @@
+//! The NSGA-II generational loop.
+
+use flower_sim::SimRng;
+
+use crate::individual::Individual;
+use crate::operators::{binary_tournament, polynomial_mutation, random_genes, sbx_crossover};
+use crate::problem::Problem;
+use crate::sorting::{crowding_distance, fast_non_dominated_sort};
+
+/// Tunables of an NSGA-II run. `Default` mirrors the settings of Deb's
+/// reference implementation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Nsga2Config {
+    /// Population size (also the offspring count per generation).
+    pub population: usize,
+    /// Number of generations to evolve.
+    pub generations: usize,
+    /// Crossover probability.
+    pub crossover_prob: f64,
+    /// SBX distribution index.
+    pub eta_crossover: f64,
+    /// Per-variable mutation probability; `None` → `1 / n_vars`.
+    pub mutation_prob: Option<f64>,
+    /// Polynomial-mutation distribution index.
+    pub eta_mutation: f64,
+    /// RNG seed — same seed, same front.
+    pub seed: u64,
+}
+
+impl Default for Nsga2Config {
+    fn default() -> Self {
+        Nsga2Config {
+            population: 100,
+            generations: 250,
+            crossover_prob: 0.9,
+            eta_crossover: 15.0,
+            mutation_prob: None,
+            eta_mutation: 20.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a completed run.
+#[derive(Debug, Clone)]
+pub struct Nsga2Result {
+    /// Final population, sorted by `(rank, -crowding)`.
+    pub population: Vec<Individual>,
+    /// Number of objective evaluations performed.
+    pub evaluations: u64,
+    /// Generations actually executed.
+    pub generations: usize,
+}
+
+impl Nsga2Result {
+    /// The first non-domination front of the final population
+    /// (feasible Pareto-optimal solutions when any exist).
+    pub fn pareto_front(&self) -> Vec<&Individual> {
+        self.population.iter().filter(|i| i.rank == 0).collect()
+    }
+
+    /// Deduplicated Pareto front: objective vectors are rounded to
+    /// `decimals` places and only the first representative of each
+    /// rounded vector is kept. The paper's worked example reports "six
+    /// Pareto optimal solutions" — discrete resource plans — which is
+    /// exactly this view of the continuous front.
+    pub fn distinct_front(&self, decimals: u32) -> Vec<&Individual> {
+        let scale = 10f64.powi(decimals as i32);
+        let mut seen: Vec<Vec<i64>> = Vec::new();
+        let mut out = Vec::new();
+        for ind in self.pareto_front() {
+            let key: Vec<i64> = ind
+                .objectives
+                .iter()
+                .map(|&o| (o * scale).round() as i64)
+                .collect();
+            if !seen.contains(&key) {
+                seen.push(key);
+                out.push(ind);
+            }
+        }
+        out
+    }
+}
+
+/// An NSGA-II optimizer bound to a problem instance.
+pub struct Nsga2<P: Problem> {
+    problem: P,
+    config: Nsga2Config,
+}
+
+impl<P: Problem> Nsga2<P> {
+    /// Bind a problem to a configuration.
+    pub fn new(problem: P, config: Nsga2Config) -> Self {
+        assert!(config.population >= 4, "population must be at least 4");
+        assert!(
+            config.population.is_multiple_of(2),
+            "population must be even (offspring are produced in pairs)"
+        );
+        Nsga2 { problem, config }
+    }
+
+    /// Access the wrapped problem.
+    pub fn problem(&self) -> &P {
+        &self.problem
+    }
+
+    /// Run the full generational loop.
+    pub fn run(&self) -> Nsga2Result {
+        let mut rng = SimRng::seed(self.config.seed);
+        let n = self.config.population;
+        let mutation_prob = self
+            .config
+            .mutation_prob
+            .unwrap_or(1.0 / self.problem.n_vars().max(1) as f64);
+        let mut evaluations = 0u64;
+
+        // Initial population.
+        let mut pop: Vec<Individual> = (0..n)
+            .map(|_| {
+                evaluations += 1;
+                Individual::evaluated(&self.problem, random_genes(&self.problem, &mut rng))
+            })
+            .collect();
+        let fronts = fast_non_dominated_sort(&mut pop);
+        for front in &fronts {
+            crowding_distance(&mut pop, front);
+        }
+
+        for _gen in 0..self.config.generations {
+            // Offspring generation.
+            let mut offspring: Vec<Individual> = Vec::with_capacity(n);
+            while offspring.len() < n {
+                let p1 = binary_tournament(&mut rng, &pop);
+                let p2 = binary_tournament(&mut rng, &pop);
+                let (mut g1, mut g2) = sbx_crossover(
+                    &self.problem,
+                    &mut rng,
+                    &pop[p1].genes,
+                    &pop[p2].genes,
+                    self.config.eta_crossover,
+                    self.config.crossover_prob,
+                );
+                polynomial_mutation(
+                    &self.problem,
+                    &mut rng,
+                    &mut g1,
+                    self.config.eta_mutation,
+                    mutation_prob,
+                );
+                polynomial_mutation(
+                    &self.problem,
+                    &mut rng,
+                    &mut g2,
+                    self.config.eta_mutation,
+                    mutation_prob,
+                );
+                evaluations += 2;
+                offspring.push(Individual::evaluated(&self.problem, g1));
+                offspring.push(Individual::evaluated(&self.problem, g2));
+            }
+
+            // (μ+λ) survival: combine, sort, fill by fronts, truncate the
+            // boundary front by crowding distance.
+            let mut combined = pop;
+            combined.append(&mut offspring);
+            let fronts = fast_non_dominated_sort(&mut combined);
+            let mut next: Vec<Individual> = Vec::with_capacity(n);
+            for front in &fronts {
+                crowding_distance(&mut combined, front);
+                if next.len() + front.len() <= n {
+                    for &i in front {
+                        next.push(combined[i].clone());
+                    }
+                } else {
+                    let mut boundary: Vec<usize> = front.clone();
+                    boundary.sort_by(|&a, &b| {
+                        combined[b]
+                            .crowding
+                            .partial_cmp(&combined[a].crowding)
+                            .expect("crowding distances compare")
+                    });
+                    for &i in boundary.iter().take(n - next.len()) {
+                        next.push(combined[i].clone());
+                    }
+                    break;
+                }
+            }
+            pop = next;
+        }
+
+        // Final bookkeeping sort so callers see coherent ranks.
+        let fronts = fast_non_dominated_sort(&mut pop);
+        for front in &fronts {
+            crowding_distance(&mut pop, front);
+        }
+        pop.sort_by(|a, b| {
+            a.rank
+                .cmp(&b.rank)
+                .then_with(|| b.crowding.partial_cmp(&a.crowding).expect("comparable"))
+        });
+
+        Nsga2Result {
+            population: pop,
+            evaluations,
+            generations: self.config.generations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Schaffer's SCH: minimize (x², (x−2)²), Pareto set x ∈ [0, 2].
+    struct Sch;
+    impl Problem for Sch {
+        fn n_vars(&self) -> usize {
+            1
+        }
+        fn n_objectives(&self) -> usize {
+            2
+        }
+        fn bounds(&self, _: usize) -> (f64, f64) {
+            (-1_000.0, 1_000.0)
+        }
+        fn evaluate(&self, x: &[f64], out: &mut [f64]) {
+            out[0] = x[0] * x[0];
+            out[1] = (x[0] - 2.0) * (x[0] - 2.0);
+        }
+    }
+
+    /// ZDT1: 30 variables, front g=1, f2 = 1 − sqrt(f1).
+    struct Zdt1;
+    impl Problem for Zdt1 {
+        fn n_vars(&self) -> usize {
+            30
+        }
+        fn n_objectives(&self) -> usize {
+            2
+        }
+        fn bounds(&self, _: usize) -> (f64, f64) {
+            (0.0, 1.0)
+        }
+        fn evaluate(&self, x: &[f64], out: &mut [f64]) {
+            let f1 = x[0];
+            let g = 1.0 + 9.0 * x[1..].iter().sum::<f64>() / (x.len() - 1) as f64;
+            out[0] = f1;
+            out[1] = g * (1.0 - (f1 / g).sqrt());
+        }
+    }
+
+    /// Constrained: minimize (x, y) s.t. x + y >= 1 on [0, 1]².
+    struct ConstrSum;
+    impl Problem for ConstrSum {
+        fn n_vars(&self) -> usize {
+            2
+        }
+        fn n_objectives(&self) -> usize {
+            2
+        }
+        fn n_constraints(&self) -> usize {
+            1
+        }
+        fn bounds(&self, _: usize) -> (f64, f64) {
+            (0.0, 1.0)
+        }
+        fn evaluate(&self, x: &[f64], out: &mut [f64]) {
+            out[0] = x[0];
+            out[1] = x[1];
+        }
+        fn constraints(&self, x: &[f64], out: &mut [f64]) {
+            out[0] = (1.0 - (x[0] + x[1])).max(0.0);
+        }
+    }
+
+    #[test]
+    fn sch_front_converges() {
+        let cfg = Nsga2Config {
+            population: 60,
+            generations: 80,
+            seed: 42,
+            ..Default::default()
+        };
+        let result = Nsga2::new(Sch, cfg).run();
+        let front = result.pareto_front();
+        assert!(!front.is_empty());
+        for ind in &front {
+            assert!(
+                ind.genes[0] > -0.2 && ind.genes[0] < 2.2,
+                "x={} off the Pareto set",
+                ind.genes[0]
+            );
+        }
+        // Front spread: should cover much of [0, 2].
+        let min_x = front.iter().map(|i| i.genes[0]).fold(f64::INFINITY, f64::min);
+        let max_x = front.iter().map(|i| i.genes[0]).fold(f64::NEG_INFINITY, f64::max);
+        assert!(max_x - min_x > 1.0, "front collapsed: [{min_x}, {max_x}]");
+        assert_eq!(result.generations, 80);
+        assert!(result.evaluations >= 60 * 81);
+    }
+
+    #[test]
+    fn zdt1_approaches_true_front() {
+        let cfg = Nsga2Config {
+            population: 100,
+            generations: 200,
+            seed: 7,
+            ..Default::default()
+        };
+        let result = Nsga2::new(Zdt1, cfg).run();
+        // On the true front f2 = 1 − sqrt(f1); measure mean deviation.
+        let front = result.pareto_front();
+        let mean_dev: f64 = front
+            .iter()
+            .map(|i| (i.objectives[1] - (1.0 - i.objectives[0].sqrt())).abs())
+            .sum::<f64>()
+            / front.len() as f64;
+        assert!(mean_dev < 0.05, "mean deviation from ZDT1 front: {mean_dev}");
+    }
+
+    #[test]
+    fn constrained_front_is_feasible() {
+        let cfg = Nsga2Config {
+            population: 60,
+            generations: 60,
+            seed: 3,
+            ..Default::default()
+        };
+        let result = Nsga2::new(ConstrSum, cfg).run();
+        let front = result.pareto_front();
+        for ind in &front {
+            assert!(ind.is_feasible(), "infeasible on final front: {:?}", ind.genes);
+            // Pareto-optimal feasible points sit on x + y = 1.
+            let sum = ind.genes[0] + ind.genes[1];
+            assert!(sum < 1.1, "far inside the feasible region: {sum}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = Nsga2Config {
+            population: 20,
+            generations: 10,
+            seed: 5,
+            ..Default::default()
+        };
+        let r1 = Nsga2::new(Sch, cfg).run();
+        let r2 = Nsga2::new(Sch, cfg).run();
+        let g1: Vec<f64> = r1.population.iter().map(|i| i.genes[0]).collect();
+        let g2: Vec<f64> = r2.population.iter().map(|i| i.genes[0]).collect();
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn distinct_front_dedupes() {
+        let cfg = Nsga2Config {
+            population: 40,
+            generations: 40,
+            seed: 9,
+            ..Default::default()
+        };
+        let result = Nsga2::new(Sch, cfg).run();
+        let coarse = result.distinct_front(0);
+        let fine = result.distinct_front(6);
+        assert!(coarse.len() <= fine.len());
+        assert!(!coarse.is_empty());
+        // At integer resolution the SCH front has few distinct cells.
+        assert!(coarse.len() <= 10, "coarse front too large: {}", coarse.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be even")]
+    fn odd_population_rejected() {
+        Nsga2::new(
+            Sch,
+            Nsga2Config {
+                population: 21,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn tiny_population_rejected() {
+        Nsga2::new(
+            Sch,
+            Nsga2Config {
+                population: 2,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Candidate solutions.
+
+use crate::problem::{total_violation, Problem};
+
+/// One candidate solution together with its evaluation results and the
+/// bookkeeping NSGA-II attaches during sorting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Individual {
+    /// Decision-variable vector.
+    pub genes: Vec<f64>,
+    /// Objective values (minimized).
+    pub objectives: Vec<f64>,
+    /// Constraint violation magnitudes (empty for unconstrained problems).
+    pub violations: Vec<f64>,
+    /// Non-domination rank (0 = best front); set by the sorter.
+    pub rank: usize,
+    /// Crowding distance within its front; set by the sorter.
+    pub crowding: f64,
+}
+
+impl Individual {
+    /// Evaluate `genes` against `problem` and wrap the result.
+    pub fn evaluated<P: Problem>(problem: &P, genes: Vec<f64>) -> Individual {
+        assert_eq!(genes.len(), problem.n_vars(), "gene count mismatch");
+        let mut objectives = vec![0.0; problem.n_objectives()];
+        problem.evaluate(&genes, &mut objectives);
+        debug_assert!(
+            objectives.iter().all(|o| !o.is_nan()),
+            "objective evaluation produced NaN for genes {genes:?}"
+        );
+        let mut violations = vec![0.0; problem.n_constraints()];
+        problem.constraints(&genes, &mut violations);
+        Individual {
+            genes,
+            objectives,
+            violations,
+            rank: usize::MAX,
+            crowding: 0.0,
+        }
+    }
+
+    /// Total constraint violation (0 for feasible individuals).
+    pub fn total_violation(&self) -> f64 {
+        total_violation(&self.violations)
+    }
+
+    /// Whether all constraints are satisfied.
+    pub fn is_feasible(&self) -> bool {
+        self.total_violation() <= 0.0
+    }
+
+    /// Plain Pareto domination on objectives (ignores constraints):
+    /// `self` is no worse in every objective and strictly better in at
+    /// least one.
+    pub fn dominates_objectives(&self, other: &Individual) -> bool {
+        debug_assert_eq!(self.objectives.len(), other.objectives.len());
+        let mut strictly_better = false;
+        for (a, b) in self.objectives.iter().zip(&other.objectives) {
+            if a > b {
+                return false;
+            }
+            if a < b {
+                strictly_better = true;
+            }
+        }
+        strictly_better
+    }
+
+    /// Deb's constraint-domination: feasible beats infeasible; between
+    /// infeasibles the smaller total violation wins; between feasibles,
+    /// plain Pareto domination applies.
+    pub fn constraint_dominates(&self, other: &Individual) -> bool {
+        match (self.is_feasible(), other.is_feasible()) {
+            (true, false) => true,
+            (false, true) => false,
+            (false, false) => self.total_violation() < other.total_violation(),
+            (true, true) => self.dominates_objectives(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ind(obj: &[f64], viol: &[f64]) -> Individual {
+        Individual {
+            genes: vec![],
+            objectives: obj.to_vec(),
+            violations: viol.to_vec(),
+            rank: 0,
+            crowding: 0.0,
+        }
+    }
+
+    #[test]
+    fn pareto_domination_cases() {
+        let a = ind(&[1.0, 1.0], &[]);
+        let b = ind(&[2.0, 2.0], &[]);
+        let c = ind(&[0.5, 3.0], &[]);
+        assert!(a.dominates_objectives(&b));
+        assert!(!b.dominates_objectives(&a));
+        assert!(!a.dominates_objectives(&c));
+        assert!(!c.dominates_objectives(&a));
+        // Equal individuals do not dominate each other.
+        assert!(!a.dominates_objectives(&a.clone()));
+    }
+
+    #[test]
+    fn feasible_beats_infeasible() {
+        let feasible_worse = ind(&[10.0], &[0.0]);
+        let infeasible_better = ind(&[1.0], &[0.5]);
+        assert!(feasible_worse.constraint_dominates(&infeasible_better));
+        assert!(!infeasible_better.constraint_dominates(&feasible_worse));
+    }
+
+    #[test]
+    fn between_infeasibles_smaller_violation_wins() {
+        let a = ind(&[5.0], &[0.1]);
+        let b = ind(&[1.0], &[0.9]);
+        assert!(a.constraint_dominates(&b));
+        assert!(!b.constraint_dominates(&a));
+    }
+
+    #[test]
+    fn between_feasibles_pareto_applies() {
+        let a = ind(&[1.0, 2.0], &[0.0]);
+        let b = ind(&[2.0, 3.0], &[0.0]);
+        assert!(a.constraint_dominates(&b));
+        assert!(!b.constraint_dominates(&a));
+    }
+
+    #[test]
+    fn feasibility_flags() {
+        assert!(ind(&[0.0], &[]).is_feasible());
+        assert!(ind(&[0.0], &[0.0, 0.0]).is_feasible());
+        assert!(!ind(&[0.0], &[0.0, 1e-6]).is_feasible());
+        assert_eq!(ind(&[0.0], &[1.0, 2.0]).total_violation(), 3.0);
+    }
+
+    #[test]
+    fn evaluated_fills_objectives_and_violations() {
+        use crate::problem::Problem;
+        struct P;
+        impl Problem for P {
+            fn n_vars(&self) -> usize {
+                1
+            }
+            fn n_objectives(&self) -> usize {
+                2
+            }
+            fn n_constraints(&self) -> usize {
+                1
+            }
+            fn bounds(&self, _: usize) -> (f64, f64) {
+                (0.0, 4.0)
+            }
+            fn evaluate(&self, x: &[f64], out: &mut [f64]) {
+                out[0] = x[0];
+                out[1] = -x[0];
+            }
+            fn constraints(&self, x: &[f64], out: &mut [f64]) {
+                out[0] = (x[0] - 2.0).max(0.0); // x must be <= 2
+            }
+        }
+        let good = Individual::evaluated(&P, vec![1.0]);
+        assert_eq!(good.objectives, vec![1.0, -1.0]);
+        assert!(good.is_feasible());
+        let bad = Individual::evaluated(&P, vec![3.0]);
+        assert!(!bad.is_feasible());
+        assert_eq!(bad.total_violation(), 1.0);
+    }
+}

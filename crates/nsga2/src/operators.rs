@@ -1,0 +1,261 @@
+//! Variation and selection operators: simulated binary crossover (SBX),
+//! polynomial mutation, and binary tournament selection — the standard
+//! real-coded NSGA-II operator suite from Deb's reference implementation.
+
+use flower_sim::SimRng;
+
+use crate::individual::Individual;
+use crate::problem::Problem;
+use crate::sorting::crowded_less;
+
+/// Simulated binary crossover of two parent gene vectors.
+///
+/// `eta_c` is the distribution index (larger = children closer to the
+/// parents; Deb's reference uses 15–20 for real-coded GAs). Each variable
+/// is crossed with probability 0.5, mirroring the reference code.
+pub fn sbx_crossover<P: Problem>(
+    problem: &P,
+    rng: &mut SimRng,
+    a: &[f64],
+    b: &[f64],
+    eta_c: f64,
+    crossover_prob: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut c1 = a.to_vec();
+    let mut c2 = b.to_vec();
+    if !rng.chance(crossover_prob) {
+        return (c1, c2);
+    }
+    for i in 0..a.len() {
+        if !rng.chance(0.5) {
+            continue;
+        }
+        let (x1, x2) = (a[i].min(b[i]), a[i].max(b[i]));
+        if (x2 - x1).abs() < 1e-14 {
+            continue;
+        }
+        let (lo, hi) = problem.bounds(i);
+        let u = rng.next_f64();
+
+        // Child 1 (towards the lower parent).
+        let beta = 1.0 + 2.0 * (x1 - lo) / (x2 - x1);
+        let alpha = 2.0 - beta.powf(-(eta_c + 1.0));
+        let beta_q = sbx_beta_q(u, alpha, eta_c);
+        let mut y1 = 0.5 * ((x1 + x2) - beta_q * (x2 - x1));
+
+        // Child 2 (towards the upper parent).
+        let beta = 1.0 + 2.0 * (hi - x2) / (x2 - x1);
+        let alpha = 2.0 - beta.powf(-(eta_c + 1.0));
+        let beta_q = sbx_beta_q(u, alpha, eta_c);
+        let mut y2 = 0.5 * ((x1 + x2) + beta_q * (x2 - x1));
+
+        y1 = y1.clamp(lo, hi);
+        y2 = y2.clamp(lo, hi);
+        // Random swap so neither child is biased low/high per variable.
+        if rng.chance(0.5) {
+            c1[i] = y2;
+            c2[i] = y1;
+        } else {
+            c1[i] = y1;
+            c2[i] = y2;
+        }
+    }
+    (c1, c2)
+}
+
+fn sbx_beta_q(u: f64, alpha: f64, eta_c: f64) -> f64 {
+    if u <= 1.0 / alpha {
+        (u * alpha).powf(1.0 / (eta_c + 1.0))
+    } else {
+        (1.0 / (2.0 - u * alpha)).powf(1.0 / (eta_c + 1.0))
+    }
+}
+
+/// Polynomial mutation with distribution index `eta_m`; each variable
+/// mutates independently with probability `mutation_prob` (conventionally
+/// `1 / n_vars`).
+#[allow(clippy::needless_range_loop)] // bounds lookup needs the index
+pub fn polynomial_mutation<P: Problem>(
+    problem: &P,
+    rng: &mut SimRng,
+    genes: &mut [f64],
+    eta_m: f64,
+    mutation_prob: f64,
+) {
+    for i in 0..genes.len() {
+        if !rng.chance(mutation_prob) {
+            continue;
+        }
+        let (lo, hi) = problem.bounds(i);
+        let span = hi - lo;
+        if span <= 0.0 {
+            continue;
+        }
+        let x = genes[i];
+        let d1 = (x - lo) / span;
+        let d2 = (hi - x) / span;
+        let u = rng.next_f64();
+        let mut_pow = 1.0 / (eta_m + 1.0);
+        let delta_q = if u < 0.5 {
+            let xy = 1.0 - d1;
+            let val = 2.0 * u + (1.0 - 2.0 * u) * xy.powf(eta_m + 1.0);
+            val.powf(mut_pow) - 1.0
+        } else {
+            let xy = 1.0 - d2;
+            let val = 2.0 * (1.0 - u) + 2.0 * (u - 0.5) * xy.powf(eta_m + 1.0);
+            1.0 - val.powf(mut_pow)
+        };
+        genes[i] = (x + delta_q * span).clamp(lo, hi);
+    }
+}
+
+/// Binary tournament under the crowded-comparison operator: draws two
+/// random members and returns the index of the preferred one (ties broken
+/// by a coin flip).
+pub fn binary_tournament(rng: &mut SimRng, pop: &[Individual]) -> usize {
+    assert!(!pop.is_empty(), "tournament over empty population");
+    let i = rng.below(pop.len() as u64) as usize;
+    let j = rng.below(pop.len() as u64) as usize;
+    if crowded_less(&pop[i], &pop[j]) {
+        i
+    } else if crowded_less(&pop[j], &pop[i]) {
+        j
+    } else if rng.chance(0.5) {
+        i
+    } else {
+        j
+    }
+}
+
+/// Sample a uniformly random gene vector within the problem's bounds.
+pub fn random_genes<P: Problem>(problem: &P, rng: &mut SimRng) -> Vec<f64> {
+    (0..problem.n_vars())
+        .map(|i| {
+            let (lo, hi) = problem.bounds(i);
+            rng.uniform(lo, hi)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Box2;
+    impl Problem for Box2 {
+        fn n_vars(&self) -> usize {
+            2
+        }
+        fn n_objectives(&self) -> usize {
+            1
+        }
+        fn bounds(&self, i: usize) -> (f64, f64) {
+            if i == 0 {
+                (0.0, 10.0)
+            } else {
+                (-5.0, 5.0)
+            }
+        }
+        fn evaluate(&self, x: &[f64], out: &mut [f64]) {
+            out[0] = x[0] + x[1];
+        }
+    }
+
+    #[test]
+    fn random_genes_respect_bounds() {
+        let mut rng = SimRng::seed(1);
+        for _ in 0..1_000 {
+            let g = random_genes(&Box2, &mut rng);
+            assert!((0.0..=10.0).contains(&g[0]));
+            assert!((-5.0..=5.0).contains(&g[1]));
+        }
+    }
+
+    #[test]
+    fn sbx_children_respect_bounds() {
+        let mut rng = SimRng::seed(2);
+        for _ in 0..2_000 {
+            let a = random_genes(&Box2, &mut rng);
+            let b = random_genes(&Box2, &mut rng);
+            let (c1, c2) = sbx_crossover(&Box2, &mut rng, &a, &b, 15.0, 0.9);
+            for c in [&c1, &c2] {
+                assert!((0.0..=10.0).contains(&c[0]), "gene0={}", c[0]);
+                assert!((-5.0..=5.0).contains(&c[1]), "gene1={}", c[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn sbx_with_zero_probability_copies_parents() {
+        let mut rng = SimRng::seed(3);
+        let a = vec![1.0, 2.0];
+        let b = vec![3.0, -1.0];
+        let (c1, c2) = sbx_crossover(&Box2, &mut rng, &a, &b, 15.0, 0.0);
+        assert_eq!(c1, a);
+        assert_eq!(c2, b);
+    }
+
+    #[test]
+    fn sbx_children_near_parents_for_high_eta() {
+        // Large eta_c concentrates children around parents.
+        let mut rng = SimRng::seed(4);
+        let a = vec![4.0, 0.0];
+        let b = vec![6.0, 1.0];
+        let mut max_dev: f64 = 0.0;
+        for _ in 0..500 {
+            let (c1, c2) = sbx_crossover(&Box2, &mut rng, &a, &b, 100.0, 1.0);
+            for c in [c1, c2] {
+                // deviation beyond the parent interval
+                let dev0 = (c[0] - 5.0).abs() - 1.0;
+                max_dev = max_dev.max(dev0);
+            }
+        }
+        assert!(max_dev < 0.5, "children strayed {max_dev} beyond parents");
+    }
+
+    #[test]
+    fn mutation_respects_bounds_and_changes_values() {
+        let mut rng = SimRng::seed(5);
+        let mut changed = 0;
+        for _ in 0..500 {
+            let mut g = vec![5.0, 0.0];
+            polynomial_mutation(&Box2, &mut rng, &mut g, 20.0, 1.0);
+            assert!((0.0..=10.0).contains(&g[0]));
+            assert!((-5.0..=5.0).contains(&g[1]));
+            if g != vec![5.0, 0.0] {
+                changed += 1;
+            }
+        }
+        assert!(changed > 450, "mutation with p=1 changed only {changed}/500");
+    }
+
+    #[test]
+    fn mutation_zero_probability_is_identity() {
+        let mut rng = SimRng::seed(6);
+        let mut g = vec![5.0, 0.0];
+        polynomial_mutation(&Box2, &mut rng, &mut g, 20.0, 0.0);
+        assert_eq!(g, vec![5.0, 0.0]);
+    }
+
+    #[test]
+    fn tournament_prefers_better_rank() {
+        let mut rng = SimRng::seed(7);
+        let make = |rank| Individual {
+            genes: vec![],
+            objectives: vec![0.0],
+            violations: vec![],
+            rank,
+            crowding: 0.0,
+        };
+        let pop = vec![make(0), make(5)];
+        let mut wins0 = 0;
+        for _ in 0..1_000 {
+            if binary_tournament(&mut rng, &pop) == 0 {
+                wins0 += 1;
+            }
+        }
+        // Individual 0 wins every mixed tournament and half of the
+        // self-tournaments: expected 750/1000.
+        assert!(wins0 > 650, "wins0={wins0}");
+    }
+}

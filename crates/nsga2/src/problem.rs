@@ -1,0 +1,80 @@
+//! The optimization-problem abstraction.
+
+/// A box-bounded, real-valued multi-objective problem.
+///
+/// Conventions:
+/// * every objective is **minimized** — a caller maximizing a quantity
+///   (as Flower's share analyzer maximizes resource shares) negates it;
+/// * constraints are inequality constraints reported as **violation
+///   magnitudes**: `0.0` means satisfied, a positive value measures how
+///   badly the constraint is broken. Deb's constraint-domination rule in
+///   the sorter consumes these directly.
+pub trait Problem {
+    /// Number of decision variables.
+    fn n_vars(&self) -> usize;
+
+    /// Number of objectives (all minimized).
+    fn n_objectives(&self) -> usize;
+
+    /// Number of inequality constraints (default: none).
+    fn n_constraints(&self) -> usize {
+        0
+    }
+
+    /// Inclusive lower/upper bound of decision variable `i`.
+    fn bounds(&self, i: usize) -> (f64, f64);
+
+    /// Evaluate the objectives of `x` into `out`
+    /// (`out.len() == n_objectives()`).
+    fn evaluate(&self, x: &[f64], out: &mut [f64]);
+
+    /// Evaluate constraint violations of `x` into `out`
+    /// (`out.len() == n_constraints()`). Entries must be `>= 0`.
+    /// The default writes nothing, matching `n_constraints() == 0`.
+    fn constraints(&self, x: &[f64], out: &mut [f64]) {
+        let _ = x;
+        debug_assert!(out.is_empty(), "override constraints() when n_constraints() > 0");
+    }
+}
+
+/// Helper: the total violation of a constraint vector (sum of positive
+/// entries; negative entries are treated as satisfied).
+pub fn total_violation(violations: &[f64]) -> f64 {
+    violations.iter().map(|&v| v.max(0.0)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Toy;
+    impl Problem for Toy {
+        fn n_vars(&self) -> usize {
+            2
+        }
+        fn n_objectives(&self) -> usize {
+            1
+        }
+        fn bounds(&self, _: usize) -> (f64, f64) {
+            (0.0, 1.0)
+        }
+        fn evaluate(&self, x: &[f64], out: &mut [f64]) {
+            out[0] = x[0] + x[1];
+        }
+    }
+
+    #[test]
+    fn default_constraint_count_is_zero() {
+        assert_eq!(Toy.n_constraints(), 0);
+        let mut out: [f64; 0] = [];
+        Toy.constraints(&[0.5, 0.5], &mut out); // must not panic
+    }
+
+    #[test]
+    fn total_violation_sums_positives() {
+        assert_eq!(total_violation(&[]), 0.0);
+        assert_eq!(total_violation(&[0.0, 0.0]), 0.0);
+        assert_eq!(total_violation(&[1.5, 2.5]), 4.0);
+        assert_eq!(total_violation(&[-3.0, 2.0]), 2.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Fast non-dominated sorting and crowding distance — the two devices
+//! that make NSGA-II "fast and elitist" (Deb et al. 2002, §III).
+
+use crate::individual::Individual;
+
+/// Partition the population into non-domination fronts under Deb's
+/// constraint-domination relation. Returns the fronts as index vectors
+/// (front 0 first) and writes each individual's `rank` field.
+pub fn fast_non_dominated_sort(pop: &mut [Individual]) -> Vec<Vec<usize>> {
+    let n = pop.len();
+    // dominated_by[i] = individuals that i dominates;
+    // domination_count[i] = how many individuals dominate i.
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut domination_count = vec![0usize; n];
+
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if pop[i].constraint_dominates(&pop[j]) {
+                dominated_by[i].push(j);
+                domination_count[j] += 1;
+            } else if pop[j].constraint_dominates(&pop[i]) {
+                dominated_by[j].push(i);
+                domination_count[i] += 1;
+            }
+        }
+    }
+
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| domination_count[i] == 0).collect();
+    let mut rank = 0;
+    while !current.is_empty() {
+        for &i in &current {
+            pop[i].rank = rank;
+        }
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominated_by[i] {
+                domination_count[j] -= 1;
+                if domination_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        fronts.push(std::mem::replace(&mut current, next));
+        rank += 1;
+    }
+    fronts
+}
+
+/// Compute the crowding distance of every individual in `front`
+/// (indices into `pop`), writing the `crowding` field. Boundary
+/// solutions of each objective get infinite distance, preserving the
+/// extremes of the front.
+pub fn crowding_distance(pop: &mut [Individual], front: &[usize]) {
+    if front.is_empty() {
+        return;
+    }
+    for &i in front {
+        pop[i].crowding = 0.0;
+    }
+    if front.len() <= 2 {
+        for &i in front {
+            pop[i].crowding = f64::INFINITY;
+        }
+        return;
+    }
+    let n_obj = pop[front[0]].objectives.len();
+    let mut order: Vec<usize> = front.to_vec();
+    for m in 0..n_obj {
+        order.sort_by(|&a, &b| {
+            pop[a].objectives[m]
+                .partial_cmp(&pop[b].objectives[m])
+                .expect("objectives must be comparable (no NaN)")
+        });
+        let lo = pop[order[0]].objectives[m];
+        let hi = pop[order[order.len() - 1]].objectives[m];
+        pop[order[0]].crowding = f64::INFINITY;
+        pop[order[order.len() - 1]].crowding = f64::INFINITY;
+        let span = hi - lo;
+        if span <= 0.0 {
+            continue; // degenerate objective: all equal
+        }
+        for w in 1..order.len() - 1 {
+            let delta =
+                (pop[order[w + 1]].objectives[m] - pop[order[w - 1]].objectives[m]) / span;
+            let i = order[w];
+            if pop[i].crowding.is_finite() {
+                pop[i].crowding += delta;
+            }
+        }
+    }
+}
+
+/// The crowded-comparison operator `≺n`: lower rank wins; within a rank
+/// the larger crowding distance wins. Returns `true` when `a` is
+/// preferred over `b`.
+pub fn crowded_less(a: &Individual, b: &Individual) -> bool {
+    a.rank < b.rank || (a.rank == b.rank && a.crowding > b.crowding)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ind(obj: &[f64]) -> Individual {
+        Individual {
+            genes: vec![],
+            objectives: obj.to_vec(),
+            violations: vec![],
+            rank: usize::MAX,
+            crowding: 0.0,
+        }
+    }
+
+    #[test]
+    fn sorts_into_expected_fronts() {
+        // Front 0: (1,4), (2,2), (4,1) — mutually non-dominated.
+        // Front 1: (3,4) dominated by (2,2)? (2<=3, 2<=4, strict) yes.
+        //          (5,2) dominated by (4,1).
+        // Front 2: (5,5) dominated by everything in front 1 too.
+        let mut pop = vec![
+            ind(&[1.0, 4.0]),
+            ind(&[2.0, 2.0]),
+            ind(&[4.0, 1.0]),
+            ind(&[3.0, 4.0]),
+            ind(&[5.0, 2.0]),
+            ind(&[5.0, 5.0]),
+        ];
+        let fronts = fast_non_dominated_sort(&mut pop);
+        assert_eq!(fronts.len(), 3);
+        let mut f0 = fronts[0].clone();
+        f0.sort_unstable();
+        assert_eq!(f0, vec![0, 1, 2]);
+        let mut f1 = fronts[1].clone();
+        f1.sort_unstable();
+        assert_eq!(f1, vec![3, 4]);
+        assert_eq!(fronts[2], vec![5]);
+        assert_eq!(pop[0].rank, 0);
+        assert_eq!(pop[3].rank, 1);
+        assert_eq!(pop[5].rank, 2);
+    }
+
+    #[test]
+    fn all_non_dominated_is_single_front() {
+        let mut pop = vec![ind(&[1.0, 3.0]), ind(&[2.0, 2.0]), ind(&[3.0, 1.0])];
+        let fronts = fast_non_dominated_sort(&mut pop);
+        assert_eq!(fronts.len(), 1);
+        assert_eq!(fronts[0].len(), 3);
+    }
+
+    #[test]
+    fn chain_produces_one_front_each() {
+        let mut pop = vec![ind(&[1.0]), ind(&[2.0]), ind(&[3.0])];
+        let fronts = fast_non_dominated_sort(&mut pop);
+        assert_eq!(fronts.len(), 3);
+        assert_eq!(fronts.iter().map(Vec::len).collect::<Vec<_>>(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn infeasible_individuals_land_in_later_fronts() {
+        let mut pop = vec![
+            Individual {
+                violations: vec![1.0],
+                ..ind(&[0.0, 0.0])
+            },
+            ind(&[9.0, 9.0]),
+        ];
+        let fronts = fast_non_dominated_sort(&mut pop);
+        assert_eq!(fronts[0], vec![1], "feasible solution must rank first");
+        assert_eq!(fronts[1], vec![0]);
+    }
+
+    #[test]
+    fn empty_population_no_fronts() {
+        let mut pop: Vec<Individual> = vec![];
+        assert!(fast_non_dominated_sort(&mut pop).is_empty());
+    }
+
+    #[test]
+    fn crowding_boundary_is_infinite() {
+        let mut pop = vec![
+            ind(&[1.0, 4.0]),
+            ind(&[2.0, 3.0]),
+            ind(&[3.0, 2.0]),
+            ind(&[4.0, 1.0]),
+        ];
+        let front: Vec<usize> = (0..4).collect();
+        crowding_distance(&mut pop, &front);
+        assert!(pop[0].crowding.is_infinite());
+        assert!(pop[3].crowding.is_infinite());
+        assert!(pop[1].crowding.is_finite());
+        assert!(pop[2].crowding.is_finite());
+        // Interior points of this evenly spaced front have equal distance.
+        assert!((pop[1].crowding - pop[2].crowding).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crowding_prefers_isolated_points() {
+        // Points at 0, 1, 2, 10 on both objectives: the point at 2 is more
+        // isolated than the one at 1.
+        let mut pop = vec![
+            ind(&[0.0, 10.0]),
+            ind(&[1.0, 9.0]),
+            ind(&[2.0, 8.0]),
+            ind(&[10.0, 0.0]),
+        ];
+        let front: Vec<usize> = (0..4).collect();
+        crowding_distance(&mut pop, &front);
+        assert!(pop[2].crowding > pop[1].crowding);
+    }
+
+    #[test]
+    fn crowding_small_fronts_all_infinite() {
+        let mut pop = vec![ind(&[1.0, 2.0]), ind(&[2.0, 1.0])];
+        let front: Vec<usize> = vec![0, 1];
+        crowding_distance(&mut pop, &front);
+        assert!(pop[0].crowding.is_infinite());
+        assert!(pop[1].crowding.is_infinite());
+    }
+
+    #[test]
+    fn crowding_degenerate_objective_does_not_nan() {
+        let mut pop = vec![ind(&[1.0, 5.0]), ind(&[2.0, 5.0]), ind(&[3.0, 5.0])];
+        let front: Vec<usize> = vec![0, 1, 2];
+        crowding_distance(&mut pop, &front);
+        assert!(!pop[1].crowding.is_nan());
+    }
+
+    #[test]
+    fn crowded_comparison_rules() {
+        let mut a = ind(&[1.0]);
+        let mut b = ind(&[1.0]);
+        a.rank = 0;
+        b.rank = 1;
+        assert!(crowded_less(&a, &b));
+        assert!(!crowded_less(&b, &a));
+        b.rank = 0;
+        a.crowding = 2.0;
+        b.crowding = 1.0;
+        assert!(crowded_less(&a, &b));
+        b.crowding = 2.0;
+        assert!(!crowded_less(&a, &b));
+        assert!(!crowded_less(&b, &a));
+    }
+}

@@ -1,0 +1,349 @@
+//! The discrete-event scheduler.
+//!
+//! A [`Scheduler`] owns a priority queue of events, each a boxed `FnOnce`
+//! closure over the simulated world state `S`. Events at equal timestamps
+//! fire in insertion (FIFO) order, which makes co-simulated components
+//! deterministic without artificial epsilon offsets.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Opaque handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+type EventFn<S> = Box<dyn FnOnce(&mut Scheduler<S>, &mut S)>;
+
+struct Scheduled<S> {
+    at: SimTime,
+    seq: u64,
+    action: EventFn<S>,
+}
+
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<S> Eq for Scheduled<S> {}
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Scheduled<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event scheduler over world state `S`.
+///
+/// The state type is external so that event closures can freely mutate the
+/// world while the scheduler itself stays borrowable for scheduling
+/// follow-up events.
+pub struct Scheduler<S> {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled<S>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    executed: u64,
+}
+
+impl<S> Default for Scheduler<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> Scheduler<S> {
+    /// Create an empty scheduler at `t = 0`.
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending (including cancelled-but-unpopped).
+    pub fn pending(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// Schedule `action` at the absolute instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the simulated past — causality would otherwise
+    /// be violated silently.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut Scheduler<S>, &mut S) + 'static,
+    ) -> EventHandle {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, requested={}",
+            self.now,
+            at
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            action: Box::new(action),
+        });
+        EventHandle(seq)
+    }
+
+    /// Schedule `action` after a relative delay from the current time.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        action: impl FnOnce(&mut Scheduler<S>, &mut S) + 'static,
+    ) -> EventHandle {
+        let at = self.now + delay;
+        self.schedule_at(at, action)
+    }
+
+    /// Cancel a pending event. Returns `true` when the event had not yet
+    /// run (or been cancelled).
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.0 >= self.next_seq {
+            return false;
+        }
+        // An already-executed event's seq won't be in the queue; inserting
+        // it into `cancelled` is harmless but we avoid the memory growth by
+        // checking the queue lazily at pop time instead. We only record the
+        // cancellation if the event could still be pending.
+        if self.queue.iter().any(|e| e.seq == handle.0) {
+            self.cancelled.insert(handle.0)
+        } else {
+            false
+        }
+    }
+
+    /// Execute the next pending event, advancing the clock to its
+    /// timestamp. Returns `false` when the queue is exhausted.
+    pub fn step(&mut self, state: &mut S) -> bool {
+        while let Some(ev) = self.queue.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.action)(self, state);
+            return true;
+        }
+        false
+    }
+
+    /// Run until the event queue is exhausted.
+    pub fn run(&mut self, state: &mut S) {
+        while self.step(state) {}
+    }
+
+    /// Run events with timestamps `<= until`, advancing the clock exactly
+    /// to `until` afterwards (even if no event fires at that instant).
+    pub fn run_until(&mut self, until: SimTime, state: &mut S) {
+        loop {
+            let next_at = loop {
+                match self.queue.peek() {
+                    Some(ev) if self.cancelled.contains(&ev.seq) => {
+                        let seq = self.queue.pop().expect("peeked").seq;
+                        self.cancelled.remove(&seq);
+                    }
+                    Some(ev) => break Some(ev.at),
+                    None => break None,
+                }
+            };
+            match next_at {
+                Some(at) if at <= until => {
+                    self.step(state);
+                }
+                _ => break,
+            }
+        }
+        if until > self.now {
+            self.now = until;
+        }
+    }
+
+    /// Schedule `action` to run every `period`, starting at `start`.
+    /// The action returns `true` to keep the recurrence alive and `false`
+    /// to stop rescheduling itself.
+    pub fn schedule_periodic(
+        &mut self,
+        start: SimTime,
+        period: SimDuration,
+        action: impl FnMut(&mut Scheduler<S>, &mut S) -> bool + 'static,
+    ) {
+        assert!(!period.is_zero(), "periodic event with zero period would livelock");
+        fn reschedule<S>(
+            sched: &mut Scheduler<S>,
+            period: SimDuration,
+            mut action: impl FnMut(&mut Scheduler<S>, &mut S) -> bool + 'static,
+        ) {
+            sched.schedule_in(period, move |s, st| {
+                if action(s, st) {
+                    reschedule(s, period, action);
+                }
+            });
+        }
+        let mut action = action;
+        self.schedule_at(start, move |s, st| {
+            if action(s, st) {
+                reschedule(s, period, action);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sched: Scheduler<Vec<u32>> = Scheduler::new();
+        sched.schedule_at(SimTime::from_secs(3), |_, log| log.push(3));
+        sched.schedule_at(SimTime::from_secs(1), |_, log| log.push(1));
+        sched.schedule_at(SimTime::from_secs(2), |_, log| log.push(2));
+        let mut log = Vec::new();
+        sched.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+        assert_eq!(sched.now(), SimTime::from_secs(3));
+        assert_eq!(sched.executed(), 3);
+    }
+
+    #[test]
+    fn equal_timestamps_fire_fifo() {
+        let mut sched: Scheduler<Vec<u32>> = Scheduler::new();
+        for i in 0..10 {
+            sched.schedule_at(SimTime::from_secs(5), move |_, log| log.push(i));
+        }
+        let mut log = Vec::new();
+        sched.run(&mut log);
+        assert_eq!(log, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sched: Scheduler<Vec<u64>> = Scheduler::new();
+        sched.schedule_at(SimTime::from_secs(1), |s, log| {
+            log.push(s.now().as_secs());
+            s.schedule_in(SimDuration::from_secs(4), |s2, log2| {
+                log2.push(s2.now().as_secs());
+            });
+        });
+        let mut log = Vec::new();
+        sched.run(&mut log);
+        assert_eq!(log, vec![1, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sched: Scheduler<()> = Scheduler::new();
+        sched.schedule_at(SimTime::from_secs(5), |_, _| {});
+        let mut st = ();
+        sched.run(&mut st);
+        sched.schedule_at(SimTime::from_secs(1), |_, _| {});
+    }
+
+    #[test]
+    fn cancellation_prevents_execution() {
+        let mut sched: Scheduler<Vec<u32>> = Scheduler::new();
+        sched.schedule_at(SimTime::from_secs(1), |_, log| log.push(1));
+        let h = sched.schedule_at(SimTime::from_secs(2), |_, log| log.push(2));
+        sched.schedule_at(SimTime::from_secs(3), |_, log| log.push(3));
+        assert!(sched.cancel(h));
+        assert!(!sched.cancel(h), "double cancel reports false");
+        let mut log = Vec::new();
+        sched.run(&mut log);
+        assert_eq!(log, vec![1, 3]);
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_false() {
+        let mut sched: Scheduler<()> = Scheduler::new();
+        assert!(!sched.cancel(EventHandle(42)));
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_events() {
+        let mut sched: Scheduler<()> = Scheduler::new();
+        let mut st = ();
+        sched.run_until(SimTime::from_secs(30), &mut st);
+        assert_eq!(sched.now(), SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn run_until_is_inclusive_and_stops() {
+        let mut sched: Scheduler<Vec<u64>> = Scheduler::new();
+        for t in [1u64, 2, 3, 4, 5] {
+            sched.schedule_at(SimTime::from_secs(t), move |_, log| log.push(t));
+        }
+        let mut log = Vec::new();
+        sched.run_until(SimTime::from_secs(3), &mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+        assert_eq!(sched.now(), SimTime::from_secs(3));
+        assert_eq!(sched.pending(), 2);
+        sched.run_until(SimTime::from_secs(10), &mut log);
+        assert_eq!(log, vec![1, 2, 3, 4, 5]);
+        assert_eq!(sched.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn periodic_event_repeats_until_stopped() {
+        let mut sched: Scheduler<Vec<u64>> = Scheduler::new();
+        sched.schedule_periodic(
+            SimTime::from_secs(10),
+            SimDuration::from_secs(10),
+            |s, log: &mut Vec<u64>| {
+                log.push(s.now().as_secs());
+                log.len() < 4
+            },
+        );
+        let mut log = Vec::new();
+        sched.run(&mut log);
+        assert_eq!(log, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero period")]
+    fn zero_period_panics() {
+        let mut sched: Scheduler<()> = Scheduler::new();
+        sched.schedule_periodic(SimTime::ZERO, SimDuration::ZERO, |_, _| true);
+    }
+
+    #[test]
+    fn pending_excludes_cancelled() {
+        let mut sched: Scheduler<()> = Scheduler::new();
+        let h = sched.schedule_at(SimTime::from_secs(1), |_, _| {});
+        sched.schedule_at(SimTime::from_secs(2), |_, _| {});
+        assert_eq!(sched.pending(), 2);
+        sched.cancel(h);
+        assert_eq!(sched.pending(), 1);
+    }
+}

@@ -1,0 +1,447 @@
+//! Correlation measures.
+//!
+//! Flower's dependency analyzer screens layer pairs by correlation before
+//! fitting a regression (Fig. 2 of the paper reports r = 0.95 between the
+//! ingestion arrival rate and the analytics-layer CPU). Besides Pearson's
+//! r this module provides Spearman's rank correlation (robust to monotone
+//! but non-linear couplings) and lagged cross-correlation, which exposes
+//! the *delay* between layers — records ingested now hit the storage layer
+//! a processing delay later.
+
+use crate::{check_finite, StatsError};
+
+/// Pearson product-moment correlation coefficient.
+///
+/// Returns an error for mismatched lengths, fewer than two observations,
+/// non-finite input, or zero variance in either series.
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    if x.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            got: x.len(),
+        });
+    }
+    check_finite(x)?;
+    check_finite(y)?;
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        sxx += (xi - mx).powi(2);
+        syy += (yi - my).powi(2);
+        sxy += (xi - mx) * (yi - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    Ok(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+/// Ranks with ties sharing the average rank (1-based).
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite values compare"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Average rank of the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation coefficient (Pearson of the rank vectors,
+/// which handles ties correctly).
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    check_finite(x)?;
+    check_finite(y)?;
+    pearson(&ranks(x), &ranks(y))
+}
+
+/// Cross-correlation of `y` against `x` at integer lags in
+/// `[-max_lag, +max_lag]`.
+///
+/// A positive lag `k` correlates `x[t]` with `y[t + k]` — i.e. `x`
+/// *leading* `y` by `k` samples. Returns `(lag, r)` pairs; lags with
+/// fewer than three overlapping points or degenerate variance are
+/// skipped.
+pub fn cross_correlation(
+    x: &[f64],
+    y: &[f64],
+    max_lag: usize,
+) -> Result<Vec<(i64, f64)>, StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    if x.len() < 3 {
+        return Err(StatsError::NotEnoughData {
+            needed: 3,
+            got: x.len(),
+        });
+    }
+    check_finite(x)?;
+    check_finite(y)?;
+    let n = x.len();
+    let mut out = Vec::with_capacity(2 * max_lag + 1);
+    for lag in -(max_lag as i64)..=(max_lag as i64) {
+        let (xs, ys): (&[f64], &[f64]) = if lag >= 0 {
+            let k = lag as usize;
+            if k >= n {
+                continue;
+            }
+            (&x[..n - k], &y[k..])
+        } else {
+            let k = (-lag) as usize;
+            if k >= n {
+                continue;
+            }
+            (&x[k..], &y[..n - k])
+        };
+        if xs.len() < 3 {
+            continue;
+        }
+        if let Ok(r) = pearson(xs, ys) {
+            out.push((lag, r));
+        }
+    }
+    Ok(out)
+}
+
+/// Autocorrelation function of a series at lags `0..=max_lag`
+/// (biased estimator, normalized so `acf[0] == 1`).
+///
+/// The dependency analyzer uses this to judge how long a monitoring
+/// window must be before samples are effectively independent — an AR(1)
+/// disturbance with a two-minute correlation time (like our simulated
+/// CPU sensor noise) needs windows several times that.
+pub fn autocorrelation(x: &[f64], max_lag: usize) -> Result<Vec<f64>, StatsError> {
+    if x.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            got: x.len(),
+        });
+    }
+    check_finite(x)?;
+    let n = x.len();
+    let mean = x.iter().sum::<f64>() / n as f64;
+    let var: f64 = x.iter().map(|v| (v - mean).powi(2)).sum();
+    if var == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let mut out = Vec::with_capacity(max_lag + 1);
+    for lag in 0..=max_lag.min(n - 1) {
+        let cov: f64 = (0..n - lag)
+            .map(|i| (x[i] - mean) * (x[i + lag] - mean))
+            .sum();
+        out.push(cov / var);
+    }
+    Ok(out)
+}
+
+/// The smallest lag at which the autocorrelation falls below `1/e`
+/// — the series' empirical correlation time in samples. `None` when the
+/// series stays correlated through `max_lag`.
+pub fn correlation_time(x: &[f64], max_lag: usize) -> Result<Option<usize>, StatsError> {
+    let acf = autocorrelation(x, max_lag)?;
+    Ok(acf
+        .iter()
+        .position(|&r| r < 1.0 / std::f64::consts::E))
+}
+
+/// The lag (within `±max_lag`) at which `|r|` is largest, with its r.
+pub fn best_lag(x: &[f64], y: &[f64], max_lag: usize) -> Result<(i64, f64), StatsError> {
+    let cc = cross_correlation(x, y, max_lag)?;
+    cc.into_iter()
+        .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite"))
+        .ok_or(StatsError::NotEnoughData { needed: 3, got: 0 })
+}
+
+/// A symmetric matrix of pairwise Pearson correlations between named
+/// series, as produced by the dependency analyzer across all layer
+/// metrics.
+#[derive(Debug, Clone)]
+pub struct CorrelationMatrix {
+    names: Vec<String>,
+    /// Row-major `n × n`; `NaN` marks pairs whose correlation was
+    /// undefined (zero variance).
+    values: Vec<f64>,
+}
+
+impl CorrelationMatrix {
+    /// Compute pairwise correlations between equally-long series.
+    pub fn compute(series: &[(String, Vec<f64>)]) -> Result<CorrelationMatrix, StatsError> {
+        let n = series.len();
+        if n == 0 {
+            return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+        }
+        let len0 = series[0].1.len();
+        for (_, s) in series {
+            if s.len() != len0 {
+                return Err(StatsError::LengthMismatch {
+                    left: len0,
+                    right: s.len(),
+                });
+            }
+        }
+        let mut values = vec![f64::NAN; n * n];
+        for i in 0..n {
+            values[i * n + i] = 1.0;
+            for j in (i + 1)..n {
+                let r = pearson(&series[i].1, &series[j].1).unwrap_or(f64::NAN);
+                values[i * n + j] = r;
+                values[j * n + i] = r;
+            }
+        }
+        Ok(CorrelationMatrix {
+            names: series.iter().map(|(n, _)| n.clone()).collect(),
+            values,
+        })
+    }
+
+    /// Series names, in matrix order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Correlation between series `i` and `j` (NaN when undefined).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let n = self.names.len();
+        assert!(i < n && j < n, "index out of bounds");
+        self.values[i * n + j]
+    }
+
+    /// Correlation by series names; `None` when either name is unknown.
+    pub fn by_name(&self, a: &str, b: &str) -> Option<f64> {
+        let i = self.names.iter().position(|n| n == a)?;
+        let j = self.names.iter().position(|n| n == b)?;
+        Some(self.get(i, j))
+    }
+
+    /// All pairs with `|r| >= threshold`, strongest first — the
+    /// candidate dependency set handed to the regression stage.
+    pub fn strong_pairs(&self, threshold: f64) -> Vec<(String, String, f64)> {
+        let n = self.names.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let r = self.get(i, j);
+                if r.is_finite() && r.abs() >= threshold {
+                    out.push((self.names[i].clone(), self.names[j].clone(), r));
+                }
+            }
+        }
+        out.sort_by(|a, b| b.2.abs().partial_cmp(&a.2.abs()).expect("finite"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flower_sim::SimRng;
+
+    #[test]
+    fn perfect_correlations() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_series_near_zero() {
+        let mut rng = SimRng::seed(10);
+        let x: Vec<f64> = (0..5_000).map(|_| rng.next_f64()).collect();
+        let y: Vec<f64> = (0..5_000).map(|_| rng.next_f64()).collect();
+        let r = pearson(&x, &y).unwrap();
+        assert!(r.abs() < 0.05, "r={r}");
+    }
+
+    #[test]
+    fn pearson_errors() {
+        assert!(matches!(
+            pearson(&[1.0], &[1.0, 2.0]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            pearson(&[1.0], &[1.0]),
+            Err(StatsError::NotEnoughData { .. })
+        ));
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), Err(StatsError::ZeroVariance));
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let x: Vec<f64> = (1..25).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| v.exp()).collect();
+        let rho = spearman(&x, &y).unwrap();
+        assert!((rho - 1.0).abs() < 1e-12, "rho={rho}");
+        // Pearson is strictly below 1 for the convex transform.
+        assert!(pearson(&x, &y).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(ranks(&[5.0]), vec![1.0]);
+        assert_eq!(ranks(&[7.0, 7.0, 7.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn cross_correlation_finds_known_lag() {
+        // y is x delayed by 3 samples.
+        let mut rng = SimRng::seed(11);
+        let base: Vec<f64> = (0..500).map(|_| rng.normal(0.0, 1.0)).collect();
+        let x: Vec<f64> = base[..497].to_vec();
+        let y: Vec<f64> = base[3..].iter().map(|v| v * 2.0 + 1.0).collect();
+        // x[t] == base[t], y[t] == 2·base[t+3]+1 → x leads y by... actually
+        // y[t] depends on base[t+3]; x[t+k]=base[t+k] matches y[t] when k=3,
+        // i.e. correlating x[t] with y[t-3]: lag = -3.
+        let (lag, r) = best_lag(&x, &y, 6).unwrap();
+        assert_eq!(lag, -3);
+        assert!(r > 0.99);
+    }
+
+    #[test]
+    fn cross_correlation_zero_lag_matches_pearson() {
+        let x = [1.0, 3.0, 2.0, 5.0, 4.0];
+        let y = [2.0, 6.0, 4.0, 10.0, 8.0];
+        let cc = cross_correlation(&x, &y, 0).unwrap();
+        assert_eq!(cc.len(), 1);
+        assert_eq!(cc[0].0, 0);
+        assert!((cc[0].1 - pearson(&x, &y).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_correlation_skips_short_overlaps() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, 2.0, 3.0, 4.0];
+        // max_lag 3 leaves overlaps of 1 at the extremes — skipped.
+        let cc = cross_correlation(&x, &y, 3).unwrap();
+        assert!(cc.iter().all(|&(lag, _)| lag.abs() <= 1));
+    }
+
+    #[test]
+    fn autocorrelation_of_white_noise_decays_immediately() {
+        let mut rng = SimRng::seed(30);
+        let x: Vec<f64> = (0..5_000).map(|_| rng.normal(0.0, 1.0)).collect();
+        let acf = autocorrelation(&x, 10).unwrap();
+        assert!((acf[0] - 1.0).abs() < 1e-12);
+        for &r in &acf[1..] {
+            assert!(r.abs() < 0.05, "white noise lag correlation {r}");
+        }
+        assert_eq!(correlation_time(&x, 10).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn autocorrelation_of_ar1_matches_theory() {
+        // AR(1) with rho = 0.9: acf[k] ≈ 0.9^k.
+        let mut rng = SimRng::seed(31);
+        let mut x = vec![0.0f64];
+        for _ in 1..20_000 {
+            let prev = *x.last().unwrap();
+            x.push(0.9 * prev + rng.normal(0.0, 1.0));
+        }
+        let acf = autocorrelation(&x, 5).unwrap();
+        for (k, &r) in acf.iter().enumerate().skip(1) {
+            let expected = 0.9f64.powi(k as i32);
+            assert!((r - expected).abs() < 0.05, "lag {k}: {r} vs {expected}");
+        }
+        // Correlation time: 0.9^k < 1/e at k = 10 → within max_lag 20.
+        let ct = correlation_time(&x, 20).unwrap().expect("decorrelates");
+        assert!((8..=13).contains(&ct), "correlation time {ct}");
+    }
+
+    #[test]
+    fn autocorrelation_errors() {
+        assert!(matches!(
+            autocorrelation(&[1.0], 3),
+            Err(StatsError::NotEnoughData { .. })
+        ));
+        assert_eq!(
+            autocorrelation(&[2.0, 2.0, 2.0], 2),
+            Err(StatsError::ZeroVariance)
+        );
+        // max_lag longer than the series is truncated, not an error.
+        let acf = autocorrelation(&[1.0, 2.0, 3.0], 99).unwrap();
+        assert_eq!(acf.len(), 3);
+    }
+
+    #[test]
+    fn correlation_time_none_when_persistent() {
+        // A pure trend stays correlated at every short lag.
+        let x: Vec<f64> = (0..1_000).map(|i| i as f64).collect();
+        assert_eq!(correlation_time(&x, 5).unwrap(), None);
+    }
+
+    #[test]
+    fn correlation_matrix_basics() {
+        let m = CorrelationMatrix::compute(&[
+            ("a".into(), vec![1.0, 2.0, 3.0, 4.0]),
+            ("b".into(), vec![2.0, 4.0, 6.0, 8.0]),
+            ("c".into(), vec![4.0, 3.0, 2.0, 1.0]),
+        ])
+        .unwrap();
+        assert_eq!(m.names(), &["a", "b", "c"]);
+        assert!((m.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!((m.by_name("a", "b").unwrap() - 1.0).abs() < 1e-12);
+        assert!((m.by_name("a", "c").unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(m.by_name("a", "zz"), None);
+        let strong = m.strong_pairs(0.9);
+        assert_eq!(strong.len(), 3); // all pairs are |r|=1 here
+    }
+
+    #[test]
+    fn correlation_matrix_handles_constant_series() {
+        let m = CorrelationMatrix::compute(&[
+            ("flat".into(), vec![5.0, 5.0, 5.0]),
+            ("ramp".into(), vec![1.0, 2.0, 3.0]),
+        ])
+        .unwrap();
+        assert!(m.by_name("flat", "ramp").unwrap().is_nan());
+        assert!(m.strong_pairs(0.5).is_empty());
+    }
+
+    #[test]
+    fn correlation_matrix_length_mismatch() {
+        let err = CorrelationMatrix::compute(&[
+            ("a".into(), vec![1.0, 2.0]),
+            ("b".into(), vec![1.0, 2.0, 3.0]),
+        ]);
+        assert!(matches!(err, Err(StatsError::LengthMismatch { .. })));
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the statistics substrate.
+
+use flower_stats::{
+    correlation::{best_lag, pearson, spearman},
+    descriptive::{mean, percentile, variance_sample},
+    regression::SimpleOls,
+    timeseries::{Agg, TimeSeries},
+    Matrix,
+};
+use flower_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6..1e6f64, len)
+}
+
+proptest! {
+    #[test]
+    fn pearson_is_bounded_and_symmetric(
+        pair in finite_vec(3..50).prop_flat_map(|x| {
+            let n = x.len();
+            (Just(x), finite_vec(n..n + 1))
+        })
+    ) {
+        let (x, y) = pair;
+        if let Ok(r) = pearson(&x, &y) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            let r2 = pearson(&y, &x).unwrap();
+            prop_assert!((r - r2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pearson_invariant_to_affine_transform(x in finite_vec(4..40), a in 0.1..10.0f64, b in -100.0..100.0f64) {
+        let y: Vec<f64> = x.iter().map(|&v| a * v + b).collect();
+        if let Ok(r) = pearson(&x, &y) {
+            prop_assert!((r - 1.0).abs() < 1e-6, "r = {}", r);
+        }
+    }
+
+    #[test]
+    fn spearman_bounded(
+        pair in finite_vec(3..30).prop_flat_map(|x| {
+            let n = x.len();
+            (Just(x), finite_vec(n..n + 1))
+        })
+    ) {
+        let (x, y) = pair;
+        if let Ok(rho) = spearman(&x, &y) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho));
+        }
+    }
+
+    #[test]
+    fn ols_residuals_orthogonal_to_regressor(
+        pair in finite_vec(3..60).prop_flat_map(|x| {
+            let n = x.len();
+            (Just(x), finite_vec(n..n + 1))
+        })
+    ) {
+        let (x, y) = pair;
+        if let Ok(fit) = SimpleOls::fit(&x, &y) {
+            // Normal equations: residuals sum to ~0 and are orthogonal to x.
+            let resid: Vec<f64> = x.iter().zip(&y).map(|(&xi, &yi)| yi - fit.predict(xi)).collect();
+            let scale = y.iter().map(|v| v.abs()).fold(1.0, f64::max);
+            let sum: f64 = resid.iter().sum();
+            prop_assert!(sum.abs() / (scale * x.len() as f64) < 1e-6);
+            let dot: f64 = resid.iter().zip(&x).map(|(r, xi)| r * xi).sum();
+            let xscale = x.iter().map(|v| v.abs()).fold(1.0, f64::max);
+            prop_assert!(dot.abs() / (scale * xscale * x.len() as f64) < 1e-6);
+            prop_assert!(fit.r_squared <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn mean_is_between_min_and_max(x in finite_vec(1..50)) {
+        let m = mean(&x).unwrap();
+        let lo = x.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn variance_is_nonnegative(x in finite_vec(2..50)) {
+        prop_assert!(variance_sample(&x).unwrap() >= -1e-9);
+    }
+
+    #[test]
+    fn percentile_monotone(x in finite_vec(1..50), p1 in 0.0..100.0f64, p2 in 0.0..100.0f64) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = percentile(&x, lo).unwrap();
+        let b = percentile(&x, hi).unwrap();
+        prop_assert!(a <= b + 1e-9);
+    }
+
+    #[test]
+    fn solve_then_multiply_roundtrips(
+        entries in prop::collection::vec(-10.0..10.0f64, 9),
+        b in prop::collection::vec(-10.0..10.0f64, 3)
+    ) {
+        let m = Matrix::from_rows(&[
+            entries[0..3].to_vec(),
+            entries[3..6].to_vec(),
+            entries[6..9].to_vec(),
+        ]);
+        if let Ok(x) = m.solve(&b) {
+            // Verify A·x ≈ b.
+            let xm = Matrix::column(&x);
+            let prod = m.matmul(&xm);
+            for i in 0..3 {
+                prop_assert!((prod[(i, 0)] - b[i]).abs() < 1e-6,
+                    "row {} mismatch: {} vs {}", i, prod[(i, 0)], b[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn resample_sum_preserves_total(vals in finite_vec(1..40)) {
+        let ts = TimeSeries::from_points(
+            vals.iter().enumerate()
+                .map(|(i, &v)| (SimTime::from_secs(i as u64 * 13), v))
+                .collect()
+        );
+        let resampled = ts.resample(SimDuration::from_secs(60), Agg::Sum);
+        let total: f64 = vals.iter().sum();
+        let rtotal: f64 = resampled.values().iter().sum();
+        let scale = vals.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+        prop_assert!((total - rtotal).abs() / scale < 1e-9);
+    }
+
+    #[test]
+    fn ewma_stays_within_value_range(vals in finite_vec(1..40), alpha in 0.01..1.0f64) {
+        let ts = TimeSeries::from_points(
+            vals.iter().enumerate()
+                .map(|(i, &v)| (SimTime::from_secs(i as u64), v))
+                .collect()
+        );
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in ts.ewma(alpha).values() {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn best_lag_on_shifted_copy_finds_shift(shift in 1usize..5) {
+        // Deterministic pseudo-random base series.
+        let base: Vec<f64> = (0..120u64)
+            .map(|i| ((i * 2654435761) % 1000) as f64)
+            .collect();
+        let n = base.len() - shift;
+        let x: Vec<f64> = base[..n].to_vec();
+        let y: Vec<f64> = base[shift..shift + n].to_vec();
+        // y[t] = base[t+shift] = x[t+shift] → best lag is -shift.
+        let (lag, r) = best_lag(&x, &y, 8).unwrap();
+        prop_assert_eq!(lag, -(shift as i64));
+        prop_assert!(r > 0.99);
+    }
+}

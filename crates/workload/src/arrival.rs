@@ -1,0 +1,561 @@
+//! Arrival-rate processes.
+//!
+//! An [`ArrivalProcess`] maps virtual time to an instantaneous arrival
+//! intensity in records/second. Processes may be stateful (the MMPP keeps
+//! its Markov phase), so `rate` takes `&mut self`; deterministic processes
+//! simply ignore the state.
+
+use flower_sim::{SimDuration, SimRng, SimTime};
+
+/// A (possibly stateful) arrival-intensity process.
+pub trait ArrivalProcess {
+    /// Instantaneous intensity at time `t`, in records per second.
+    /// Implementations must return a finite value `>= 0`.
+    fn rate(&mut self, t: SimTime) -> f64;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str;
+}
+
+/// A constant intensity.
+#[derive(Debug, Clone)]
+pub struct ConstantRate {
+    rate: f64,
+}
+
+impl ConstantRate {
+    /// `rate` records/second forever.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate >= 0.0 && rate.is_finite(), "invalid rate {rate}");
+        ConstantRate { rate }
+    }
+}
+
+impl ArrivalProcess for ConstantRate {
+    fn rate(&mut self, _t: SimTime) -> f64 {
+        self.rate
+    }
+    fn name(&self) -> &str {
+        "constant"
+    }
+}
+
+/// A single step: `before` until `at`, `after` from then on. The
+/// canonical workload for measuring controller settling time.
+#[derive(Debug, Clone)]
+pub struct StepRate {
+    before: f64,
+    after: f64,
+    at: SimTime,
+}
+
+impl StepRate {
+    /// Step from `before` to `after` at time `at`.
+    pub fn new(before: f64, after: f64, at: SimTime) -> Self {
+        assert!(before >= 0.0 && after >= 0.0, "rates must be non-negative");
+        StepRate { before, after, at }
+    }
+}
+
+impl ArrivalProcess for StepRate {
+    fn rate(&mut self, t: SimTime) -> f64 {
+        if t < self.at {
+            self.before
+        } else {
+            self.after
+        }
+    }
+    fn name(&self) -> &str {
+        "step"
+    }
+}
+
+/// Linear ramp from `start_rate` at `start` to `end_rate` at `end`,
+/// constant outside the ramp interval.
+#[derive(Debug, Clone)]
+pub struct RampRate {
+    start_rate: f64,
+    end_rate: f64,
+    start: SimTime,
+    end: SimTime,
+}
+
+impl RampRate {
+    /// Ramp between the two rates over `[start, end]`.
+    pub fn new(start_rate: f64, end_rate: f64, start: SimTime, end: SimTime) -> Self {
+        assert!(start < end, "ramp interval must be non-empty");
+        assert!(start_rate >= 0.0 && end_rate >= 0.0);
+        RampRate {
+            start_rate,
+            end_rate,
+            start,
+            end,
+        }
+    }
+}
+
+impl ArrivalProcess for RampRate {
+    fn rate(&mut self, t: SimTime) -> f64 {
+        if t <= self.start {
+            self.start_rate
+        } else if t >= self.end {
+            self.end_rate
+        } else {
+            let frac = (t - self.start).as_secs_f64() / (self.end - self.start).as_secs_f64();
+            self.start_rate + frac * (self.end_rate - self.start_rate)
+        }
+    }
+    fn name(&self) -> &str {
+        "ramp"
+    }
+}
+
+/// A sinusoidal day/night cycle:
+/// `base + amplitude · sin(2π·(t + phase)/period)`, clamped at zero.
+///
+/// This is the dominant pattern in real click-stream traffic and the one
+/// visible in the paper's Fig. 2 trace.
+#[derive(Debug, Clone)]
+pub struct DiurnalRate {
+    base: f64,
+    amplitude: f64,
+    period: SimDuration,
+    phase: SimDuration,
+}
+
+impl DiurnalRate {
+    /// Cycle around `base` with the given `amplitude` and `period`;
+    /// `phase` shifts the cycle start.
+    pub fn new(base: f64, amplitude: f64, period: SimDuration, phase: SimDuration) -> Self {
+        assert!(base >= 0.0 && amplitude >= 0.0);
+        assert!(!period.is_zero(), "period must be non-zero");
+        DiurnalRate {
+            base,
+            amplitude,
+            period,
+            phase,
+        }
+    }
+}
+
+impl ArrivalProcess for DiurnalRate {
+    fn rate(&mut self, t: SimTime) -> f64 {
+        let x = ((t + self.phase).as_secs_f64() / self.period.as_secs_f64())
+            * std::f64::consts::TAU;
+        (self.base + self.amplitude * x.sin()).max(0.0)
+    }
+    fn name(&self) -> &str {
+        "diurnal"
+    }
+}
+
+/// A flash crowd: baseline intensity with a sudden spike at `start` that
+/// decays exponentially with time constant `decay` after an initial
+/// plateau of `hold`.
+///
+/// Models the "unplanned or unforeseen changes in demand" the paper's
+/// introduction says rule-based autoscalers fail to adapt to.
+#[derive(Debug, Clone)]
+pub struct FlashCrowd {
+    base: f64,
+    spike: f64,
+    start: SimTime,
+    hold: SimDuration,
+    decay: SimDuration,
+}
+
+impl FlashCrowd {
+    /// Baseline `base`; at `start` the rate jumps by `spike`, holds for
+    /// `hold`, then decays exponentially with time constant `decay`.
+    pub fn new(base: f64, spike: f64, start: SimTime, hold: SimDuration, decay: SimDuration) -> Self {
+        assert!(base >= 0.0 && spike >= 0.0);
+        assert!(!decay.is_zero(), "decay constant must be non-zero");
+        FlashCrowd {
+            base,
+            spike,
+            start,
+            hold,
+            decay,
+        }
+    }
+}
+
+impl ArrivalProcess for FlashCrowd {
+    fn rate(&mut self, t: SimTime) -> f64 {
+        if t < self.start {
+            return self.base;
+        }
+        let plateau_end = self.start + self.hold;
+        if t <= plateau_end {
+            return self.base + self.spike;
+        }
+        let elapsed = (t - plateau_end).as_secs_f64();
+        self.base + self.spike * (-elapsed / self.decay.as_secs_f64()).exp()
+    }
+    fn name(&self) -> &str {
+        "flash-crowd"
+    }
+}
+
+/// A two-state Markov-modulated process: the intensity alternates
+/// between `low` and `high`, with exponentially distributed sojourn
+/// times — a standard bursty-traffic model.
+#[derive(Debug)]
+pub struct MmppRate {
+    low: f64,
+    high: f64,
+    mean_sojourn_low: SimDuration,
+    mean_sojourn_high: SimDuration,
+    rng: SimRng,
+    in_high: bool,
+    next_switch: SimTime,
+}
+
+impl MmppRate {
+    /// Alternate between `low` and `high` intensity with the given mean
+    /// sojourn times; `rng` drives the phase switches.
+    pub fn new(
+        low: f64,
+        high: f64,
+        mean_sojourn_low: SimDuration,
+        mean_sojourn_high: SimDuration,
+        mut rng: SimRng,
+    ) -> Self {
+        assert!(low >= 0.0 && high >= 0.0);
+        assert!(!mean_sojourn_low.is_zero() && !mean_sojourn_high.is_zero());
+        let first = SimDuration::from_secs_f64(
+            rng.exponential(1.0 / mean_sojourn_low.as_secs_f64()),
+        );
+        MmppRate {
+            low,
+            high,
+            mean_sojourn_low,
+            mean_sojourn_high,
+            rng,
+            in_high: false,
+            next_switch: SimTime::ZERO + first,
+        }
+    }
+}
+
+impl ArrivalProcess for MmppRate {
+    fn rate(&mut self, t: SimTime) -> f64 {
+        while t >= self.next_switch {
+            self.in_high = !self.in_high;
+            let mean = if self.in_high {
+                self.mean_sojourn_high
+            } else {
+                self.mean_sojourn_low
+            };
+            let sojourn =
+                SimDuration::from_secs_f64(self.rng.exponential(1.0 / mean.as_secs_f64()));
+            // Guarantee forward progress even when the draw rounds to 0 ms.
+            let sojourn = if sojourn.is_zero() {
+                SimDuration::from_millis(1)
+            } else {
+                sojourn
+            };
+            self.next_switch += sojourn;
+        }
+        if self.in_high {
+            self.high
+        } else {
+            self.low
+        }
+    }
+    fn name(&self) -> &str {
+        "mmpp"
+    }
+}
+
+/// A periodic spike train: `base` intensity with recurring spikes of
+/// `spike` extra intensity, each lasting `width`, repeating every
+/// `period`. The canonical workload for gain-memory experiments: the
+/// same disturbance regime recurs on a fixed cadence, so a controller
+/// that remembers its learned gain re-applies it instantly.
+#[derive(Debug, Clone)]
+pub struct SpikeTrain {
+    base: f64,
+    spike: f64,
+    period: SimDuration,
+    width: SimDuration,
+    first_at: SimTime,
+}
+
+impl SpikeTrain {
+    /// Spikes of `spike` extra records/s, `width` long, every `period`,
+    /// starting at `first_at`.
+    pub fn new(
+        base: f64,
+        spike: f64,
+        period: SimDuration,
+        width: SimDuration,
+        first_at: SimTime,
+    ) -> Self {
+        assert!(base >= 0.0 && spike >= 0.0);
+        assert!(!period.is_zero(), "spike period must be non-zero");
+        assert!(width < period, "spike width must be shorter than the period");
+        SpikeTrain {
+            base,
+            spike,
+            period,
+            width,
+            first_at,
+        }
+    }
+}
+
+impl ArrivalProcess for SpikeTrain {
+    fn rate(&mut self, t: SimTime) -> f64 {
+        if t < self.first_at {
+            return self.base;
+        }
+        let since = (t - self.first_at).as_millis() % self.period.as_millis();
+        if since < self.width.as_millis() {
+            self.base + self.spike
+        } else {
+            self.base
+        }
+    }
+    fn name(&self) -> &str {
+        "spike-train"
+    }
+}
+
+/// Sum of component processes — e.g. diurnal + flash crowd.
+pub struct CompositeProcess {
+    parts: Vec<Box<dyn ArrivalProcess>>,
+    name: String,
+}
+
+impl CompositeProcess {
+    /// Sum the given processes.
+    pub fn sum(parts: Vec<Box<dyn ArrivalProcess>>) -> Self {
+        assert!(!parts.is_empty(), "composite of nothing");
+        let name = format!(
+            "sum({})",
+            parts.iter().map(|p| p.name().to_owned()).collect::<Vec<_>>().join("+")
+        );
+        CompositeProcess { parts, name }
+    }
+}
+
+impl ArrivalProcess for CompositeProcess {
+    fn rate(&mut self, t: SimTime) -> f64 {
+        self.parts.iter_mut().map(|p| p.rate(t)).sum()
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Multiplicative log-normal-ish noise around an inner process:
+/// `rate · max(0, 1 + N(0, cv))`.
+pub struct NoisyRate {
+    inner: Box<dyn ArrivalProcess>,
+    cv: f64,
+    rng: SimRng,
+    name: String,
+}
+
+impl NoisyRate {
+    /// Wrap `inner`, perturbing each query by Gaussian multiplicative
+    /// noise with coefficient of variation `cv`.
+    pub fn new(inner: Box<dyn ArrivalProcess>, cv: f64, rng: SimRng) -> Self {
+        assert!((0.0..1.0).contains(&cv), "cv should be in [0, 1)");
+        let name = format!("noisy({})", inner.name());
+        NoisyRate {
+            inner,
+            cv,
+            rng,
+            name,
+        }
+    }
+}
+
+impl ArrivalProcess for NoisyRate {
+    fn rate(&mut self, t: SimTime) -> f64 {
+        let base = self.inner.rate(t);
+        (base * (1.0 + self.rng.normal(0.0, self.cv))).max(0.0)
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_is_constant() {
+        let mut p = ConstantRate::new(500.0);
+        assert_eq!(p.rate(SimTime::ZERO), 500.0);
+        assert_eq!(p.rate(SimTime::from_hours(5)), 500.0);
+        assert_eq!(p.name(), "constant");
+    }
+
+    #[test]
+    fn step_switches_exactly_at_boundary() {
+        let mut p = StepRate::new(100.0, 900.0, SimTime::from_mins(10));
+        assert_eq!(p.rate(SimTime::from_mins(9)), 100.0);
+        assert_eq!(p.rate(SimTime::from_mins(10)), 900.0);
+        assert_eq!(p.rate(SimTime::from_mins(11)), 900.0);
+    }
+
+    #[test]
+    fn ramp_interpolates_linearly() {
+        let mut p = RampRate::new(0.0, 100.0, SimTime::from_secs(0), SimTime::from_secs(100));
+        assert_eq!(p.rate(SimTime::ZERO), 0.0);
+        assert!((p.rate(SimTime::from_secs(50)) - 50.0).abs() < 1e-9);
+        assert_eq!(p.rate(SimTime::from_secs(100)), 100.0);
+        assert_eq!(p.rate(SimTime::from_secs(200)), 100.0);
+    }
+
+    #[test]
+    fn diurnal_cycles_and_stays_nonnegative() {
+        let mut p = DiurnalRate::new(
+            100.0,
+            150.0, // amplitude exceeds base → clamping exercised
+            SimDuration::from_hours(24),
+            SimDuration::ZERO,
+        );
+        let quarter = SimTime::from_hours(6);
+        assert!((p.rate(quarter) - 250.0).abs() < 1e-6, "peak at quarter period");
+        let three_quarter = SimTime::from_hours(18);
+        assert_eq!(p.rate(three_quarter), 0.0, "trough clamps at zero");
+        // One full period later the value repeats.
+        let again = p.rate(quarter + SimDuration::from_hours(24));
+        assert!((again - 250.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flash_crowd_profile() {
+        let mut p = FlashCrowd::new(
+            100.0,
+            1_000.0,
+            SimTime::from_mins(30),
+            SimDuration::from_mins(5),
+            SimDuration::from_mins(10),
+        );
+        assert_eq!(p.rate(SimTime::from_mins(29)), 100.0);
+        assert_eq!(p.rate(SimTime::from_mins(30)), 1_100.0);
+        assert_eq!(p.rate(SimTime::from_mins(35)), 1_100.0);
+        // One decay constant after the plateau: base + spike/e.
+        let v = p.rate(SimTime::from_mins(45));
+        assert!((v - (100.0 + 1_000.0 / std::f64::consts::E)).abs() < 1.0, "v={v}");
+        // Long after: back to (almost) baseline.
+        assert!(p.rate(SimTime::from_hours(10)) < 101.0);
+    }
+
+    #[test]
+    fn mmpp_visits_both_states_and_time_shares_are_sane() {
+        let mut p = MmppRate::new(
+            100.0,
+            1_000.0,
+            SimDuration::from_mins(10),
+            SimDuration::from_mins(5),
+            SimRng::seed(1),
+        );
+        let mut low_samples = 0u32;
+        let mut high_samples = 0u32;
+        for s in 0..50_000u64 {
+            let r = p.rate(SimTime::from_secs(s));
+            if r == 100.0 {
+                low_samples += 1;
+            } else if r == 1_000.0 {
+                high_samples += 1;
+            } else {
+                panic!("unexpected rate {r}");
+            }
+        }
+        assert!(low_samples > 0 && high_samples > 0);
+        // Expected shares 2/3 low, 1/3 high.
+        let high_share = high_samples as f64 / 50_000.0;
+        assert!((high_share - 1.0 / 3.0).abs() < 0.1, "high share {high_share}");
+    }
+
+    #[test]
+    fn mmpp_is_deterministic_per_seed() {
+        let collect = |seed| {
+            let mut p = MmppRate::new(
+                1.0,
+                2.0,
+                SimDuration::from_secs(30),
+                SimDuration::from_secs(30),
+                SimRng::seed(seed),
+            );
+            (0..1_000u64).map(|s| p.rate(SimTime::from_secs(s))).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(5), collect(5));
+        assert_ne!(collect(5), collect(6));
+    }
+
+    #[test]
+    fn composite_sums_components() {
+        let mut p = CompositeProcess::sum(vec![
+            Box::new(ConstantRate::new(100.0)),
+            Box::new(StepRate::new(0.0, 50.0, SimTime::from_secs(10))),
+        ]);
+        assert_eq!(p.rate(SimTime::ZERO), 100.0);
+        assert_eq!(p.rate(SimTime::from_secs(20)), 150.0);
+        assert!(p.name().contains("constant") && p.name().contains("step"));
+    }
+
+    #[test]
+    fn noisy_rate_centres_on_inner() {
+        let mut p = NoisyRate::new(Box::new(ConstantRate::new(200.0)), 0.1, SimRng::seed(2));
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|s| p.rate(SimTime::from_secs(s))).sum::<f64>() / n as f64;
+        assert!((mean - 200.0).abs() < 2.0, "mean={mean}");
+        // Never negative.
+        let mut p2 = NoisyRate::new(Box::new(ConstantRate::new(1.0)), 0.9, SimRng::seed(3));
+        for s in 0..5_000 {
+            assert!(p2.rate(SimTime::from_secs(s)) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn spike_train_repeats() {
+        let mut p = SpikeTrain::new(
+            100.0,
+            900.0,
+            SimDuration::from_mins(10),
+            SimDuration::from_mins(2),
+            SimTime::from_mins(5),
+        );
+        assert_eq!(p.rate(SimTime::from_mins(0)), 100.0, "before the first spike");
+        assert_eq!(p.rate(SimTime::from_mins(5)), 1_000.0, "first spike starts");
+        assert_eq!(p.rate(SimTime::from_mins(6)), 1_000.0, "inside the spike");
+        assert_eq!(p.rate(SimTime::from_mins(7)), 100.0, "spike over");
+        assert_eq!(p.rate(SimTime::from_mins(15)), 1_000.0, "second spike");
+        assert_eq!(p.rate(SimTime::from_mins(25)), 1_000.0, "third spike");
+        assert_eq!(p.rate(SimTime::from_mins(24)), 100.0, "between spikes");
+        assert_eq!(p.name(), "spike-train");
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the period")]
+    fn spike_wider_than_period_panics() {
+        SpikeTrain::new(
+            1.0,
+            1.0,
+            SimDuration::from_mins(1),
+            SimDuration::from_mins(2),
+            SimTime::ZERO,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn ramp_empty_interval_panics() {
+        RampRate::new(1.0, 2.0, SimTime::from_secs(5), SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "composite of nothing")]
+    fn empty_composite_panics() {
+        CompositeProcess::sum(vec![]);
+    }
+}

@@ -1,0 +1,39 @@
+//! # flower-workload
+//!
+//! Workload generation for the Flower reproduction.
+//!
+//! The paper's demonstration drives its click-stream analytics flow with
+//! "a random multi-threaded click stream generator deployed on several
+//! EC2 instances to emulate the real website traffics" (§4). This crate
+//! is the simulated equivalent:
+//!
+//! * [`arrival`] — arrival-rate processes over virtual time: constant,
+//!   step, ramp, diurnal (the day/night cycle visible in the paper's
+//!   Fig. 2), flash crowd, Markov-modulated (MMPP), plus composition and
+//!   multiplicative-noise wrappers. Rates are *intensities* (records per
+//!   second); actual counts are Poisson-sampled around them.
+//! * [`click`] — a click-stream generator that turns an arrival process
+//!   into concrete [`click::ClickRecord`]s with users, sessions, pages,
+//!   and payload sizes — the records the simulated Kinesis ingests.
+//! * [`scenarios`] — a catalogue of named workload scenarios (diurnal,
+//!   flash crowds, periodic/random bursts, growth) composed from the
+//!   arrival primitives, for uniform experiment sweeps.
+//! * [`trace`] — recording of rate traces and replay of recorded traces
+//!   as an arrival process, plus CSV import/export so experiments can be
+//!   re-run bit-identically from a file.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod arrival;
+pub mod click;
+pub mod scenarios;
+pub mod trace;
+
+pub use arrival::{
+    ArrivalProcess, CompositeProcess, ConstantRate, DiurnalRate, FlashCrowd, MmppRate,
+    NoisyRate, RampRate, SpikeTrain, StepRate,
+};
+pub use click::{ClickRecord, ClickStreamConfig, ClickStreamGenerator, EventKind};
+pub use scenarios::Scenario;
+pub use trace::RateTrace;

@@ -1,0 +1,203 @@
+//! Named workload scenarios.
+//!
+//! Ready-made compositions of the arrival primitives, modelled on the
+//! traffic shapes the autoscaling literature evaluates against. Each
+//! scenario is a factory taking a base intensity and a seed and returning
+//! a boxed [`ArrivalProcess`], so experiments can sweep scenarios
+//! uniformly.
+
+use flower_sim::{SimDuration, SimRng, SimTime};
+
+use crate::arrival::{
+    ArrivalProcess, CompositeProcess, ConstantRate, DiurnalRate, FlashCrowd, MmppRate,
+    NoisyRate, RampRate, SpikeTrain,
+};
+
+/// The catalogue of named scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Steady traffic with mild noise.
+    Steady,
+    /// A compressed day/night cycle (2 h period) with noise.
+    Diurnal,
+    /// Diurnal plus a lunchtime flash crowd.
+    DiurnalWithFlashCrowd,
+    /// A sudden sustained step (capacity-planning miss).
+    SuddenStep,
+    /// Recurring bursts on a fixed cadence (batch jobs, TV ads).
+    PeriodicBursts,
+    /// Markov-modulated bursts (unpredictable cadence).
+    RandomBursts,
+    /// Slow organic growth over the whole episode.
+    Growth,
+}
+
+impl Scenario {
+    /// All scenarios, for sweeps.
+    pub const ALL: [Scenario; 7] = [
+        Scenario::Steady,
+        Scenario::Diurnal,
+        Scenario::DiurnalWithFlashCrowd,
+        Scenario::SuddenStep,
+        Scenario::PeriodicBursts,
+        Scenario::RandomBursts,
+        Scenario::Growth,
+    ];
+
+    /// Stable kebab-case name (CLI/report identifier).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Steady => "steady",
+            Scenario::Diurnal => "diurnal",
+            Scenario::DiurnalWithFlashCrowd => "diurnal-flash",
+            Scenario::SuddenStep => "sudden-step",
+            Scenario::PeriodicBursts => "periodic-bursts",
+            Scenario::RandomBursts => "random-bursts",
+            Scenario::Growth => "growth",
+        }
+    }
+
+    /// Look a scenario up by its [`Scenario::name`].
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        Scenario::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Materialize the scenario around a base intensity of `rate`
+    /// records/second. All scenarios carry 8 % multiplicative noise so no
+    /// controller sees an implausibly clean signal.
+    pub fn build(self, rate: f64, seed: u64) -> Box<dyn ArrivalProcess> {
+        assert!(rate > 0.0, "base rate must be positive");
+        let rng = SimRng::seed(seed ^ 0x5CEE);
+        let inner: Box<dyn ArrivalProcess> = match self {
+            Scenario::Steady => Box::new(ConstantRate::new(rate)),
+            Scenario::Diurnal => Box::new(DiurnalRate::new(
+                rate,
+                rate * 0.8,
+                SimDuration::from_hours(2),
+                SimDuration::ZERO,
+            )),
+            Scenario::DiurnalWithFlashCrowd => Box::new(CompositeProcess::sum(vec![
+                Box::new(DiurnalRate::new(
+                    rate,
+                    rate * 0.7,
+                    SimDuration::from_hours(2),
+                    SimDuration::ZERO,
+                )),
+                Box::new(FlashCrowd::new(
+                    0.0,
+                    rate * 2.0,
+                    SimTime::from_mins(40),
+                    SimDuration::from_mins(5),
+                    SimDuration::from_mins(8),
+                )),
+            ])),
+            Scenario::SuddenStep => Box::new(crate::arrival::StepRate::new(
+                rate * 0.4,
+                rate * 2.0,
+                SimTime::from_mins(10),
+            )),
+            Scenario::PeriodicBursts => Box::new(SpikeTrain::new(
+                rate * 0.5,
+                rate * 1.8,
+                SimDuration::from_mins(12),
+                SimDuration::from_mins(3),
+                SimTime::from_mins(6),
+            )),
+            Scenario::RandomBursts => Box::new(MmppRate::new(
+                rate * 0.4,
+                rate * 2.2,
+                SimDuration::from_mins(8),
+                SimDuration::from_mins(4),
+                SimRng::seed(seed ^ 0xB0B5),
+            )),
+            Scenario::Growth => Box::new(RampRate::new(
+                rate * 0.3,
+                rate * 2.0,
+                SimTime::ZERO,
+                SimTime::from_hours(2),
+            )),
+        };
+        Box::new(NoisyRate::new(inner, 0.08, rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for s in Scenario::ALL {
+            assert_eq!(Scenario::by_name(s.name()), Some(s));
+        }
+        assert_eq!(Scenario::by_name("nope"), None);
+    }
+
+    #[test]
+    fn every_scenario_builds_and_yields_sane_rates() {
+        for scenario in Scenario::ALL {
+            let mut p = scenario.build(1_000.0, 7);
+            let mut total = 0.0;
+            for m in 0..180u64 {
+                let r = p.rate(SimTime::from_mins(m));
+                assert!(r.is_finite() && r >= 0.0, "{}: rate {r}", scenario.name());
+                assert!(r < 20_000.0, "{}: rate {r} unreasonably high", scenario.name());
+                total += r;
+            }
+            assert!(total > 0.0, "{} produced no traffic", scenario.name());
+        }
+    }
+
+    #[test]
+    fn scenarios_differ_from_each_other() {
+        // Sample each scenario on a grid and check the profiles are not
+        // all identical (pairwise max deviation is nonzero).
+        let profiles: Vec<Vec<f64>> = Scenario::ALL
+            .iter()
+            .map(|s| {
+                let mut p = s.build(1_000.0, 3);
+                (0..120u64).map(|m| p.rate(SimTime::from_mins(m))).collect()
+            })
+            .collect();
+        for i in 0..profiles.len() {
+            for j in (i + 1)..profiles.len() {
+                let max_dev = profiles[i]
+                    .iter()
+                    .zip(&profiles[j])
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max);
+                assert!(
+                    max_dev > 10.0,
+                    "{} and {} look identical",
+                    Scenario::ALL[i].name(),
+                    Scenario::ALL[j].name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let sample = |seed| {
+            let mut p = Scenario::RandomBursts.build(1_000.0, seed);
+            (0..60u64).map(|m| p.rate(SimTime::from_mins(m))).collect::<Vec<_>>()
+        };
+        assert_eq!(sample(5), sample(5));
+        assert_ne!(sample(5), sample(6));
+    }
+
+    #[test]
+    fn step_scenario_steps_at_ten_minutes() {
+        let mut p = Scenario::SuddenStep.build(1_000.0, 1);
+        // Average around the step to see through the noise.
+        let before: f64 = (0..9).map(|m| p.rate(SimTime::from_mins(m))).sum::<f64>() / 9.0;
+        let after: f64 = (11..20).map(|m| p.rate(SimTime::from_mins(m))).sum::<f64>() / 9.0;
+        assert!(after > before * 3.0, "before {before}, after {after}");
+    }
+
+    #[test]
+    #[should_panic(expected = "base rate must be positive")]
+    fn zero_rate_rejected() {
+        Scenario::Steady.build(0.0, 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! Rate-trace recording and replay.
+//!
+//! Experiments record the intensity an arrival process produced and can
+//! replay the recorded trace later as an [`ArrivalProcess`] of its own —
+//! the simulated stand-in for the paper's production workload logs, which
+//! the dependency analyzer consumes.
+
+use std::io::{BufRead, Write};
+
+use flower_sim::{SimDuration, SimTime};
+
+use crate::arrival::ArrivalProcess;
+
+/// A sampled rate trace: intensity values on a fixed-period grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateTrace {
+    period: SimDuration,
+    samples: Vec<f64>,
+}
+
+impl RateTrace {
+    /// An empty trace with the given sample period.
+    pub fn new(period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "trace period must be non-zero");
+        RateTrace {
+            period,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Record a trace by sampling `process` every `period` for
+    /// `n_samples` steps starting at `t = 0`.
+    pub fn record(
+        process: &mut dyn ArrivalProcess,
+        period: SimDuration,
+        n_samples: usize,
+    ) -> RateTrace {
+        let mut trace = RateTrace::new(period);
+        for i in 0..n_samples {
+            let t = SimTime::ZERO + period * i as u64;
+            trace.samples.push(process.rate(t));
+        }
+        trace
+    }
+
+    /// Sample period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// Recorded samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total trace duration.
+    pub fn duration(&self) -> SimDuration {
+        self.period * self.samples.len() as u64
+    }
+
+    /// Append one sample.
+    pub fn push(&mut self, rate: f64) {
+        assert!(rate >= 0.0 && rate.is_finite(), "invalid rate {rate}");
+        self.samples.push(rate);
+    }
+
+    /// Serialize as two-column CSV (`t_seconds,rate`).
+    pub fn to_csv<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "t_seconds,rate")?;
+        for (i, &r) in self.samples.iter().enumerate() {
+            let t = self.period.as_secs_f64() * i as f64;
+            writeln!(w, "{t},{r}")?;
+        }
+        Ok(())
+    }
+
+    /// Parse the CSV written by [`RateTrace::to_csv`]. The time column is
+    /// used only to infer the period (from the first two rows).
+    pub fn from_csv<R: BufRead>(r: R) -> std::io::Result<RateTrace> {
+        let mut times = Vec::new();
+        let mut samples = Vec::new();
+        for (lineno, line) in r.lines().enumerate() {
+            let line = line?;
+            if lineno == 0 {
+                continue; // header
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(2, ',');
+            let parse = |s: Option<&str>| -> std::io::Result<f64> {
+                s.and_then(|v| v.trim().parse::<f64>().ok()).ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("bad CSV line {}: {line}", lineno + 1),
+                    )
+                })
+            };
+            times.push(parse(parts.next())?);
+            samples.push(parse(parts.next())?);
+        }
+        let period = if times.len() >= 2 {
+            SimDuration::from_secs_f64(times[1] - times[0])
+        } else {
+            SimDuration::from_secs(1)
+        };
+        if period.is_zero() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "trace period parsed as zero",
+            ));
+        }
+        Ok(RateTrace { period, samples })
+    }
+
+    /// View the trace as a replayable arrival process. Lookups past the
+    /// end of the trace hold the last sample (or 0 for an empty trace).
+    pub fn replay(&self) -> TraceReplay {
+        TraceReplay {
+            trace: self.clone(),
+        }
+    }
+}
+
+/// An [`ArrivalProcess`] replaying a recorded [`RateTrace`]
+/// (zero-order hold between samples).
+#[derive(Debug, Clone)]
+pub struct TraceReplay {
+    trace: RateTrace,
+}
+
+impl ArrivalProcess for TraceReplay {
+    fn rate(&mut self, t: SimTime) -> f64 {
+        if self.trace.samples.is_empty() {
+            return 0.0;
+        }
+        let idx = (t.as_millis() / self.trace.period.as_millis()) as usize;
+        let idx = idx.min(self.trace.samples.len() - 1);
+        self.trace.samples[idx]
+    }
+    fn name(&self) -> &str {
+        "trace-replay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::{ConstantRate, RampRate};
+
+    #[test]
+    fn record_samples_on_grid() {
+        let mut p = RampRate::new(0.0, 90.0, SimTime::ZERO, SimTime::from_secs(90));
+        let trace = RateTrace::record(&mut p, SimDuration::from_secs(10), 10);
+        assert_eq!(trace.len(), 10);
+        assert_eq!(trace.samples()[0], 0.0);
+        assert!((trace.samples()[5] - 50.0).abs() < 1e-9);
+        assert_eq!(trace.duration(), SimDuration::from_secs(100));
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn replay_holds_between_and_after_samples() {
+        let mut trace = RateTrace::new(SimDuration::from_secs(60));
+        trace.push(10.0);
+        trace.push(20.0);
+        trace.push(30.0);
+        let mut replay = trace.replay();
+        assert_eq!(replay.rate(SimTime::from_secs(0)), 10.0);
+        assert_eq!(replay.rate(SimTime::from_secs(59)), 10.0);
+        assert_eq!(replay.rate(SimTime::from_secs(60)), 20.0);
+        assert_eq!(replay.rate(SimTime::from_secs(150)), 30.0);
+        // Past the end: hold last.
+        assert_eq!(replay.rate(SimTime::from_hours(2)), 30.0);
+        assert_eq!(replay.name(), "trace-replay");
+    }
+
+    #[test]
+    fn empty_replay_is_zero() {
+        let trace = RateTrace::new(SimDuration::from_secs(1));
+        let mut replay = trace.replay();
+        assert_eq!(replay.rate(SimTime::from_secs(5)), 0.0);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut p = ConstantRate::new(123.5);
+        let trace = RateTrace::record(&mut p, SimDuration::from_secs(30), 5);
+        let mut buf = Vec::new();
+        trace.to_csv(&mut buf).unwrap();
+        let parsed = RateTrace::from_csv(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        let bad = "t_seconds,rate\nfoo,bar\n";
+        assert!(RateTrace::from_csv(std::io::Cursor::new(bad.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn csv_single_row_defaults_period() {
+        let one = "t_seconds,rate\n0,42\n";
+        let parsed = RateTrace::from_csv(std::io::Cursor::new(one.as_bytes())).unwrap();
+        assert_eq!(parsed.period(), SimDuration::from_secs(1));
+        assert_eq!(parsed.samples(), &[42.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate")]
+    fn push_rejects_negative() {
+        RateTrace::new(SimDuration::from_secs(1)).push(-1.0);
+    }
+}
