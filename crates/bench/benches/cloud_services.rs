@@ -1,7 +1,11 @@
+// Test target: unwrap/expect and exact float comparison are deliberate
+// here (determinism assertions compare results bit-for-bit).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! Per-tick cost of the simulated cloud services, individually and wired
 //! into the full engine — the dominant cost of long elasticity episodes.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flower_bench::harness::{black_box, Criterion};
+use flower_bench::{criterion_group, criterion_main};
 use flower_cloud::{
     CloudEngine, DynamoConfig, DynamoTable, EngineConfig, KinesisConfig, KinesisStream,
     StormCluster, StormConfig, Topology,
@@ -13,8 +17,7 @@ fn services(c: &mut Criterion) {
     let mut group = c.benchmark_group("cloud");
     let dt = SimDuration::from_secs(1);
 
-    let mut generator =
-        ClickStreamGenerator::new(ClickStreamConfig::default(), SimRng::seed(1));
+    let mut generator = ClickStreamGenerator::new(ClickStreamConfig::default(), SimRng::seed(1));
     let batch = generator.generate(SimTime::ZERO, 2_000);
 
     group.bench_function("kinesis_ingest_2000rec", |b| {
@@ -26,7 +29,7 @@ fn services(c: &mut Criterion) {
         b.iter(|| {
             t += 1;
             black_box(stream.ingest(&batch, SimTime::from_secs(t), dt))
-        })
+        });
     });
 
     group.bench_function("storm_process_2000tuples", |b| {
@@ -41,7 +44,7 @@ fn services(c: &mut Criterion) {
         b.iter(|| {
             t += 1;
             black_box(cluster.process(2_000, SimTime::from_secs(t), dt))
-        })
+        });
     });
 
     group.bench_function("dynamo_write_100items", |b| {
@@ -53,7 +56,7 @@ fn services(c: &mut Criterion) {
         b.iter(|| {
             t += 1;
             black_box(table.write(100, 512, SimTime::from_secs(t), dt))
-        })
+        });
     });
 
     group.bench_function("engine_full_tick_2000rec", |b| {
@@ -68,7 +71,7 @@ fn services(c: &mut Criterion) {
         b.iter(|| {
             t += 1;
             black_box(engine.tick(&batch, SimTime::from_secs(t), dt))
-        })
+        });
     });
 
     group.finish();

@@ -1,7 +1,11 @@
+// Test target: unwrap/expect and exact float comparison are deliberate
+// here (determinism assertions compare results bit-for-bit).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! Per-tick cost of each controller's `step` — establishes that the
 //! control loop adds negligible overhead to a monitoring period.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flower_bench::harness::{black_box, Criterion};
+use flower_bench::{criterion_group, criterion_main};
 use flower_control::{
     AdaptiveConfig, AdaptiveController, Controller, FixedGainConfig, FixedGainController,
     QuasiAdaptiveConfig, QuasiAdaptiveController, RuleBasedConfig, RuleBasedController,
@@ -10,7 +14,9 @@ use flower_control::{
 fn controllers(c: &mut Criterion) {
     let mut group = c.benchmark_group("controller_step");
     // A repeatable measurement sequence around the setpoint.
-    let measurements: Vec<f64> = (0..64).map(|i| 60.0 + 30.0 * ((i as f64) * 0.7).sin()).collect();
+    let measurements: Vec<f64> = (0..64)
+        .map(|i| 60.0 + 30.0 * ((i as f64) * 0.7).sin())
+        .collect();
 
     group.bench_function("adaptive", |b| {
         let mut controller = AdaptiveController::new(AdaptiveConfig::default());
@@ -19,7 +25,7 @@ fn controllers(c: &mut Criterion) {
             let y = measurements[i % measurements.len()];
             i += 1;
             black_box(controller.step(black_box(y)))
-        })
+        });
     });
 
     group.bench_function("adaptive_no_memory", |b| {
@@ -32,7 +38,7 @@ fn controllers(c: &mut Criterion) {
             let y = measurements[i % measurements.len()];
             i += 1;
             black_box(controller.step(black_box(y)))
-        })
+        });
     });
 
     group.bench_function("fixed_gain", |b| {
@@ -42,7 +48,7 @@ fn controllers(c: &mut Criterion) {
             let y = measurements[i % measurements.len()];
             i += 1;
             black_box(controller.step(black_box(y)))
-        })
+        });
     });
 
     group.bench_function("quasi_adaptive", |b| {
@@ -52,7 +58,7 @@ fn controllers(c: &mut Criterion) {
             let y = measurements[i % measurements.len()];
             i += 1;
             black_box(controller.step(black_box(y)))
-        })
+        });
     });
 
     group.bench_function("rule_based", |b| {
@@ -62,7 +68,7 @@ fn controllers(c: &mut Criterion) {
             let y = measurements[i % measurements.len()];
             i += 1;
             black_box(controller.step(black_box(y)))
-        })
+        });
     });
 
     group.finish();

@@ -1,8 +1,12 @@
+// Test target: unwrap/expect and exact float comparison are deliberate
+// here (determinism assertions compare results bit-for-bit).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! NSGA-II throughput on the paper's share problem (A3's performance
 //! half): time per full run at the reference settings and per-generation
 //! scaling.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flower_bench::harness::{BenchmarkId, Criterion};
+use flower_bench::{criterion_group, criterion_main};
 use flower_core::share::ShareProblem;
 use flower_nsga2::{Nsga2, Nsga2Config};
 
@@ -26,7 +30,7 @@ fn nsga2_runs(c: &mut Criterion) {
                         },
                     )
                     .run()
-                })
+                });
             },
         );
     }

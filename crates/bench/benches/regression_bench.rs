@@ -1,14 +1,21 @@
+// Test target: unwrap/expect and exact float comparison are deliberate
+// here (determinism assertions compare results bit-for-bit).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! Cost of the dependency analyzer's statistical primitives at the trace
 //! lengths experiments produce (minutes to days of per-minute samples).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use flower_bench::harness::{black_box, BenchmarkId, Criterion};
+use flower_bench::{criterion_group, criterion_main};
 use flower_sim::SimRng;
 use flower_stats::{cross_correlation, pearson, MultipleOls, SimpleOls};
 
 fn data(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
     let mut rng = SimRng::seed(seed);
     let x: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 60_000.0)).collect();
-    let y: Vec<f64> = x.iter().map(|&v| 0.0002 * v + 4.8 + rng.normal(0.0, 0.5)).collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|&v| 0.0002 * v + 4.8 + rng.normal(0.0, 0.5))
+        .collect();
     (x, y)
 }
 
@@ -17,16 +24,16 @@ fn regression(c: &mut Criterion) {
     for &n in &[550usize, 5_000, 50_000] {
         let (x, y) = data(n, 1);
         group.bench_with_input(BenchmarkId::new("simple_ols", n), &n, |b, _| {
-            b.iter(|| SimpleOls::fit(black_box(&x), black_box(&y)).unwrap())
+            b.iter(|| SimpleOls::fit(black_box(&x), black_box(&y)).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("pearson", n), &n, |b, _| {
-            b.iter(|| pearson(black_box(&x), black_box(&y)).unwrap())
+            b.iter(|| pearson(black_box(&x), black_box(&y)).unwrap());
         });
     }
 
     let (x, y) = data(550, 2);
     group.bench_function("cross_correlation_550_lag30", |b| {
-        b.iter(|| cross_correlation(black_box(&x), black_box(&y), 30).unwrap())
+        b.iter(|| cross_correlation(black_box(&x), black_box(&y), 30).unwrap());
     });
 
     let mut rng = SimRng::seed(3);
@@ -38,7 +45,7 @@ fn regression(c: &mut Criterion) {
         .map(|r| 1.0 + r.iter().sum::<f64>() + rng.normal(0.0, 0.1))
         .collect();
     group.bench_function("multiple_ols_2000x4", |b| {
-        b.iter(|| MultipleOls::fit(black_box(&xs), black_box(&ym)).unwrap())
+        b.iter(|| MultipleOls::fit(black_box(&xs), black_box(&ym)).unwrap());
     });
     group.finish();
 }

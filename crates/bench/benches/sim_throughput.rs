@@ -1,7 +1,11 @@
+// Test target: unwrap/expect and exact float comparison are deliberate
+// here (determinism assertions compare results bit-for-bit).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! Event throughput of the discrete-event kernel and the PRNG — the
 //! floor under every simulated experiment's wall time.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flower_bench::harness::{black_box, Criterion};
+use flower_bench::{criterion_group, criterion_main};
 use flower_sim::{Scheduler, SimDuration, SimRng, SimTime};
 
 fn kernel(c: &mut Criterion) {
@@ -18,7 +22,7 @@ fn kernel(c: &mut Criterion) {
             let mut state = 0u64;
             sched.run(&mut state);
             black_box(state)
-        })
+        });
     });
 
     group.bench_function("periodic_event_10k_firings", |b| {
@@ -35,17 +39,17 @@ fn kernel(c: &mut Criterion) {
             let mut state = 0u64;
             sched.run(&mut state);
             black_box(state)
-        })
+        });
     });
 
     group.bench_function("rng_next_u64", |b| {
         let mut rng = SimRng::seed(1);
-        b.iter(|| black_box(rng.next_u64()))
+        b.iter(|| black_box(rng.next_u64()));
     });
 
     group.bench_function("rng_poisson_1000", |b| {
         let mut rng = SimRng::seed(2);
-        b.iter(|| black_box(rng.poisson(black_box(1_000.0))))
+        b.iter(|| black_box(rng.poisson(black_box(1_000.0))));
     });
 
     group.finish();

@@ -1,7 +1,11 @@
+// Test target: unwrap/expect and exact float comparison are deliberate
+// here (determinism assertions compare results bit-for-bit).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! Record-generation throughput of the click-stream workload generator
 //! and the arrival-rate processes feeding it.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use flower_bench::harness::{black_box, BenchmarkId, Criterion};
+use flower_bench::{criterion_group, criterion_main};
 use flower_sim::{SimDuration, SimRng, SimTime};
 use flower_workload::{
     ArrivalProcess, ClickStreamConfig, ClickStreamGenerator, DiurnalRate, MmppRate,
@@ -18,7 +22,7 @@ fn workload(c: &mut Criterion) {
             b.iter(|| {
                 t += 1;
                 black_box(generator.generate(SimTime::from_secs(t), n))
-            })
+            });
         });
     }
 
@@ -33,7 +37,7 @@ fn workload(c: &mut Criterion) {
         b.iter(|| {
             t += 1;
             black_box(process.rate(SimTime::from_secs(t)))
-        })
+        });
     });
 
     group.bench_function("mmpp_rate_query", |b| {
@@ -48,7 +52,7 @@ fn workload(c: &mut Criterion) {
         b.iter(|| {
             t += 1;
             black_box(process.rate(SimTime::from_secs(t)))
-        })
+        });
     });
 
     group.finish();

@@ -1,3 +1,6 @@
+// Operational entry point: exempt from the library panic-freedom floor
+// (mirrors the Exempt crate profile of `cargo xtask lint`).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! **A1 — ablation: the gain-memory feature and the γ sweep.**
 //!
 //! §3.3 distinguishes Flower's controller by "updating the gain
@@ -36,7 +39,10 @@ fn main() {
     const MINUTES: u64 = 90;
     let seeds = [base_seed, base_seed + 1, base_seed + 2];
 
-    println!("A1 — gain memory ablation ({MINUTES} min recurring bursts, {} seeds)", seeds.len());
+    println!(
+        "A1 — gain memory ablation ({MINUTES} min recurring bursts, {} seeds)",
+        seeds.len()
+    );
     println!(
         "{:>9} {:>8} {:>14} {:>10} {:>10}",
         "gamma", "memory", "thr.ingest", "cost $", "actions"
@@ -80,6 +86,10 @@ fn main() {
     println!("\n== shape check ==");
     println!(
         "  memory reduces throttling at small gamma: {}",
-        if memory_wins_small_gamma { "PASS" } else { "FAIL" }
+        if memory_wins_small_gamma {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
 }

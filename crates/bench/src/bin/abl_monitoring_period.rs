@@ -1,3 +1,6 @@
+// Operational entry point: exempt from the library panic-freedom floor
+// (mirrors the Exempt crate profile of `cargo xtask lint`).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! **A2 — ablation: the monitoring period.**
 //!
 //! The demo lets attendees "adjust parameters of the controllers, such
@@ -32,7 +35,11 @@ fn main() {
     let mut results = Vec::new();
     for secs in [10u64, 15, 30, 60, 120, 300] {
         let mut manager = ElasticityManager::builder(clickstream_flow())
-            .workload(Workload::flash_crowd(600.0, 5_000.0, SimTime::from_mins(10)))
+            .workload(Workload::flash_crowd(
+                600.0,
+                5_000.0,
+                SimTime::from_mins(10),
+            ))
             .monitoring_period(SimDuration::from_secs(secs))
             .seed(seed)
             .build();
@@ -60,6 +67,10 @@ fn main() {
     );
     println!(
         "  short periods act more often: {} ({actions_short} vs {actions_long})",
-        if actions_short > actions_long { "PASS" } else { "FAIL" }
+        if actions_short > actions_long {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
 }

@@ -1,3 +1,6 @@
+// Operational entry point: exempt from the library panic-freedom floor
+// (mirrors the Exempt crate profile of `cargo xtask lint`).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! **A3 — ablation: NSGA-II against naive plan-space search.**
 //!
 //! §3.2 chose NSGA-II "to efficiently search the provisioning plan
@@ -87,12 +90,15 @@ fn main() {
     let mut rows = 0;
     for (pop, gens) in [(40usize, 24usize), (60, 49), (100, 99)] {
         let evals = pop * (gens + 1);
-        let result = Nsga2::new(problem.clone(), Nsga2Config {
-            population: pop,
-            generations: gens,
-            seed,
-            ..Default::default()
-        })
+        let result = Nsga2::new(
+            problem.clone(),
+            Nsga2Config {
+                population: pop,
+                generations: gens,
+                seed,
+                ..Default::default()
+            },
+        )
         .run();
         let nsga_front: Vec<Vec<f64>> = result
             .pareto_front()
@@ -106,8 +112,10 @@ fn main() {
             &feasible_front(&problem, &random_search(&problem, evals, seed)),
             &reference,
         );
-        let hv_grid =
-            hypervolume(&feasible_front(&problem, &grid_search(&problem, evals)), &reference);
+        let hv_grid = hypervolume(
+            &feasible_front(&problem, &grid_search(&problem, evals)),
+            &reference,
+        );
 
         println!("{evals:>8} {hv_nsga:>14.1} {hv_random:>14.1} {hv_grid:>14.1}");
         rows += 1;

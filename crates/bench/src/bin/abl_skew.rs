@@ -1,3 +1,6 @@
+// Operational entry point: exempt from the library panic-freedom floor
+// (mirrors the Exempt crate profile of `cargo xtask lint`).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! **A4 — ablation: hot-key skew and the monitoring sensor's altitude.**
 //!
 //! The paper's first challenge (§1) is "heterogeneity of workloads": a

@@ -1,3 +1,6 @@
+// Operational entry point: exempt from the library panic-freedom floor
+// (mirrors the Exempt crate profile of `cargo xtask lint`).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! **E4 — the §3.3 controller comparison.**
 //!
 //! The paper claims its adaptive gain-memory controller "outperforms the
@@ -70,7 +73,11 @@ fn main() {
     println!("\n== shape check (recurring bursts, the gain-memory habitat) ==");
     println!(
         "  adaptive throttles fewer records than every baseline: {} ({} vs best baseline {})",
-        if adaptive_thr < best_other_thr { "PASS" } else { "FAIL" },
+        if adaptive_thr < best_other_thr {
+            "PASS"
+        } else {
+            "FAIL"
+        },
         adaptive_thr,
         best_other_thr
     );

@@ -1,3 +1,6 @@
+// Operational entry point: exempt from the library panic-freedom floor
+// (mirrors the Exempt crate profile of `cargo xtask lint`).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! **E1 + E2 — Fig. 2 and Eq. 2 of the paper.**
 //!
 //! Reproduces the paper's Fig. 2: a 550-minute trace of the click-stream
@@ -111,7 +114,10 @@ fn main() {
         .find(|d| d.source.id.metric == INCOMING_RECORDS && d.target.id.metric == CPU_UTILIZATION)
         .expect("the Fig. 2 pair must be dependent");
     println!("\n== paper vs reproduction ==");
-    println!("  correlation (paper: 0.95)     : {:.3}", fig2.correlation());
+    println!(
+        "  correlation (paper: 0.95)     : {:.3}",
+        fig2.correlation()
+    );
     println!(
         "  regression (paper Eq. 2: CPU = 0.0002*WC + 4.8): CPU = {:.6}*records_per_sec + {:.2}",
         fig2.fit.slope * 60.0, // per-minute sum → per-second rate
@@ -119,7 +125,15 @@ fn main() {
     );
     println!(
         "  shape check: strong positive correlation {}; positive intercept (idle CPU) {}",
-        if fig2.correlation() >= 0.9 { "PASS" } else { "FAIL" },
-        if fig2.fit.intercept > 0.0 { "PASS" } else { "FAIL" },
+        if fig2.correlation() >= 0.9 {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+        if fig2.fit.intercept > 0.0 {
+            "PASS"
+        } else {
+            "FAIL"
+        },
     );
 }

@@ -1,3 +1,6 @@
+// Operational entry point: exempt from the library panic-freedom floor
+// (mirrors the Exempt crate profile of `cargo xtask lint`).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! **E3 — Fig. 4 of the paper: Pareto-optimal resource shares.**
 //!
 //! The paper's worked example (§3.2): maximize `(r_I, r_A, r_S)` subject
@@ -59,9 +62,7 @@ fn main() {
     plans_by_vms.sort_by(|a, b| a.vms.partial_cmp(&b.vms).expect("finite"));
     let plans = plans_by_vms;
 
-    println!(
-        "representative Pareto-optimal provisioning plans (paper: 6):"
-    );
+    println!("representative Pareto-optimal provisioning plans (paper: 6):");
     println!(
         "{:>4} {:>14} {:>10} {:>12} {:>10}",
         "#", "Kinesis shards", "Storm VMs", "Dynamo WCU", "$/hour"
@@ -79,7 +80,10 @@ fn main() {
 
     // Shape checks.
     let distinct_ok = plans.len() >= 3 && plans.len() <= 12;
-    let saturating = plans.iter().filter(|p| p.hourly_cost > 0.9 * budget).count();
+    let saturating = plans
+        .iter()
+        .filter(|p| p.hourly_cost > 0.9 * budget)
+        .count();
     let tradeoff = {
         // At least two plans must differ in which layer they favour.
         let max_vms = plans.iter().map(|p| p.vms).fold(0.0, f64::max);

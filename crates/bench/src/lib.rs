@@ -1,3 +1,6 @@
+// Operational entry point: exempt from the library panic-freedom floor
+// (mirrors the Exempt crate profile of `cargo xtask lint`).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! # flower-bench
 //!
 //! The experiment harness regenerating every figure of the Flower paper
@@ -14,10 +17,13 @@
 //! | `abl_nsga2` | A3 — NSGA-II vs random/grid search (hypervolume) |
 //! | `abl_skew` | A4 — hot-key skew: stream-average vs hottest-shard sensor |
 //!
-//! Criterion microbenchmarks live in `benches/`. All binaries accept an
-//! optional `--seed N` argument and print CSV-ish tables to stdout.
+//! Microbenchmarks live in `benches/`, driven by the in-repo
+//! Criterion-compatible [`harness`]. All binaries accept an optional
+//! `--seed N` argument and print CSV-ish tables to stdout.
 
 #![warn(clippy::all)]
+
+pub mod harness;
 
 use flower_core::config::ControllerSpec;
 use flower_core::flow::{clickstream_flow, Layer};

@@ -108,7 +108,7 @@ mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> Result<Args, ArgsError> {
-        Args::parse(args.iter().map(|s| s.to_string()))
+        Args::parse(args.iter().map(ToString::to_string))
     }
 
     #[test]
@@ -161,7 +161,9 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        assert!(ArgsError::MissingValue("x".into()).to_string().contains("--x"));
+        assert!(ArgsError::MissingValue("x".into())
+            .to_string()
+            .contains("--x"));
         assert!(ArgsError::UnexpectedPositional("y".into())
             .to_string()
             .contains("'y'"));

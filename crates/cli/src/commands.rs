@@ -143,7 +143,10 @@ pub fn run(args: &Args) -> CmdResult {
     let report = manager.run_for_mins(minutes);
 
     let dashboard = Dashboard::new()
-        .panel(Panel::new("arrival rate (rec/s)", report.arrival_trace.clone()))
+        .panel(Panel::new(
+            "arrival rate (rec/s)",
+            report.arrival_trace.clone(),
+        ))
         .panel(
             Panel::new(
                 "ingestion utilization (%)",
@@ -151,7 +154,10 @@ pub fn run(args: &Args) -> CmdResult {
             )
             .with_reference(70.0),
         )
-        .panel(Panel::new("shards", report.actuators(Layer::Ingestion).to_vec()))
+        .panel(Panel::new(
+            "shards",
+            report.actuators(Layer::Ingestion).to_vec(),
+        ))
         .panel(
             Panel::new(
                 "analytics CPU (%)",
@@ -159,7 +165,10 @@ pub fn run(args: &Args) -> CmdResult {
             )
             .with_reference(60.0),
         )
-        .panel(Panel::new("VMs", report.actuators(Layer::Analytics).to_vec()))
+        .panel(Panel::new(
+            "VMs",
+            report.actuators(Layer::Analytics).to_vec(),
+        ))
         .panel(Panel::new("WCU", report.actuators(Layer::Storage).to_vec()));
     println!("\n{}", dashboard.render(100));
     println!(
@@ -263,7 +272,7 @@ mod tests {
     use super::*;
 
     fn args(list: &[&str]) -> Args {
-        Args::parse(list.iter().map(|s| s.to_string())).expect("valid args")
+        Args::parse(list.iter().map(ToString::to_string)).expect("valid args")
     }
 
     #[test]
@@ -284,7 +293,13 @@ mod tests {
 
     #[test]
     fn controller_kinds_build() {
-        for kind in ["adaptive", "fixed-gain", "quasi-adaptive", "rule-based", "static"] {
+        for kind in [
+            "adaptive",
+            "fixed-gain",
+            "quasi-adaptive",
+            "rule-based",
+            "static",
+        ] {
             assert!(controller(kind).is_ok(), "controller {kind}");
         }
         assert!(controller("nope").is_err());

@@ -1,3 +1,6 @@
+// Operational entry point: exempt from the library panic-freedom floor
+// (mirrors the Exempt crate profile of `cargo xtask lint`).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! `flower` — the command-line front end of the Flower reproduction.
 //!
 //! Mirrors the demo walkthrough of the paper's §4 as subcommands:

@@ -107,7 +107,10 @@ impl Alarm {
         evaluation_periods: u32,
     ) -> Alarm {
         assert!(!period.is_zero(), "alarm period must be non-zero");
-        assert!(evaluation_periods >= 1, "need at least one evaluation period");
+        assert!(
+            evaluation_periods >= 1,
+            "need at least one evaluation period"
+        );
         Alarm {
             name: name.into(),
             metric,
@@ -220,7 +223,10 @@ impl AlarmSet {
 
     /// The state of a named alarm.
     pub fn state(&self, name: &str) -> Option<AlarmState> {
-        self.alarms.iter().find(|a| a.name == name).map(|a| a.state())
+        self.alarms
+            .iter()
+            .find(|a| a.name == name)
+            .map(Alarm::state)
     }
 
     /// All alarms currently in `ALARM`.
@@ -296,8 +302,8 @@ mod tests {
         let mut alarm = cpu_alarm(2);
         let store = store_with(&[90.0, 95.0, 50.0, 40.0]);
         alarm.evaluate(&store, SimTime::from_secs(60)); // → OK? value 90 breaches…
-        // First evaluation from INSUFFICIENT_DATA with a breach: streak 1,
-        // not yet ALARM, so state becomes OK (data exists).
+                                                        // First evaluation from INSUFFICIENT_DATA with a breach: streak 1,
+                                                        // not yet ALARM, so state becomes OK (data exists).
         assert_eq!(alarm.state(), AlarmState::Ok);
         alarm.evaluate(&store, SimTime::from_secs(120)); // breach #2 → ALARM
         assert_eq!(alarm.state(), AlarmState::Alarm);
@@ -375,6 +381,9 @@ mod tests {
     fn display_states() {
         assert_eq!(AlarmState::Alarm.to_string(), "ALARM");
         assert_eq!(AlarmState::Ok.to_string(), "OK");
-        assert_eq!(AlarmState::InsufficientData.to_string(), "INSUFFICIENT_DATA");
+        assert_eq!(
+            AlarmState::InsufficientData.to_string(),
+            "INSUFFICIENT_DATA"
+        );
     }
 }

@@ -286,8 +286,9 @@ impl DynamoTable {
         let dt_secs = dt.as_secs_f64();
         assert!(dt_secs > 0.0, "read step must have positive length");
 
-        let mut rcu_per_item =
-            (avg_item_bytes as f64 / self.config.rcu_item_bytes as f64).ceil().max(1.0);
+        let mut rcu_per_item = (avg_item_bytes as f64 / self.config.rcu_item_bytes as f64)
+            .ceil()
+            .max(1.0);
         if eventually_consistent {
             rcu_per_item *= 0.5;
         }
@@ -393,8 +394,9 @@ impl DynamoTable {
         assert!(dt_secs > 0.0, "write step must have positive length");
 
         // WCUs per item: ceil(bytes / 1 KiB), minimum 1.
-        let wcu_per_item =
-            (avg_item_bytes as f64 / self.config.wcu_item_bytes as f64).ceil().max(1.0);
+        let wcu_per_item = (avg_item_bytes as f64 / self.config.wcu_item_bytes as f64)
+            .ceil()
+            .max(1.0);
         let demand_wcu = items as f64 * wcu_per_item;
         let provisioned_step = self.provisioned_wcu * dt_secs;
 
@@ -446,7 +448,10 @@ mod tests {
         assert_eq!(out.throttled, 0);
         assert!((out.consumed_wcu - 60.0).abs() < 1e-9);
         assert!((out.utilization - 0.6).abs() < 1e-9);
-        assert!((out.burst_credit - 40.0).abs() < 1e-9, "unused 40 WCU banked");
+        assert!(
+            (out.burst_credit - 40.0).abs() < 1e-9,
+            "unused 40 WCU banked"
+        );
     }
 
     #[test]
@@ -469,7 +474,10 @@ mod tests {
             }
         }
         let cliff = first_throttle_at.expect("spike must eventually throttle");
-        assert!((24..=26).contains(&cliff), "cliff at {cliff}s, expected ~25s");
+        assert!(
+            (24..=26).contains(&cliff),
+            "cliff at {cliff}s, expected ~25s"
+        );
     }
 
     #[test]
@@ -562,7 +570,8 @@ mod tests {
             t.write(0, 512, SimTime::from_secs(s), DT);
         }
         assert!((t.burst_credit() - 30_000.0).abs() < 1e-6);
-        t.update_write_capacity(10.0, SimTime::from_secs(400)).unwrap();
+        t.update_write_capacity(10.0, SimTime::from_secs(400))
+            .unwrap();
         t.write(0, 512, SimTime::from_secs(450), DT);
         assert_eq!(t.provisioned_wcu(), 10.0);
         assert!(t.burst_credit() <= 3_000.0 + 1e-9);
@@ -600,7 +609,7 @@ mod tests {
     #[test]
     fn large_reads_cost_multiple_rcu() {
         let mut t = table(100.0); // 50 RCU
-        // 10 KiB items cost 3 RCU each → 30 items = 90 RCU > 50.
+                                  // 10 KiB items cost 3 RCU each → 30 items = 90 RCU > 50.
         let out = t.read(30, 10_240, false, SimTime::ZERO, DT);
         assert!(out.throttled > 0, "expected read throttling: {out:?}");
     }
@@ -663,7 +672,8 @@ mod tests {
             Err(DynamoError::UpdateInProgress)
         );
         // A write-capacity update is a separate control-plane slot here.
-        t.update_write_capacity(150.0, SimTime::from_secs(1)).unwrap();
+        t.update_write_capacity(150.0, SimTime::from_secs(1))
+            .unwrap();
     }
 
     #[test]

@@ -276,8 +276,7 @@ impl CloudEngine {
         // ...and serves the read traffic (dashboards + per-record queries).
         let rw = &self.config.read_workload;
         let read = if rw.base_rate > 0.0 || rw.per_record > 0.0 {
-            let demand = (rw.base_rate * dt.as_secs_f64()
-                + rw.per_record * records.len() as f64)
+            let demand = (rw.base_rate * dt.as_secs_f64() + rw.per_record * records.len() as f64)
                 + self.read_carry;
             let items = demand.floor() as u64;
             self.read_carry = demand - items as f64;
@@ -291,8 +290,12 @@ impl CloudEngine {
 
         // Billing: integrate held resources over the step.
         let prices = &self.config.prices;
-        self.billing
-            .accrue(prices, ResourceKind::Shard, self.kinesis.shards() as f64, dt);
+        self.billing.accrue(
+            prices,
+            ResourceKind::Shard,
+            self.kinesis.shards() as f64,
+            dt,
+        );
         self.billing.accrue(
             prices,
             ResourceKind::Vm,
@@ -342,7 +345,11 @@ impl CloudEngine {
         let table = self.dynamo.name().to_owned();
         let m = &mut self.metrics;
 
-        m.put(MetricId::new(NS_KINESIS, INCOMING_RECORDS, &stream), now, offered as f64);
+        m.put(
+            MetricId::new(NS_KINESIS, INCOMING_RECORDS, &stream),
+            now,
+            offered as f64,
+        );
         m.put(
             MetricId::new(NS_KINESIS, WRITE_THROTTLED, &stream),
             now,
@@ -364,13 +371,21 @@ impl CloudEngine {
             ingest.max_shard_utilization,
         );
 
-        m.put(MetricId::new(NS_STORM, CPU_UTILIZATION, &cluster), now, process.cpu_pct);
+        m.put(
+            MetricId::new(NS_STORM, CPU_UTILIZATION, &cluster),
+            now,
+            process.cpu_pct,
+        );
         m.put(
             MetricId::new(NS_STORM, TUPLES_PROCESSED, &cluster),
             now,
             process.processed as f64,
         );
-        m.put(MetricId::new(NS_STORM, BACKLOG, &cluster), now, process.backlog as f64);
+        m.put(
+            MetricId::new(NS_STORM, BACKLOG, &cluster),
+            now,
+            process.backlog as f64,
+        );
         m.put(
             MetricId::new(NS_STORM, PROCESS_LATENCY, &cluster),
             now,
@@ -382,7 +397,11 @@ impl CloudEngine {
             self.storm.running_vms() as f64,
         );
 
-        m.put(MetricId::new(NS_DYNAMO, CONSUMED_WCU, &table), now, write.consumed_wcu);
+        m.put(
+            MetricId::new(NS_DYNAMO, CONSUMED_WCU, &table),
+            now,
+            write.consumed_wcu,
+        );
         m.put(
             MetricId::new(NS_DYNAMO, DYNAMO_THROTTLED, &table),
             now,
@@ -398,7 +417,11 @@ impl CloudEngine {
             now,
             self.dynamo.provisioned_wcu(),
         );
-        m.put(MetricId::new(NS_DYNAMO, CONSUMED_RCU, &table), now, read.consumed_rcu);
+        m.put(
+            MetricId::new(NS_DYNAMO, CONSUMED_RCU, &table),
+            now,
+            read.consumed_rcu,
+        );
         m.put(
             MetricId::new(NS_DYNAMO, DYNAMO_READ_THROTTLED, &table),
             now,
@@ -466,7 +489,12 @@ mod tests {
         assert_eq!(m.list_namespace("AWS/DynamoDB").len(), 8);
         let id = MetricId::new("Storm", "CpuUtilization", "storm-cluster");
         let count = m
-            .window_stat(&id, Statistic::SampleCount, SimTime::ZERO, SimTime::from_secs(10))
+            .window_stat(
+                &id,
+                Statistic::SampleCount,
+                SimTime::ZERO,
+                SimTime::from_secs(10),
+            )
             .unwrap();
         assert_eq!(count, 10.0);
     }
@@ -478,9 +506,8 @@ mod tests {
         let low_reports = run_constant(&mut low, 500.0, 20, 3);
         let mut high = engine();
         let high_reports = run_constant(&mut high, 1_800.0, 20, 3);
-        let avg = |rs: &[TickReport]| {
-            rs.iter().map(|r| r.process.cpu_pct).sum::<f64>() / rs.len() as f64
-        };
+        let avg =
+            |rs: &[TickReport]| rs.iter().map(|r| r.process.cpu_pct).sum::<f64>() / rs.len() as f64;
         assert!(
             avg(&high_reports) > avg(&low_reports) + 15.0,
             "low={}, high={}",

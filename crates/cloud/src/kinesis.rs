@@ -157,7 +157,11 @@ impl KinesisStream {
 
     /// Lifetime counters: `(accepted, throttled, reshards)`.
     pub fn counters(&self) -> (u64, u64, u64) {
-        (self.total_accepted, self.total_throttled, self.reshard_count)
+        (
+            self.total_accepted,
+            self.total_throttled,
+            self.reshard_count,
+        )
     }
 
     /// The shard count the stream is converging to (pending target when a
@@ -201,7 +205,12 @@ impl KinesisStream {
     ///
     /// Records are routed to shards by partition-key hash; each shard
     /// enforces its own record and byte limits, so skew throttles early.
-    pub fn ingest(&mut self, records: &[ClickRecord], now: SimTime, dt: SimDuration) -> IngestOutcome {
+    pub fn ingest(
+        &mut self,
+        records: &[ClickRecord],
+        now: SimTime,
+        dt: SimDuration,
+    ) -> IngestOutcome {
         self.settle_reshard(now);
         let dt_secs = dt.as_secs_f64();
         assert!(dt_secs > 0.0, "ingest step must have positive length");
@@ -218,8 +227,7 @@ impl KinesisStream {
         for record in records {
             // The same multiplicative hash Kinesis-style key routing
             // reduces to for our u64 keys.
-            let shard = (record.partition_key().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32)
-                as usize
+            let shard = (record.partition_key().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize
                 % n_shards;
             let bytes = record.payload_bytes as u64;
             if shard_records[shard] < record_cap && shard_bytes[shard] + bytes <= byte_cap {
@@ -390,7 +398,10 @@ mod tests {
         // Only the hot shard's 1,000 records/s can land.
         assert!(out.accepted <= 1_000);
         assert!(out.throttled >= 900);
-        assert!(out.utilization < 0.5, "stream-level utilization looks healthy");
+        assert!(
+            out.utilization < 0.5,
+            "stream-level utilization looks healthy"
+        );
     }
 
     #[test]

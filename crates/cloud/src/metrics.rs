@@ -85,7 +85,7 @@ fn apply(stat: Statistic, values: &[f64]) -> f64 {
         Statistic::Percentile(p) => {
             assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
             let mut sorted = values.to_vec();
-            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite datapoints"));
+            sorted.sort_by(f64::total_cmp);
             let rank = p / 100.0 * (sorted.len() - 1) as f64;
             let lo = rank.floor() as usize;
             let hi = rank.ceil() as usize;
@@ -282,7 +282,12 @@ mod tests {
         assert_eq!(w(Statistic::Minimum), 0.0);
         assert_eq!(w(Statistic::Maximum), 9.0);
         assert_eq!(
-            store.window_stat(&id(), Statistic::Sum, SimTime::from_hours(2), SimTime::from_hours(3)),
+            store.window_stat(
+                &id(),
+                Statistic::Sum,
+                SimTime::from_hours(2),
+                SimTime::from_hours(3)
+            ),
             None
         );
     }
@@ -307,7 +312,11 @@ mod tests {
     #[test]
     fn namespace_listing() {
         let mut store = seeded_store();
-        store.put(MetricId::new("AWS/DynamoDB", "ConsumedWCU", "t"), SimTime::ZERO, 1.0);
+        store.put(
+            MetricId::new("AWS/DynamoDB", "ConsumedWCU", "t"),
+            SimTime::ZERO,
+            1.0,
+        );
         assert_eq!(store.list().len(), 2);
         assert_eq!(store.list_namespace("AWS/Kinesis").len(), 1);
         assert_eq!(store.list_namespace("AWS/DynamoDB").len(), 1);
@@ -336,7 +345,12 @@ mod tests {
         let store = seeded_store(); // values 0..=9
         let p = |pct| {
             store
-                .window_stat(&id(), Statistic::Percentile(pct), SimTime::ZERO, SimTime::from_secs(300))
+                .window_stat(
+                    &id(),
+                    Statistic::Percentile(pct),
+                    SimTime::ZERO,
+                    SimTime::from_secs(300),
+                )
                 .unwrap()
         };
         assert_eq!(p(0.0), 0.0);
@@ -351,7 +365,12 @@ mod tests {
     #[should_panic(expected = "percentile out of range")]
     fn out_of_range_percentile_panics() {
         let store = seeded_store();
-        store.window_stat(&id(), Statistic::Percentile(150.0), SimTime::ZERO, SimTime::from_secs(300));
+        store.window_stat(
+            &id(),
+            Statistic::Percentile(150.0),
+            SimTime::ZERO,
+            SimTime::from_secs(300),
+        );
     }
 
     #[test]

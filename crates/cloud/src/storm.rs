@@ -342,8 +342,7 @@ impl StormCluster {
             // AR(1) with a ~2-minute correlation time per 1-second step.
             const RHO: f64 = 0.9917; // exp(-1/120)
             let innovation_std = self.config.cpu_noise_std * (1.0 - RHO * RHO).sqrt();
-            self.noise_state =
-                RHO * self.noise_state + self.noise_rng.normal(0.0, innovation_std);
+            self.noise_state = RHO * self.noise_state + self.noise_rng.normal(0.0, innovation_std);
             cpu_pct = (cpu_pct + self.noise_state).clamp(0.0, 100.0);
         }
         let service = self.service_rate();

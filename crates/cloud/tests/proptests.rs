@@ -1,28 +1,28 @@
+// Test target: unwrap/expect and exact float comparison are deliberate
+// here (determinism assertions compare results bit-for-bit).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! Property-based tests for the simulated cloud services: conservation
 //! laws and invariants that must hold for *any* workload, capacity, or
-//! tick pattern.
+//! tick pattern. Driven by the deterministic `testkit` harness.
 
 use flower_cloud::{
     CloudEngine, DynamoConfig, DynamoTable, EngineConfig, KinesisConfig, KinesisStream,
     StormCluster, StormConfig, Topology,
 };
+use flower_sim::testkit::{forall, vec_u64};
 use flower_sim::{SimDuration, SimRng, SimTime};
 use flower_workload::{ClickStreamConfig, ClickStreamGenerator};
-use proptest::prelude::*;
 
 const DT: SimDuration = SimDuration::from_secs(1);
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Kinesis conserves records: accepted + throttled == offered, and
-    /// accepted never exceeds aggregate capacity.
-    #[test]
-    fn kinesis_conserves_records(
-        shards in 1u32..16,
-        batch_sizes in prop::collection::vec(0u64..5_000, 1..20),
-        seed in 0u64..1_000,
-    ) {
+/// Kinesis conserves records: accepted + throttled == offered, and
+/// accepted never exceeds aggregate capacity.
+#[test]
+fn kinesis_conserves_records() {
+    forall(32, |rng| {
+        let shards = 1 + rng.below(15) as u32;
+        let batch_sizes = vec_u64(rng, 5_000, 1, 19);
+        let seed = rng.below(1_000);
         let mut stream = KinesisStream::new(KinesisConfig {
             initial_shards: shards,
             ..Default::default()
@@ -34,21 +34,22 @@ proptest! {
             let now = SimTime::from_secs(i as u64);
             let batch = generator.generate(now, n);
             let out = stream.ingest(&batch, now, DT);
-            prop_assert_eq!(out.accepted + out.throttled, n);
-            prop_assert!(out.accepted <= shards as u64 * 1_000);
+            assert_eq!(out.accepted + out.throttled, n);
+            assert!(out.accepted <= u64::from(shards) * 1_000);
             offered_total += n;
         }
         let (accepted, throttled, _) = stream.counters();
-        prop_assert_eq!(accepted + throttled, offered_total);
-    }
+        assert_eq!(accepted + throttled, offered_total);
+    });
+}
 
-    /// Storm conserves tuples: processed + dropped + backlog == offered,
-    /// and CPU stays within [idle, 100].
-    #[test]
-    fn storm_conserves_tuples(
-        vms in 1u32..10,
-        loads in prop::collection::vec(0u64..30_000, 1..30),
-    ) {
+/// Storm conserves tuples: processed + dropped + backlog == offered, and
+/// CPU stays within [idle, 100].
+#[test]
+fn storm_conserves_tuples() {
+    forall(32, |rng| {
+        let vms = 1 + rng.below(9) as u32;
+        let loads = vec_u64(rng, 30_000, 1, 29);
         let mut cluster = StormCluster::new(
             StormConfig {
                 initial_vms: vms,
@@ -67,40 +68,42 @@ proptest! {
             processed += out.processed;
             dropped += out.dropped;
             backlog = out.backlog;
-            prop_assert!(out.cpu_pct >= 4.8 - 1e-9 && out.cpu_pct <= 100.0 + 1e-9);
-            prop_assert!(out.latency_secs >= 0.0);
+            assert!(out.cpu_pct >= 4.8 - 1e-9 && out.cpu_pct <= 100.0 + 1e-9);
+            assert!(out.latency_secs >= 0.0);
         }
-        prop_assert_eq!(processed + dropped + backlog, offered);
-    }
+        assert_eq!(processed + dropped + backlog, offered);
+    });
+}
 
-    /// DynamoDB conserves items, never consumes more than provisioned +
-    /// burst, and the burst bucket stays within its cap.
-    #[test]
-    fn dynamo_write_invariants(
-        wcu in 1.0f64..500.0,
-        items in prop::collection::vec(0u64..2_000, 1..30),
-    ) {
+/// DynamoDB conserves items, never consumes more than provisioned +
+/// burst, and the burst bucket stays within its cap.
+#[test]
+fn dynamo_write_invariants() {
+    forall(32, |rng| {
+        let wcu = rng.uniform(1.0, 500.0);
+        let items = vec_u64(rng, 2_000, 1, 29);
         let mut table = DynamoTable::new(DynamoConfig {
             initial_wcu: wcu,
             ..Default::default()
         });
         for (i, &n) in items.iter().enumerate() {
             let out = table.write(n, 512, SimTime::from_secs(i as u64), DT);
-            prop_assert_eq!(out.written + out.throttled, n);
+            assert_eq!(out.written + out.throttled, n);
             // Consumed rate can exceed provisioned only via burst credit.
-            prop_assert!(out.consumed_wcu <= wcu + 300.0 * wcu + 1e-6);
-            prop_assert!(out.burst_credit >= 0.0);
-            prop_assert!(out.burst_credit <= 300.0 * wcu + 1e-6);
+            assert!(out.consumed_wcu <= wcu + 300.0 * wcu + 1e-6);
+            assert!(out.burst_credit >= 0.0);
+            assert!(out.burst_credit <= 300.0 * wcu + 1e-6);
         }
-    }
+    });
+}
 
-    /// The read path obeys the same invariants independently.
-    #[test]
-    fn dynamo_read_invariants(
-        rcu in 1.0f64..500.0,
-        items in prop::collection::vec(0u64..2_000, 1..30),
-        eventually in prop::bool::ANY,
-    ) {
+/// The read path obeys the same invariants independently.
+#[test]
+fn dynamo_read_invariants() {
+    forall(32, |rng| {
+        let rcu = rng.uniform(1.0, 500.0);
+        let items = vec_u64(rng, 2_000, 1, 29);
+        let eventually = rng.chance(0.5);
         let mut table = DynamoTable::new(DynamoConfig {
             initial_wcu: 10.0,
             initial_rcu: rcu,
@@ -108,20 +111,21 @@ proptest! {
         });
         for (i, &n) in items.iter().enumerate() {
             let out = table.read(n, 4_096, eventually, SimTime::from_secs(i as u64), DT);
-            prop_assert_eq!(out.read + out.throttled, n);
-            prop_assert!(out.burst_credit >= 0.0);
-            prop_assert!(out.burst_credit <= 300.0 * rcu + 1e-6);
+            assert_eq!(out.read + out.throttled, n);
+            assert!(out.burst_credit >= 0.0);
+            assert!(out.burst_credit <= 300.0 * rcu + 1e-6);
         }
-    }
+    });
+}
 
-    /// The full engine: money only ever accrues, layer conservation
-    /// holds end-to-end, and a bigger deployment never accepts fewer
-    /// records on the same workload.
-    #[test]
-    fn engine_monotonicity_and_conservation(
-        rate in 100u64..4_000,
-        seed in 0u64..500,
-    ) {
+/// The full engine: money only ever accrues, layer conservation holds
+/// end-to-end, and a bigger deployment never accepts fewer records on
+/// the same workload.
+#[test]
+fn engine_monotonicity_and_conservation() {
+    forall(32, |rng| {
+        let rate = 100 + rng.below(3_900);
+        let seed = rng.below(500);
         let run = |shards: u32, vms: u32| {
             let mut engine = CloudEngine::new(EngineConfig {
                 kinesis: KinesisConfig {
@@ -143,17 +147,20 @@ proptest! {
                 let now = SimTime::from_secs(s);
                 let batch = generator.generate(now, rate);
                 let tick = engine.tick(&batch, now, DT);
-                prop_assert!(tick.cost > 0.0, "resources always cost money");
-                prop_assert!(engine.billing().total() > last_cost);
+                assert!(tick.cost > 0.0, "resources always cost money");
+                assert!(engine.billing().total() > last_cost);
                 last_cost = engine.billing().total();
                 accepted += tick.ingest.accepted;
                 offered += rate;
             }
-            prop_assert!(accepted <= offered);
-            Ok(accepted)
+            assert!(accepted <= offered);
+            accepted
         };
-        let small = run(1, 1)?;
-        let large = run(8, 8)?;
-        prop_assert!(large >= small, "bigger deployment accepted less: {large} < {small}");
-    }
+        let small = run(1, 1);
+        let large = run(8, 8);
+        assert!(
+            large >= small,
+            "bigger deployment accepted less: {large} < {small}"
+        );
+    });
 }

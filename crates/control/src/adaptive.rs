@@ -123,7 +123,10 @@ impl AdaptiveController {
 
     /// The remembered gains across both regimes (scale-out first).
     pub fn gain_history(&self) -> impl Iterator<Item = f64> + '_ {
-        self.history_over.iter().chain(self.history_under.iter()).copied()
+        self.history_over
+            .iter()
+            .chain(self.history_under.iter())
+            .copied()
     }
 
     /// Number of control steps taken.
@@ -161,6 +164,9 @@ impl Controller for AdaptiveController {
     fn step(&mut self, measurement: f64) -> f64 {
         let error = measurement - self.config.setpoint;
         let positive = error > 0.0;
+        // False exactly at the setpoint (and on a NaN measurement), where
+        // the error has no direction to remember.
+        let has_direction = error.abs() > 0.0;
 
         // Regime re-entry: warm-start from history (the memory feature).
         // The warm start applies to the *scale-out* regime only: rapid
@@ -168,7 +174,7 @@ impl Controller for AdaptiveController {
         // (§1); releasing them reuses the cautious freshly-adapted gain,
         // so a remembered aggressive scale-in can never amplify the next
         // disturbance.
-        if self.config.gain_memory && error != 0.0 {
+        if self.config.gain_memory && has_direction {
             if positive && self.last_error_positive != Some(true) {
                 if let Some(remembered) = self.recall(true) {
                     self.l = self.l.max(remembered);
@@ -180,7 +186,7 @@ impl Controller for AdaptiveController {
         // Gain update law (Eq. 7): drift the gain along the error, clamp.
         self.l = (self.l + self.config.gamma * error).clamp(self.config.l_min, self.config.l_max);
 
-        if self.config.gain_memory && error != 0.0 {
+        if self.config.gain_memory && has_direction {
             self.remember(positive, self.l);
         }
 
@@ -212,7 +218,10 @@ impl Controller for AdaptiveController {
 
     fn reset(&mut self) {
         self.u = self.config.u_init;
-        self.l = self.config.l_init.clamp(self.config.l_min, self.config.l_max);
+        self.l = self
+            .config
+            .l_init
+            .clamp(self.config.l_min, self.config.l_max);
         self.history_over.clear();
         self.history_under.clear();
         self.last_error_positive = None;

@@ -1,3 +1,9 @@
+// Unit tests may unwrap/expect and compare floats exactly — the
+// panic-freedom and NaN-safety floor applies to library code only.
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)
+)]
 //! # flower-control
 //!
 //! Elasticity controllers for data analytics flows — the heart of the

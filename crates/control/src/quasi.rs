@@ -82,7 +82,10 @@ impl QuasiAdaptiveController {
             config.forgetting > 0.0 && config.forgetting <= 1.0,
             "forgetting factor must be in (0, 1]"
         );
-        assert!(config.max_relative_step > 0.0, "slew limit must be positive");
+        assert!(
+            config.max_relative_step > 0.0,
+            "slew limit must be positive"
+        );
         assert!(config.fallback_gain > 0.0, "fallback gain must be positive");
         QuasiAdaptiveController {
             rls: RecursiveLeastSquares::new(1, config.forgetting, 100.0),
@@ -220,7 +223,10 @@ mod tests {
         let (settled_u, _) = run(&mut c, 6.0, 5.0, 60);
         // Double the load; the controller must raise u substantially.
         let (u, y) = run(&mut c, 12.0, settled_u, 80);
-        assert!(u > settled_u * 1.4, "u went from {settled_u} to {u} (y={y})");
+        assert!(
+            u > settled_u * 1.4,
+            "u went from {settled_u} to {u} (y={y})"
+        );
     }
 
     #[test]
@@ -248,7 +254,10 @@ mod tests {
         let mut c = controller();
         run(&mut c, 6.0, 5.0, 60);
         let b = c.model_gain();
-        assert!(b < 0.0, "plant gain should be identified as negative, got {b}");
+        assert!(
+            b < 0.0,
+            "plant gain should be identified as negative, got {b}"
+        );
         assert!(b.is_finite());
     }
 

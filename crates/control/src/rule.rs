@@ -57,7 +57,10 @@ pub struct RuleBasedController {
 impl RuleBasedController {
     /// Build from configuration.
     pub fn new(config: RuleBasedConfig) -> RuleBasedController {
-        assert!(config.low < config.high, "low threshold must sit below high");
+        assert!(
+            config.low < config.high,
+            "low threshold must sit below high"
+        );
         assert!(config.breach_count >= 1, "breach count must be at least 1");
         assert!(config.step_up > 0.0 && config.step_down > 0.0);
         RuleBasedController {

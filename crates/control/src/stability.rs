@@ -66,7 +66,7 @@ impl ResponseMetrics {
             .iter()
             .rposition(|&(_, y)| (y - setpoint).abs() > band);
         let settling_time = match last_outside {
-            None => Some(trace[0].0),
+            None => trace.first().map(|&(t, _)| t),
             Some(i) if i + 1 < trace.len() => Some(trace[i + 1].0),
             Some(_) => None,
         };
@@ -74,11 +74,18 @@ impl ResponseMetrics {
         // Overshoot: peak |error| after the first time the trace crosses
         // the setpoint (before the first crossing the excursion is the
         // initial condition, not overshoot).
-        let first_cross = trace.windows(2).position(|w| {
-            let e0 = w[0].1 - setpoint;
-            let e1 = w[1].1 - setpoint;
-            e0 == 0.0 || e0.signum() != e1.signum()
-        });
+        let first_cross =
+            trace
+                .iter()
+                .zip(trace.iter().skip(1))
+                .position(|(&(_, y0), &(_, y1))| {
+                    let e0 = y0 - setpoint;
+                    let e1 = y1 - setpoint;
+                    // `abs() <= 0` catches a sample landing exactly on the
+                    // setpoint (±0.0) without a float equality; signum is
+                    // ±1 for signed zeros so it cannot detect that case.
+                    e0.abs() <= 0.0 || e0.signum() != e1.signum()
+                });
         let overshoot = match first_cross {
             None => 0.0,
             Some(i) => trace[i + 1..]
@@ -116,10 +123,10 @@ impl ResponseMetrics {
 
         // IAE by the trapezoid rule over time.
         let mut integral_abs_error = 0.0;
-        for w in trace.windows(2) {
-            let dt = (w[1].0 - w[0].0).as_secs_f64();
-            let e0 = (w[0].1 - setpoint).abs();
-            let e1 = (w[1].1 - setpoint).abs();
+        for (&(t0, y0), &(t1, y1)) in trace.iter().zip(trace.iter().skip(1)) {
+            let dt = (t1 - t0).as_secs_f64();
+            let e0 = (y0 - setpoint).abs();
+            let e1 = (y1 - setpoint).abs();
             integral_abs_error += 0.5 * (e0 + e1) * dt;
         }
 
@@ -165,7 +172,14 @@ mod tests {
 
     #[test]
     fn settling_time_finds_entry_into_band() {
-        let t = trace(&[(0, 100.0), (10, 90.0), (20, 70.0), (30, 62.0), (40, 61.0), (50, 59.0)]);
+        let t = trace(&[
+            (0, 100.0),
+            (10, 90.0),
+            (20, 70.0),
+            (30, 62.0),
+            (40, 61.0),
+            (50, 59.0),
+        ]);
         let m = ResponseMetrics::of(&t, 60.0, 5.0);
         assert_eq!(m.settling_time, Some(SimTime::from_secs(30)));
     }
@@ -192,7 +206,11 @@ mod tests {
         // 50 → overshoot = 10.
         let t = trace(&[(0, 100.0), (10, 80.0), (20, 50.0), (30, 58.0), (40, 60.0)]);
         let m = ResponseMetrics::of(&t, 60.0, 2.0);
-        assert!((m.overshoot - 10.0).abs() < 1e-12, "overshoot={}", m.overshoot);
+        assert!(
+            (m.overshoot - 10.0).abs() < 1e-12,
+            "overshoot={}",
+            m.overshoot
+        );
     }
 
     #[test]

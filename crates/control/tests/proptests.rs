@@ -1,10 +1,14 @@
-//! Property-based tests over the controller implementations.
+// Test target: unwrap/expect and exact float comparison are deliberate
+// here (determinism assertions compare results bit-for-bit).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
+//! Property-based tests over the controller implementations, driven by
+//! the deterministic `testkit` harness (seeded cases, reproducible).
 
 use flower_control::{
     AdaptiveConfig, AdaptiveController, Controller, FixedGainConfig, FixedGainController,
     QuasiAdaptiveConfig, QuasiAdaptiveController, RuleBasedConfig, RuleBasedController,
 };
-use proptest::prelude::*;
+use flower_sim::testkit::{forall, vec_f64};
 
 fn controllers(u_init: f64, setpoint: f64) -> Vec<Box<dyn Controller>> {
     vec![
@@ -38,37 +42,40 @@ fn controllers(u_init: f64, setpoint: f64) -> Vec<Box<dyn Controller>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every controller: the actuator stays finite under arbitrary
-    /// bounded measurement sequences, and reset restores the initial
-    /// actuator.
-    #[test]
-    fn actuator_stays_finite_and_reset_works(
-        measurements in prop::collection::vec(0.0..200.0f64, 1..100),
-        u_init in 1.0..50.0f64,
-    ) {
+/// Every controller: the actuator stays finite under arbitrary bounded
+/// measurement sequences, and reset restores the initial actuator.
+#[test]
+fn actuator_stays_finite_and_reset_works() {
+    forall(48, |rng| {
+        let measurements = vec_f64(rng, 0.0, 200.0, 1, 99);
+        let u_init = rng.uniform(1.0, 50.0);
         for mut c in controllers(u_init, 60.0) {
             for &y in &measurements {
                 let u = c.step(y);
-                prop_assert!(u.is_finite(), "{} produced a non-finite actuator", c.name());
+                assert!(u.is_finite(), "{} produced a non-finite actuator", c.name());
             }
             c.reset();
-            prop_assert_eq!(c.actuator(), u_init, "{} reset failed", c.name());
+            assert!(
+                (c.actuator() - u_init).abs() < 1e-12,
+                "{} reset failed",
+                c.name()
+            );
         }
-    }
+    });
+}
 
-    /// Every controller holds steady (or within one rule-step) at the
-    /// setpoint: feeding the exact setpoint never changes the actuator
-    /// for integral-style controllers.
-    #[test]
-    fn setpoint_input_is_a_fixed_point(u_init in 1.0..50.0f64) {
+/// Every controller holds steady (or within one rule-step) at the
+/// setpoint: feeding the exact setpoint never changes the actuator for
+/// integral-style controllers.
+#[test]
+fn setpoint_input_is_a_fixed_point() {
+    forall(48, |rng| {
+        let u_init = rng.uniform(1.0, 50.0);
         for mut c in controllers(u_init, 60.0) {
             for _ in 0..20 {
                 c.step(60.0);
             }
-            prop_assert!(
+            assert!(
                 (c.actuator() - u_init).abs() < 1e-9,
                 "{} drifted from {} to {} at the setpoint",
                 c.name(),
@@ -76,65 +83,68 @@ proptest! {
                 c.actuator()
             );
         }
-    }
+    });
+}
 
-    /// Direction correctness: a persistently high measurement never
-    /// shrinks the actuator; a persistently low one never grows it.
-    #[test]
-    fn monotone_response_direction(
-        high in 80.0..200.0f64,
-        low in 0.0..40.0f64,
-        u_init in 2.0..50.0f64,
-    ) {
+/// Direction correctness: a persistently high measurement never shrinks
+/// the actuator; a persistently low one never grows it.
+#[test]
+fn monotone_response_direction() {
+    forall(48, |rng| {
+        let high = rng.uniform(80.0, 200.0);
+        let low = rng.uniform(0.0, 40.0);
+        let u_init = rng.uniform(2.0, 50.0);
         for mut c in controllers(u_init, 60.0) {
             let mut prev = c.actuator();
             for _ in 0..30 {
                 let u = c.step(high);
-                prop_assert!(u >= prev - 1e-9, "{} shrank under overload", c.name());
+                assert!(u >= prev - 1e-9, "{} shrank under overload", c.name());
                 prev = u;
             }
             c.reset();
             let mut prev = c.actuator();
             for _ in 0..30 {
                 let u = c.step(low);
-                prop_assert!(u <= prev + 1e-9, "{} grew under underload", c.name());
+                assert!(u <= prev + 1e-9, "{} grew under underload", c.name());
                 prev = u;
             }
         }
-    }
+    });
+}
 
-    /// sync_actuator is authoritative: after syncing, the controller
-    /// continues from exactly the synced value.
-    #[test]
-    fn sync_is_authoritative(
-        synced in 1.0..100.0f64,
-        y in 0.0..150.0f64,
-    ) {
+/// sync_actuator is authoritative: after syncing, the controller
+/// continues from exactly the synced value.
+#[test]
+fn sync_is_authoritative() {
+    forall(48, |rng| {
+        let synced = rng.uniform(1.0, 100.0);
+        let y = rng.uniform(0.0, 150.0);
         for mut c in controllers(5.0, 60.0) {
             c.step(90.0);
             c.sync_actuator(synced);
-            prop_assert_eq!(c.actuator(), synced);
+            assert!((c.actuator() - synced).abs() < 1e-12);
             let u = c.step(y);
             // One step moves the actuator from the synced value, in the
             // direction of the error (or holds within dead bands).
             if y > 60.0 {
-                prop_assert!(u >= synced - 1e-9);
+                assert!(u >= synced - 1e-9);
             } else if y < 60.0 {
-                prop_assert!(u <= synced + 1e-9);
+                assert!(u <= synced + 1e-9);
             }
         }
-    }
+    });
+}
 
-    /// The adaptive gain never leaves its clamp interval, whatever the
-    /// measurement stream (the Eq. 7 guarantee the stability analysis
-    /// rests on).
-    #[test]
-    fn adaptive_gain_always_clamped(
-        measurements in prop::collection::vec(0.0..500.0f64, 1..200),
-        l_min in 0.001..0.05f64,
-        span in 0.01..2.0f64,
-        gamma in 0.0001..0.01f64,
-    ) {
+/// The adaptive gain never leaves its clamp interval, whatever the
+/// measurement stream (the Eq. 7 guarantee the stability analysis rests
+/// on).
+#[test]
+fn adaptive_gain_always_clamped() {
+    forall(48, |rng| {
+        let measurements = vec_f64(rng, 0.0, 500.0, 1, 199);
+        let l_min = rng.uniform(0.001, 0.05);
+        let span = rng.uniform(0.01, 2.0);
+        let gamma = rng.uniform(0.0001, 0.01);
         let l_max = l_min + span;
         let mut c = AdaptiveController::new(AdaptiveConfig {
             setpoint: 60.0,
@@ -148,12 +158,12 @@ proptest! {
         });
         for &y in &measurements {
             c.step(y);
-            prop_assert!(c.gain() >= l_min - 1e-12);
-            prop_assert!(c.gain() <= l_max + 1e-12);
+            assert!(c.gain() >= l_min - 1e-12);
+            assert!(c.gain() <= l_max + 1e-12);
         }
         // Remembered gains are clamped too.
         for g in c.gain_history() {
-            prop_assert!(g >= l_min - 1e-12 && g <= l_max + 1e-12);
+            assert!(g >= l_min - 1e-12 && g <= l_max + 1e-12);
         }
-    }
+    });
 }

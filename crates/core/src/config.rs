@@ -1,9 +1,7 @@
-//! Serializable configuration — the programmatic equivalent of the
+//! Controller configuration — the programmatic equivalent of the
 //! demo's **Flow Configuration Wizard** (§4 step 2), where the user picks
 //! a controller per layer, its desired reference value (setpoint), and
 //! the monitoring period.
-
-use serde::{Deserialize, Serialize};
 
 use flower_control::{
     AdaptiveConfig, AdaptiveController, Controller, FixedGainConfig, FixedGainController,
@@ -13,7 +11,7 @@ use flower_control::{
 /// Which controller a layer runs, with its tunables. `Static` disables
 /// elasticity for the layer (fixed provisioning) — used by the
 /// holistic-vs-partial-scaling experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ControllerSpec {
     /// The paper's adaptive controller (Eqs. 6–7).
     Adaptive {
@@ -162,12 +160,14 @@ impl ControllerSpec {
             ControllerSpec::QuasiAdaptive {
                 setpoint,
                 forgetting,
-            } => Some(Box::new(QuasiAdaptiveController::new(QuasiAdaptiveConfig {
-                setpoint,
-                forgetting,
-                u_init,
-                ..Default::default()
-            }))),
+            } => Some(Box::new(QuasiAdaptiveController::new(
+                QuasiAdaptiveConfig {
+                    setpoint,
+                    forgetting,
+                    u_init,
+                    ..Default::default()
+                },
+            ))),
             ControllerSpec::RuleBased {
                 high,
                 low,

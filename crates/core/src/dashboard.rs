@@ -42,7 +42,9 @@ pub fn downsample(values: &[f64], width: usize) -> Vec<f64> {
     let chunk = values.len() as f64 / width as f64;
     for i in 0..width {
         let start = (i as f64 * chunk) as usize;
-        let end = (((i + 1) as f64 * chunk) as usize).min(values.len()).max(start + 1);
+        let end = (((i + 1) as f64 * chunk) as usize)
+            .min(values.len())
+            .max(start + 1);
         let bucket = &values[start..end];
         out.push(bucket.iter().sum::<f64>() / bucket.len() as f64);
     }
@@ -84,7 +86,8 @@ impl Panel {
         }
         let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let last = *values.last().expect("non-empty");
+        #[allow(clippy::expect_used)] // invariant stated in the expect message
+        let last = *values.last().expect("values verified non-empty above");
         let reference = self
             .reference
             .map(|r| format!("  setpoint={r:.1}"))

@@ -248,12 +248,7 @@ impl DependencyAnalyzer {
                 _ => None,
             })
             .collect();
-        deps.sort_by(|a, b| {
-            b.correlation()
-                .abs()
-                .partial_cmp(&a.correlation().abs())
-                .expect("finite correlations")
-        });
+        deps.sort_by(|a, b| b.correlation().abs().total_cmp(&a.correlation().abs()));
         Ok(deps)
     }
 }
@@ -312,7 +307,11 @@ mod tests {
         assert_eq!(d.source.id.metric, "records");
         assert_eq!(d.target.id.metric, "cpu");
         assert!((d.fit.slope - 0.0002).abs() < 2e-5, "slope={}", d.fit.slope);
-        assert!((d.fit.intercept - 4.8).abs() < 0.5, "intercept={}", d.fit.intercept);
+        assert!(
+            (d.fit.intercept - 4.8).abs() < 0.5,
+            "intercept={}",
+            d.fit.intercept
+        );
         assert!(d.correlation() > 0.9, "r={}", d.correlation());
         assert!(d.equation().contains("cpu"));
     }

@@ -11,8 +11,8 @@ use flower_control::Controller;
 use flower_control::ResponseMetrics;
 use flower_sim::{SimDuration, SimRng, SimTime};
 use flower_workload::{
-    ArrivalProcess, ClickStreamConfig, ClickStreamGenerator, ConstantRate, DiurnalRate,
-    FlashCrowd, RateTrace, StepRate,
+    ArrivalProcess, ClickStreamConfig, ClickStreamGenerator, ConstantRate, DiurnalRate, FlashCrowd,
+    RateTrace, StepRate,
 };
 
 use crate::config::ControllerSpec;
@@ -130,9 +130,18 @@ impl ElasticityManagerBuilder {
                 ControllerSpec::adaptive_for_capacity(70.0),
             ],
             bounds: [
-                LayerBounds { min: 1.0, max: 100.0 },
-                LayerBounds { min: 1.0, max: 50.0 },
-                LayerBounds { min: 1.0, max: 10_000.0 },
+                LayerBounds {
+                    min: 1.0,
+                    max: 100.0,
+                },
+                LayerBounds {
+                    min: 1.0,
+                    max: 50.0,
+                },
+                LayerBounds {
+                    min: 1.0,
+                    max: 10_000.0,
+                },
             ],
             replanner: None,
             read_workload: None,
@@ -200,7 +209,10 @@ impl ElasticityManagerBuilder {
     /// control loop — the fourth managed resource, per §2's listing of
     /// "DynamoDB read/write units". Bounds cap the provisioned RCU.
     pub fn rcu_controller(mut self, spec: ControllerSpec, min: f64, max: f64) -> Self {
-        assert!(min >= 1.0 && min <= max, "invalid RCU bounds [{min}, {max}]");
+        assert!(
+            min >= 1.0 && min <= max,
+            "invalid RCU bounds [{min}, {max}]"
+        );
         self.rcu_controller = Some((spec, LayerBounds { min, max }));
         self
     }
@@ -216,6 +228,7 @@ impl ElasticityManagerBuilder {
 
     /// Build the manager.
     pub fn build(self) -> ElasticityManager {
+        #[allow(clippy::expect_used)] // invariant stated in the expect message
         let workload = self.workload.expect("workload is required");
         let mut engine_config = self.flow.engine_config();
         if let Some(rw) = self.read_workload {
@@ -433,7 +446,9 @@ impl ElasticityManager {
 
     /// Completed re-planning rounds (empty without a replanner).
     pub fn replan_history(&self) -> &[ReplanOutcome] {
-        self.replanner.as_ref().map(|r| r.history()).unwrap_or(&[])
+        self.replanner
+            .as_ref()
+            .map_or(&[], super::replan::Replanner::history)
     }
 
     /// Run for `duration` (1-second ticks), extending any previous run.
@@ -460,11 +475,10 @@ impl ElasticityManager {
             self.report.dropped_tuples += tick.process.dropped;
             self.report.total_cost_dollars += tick.cost;
 
-            self.report.measurement_traces[0]
-                .push((self.now, tick.ingest.utilization * 100.0));
-            self.report.measurement_traces[1].push((self.now, tick.process.cpu_pct));
-            self.report.measurement_traces[2]
-                .push((self.now, tick.write.utilization * 100.0));
+            let [ingest_trace, cpu_trace, write_trace] = &mut self.report.measurement_traces;
+            ingest_trace.push((self.now, tick.ingest.utilization * 100.0));
+            cpu_trace.push((self.now, tick.process.cpu_pct));
+            write_trace.push((self.now, tick.write.utilization * 100.0));
             self.report.throttled_reads += tick.read.throttled;
             self.report
                 .read_utilization_trace
@@ -488,15 +502,20 @@ impl ElasticityManager {
 
             // Control rounds on the monitoring-period grid.
             let next = self.now + dt;
-            if next.as_millis().is_multiple_of(self.monitoring_period.as_millis()) {
+            if next
+                .as_millis()
+                .is_multiple_of(self.monitoring_period.as_millis())
+            {
                 self.provisioning.step(&mut self.engine, next);
             }
             // The RCU loop shares the monitoring-period grid.
-            if next.as_millis().is_multiple_of(self.monitoring_period.as_millis()) {
+            if next
+                .as_millis()
+                .is_multiple_of(self.monitoring_period.as_millis())
+            {
                 if let Some(rcu) = &mut self.rcu_loop {
-                    let sensor = crate::provision::sensors::read_utilization(
-                        self.flow.storage.name(),
-                    );
+                    let sensor =
+                        crate::provision::sensors::read_utilization(self.flow.storage.name());
                     if let Some(measurement) =
                         sensor.read(self.engine.metrics(), next, self.monitoring_period)
                     {
@@ -537,8 +556,7 @@ impl ElasticityManager {
             self.now = next;
         }
         for layer in Layer::ALL {
-            self.report.rejected_actuations[layer_index(layer)] =
-                self.provisioning.rejected(layer);
+            self.report.rejected_actuations[layer_index(layer)] = self.provisioning.rejected(layer);
         }
         if let Some(rcu) = &self.rcu_loop {
             self.report.rcu_actions = rcu.actions;
@@ -594,8 +612,11 @@ mod tests {
         // of ingestion utilization (should approach the 70% setpoint).
         let meas = report.measurements(Layer::Ingestion);
         let early: f64 = meas[..60].iter().map(|&(_, v)| v).sum::<f64>() / 60.0;
-        let late: f64 =
-            meas[meas.len() - 300..].iter().map(|&(_, v)| v).sum::<f64>() / 300.0;
+        let late: f64 = meas[meas.len() - 300..]
+            .iter()
+            .map(|&(_, v)| v)
+            .sum::<f64>()
+            / 300.0;
         assert!(early > 100.0, "starts overloaded (util {early})");
         assert!(late < 100.0, "ends relieved (util {late})");
         assert!(report.total_actions() > 0);

@@ -99,7 +99,8 @@ mod tests {
         // Every data row parses as numbers.
         for row in &lines[1..] {
             for cell in row.split(',') {
-                cell.parse::<f64>().unwrap_or_else(|_| panic!("bad cell {cell}"));
+                cell.parse::<f64>()
+                    .unwrap_or_else(|_| panic!("bad cell {cell}"));
             }
         }
         // Time column counts up in seconds.

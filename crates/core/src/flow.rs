@@ -251,19 +251,28 @@ impl FlowBuilder {
                 )));
             }
         }
-        let names = [ingestion.name(), analytics.name(), storage.name()];
-        if names[0] == names[1] || names[0] == names[2] || names[1] == names[2] {
-            return Err(FlowerError::InvalidFlow("platform names must be unique".into()));
+        let (n_ingest, n_analytics, n_storage) =
+            (ingestion.name(), analytics.name(), storage.name());
+        if n_ingest == n_analytics || n_ingest == n_storage || n_analytics == n_storage {
+            return Err(FlowerError::InvalidFlow(
+                "platform names must be unique".into(),
+            ));
         }
         if let Platform::Kinesis { shards: 0, .. } = ingestion {
-            return Err(FlowerError::InvalidFlow("stream needs at least one shard".into()))
+            return Err(FlowerError::InvalidFlow(
+                "stream needs at least one shard".into(),
+            ));
         }
         if let Platform::Storm { vms: 0, .. } = analytics {
-            return Err(FlowerError::InvalidFlow("cluster needs at least one VM".into()));
+            return Err(FlowerError::InvalidFlow(
+                "cluster needs at least one VM".into(),
+            ));
         }
         if let Platform::Dynamo { wcu, .. } = storage {
             if wcu < 1.0 {
-                return Err(FlowerError::InvalidFlow("table needs at least 1 WCU".into()));
+                return Err(FlowerError::InvalidFlow(
+                    "table needs at least 1 WCU".into(),
+                ));
             }
         }
 
@@ -278,6 +287,7 @@ impl FlowBuilder {
 
 /// The paper's demo flow (Fig. 1): Kinesis → Storm → DynamoDB with small
 /// initial capacities.
+#[allow(clippy::expect_used)] // invariant stated in the expect message
 pub fn clickstream_flow() -> FlowSpec {
     FlowBuilder::new("clickstream-analytics")
         .ingestion(Platform::kinesis("clicks", 2))

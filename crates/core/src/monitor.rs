@@ -146,10 +146,21 @@ impl CrossPlatformMonitor {
     pub fn for_clickstream(stream: &str, cluster: &str, table: &str) -> CrossPlatformMonitor {
         use flower_cloud::engine::metric_names::*;
         let mut monitor = CrossPlatformMonitor::new();
-        for name in [INCOMING_RECORDS, WRITE_THROTTLED, SHARD_UTILIZATION, OPEN_SHARDS] {
+        for name in [
+            INCOMING_RECORDS,
+            WRITE_THROTTLED,
+            SHARD_UTILIZATION,
+            OPEN_SHARDS,
+        ] {
             monitor.register(Layer::Ingestion, MetricId::new(NS_KINESIS, name, stream));
         }
-        for name in [CPU_UTILIZATION, TUPLES_PROCESSED, BACKLOG, PROCESS_LATENCY, RUNNING_VMS] {
+        for name in [
+            CPU_UTILIZATION,
+            TUPLES_PROCESSED,
+            BACKLOG,
+            PROCESS_LATENCY,
+            RUNNING_VMS,
+        ] {
             monitor.register(Layer::Analytics, MetricId::new(NS_STORM, name, cluster));
         }
         for name in [
@@ -209,6 +220,7 @@ impl CrossPlatformMonitor {
 
     /// Take a consolidated snapshot over `[now − window, now)`. Metrics
     /// without datapoints in the window are omitted.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn snapshot(
         &self,
         store: &MetricsStore,
@@ -224,17 +236,20 @@ impl CrossPlatformMonitor {
             }
             let avg = store
                 .window_stat(metric, Statistic::Average, from, now)
-                .expect("non-empty window");
+                .expect("pts guarded non-empty, so the window has datapoints");
             let min = store
                 .window_stat(metric, Statistic::Minimum, from, now)
-                .expect("non-empty window");
+                .expect("pts guarded non-empty, so the window has datapoints");
             let max = store
                 .window_stat(metric, Statistic::Maximum, from, now)
-                .expect("non-empty window");
+                .expect("pts guarded non-empty, so the window has datapoints");
             rows.push(MonitorRow {
                 layer: *layer,
                 metric: metric.clone(),
-                latest: pts.last().expect("non-empty").1,
+                latest: pts
+                    .last()
+                    .expect("pts guarded non-empty before this push")
+                    .1,
                 average: avg,
                 minimum: min,
                 maximum: max,
@@ -277,11 +292,19 @@ mod tests {
 
     #[test]
     fn clickstream_monitor_covers_all_layers() {
-        let m = CrossPlatformMonitor::for_clickstream("clickstream", "storm-cluster", "click-aggregates");
+        let m = CrossPlatformMonitor::for_clickstream(
+            "clickstream",
+            "storm-cluster",
+            "click-aggregates",
+        );
         assert_eq!(m.len(), 17);
         assert!(!m.is_empty());
         let e = populated_engine();
-        let snap = m.snapshot(e.metrics(), SimTime::from_secs(120), SimDuration::from_mins(2));
+        let snap = m.snapshot(
+            e.metrics(),
+            SimTime::from_secs(120),
+            SimDuration::from_mins(2),
+        );
         assert_eq!(snap.rows.len(), 17, "all metrics have data");
         assert_eq!(snap.layer_rows(Layer::Ingestion).len(), 4);
         assert_eq!(snap.layer_rows(Layer::Analytics).len(), 5);
@@ -290,9 +313,17 @@ mod tests {
 
     #[test]
     fn snapshot_statistics_are_consistent() {
-        let m = CrossPlatformMonitor::for_clickstream("clickstream", "storm-cluster", "click-aggregates");
+        let m = CrossPlatformMonitor::for_clickstream(
+            "clickstream",
+            "storm-cluster",
+            "click-aggregates",
+        );
         let e = populated_engine();
-        let snap = m.snapshot(e.metrics(), SimTime::from_secs(120), SimDuration::from_mins(1));
+        let snap = m.snapshot(
+            e.metrics(),
+            SimTime::from_secs(120),
+            SimDuration::from_mins(1),
+        );
         for row in &snap.rows {
             assert!(row.minimum <= row.average + 1e-9, "{row:?}");
             assert!(row.average <= row.maximum + 1e-9, "{row:?}");
@@ -303,9 +334,17 @@ mod tests {
 
     #[test]
     fn row_lookup_by_name() {
-        let m = CrossPlatformMonitor::for_clickstream("clickstream", "storm-cluster", "click-aggregates");
+        let m = CrossPlatformMonitor::for_clickstream(
+            "clickstream",
+            "storm-cluster",
+            "click-aggregates",
+        );
         let e = populated_engine();
-        let snap = m.snapshot(e.metrics(), SimTime::from_secs(120), SimDuration::from_mins(1));
+        let snap = m.snapshot(
+            e.metrics(),
+            SimTime::from_secs(120),
+            SimDuration::from_mins(1),
+        );
         let cpu = snap.row("CpuUtilization").expect("cpu row");
         assert!(cpu.average > 4.8);
         assert!(snap.row("NoSuchMetric").is_none());
@@ -313,7 +352,11 @@ mod tests {
 
     #[test]
     fn empty_window_omits_rows() {
-        let m = CrossPlatformMonitor::for_clickstream("clickstream", "storm-cluster", "click-aggregates");
+        let m = CrossPlatformMonitor::for_clickstream(
+            "clickstream",
+            "storm-cluster",
+            "click-aggregates",
+        );
         let e = populated_engine();
         // A window entirely in the future of the data.
         let snap = m.snapshot(
@@ -392,15 +435,29 @@ mod tests {
         }
         assert_eq!(m.alarms().state("analytics-cpu-high"), Some(AlarmState::Ok));
         assert!(m.alarms().firing().is_empty());
-        let snap = m.snapshot(e.metrics(), SimTime::from_secs(120), SimDuration::from_mins(2));
-        assert!(snap.to_table_with_alarms(m.alarms()).contains("(none firing)"));
+        let snap = m.snapshot(
+            e.metrics(),
+            SimTime::from_secs(120),
+            SimDuration::from_mins(2),
+        );
+        assert!(snap
+            .to_table_with_alarms(m.alarms())
+            .contains("(none firing)"));
     }
 
     #[test]
     fn table_renders_every_row() {
-        let m = CrossPlatformMonitor::for_clickstream("clickstream", "storm-cluster", "click-aggregates");
+        let m = CrossPlatformMonitor::for_clickstream(
+            "clickstream",
+            "storm-cluster",
+            "click-aggregates",
+        );
         let e = populated_engine();
-        let snap = m.snapshot(e.metrics(), SimTime::from_secs(120), SimDuration::from_mins(1));
+        let snap = m.snapshot(
+            e.metrics(),
+            SimTime::from_secs(120),
+            SimDuration::from_mins(1),
+        );
         let table = snap.to_table();
         assert!(table.contains("CpuUtilization"));
         assert!(table.contains("ingestion"));

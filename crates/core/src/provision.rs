@@ -34,12 +34,7 @@ pub struct SensorSpec {
 impl SensorSpec {
     /// Read the sensor over `[now − window, now)`.
     /// `None` when the window holds no datapoints yet.
-    pub fn read(
-        &self,
-        store: &MetricsStore,
-        now: SimTime,
-        window: SimDuration,
-    ) -> Option<f64> {
+    pub fn read(&self, store: &MetricsStore, now: SimTime, window: SimDuration) -> Option<f64> {
         store
             .window_stat(&self.metric, self.statistic, now - window, now)
             .map(|v| v * self.scale)
@@ -171,8 +166,7 @@ impl ProvisioningManager {
     pub fn step(&mut self, engine: &mut CloudEngine, now: SimTime) -> Vec<ActuationRecord> {
         let mut records = Vec::with_capacity(self.loops.len());
         for l in &mut self.loops {
-            let Some(measurement) = l.config.sensor.read(engine.metrics(), now, self.window)
-            else {
+            let Some(measurement) = l.config.sensor.read(engine.metrics(), now, self.window) else {
                 continue; // no data yet — skip this round
             };
             let commanded = l.config.controller.step(measurement);
@@ -323,7 +317,11 @@ mod tests {
         drive(&mut e, 1_000.0, 0, 60, 1);
         let sensor = sensors::cpu_utilization("storm-cluster");
         let v = sensor
-            .read(e.metrics(), SimTime::from_secs(60), SimDuration::from_secs(30))
+            .read(
+                e.metrics(),
+                SimTime::from_secs(60),
+                SimDuration::from_secs(30),
+            )
             .unwrap();
         assert!(v > 4.8 && v < 100.0, "cpu={v}");
     }
@@ -334,7 +332,11 @@ mod tests {
         drive(&mut e, 1_000.0, 0, 10, 2);
         let raw = sensors::shard_utilization("clickstream");
         let v = raw
-            .read(e.metrics(), SimTime::from_secs(10), SimDuration::from_secs(10))
+            .read(
+                e.metrics(),
+                SimTime::from_secs(10),
+                SimDuration::from_secs(10),
+            )
             .unwrap();
         // 1,000 rec/s on 2 shards = 50% utilization after the ×100 scale.
         assert!((v - 50.0).abs() < 10.0, "utilization={v}");
@@ -345,7 +347,11 @@ mod tests {
         let e = engine();
         let sensor = sensors::cpu_utilization("storm-cluster");
         assert_eq!(
-            sensor.read(e.metrics(), SimTime::from_secs(60), SimDuration::from_secs(30)),
+            sensor.read(
+                e.metrics(),
+                SimTime::from_secs(60),
+                SimDuration::from_secs(30)
+            ),
             None
         );
     }
@@ -416,8 +422,7 @@ mod tests {
 
     #[test]
     fn layers_listed() {
-        let manager =
-            ProvisioningManager::new(vec![analytics_loop()], SimDuration::from_secs(30));
+        let manager = ProvisioningManager::new(vec![analytics_loop()], SimDuration::from_secs(30));
         assert_eq!(manager.layers(), vec![Layer::Analytics]);
         assert_eq!(manager.window(), SimDuration::from_secs(30));
         assert_eq!(manager.rejected(Layer::Analytics), 0);

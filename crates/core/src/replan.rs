@@ -46,28 +46,20 @@ pub enum PlanSelection {
 
 impl PlanSelection {
     /// Apply the policy to a non-empty plan list.
+    #[allow(clippy::expect_used)] // invariant stated in the expect message
     pub fn pick<'a>(&self, plans: &'a [ResourceShares]) -> &'a ResourceShares {
         assert!(!plans.is_empty(), "cannot select from an empty plan list");
-        match self {
-            PlanSelection::MaxIngestion => plans
-                .iter()
-                .max_by(|a, b| a.shards.partial_cmp(&b.shards).expect("finite"))
-                .expect("non-empty"),
-            PlanSelection::MaxAnalytics => plans
-                .iter()
-                .max_by(|a, b| a.vms.partial_cmp(&b.vms).expect("finite"))
-                .expect("non-empty"),
-            PlanSelection::MaxStorage => plans
-                .iter()
-                .max_by(|a, b| a.wcu.partial_cmp(&b.wcu).expect("finite"))
-                .expect("non-empty"),
+        let picked = match self {
+            PlanSelection::MaxIngestion => {
+                plans.iter().max_by(|a, b| a.shards.total_cmp(&b.shards))
+            }
+            PlanSelection::MaxAnalytics => plans.iter().max_by(|a, b| a.vms.total_cmp(&b.vms)),
+            PlanSelection::MaxStorage => plans.iter().max_by(|a, b| a.wcu.total_cmp(&b.wcu)),
             PlanSelection::Balanced => plans
                 .iter()
-                .min_by(|a, b| {
-                    balance_score(a).partial_cmp(&balance_score(b)).expect("finite")
-                })
-                .expect("non-empty"),
-        }
+                .min_by(|a, b| balance_score(a).total_cmp(&balance_score(b))),
+        };
+        picked.expect("plans verified non-empty by the assert above")
     }
 }
 
@@ -176,7 +168,10 @@ impl Replanner {
         analyzer: DependencyAnalyzer,
         base_problem: ShareProblem,
     ) -> Replanner {
-        assert!(!config.cadence.is_zero(), "re-plan cadence must be non-zero");
+        assert!(
+            !config.cadence.is_zero(),
+            "re-plan cadence must be non-zero"
+        );
         assert!(
             !config.analysis_window.is_zero(),
             "analysis window must be non-zero"

@@ -37,12 +37,7 @@ pub struct Constraint {
 
 impl Constraint {
     /// `lhs_coeff·r[lhs] ≤ rhs_coeff·r[rhs]`, e.g. `2·r_A ≤ r_I`.
-    pub fn ratio(
-        lhs_coeff: f64,
-        lhs: Layer,
-        rhs_coeff: f64,
-        rhs: Layer,
-    ) -> Constraint {
+    pub fn ratio(lhs_coeff: f64, lhs: Layer, rhs_coeff: f64, rhs: Layer) -> Constraint {
         let mut coeffs = [0.0; 3];
         coeffs[layer_index(lhs)] += lhs_coeff;
         coeffs[layer_index(rhs)] -= rhs_coeff;
@@ -102,8 +97,9 @@ impl Constraint {
 
     /// Violation magnitude at the share vector `r` (0 when satisfied).
     pub fn violation(&self, r: &[f64; 3]) -> f64 {
-        (self.coeffs[0] * r[0] + self.coeffs[1] * r[1] + self.coeffs[2] * r[2] + self.constant)
-            .max(0.0)
+        let [c0, c1, c2] = self.coeffs;
+        let [r0, r1, r2] = *r;
+        (c0 * r0 + c1 * r1 + c2 * r2 + self.constant).max(0.0)
     }
 }
 
@@ -190,7 +186,8 @@ impl ShareProblem {
 
     /// Hourly cost of a share vector.
     pub fn cost(&self, r: &[f64; 3]) -> f64 {
-        self.prices.hourly_cost(r[0], r[1], r[2], 0.0)
+        let [shards, vms, wcu] = *r;
+        self.prices.hourly_cost(shards, vms, wcu, 0.0)
     }
 }
 
@@ -213,16 +210,22 @@ impl Problem for ShareProblem {
 
     fn evaluate(&self, x: &[f64], out: &mut [f64]) {
         // Maximize each share → minimize its negation.
-        out[0] = -x[0];
-        out[1] = -x[1];
-        out[2] = -x[2];
+        for (o, xi) in out.iter_mut().zip(x) {
+            *o = -xi;
+        }
     }
 
     fn constraints(&self, x: &[f64], out: &mut [f64]) {
-        let r = [x[0], x[1], x[2]];
-        out[0] = (self.cost(&r) - self.budget).max(0.0);
-        for (i, c) in self.constraints.iter().enumerate() {
-            out[i + 1] = c.violation(&r);
+        let r = match *x {
+            [a, b, c] => [a, b, c],
+            _ => unreachable!("the optimizer always passes n_vars() == 3 genes"),
+        };
+        let Some((budget_slot, rest)) = out.split_first_mut() else {
+            return;
+        };
+        *budget_slot = (self.cost(&r) - self.budget).max(0.0);
+        for (slot, c) in rest.iter_mut().zip(&self.constraints) {
+            *slot = c.violation(&r);
         }
     }
 }
@@ -267,13 +270,14 @@ impl ShareAnalyzer {
             if !ind.is_feasible() {
                 continue;
             }
+            let [shards, vms, wcu] = ind.genes[..] else {
+                continue; // foreign individual with the wrong arity
+            };
             let shares = ResourceShares {
-                shards: ind.genes[0],
-                vms: ind.genes[1],
-                wcu: ind.genes[2],
-                hourly_cost: self
-                    .problem
-                    .cost(&[ind.genes[0], ind.genes[1], ind.genes[2]]),
+                shards,
+                vms,
+                wcu,
+                hourly_cost: self.problem.cost(&[shards, vms, wcu]),
             };
             let key = shares.rounded();
             // The rounded plan must stay within budget and (near-)satisfy
@@ -307,11 +311,7 @@ impl ShareAnalyzer {
         if plans.is_empty() {
             return Err(FlowerError::NoFeasiblePlan);
         }
-        plans.sort_by(|a, b| {
-            b.hourly_cost
-                .partial_cmp(&a.hourly_cost)
-                .expect("finite costs")
-        });
+        plans.sort_by(|a, b| b.hourly_cost.total_cmp(&a.hourly_cost));
         Ok(plans)
     }
 }
@@ -357,7 +357,7 @@ mod tests {
         // integer resolution ours must be a similar handful, all unique.
         assert!(plans.len() >= 2, "front collapsed: {}", plans.len());
         assert!(plans.len() <= 60, "front exploded: {}", plans.len());
-        let mut keys: Vec<_> = plans.iter().map(|p| p.rounded()).collect();
+        let mut keys: Vec<_> = plans.iter().map(ResourceShares::rounded).collect();
         keys.sort_unstable();
         keys.dedup();
         assert_eq!(keys.len(), plans.len(), "duplicate plans");
@@ -368,15 +368,18 @@ mod tests {
         let plans = analyzer(1.0).solve().unwrap();
         // The costliest plan should spend most of the budget: these are
         // *maximum* shares.
-        assert!(plans[0].hourly_cost > 0.8, "best plan spends {}", plans[0].hourly_cost);
+        assert!(
+            plans[0].hourly_cost > 0.8,
+            "best plan spends {}",
+            plans[0].hourly_cost
+        );
     }
 
     #[test]
     fn bigger_budget_buys_bigger_shares() {
         let small = analyzer(0.5).solve().unwrap();
         let large = analyzer(2.0).solve().unwrap();
-        let max_vms =
-            |plans: &[ResourceShares]| plans.iter().map(|p| p.vms).fold(0.0, f64::max);
+        let max_vms = |plans: &[ResourceShares]| plans.iter().map(|p| p.vms).fold(0.0, f64::max);
         assert!(max_vms(&large) > max_vms(&small));
     }
 
@@ -393,7 +396,10 @@ mod tests {
         // 2·r_A ≤ r_I
         let c = Constraint::ratio(2.0, Layer::Analytics, 1.0, Layer::Ingestion);
         assert_eq!(c.violation(&[10.0, 5.0, 0.0]), 0.0, "2·5 = 10 ≤ 10");
-        assert!((c.violation(&[10.0, 6.0, 0.0]) - 2.0).abs() < 1e-12, "2·6 − 10 = 2");
+        assert!(
+            (c.violation(&[10.0, 6.0, 0.0]) - 2.0).abs() < 1e-12,
+            "2·6 − 10 = 2"
+        );
         assert!(c.label.contains("r_A"));
     }
 

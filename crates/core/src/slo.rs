@@ -273,9 +273,13 @@ mod tests {
     #[test]
     fn cost_objective_binds() {
         let report = run(1_000.0, ControllerSpec::adaptive(60.0), 20);
-        let generous = SloSpec::new().with(Objective::MaxCost(10.0)).evaluate(&report);
+        let generous = SloSpec::new()
+            .with(Objective::MaxCost(10.0))
+            .evaluate(&report);
         assert!(generous.all_met());
-        let stingy = SloSpec::new().with(Objective::MaxCost(0.0001)).evaluate(&report);
+        let stingy = SloSpec::new()
+            .with(Objective::MaxCost(0.0001))
+            .evaluate(&report);
         assert!(!stingy.all_met());
     }
 
@@ -307,7 +311,9 @@ mod tests {
     fn backlog_objective_counts_drops() {
         let report = run(800.0, ControllerSpec::adaptive(60.0), 5);
         assert_eq!(report.dropped_tuples, 0);
-        let scored = SloSpec::new().with(Objective::MaxBacklog(0)).evaluate(&report);
+        let scored = SloSpec::new()
+            .with(Objective::MaxBacklog(0))
+            .evaluate(&report);
         assert!(scored.all_met());
     }
 

@@ -163,9 +163,9 @@ impl WizardConfig {
         let parse_f64 = |k: &str, d: f64| -> Result<f64, FlowerError> {
             match get(k) {
                 None => Ok(d),
-                Some(v) => v.parse().map_err(|_| {
-                    FlowerError::InvalidConfig(format!("{k}: '{v}' is not a number"))
-                }),
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| FlowerError::InvalidConfig(format!("{k}: '{v}' is not a number"))),
             }
         };
 
@@ -191,22 +191,26 @@ impl WizardConfig {
             })?,
         };
 
-        let controller_for = |key: &str, d: &ControllerSpec| -> Result<ControllerSpec, FlowerError> {
-            match get(key) {
-                None => Ok(d.clone()),
-                Some(v) => spec_from_text(v),
-            }
-        };
+        let controller_for =
+            |key: &str, d: &ControllerSpec| -> Result<ControllerSpec, FlowerError> {
+                match get(key) {
+                    None => Ok(d.clone()),
+                    Some(v) => spec_from_text(v),
+                }
+            };
 
         Ok(WizardConfig {
             flow,
             scenario,
             rate: parse_f64("workload.rate", defaults.rate)?,
-            controllers: [
-                controller_for("controller.ingestion", &defaults.controllers[0])?,
-                controller_for("controller.analytics", &defaults.controllers[1])?,
-                controller_for("controller.storage", &defaults.controllers[2])?,
-            ],
+            controllers: {
+                let [d_ingest, d_analytics, d_storage] = &defaults.controllers;
+                [
+                    controller_for("controller.ingestion", d_ingest)?,
+                    controller_for("controller.analytics", d_analytics)?,
+                    controller_for("controller.storage", d_storage)?,
+                ]
+            },
             period_secs: parse_u64("monitoring.period_secs", defaults.period_secs)?,
             seed: parse_u64("seed", defaults.seed)?,
         })
@@ -228,7 +232,9 @@ impl WizardConfig {
 /// `kind:setpoint` controller shorthand used in the wizard format.
 fn spec_to_text(spec: &ControllerSpec) -> String {
     match spec {
-        ControllerSpec::Adaptive { setpoint, l_max, .. } if *l_max > 0.5 => {
+        ControllerSpec::Adaptive {
+            setpoint, l_max, ..
+        } if *l_max > 0.5 => {
             format!("adaptive-capacity:{setpoint}")
         }
         ControllerSpec::Adaptive { setpoint, .. } => format!("adaptive:{setpoint}"),
@@ -248,7 +254,9 @@ fn spec_from_text(text: &str) -> Result<ControllerSpec, FlowerError> {
         return Ok(ControllerSpec::Static);
     }
     let (kind, setpoint) = text.split_once(':').ok_or_else(|| {
-        FlowerError::InvalidConfig(format!("controller '{text}' must be 'kind:setpoint' or 'static'"))
+        FlowerError::InvalidConfig(format!(
+            "controller '{text}' must be 'kind:setpoint' or 'static'"
+        ))
     })?;
     let setpoint: f64 = setpoint.trim().parse().map_err(|_| {
         FlowerError::InvalidConfig(format!("controller setpoint '{setpoint}' is not a number"))
@@ -343,7 +351,8 @@ mod tests {
 
     #[test]
     fn custom_flow_names_propagate() {
-        let text = "ingestion.name = in\nanalytics.name = an\nstorage.name = st\nstorage.wcu = 55\n";
+        let text =
+            "ingestion.name = in\nanalytics.name = an\nstorage.name = st\nstorage.wcu = 55\n";
         let parsed = WizardConfig::from_text(text).unwrap();
         assert_eq!(parsed.flow.ingestion.name(), "in");
         assert_eq!(parsed.flow.storage.name(), "st");

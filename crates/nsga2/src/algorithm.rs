@@ -174,12 +174,12 @@ impl<P: Problem> Nsga2<P> {
                     }
                 } else {
                     let mut boundary: Vec<usize> = front.clone();
-                    boundary.sort_by(|&a, &b| {
-                        combined[b]
-                            .crowding
-                            .partial_cmp(&combined[a].crowding)
-                            .expect("crowding distances compare")
-                    });
+                    // total_cmp keeps NaN crowding (degenerate objectives)
+                    // from panicking: NaN orders above every finite value
+                    // in descending order here, i.e. it is kept — rank
+                    // already quarantined NaN objectives in worst fronts.
+                    boundary
+                        .sort_by(|&a, &b| combined[b].crowding.total_cmp(&combined[a].crowding));
                     for &i in boundary.iter().take(n - next.len()) {
                         next.push(combined[i].clone());
                     }
@@ -197,7 +197,7 @@ impl<P: Problem> Nsga2<P> {
         pop.sort_by(|a, b| {
             a.rank
                 .cmp(&b.rank)
-                .then_with(|| b.crowding.partial_cmp(&a.crowding).expect("comparable"))
+                .then_with(|| b.crowding.total_cmp(&a.crowding))
         });
 
         Nsga2Result {
@@ -293,8 +293,14 @@ mod tests {
             );
         }
         // Front spread: should cover much of [0, 2].
-        let min_x = front.iter().map(|i| i.genes[0]).fold(f64::INFINITY, f64::min);
-        let max_x = front.iter().map(|i| i.genes[0]).fold(f64::NEG_INFINITY, f64::max);
+        let min_x = front
+            .iter()
+            .map(|i| i.genes[0])
+            .fold(f64::INFINITY, f64::min);
+        let max_x = front
+            .iter()
+            .map(|i| i.genes[0])
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!(max_x - min_x > 1.0, "front collapsed: [{min_x}, {max_x}]");
         assert_eq!(result.generations, 80);
         assert!(result.evaluations >= 60 * 81);
@@ -316,7 +322,10 @@ mod tests {
             .map(|i| (i.objectives[1] - (1.0 - i.objectives[0].sqrt())).abs())
             .sum::<f64>()
             / front.len() as f64;
-        assert!(mean_dev < 0.05, "mean deviation from ZDT1 front: {mean_dev}");
+        assert!(
+            mean_dev < 0.05,
+            "mean deviation from ZDT1 front: {mean_dev}"
+        );
     }
 
     #[test]
@@ -330,7 +339,11 @@ mod tests {
         let result = Nsga2::new(ConstrSum, cfg).run();
         let front = result.pareto_front();
         for ind in &front {
-            assert!(ind.is_feasible(), "infeasible on final front: {:?}", ind.genes);
+            assert!(
+                ind.is_feasible(),
+                "infeasible on final front: {:?}",
+                ind.genes
+            );
             // Pareto-optimal feasible points sit on x + y = 1.
             let sum = ind.genes[0] + ind.genes[1];
             assert!(sum < 1.1, "far inside the feasible region: {sum}");
@@ -366,7 +379,11 @@ mod tests {
         assert!(coarse.len() <= fine.len());
         assert!(!coarse.is_empty());
         // At integer resolution the SCH front has few distinct cells.
-        assert!(coarse.len() <= 10, "coarse front too large: {}", coarse.len());
+        assert!(
+            coarse.len() <= 10,
+            "coarse front too large: {}",
+            coarse.len()
+        );
     }
 
     #[test]

@@ -20,10 +20,14 @@
 /// Panics when the dimensionality is not 2 or 3, or when points and the
 /// reference disagree on dimension.
 pub fn hypervolume(front: &[Vec<f64>], reference: &[f64]) -> f64 {
-    match reference.len() {
-        2 => hv2d(front, reference),
-        3 => hv3d(front, reference),
-        d => panic!("hypervolume supports 2 or 3 objectives, got {d}"),
+    match *reference {
+        [rx, ry] => hv2d(front, (rx, ry)),
+        [rx, ry, rz] => hv3d(front, (rx, ry, rz)),
+        // lint:allow(panic-macro): documented contract — the indicator is defined for 2 and 3 objectives only
+        _ => panic!(
+            "hypervolume supports 2 or 3 objectives, got {}",
+            reference.len()
+        ),
     }
 }
 
@@ -33,7 +37,11 @@ fn nondominated_filter(front: &[Vec<f64>], reference: &[f64]) -> Vec<Vec<f64>> {
     let candidates: Vec<Vec<f64>> = front
         .iter()
         .filter(|p| {
-            assert_eq!(p.len(), reference.len(), "point/reference dimension mismatch");
+            assert_eq!(
+                p.len(),
+                reference.len(),
+                "point/reference dimension mismatch"
+            );
             p.iter().zip(reference).all(|(a, r)| a < r)
         })
         .cloned()
@@ -44,8 +52,8 @@ fn nondominated_filter(front: &[Vec<f64>], reference: &[f64]) -> Vec<Vec<f64>> {
             if i == j {
                 continue;
             }
-            let dominates = q.iter().zip(p).all(|(a, b)| a <= b)
-                && q.iter().zip(p).any(|(a, b)| a < b);
+            let dominates =
+                q.iter().zip(p).all(|(a, b)| a <= b) && q.iter().zip(p).any(|(a, b)| a < b);
             if dominates {
                 continue 'outer;
             }
@@ -59,39 +67,49 @@ fn nondominated_filter(front: &[Vec<f64>], reference: &[f64]) -> Vec<Vec<f64>> {
     keep
 }
 
-fn hv2d(front: &[Vec<f64>], reference: &[f64]) -> f64 {
-    let mut pts = nondominated_filter(front, reference);
-    if pts.is_empty() {
-        return 0.0;
-    }
+fn hv2d(front: &[Vec<f64>], reference: (f64, f64)) -> f64 {
+    let (rx, ry) = reference;
+    let mut pts: Vec<(f64, f64)> = nondominated_filter(front, &[rx, ry])
+        .into_iter()
+        .map(|p| match p[..] {
+            [x, y] => (x, y),
+            _ => unreachable!("nondominated_filter asserts the dimension"),
+        })
+        .collect();
     // Sort ascending by the first objective; the second objective then
-    // descends along the non-dominated front.
-    pts.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("finite objectives"));
+    // descends along the non-dominated front. The filter admits only
+    // points strictly dominating the reference, so NaNs never reach the
+    // comparator; total_cmp keeps it panic-free regardless.
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut hv = 0.0;
-    let mut prev_y = reference[1];
-    for p in &pts {
-        hv += (reference[0] - p[0]) * (prev_y - p[1]);
-        prev_y = p[1];
+    let mut prev_y = ry;
+    for &(x, y) in &pts {
+        hv += (rx - x) * (prev_y - y);
+        prev_y = y;
     }
     hv
 }
 
-fn hv3d(front: &[Vec<f64>], reference: &[f64]) -> f64 {
-    let mut pts = nondominated_filter(front, reference);
-    if pts.is_empty() {
-        return 0.0;
-    }
+fn hv3d(front: &[Vec<f64>], reference: (f64, f64, f64)) -> f64 {
+    let (rx, ry, rz) = reference;
+    let mut pts: Vec<(f64, f64, f64)> = nondominated_filter(front, &[rx, ry, rz])
+        .into_iter()
+        .map(|p| match p[..] {
+            [x, y, z] => (x, y, z),
+            _ => unreachable!("nondominated_filter asserts the dimension"),
+        })
+        .collect();
     // Slice along the third objective, best (smallest) first.
-    pts.sort_by(|a, b| a[2].partial_cmp(&b[2]).expect("finite objectives"));
+    pts.sort_by(|a, b| a.2.total_cmp(&b.2));
     let mut hv = 0.0;
     let mut active: Vec<Vec<f64>> = Vec::new();
     for i in 0..pts.len() {
-        active.push(vec![pts[i][0], pts[i][1]]);
-        let z_lo = pts[i][2];
-        let z_hi = if i + 1 < pts.len() { pts[i + 1][2] } else { reference[2] };
+        let (x, y, z_lo) = pts[i];
+        active.push(vec![x, y]);
+        let z_hi = if i + 1 < pts.len() { pts[i + 1].2 } else { rz };
         let height = z_hi - z_lo;
         if height > 0.0 {
-            hv += height * hv2d(&active, &reference[..2]);
+            hv += height * hv2d(&active, (rx, ry));
         }
     }
     hv
@@ -154,7 +172,10 @@ mod tests {
         // Vol(A) = 2·1·1 = 2 ; Vol(B) = 1·2·2 = 4;
         // Intersection: max coords (1,1,1) → box to ref = 1·1·1 = 1.
         // Union = 2 + 4 − 1 = 5.
-        let hv = hypervolume(&[vec![0.0, 1.0, 1.0], vec![1.0, 0.0, 0.0]], &[2.0, 2.0, 2.0]);
+        let hv = hypervolume(
+            &[vec![0.0, 1.0, 1.0], vec![1.0, 0.0, 0.0]],
+            &[2.0, 2.0, 2.0],
+        );
         assert!((hv - 5.0).abs() < 1e-12, "hv={hv}");
     }
 

@@ -24,10 +24,10 @@ impl Individual {
         assert_eq!(genes.len(), problem.n_vars(), "gene count mismatch");
         let mut objectives = vec![0.0; problem.n_objectives()];
         problem.evaluate(&genes, &mut objectives);
-        debug_assert!(
-            objectives.iter().all(|o| !o.is_nan()),
-            "objective evaluation produced NaN for genes {genes:?}"
-        );
+        // NaN objectives are not rejected here: degenerate evaluations
+        // (overflow, 0/0 in a user problem) are quarantined into the
+        // worst fronts by `constraint_dominates` instead of panicking
+        // mid-optimization.
         let mut violations = vec![0.0; problem.n_constraints()];
         problem.constraints(&genes, &mut violations);
         Individual {
@@ -47,6 +47,16 @@ impl Individual {
     /// Whether all constraints are satisfied.
     pub fn is_feasible(&self) -> bool {
         self.total_violation() <= 0.0
+    }
+
+    /// Whether any objective is non-finite (a degenerate evaluation).
+    /// Such individuals are worst-ranked by
+    /// [`Individual::constraint_dominates`] so they can never displace a
+    /// well-defined solution. `inf` is quarantined alongside NaN: a
+    /// `-inf` objective would otherwise dominate every finite solution
+    /// and a `+inf` one would stretch crowding distances to infinity.
+    pub fn is_degenerate(&self) -> bool {
+        self.objectives.iter().any(|o| !o.is_finite())
     }
 
     /// Plain Pareto domination on objectives (ignores constraints):
@@ -69,7 +79,19 @@ impl Individual {
     /// Deb's constraint-domination: feasible beats infeasible; between
     /// infeasibles the smaller total violation wins; between feasibles,
     /// plain Pareto domination applies.
+    ///
+    /// Extended for NaN/inf robustness: any well-defined individual
+    /// dominates a degenerate (non-finite-objective) one, so degenerates
+    /// sink to the worst fronts instead of poisoning front 0 (NaN
+    /// compares false against everything, which would otherwise make
+    /// them "non-dominated"; `-inf` would dominate every finite
+    /// solution).
     pub fn constraint_dominates(&self, other: &Individual) -> bool {
+        match (self.is_degenerate(), other.is_degenerate()) {
+            (false, true) => return true,
+            (true, _) => return false,
+            (false, false) => {}
+        }
         match (self.is_feasible(), other.is_feasible()) {
             (true, false) => true,
             (false, true) => false,

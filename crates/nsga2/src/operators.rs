@@ -226,7 +226,10 @@ mod tests {
                 changed += 1;
             }
         }
-        assert!(changed > 450, "mutation with p=1 changed only {changed}/500");
+        assert!(
+            changed > 450,
+            "mutation with p=1 changed only {changed}/500"
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub trait Problem {
     /// The default writes nothing, matching `n_constraints() == 0`.
     fn constraints(&self, x: &[f64], out: &mut [f64]) {
         let _ = x;
-        debug_assert!(out.is_empty(), "override constraints() when n_constraints() > 0");
+        debug_assert!(
+            out.is_empty(),
+            "override constraints() when n_constraints() > 0"
+        );
     }
 }
 

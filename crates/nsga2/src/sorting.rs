@@ -64,25 +64,26 @@ pub fn crowding_distance(pop: &mut [Individual], front: &[usize]) {
         }
         return;
     }
-    let n_obj = pop[front[0]].objectives.len();
+    let n_obj = front.first().map_or(0, |&i| pop[i].objectives.len());
     let mut order: Vec<usize> = front.to_vec();
     for m in 0..n_obj {
-        order.sort_by(|&a, &b| {
-            pop[a].objectives[m]
-                .partial_cmp(&pop[b].objectives[m])
-                .expect("objectives must be comparable (no NaN)")
-        });
-        let lo = pop[order[0]].objectives[m];
-        let hi = pop[order[order.len() - 1]].objectives[m];
-        pop[order[0]].crowding = f64::INFINITY;
-        pop[order[order.len() - 1]].crowding = f64::INFINITY;
+        // total_cmp orders NaN objectives above +inf instead of
+        // panicking; such individuals are already quarantined into the
+        // worst fronts by `constraint_dominates`.
+        order.sort_by(|&a, &b| pop[a].objectives[m].total_cmp(&pop[b].objectives[m]));
+        let (Some(&first), Some(&last)) = (order.first(), order.last()) else {
+            continue; // unreachable: fronts of len <= 2 returned above
+        };
+        let lo = pop[first].objectives[m];
+        let hi = pop[last].objectives[m];
+        pop[first].crowding = f64::INFINITY;
+        pop[last].crowding = f64::INFINITY;
         let span = hi - lo;
         if span <= 0.0 {
             continue; // degenerate objective: all equal
         }
         for w in 1..order.len() - 1 {
-            let delta =
-                (pop[order[w + 1]].objectives[m] - pop[order[w - 1]].objectives[m]) / span;
+            let delta = (pop[order[w + 1]].objectives[m] - pop[order[w - 1]].objectives[m]) / span;
             let i = order[w];
             if pop[i].crowding.is_finite() {
                 pop[i].crowding += delta;
@@ -153,7 +154,10 @@ mod tests {
         let mut pop = vec![ind(&[1.0]), ind(&[2.0]), ind(&[3.0])];
         let fronts = fast_non_dominated_sort(&mut pop);
         assert_eq!(fronts.len(), 3);
-        assert_eq!(fronts.iter().map(Vec::len).collect::<Vec<_>>(), vec![1, 1, 1]);
+        assert_eq!(
+            fronts.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![1, 1, 1]
+        );
     }
 
     #[test]

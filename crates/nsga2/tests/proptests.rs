@@ -1,10 +1,14 @@
-//! Property-based tests for NSGA-II invariants.
+// Test target: unwrap/expect and exact float comparison are deliberate
+// here (determinism assertions compare results bit-for-bit).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
+//! Property-based tests for NSGA-II invariants, driven by the
+//! deterministic `testkit` harness (seeded cases, reproducible replay).
 
 use flower_nsga2::individual::Individual;
 use flower_nsga2::sorting::{crowding_distance, fast_non_dominated_sort};
 use flower_nsga2::{hypervolume, Nsga2, Nsga2Config, Problem};
+use flower_sim::testkit::forall;
 use flower_sim::SimRng;
-use proptest::prelude::*;
 
 fn ind(obj: Vec<f64>) -> Individual {
     Individual {
@@ -16,41 +20,45 @@ fn ind(obj: Vec<f64>) -> Individual {
     }
 }
 
-fn objective_vecs(n_points: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(0.0..100.0f64, 2..3).prop_map(|mut v| {
-            v.truncate(2);
-            v
-        }),
-        n_points,
-    )
+/// `n` random 2-objective vectors with entries in `[0, 100)`.
+fn objective_vecs(rng: &mut SimRng, min_points: usize, max_points: usize) -> Vec<Vec<f64>> {
+    let n = rng.int_range(min_points as i64, max_points as i64) as usize;
+    (0..n)
+        .map(|_| vec![rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)])
+        .collect()
 }
 
-proptest! {
-    /// Every individual belongs to exactly one front, and fronts
-    /// partition the population.
-    #[test]
-    fn fronts_partition_population(objs in objective_vecs(1..40)) {
+/// Every individual belongs to exactly one front, and fronts partition
+/// the population.
+#[test]
+fn fronts_partition_population() {
+    forall(128, |rng| {
+        let objs = objective_vecs(rng, 1, 39);
         let mut pop: Vec<Individual> = objs.into_iter().map(ind).collect();
         let n = pop.len();
         let fronts = fast_non_dominated_sort(&mut pop);
         let mut all: Vec<usize> = fronts.iter().flatten().copied().collect();
         all.sort_unstable();
-        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
-    }
+        assert_eq!(all, (0..n).collect::<Vec<_>>());
+    });
+}
 
-    /// No individual in front k dominates another in front k, and every
-    /// individual in front k+1 is dominated by someone in front k.
-    #[test]
-    fn front_structure_is_correct(objs in objective_vecs(2..30)) {
+/// No individual in front k dominates another in front k, and every
+/// individual in front k+1 is dominated by someone in front k.
+#[test]
+fn front_structure_is_correct() {
+    forall(128, |rng| {
+        let objs = objective_vecs(rng, 2, 29);
         let mut pop: Vec<Individual> = objs.into_iter().map(ind).collect();
         let fronts = fast_non_dominated_sort(&mut pop);
         for front in &fronts {
             for &i in front {
                 for &j in front {
                     if i != j {
-                        prop_assert!(!pop[i].constraint_dominates(&pop[j]),
-                            "front member {} dominates member {}", i, j);
+                        assert!(
+                            !pop[i].constraint_dominates(&pop[j]),
+                            "front member {i} dominates member {j}"
+                        );
                     }
                 }
             }
@@ -58,60 +66,74 @@ proptest! {
         for w in fronts.windows(2) {
             for &j in &w[1] {
                 let dominated = w[0].iter().any(|&i| pop[i].constraint_dominates(&pop[j]));
-                prop_assert!(dominated, "member {} of front k+1 undominated by front k", j);
+                assert!(dominated, "member {j} of front k+1 undominated by front k");
             }
         }
-    }
+    });
+}
 
-    /// Crowding distances are non-negative and never NaN.
-    #[test]
-    fn crowding_is_sane(objs in objective_vecs(1..30)) {
+/// Crowding distances are non-negative and never NaN.
+#[test]
+fn crowding_is_sane() {
+    forall(128, |rng| {
+        let objs = objective_vecs(rng, 1, 29);
         let mut pop: Vec<Individual> = objs.into_iter().map(ind).collect();
         let fronts = fast_non_dominated_sort(&mut pop);
         for front in &fronts {
             crowding_distance(&mut pop, front);
             for &i in front {
-                prop_assert!(!pop[i].crowding.is_nan());
-                prop_assert!(pop[i].crowding >= 0.0);
+                assert!(!pop[i].crowding.is_nan());
+                assert!(pop[i].crowding >= 0.0);
             }
         }
-    }
+    });
+}
 
-    /// Hypervolume is monotone: adding a point never decreases it, and it
-    /// is bounded by the reference box.
-    #[test]
-    fn hypervolume_monotone_and_bounded(
-        objs in objective_vecs(1..15),
-        extra in prop::collection::vec(0.0..100.0f64, 2)
-    ) {
+/// Hypervolume is monotone: adding a point never decreases it, and it is
+/// bounded by the reference box.
+#[test]
+fn hypervolume_monotone_and_bounded() {
+    forall(128, |rng| {
+        let objs = objective_vecs(rng, 1, 14);
+        let extra = vec![rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)];
         let reference = [110.0, 110.0];
         let base = hypervolume(&objs, &reference);
         let mut bigger = objs.clone();
         bigger.push(extra);
         let grown = hypervolume(&bigger, &reference);
-        prop_assert!(grown >= base - 1e-9);
-        prop_assert!(grown <= 110.0f64 * 110.0 + 1e-9);
-        prop_assert!(base >= 0.0);
-    }
+        assert!(grown >= base - 1e-9);
+        assert!(grown <= 110.0f64 * 110.0 + 1e-9);
+        assert!(base >= 0.0);
+    });
+}
 
-    /// The exact hypervolume agrees with a Monte-Carlo estimate: the
-    /// slicing algorithm and a brute-force dominance check must measure
-    /// the same region.
-    #[test]
-    fn hypervolume_matches_monte_carlo(
-        objs in prop::collection::vec(prop::collection::vec(0.0..90.0f64, 3), 1..8),
-        seed in 0u64..1_000,
-    ) {
+/// The exact hypervolume agrees with a Monte-Carlo estimate: the slicing
+/// algorithm and a brute-force dominance check must measure the same
+/// region.
+#[test]
+fn hypervolume_matches_monte_carlo() {
+    forall(24, |rng| {
+        let n = rng.int_range(1, 7) as usize;
+        let objs: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                vec![
+                    rng.uniform(0.0, 90.0),
+                    rng.uniform(0.0, 90.0),
+                    rng.uniform(0.0, 90.0),
+                ]
+            })
+            .collect();
+        let seed = rng.below(1_000);
         let reference = [100.0, 100.0, 100.0];
         let exact = hypervolume(&objs, &reference);
-        let mut rng = SimRng::seed(seed);
+        let mut mc_rng = SimRng::seed(seed);
         let samples = 40_000;
         let mut inside = 0u32;
         for _ in 0..samples {
             let p = [
-                rng.uniform(0.0, 100.0),
-                rng.uniform(0.0, 100.0),
-                rng.uniform(0.0, 100.0),
+                mc_rng.uniform(0.0, 100.0),
+                mc_rng.uniform(0.0, 100.0),
+                mc_rng.uniform(0.0, 100.0),
             ];
             let dominated = objs
                 .iter()
@@ -120,37 +142,51 @@ proptest! {
                 inside += 1;
             }
         }
-        let estimate = inside as f64 / samples as f64 * 1_000_000.0;
+        let estimate = f64::from(inside) / f64::from(samples) * 1_000_000.0;
         // MC error at 40k samples over a 1e6 volume: ~3 sigma tolerance.
-        let sigma = ((exact / 1e6) * (1.0 - exact / 1e6) / samples as f64).sqrt() * 1e6;
-        prop_assert!(
+        let sigma = ((exact / 1e6) * (1.0 - exact / 1e6) / f64::from(samples)).sqrt() * 1e6;
+        assert!(
             (exact - estimate).abs() <= 3.0 * sigma + 2_000.0,
-            "exact {} vs MC {} (sigma {})", exact, estimate, sigma
+            "exact {exact} vs MC {estimate} (sigma {sigma})"
         );
-    }
+    });
+}
 
-    /// NSGA-II output: final population has the configured size, front-0
-    /// members are mutually non-dominated, and the run is deterministic.
-    #[test]
-    fn nsga2_postconditions(seed in 0u64..500) {
-        struct Sch;
-        impl Problem for Sch {
-            fn n_vars(&self) -> usize { 1 }
-            fn n_objectives(&self) -> usize { 2 }
-            fn bounds(&self, _: usize) -> (f64, f64) { (-10.0, 10.0) }
-            fn evaluate(&self, x: &[f64], out: &mut [f64]) {
-                out[0] = x[0] * x[0];
-                out[1] = (x[0] - 2.0) * (x[0] - 2.0);
-            }
+/// NSGA-II output: final population has the configured size, front-0
+/// members are mutually non-dominated, and the run is deterministic.
+#[test]
+fn nsga2_postconditions() {
+    struct Sch;
+    impl Problem for Sch {
+        fn n_vars(&self) -> usize {
+            1
         }
-        let cfg = Nsga2Config { population: 16, generations: 5, seed, ..Default::default() };
+        fn n_objectives(&self) -> usize {
+            2
+        }
+        fn bounds(&self, _: usize) -> (f64, f64) {
+            (-10.0, 10.0)
+        }
+        fn evaluate(&self, x: &[f64], out: &mut [f64]) {
+            out[0] = x[0] * x[0];
+            out[1] = (x[0] - 2.0) * (x[0] - 2.0);
+        }
+    }
+    forall(48, |rng| {
+        let seed = rng.below(500);
+        let cfg = Nsga2Config {
+            population: 16,
+            generations: 5,
+            seed,
+            ..Default::default()
+        };
         let result = Nsga2::new(Sch, cfg).run();
-        prop_assert_eq!(result.population.len(), 16);
+        assert_eq!(result.population.len(), 16);
         let front = result.pareto_front();
         for a in &front {
             for b in &front {
-                prop_assert!(!a.dominates_objectives(b) || std::ptr::eq(*a, *b));
+                assert!(!a.dominates_objectives(b) || std::ptr::eq(*a, *b));
             }
         }
-    }
+    });
 }

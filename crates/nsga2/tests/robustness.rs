@@ -1,0 +1,143 @@
+// Test target: unwrap/expect and exact float comparison are deliberate
+// here (determinism assertions compare results bit-for-bit).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
+//! Robustness and determinism regression tests for the NSGA-II core.
+//!
+//! The elasticity manager feeds NSGA-II with objectives computed from
+//! regression models, and a model extrapolated far outside its training
+//! range can emit `NaN` or `inf`. The optimizer must quarantine such
+//! individuals (worst-rank them) rather than panic or let a `NaN`
+//! poison the whole front, and — same seed, same front — it must be
+//! bit-reproducible run to run.
+
+use flower_nsga2::individual::Individual;
+use flower_nsga2::sorting::fast_non_dominated_sort;
+use flower_nsga2::{Nsga2, Nsga2Config, Problem};
+use flower_sim::testkit::forall;
+
+fn ind(obj: Vec<f64>) -> Individual {
+    Individual {
+        genes: vec![],
+        objectives: obj,
+        violations: vec![],
+        rank: usize::MAX,
+        crowding: 0.0,
+    }
+}
+
+/// A 2-objective problem whose evaluation is poisoned over part of the
+/// decision space: one corner yields `NaN`, another `inf`. Elsewhere it
+/// is a plain convex bi-objective trade-off with a well-defined front.
+struct PoisonedProblem;
+
+impl Problem for PoisonedProblem {
+    fn n_vars(&self) -> usize {
+        2
+    }
+    fn n_objectives(&self) -> usize {
+        2
+    }
+    fn bounds(&self, _: usize) -> (f64, f64) {
+        (0.0, 1.0)
+    }
+    fn evaluate(&self, x: &[f64], out: &mut [f64]) {
+        let (a, b) = (x[0], x[1]);
+        if a > 0.9 && b > 0.9 {
+            out[0] = f64::NAN;
+            out[1] = f64::NAN;
+        } else if a < 0.05 && b < 0.05 {
+            out[0] = f64::INFINITY;
+            out[1] = f64::NEG_INFINITY;
+        } else {
+            out[0] = a;
+            out[1] = (1.0 - a).mul_add(1.0 - a, b * 0.1);
+        }
+    }
+}
+
+/// The full generational loop survives a problem that emits `NaN`/`inf`
+/// objectives: no panic, and every rank-0 survivor is well-defined.
+#[test]
+fn nan_inf_objectives_do_not_panic_and_are_worst_ranked() {
+    let config = Nsga2Config {
+        population: 24,
+        generations: 30,
+        seed: 7,
+        ..Nsga2Config::default()
+    };
+    let result = Nsga2::new(PoisonedProblem, config).run();
+
+    assert_eq!(result.population.len(), 24);
+    let front = result.pareto_front();
+    assert!(!front.is_empty(), "a well-defined front must survive");
+    for ind in &front {
+        assert!(
+            ind.objectives.iter().all(|o| o.is_finite()),
+            "degenerate individual leaked into the Pareto front: {:?}",
+            ind.objectives
+        );
+    }
+}
+
+/// Direct sorter-level check: a population seeded with `NaN` and `inf`
+/// objective vectors ranks every degenerate individual strictly behind
+/// every well-defined one, and the sort itself never panics.
+#[test]
+fn degenerate_individuals_sort_behind_all_finite_ones() {
+    let mut pop = vec![
+        ind(vec![1.0, 2.0]),
+        ind(vec![f64::NAN, 0.0]),
+        ind(vec![2.0, 1.0]),
+        ind(vec![f64::INFINITY, -1.0]),
+        ind(vec![0.5, f64::NAN]),
+        ind(vec![3.0, 3.0]),
+    ];
+    let fronts = fast_non_dominated_sort(&mut pop);
+    assert!(!fronts.is_empty());
+
+    let worst_finite_rank = pop
+        .iter()
+        .filter(|i| i.objectives.iter().all(|o| o.is_finite()))
+        .map(|i| i.rank)
+        .max()
+        .expect("population contains finite individuals by construction");
+    for i in &pop {
+        if !i.objectives.iter().all(|o| o.is_finite()) {
+            assert!(
+                i.rank > worst_finite_rank,
+                "degenerate individual ranked {} at or ahead of finite rank {}",
+                i.rank,
+                worst_finite_rank
+            );
+        }
+    }
+}
+
+/// Same seed ⇒ identical final Pareto front, bit for bit, across two
+/// independent runs — the determinism contract `Nsga2Config::seed`
+/// documents. Checked over many seeds via the testkit harness.
+#[test]
+fn same_seed_yields_identical_pareto_front() {
+    forall(8, |rng| {
+        let config = Nsga2Config {
+            population: 16,
+            generations: 12,
+            seed: rng.next_u64(),
+            ..Nsga2Config::default()
+        };
+        let run = || Nsga2::new(PoisonedProblem, config).run();
+        let (a, b) = (run(), run());
+
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.population.len(), b.population.len());
+        for (x, y) in a.population.iter().zip(&b.population) {
+            assert_eq!(x.rank, y.rank);
+            // Bit-exact equality is the point: compare the raw bits so
+            // that 0.0 / -0.0 or NaN payload drift is caught too.
+            let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&x.genes), bits(&y.genes));
+            assert_eq!(bits(&x.objectives), bits(&y.objectives));
+            assert_eq!(bits(&x.violations), bits(&y.violations));
+        }
+    });
+}

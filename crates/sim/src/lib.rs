@@ -1,3 +1,9 @@
+// Unit tests may unwrap/expect and compare floats exactly — the
+// panic-freedom and NaN-safety floor applies to library code only.
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)
+)]
 //! # flower-sim
 //!
 //! Deterministic discrete-event simulation kernel used by every other crate
@@ -13,9 +19,9 @@
 //! The kernel is deliberately small and generic:
 //!
 //! * [`SimTime`] / [`SimDuration`] — virtual time in integer milliseconds.
-//! * [`SimRng`] — a self-contained xoshiro256++ PRNG (stable across
-//!   dependency upgrades, unlike `StdRng`), implementing [`rand::RngCore`]
-//!   so the full `rand` distribution toolkit works on top of it.
+//! * [`SimRng`] — a self-contained, dependency-free xoshiro256++ PRNG
+//!   (stable across toolchain upgrades, unlike `StdRng`) with its own
+//!   distribution toolkit (uniform, normal, Poisson, geometric, ...).
 //! * [`Scheduler`] — a binary-heap event queue with FIFO tie-breaking,
 //!   generic over the simulated world state `S`.
 //!
@@ -41,6 +47,7 @@
 
 pub mod rng;
 pub mod scheduler;
+pub mod testkit;
 pub mod time;
 
 pub use rng::SimRng;

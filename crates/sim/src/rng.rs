@@ -4,10 +4,9 @@
 //! so instead of `rand::rngs::StdRng` (whose algorithm is explicitly *not*
 //! stability-guaranteed) we ship our own xoshiro256++ implementation seeded
 //! through SplitMix64, exactly as recommended by the xoshiro authors.
-//! [`SimRng`] implements [`rand::RngCore`], so the full `rand` distribution
-//! machinery composes with it.
-
-use rand::{Error, RngCore, SeedableRng};
+//! [`SimRng`] carries its own distribution toolkit (uniform, normal,
+//! Poisson, geometric, weighted choice, shuffling) so no external RNG
+//! crate is needed anywhere in the workspace.
 
 /// SplitMix64 step — used to expand a 64-bit seed into xoshiro state.
 #[inline]
@@ -52,7 +51,8 @@ impl SimRng {
     pub fn fork(&self, label: u64) -> Self {
         // Mix the label into the current state through SplitMix64 so forks
         // with different labels are decorrelated.
-        let mut sm = self.s[0] ^ self.s[3] ^ label.wrapping_mul(0xA24B_AED4_963E_E407);
+        let [s0, _, _, s3] = self.s;
+        let mut sm = s0 ^ s3 ^ label.wrapping_mul(0xA24B_AED4_963E_E407);
         let s = [
             splitmix64(&mut sm),
             splitmix64(&mut sm),
@@ -65,17 +65,17 @@ impl SimRng {
     /// Next raw 64-bit output (xoshiro256++).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
-        let t = self.s[1] << 17;
-        self.s[2] ^= self.s[0];
-        self.s[3] ^= self.s[1];
-        self.s[1] ^= self.s[2];
-        self.s[0] ^= self.s[3];
-        self.s[2] ^= t;
-        self.s[3] = self.s[3].rotate_left(45);
+        // Slice-pattern destructuring: infallible on the fixed [u64; 4]
+        // state, so the scrambler has no indexing panic paths at all.
+        let [s0, s1, s2, s3] = &mut self.s;
+        let result = s0.wrapping_add(*s3).rotate_left(23).wrapping_add(*s0);
+        let t = *s1 << 17;
+        *s2 ^= *s0;
+        *s3 ^= *s1;
+        *s1 ^= *s2;
+        *s0 ^= *s3;
+        *s2 ^= t;
+        *s3 = s3.rotate_left(45);
         result
     }
 
@@ -152,7 +152,11 @@ impl SimRng {
     /// means, which is standard practice for simulation workload
     /// generators.
     pub fn poisson(&mut self, lambda: f64) -> u64 {
-        assert!(lambda >= 0.0 && lambda.is_finite(), "invalid Poisson mean {lambda}");
+        assert!(
+            lambda >= 0.0 && lambda.is_finite(),
+            "invalid Poisson mean {lambda}"
+        );
+        // lint:allow(float-eq): exact-zero sentinel — any positive mean, however small, takes the sampling path
         if lambda == 0.0 {
             return 0;
         }
@@ -205,6 +209,7 @@ impl SimRng {
 
     /// Weighted index draw proportional to non-negative `weights`.
     /// Panics when all weights are zero or any weight is negative.
+    #[allow(clippy::expect_used)] // invariant stated in the expect message
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights
             .iter()
@@ -213,7 +218,10 @@ impl SimRng {
                 w
             })
             .sum();
-        assert!(total > 0.0, "weighted_index requires a positive total weight");
+        assert!(
+            total > 0.0,
+            "weighted_index requires a positive total weight"
+        );
         let mut target = self.next_f64() * total;
         for (i, &w) in weights.iter().enumerate() {
             if target < w {
@@ -230,16 +238,15 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        (SimRng::next_u64(self) >> 32) as u32
+impl SimRng {
+    /// Next raw 32-bit output (upper half of [`SimRng::next_u64`]).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
     }
 
-    fn next_u64(&mut self) -> u64 {
-        SimRng::next_u64(self)
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fill a byte slice with pseudo-random bytes (little-endian words).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&SimRng::next_u64(self).to_le_bytes());
@@ -249,19 +256,6 @@ impl RngCore for SimRng {
             let bytes = SimRng::next_u64(self).to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
-
-impl SeedableRng for SimRng {
-    type Seed = [u8; 8];
-
-    fn from_seed(seed: Self::Seed) -> Self {
-        SimRng::seed(u64::from_le_bytes(seed))
     }
 }
 

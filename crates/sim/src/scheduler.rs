@@ -6,7 +6,7 @@
 //! deterministic without artificial epsilon offsets.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use crate::time::{SimDuration, SimTime};
 
@@ -52,7 +52,10 @@ impl<S> Ord for Scheduled<S> {
 pub struct Scheduler<S> {
     now: SimTime,
     queue: BinaryHeap<Scheduled<S>>,
-    cancelled: HashSet<u64>,
+    // BTreeSet rather than HashSet: it is only ever used for membership,
+    // but the ordered set keeps the whole scheduler hash-free so nothing
+    // here can pick up iteration-order nondeterminism later.
+    cancelled: BTreeSet<u64>,
     next_seq: u64,
     executed: u64,
 }
@@ -69,7 +72,7 @@ impl<S> Scheduler<S> {
         Scheduler {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             next_seq: 0,
             executed: 0,
         }
@@ -170,8 +173,9 @@ impl<S> Scheduler<S> {
             let next_at = loop {
                 match self.queue.peek() {
                     Some(ev) if self.cancelled.contains(&ev.seq) => {
-                        let seq = self.queue.pop().expect("peeked").seq;
-                        self.cancelled.remove(&seq);
+                        if let Some(dropped) = self.queue.pop() {
+                            self.cancelled.remove(&dropped.seq);
+                        }
                     }
                     Some(ev) => break Some(ev.at),
                     None => break None,
@@ -198,7 +202,10 @@ impl<S> Scheduler<S> {
         period: SimDuration,
         action: impl FnMut(&mut Scheduler<S>, &mut S) -> bool + 'static,
     ) {
-        assert!(!period.is_zero(), "periodic event with zero period would livelock");
+        assert!(
+            !period.is_zero(),
+            "periodic event with zero period would livelock"
+        );
         fn reschedule<S>(
             sched: &mut Scheduler<S>,
             period: SimDuration,

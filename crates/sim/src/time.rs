@@ -278,7 +278,10 @@ mod tests {
         let p = SimDuration::from_secs(60);
         assert_eq!(SimTime::from_secs(59).align_down(p), SimTime::ZERO);
         assert_eq!(SimTime::from_secs(60).align_down(p), SimTime::from_secs(60));
-        assert_eq!(SimTime::from_secs(119).align_down(p), SimTime::from_secs(60));
+        assert_eq!(
+            SimTime::from_secs(119).align_down(p),
+            SimTime::from_secs(60)
+        );
     }
 
     #[test]
@@ -291,7 +294,10 @@ mod tests {
     fn float_conversions() {
         assert!((SimDuration::from_millis(1_500).as_secs_f64() - 1.5).abs() < 1e-12);
         assert!((SimDuration::from_mins(90).as_hours_f64() - 1.5).abs() < 1e-12);
-        assert_eq!(SimDuration::from_secs_f64(1.4999), SimDuration::from_millis(1_500));
+        assert_eq!(
+            SimDuration::from_secs_f64(1.4999),
+            SimDuration::from_millis(1_500)
+        );
         assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
         assert!((SimTime::from_mins(3).as_mins_f64() - 3.0).abs() < 1e-12);
     }
@@ -318,7 +324,9 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_millis(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_millis(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(SimDuration::from_secs(1)),
             Some(SimTime::from_secs(1))

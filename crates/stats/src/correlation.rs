@@ -40,7 +40,9 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
         syy += (yi - my).powi(2);
         sxy += (xi - mx) * (yi - my);
     }
-    if sxx == 0.0 || syy == 0.0 {
+    // Sums of squares are non-negative, so `<= 0` is exact-zero detection
+    // without a float equality.
+    if sxx <= 0.0 || syy <= 0.0 {
         return Err(StatsError::ZeroVariance);
     }
     Ok(sxy / (sxx.sqrt() * syy.sqrt()))
@@ -49,12 +51,14 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
 /// Ranks with ties sharing the average rank (1-based).
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite values compare"));
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < idx.len() {
         let mut j = i;
-        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+        // Exact tie detection: a zero difference (covering 0.0 vs -0.0)
+        // marks members of the same tie group; NaNs never tie.
+        while j + 1 < idx.len() && (xs[idx[j + 1]] - xs[idx[i]]).abs() <= 0.0 {
             j += 1;
         }
         // Average rank of the tie group [i, j].
@@ -151,7 +155,7 @@ pub fn autocorrelation(x: &[f64], max_lag: usize) -> Result<Vec<f64>, StatsError
     let n = x.len();
     let mean = x.iter().sum::<f64>() / n as f64;
     let var: f64 = x.iter().map(|v| (v - mean).powi(2)).sum();
-    if var == 0.0 {
+    if var <= 0.0 {
         return Err(StatsError::ZeroVariance);
     }
     let mut out = Vec::with_capacity(max_lag + 1);
@@ -169,16 +173,14 @@ pub fn autocorrelation(x: &[f64], max_lag: usize) -> Result<Vec<f64>, StatsError
 /// series stays correlated through `max_lag`.
 pub fn correlation_time(x: &[f64], max_lag: usize) -> Result<Option<usize>, StatsError> {
     let acf = autocorrelation(x, max_lag)?;
-    Ok(acf
-        .iter()
-        .position(|&r| r < 1.0 / std::f64::consts::E))
+    Ok(acf.iter().position(|&r| r < 1.0 / std::f64::consts::E))
 }
 
 /// The lag (within `±max_lag`) at which `|r|` is largest, with its r.
 pub fn best_lag(x: &[f64], y: &[f64], max_lag: usize) -> Result<(i64, f64), StatsError> {
     let cc = cross_correlation(x, y, max_lag)?;
     cc.into_iter()
-        .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite"))
+        .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
         .ok_or(StatsError::NotEnoughData { needed: 3, got: 0 })
 }
 
@@ -197,10 +199,10 @@ impl CorrelationMatrix {
     /// Compute pairwise correlations between equally-long series.
     pub fn compute(series: &[(String, Vec<f64>)]) -> Result<CorrelationMatrix, StatsError> {
         let n = series.len();
-        if n == 0 {
+        let Some((_, first)) = series.first() else {
             return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
-        }
-        let len0 = series[0].1.len();
+        };
+        let len0 = first.len();
         for (_, s) in series {
             if s.len() != len0 {
                 return Err(StatsError::LengthMismatch {
@@ -256,7 +258,7 @@ impl CorrelationMatrix {
                 }
             }
         }
-        out.sort_by(|a, b| b.2.abs().partial_cmp(&a.2.abs()).expect("finite"));
+        out.sort_by(|a, b| b.2.abs().total_cmp(&a.2.abs()));
         out
     }
 }
@@ -294,7 +296,10 @@ mod tests {
             pearson(&[1.0], &[1.0]),
             Err(StatsError::NotEnoughData { .. })
         ));
-        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), Err(StatsError::ZeroVariance));
+        assert_eq!(
+            pearson(&[1.0, 1.0], &[1.0, 2.0]),
+            Err(StatsError::ZeroVariance)
+        );
     }
 
     #[test]

@@ -33,22 +33,28 @@ pub fn std_dev(xs: &[f64]) -> Option<f64> {
 
 /// Minimum value. Returns `None` for an empty slice; NaNs are ignored.
 pub fn min(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc, x| {
-        Some(match acc {
-            None => x,
-            Some(a) => a.min(x),
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc, x| {
+            Some(match acc {
+                None => x,
+                Some(a) => a.min(x),
+            })
         })
-    })
 }
 
 /// Maximum value. Returns `None` for an empty slice; NaNs are ignored.
 pub fn max(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc, x| {
-        Some(match acc {
-            None => x,
-            Some(a) => a.max(x),
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc, x| {
+            Some(match acc {
+                None => x,
+                Some(a) => a.max(x),
+            })
         })
-    })
 }
 
 /// Percentile in `[0, 100]` using linear interpolation between closest
@@ -61,7 +67,7 @@ pub fn percentile(xs: &[f64], p: f64) -> Result<f64, StatsError> {
     check_finite(xs)?;
     assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    sorted.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -97,6 +103,7 @@ pub struct Summary {
 
 impl Summary {
     /// Summarize a non-empty, finite sample.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn of(xs: &[f64]) -> Result<Summary, StatsError> {
         if xs.is_empty() {
             return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
@@ -104,10 +111,10 @@ impl Summary {
         check_finite(xs)?;
         Ok(Summary {
             count: xs.len(),
-            mean: mean(xs).expect("non-empty"),
+            mean: mean(xs).expect("xs verified non-empty above"),
             std_dev: std_dev(xs).unwrap_or(0.0),
-            min: min(xs).expect("non-empty"),
-            max: max(xs).expect("non-empty"),
+            min: min(xs).expect("xs verified non-empty and finite above"),
+            max: max(xs).expect("xs verified non-empty and finite above"),
             sum: xs.iter().sum(),
         })
     }
@@ -115,7 +122,7 @@ impl Summary {
     /// Coefficient of variation (`std_dev / mean`); `None` when the mean
     /// is zero.
     pub fn coefficient_of_variation(&self) -> Option<f64> {
-        if self.mean == 0.0 {
+        if crate::float::near_zero(self.mean, crate::float::DEFAULT_TOL) {
             None
         } else {
             Some(self.std_dev / self.mean)
@@ -238,7 +245,10 @@ mod tests {
             percentile(&[], 50.0),
             Err(StatsError::NotEnoughData { .. })
         ));
-        assert_eq!(percentile(&[1.0, f64::NAN], 50.0), Err(StatsError::NonFiniteInput));
+        assert_eq!(
+            percentile(&[1.0, f64::NAN], 50.0),
+            Err(StatsError::NonFiniteInput)
+        );
     }
 
     #[test]

@@ -1,3 +1,9 @@
+// Unit tests may unwrap/expect and compare floats exactly — the
+// panic-freedom and NaN-safety floor applies to library code only.
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)
+)]
 //! # flower-stats
 //!
 //! Statistical substrate for the Flower reproduction.
@@ -31,12 +37,15 @@
 
 pub mod correlation;
 pub mod descriptive;
+pub mod float;
 pub mod matrix;
 pub mod online;
 pub mod regression;
 pub mod timeseries;
 
-pub use correlation::{autocorrelation, correlation_time, cross_correlation, pearson, spearman, CorrelationMatrix};
+pub use correlation::{
+    autocorrelation, correlation_time, cross_correlation, pearson, spearman, CorrelationMatrix,
+};
 pub use descriptive::Summary;
 pub use matrix::Matrix;
 pub use online::RecursiveLeastSquares;
@@ -79,7 +88,9 @@ impl std::fmt::Display for StatsError {
                 write!(f, "length mismatch: {left} vs {right}")
             }
             StatsError::ZeroVariance => write!(f, "regressor has zero variance"),
-            StatsError::SingularSystem => write!(f, "singular normal equations (collinear regressors)"),
+            StatsError::SingularSystem => {
+                write!(f, "singular normal equations (collinear regressors)")
+            }
             StatsError::NonFiniteInput => write!(f, "input contains NaN or infinite values"),
         }
     }

@@ -40,7 +40,7 @@ impl Matrix {
     /// Build from rows; every row must have the same length.
     pub fn from_rows(rows: &[Vec<f64>]) -> Matrix {
         assert!(!rows.is_empty(), "matrix needs at least one row");
-        let cols = rows[0].len();
+        let cols = rows.first().map_or(0, Vec::len);
         assert!(cols > 0, "matrix needs at least one column");
         let mut data = Vec::with_capacity(rows.len() * cols);
         for r in rows {
@@ -99,6 +99,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
+                // lint:allow(float-eq): exact-zero sparsity fast path — skips only true zeros, bit-identical results
                 if a == 0.0 {
                     continue;
                 }
@@ -124,14 +125,10 @@ impl Matrix {
         for col in 0..n {
             // Partial pivot: find the largest |entry| at or below the
             // diagonal.
+            #[allow(clippy::expect_used)] // invariant stated in the expect message
             let pivot_row = (col..n)
-                .max_by(|&r1, &r2| {
-                    a[r1 * n + col]
-                        .abs()
-                        .partial_cmp(&a[r2 * n + col].abs())
-                        .expect("finite")
-                })
-                .expect("non-empty range");
+                .max_by(|&r1, &r2| a[r1 * n + col].abs().total_cmp(&a[r2 * n + col].abs()))
+                .expect("col..n is non-empty because col < n");
             let pivot = a[pivot_row * n + col];
             if pivot.abs() < 1e-12 {
                 return Err(StatsError::SingularSystem);
@@ -144,6 +141,7 @@ impl Matrix {
             }
             for row in (col + 1)..n {
                 let factor = a[row * n + col] / a[col * n + col];
+                // lint:allow(float-eq): exact-zero sparsity fast path — skips only true zeros, bit-identical results
                 if factor == 0.0 {
                     continue;
                 }
@@ -194,14 +192,20 @@ impl Matrix {
 impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f64;
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -223,7 +227,10 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
         let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]);
         let c = a.matmul(&b);
-        assert_eq!(c, Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]]));
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]])
+        );
     }
 
     #[test]

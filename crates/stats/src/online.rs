@@ -103,8 +103,16 @@ mod tests {
             let y = 3.0 * x[0] - 2.0 * x[1] + rng.normal(0.0, 0.01);
             rls.update(&x, y);
         }
-        assert!((rls.theta()[0] - 3.0).abs() < 0.02, "theta={:?}", rls.theta());
-        assert!((rls.theta()[1] + 2.0).abs() < 0.02, "theta={:?}", rls.theta());
+        assert!(
+            (rls.theta()[0] - 3.0).abs() < 0.02,
+            "theta={:?}",
+            rls.theta()
+        );
+        assert!(
+            (rls.theta()[1] + 2.0).abs() < 0.02,
+            "theta={:?}",
+            rls.theta()
+        );
         assert_eq!(rls.updates(), 500);
     }
 
@@ -123,7 +131,11 @@ mod tests {
             let x = [rng.uniform(0.5, 1.5)];
             rls.update(&x, 5.0 * x[0]);
         }
-        assert!((rls.theta()[0] - 5.0).abs() < 0.1, "theta={:?}", rls.theta());
+        assert!(
+            (rls.theta()[0] - 5.0).abs() < 0.1,
+            "theta={:?}",
+            rls.theta()
+        );
     }
 
     #[test]
@@ -139,7 +151,10 @@ mod tests {
             }
             last_err = e;
         }
-        assert!(last_err < first_err * 0.01, "first={first_err}, last={last_err}");
+        assert!(
+            last_err < first_err * 0.01,
+            "first={first_err}, last={last_err}"
+        );
     }
 
     #[test]

@@ -75,7 +75,9 @@ impl SimpleOls {
             syy += dy * dy;
             sxy += dx * dy;
         }
-        if sxx == 0.0 {
+        // A sum of squares is non-negative, so `<= 0` is exact-zero
+        // detection without a float equality.
+        if sxx <= 0.0 {
             return Err(StatsError::ZeroVariance);
         }
         let slope = sxy / sxx;
@@ -89,8 +91,8 @@ impl SimpleOls {
                 (yi - fitted).powi(2)
             })
             .sum();
-        let r_squared = if syy == 0.0 { 1.0 } else { 1.0 - sse / syy };
-        let correlation = if syy == 0.0 {
+        let r_squared = if syy <= 0.0 { 1.0 } else { 1.0 - sse / syy };
+        let correlation = if syy <= 0.0 {
             0.0
         } else {
             sxy / (sxx.sqrt() * syy.sqrt())
@@ -98,7 +100,7 @@ impl SimpleOls {
         let dof = x.len() - 2;
         let residual_std_error = (sse / dof as f64).sqrt();
         let slope_std_error = residual_std_error / sxx.sqrt();
-        let slope_t_stat = if slope_std_error == 0.0 {
+        let slope_t_stat = if slope_std_error <= 0.0 {
             f64::INFINITY
         } else {
             slope / slope_std_error
@@ -178,7 +180,7 @@ impl MultipleOls {
         if n == 0 {
             return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
         }
-        let k = xs[0].len();
+        let k = xs.first().map_or(0, Vec::len);
         if xs.iter().any(|row| row.len() != k) {
             return Err(StatsError::LengthMismatch {
                 left: k,
@@ -187,7 +189,10 @@ impl MultipleOls {
         }
         let p = k + 1; // including intercept
         if n < p + 1 {
-            return Err(StatsError::NotEnoughData { needed: p + 1, got: n });
+            return Err(StatsError::NotEnoughData {
+                needed: p + 1,
+                got: n,
+            });
         }
         for row in xs {
             check_finite(row)?;
@@ -217,11 +222,15 @@ impl MultipleOls {
             .map(|row| row.iter().zip(&coefficients).map(|(a, b)| a * b).sum())
             .collect();
         let mean_y = y.iter().sum::<f64>() / n as f64;
-        let sse: f64 = y.iter().zip(&fitted).map(|(yi, fi)| (yi - fi).powi(2)).sum();
+        let sse: f64 = y
+            .iter()
+            .zip(&fitted)
+            .map(|(yi, fi)| (yi - fi).powi(2))
+            .sum();
         let sst: f64 = y.iter().map(|yi| (yi - mean_y).powi(2)).sum();
-        let r_squared = if sst == 0.0 { 1.0 } else { 1.0 - sse / sst };
+        let r_squared = if sst <= 0.0 { 1.0 } else { 1.0 - sse / sst };
         let dof = n - p;
-        let adjusted_r_squared = if sst == 0.0 {
+        let adjusted_r_squared = if sst <= 0.0 {
             1.0
         } else {
             1.0 - (1.0 - r_squared) * (n - 1) as f64 / dof as f64
@@ -229,8 +238,9 @@ impl MultipleOls {
         let sigma2 = sse / dof as f64;
         let residual_std_error = sigma2.sqrt();
         let cov = xtx.inverse()?;
-        let coefficient_std_errors: Vec<f64> =
-            (0..p).map(|i| (sigma2 * cov[(i, i)]).max(0.0).sqrt()).collect();
+        let coefficient_std_errors: Vec<f64> = (0..p)
+            .map(|i| (sigma2 * cov[(i, i)]).max(0.0).sqrt())
+            .collect();
 
         Ok(MultipleOls {
             coefficients,
@@ -249,11 +259,12 @@ impl MultipleOls {
             self.coefficients.len(),
             "regressor count mismatch"
         );
-        self.coefficients[0]
-            + x.iter()
-                .zip(&self.coefficients[1..])
-                .map(|(a, b)| a * b)
-                .sum::<f64>()
+        #[allow(clippy::expect_used)] // invariant stated in the expect message
+        let (intercept, betas) = self
+            .coefficients
+            .split_first()
+            .expect("fit() always stores the intercept as the first coefficient");
+        intercept + x.iter().zip(betas).map(|(a, b)| a * b).sum::<f64>()
     }
 }
 
@@ -278,10 +289,17 @@ mod tests {
     fn noisy_line_recovered_approximately() {
         let mut rng = SimRng::seed(1);
         let x: Vec<f64> = (0..500).map(|i| i as f64 / 10.0).collect();
-        let y: Vec<f64> = x.iter().map(|&xi| 2.0 * xi + 5.0 + rng.normal(0.0, 1.0)).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&xi| 2.0 * xi + 5.0 + rng.normal(0.0, 1.0))
+            .collect();
         let fit = SimpleOls::fit(&x, &y).unwrap();
         assert!((fit.slope - 2.0).abs() < 0.05, "slope={}", fit.slope);
-        assert!((fit.intercept - 5.0).abs() < 0.5, "intercept={}", fit.intercept);
+        assert!(
+            (fit.intercept - 5.0).abs() < 0.5,
+            "intercept={}",
+            fit.intercept
+        );
         assert!(fit.r_squared > 0.98);
         assert!(fit.correlation > 0.99);
         let (lo, hi) = fit.slope_confidence_95();
@@ -294,10 +312,17 @@ mod tests {
         // CPU ≈ 0.0002·WriteCapacity + 4.8
         let mut rng = SimRng::seed(2);
         let wc: Vec<f64> = (0..550).map(|_| rng.uniform(0.0, 60_000.0)).collect();
-        let cpu: Vec<f64> = wc.iter().map(|&w| 0.0002 * w + 4.8 + rng.normal(0.0, 0.3)).collect();
+        let cpu: Vec<f64> = wc
+            .iter()
+            .map(|&w| 0.0002 * w + 4.8 + rng.normal(0.0, 0.3))
+            .collect();
         let fit = SimpleOls::fit(&wc, &cpu).unwrap();
         assert!((fit.slope - 0.0002).abs() < 2e-5, "slope={}", fit.slope);
-        assert!((fit.intercept - 4.8).abs() < 0.2, "intercept={}", fit.intercept);
+        assert!(
+            (fit.intercept - 4.8).abs() < 0.2,
+            "intercept={}",
+            fit.intercept
+        );
         assert!(fit.correlation > 0.95);
     }
 
@@ -371,7 +396,10 @@ mod tests {
     fn multiple_ols_matches_simple_for_one_regressor() {
         let mut rng = SimRng::seed(4);
         let x: Vec<f64> = (0..100).map(|_| rng.uniform(0.0, 100.0)).collect();
-        let y: Vec<f64> = x.iter().map(|&xi| 0.7 * xi + 2.0 + rng.normal(0.0, 0.5)).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&xi| 0.7 * xi + 2.0 + rng.normal(0.0, 0.5))
+            .collect();
         let simple = SimpleOls::fit(&x, &y).unwrap();
         let multi = MultipleOls::fit(&x.iter().map(|&v| vec![v]).collect::<Vec<_>>(), &y).unwrap();
         assert!((simple.intercept - multi.coefficients[0]).abs() < 1e-8);

@@ -52,7 +52,10 @@ impl TimeSeries {
     /// Build from points, which must be in non-decreasing time order.
     pub fn from_points(points: Vec<(SimTime, f64)>) -> TimeSeries {
         assert!(
-            points.windows(2).all(|w| w[0].0 <= w[1].0),
+            points
+                .iter()
+                .zip(points.iter().skip(1))
+                .all(|(a, b)| a.0 <= b.0),
             "time series points must be time-ordered"
         );
         TimeSeries { points }
@@ -177,8 +180,9 @@ impl TimeSeries {
     pub fn diff(&self) -> TimeSeries {
         let pts = self
             .points
-            .windows(2)
-            .map(|w| (w[1].0, w[1].1 - w[0].1))
+            .iter()
+            .zip(self.points.iter().skip(1))
+            .map(|(&(_, prev), &(t, next))| (t, next - prev))
             .collect();
         TimeSeries { points: pts }
     }
@@ -337,7 +341,10 @@ mod tests {
         let s = ts(&[(0, 1.0), (1, 4.0), (2, 2.0)]);
         let d = s.diff();
         assert_eq!(d.values(), vec![3.0, -2.0]);
-        assert_eq!(d.times(), vec![SimTime::from_secs(1), SimTime::from_secs(2)]);
+        assert_eq!(
+            d.times(),
+            vec![SimTime::from_secs(1), SimTime::from_secs(2)]
+        );
     }
 
     #[test]

@@ -1,5 +1,11 @@
-//! Property-based tests for the statistics substrate.
+// Test target: unwrap/expect and exact float comparison are deliberate
+// here (determinism assertions compare results bit-for-bit).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
+//! Property-based tests for the statistics substrate, driven by the
+//! deterministic `testkit` harness (seeded cases, reproducible replay).
 
+use flower_sim::testkit::{forall, vec_f64};
+use flower_sim::{SimDuration, SimTime};
 use flower_stats::{
     correlation::{best_lag, pearson, spearman},
     descriptive::{mean, percentile, variance_sample},
@@ -7,97 +13,104 @@ use flower_stats::{
     timeseries::{Agg, TimeSeries},
     Matrix,
 };
-use flower_sim::{SimDuration, SimTime};
-use proptest::prelude::*;
 
-fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1e6..1e6f64, len)
+#[test]
+fn pearson_is_bounded_and_symmetric() {
+    forall(128, |rng| {
+        let x = vec_f64(rng, -1e6, 1e6, 3, 49);
+        let y = vec_f64(rng, -1e6, 1e6, x.len(), x.len());
+        if let Ok(r) = pearson(&x, &y) {
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            let r2 = pearson(&y, &x).expect("symmetric call succeeds");
+            assert!((r - r2).abs() < 1e-9);
+        }
+    });
 }
 
-proptest! {
-    #[test]
-    fn pearson_is_bounded_and_symmetric(
-        pair in finite_vec(3..50).prop_flat_map(|x| {
-            let n = x.len();
-            (Just(x), finite_vec(n..n + 1))
-        })
-    ) {
-        let (x, y) = pair;
-        if let Ok(r) = pearson(&x, &y) {
-            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
-            let r2 = pearson(&y, &x).unwrap();
-            prop_assert!((r - r2).abs() < 1e-9);
-        }
-    }
-
-    #[test]
-    fn pearson_invariant_to_affine_transform(x in finite_vec(4..40), a in 0.1..10.0f64, b in -100.0..100.0f64) {
+#[test]
+fn pearson_invariant_to_affine_transform() {
+    forall(128, |rng| {
+        let x = vec_f64(rng, -1e6, 1e6, 4, 39);
+        let a = rng.uniform(0.1, 10.0);
+        let b = rng.uniform(-100.0, 100.0);
         let y: Vec<f64> = x.iter().map(|&v| a * v + b).collect();
         if let Ok(r) = pearson(&x, &y) {
-            prop_assert!((r - 1.0).abs() < 1e-6, "r = {}", r);
+            assert!((r - 1.0).abs() < 1e-6, "r = {r}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn spearman_bounded(
-        pair in finite_vec(3..30).prop_flat_map(|x| {
-            let n = x.len();
-            (Just(x), finite_vec(n..n + 1))
-        })
-    ) {
-        let (x, y) = pair;
+#[test]
+fn spearman_bounded() {
+    forall(128, |rng| {
+        let x = vec_f64(rng, -1e6, 1e6, 3, 29);
+        let y = vec_f64(rng, -1e6, 1e6, x.len(), x.len());
         if let Ok(rho) = spearman(&x, &y) {
-            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho));
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho));
         }
-    }
+    });
+}
 
-    #[test]
-    fn ols_residuals_orthogonal_to_regressor(
-        pair in finite_vec(3..60).prop_flat_map(|x| {
-            let n = x.len();
-            (Just(x), finite_vec(n..n + 1))
-        })
-    ) {
-        let (x, y) = pair;
+#[test]
+fn ols_residuals_orthogonal_to_regressor() {
+    forall(128, |rng| {
+        let x = vec_f64(rng, -1e6, 1e6, 3, 59);
+        let y = vec_f64(rng, -1e6, 1e6, x.len(), x.len());
         if let Ok(fit) = SimpleOls::fit(&x, &y) {
             // Normal equations: residuals sum to ~0 and are orthogonal to x.
-            let resid: Vec<f64> = x.iter().zip(&y).map(|(&xi, &yi)| yi - fit.predict(xi)).collect();
+            let resid: Vec<f64> = x
+                .iter()
+                .zip(&y)
+                .map(|(&xi, &yi)| yi - fit.predict(xi))
+                .collect();
             let scale = y.iter().map(|v| v.abs()).fold(1.0, f64::max);
             let sum: f64 = resid.iter().sum();
-            prop_assert!(sum.abs() / (scale * x.len() as f64) < 1e-6);
+            assert!(sum.abs() / (scale * x.len() as f64) < 1e-6);
             let dot: f64 = resid.iter().zip(&x).map(|(r, xi)| r * xi).sum();
             let xscale = x.iter().map(|v| v.abs()).fold(1.0, f64::max);
-            prop_assert!(dot.abs() / (scale * xscale * x.len() as f64) < 1e-6);
-            prop_assert!(fit.r_squared <= 1.0 + 1e-9);
+            assert!(dot.abs() / (scale * xscale * x.len() as f64) < 1e-6);
+            assert!(fit.r_squared <= 1.0 + 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn mean_is_between_min_and_max(x in finite_vec(1..50)) {
-        let m = mean(&x).unwrap();
-        let lo = x.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
-    }
+#[test]
+fn mean_is_between_min_and_max() {
+    forall(128, |rng| {
+        let x = vec_f64(rng, -1e6, 1e6, 1, 49);
+        let m = mean(&x).expect("non-empty input");
+        let lo = x.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = x.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    });
+}
 
-    #[test]
-    fn variance_is_nonnegative(x in finite_vec(2..50)) {
-        prop_assert!(variance_sample(&x).unwrap() >= -1e-9);
-    }
+#[test]
+fn variance_is_nonnegative() {
+    forall(128, |rng| {
+        let x = vec_f64(rng, -1e6, 1e6, 2, 49);
+        assert!(variance_sample(&x).expect("n >= 2") >= -1e-9);
+    });
+}
 
-    #[test]
-    fn percentile_monotone(x in finite_vec(1..50), p1 in 0.0..100.0f64, p2 in 0.0..100.0f64) {
+#[test]
+fn percentile_monotone() {
+    forall(128, |rng| {
+        let x = vec_f64(rng, -1e6, 1e6, 1, 49);
+        let p1 = rng.uniform(0.0, 100.0);
+        let p2 = rng.uniform(0.0, 100.0);
         let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
-        let a = percentile(&x, lo).unwrap();
-        let b = percentile(&x, hi).unwrap();
-        prop_assert!(a <= b + 1e-9);
-    }
+        let a = percentile(&x, lo).expect("valid percentile");
+        let b = percentile(&x, hi).expect("valid percentile");
+        assert!(a <= b + 1e-9);
+    });
+}
 
-    #[test]
-    fn solve_then_multiply_roundtrips(
-        entries in prop::collection::vec(-10.0..10.0f64, 9),
-        b in prop::collection::vec(-10.0..10.0f64, 3)
-    ) {
+#[test]
+fn solve_then_multiply_roundtrips() {
+    forall(128, |rng| {
+        let entries = vec_f64(rng, -10.0, 10.0, 9, 9);
+        let b = vec_f64(rng, -10.0, 10.0, 3, 3);
         let m = Matrix::from_rows(&[
             entries[0..3].to_vec(),
             entries[3..6].to_vec(),
@@ -108,42 +121,57 @@ proptest! {
             let xm = Matrix::column(&x);
             let prod = m.matmul(&xm);
             for i in 0..3 {
-                prop_assert!((prod[(i, 0)] - b[i]).abs() < 1e-6,
-                    "row {} mismatch: {} vs {}", i, prod[(i, 0)], b[i]);
+                assert!(
+                    (prod[(i, 0)] - b[i]).abs() < 1e-6,
+                    "row {i} mismatch: {} vs {}",
+                    prod[(i, 0)],
+                    b[i]
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn resample_sum_preserves_total(vals in finite_vec(1..40)) {
+#[test]
+fn resample_sum_preserves_total() {
+    forall(128, |rng| {
+        let vals = vec_f64(rng, -1e6, 1e6, 1, 39);
         let ts = TimeSeries::from_points(
-            vals.iter().enumerate()
+            vals.iter()
+                .enumerate()
                 .map(|(i, &v)| (SimTime::from_secs(i as u64 * 13), v))
-                .collect()
+                .collect(),
         );
         let resampled = ts.resample(SimDuration::from_secs(60), Agg::Sum);
         let total: f64 = vals.iter().sum();
         let rtotal: f64 = resampled.values().iter().sum();
         let scale = vals.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
-        prop_assert!((total - rtotal).abs() / scale < 1e-9);
-    }
+        assert!((total - rtotal).abs() / scale < 1e-9);
+    });
+}
 
-    #[test]
-    fn ewma_stays_within_value_range(vals in finite_vec(1..40), alpha in 0.01..1.0f64) {
+#[test]
+fn ewma_stays_within_value_range() {
+    forall(128, |rng| {
+        let vals = vec_f64(rng, -1e6, 1e6, 1, 39);
+        let alpha = rng.uniform(0.01, 1.0);
         let ts = TimeSeries::from_points(
-            vals.iter().enumerate()
+            vals.iter()
+                .enumerate()
                 .map(|(i, &v)| (SimTime::from_secs(i as u64), v))
-                .collect()
+                .collect(),
         );
-        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         for v in ts.ewma(alpha).values() {
-            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn best_lag_on_shifted_copy_finds_shift(shift in 1usize..5) {
+#[test]
+fn best_lag_on_shifted_copy_finds_shift() {
+    for shift in 1usize..5 {
         // Deterministic pseudo-random base series.
         let base: Vec<f64> = (0..120u64)
             .map(|i| ((i * 2654435761) % 1000) as f64)
@@ -152,8 +180,8 @@ proptest! {
         let x: Vec<f64> = base[..n].to_vec();
         let y: Vec<f64> = base[shift..shift + n].to_vec();
         // y[t] = base[t+shift] = x[t+shift] → best lag is -shift.
-        let (lag, r) = best_lag(&x, &y, 8).unwrap();
-        prop_assert_eq!(lag, -(shift as i64));
-        prop_assert!(r > 0.99);
+        let (lag, r) = best_lag(&x, &y, 8).expect("enough overlap");
+        assert_eq!(lag, -(shift as i64));
+        assert!(r > 0.99);
     }
 }

@@ -140,8 +140,8 @@ impl DiurnalRate {
 
 impl ArrivalProcess for DiurnalRate {
     fn rate(&mut self, t: SimTime) -> f64 {
-        let x = ((t + self.phase).as_secs_f64() / self.period.as_secs_f64())
-            * std::f64::consts::TAU;
+        let x =
+            ((t + self.phase).as_secs_f64() / self.period.as_secs_f64()) * std::f64::consts::TAU;
         (self.base + self.amplitude * x.sin()).max(0.0)
     }
     fn name(&self) -> &str {
@@ -167,7 +167,13 @@ pub struct FlashCrowd {
 impl FlashCrowd {
     /// Baseline `base`; at `start` the rate jumps by `spike`, holds for
     /// `hold`, then decays exponentially with time constant `decay`.
-    pub fn new(base: f64, spike: f64, start: SimTime, hold: SimDuration, decay: SimDuration) -> Self {
+    pub fn new(
+        base: f64,
+        spike: f64,
+        start: SimTime,
+        hold: SimDuration,
+        decay: SimDuration,
+    ) -> Self {
         assert!(base >= 0.0 && spike >= 0.0);
         assert!(!decay.is_zero(), "decay constant must be non-zero");
         FlashCrowd {
@@ -223,9 +229,8 @@ impl MmppRate {
     ) -> Self {
         assert!(low >= 0.0 && high >= 0.0);
         assert!(!mean_sojourn_low.is_zero() && !mean_sojourn_high.is_zero());
-        let first = SimDuration::from_secs_f64(
-            rng.exponential(1.0 / mean_sojourn_low.as_secs_f64()),
-        );
+        let first =
+            SimDuration::from_secs_f64(rng.exponential(1.0 / mean_sojourn_low.as_secs_f64()));
         MmppRate {
             low,
             high,
@@ -294,7 +299,10 @@ impl SpikeTrain {
     ) -> Self {
         assert!(base >= 0.0 && spike >= 0.0);
         assert!(!period.is_zero(), "spike period must be non-zero");
-        assert!(width < period, "spike width must be shorter than the period");
+        assert!(
+            width < period,
+            "spike width must be shorter than the period"
+        );
         SpikeTrain {
             base,
             spike,
@@ -334,7 +342,11 @@ impl CompositeProcess {
         assert!(!parts.is_empty(), "composite of nothing");
         let name = format!(
             "sum({})",
-            parts.iter().map(|p| p.name().to_owned()).collect::<Vec<_>>().join("+")
+            parts
+                .iter()
+                .map(|p| p.name().to_owned())
+                .collect::<Vec<_>>()
+                .join("+")
         );
         CompositeProcess { parts, name }
     }
@@ -421,7 +433,10 @@ mod tests {
             SimDuration::ZERO,
         );
         let quarter = SimTime::from_hours(6);
-        assert!((p.rate(quarter) - 250.0).abs() < 1e-6, "peak at quarter period");
+        assert!(
+            (p.rate(quarter) - 250.0).abs() < 1e-6,
+            "peak at quarter period"
+        );
         let three_quarter = SimTime::from_hours(18);
         assert_eq!(p.rate(three_quarter), 0.0, "trough clamps at zero");
         // One full period later the value repeats.
@@ -443,7 +458,10 @@ mod tests {
         assert_eq!(p.rate(SimTime::from_mins(35)), 1_100.0);
         // One decay constant after the plateau: base + spike/e.
         let v = p.rate(SimTime::from_mins(45));
-        assert!((v - (100.0 + 1_000.0 / std::f64::consts::E)).abs() < 1.0, "v={v}");
+        assert!(
+            (v - (100.0 + 1_000.0 / std::f64::consts::E)).abs() < 1.0,
+            "v={v}"
+        );
         // Long after: back to (almost) baseline.
         assert!(p.rate(SimTime::from_hours(10)) < 101.0);
     }
@@ -472,7 +490,10 @@ mod tests {
         assert!(low_samples > 0 && high_samples > 0);
         // Expected shares 2/3 low, 1/3 high.
         let high_share = high_samples as f64 / 50_000.0;
-        assert!((high_share - 1.0 / 3.0).abs() < 0.1, "high share {high_share}");
+        assert!(
+            (high_share - 1.0 / 3.0).abs() < 0.1,
+            "high share {high_share}"
+        );
     }
 
     #[test]
@@ -485,7 +506,9 @@ mod tests {
                 SimDuration::from_secs(30),
                 SimRng::seed(seed),
             );
-            (0..1_000u64).map(|s| p.rate(SimTime::from_secs(s))).collect::<Vec<_>>()
+            (0..1_000u64)
+                .map(|s| p.rate(SimTime::from_secs(s)))
+                .collect::<Vec<_>>()
         };
         assert_eq!(collect(5), collect(5));
         assert_ne!(collect(5), collect(6));
@@ -506,8 +529,7 @@ mod tests {
     fn noisy_rate_centres_on_inner() {
         let mut p = NoisyRate::new(Box::new(ConstantRate::new(200.0)), 0.1, SimRng::seed(2));
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|s| p.rate(SimTime::from_secs(s))).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|s| p.rate(SimTime::from_secs(s))).sum::<f64>() / n as f64;
         assert!((mean - 200.0).abs() < 2.0, "mean={mean}");
         // Never negative.
         let mut p2 = NoisyRate::new(Box::new(ConstantRate::new(1.0)), 0.9, SimRng::seed(3));
@@ -525,7 +547,11 @@ mod tests {
             SimDuration::from_mins(2),
             SimTime::from_mins(5),
         );
-        assert_eq!(p.rate(SimTime::from_mins(0)), 100.0, "before the first spike");
+        assert_eq!(
+            p.rate(SimTime::from_mins(0)),
+            100.0,
+            "before the first spike"
+        );
         assert_eq!(p.rate(SimTime::from_mins(5)), 1_000.0, "first spike starts");
         assert_eq!(p.rate(SimTime::from_mins(6)), 1_000.0, "inside the spike");
         assert_eq!(p.rate(SimTime::from_mins(7)), 100.0, "spike over");

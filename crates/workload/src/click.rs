@@ -128,7 +128,10 @@ impl ClickStreamGenerator {
     pub fn new(config: ClickStreamConfig, rng: SimRng) -> Self {
         assert!(config.n_users > 0, "need at least one user");
         assert!(config.n_pages > 0, "need at least one page");
-        assert!(config.mean_session_length >= 1.0, "sessions must average >= 1 view");
+        assert!(
+            config.mean_session_length >= 1.0,
+            "sessions must average >= 1 view"
+        );
         let page_weights: Vec<f64> = (1..=config.n_pages)
             .map(|r| 1.0 / (r as f64).powf(config.zipf_exponent))
             .collect();
@@ -179,7 +182,10 @@ impl ClickStreamGenerator {
             let kind = EventKind::ALL[self.rng.weighted_index(&EventKind::WEIGHTS)];
             let payload_bytes = self
                 .rng
-                .normal(self.config.mean_payload_bytes, self.config.payload_bytes_std)
+                .normal(
+                    self.config.mean_payload_bytes,
+                    self.config.payload_bytes_std,
+                )
                 .max(32.0) as u32;
             out.push(ClickRecord {
                 at: t,
@@ -201,8 +207,7 @@ impl ClickStreamGenerator {
         self.active.retain(|s| s.remaining > 0);
         // Keep a modest pool of concurrently active sessions; new ones
         // join when the pool is small or by chance, modelling user churn.
-        let spawn = self.active.is_empty()
-            || (self.active.len() < 256 && self.rng.chance(0.15));
+        let spawn = self.active.is_empty() || (self.active.len() < 256 && self.rng.chance(0.15));
         if spawn {
             let user_id = if self.config.hot_user_fraction > 0.0
                 && self.rng.chance(self.config.hot_user_fraction)
@@ -281,33 +286,50 @@ mod tests {
             counts[r.page as usize] += 1;
         }
         // Zipf(1.0): page 0 should be visited far more than page 100.
-        assert!(counts[0] > counts[100] * 5, "p0={} p100={}", counts[0], counts[100]);
+        assert!(
+            counts[0] > counts[100] * 5,
+            "p0={} p100={}",
+            counts[0],
+            counts[100]
+        );
     }
 
     #[test]
     fn event_mix_matches_weights() {
         let mut generator = generator(5);
         let records = generator.generate(SimTime::ZERO, 50_000);
-        let views = records.iter().filter(|r| r.kind == EventKind::PageView).count();
-        let purchases = records.iter().filter(|r| r.kind == EventKind::Purchase).count();
+        let views = records
+            .iter()
+            .filter(|r| r.kind == EventKind::PageView)
+            .count();
+        let purchases = records
+            .iter()
+            .filter(|r| r.kind == EventKind::Purchase)
+            .count();
         let view_share = views as f64 / records.len() as f64;
         let purchase_share = purchases as f64 / records.len() as f64;
         assert!((view_share - 0.62).abs() < 0.02, "views={view_share}");
-        assert!((purchase_share - 0.02).abs() < 0.01, "purchases={purchase_share}");
+        assert!(
+            (purchase_share - 0.02).abs() < 0.01,
+            "purchases={purchase_share}"
+        );
     }
 
     #[test]
     fn deterministic_per_seed() {
         let mut g1 = generator(9);
         let mut g2 = generator(9);
-        assert_eq!(g1.generate(SimTime::ZERO, 100), g2.generate(SimTime::ZERO, 100));
+        assert_eq!(
+            g1.generate(SimTime::ZERO, 100),
+            g2.generate(SimTime::ZERO, 100)
+        );
     }
 
     #[test]
     fn sessions_produce_repeat_users() {
         let mut generator = generator(10);
         let records = generator.generate(SimTime::ZERO, 2_000);
-        let mut user_counts = std::collections::HashMap::new();
+        let mut user_counts = std::collections::BTreeMap::new();
         for r in &records {
             *user_counts.entry(r.user_id).or_insert(0u32) += 1;
         }
@@ -319,8 +341,8 @@ mod tests {
     fn payload_sizes_cluster_around_mean() {
         let mut generator = generator(11);
         let records = generator.generate(SimTime::ZERO, 20_000);
-        let mean: f64 = records.iter().map(|r| r.payload_bytes as f64).sum::<f64>()
-            / records.len() as f64;
+        let mean: f64 =
+            records.iter().map(|r| r.payload_bytes as f64).sum::<f64>() / records.len() as f64;
         assert!((mean - 600.0).abs() < 15.0, "mean payload {mean}");
     }
 

@@ -1,3 +1,9 @@
+// Unit tests may unwrap/expect and compare floats exactly — the
+// panic-freedom and NaN-safety floor applies to library code only.
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)
+)]
 //! # flower-workload
 //!
 //! Workload generation for the Flower reproduction.
@@ -31,8 +37,8 @@ pub mod scenarios;
 pub mod trace;
 
 pub use arrival::{
-    ArrivalProcess, CompositeProcess, ConstantRate, DiurnalRate, FlashCrowd, MmppRate,
-    NoisyRate, RampRate, SpikeTrain, StepRate,
+    ArrivalProcess, CompositeProcess, ConstantRate, DiurnalRate, FlashCrowd, MmppRate, NoisyRate,
+    RampRate, SpikeTrain, StepRate,
 };
 pub use click::{ClickRecord, ClickStreamConfig, ClickStreamGenerator, EventKind};
 pub use scenarios::Scenario;

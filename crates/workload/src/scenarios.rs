@@ -9,8 +9,8 @@
 use flower_sim::{SimDuration, SimRng, SimTime};
 
 use crate::arrival::{
-    ArrivalProcess, CompositeProcess, ConstantRate, DiurnalRate, FlashCrowd, MmppRate,
-    NoisyRate, RampRate, SpikeTrain,
+    ArrivalProcess, CompositeProcess, ConstantRate, DiurnalRate, FlashCrowd, MmppRate, NoisyRate,
+    RampRate, SpikeTrain,
 };
 
 /// The catalogue of named scenarios.
@@ -141,7 +141,11 @@ mod tests {
             for m in 0..180u64 {
                 let r = p.rate(SimTime::from_mins(m));
                 assert!(r.is_finite() && r >= 0.0, "{}: rate {r}", scenario.name());
-                assert!(r < 20_000.0, "{}: rate {r} unreasonably high", scenario.name());
+                assert!(
+                    r < 20_000.0,
+                    "{}: rate {r} unreasonably high",
+                    scenario.name()
+                );
                 total += r;
             }
             assert!(total > 0.0, "{} produced no traffic", scenario.name());
@@ -180,7 +184,9 @@ mod tests {
     fn deterministic_per_seed() {
         let sample = |seed| {
             let mut p = Scenario::RandomBursts.build(1_000.0, seed);
-            (0..60u64).map(|m| p.rate(SimTime::from_mins(m))).collect::<Vec<_>>()
+            (0..60u64)
+                .map(|m| p.rate(SimTime::from_mins(m)))
+                .collect::<Vec<_>>()
         };
         assert_eq!(sample(5), sample(5));
         assert_ne!(sample(5), sample(6));

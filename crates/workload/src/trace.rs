@@ -109,8 +109,8 @@ impl RateTrace {
             times.push(parse(parts.next())?);
             samples.push(parse(parts.next())?);
         }
-        let period = if times.len() >= 2 {
-            SimDuration::from_secs_f64(times[1] - times[0])
+        let period = if let [t0, t1, ..] = times[..] {
+            SimDuration::from_secs_f64(t1 - t0)
         } else {
             SimDuration::from_secs(1)
         };

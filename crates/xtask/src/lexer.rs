@@ -1,0 +1,523 @@
+//! A small Rust lexer sufficient for `flower-lint`'s pattern rules.
+//!
+//! The full `syn` AST is unavailable offline, and the lint rules only
+//! need token-level structure: identifiers, literals, a handful of
+//! multi-character operators, and comments (for `lint:allow`
+//! directives). The lexer understands everything that could *hide*
+//! code from a naive regex — nested block comments, raw strings,
+//! lifetimes vs. char literals, byte strings — so rules never fire on
+//! text inside strings or comments, and never miss code because of
+//! unusual formatting.
+
+/// Token classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (including suffixed, hex, octal, binary).
+    Int,
+    /// Float literal (including suffixed and exponent forms).
+    Float,
+    /// String, raw-string, byte-string, or C-string literal.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime such as `'a`.
+    Lifetime,
+    /// Punctuation / operator. Multi-character for `::`, `==`, `!=`,
+    /// `->`, `=>`; single-character otherwise.
+    Punct,
+}
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Exact source text (string literals keep their quotes).
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block) with its 1-indexed starting line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-indexed line the comment starts on.
+    pub line: u32,
+}
+
+/// Lex `src` into code tokens plus comment trivia.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+        comments: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+    comments: Vec<Comment>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(ch) = c {
+            self.pos += 1;
+            if ch == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> (Vec<Token>, Vec<Comment>) {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                ch if ch.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string_literal(line),
+                'r' | 'b' | 'c' if self.starts_raw_or_byte_literal() => {
+                    self.raw_or_byte_literal(line);
+                }
+                '\'' => self.char_or_lifetime(line),
+                ch if ch.is_ascii_digit() => self.number(line),
+                ch if ch == '_' || ch.is_alphanumeric() => self.ident(line),
+                _ => self.punct(line),
+            }
+        }
+        (self.tokens, self.comments)
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.comments.push(Comment { text, line });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0u32;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.comments.push(Comment { text, line });
+    }
+
+    fn string_literal(&mut self, line: u32) {
+        let mut text = String::new();
+        text.push('"');
+        self.bump();
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Does the cursor start `r"`, `r#`, `b"`, `b'`, `br`, `c"`, `cr`?
+    fn starts_raw_or_byte_literal(&self) -> bool {
+        let c0 = self.peek(0);
+        let c1 = self.peek(1);
+        let c2 = self.peek(2);
+        match (c0, c1) {
+            (Some('r' | 'c'), Some('"' | '#')) => true,
+            (Some('b'), Some('"' | '\'')) => true,
+            (Some('b' | 'c'), Some('r')) => matches!(c2, Some('"' | '#')),
+            _ => false,
+        }
+    }
+
+    fn raw_or_byte_literal(&mut self, line: u32) {
+        let mut text = String::new();
+        // Consume the prefix letters (r / b / c / br / cr).
+        while matches!(self.peek(0), Some('r' | 'b' | 'c')) {
+            if matches!(self.peek(0), Some('b')) && self.peek(1) == Some('\'') {
+                // Byte char literal b'x'.
+                text.push('b');
+                self.bump();
+                self.bump(); // opening quote
+                text.push('\'');
+                while let Some(c) = self.bump() {
+                    text.push(c);
+                    match c {
+                        '\\' => {
+                            if let Some(esc) = self.bump() {
+                                text.push(esc);
+                            }
+                        }
+                        '\'' => break,
+                        _ => {}
+                    }
+                }
+                self.push(TokKind::Char, text, line);
+                return;
+            }
+            text.push(self.peek(0).unwrap_or_default());
+            self.bump();
+        }
+        // Count `#` guards for raw strings.
+        let mut guards = 0usize;
+        while self.peek(0) == Some('#') {
+            guards += 1;
+            text.push('#');
+            self.bump();
+        }
+        if self.peek(0) != Some('"') {
+            // `r` / `b` was actually an identifier start (e.g. `radius`);
+            // fall back to lexing it as an identifier continuation.
+            let mut ident = text;
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    ident.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Ident, ident, line);
+            return;
+        }
+        text.push('"');
+        self.bump();
+        if guards == 0 && !text.contains('r') {
+            // Plain byte/C string: honours escapes.
+            while let Some(c) = self.bump() {
+                text.push(c);
+                match c {
+                    '\\' => {
+                        if let Some(esc) = self.bump() {
+                            text.push(esc);
+                        }
+                    }
+                    '"' => break,
+                    _ => {}
+                }
+            }
+        } else {
+            // Raw string: ends at `"` followed by `guards` hashes.
+            loop {
+                match self.bump() {
+                    None => break,
+                    Some('"') => {
+                        text.push('"');
+                        let mut matched = 0usize;
+                        while matched < guards && self.peek(0) == Some('#') {
+                            matched += 1;
+                            text.push('#');
+                            self.bump();
+                        }
+                        if matched == guards {
+                            break;
+                        }
+                    }
+                    Some(c) => text.push(c),
+                }
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // `'a` (lifetime) vs `'a'` (char). A lifetime is a quote followed
+        // by an identifier NOT closed by another quote.
+        let c1 = self.peek(1);
+        let is_lifetime =
+            matches!(c1, Some(c) if c == '_' || c.is_alphabetic()) && self.peek(2) != Some('\'');
+        if is_lifetime {
+            let mut text = String::from("'");
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line);
+        } else {
+            let mut text = String::from("'");
+            self.bump();
+            while let Some(c) = self.bump() {
+                text.push(c);
+                match c {
+                    '\\' => {
+                        if let Some(esc) = self.bump() {
+                            text.push(esc);
+                        }
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            self.push(TokKind::Char, text, line);
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut is_float = false;
+        // Hex / octal / binary prefixes never form floats.
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            text.push(self.bump().unwrap_or_default());
+            text.push(self.bump().unwrap_or_default());
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_hexdigit() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        } else {
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_digit() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            // Decimal point: only if followed by a digit or not followed
+            // by another `.` / identifier (so `0..n` and `1.max(2)` lex
+            // as int + punct).
+            if self.peek(0) == Some('.') {
+                let after = self.peek(1);
+                let digit_after = matches!(after, Some(c) if c.is_ascii_digit());
+                let bare_dot = !matches!(
+                    after,
+                    Some(c) if c == '.' || c == '_' || c.is_alphabetic()
+                );
+                if digit_after || bare_dot {
+                    is_float = true;
+                    text.push('.');
+                    self.bump();
+                    while let Some(c) = self.peek(0) {
+                        if c.is_ascii_digit() || c == '_' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(0), Some('e' | 'E')) {
+                let (sign, digit) = (self.peek(1), self.peek(2));
+                let exp = match sign {
+                    Some(c) if c.is_ascii_digit() => true,
+                    Some('+' | '-') => matches!(digit, Some(d) if d.is_ascii_digit()),
+                    _ => false,
+                };
+                if exp {
+                    is_float = true;
+                    text.push(self.bump().unwrap_or_default());
+                    while let Some(c) = self.peek(0) {
+                        if c.is_ascii_digit() || c == '_' || c == '+' || c == '-' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Type suffix (u64, f64, ...).
+        let mut suffix = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix.starts_with('f') {
+            is_float = true;
+        }
+        text.push_str(&suffix);
+        let kind = if is_float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        };
+        self.push(kind, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn punct(&mut self, line: u32) {
+        let c = self.bump().unwrap_or_default();
+        let joined = match (c, self.peek(0)) {
+            (':', Some(':')) => Some("::"),
+            ('=', Some('=')) => Some("=="),
+            ('!', Some('=')) => Some("!="),
+            ('-', Some('>')) => Some("->"),
+            ('=', Some('>')) => Some("=>"),
+            _ => None,
+        };
+        if let Some(op) = joined {
+            self.bump();
+            self.push(TokKind::Punct, op.to_owned(), line);
+        } else {
+            self.push(TokKind::Punct, c.to_string(), line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).0.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_are_trivia_not_tokens() {
+        let (toks, comments) = lex("let x = 1; // trailing\n/* block /* nested */ */ let y = 2;");
+        assert_eq!(comments.len(), 2);
+        assert!(toks.iter().all(|t| !t.text.contains("trailing")));
+        assert!(toks.iter().any(|t| t.text == "y"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "HashMap::unwrap() == 1.0"; s.len()"#);
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "s", "s", "len"]);
+    }
+
+    #[test]
+    fn raw_strings_and_guards() {
+        let toks = kinds(r###"let s = r#"quote " inside"#; done()"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("inside")));
+        assert!(toks.iter().any(|(_, t)| t == "done"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let toks = kinds("let a = 1.5; let b = 1_000; for i in 0..n {} let c = 2.0e-3; let d = 3f64; let e = 1.max(2);");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, vec!["1.5", "2.0e-3", "3f64"]);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Int && t == "1_000"));
+    }
+
+    #[test]
+    fn multi_char_operators_join() {
+        let toks = kinds("a == b; c != d; e::f; g -> h; i => j;");
+        let ops: Vec<_> = toks
+            .iter()
+            .filter(|(k, t)| *k == TokKind::Punct && t.len() == 2)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ops, vec!["==", "!=", "::", "->", "=>"]);
+    }
+
+    #[test]
+    fn identifiers_starting_with_r_and_b() {
+        let toks = kinds("let radius = 1; let bytes = 2; let cr8 = 3;");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert!(idents.contains(&"radius"));
+        assert!(idents.contains(&"bytes"));
+        assert!(idents.contains(&"cr8"));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let (toks, comments) = lex("a\nb\n// c\nd");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(comments[0].line, 3);
+        assert_eq!(toks[2].line, 4);
+    }
+}

@@ -1,0 +1,708 @@
+//! The `flower-lint` rule engine.
+//!
+//! Rules operate on the token stream produced by [`crate::lexer`] plus
+//! the comment trivia (for `lint:allow` directives). Test code —
+//! `#[cfg(test)]` / `#[test]` items inside library sources — is masked
+//! out before rules run, and each crate is classified into a *profile*
+//! (deterministic library vs. exempt front-end) that selects which rule
+//! families apply.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{lex, Comment, TokKind, Token};
+
+/// Machine identifier for each invariant class the pass enforces.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "hash-iteration",
+        "std HashMap/HashSet in a deterministic library crate: iteration order is \
+         nondeterministic across runs; use BTreeMap/BTreeSet or a sorted Vec",
+    ),
+    (
+        "nondet-time",
+        "wall-clock read (Instant::now / SystemTime::now) in a deterministic crate: \
+         simulated components must take time from the virtual clock",
+    ),
+    (
+        "nondet-rng",
+        "entropy-seeded randomness (thread_rng / from_entropy / rand::random / getrandom): \
+         all randomness must flow from a seeded flower_sim::SimRng",
+    ),
+    (
+        "nondet-env",
+        "environment-dependent branching (std::env) in a deterministic crate: environment \
+         reads belong in crates/cli or crates/bench",
+    ),
+    (
+        "nan-partial-cmp",
+        "partial_cmp(..).unwrap()/.expect(..): panics on NaN mid-optimization; use \
+         f64::total_cmp or an epsilon helper from flower-stats",
+    ),
+    (
+        "float-eq",
+        "exact ==/!= against a float literal: NaN-unsafe and rounding-brittle; use \
+         f64::total_cmp or flower_stats::float::{approx_eq, near_zero}",
+    ),
+    (
+        "panic-unwrap",
+        ".unwrap() in library code: return a Result or use expect with an \
+         invariant-stating message",
+    ),
+    (
+        "panic-expect",
+        ".expect(..) whose message does not state an invariant (too short to explain \
+         why the value must exist)",
+    ),
+    (
+        "panic-macro",
+        "panic!/todo!/unimplemented! in library code: return an error instead",
+    ),
+    (
+        "index-literal",
+        "slice indexing by integer literal in library code: panics when the slice is \
+         short; use .first()/.get(..) or destructuring",
+    ),
+    (
+        "allow-invalid",
+        "malformed lint:allow directive: unknown rule name or missing justification",
+    ),
+];
+
+/// Which rule families a crate is subject to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Library crate feeding the simulator/optimizer: all rules apply.
+    DeterministicLib,
+    /// Front-end / harness crate (cli, bench, xtask): exempt from
+    /// determinism and panic-freedom rules (they talk to the real world
+    /// and may crash on bad CLI input).
+    Exempt,
+}
+
+/// Classify a crate by name.
+pub fn profile_for(crate_name: &str) -> Profile {
+    match crate_name {
+        "cli" | "bench" | "xtask" => Profile::Exempt,
+        _ => Profile::DeterministicLib,
+    }
+}
+
+/// One diagnostic produced by the pass.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule identifier (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Path as given to [`analyze`].
+    pub file: String,
+    /// 1-indexed source line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// A used `lint:allow` suppression, reported for audit in `--json`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule being suppressed.
+    pub rule: String,
+    /// Path as given to [`analyze`].
+    pub file: String,
+    /// 1-indexed line of the suppressed violation.
+    pub line: u32,
+    /// The justification text.
+    pub justification: String,
+}
+
+/// Result of analyzing one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Violations found (after applying justified suppressions).
+    pub violations: Vec<Violation>,
+    /// Suppressions that matched a violation.
+    pub allows_used: Vec<AllowEntry>,
+}
+
+/// A parsed `// lint:allow(rule): justification` directive.
+#[derive(Debug, Clone)]
+struct AllowDirective {
+    rule: String,
+    justification: String,
+    line: u32,
+}
+
+/// Parse every `lint:allow` directive out of the comment trivia.
+/// Malformed directives are returned as violations immediately.
+fn parse_allows(comments: &[Comment], file: &str) -> (Vec<AllowDirective>, Vec<Violation>) {
+    let mut directives = Vec::new();
+    let mut violations = Vec::new();
+    for c in comments {
+        // A directive must *start* the comment (after the `//`/`/*`
+        // markers); prose that merely mentions the syntax mid-sentence —
+        // e.g. documentation describing the allowlist — is not one.
+        let trimmed = c.text.trim_start_matches(['/', '*', '!', ' ', '\t']);
+        let Some(rest) = trimmed.strip_prefix("lint:allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            violations.push(Violation {
+                rule: "allow-invalid",
+                file: file.to_owned(),
+                line: c.line,
+                message: "unterminated lint:allow directive".to_owned(),
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_owned();
+        let known = RULES.iter().any(|(r, _)| *r == rule);
+        if !known {
+            violations.push(Violation {
+                rule: "allow-invalid",
+                file: file.to_owned(),
+                line: c.line,
+                message: format!("lint:allow names unknown rule `{rule}`"),
+            });
+            continue;
+        }
+        let after = rest[close + 1..].trim_start();
+        let justification = after
+            .strip_prefix(':')
+            .map(str::trim)
+            .unwrap_or("")
+            .to_owned();
+        if justification.len() < 10 {
+            violations.push(Violation {
+                rule: "allow-invalid",
+                file: file.to_owned(),
+                line: c.line,
+                message: format!(
+                    "lint:allow({rule}) has no justification — write \
+                     `// lint:allow({rule}): <why this is sound>`"
+                ),
+            });
+            continue;
+        }
+        directives.push(AllowDirective {
+            rule,
+            justification,
+            line: c.line,
+        });
+    }
+    (directives, violations)
+}
+
+/// Mark tokens belonging to `#[cfg(test)]` / `#[test]` items so rules
+/// skip them. Returns a mask parallel to `tokens`.
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_test_attribute(tokens, i) {
+            let attr_start = i;
+            // Skip this attribute and any further attributes.
+            let mut j = skip_attribute(tokens, i);
+            while j < tokens.len() && tokens[j].text == "#" {
+                j = skip_attribute(tokens, j);
+            }
+            // Skip the annotated item: to the matching `}` of its first
+            // top-level brace, or to `;` if none appears first.
+            let mut depth = 0i64;
+            let mut k = j;
+            while k < tokens.len() {
+                match tokens[k].text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => {
+                        k += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            for m in mask.iter_mut().take(k).skip(attr_start) {
+                *m = true;
+            }
+            i = k;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// Does an attribute starting at index `i` (`#`) mark test code?
+/// Matches `#[test]`, `#[cfg(test)]`, and `#[cfg(all(test, ...))]` but
+/// not `#[cfg(not(test))]`.
+fn is_test_attribute(tokens: &[Token], i: usize) -> bool {
+    if tokens[i].text != "#" || tokens.get(i + 1).map(|t| t.text.as_str()) != Some("[") {
+        return false;
+    }
+    let inner: Vec<&str> = tokens[i + 2..]
+        .iter()
+        .take_while(|t| t.text != "]")
+        .map(|t| t.text.as_str())
+        .collect();
+    match inner.as_slice() {
+        ["test"] => true,
+        ["cfg", "(", "test", ")"] => true,
+        ["cfg", "(", "all", "(", "test", rest @ ..] => !rest.is_empty(),
+        _ => false,
+    }
+}
+
+/// Index just past the `]` closing the attribute starting at `i`.
+fn skip_attribute(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = i + 1;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Analyze one file's source.
+///
+/// `crate_name` is the workspace member directory name (`core`,
+/// `nsga2`, ...), used to select the rule [`Profile`].
+pub fn analyze(file: &str, crate_name: &str, src: &str) -> FileReport {
+    let profile = profile_for(crate_name);
+    // Exempt crates (cli, bench, xtask) are not scanned at all — their
+    // comments may legitimately *describe* the directive syntax (this
+    // file does), so allow parsing is skipped there too.
+    if profile == Profile::Exempt {
+        return FileReport::default();
+    }
+    let (tokens, comments) = lex(src);
+    let (allows, mut pre_violations) = parse_allows(&comments, file);
+    let mask = test_mask(&tokens);
+
+    let mut raw = Vec::new();
+    scan_tokens(file, &tokens, &mask, &mut raw);
+    let mut report = FileReport::default();
+    report.violations.append(&mut pre_violations);
+
+    // Apply suppressions: a directive on the violation's line or the
+    // line immediately above it suppresses that rule there.
+    for v in raw {
+        let suppressed = allows
+            .iter()
+            .find(|a| a.rule == v.rule && (a.line == v.line || a.line + 1 == v.line));
+        if let Some(a) = suppressed {
+            report.allows_used.push(AllowEntry {
+                rule: a.rule.clone(),
+                file: file.to_owned(),
+                line: v.line,
+                justification: a.justification.clone(),
+            });
+        } else {
+            report.violations.push(v);
+        }
+    }
+    report
+}
+
+/// Run every token-pattern rule over non-test tokens.
+fn scan_tokens(file: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Violation>) {
+    let text = |i: usize| tokens.get(i).map_or("", |t: &Token| t.text.as_str());
+    let kind = |i: usize| tokens.get(i).map(|t| t.kind.clone());
+    let emit = |out: &mut Vec<Violation>, rule: &'static str, line: u32, message: String| {
+        out.push(Violation {
+            rule,
+            file: file.to_owned(),
+            line,
+            message,
+        });
+    };
+
+    for i in 0..tokens.len() {
+        if mask[i] {
+            continue;
+        }
+        let t = &tokens[i];
+        match t.kind {
+            TokKind::Ident => match t.text.as_str() {
+                // --- determinism: hashed containers ---
+                "HashMap" | "HashSet" => {
+                    // Skip `use std::collections::{...}` re-exports no —
+                    // flag those too: importing is the gateway.
+                    emit(
+                        out,
+                        "hash-iteration",
+                        t.line,
+                        format!("`{}` in deterministic library code", t.text),
+                    );
+                }
+                // --- determinism: wall clock ---
+                "Instant" | "SystemTime" if text(i + 1) == "::" && text(i + 2) == "now" => {
+                    emit(
+                        out,
+                        "nondet-time",
+                        t.line,
+                        format!("`{}::now()` reads the wall clock", t.text),
+                    );
+                }
+                // --- determinism: entropy ---
+                "thread_rng" | "from_entropy" | "getrandom" => {
+                    emit(
+                        out,
+                        "nondet-rng",
+                        t.line,
+                        format!("`{}` draws OS entropy", t.text),
+                    );
+                }
+                "rand" if text(i + 1) == "::" && text(i + 2) == "random" => {
+                    emit(
+                        out,
+                        "nondet-rng",
+                        t.line,
+                        "`rand::random` draws OS entropy".into(),
+                    );
+                }
+                // --- determinism: environment ---
+                "env"
+                    if text(i + 1) == "::"
+                        && matches!(
+                            text(i + 2),
+                            "var" | "var_os" | "vars" | "args" | "args_os"
+                        ) =>
+                {
+                    emit(
+                        out,
+                        "nondet-env",
+                        t.line,
+                        format!("`env::{}` branches on the environment", text(i + 2)),
+                    );
+                }
+                // --- NaN safety: partial_cmp().unwrap()/expect() ---
+                "partial_cmp" if text(i + 1) == "(" => {
+                    if let Some(j) = matching_paren(tokens, i + 1) {
+                        if text(j + 1) == "." && matches!(text(j + 2), "unwrap" | "expect") {
+                            emit(
+                                out,
+                                "nan-partial-cmp",
+                                t.line,
+                                format!(
+                                    "`partial_cmp(..).{}()` panics on NaN; use f64::total_cmp",
+                                    text(j + 2)
+                                ),
+                            );
+                        }
+                    }
+                }
+                // --- panic freedom: unwrap / weak expect ---
+                "unwrap"
+                    if text(i + 1) == "("
+                        && text(i + 2) == ")"
+                        && text(i.wrapping_sub(1)) == "." =>
+                {
+                    emit(
+                        out,
+                        "panic-unwrap",
+                        t.line,
+                        "`.unwrap()` in library code".into(),
+                    );
+                }
+                "expect" if text(i + 1) == "(" && text(i.wrapping_sub(1)) == "." => {
+                    if kind(i + 2) == Some(TokKind::Str) && text(i + 3) == ")" {
+                        let msg = text(i + 2).trim_matches('"');
+                        if msg.len() < 12 || !msg.contains(' ') {
+                            emit(
+                                out,
+                                "panic-expect",
+                                t.line,
+                                format!("`.expect(\"{msg}\")` message does not state an invariant"),
+                            );
+                        }
+                    }
+                }
+                // --- panic freedom: macros ---
+                "panic" | "todo" | "unimplemented" if text(i + 1) == "!" => {
+                    emit(
+                        out,
+                        "panic-macro",
+                        t.line,
+                        format!("`{}!` in library code", t.text),
+                    );
+                }
+                // --- panic freedom: indexing by literal ---
+                _ => {
+                    if text(i + 1) == "["
+                        && kind(i + 2) == Some(TokKind::Int)
+                        && text(i + 3) == "]"
+                        && t.text != "self"
+                    {
+                        emit(
+                            out,
+                            "index-literal",
+                            t.line,
+                            format!("`{}[{}]` indexes by literal", t.text, text(i + 2)),
+                        );
+                    }
+                }
+            },
+            TokKind::Punct if t.text == "==" || t.text == "!=" => {
+                // --- NaN safety: float-literal comparison ---
+                let prev_float = i > 0 && kind(i - 1) == Some(TokKind::Float);
+                let next_float = kind(i + 1) == Some(TokKind::Float);
+                if prev_float || next_float {
+                    emit(
+                        out,
+                        "float-eq",
+                        t.line,
+                        format!("`{}` against a float literal", t.text),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Aggregate per-rule counts for the summary line.
+pub fn count_by_rule(violations: &[Violation]) -> BTreeMap<&'static str, usize> {
+    let mut counts = BTreeMap::new();
+    for v in violations {
+        *counts.entry(v.rule).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(src: &str) -> Vec<&'static str> {
+        let report = analyze("fixture.rs", "core", src);
+        report.violations.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn catches_hash_iteration() {
+        assert_eq!(
+            rules_hit("use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }"),
+            vec!["hash-iteration", "hash-iteration", "hash-iteration"]
+        );
+    }
+
+    #[test]
+    fn catches_wall_clock_and_entropy_and_env() {
+        let src = r#"
+            fn f() {
+                let t = Instant::now();
+                let s = std::time::SystemTime::now();
+                let r = rand::thread_rng();
+                let x = rand::random::<f64>();
+                let home = std::env::var("HOME");
+            }
+        "#;
+        let hits = rules_hit(src);
+        assert_eq!(
+            hits,
+            vec![
+                "nondet-time",
+                "nondet-time",
+                "nondet-rng",
+                "nondet-rng",
+                "nondet-env"
+            ]
+        );
+    }
+
+    #[test]
+    fn catches_nan_unsafe_comparisons() {
+        let src = r#"
+            fn f(xs: &mut [f64], y: f64) {
+                xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                if y == 0.5 { }
+                if 1.5 != y { }
+            }
+        "#;
+        let hits = rules_hit(src);
+        // partial_cmp violations also trip panic-unwrap/panic-expect.
+        assert!(hits.iter().filter(|r| **r == "nan-partial-cmp").count() == 2);
+        assert!(hits.iter().filter(|r| **r == "float-eq").count() == 2);
+    }
+
+    #[test]
+    fn catches_panics_and_literal_indexing() {
+        let src = r#"
+            fn f(xs: &[u64]) -> u64 {
+                let a = xs.first().unwrap();
+                let b = xs.last().expect("short");
+                if xs.is_empty() { panic!("empty"); }
+                let c = xs[0];
+                todo!()
+            }
+        "#;
+        let hits = rules_hit(src);
+        assert!(hits.contains(&"panic-unwrap"));
+        assert!(hits.contains(&"panic-expect"));
+        assert!(hits.iter().filter(|r| **r == "panic-macro").count() == 2);
+        assert!(hits.contains(&"index-literal"));
+    }
+
+    #[test]
+    fn invariant_stating_expect_is_allowed() {
+        let src = r#"fn f(xs: &[u64]) -> u64 { *xs.last().expect("population is never empty after init") }"#;
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = r#"
+            fn lib() -> u64 { 1 }
+
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() {
+                    let m = std::collections::HashMap::<u32, u32>::new();
+                    assert_eq!(m.len(), 0);
+                    let x: Option<u32> = None;
+                    x.unwrap();
+                }
+            }
+        "#;
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = r#"
+            #[cfg(not(test))]
+            fn lib() { let x: Option<u32> = None; x.unwrap(); }
+        "#;
+        assert_eq!(rules_hit(src), vec!["panic-unwrap"]);
+    }
+
+    #[test]
+    fn exempt_profile_skips_determinism_rules() {
+        let src = "fn f() { let t = Instant::now(); let x: Option<u32> = None; x.unwrap(); }";
+        let report = analyze("cli.rs", "cli", src);
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = r#"
+            // HashMap::new() and Instant::now() in a comment
+            /* thread_rng() too */
+            fn f() -> &'static str { "HashMap unwrap() panic! == 1.0" }
+        "#;
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn justified_allow_suppresses() {
+        let src = r#"
+            // lint:allow(hash-iteration): membership-only set, never iterated
+            use std::collections::HashSet;
+        "#;
+        let report = analyze("fixture.rs", "core", src);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.allows_used.len(), 1);
+        assert_eq!(report.allows_used[0].rule, "hash-iteration");
+    }
+
+    #[test]
+    fn same_line_allow_suppresses() {
+        let src = "use std::collections::HashSet; // lint:allow(hash-iteration): membership-only set, never iterated\n";
+        let report = analyze("fixture.rs", "core", src);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.allows_used.len(), 1);
+    }
+
+    #[test]
+    fn unjustified_allow_is_a_violation() {
+        let src = r#"
+            // lint:allow(hash-iteration)
+            use std::collections::HashSet;
+        "#;
+        let report = analyze("fixture.rs", "core", src);
+        // An unjustified allow must not silence the underlying finding:
+        // both the bad allow and the real violation are reported.
+        assert_eq!(
+            report.violations.iter().map(|v| v.rule).collect::<Vec<_>>(),
+            vec!["allow-invalid", "hash-iteration"]
+        );
+    }
+
+    #[test]
+    fn prose_mention_of_allow_syntax_is_not_a_directive() {
+        let src = "//! Suppress with a justified `lint:allow(float-eq)` comment.\nfn f() {}\n";
+        let report = analyze("fixture.rs", "core", src);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.allows_used.is_empty());
+    }
+
+    #[test]
+    fn unknown_rule_allow_is_a_violation() {
+        let src = "// lint:allow(no-such-rule): this rule does not exist\nfn f() {}\n";
+        let report = analyze("fixture.rs", "core", src);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "allow-invalid");
+    }
+
+    #[test]
+    fn allow_does_not_leak_to_other_lines() {
+        let src = r#"
+            // lint:allow(panic-unwrap): only suppresses the next line
+            fn a(x: Option<u32>) -> u32 { x.unwrap() }
+            fn b(x: Option<u32>) -> u32 { x.unwrap() }
+        "#;
+        let report = analyze("fixture.rs", "core", src);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.allows_used.len(), 1);
+    }
+
+    #[test]
+    fn self_indexing_is_not_flagged() {
+        // Tuple-struct field access `self.0` and newtype indexing look
+        // different at token level; only `ident [ int ]` fires.
+        assert!(rules_hit("impl X { fn g(&self) -> u64 { self.0 } }").is_empty());
+    }
+
+    #[test]
+    fn every_rule_has_distinct_name_and_description() {
+        let mut names: Vec<&str> = RULES.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), RULES.len());
+        assert!(RULES.len() >= 6, "acceptance: >= 6 invariant classes");
+    }
+}

@@ -1,3 +1,6 @@
+// Test target: unwrap/expect and exact float comparison are deliberate
+// here (determinism assertions compare results bit-for-bit).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! The paper's headline scenario end-to-end: a click-stream data
 //! analytics flow (Fig. 1) under a realistic day/night workload with a
 //! lunchtime flash crowd, managed holistically by Flower.
@@ -14,9 +17,9 @@ use flower_core::dashboard::{Dashboard, Panel};
 use flower_core::dependency::DependencyAnalyzer;
 use flower_core::flow::Layer;
 use flower_core::prelude::*;
+use flower_sim::SimRng;
 use flower_sim::SimTime;
 use flower_workload::{CompositeProcess, DiurnalRate, FlashCrowd, NoisyRate};
-use flower_sim::SimRng;
 
 fn main() {
     // A compressed diurnal cycle with a flash crowd 40 minutes in, plus
@@ -60,7 +63,10 @@ fn main() {
 
     // --- The elasticity episode, as sparkline dashboards.
     let dashboard = Dashboard::new()
-        .panel(Panel::new("arrival rate (records/s)", report.arrival_trace.clone()))
+        .panel(Panel::new(
+            "arrival rate (records/s)",
+            report.arrival_trace.clone(),
+        ))
         .panel(
             Panel::new(
                 "ingestion utilization (%)",
@@ -79,7 +85,10 @@ fn main() {
             )
             .with_reference(60.0),
         )
-        .panel(Panel::new("VMs", report.actuators(Layer::Analytics).to_vec()))
+        .panel(Panel::new(
+            "VMs",
+            report.actuators(Layer::Analytics).to_vec(),
+        ))
         .panel(
             Panel::new(
                 "storage write utilization (%)",

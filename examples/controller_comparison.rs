@@ -1,3 +1,6 @@
+// Test target: unwrap/expect and exact float comparison are deliberate
+// here (determinism assertions compare results bit-for-bit).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! Resource Provisioning (paper §3.3): pit the paper's adaptive
 //! gain-memory controller against the fixed-gain [12], quasi-adaptive
 //! [14], and rule-based [1] baselines on the same step disturbance, and
@@ -20,9 +23,7 @@ fn main() {
         ControllerSpec::rule_based(60.0),
     ];
 
-    println!(
-        "step disturbance: 600 -> 3,600 records/s at t = 10 min; 40 min episode\n"
-    );
+    println!("step disturbance: 600 -> 3,600 records/s at t = 10 min; 40 min episode\n");
     println!(
         "{:<16} {:>10} {:>10} {:>12} {:>10} {:>10} {:>10}",
         "controller", "settle(s)", "IAE", "violation%", "actions", "thr.ingest", "cost $"

@@ -1,3 +1,6 @@
+// Test target: unwrap/expect and exact float comparison are deliberate
+// here (determinism assertions compare results bit-for-bit).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! Cross-Platform Monitoring (paper §3.4, Figs. 5–6): the
 //! "all-in-one-place visualizer" — one consolidated view over Kinesis-,
 //! Storm- and DynamoDB-like services, refreshed live while the flow runs.
@@ -68,5 +71,8 @@ fn main() {
         println!("{}", charts.render(80));
     }
 
-    println!("session totals: ${:.4} spent", manager.engine().billing().total());
+    println!(
+        "session totals: ${:.4} spent",
+        manager.engine().billing().total()
+    );
 }

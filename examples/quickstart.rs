@@ -1,3 +1,6 @@
+// Test target: unwrap/expect and exact float comparison are deliberate
+// here (determinism assertions compare results bit-for-bit).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! Quickstart: build the paper's click-stream flow, attach Flower's
 //! adaptive controllers, run ten simulated minutes, and print what
 //! happened.

@@ -1,3 +1,6 @@
+// Test target: unwrap/expect and exact float comparison are deliberate
+// here (determinism assertions compare results bit-for-bit).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! Integration: closed-loop elasticity across crates — controllers from
 //! flower-control driving the flower-cloud services through flower-core's
 //! provisioning manager.
@@ -134,7 +137,10 @@ fn mixed_controllers_per_layer() {
         .seed(4)
         .build();
     assert_eq!(manager.controller_spec(Layer::Ingestion).name(), "adaptive");
-    assert_eq!(manager.controller_spec(Layer::Analytics).name(), "rule-based");
+    assert_eq!(
+        manager.controller_spec(Layer::Analytics).name(),
+        "rule-based"
+    );
     let report = manager.run_for_mins(15);
     // The static storage layer never moves.
     assert!(report
@@ -150,15 +156,13 @@ fn rejections_are_tracked_not_fatal() {
     // Aggressive scale-down against DynamoDB's decrease limit generates
     // rejected actuations; the episode must finish and count them.
     let mut manager = ElasticityManager::builder(clickstream_flow())
-        .workload(Workload::custom(Box::new(
-            flower_workload::MmppRate::new(
-                200.0,
-                4_000.0,
-                SimDuration::from_mins(6),
-                SimDuration::from_mins(6),
-                flower_sim::SimRng::seed(8),
-            ),
-        )))
+        .workload(Workload::custom(Box::new(flower_workload::MmppRate::new(
+            200.0,
+            4_000.0,
+            SimDuration::from_mins(6),
+            SimDuration::from_mins(6),
+            flower_sim::SimRng::seed(8),
+        ))))
         .monitoring_period(SimDuration::from_secs(15))
         .seed(8)
         .build();
@@ -166,7 +170,10 @@ fn rejections_are_tracked_not_fatal() {
     // Long bursty episodes exercise reshard-in-progress and the WCU
     // decrease limit; at least some actuations are expected to bounce.
     let total_rejections: u64 = report.rejected_actuations.iter().sum();
-    assert!(total_rejections > 0, "expected some control-plane rejections");
+    assert!(
+        total_rejections > 0,
+        "expected some control-plane rejections"
+    );
     assert_eq!(report.arrival_trace.len(), 120 * 60);
 }
 
@@ -180,7 +187,7 @@ fn rcu_loop_manages_read_capacity() {
     let mut manager = ElasticityManager::builder(clickstream_flow())
         .workload(Workload::constant(1_500.0))
         .read_workload(ReadWorkloadConfig {
-            base_rate: 300.0,     // 300 reads/s of 2 KiB eventually-consistent
+            base_rate: 300.0, // 300 reads/s of 2 KiB eventually-consistent
             per_record: 0.0,
             avg_item_bytes: 2_048,
             eventually_consistent: true,
@@ -217,8 +224,11 @@ fn rcu_loop_manages_read_capacity() {
         manager.engine().dynamo().decreases_today()
     );
     // And the read metrics exist in the store for the monitor.
-    let monitor =
-        flower_core::monitor::CrossPlatformMonitor::for_clickstream("clicks", "counter", "aggregates");
+    let monitor = flower_core::monitor::CrossPlatformMonitor::for_clickstream(
+        "clicks",
+        "counter",
+        "aggregates",
+    );
     let snap = monitor.snapshot(
         manager.engine().metrics(),
         manager.now(),

@@ -1,3 +1,6 @@
+// Test target: unwrap/expect and exact float comparison are deliberate
+// here (determinism assertions compare results bit-for-bit).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! Integration: flow building → simulated deployment → dependency
 //! analysis across crates (workload → cloud → stats → core).
 
@@ -18,8 +21,7 @@ fn populated_engine(minutes: u64, seed: u64) -> flower_cloud::CloudEngine {
     config.storm.initial_vms = 4;
     config.dynamo.initial_wcu = 300.0;
     let mut engine = flower_cloud::CloudEngine::new(config);
-    let mut generator =
-        ClickStreamGenerator::new(ClickStreamConfig::default(), SimRng::seed(seed));
+    let mut generator = ClickStreamGenerator::new(ClickStreamConfig::default(), SimRng::seed(seed));
     let mut process = DiurnalRate::new(
         2_500.0,
         2_000.0,
@@ -41,16 +43,13 @@ fn fig2_dependency_emerges_from_the_simulated_flow() {
     // reproduce that shape end-to-end: workload → Kinesis → Storm
     // metrics → regression.
     let engine = populated_engine(120, 42);
-    let analyzer =
-        DependencyAnalyzer::for_clickstream("clicks", "counter", "aggregates");
+    let analyzer = DependencyAnalyzer::for_clickstream("clicks", "counter", "aggregates");
     let deps = analyzer
         .dependencies(engine.metrics(), SimTime::ZERO, SimTime::from_mins(120))
         .unwrap();
     let ingestion_analytics = deps
         .iter()
-        .find(|d| {
-            d.source.layer == Layer::Ingestion && d.target.layer == Layer::Analytics
-        })
+        .find(|d| d.source.layer == Layer::Ingestion && d.target.layer == Layer::Analytics)
         .expect("ingestion→analytics dependency must be detected");
     assert!(
         ingestion_analytics.correlation() > 0.9,
@@ -67,8 +66,7 @@ fn fig2_dependency_emerges_from_the_simulated_flow() {
 #[test]
 fn analytics_storage_dependency_also_holds() {
     let engine = populated_engine(60, 7);
-    let analyzer =
-        DependencyAnalyzer::for_clickstream("clicks", "counter", "aggregates");
+    let analyzer = DependencyAnalyzer::for_clickstream("clicks", "counter", "aggregates");
     let outcomes = analyzer
         .analyze(engine.metrics(), SimTime::ZERO, SimTime::from_mins(60))
         .unwrap();

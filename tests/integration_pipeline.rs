@@ -1,3 +1,6 @@
+// Test target: unwrap/expect and exact float comparison are deliberate
+// here (determinism assertions compare results bit-for-bit).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! Integration: the full Flower pipeline in paper order — learn
 //! dependencies (§3.1), derive resource shares under a budget (§3.2),
 //! then run provisioning inside the share bounds (§3.3) and monitor it
@@ -25,7 +28,11 @@ fn end_to_end_paper_workflow() {
     // ---- Phase 1 (§3.1): learn cross-layer dependencies from the logs.
     let analyzer = DependencyAnalyzer::for_clickstream("clicks", "counter", "aggregates");
     let deps = analyzer
-        .dependencies(probe.engine().metrics(), SimTime::ZERO, SimTime::from_mins(90))
+        .dependencies(
+            probe.engine().metrics(),
+            SimTime::ZERO,
+            SimTime::from_mins(90),
+        )
         .unwrap();
     assert!(!deps.is_empty(), "no dependencies learned");
     let strongest = &deps[0];
@@ -36,15 +43,13 @@ fn end_to_end_paper_workflow() {
     let mut problem = ShareProblem::worked_example(1.0);
     // Example of Eq. 5 in constraint form: keep VMs within a band of the
     // regression between shards and VMs implied by capacity ratios.
-    problem
-        .constraints
-        .extend(Constraint::equality_band(
-            Layer::Analytics,
-            Layer::Ingestion,
-            0.5,
-            0.0,
-            4.0,
-        ));
+    problem.constraints.extend(Constraint::equality_band(
+        Layer::Analytics,
+        Layer::Ingestion,
+        0.5,
+        0.0,
+        4.0,
+    ));
     let plans = ShareAnalyzer::new(problem)
         .with_config(Nsga2Config {
             population: 60,
@@ -121,16 +126,19 @@ fn share_plan_bounds_prevent_budget_blowout_under_overload() {
         .seed(17)
         .build();
     let report = manager.run_for_mins(60);
-    let peak_hourly = report.actuators(Layer::Ingestion).iter().zip(
-        report
-            .actuators(Layer::Analytics)
-            .iter()
-            .zip(report.actuators(Layer::Storage).iter()),
-    )
-    .map(|(&(_, s), (&(_, v), &(_, w)))| {
-        flower_cloud::PriceList::default().hourly_cost(s, v, w, 0.0)
-    })
-    .fold(0.0, f64::max);
+    let peak_hourly = report
+        .actuators(Layer::Ingestion)
+        .iter()
+        .zip(
+            report
+                .actuators(Layer::Analytics)
+                .iter()
+                .zip(report.actuators(Layer::Storage).iter()),
+        )
+        .map(|(&(_, s), (&(_, v), &(_, w)))| {
+            flower_cloud::PriceList::default().hourly_cost(s, v, w, 0.0)
+        })
+        .fold(0.0, f64::max);
     assert!(
         peak_hourly <= 0.6 + 0.05,
         "peak spend ${peak_hourly}/h exceeds the budget band"
