@@ -42,7 +42,8 @@ fn main() {
             ))
             .monitoring_period(SimDuration::from_secs(secs))
             .seed(seed)
-            .build();
+            .build()
+            .expect("workload attached above");
         let report = manager.run_for_mins(MINUTES);
         let rejected: u64 = report.rejected_actuations.iter().sum();
         println!(

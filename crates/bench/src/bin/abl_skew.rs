@@ -39,7 +39,8 @@ fn episode(skewed: bool, hot_sensor: bool, seed: u64) -> EpisodeReport {
         .workload(Workload::constant(2_500.0).with_click_config(click))
         .hot_shard_sensor(hot_sensor)
         .seed(seed)
-        .build();
+        .build()
+        .expect("workload attached above");
     manager.run_for_mins(45)
 }
 

@@ -1,0 +1,295 @@
+// Operational entry point: exempt from the library panic-freedom floor
+// (mirrors the Exempt crate profile of `cargo xtask lint`).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
+//! **B1 — machine-readable NSGA-II performance baseline.**
+//!
+//! Times the hot paths the parallel-execution PR touched and emits a
+//! `BENCH_nsga2.json` snapshot:
+//!
+//! * full NSGA-II runs on an evaluation-heavy ZDT1-class problem
+//!   (population ≥ 200) with 1 worker vs. all available workers;
+//! * `fast_non_dominated_sort` on a large population, serial triangular
+//!   pass vs. row-parallel;
+//! * the non-dominated filter, sort-then-sweep vs. the naive all-pairs
+//!   scan it replaced.
+//!
+//! The JSON records the machine's core count — parallel speedups are
+//! only meaningful on multi-core hosts, and a single-core container
+//! will honestly report ~1× for them while still showing the
+//! algorithmic (filter) win.
+//!
+//! ```text
+//! cargo run --release -p flower-bench --bin bench_nsga2 [--smoke] [--out PATH] [--seed N]
+//! ```
+//!
+//! `--smoke` shrinks every size so the whole run takes seconds and, by
+//! default, writes under `target/` so the committed baseline at the
+//! repo root is not clobbered by CI.
+
+use std::io::Write as _;
+
+use flower_bench::harness::{measure, Measurement};
+use flower_bench::seed_arg;
+use flower_nsga2::sorting::fast_non_dominated_sort_with;
+use flower_nsga2::{Executor, Individual, Nsga2, Nsga2Config, Problem};
+
+/// ZDT1 with an artificially expensive evaluation, standing in for the
+/// cost-model evaluations of a real provisioning-plan search. The inner
+/// loop is deterministic and contributes nothing to the objectives'
+/// *location* on the front, only to the evaluation's price tag.
+struct HeavyZdt1 {
+    /// Extra transcendental iterations per evaluation.
+    weight: u32,
+}
+
+impl Problem for HeavyZdt1 {
+    fn n_vars(&self) -> usize {
+        30
+    }
+    fn n_objectives(&self) -> usize {
+        2
+    }
+    fn bounds(&self, _: usize) -> (f64, f64) {
+        (0.0, 1.0)
+    }
+    fn evaluate(&self, x: &[f64], out: &mut [f64]) {
+        let mut ballast = 0.0f64;
+        for k in 0..self.weight {
+            ballast += (x[0] + f64::from(k)).sin().abs().sqrt();
+        }
+        let f1 = x[0] + ballast * 1e-300; // keep the work observable
+        let g = 1.0 + 9.0 * x[1..].iter().sum::<f64>() / (x.len() - 1) as f64;
+        out[0] = f1;
+        out[1] = g * (1.0 - (f1 / g).sqrt());
+    }
+}
+
+/// The naive O(n²) filter `hypervolume.rs` used before the
+/// sort-then-sweep rewrite — kept here as the comparison baseline.
+fn naive_filter(points: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let mut front: Vec<Vec<f64>> = Vec::new();
+    'outer: for p in points {
+        for q in points {
+            if q != p && q.iter().zip(p).all(|(a, b)| a <= b) && q.iter().zip(p).any(|(a, b)| a < b)
+            {
+                continue 'outer;
+            }
+        }
+        if !front.contains(p) {
+            front.push(p.clone());
+        }
+    }
+    front
+}
+
+/// xorshift point cloud, identical across runs.
+fn point_cloud(n: usize, dim: usize, mut state: u64) -> Vec<Vec<f64>> {
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| (0..dim).map(|_| next() * 10.0).collect())
+        .collect()
+}
+
+struct NamedResult {
+    name: &'static str,
+    m: Measurement,
+}
+
+fn run_nsga2(pop: usize, gens: usize, weight: u32, seed: u64, workers: usize) -> usize {
+    let cfg = Nsga2Config {
+        population: pop,
+        generations: gens,
+        seed,
+        ..Default::default()
+    };
+    Nsga2::new(HeavyZdt1 { weight }, cfg)
+        .with_workers(workers)
+        .run()
+        .population
+        .len()
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| {
+            if smoke {
+                "target/BENCH_nsga2.json".to_owned()
+            } else {
+                "BENCH_nsga2.json".to_owned()
+            }
+        });
+    let seed = seed_arg(2017);
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let workers = Executor::from_env().workers();
+
+    // Smoke mode shrinks everything so CI can validate the schema in
+    // seconds; the committed baseline uses the full sizes.
+    let (pop, gens, weight, sort_n, filter_n, samples) = if smoke {
+        (32, 3, 50, 128, 128, 3)
+    } else {
+        (200, 10, 2_000, 512, 512, 15)
+    };
+
+    println!("B1 — NSGA-II performance baseline (cores {cores}, workers {workers}, seed {seed})");
+    println!("  sizes: pop {pop} x gens {gens}, sort n={sort_n}, filter n={filter_n}");
+
+    let mut results: Vec<NamedResult> = Vec::new();
+
+    // 1. Full-run evaluation fan-out: 1 worker vs. all workers.
+    let eval_serial = measure(samples, || run_nsga2(pop, gens, weight, seed, 1));
+    results.push(NamedResult {
+        name: "nsga2_run_eval_heavy_serial",
+        m: eval_serial,
+    });
+    let eval_parallel = measure(samples, || run_nsga2(pop, gens, weight, seed, workers));
+    results.push(NamedResult {
+        name: "nsga2_run_eval_heavy_parallel",
+        m: eval_parallel,
+    });
+
+    // 2. Dominance sort: serial triangular pass vs. row-parallel.
+    let mut sorted_pop: Vec<Individual> = {
+        let problem = HeavyZdt1 { weight: 0 };
+        point_cloud(sort_n, 30, 0x5eed_0001)
+            .into_iter()
+            .map(|mut g| {
+                for x in &mut g {
+                    *x /= 10.0;
+                }
+                Individual::evaluated(&problem, g)
+            })
+            .collect()
+    };
+    let sort_serial = measure(samples, || {
+        fast_non_dominated_sort_with(&mut sorted_pop, &Executor::serial()).len()
+    });
+    results.push(NamedResult {
+        name: "sort_serial",
+        m: sort_serial,
+    });
+    let executor = Executor::new(workers);
+    let sort_parallel = measure(samples, || {
+        fast_non_dominated_sort_with(&mut sorted_pop, &executor).len()
+    });
+    results.push(NamedResult {
+        name: "sort_parallel",
+        m: sort_parallel,
+    });
+
+    // 3. Non-dominated filter: sweep vs. the naive scan it replaced.
+    // `hypervolume` runs the filter internally; benchmark it through a
+    // small 3-D hypervolume call vs. naive-filter + the same call.
+    let cloud = point_cloud(filter_n, 3, 0x5eed_0002);
+    let reference = vec![11.0, 11.0, 11.0];
+    let filter_sweep = measure(samples, || flower_nsga2::hypervolume(&cloud, &reference));
+    results.push(NamedResult {
+        name: "hypervolume_sweep_filter",
+        m: filter_sweep,
+    });
+    let filter_naive = measure(samples, || {
+        flower_nsga2::hypervolume(&naive_filter(&cloud), &reference)
+    });
+    results.push(NamedResult {
+        name: "hypervolume_naive_filter",
+        m: filter_naive,
+    });
+
+    let comparisons = [
+        (
+            "parallel_eval_speedup",
+            "nsga2_run_eval_heavy_serial",
+            "nsga2_run_eval_heavy_parallel",
+            eval_serial.median_ns / eval_parallel.median_ns,
+        ),
+        (
+            "parallel_sort_speedup",
+            "sort_serial",
+            "sort_parallel",
+            sort_serial.median_ns / sort_parallel.median_ns,
+        ),
+        (
+            "filter_sweep_speedup",
+            "hypervolume_naive_filter",
+            "hypervolume_sweep_filter",
+            filter_naive.median_ns / filter_sweep.median_ns,
+        ),
+    ];
+
+    for r in &results {
+        println!(
+            "  {:<32} median {:>14.0} ns  mean {:>14.0} ns  ({} samples x {} iters)",
+            r.name, r.m.median_ns, r.m.mean_ns, r.m.samples, r.m.iters_per_sample
+        );
+    }
+    for (name, base, cand, speedup) in &comparisons {
+        println!("  {name:<32} {speedup:>6.2}x  ({base} / {cand})");
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"flower-bench/nsga2/v1\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"workers\": {workers},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(
+        "  \"note\": \"parallel_* speedups reflect this machine's core count; \
+         on a single-core host they are ~1x by construction\",\n",
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {}, \"mean_ns\": {}, \
+             \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            r.name,
+            json_f64(r.m.median_ns),
+            json_f64(r.m.mean_ns),
+            r.m.samples,
+            r.m.iters_per_sample,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"comparisons\": [\n");
+    for (i, (name, base, cand, speedup)) in comparisons.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"baseline\": \"{}\", \"candidate\": \"{}\", \
+             \"speedup\": {}}}{}\n",
+            name,
+            base,
+            cand,
+            json_f64(*speedup),
+            if i + 1 == comparisons.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    let mut file = std::fs::File::create(&out_path).expect("create output file");
+    file.write_all(json.as_bytes()).expect("write JSON");
+    println!("\nwrote {out_path}");
+}

@@ -56,7 +56,8 @@ fn main() {
             .workload(diurnal())
             .all_controllers(ControllerSpec::Static)
             .seed(seed)
-            .build();
+            .build()
+            .expect("workload attached above");
         Policy {
             name: "static-peak",
             report: m.run_for_mins(MINUTES),
@@ -70,7 +71,8 @@ fn main() {
             .controller(Layer::Analytics, ControllerSpec::adaptive(60.0))
             .controller(Layer::Storage, ControllerSpec::Static)
             .seed(seed)
-            .build();
+            .build()
+            .expect("workload attached above");
         Policy {
             name: "analytics-only",
             report: m.run_for_mins(MINUTES),
@@ -81,7 +83,8 @@ fn main() {
         let mut m = ElasticityManager::builder(peak_flow())
             .workload(diurnal())
             .seed(seed)
-            .build();
+            .build()
+            .expect("workload attached above");
         Policy {
             name: "holistic",
             report: m.run_for_mins(MINUTES),

@@ -150,6 +150,41 @@ impl Bencher {
     }
 }
 
+/// Summary statistics of one measured routine, in nanoseconds per
+/// iteration — the machine-readable counterpart of the printed lines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Median nanoseconds per iteration across the timed samples.
+    pub median_ns: f64,
+    /// Mean nanoseconds per iteration across the timed samples.
+    pub mean_ns: f64,
+    /// Number of timed samples collected.
+    pub samples: usize,
+    /// Iterations per timed batch (sized during warmup).
+    pub iters_per_sample: u64,
+}
+
+/// Time `routine` with the same warmup + batch loop the printed
+/// benchmarks use and return the statistics instead of printing them.
+/// This is what `bench_nsga2` builds `BENCH_*.json` baselines from.
+pub fn measure<T>(samples: usize, routine: impl FnMut() -> T) -> Measurement {
+    let mut b = Bencher {
+        samples_ns: Vec::new(),
+        batch: 1,
+        target_samples: samples.max(3),
+    };
+    b.iter(routine);
+    b.samples_ns.sort_by(f64::total_cmp);
+    let median = b.samples_ns[b.samples_ns.len() / 2];
+    let mean = b.samples_ns.iter().sum::<f64>() / b.samples_ns.len() as f64;
+    Measurement {
+        median_ns: median,
+        mean_ns: mean,
+        samples: b.samples_ns.len(),
+        iters_per_sample: b.batch,
+    }
+}
+
 fn run_benchmark(label: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
     let mut b = Bencher {
         samples_ns: Vec::new(),
@@ -209,6 +244,15 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn measure_returns_consistent_statistics() {
+        let m = measure(5, || black_box(7u64.wrapping_mul(13)));
+        assert_eq!(m.samples, 5);
+        assert!(m.iters_per_sample >= 1);
+        assert!(m.median_ns.is_finite() && m.median_ns >= 0.0);
+        assert!(m.mean_ns.is_finite() && m.mean_ns >= 0.0);
+    }
 
     #[test]
     fn bencher_collects_samples() {

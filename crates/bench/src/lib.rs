@@ -50,7 +50,8 @@ pub fn run_episode(
         .workload(workload)
         .all_controllers(spec)
         .seed(seed)
-        .build();
+        .build()
+        .expect("workload attached above");
     manager.run_for_mins(minutes)
 }
 

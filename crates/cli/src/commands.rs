@@ -119,7 +119,7 @@ pub fn run(args: &Args) -> CmdResult {
             config.scenario.name(),
             config.seed
         );
-        config.build_manager()
+        config.build_manager()?
     } else {
         let seed = args.u64_or("seed", 0)?;
         let rate = args.f64_or("rate", 1_500.0)?;
@@ -138,7 +138,7 @@ pub fn run(args: &Args) -> CmdResult {
         println!(
             "running {minutes} min of '{wl_kind}' at ~{rate} rec/s with the {ctl_kind} controller (seed {seed})"
         );
-        builder.build()
+        builder.build()?
     };
     let report = manager.run_for_mins(minutes);
 
@@ -232,7 +232,7 @@ pub fn analyze(args: &Args) -> CmdResult {
     .workload(Workload::diurnal(2_500.0, 2_000.0))
     .all_controllers(ControllerSpec::Static)
     .seed(seed)
-    .build();
+    .build()?;
     probe.run_for_mins(minutes);
 
     let analyzer = DependencyAnalyzer::for_clickstream("clicks", "counter", "aggregates");
@@ -255,7 +255,7 @@ pub fn monitor(args: &Args) -> CmdResult {
     let mut manager = ElasticityManager::builder(flow())
         .workload(Workload::diurnal(1_500.0, 1_200.0))
         .seed(seed)
-        .build();
+        .build()?;
     manager.run_for_mins(minutes);
     let monitor = CrossPlatformMonitor::for_clickstream("clicks", "counter", "aggregates");
     let snapshot = monitor.snapshot(

@@ -16,6 +16,7 @@ use flower_workload::{
 };
 
 use crate::config::ControllerSpec;
+use crate::error::FlowerError;
 use crate::flow::{FlowSpec, Layer, Platform};
 use crate::provision::{sensors, LayerControllerConfig, ProvisioningManager};
 use crate::replan::{ReplanOutcome, Replanner};
@@ -227,9 +228,19 @@ impl ElasticityManagerBuilder {
     }
 
     /// Build the manager.
-    pub fn build(self) -> ElasticityManager {
-        #[allow(clippy::expect_used)] // invariant stated in the expect message
-        let workload = self.workload.expect("workload is required");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowerError::InvalidConfig`] if no workload was attached
+    /// via [`Self::workload`] — the manager cannot run without a traffic
+    /// source to drive the flow.
+    pub fn build(self) -> Result<ElasticityManager, FlowerError> {
+        let Some(workload) = self.workload else {
+            return Err(FlowerError::InvalidConfig(
+                "workload is required: attach one with ElasticityManagerBuilder::workload"
+                    .to_owned(),
+            ));
+        };
         let mut engine_config = self.flow.engine_config();
         if let Some(rw) = self.read_workload {
             engine_config.read_workload = rw;
@@ -281,7 +292,7 @@ impl ElasticityManagerBuilder {
         }
         let provisioning = ProvisioningManager::new(loops, self.monitoring_period);
 
-        ElasticityManager {
+        Ok(ElasticityManager {
             flow: self.flow,
             engine,
             provisioning,
@@ -293,7 +304,7 @@ impl ElasticityManagerBuilder {
             replanner: self.replanner,
             rcu_loop,
             report: EpisodeReport::empty(),
-        }
+        })
     }
 }
 
@@ -580,6 +591,7 @@ mod tests {
             .workload(workload)
             .seed(11)
             .build()
+            .unwrap()
     }
 
     #[test]
@@ -628,7 +640,8 @@ mod tests {
             .workload(Workload::constant(3_000.0))
             .all_controllers(ControllerSpec::Static)
             .seed(3)
-            .build();
+            .build()
+            .unwrap();
         let report = m.run_for_mins(5);
         assert_eq!(report.total_actions(), 0);
         assert_eq!(report.actuators(Layer::Ingestion).last().unwrap().1, 2.0);
@@ -642,7 +655,8 @@ mod tests {
         let mut m = ElasticityManager::builder(clickstream_flow())
             .workload(Workload::step(4_000.0, 300.0, SimTime::from_mins(12)))
             .seed(5)
-            .build();
+            .build()
+            .unwrap();
         let report = m.run_for_mins(40);
         let shards_peak = report
             .actuators(Layer::Ingestion)
@@ -663,7 +677,8 @@ mod tests {
             .workload(Workload::constant(8_000.0))
             .bounds(Layer::Ingestion, 1.0, 4.0)
             .seed(7)
-            .build();
+            .build()
+            .unwrap();
         let report = m.run_for_mins(15);
         let max_shards = report
             .actuators(Layer::Ingestion)
@@ -688,7 +703,8 @@ mod tests {
             let mut m = ElasticityManager::builder(clickstream_flow())
                 .workload(Workload::constant(1_000.0))
                 .seed(seed)
-                .build();
+                .build()
+                .unwrap();
             m.run_for_mins(2)
         };
         assert_ne!(run(1).offered_records, run(2).offered_records);
@@ -715,8 +731,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "workload is required")]
-    fn missing_workload_panics() {
-        ElasticityManager::builder(clickstream_flow()).build();
+    fn missing_workload_is_an_error() {
+        let Err(err) = ElasticityManager::builder(clickstream_flow()).build() else {
+            panic!("build without a workload must fail");
+        };
+        assert!(matches!(err, FlowerError::InvalidConfig(_)));
+        assert!(err.to_string().contains("workload is required"), "{err}");
     }
 }

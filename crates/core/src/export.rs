@@ -82,7 +82,8 @@ mod tests {
             .workload(Workload::constant(800.0))
             .all_controllers(ControllerSpec::Static)
             .seed(3)
-            .build();
+            .build()
+            .unwrap();
         manager.run_for_mins(2)
     }
 

@@ -58,7 +58,8 @@
 //! let mut manager = ElasticityManager::builder(flow)
 //!     .workload(Workload::diurnal(800.0, 600.0))
 //!     .seed(7)
-//!     .build();
+//!     .build()
+//!     .expect("workload attached");
 //! let report = manager.run_for_mins(10);
 //! assert!(report.total_cost_dollars > 0.0);
 //! ```

@@ -439,4 +439,37 @@ mod tests {
         let b = analyzer(1.0).solve().unwrap();
         assert_eq!(a, b);
     }
+
+    #[test]
+    fn share_fronts_bit_identical_across_worker_counts() {
+        // The real worked-example problem (not a replica): same seed ⇒
+        // bit-identical population at 1, 2, and 8 workers.
+        let run = |workers: usize| {
+            let result = Nsga2::new(
+                ShareProblem::worked_example(0.75),
+                Nsga2Config {
+                    population: 40,
+                    generations: 30,
+                    seed: 7,
+                    ..Default::default()
+                },
+            )
+            .with_workers(workers)
+            .run();
+            result
+                .population
+                .iter()
+                .map(|i| {
+                    (
+                        i.genes.iter().map(|g| g.to_bits()).collect::<Vec<_>>(),
+                        i.objectives.iter().map(|o| o.to_bits()).collect::<Vec<_>>(),
+                        i.rank,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let baseline = run(1);
+        assert_eq!(run(2), baseline, "diverged at 2 workers");
+        assert_eq!(run(8), baseline, "diverged at 8 workers");
+    }
 }

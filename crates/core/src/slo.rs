@@ -238,7 +238,8 @@ mod tests {
             .workload(Workload::constant(rate))
             .all_controllers(spec)
             .seed(7)
-            .build();
+            .build()
+            .unwrap();
         manager.run_for_mins(minutes)
     }
 

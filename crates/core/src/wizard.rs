@@ -217,7 +217,14 @@ impl WizardConfig {
     }
 
     /// Materialize a runnable elasticity manager from the wizard outcome.
-    pub fn build_manager(&self) -> ElasticityManager {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FlowerError::InvalidConfig`] from
+    /// [`crate::elasticity::ElasticityManagerBuilder::build`]; a parsed
+    /// wizard config always
+    /// carries a workload, so this only fires on hand-constructed configs.
+    pub fn build_manager(&self) -> Result<ElasticityManager, FlowerError> {
         let mut builder = ElasticityManager::builder(self.flow.clone())
             .workload(Workload::custom(self.scenario.build(self.rate, self.seed)))
             .monitoring_period(SimDuration::from_secs(self.period_secs))
@@ -343,7 +350,7 @@ mod tests {
             "workload.scenario = steady\nworkload.rate = 600\nseed = 2\nmonitoring.period_secs = 20\n",
         )
         .unwrap();
-        let mut manager = config.build_manager();
+        let mut manager = config.build_manager().unwrap();
         let report = manager.run_for_mins(3);
         assert_eq!(report.arrival_trace.len(), 180);
         assert!(report.total_cost_dollars > 0.0);

@@ -1,11 +1,28 @@
 //! The NSGA-II generational loop.
+//!
+//! Performance notes (the share analyzer sits on Flower's re-planning
+//! path, so optimizer latency is control-loop reaction time):
+//!
+//! * **Evaluation fan-out** — variation (tournament, SBX, mutation) is
+//!   RNG-driven and stays sequential to preserve the seed's draw order,
+//!   but objective/constraint evaluation is a pure function of the
+//!   genes, so each generation's offspring are evaluated in parallel
+//!   over a [`flower_par::Executor`] with ordered collection. Same
+//!   seed ⇒ bit-identical fronts for every worker count.
+//! * **Clone-free survival** — environmental selection picks indices
+//!   into the combined parent+offspring pool and *moves* the survivors
+//!   out (`std::mem::replace` against an empty placeholder) instead of
+//!   cloning `combined[i]` per survivor per generation.
+//! * **Buffer reuse** — the combined pool and the survivor list are
+//!   allocated once and recycled across generations.
 
+use flower_par::Executor;
 use flower_sim::SimRng;
 
 use crate::individual::Individual;
 use crate::operators::{binary_tournament, polynomial_mutation, random_genes, sbx_crossover};
 use crate::problem::Problem;
-use crate::sorting::{crowding_distance, fast_non_dominated_sort};
+use crate::sorting::{crowding_distance, fast_non_dominated_sort_with};
 
 /// Tunables of an NSGA-II run. `Default` mirrors the settings of Deb's
 /// reference implementation.
@@ -87,22 +104,50 @@ impl Nsga2Result {
 pub struct Nsga2<P: Problem> {
     problem: P,
     config: Nsga2Config,
+    executor: Executor,
 }
 
 impl<P: Problem> Nsga2<P> {
-    /// Bind a problem to a configuration.
+    /// Bind a problem to a configuration. The evaluation fan-out uses
+    /// the environment's worker count ([`Executor::from_env`], i.e.
+    /// `FLOWER_THREADS` or the machine's available parallelism);
+    /// results are bit-identical for every worker count.
     pub fn new(problem: P, config: Nsga2Config) -> Self {
         assert!(config.population >= 4, "population must be at least 4");
         assert!(
             config.population.is_multiple_of(2),
             "population must be even (offspring are produced in pairs)"
         );
-        Nsga2 { problem, config }
+        Nsga2 {
+            problem,
+            config,
+            executor: Executor::from_env(),
+        }
+    }
+
+    /// Override the executor driving evaluation and sorting fan-out.
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Convenience: [`Nsga2::with_executor`] with a fixed worker count.
+    pub fn with_workers(self, workers: usize) -> Self {
+        self.with_executor(Executor::new(workers))
     }
 
     /// Access the wrapped problem.
     pub fn problem(&self) -> &P {
         &self.problem
+    }
+
+    /// Evaluate a batch of gene vectors into individuals, fanning out
+    /// over the executor. Ordered collection + pure evaluation keep the
+    /// result independent of the worker count.
+    fn evaluate_all(&self, genes: Vec<Vec<f64>>) -> Vec<Individual> {
+        let problem = &self.problem;
+        self.executor
+            .par_map_owned(genes, |_, g| Individual::evaluated(problem, g))
     }
 
     /// Run the full generational loop.
@@ -115,22 +160,29 @@ impl<P: Problem> Nsga2<P> {
             .unwrap_or(1.0 / self.problem.n_vars().max(1) as f64);
         let mut evaluations = 0u64;
 
-        // Initial population.
-        let mut pop: Vec<Individual> = (0..n)
-            .map(|_| {
-                evaluations += 1;
-                Individual::evaluated(&self.problem, random_genes(&self.problem, &mut rng))
-            })
+        // Initial population: genes are drawn sequentially (preserving
+        // the seed's draw order), evaluation fans out.
+        let initial_genes: Vec<Vec<f64>> = (0..n)
+            .map(|_| random_genes(&self.problem, &mut rng))
             .collect();
-        let fronts = fast_non_dominated_sort(&mut pop);
+        evaluations += n as u64;
+        let mut pop = self.evaluate_all(initial_genes);
+        let fronts = fast_non_dominated_sort_with(&mut pop, &self.executor);
         for front in &fronts {
             crowding_distance(&mut pop, front);
         }
 
+        // Buffers reused across generations: the combined (μ+λ) pool,
+        // the offspring gene batch, and the survivor index list.
+        let mut combined: Vec<Individual> = Vec::with_capacity(2 * n);
+        let mut offspring_genes: Vec<Vec<f64>> = Vec::with_capacity(n);
+        let mut selected: Vec<usize> = Vec::with_capacity(n);
+
         for _gen in 0..self.config.generations {
-            // Offspring generation.
-            let mut offspring: Vec<Individual> = Vec::with_capacity(n);
-            while offspring.len() < n {
+            // Variation: sequential (RNG draw order is the determinism
+            // anchor); evaluation of the finished gene batch: parallel.
+            offspring_genes.clear();
+            while offspring_genes.len() < n {
                 let p1 = binary_tournament(&mut rng, &pop);
                 let p2 = binary_tournament(&mut rng, &pop);
                 let (mut g1, mut g2) = sbx_crossover(
@@ -156,21 +208,25 @@ impl<P: Problem> Nsga2<P> {
                     mutation_prob,
                 );
                 evaluations += 2;
-                offspring.push(Individual::evaluated(&self.problem, g1));
-                offspring.push(Individual::evaluated(&self.problem, g2));
+                offspring_genes.push(g1);
+                offspring_genes.push(g2);
             }
+            let offspring = self.evaluate_all(std::mem::take(&mut offspring_genes));
 
-            // (μ+λ) survival: combine, sort, fill by fronts, truncate the
-            // boundary front by crowding distance.
-            let mut combined = pop;
-            combined.append(&mut offspring);
-            let fronts = fast_non_dominated_sort(&mut combined);
-            let mut next: Vec<Individual> = Vec::with_capacity(n);
+            // (μ+λ) survival: combine, sort, fill by fronts, truncate
+            // the boundary front by crowding distance. Selection is
+            // index-based and survivors are *moved* out of the pool.
+            combined.clear();
+            combined.append(&mut pop);
+            combined.extend(offspring);
+            let fronts = fast_non_dominated_sort_with(&mut combined, &self.executor);
+            selected.clear();
             for front in &fronts {
                 crowding_distance(&mut combined, front);
-                if next.len() + front.len() <= n {
-                    for &i in front {
-                        next.push(combined[i].clone());
+                if selected.len() + front.len() <= n {
+                    selected.extend_from_slice(front);
+                    if selected.len() == n {
+                        break;
                     }
                 } else {
                     let mut boundary: Vec<usize> = front.clone();
@@ -180,17 +236,17 @@ impl<P: Problem> Nsga2<P> {
                     // already quarantined NaN objectives in worst fronts.
                     boundary
                         .sort_by(|&a, &b| combined[b].crowding.total_cmp(&combined[a].crowding));
-                    for &i in boundary.iter().take(n - next.len()) {
-                        next.push(combined[i].clone());
-                    }
+                    selected.extend(boundary.iter().take(n - selected.len()));
                     break;
                 }
             }
-            pop = next;
+            for &i in &selected {
+                pop.push(take_individual(&mut combined, i));
+            }
         }
 
         // Final bookkeeping sort so callers see coherent ranks.
-        let fronts = fast_non_dominated_sort(&mut pop);
+        let fronts = fast_non_dominated_sort_with(&mut pop, &self.executor);
         for front in &fronts {
             crowding_distance(&mut pop, front);
         }
@@ -206,6 +262,23 @@ impl<P: Problem> Nsga2<P> {
             generations: self.config.generations,
         }
     }
+}
+
+/// Move the individual at `i` out of the pool, leaving an empty
+/// placeholder behind. Each survivor index is selected at most once per
+/// generation, so the placeholder is never read; the pool is cleared at
+/// the top of the next generation.
+fn take_individual(pool: &mut [Individual], i: usize) -> Individual {
+    std::mem::replace(
+        &mut pool[i],
+        Individual {
+            genes: Vec::new(),
+            objectives: Vec::new(),
+            violations: Vec::new(),
+            rank: usize::MAX,
+            crowding: 0.0,
+        },
+    )
 }
 
 #[cfg(test)]

@@ -17,8 +17,10 @@
 /// nothing. Supports 2- and 3-objective fronts.
 ///
 /// # Panics
-/// Panics when the dimensionality is not 2 or 3, or when points and the
-/// reference disagree on dimension.
+/// Panics when the reference's dimensionality is not 2 or 3. Points
+/// must match the reference's dimension: mismatches are caught by a
+/// debug assertion in [`nondominated_filter`]; release-build behavior
+/// on a violated contract is unspecified (see the filter's docs).
 pub fn hypervolume(front: &[Vec<f64>], reference: &[f64]) -> f64 {
     match *reference {
         [rx, ry] => hv2d(front, (rx, ry)),
@@ -32,33 +34,64 @@ pub fn hypervolume(front: &[Vec<f64>], reference: &[f64]) -> f64 {
 }
 
 /// Keep only points that strictly dominate the reference, then drop
-/// dominated points (minimization).
+/// dominated points and duplicates (minimization).
+///
+/// Sort-then-sweep instead of the naive all-pairs scan: candidates are
+/// sorted lexicographically ascending (`total_cmp` per coordinate), so
+/// any dominator of `p` — and any earlier duplicate of `p` — sorts
+/// *before* `p`. One forward sweep then compares each candidate only
+/// against the kept set (by transitivity the minimal elements are
+/// always kept), i.e. O(n log n + n·|front|·d) instead of O(n²·d), and
+/// clones only the kept points. In 2-D the kept-set check collapses to
+/// a single running minimum, giving a pure O(n log n) sweep.
+///
+/// # Contract
+/// Every point must have the reference's dimensionality. This is
+/// enforced by a debug assertion; in release builds a short point is
+/// compared coordinate-wise over the common prefix and the result is
+/// unspecified (no panic, no UB). [`hypervolume`] is the public entry
+/// and its 2-/3-tuple reference match pins the dimension there.
 fn nondominated_filter(front: &[Vec<f64>], reference: &[f64]) -> Vec<Vec<f64>> {
-    let candidates: Vec<Vec<f64>> = front
+    let mut candidates: Vec<&Vec<f64>> = front
         .iter()
         .filter(|p| {
-            assert_eq!(
+            debug_assert_eq!(
                 p.len(),
                 reference.len(),
                 "point/reference dimension mismatch"
             );
             p.iter().zip(reference).all(|(a, r)| a < r)
         })
-        .cloned()
         .collect();
-    let mut keep = Vec::new();
-    'outer: for (i, p) in candidates.iter().enumerate() {
-        for (j, q) in candidates.iter().enumerate() {
-            if i == j {
-                continue;
+    candidates.sort_by(|a, b| {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| o.is_ne())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut keep: Vec<Vec<f64>> = Vec::new();
+    if reference.len() == 2 {
+        // 2-D fast path: after the lex sort the front is exactly the
+        // strictly-decreasing staircase of the second coordinate.
+        let mut best_y = f64::INFINITY;
+        for p in candidates {
+            // Slice-pattern destructuring; a wrong-arity point (possible
+            // only in release, see the contract above) is skipped.
+            let [_, y] = p[..] else { continue };
+            if y < best_y {
+                best_y = y;
+                keep.push(p.clone());
             }
-            let dominates =
-                q.iter().zip(p).all(|(a, b)| a <= b) && q.iter().zip(p).any(|(a, b)| a < b);
-            if dominates {
-                continue 'outer;
-            }
-            // Exact duplicates: keep only the first occurrence.
-            if q == p && j < i {
+        }
+        return keep;
+    }
+    'outer: for p in candidates {
+        // q ≤ p in every coordinate covers both "q dominates p" (some
+        // coordinate strict) and "q is an earlier duplicate of p".
+        for q in &keep {
+            if q.iter().zip(p.iter()).all(|(a, b)| a <= b) {
                 continue 'outer;
             }
         }
@@ -73,7 +106,7 @@ fn hv2d(front: &[Vec<f64>], reference: (f64, f64)) -> f64 {
         .into_iter()
         .map(|p| match p[..] {
             [x, y] => (x, y),
-            _ => unreachable!("nondominated_filter asserts the dimension"),
+            _ => unreachable!("hypervolume() pinned the dimension to 2"),
         })
         .collect();
     // Sort ascending by the first objective; the second objective then
@@ -96,7 +129,7 @@ fn hv3d(front: &[Vec<f64>], reference: (f64, f64, f64)) -> f64 {
         .into_iter()
         .map(|p| match p[..] {
             [x, y, z] => (x, y, z),
-            _ => unreachable!("nondominated_filter asserts the dimension"),
+            _ => unreachable!("hypervolume() pinned the dimension to 3"),
         })
         .collect();
     // Slice along the third objective, best (smallest) first.
@@ -211,9 +244,81 @@ mod tests {
         hypervolume(&[vec![1.0, 1.0, 1.0, 1.0]], &[2.0, 2.0, 2.0, 2.0]);
     }
 
+    // The dimension contract is a debug assertion (documented in
+    // `nondominated_filter`); release builds skip the check.
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "dimension mismatch")]
-    fn mismatched_point_panics() {
+    fn mismatched_point_panics_in_debug() {
         hypervolume(&[vec![1.0]], &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn hv3d_regression_hand_computed_front() {
+        // Hand-computed by inclusion–exclusion against ref (4,4,4):
+        //   A=(1,2,3): (3)(2)(1)=6 ; B=(2,1,3): (2)(3)(1)=6 ;
+        //   C=(3,3,1): (1)(1)(3)=3.
+        //   A∩B: max=(2,2,3) → (2)(2)(1)=4 ; A∩C: max=(3,3,3) → 1 ;
+        //   B∩C: max=(3,3,3) → 1 ; A∩B∩C: max=(3,3,3) → 1.
+        //   Union = 6+6+3 − 4−1−1 + 1 = 10.
+        // The input also carries a duplicate of A, a point dominated by
+        // A, and a point outside the reference — all must contribute 0.
+        let front = [
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 1.0, 3.0],
+            vec![3.0, 3.0, 1.0],
+            vec![1.0, 2.0, 3.0], // duplicate of A
+            vec![2.0, 2.0, 3.0], // dominated by A
+            vec![5.0, 5.0, 5.0], // outside the reference
+        ];
+        let hv = hypervolume(&front, &[4.0, 4.0, 4.0]);
+        assert!((hv - 10.0).abs() < 1e-12, "hv={hv}");
+    }
+
+    #[test]
+    fn filter_agrees_with_naive_all_pairs_scan() {
+        // Pseudo-random 3-D cloud: the sweep filter must keep exactly
+        // the minimal elements the quadratic reference scan keeps.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 3.0
+        };
+        let front: Vec<Vec<f64>> = (0..200).map(|_| (0..3).map(|_| next()).collect()).collect();
+        let reference = [2.5, 2.5, 2.5];
+        let fast = nondominated_filter(&front, &reference);
+        // Naive reference implementation.
+        let candidates: Vec<&Vec<f64>> = front
+            .iter()
+            .filter(|p| p.iter().zip(&reference).all(|(a, r)| a < r))
+            .collect();
+        let mut naive: Vec<Vec<f64>> = Vec::new();
+        'outer: for (i, p) in candidates.iter().enumerate() {
+            for (j, q) in candidates.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let dominates = q.iter().zip(p.iter()).all(|(a, b)| a <= b)
+                    && q.iter().zip(p.iter()).any(|(a, b)| a < b);
+                if dominates || (q == p && j < i) {
+                    continue 'outer;
+                }
+            }
+            naive.push((*p).clone());
+        }
+        let mut fast_sorted = fast;
+        let mut naive_sorted = naive;
+        let lex = |a: &Vec<f64>, b: &Vec<f64>| {
+            a.iter()
+                .zip(b.iter())
+                .map(|(x, y)| x.total_cmp(y))
+                .find(|o| o.is_ne())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        };
+        fast_sorted.sort_by(&lex);
+        naive_sorted.sort_by(&lex);
+        assert_eq!(fast_sorted, naive_sorted);
     }
 }

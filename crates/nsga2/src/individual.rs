@@ -2,6 +2,21 @@
 
 use crate::problem::{total_violation, Problem};
 
+/// Outcome of comparing two individuals under Deb's
+/// constraint-domination relation in a single pass — see
+/// [`Individual::domination`]. Computing both directions at once halves
+/// the objective scans of the O(N²) dominance matrix in
+/// `fast_non_dominated_sort`, which is the sorter's hot loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domination {
+    /// The left individual constraint-dominates the right.
+    Left,
+    /// The right individual constraint-dominates the left.
+    Right,
+    /// Neither dominates (mutually non-dominated, or equal).
+    Neither,
+}
+
 /// One candidate solution together with its evaluation results and the
 /// bookkeeping NSGA-II attaches during sorting.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,16 +102,56 @@ impl Individual {
     /// them "non-dominated"; `-inf` would dominate every finite
     /// solution).
     pub fn constraint_dominates(&self, other: &Individual) -> bool {
+        self.domination(other) == Domination::Left
+    }
+
+    /// Both directions of [`Individual::constraint_dominates`] in one
+    /// pass: `a.domination(b)` is `Left` iff `a.constraint_dominates(b)`
+    /// and `Right` iff `b.constraint_dominates(a)` (the relation is
+    /// antisymmetric, so both can never hold). The sorter uses this to
+    /// classify each pair with a single scan of the objective vectors
+    /// instead of two.
+    pub fn domination(&self, other: &Individual) -> Domination {
         match (self.is_degenerate(), other.is_degenerate()) {
-            (false, true) => return true,
-            (true, _) => return false,
+            (false, true) => return Domination::Left,
+            (true, false) => return Domination::Right,
+            (true, true) => return Domination::Neither,
             (false, false) => {}
         }
         match (self.is_feasible(), other.is_feasible()) {
-            (true, false) => true,
-            (false, true) => false,
-            (false, false) => self.total_violation() < other.total_violation(),
-            (true, true) => self.dominates_objectives(other),
+            (true, false) => Domination::Left,
+            (false, true) => Domination::Right,
+            (false, false) => {
+                let (va, vb) = (self.total_violation(), other.total_violation());
+                if va < vb {
+                    Domination::Left
+                } else if vb < va {
+                    Domination::Right
+                } else {
+                    Domination::Neither
+                }
+            }
+            (true, true) => {
+                // Single scan computing both Pareto directions with an
+                // early exit once the pair is known incomparable.
+                let mut self_better = false;
+                let mut other_better = false;
+                for (a, b) in self.objectives.iter().zip(&other.objectives) {
+                    if a < b {
+                        self_better = true;
+                    } else if b < a {
+                        other_better = true;
+                    }
+                    if self_better && other_better {
+                        return Domination::Neither;
+                    }
+                }
+                match (self_better, other_better) {
+                    (true, false) => Domination::Left,
+                    (false, true) => Domination::Right,
+                    _ => Domination::Neither,
+                }
+            }
         }
     }
 }
@@ -158,6 +213,36 @@ mod tests {
         assert!(ind(&[0.0], &[0.0, 0.0]).is_feasible());
         assert!(!ind(&[0.0], &[0.0, 1e-6]).is_feasible());
         assert_eq!(ind(&[0.0], &[1.0, 2.0]).total_violation(), 3.0);
+    }
+
+    #[test]
+    fn domination_agrees_with_both_directed_checks() {
+        let cases = [
+            (ind(&[1.0, 1.0], &[]), ind(&[2.0, 2.0], &[])),
+            (ind(&[1.0, 3.0], &[]), ind(&[3.0, 1.0], &[])),
+            (ind(&[1.0, 1.0], &[]), ind(&[1.0, 1.0], &[])),
+            (ind(&[5.0], &[0.0]), ind(&[1.0], &[0.5])),
+            (ind(&[5.0], &[0.1]), ind(&[1.0], &[0.9])),
+            (ind(&[5.0], &[0.4]), ind(&[1.0], &[0.4])),
+            (ind(&[f64::NAN], &[]), ind(&[1.0], &[])),
+            (ind(&[f64::NEG_INFINITY], &[]), ind(&[f64::NAN], &[])),
+        ];
+        for (a, b) in &cases {
+            let expected = match (a.constraint_dominates(b), b.constraint_dominates(a)) {
+                (true, false) => Domination::Left,
+                (false, true) => Domination::Right,
+                (false, false) => Domination::Neither,
+                (true, true) => unreachable!("domination is antisymmetric"),
+            };
+            assert_eq!(a.domination(b), expected, "{a:?} vs {b:?}");
+            // And the mirrored comparison flips Left/Right.
+            let mirrored = match expected {
+                Domination::Left => Domination::Right,
+                Domination::Right => Domination::Left,
+                Domination::Neither => Domination::Neither,
+            };
+            assert_eq!(b.domination(a), mirrored);
+        }
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod problem;
 pub mod sorting;
 
 pub use algorithm::{Nsga2, Nsga2Config, Nsga2Result};
+pub use flower_par::Executor;
 pub use hypervolume::hypervolume;
-pub use individual::Individual;
+pub use individual::{Domination, Individual};
 pub use problem::Problem;

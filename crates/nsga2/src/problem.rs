@@ -8,8 +8,13 @@
 /// * constraints are inequality constraints reported as **violation
 ///   magnitudes**: `0.0` means satisfied, a positive value measures how
 ///   badly the constraint is broken. Deb's constraint-domination rule in
-///   the sorter consumes these directly.
-pub trait Problem {
+///   the sorter consumes these directly;
+/// * implementations are `Sync` so the optimizer can fan population
+///   evaluation out across threads — `evaluate`/`constraints` take
+///   `&self` and must be pure functions of `x` (no interior mutability,
+///   no ambient RNG), which is also what the same-seed ⇒ same-front
+///   determinism contract already demanded.
+pub trait Problem: Sync {
     /// Number of decision variables.
     fn n_vars(&self) -> usize;
 

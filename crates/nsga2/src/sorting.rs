@@ -1,29 +1,48 @@
 //! Fast non-dominated sorting and crowding distance — the two devices
 //! that make NSGA-II "fast and elitist" (Deb et al. 2002, §III).
 
-use crate::individual::Individual;
+use flower_par::Executor;
+
+use crate::individual::{Domination, Individual};
+
+/// Below this population size the O(N²) dominance matrix is cheaper to
+/// compute serially (one triangular pass) than to fan out across
+/// threads. Both paths produce identical structures, so the threshold
+/// affects only speed, never results.
+const PARALLEL_SORT_MIN_POP: usize = 256;
 
 /// Partition the population into non-domination fronts under Deb's
 /// constraint-domination relation. Returns the fronts as index vectors
 /// (front 0 first) and writes each individual's `rank` field.
+///
+/// Serial entry point; see [`fast_non_dominated_sort_with`] for the
+/// executor-aware variant the optimizer's generational loop uses.
 pub fn fast_non_dominated_sort(pop: &mut [Individual]) -> Vec<Vec<usize>> {
+    fast_non_dominated_sort_with(pop, &Executor::serial())
+}
+
+/// [`fast_non_dominated_sort`] with an explicit executor: the O(N²)
+/// dominance matrix is computed row-parallel for large populations,
+/// while the front peeling stays sequential (it is O(N·fronts) and
+/// order-sensitive).
+///
+/// Determinism: the parallel rows compute exactly the structures the
+/// triangular serial pass builds — `dominated_by[i]` lists `j` in
+/// ascending order either way — so fronts and ranks are bit-identical
+/// for every worker count.
+pub fn fast_non_dominated_sort_with(
+    pop: &mut [Individual],
+    executor: &Executor,
+) -> Vec<Vec<usize>> {
     let n = pop.len();
     // dominated_by[i] = individuals that i dominates;
     // domination_count[i] = how many individuals dominate i.
-    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut domination_count = vec![0usize; n];
-
-    for i in 0..n {
-        for j in (i + 1)..n {
-            if pop[i].constraint_dominates(&pop[j]) {
-                dominated_by[i].push(j);
-                domination_count[j] += 1;
-            } else if pop[j].constraint_dominates(&pop[i]) {
-                dominated_by[j].push(i);
-                domination_count[i] += 1;
-            }
-        }
-    }
+    let (dominated_by, mut domination_count) =
+        if executor.workers() > 1 && n >= PARALLEL_SORT_MIN_POP {
+            dominance_rows_parallel(pop, executor)
+        } else {
+            dominance_rows_serial(pop)
+        };
 
     let mut fronts: Vec<Vec<usize>> = Vec::new();
     let mut current: Vec<usize> = (0..n).filter(|&i| domination_count[i] == 0).collect();
@@ -45,6 +64,60 @@ pub fn fast_non_dominated_sort(pop: &mut [Individual]) -> Vec<Vec<usize>> {
         rank += 1;
     }
     fronts
+}
+
+/// One triangular pass over all pairs; each pair is classified once via
+/// the single-scan [`Individual::domination`].
+fn dominance_rows_serial(pop: &[Individual]) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let n = pop.len();
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut domination_count = vec![0usize; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            match pop[i].domination(&pop[j]) {
+                Domination::Left => {
+                    dominated_by[i].push(j);
+                    domination_count[j] += 1;
+                }
+                Domination::Right => {
+                    dominated_by[j].push(i);
+                    domination_count[i] += 1;
+                }
+                Domination::Neither => {}
+            }
+        }
+    }
+    (dominated_by, domination_count)
+}
+
+/// Row-parallel dominance matrix: row `i` is independent of every other
+/// row (it only reads the population), so rows fan out over the
+/// executor and are collected in index order. Each pair is compared
+/// twice (once per row) — with `w` workers that is still a `w/2`-fold
+/// win over the triangular pass, and the per-row outputs are identical
+/// to the serial structures: `dominated_by[i]` ascends in `j` and
+/// `domination_count[i]` counts the same dominators.
+fn dominance_rows_parallel(
+    pop: &[Individual],
+    executor: &Executor,
+) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let n = pop.len();
+    let rows: Vec<(Vec<usize>, usize)> = executor.par_map_index(n, |i| {
+        let mut dominates: Vec<usize> = Vec::new();
+        let mut dominated_count = 0usize;
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            match pop[i].domination(&pop[j]) {
+                Domination::Left => dominates.push(j),
+                Domination::Right => dominated_count += 1,
+                Domination::Neither => {}
+            }
+        }
+        (dominates, dominated_count)
+    });
+    rows.into_iter().unzip()
 }
 
 /// Compute the crowding distance of every individual in `front`
@@ -178,6 +251,34 @@ mod tests {
     fn empty_population_no_fronts() {
         let mut pop: Vec<Individual> = vec![];
         assert!(fast_non_dominated_sort(&mut pop).is_empty());
+    }
+
+    #[test]
+    fn parallel_rows_match_triangular_pass() {
+        // A population large enough to cross PARALLEL_SORT_MIN_POP,
+        // with duplicates, infeasibles, and a NaN degenerate mixed in.
+        let n = 2 * super::PARALLEL_SORT_MIN_POP;
+        let mut pop: Vec<Individual> = (0..n)
+            .map(|k| {
+                let x = (k % 37) as f64 * 0.11;
+                let y = ((k * 7) % 53) as f64 * 0.07;
+                let mut i = ind(&[x, y]);
+                if k % 29 == 0 {
+                    i.violations = vec![(k % 5) as f64 * 0.3];
+                }
+                if k == 123 {
+                    i.objectives[0] = f64::NAN;
+                }
+                i
+            })
+            .collect();
+        let mut pop_par = pop.clone();
+        let serial = fast_non_dominated_sort_with(&mut pop, &Executor::serial());
+        let parallel = fast_non_dominated_sort_with(&mut pop_par, &Executor::new(8));
+        assert_eq!(serial, parallel, "front index vectors must be identical");
+        for (a, b) in pop.iter().zip(&pop_par) {
+            assert_eq!(a.rank, b.rank);
+        }
     }
 
     #[test]

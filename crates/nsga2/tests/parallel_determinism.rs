@@ -1,0 +1,177 @@
+// Test target: unwrap/expect and exact float comparison are deliberate
+// here (determinism assertions compare results bit-for-bit).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
+//! Thread-count invariance: the non-negotiable contract of the parallel
+//! execution layer is *same seed ⇒ bit-identical results for every
+//! worker count*. These tests pin it on ZDT1 and on a replica of
+//! Flower's §3.2 resource-share problem (the real `ShareProblem` lives
+//! in `flower-core`, which depends on this crate; the replica encodes
+//! the same worked-example structure: negated-share objectives, a
+//! budget constraint, and the three ratio constraints).
+
+use flower_nsga2::sorting::fast_non_dominated_sort_with;
+use flower_nsga2::{hypervolume, Executor, Individual, Nsga2, Nsga2Config, Problem};
+
+/// ZDT1: 30 variables, true front at g = 1, f2 = 1 − sqrt(f1).
+struct Zdt1;
+impl Problem for Zdt1 {
+    fn n_vars(&self) -> usize {
+        30
+    }
+    fn n_objectives(&self) -> usize {
+        2
+    }
+    fn bounds(&self, _: usize) -> (f64, f64) {
+        (0.0, 1.0)
+    }
+    fn evaluate(&self, x: &[f64], out: &mut [f64]) {
+        let f1 = x[0];
+        let g = 1.0 + 9.0 * x[1..].iter().sum::<f64>() / (x.len() - 1) as f64;
+        out[0] = f1;
+        out[1] = g * (1.0 - (f1 / g).sqrt());
+    }
+}
+
+/// Replica of the §3.2 worked example: maximize the three resource
+/// shares (minimized as negations) under a budget and the paper's ratio
+/// constraints `5·r_A ≥ r_I`, `2·r_A ≤ r_I`, `2·r_I ≤ r_S`.
+struct ShareLike {
+    budget: f64,
+}
+impl Problem for ShareLike {
+    fn n_vars(&self) -> usize {
+        3
+    }
+    fn n_objectives(&self) -> usize {
+        3
+    }
+    fn n_constraints(&self) -> usize {
+        4
+    }
+    fn bounds(&self, i: usize) -> (f64, f64) {
+        (1.0, [100.0, 50.0, 5_000.0][i])
+    }
+    fn evaluate(&self, x: &[f64], out: &mut [f64]) {
+        for (o, xi) in out.iter_mut().zip(x) {
+            *o = -xi;
+        }
+    }
+    fn constraints(&self, x: &[f64], out: &mut [f64]) {
+        let (ri, ra, rs) = (x[0], x[1], x[2]);
+        // 2017-ish unit prices: shards and VMs dominate, WCU is cheap.
+        let cost = 0.015 * ri + 0.126 * ra + 0.000_65 * rs;
+        out[0] = (cost - self.budget).max(0.0);
+        out[1] = (ri - 5.0 * ra).max(0.0);
+        out[2] = (2.0 * ra - ri).max(0.0);
+        out[3] = (2.0 * ri - rs).max(0.0);
+    }
+}
+
+/// Exact bit pattern of an individual — genes, objectives, violations.
+type IndividualBits = (Vec<u64>, Vec<u64>, Vec<u64>, usize);
+
+fn bits(ind: &Individual) -> IndividualBits {
+    (
+        ind.genes.iter().map(|g| g.to_bits()).collect(),
+        ind.objectives.iter().map(|o| o.to_bits()).collect(),
+        ind.violations.iter().map(|v| v.to_bits()).collect(),
+        ind.rank,
+    )
+}
+
+fn run_bits<P: Problem>(problem: P, cfg: Nsga2Config, workers: usize) -> Vec<IndividualBits> {
+    let result = Nsga2::new(problem, cfg).with_workers(workers).run();
+    result.population.iter().map(bits).collect()
+}
+
+#[test]
+fn zdt1_front_is_bit_identical_across_worker_counts() {
+    let cfg = Nsga2Config {
+        population: 64,
+        generations: 30,
+        seed: 2017,
+        ..Default::default()
+    };
+    let baseline = run_bits(Zdt1, cfg, 1);
+    for workers in [2usize, 8] {
+        assert_eq!(
+            run_bits(Zdt1, cfg, workers),
+            baseline,
+            "ZDT1 diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn share_problem_front_is_bit_identical_across_worker_counts() {
+    let cfg = Nsga2Config {
+        population: 60,
+        generations: 40,
+        seed: 7,
+        ..Default::default()
+    };
+    let baseline = run_bits(ShareLike { budget: 0.75 }, cfg, 1);
+    for workers in [2usize, 8] {
+        assert_eq!(
+            run_bits(ShareLike { budget: 0.75 }, cfg, workers),
+            baseline,
+            "share problem diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn hypervolume_of_parallel_fronts_is_bit_identical() {
+    let cfg = Nsga2Config {
+        population: 40,
+        generations: 25,
+        seed: 99,
+        ..Default::default()
+    };
+    let reference = [0.0, 0.0, 0.0];
+    let hv_for = |workers: usize| {
+        let result = Nsga2::new(ShareLike { budget: 0.75 }, cfg)
+            .with_workers(workers)
+            .run();
+        let front: Vec<Vec<f64>> = result
+            .pareto_front()
+            .iter()
+            .filter(|i| i.is_feasible())
+            .map(|i| i.objectives.clone())
+            .collect();
+        hypervolume(&front, &reference)
+    };
+    let baseline = hv_for(1);
+    assert!(baseline > 0.0, "degenerate baseline front");
+    for workers in [2usize, 8] {
+        assert_eq!(
+            hv_for(workers).to_bits(),
+            baseline.to_bits(),
+            "hypervolume diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn sort_is_identical_across_worker_counts_above_threshold() {
+    // Build a population big enough to take the row-parallel path and
+    // check fronts + ranks against the serial triangular pass.
+    let cfg = Nsga2Config {
+        population: 300,
+        generations: 2,
+        seed: 5,
+        ..Default::default()
+    };
+    let result = Nsga2::new(Zdt1, cfg).with_workers(1).run();
+    let mut pop_serial = result.population.clone();
+    let mut pop_parallel = result.population.clone();
+    let fronts_serial = fast_non_dominated_sort_with(&mut pop_serial, &Executor::serial());
+    for workers in [2usize, 8] {
+        let fronts_parallel =
+            fast_non_dominated_sort_with(&mut pop_parallel, &Executor::new(workers));
+        assert_eq!(fronts_serial, fronts_parallel, "{workers} workers");
+        for (a, b) in pop_serial.iter().zip(&pop_parallel) {
+            assert_eq!(a.rank, b.rank);
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Minimal JSON parsing + schema validation for `BENCH_*.json`.
+//!
+//! The workspace is dependency-free, so this is a small hand-rolled
+//! recursive-descent parser covering exactly the JSON subset the bench
+//! binaries emit (objects, arrays, strings, finite numbers, booleans,
+//! null). It exists so `cargo xtask bench --smoke` can gate CI on the
+//! *shape* of the baseline without gating on timings.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as f64).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; BTreeMap keeps iteration deterministic.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Errors carry a byte offset for debugging.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => parse_str(b, pos).map(Value::Str),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(_) => parse_num(b, pos),
+        None => Err("unexpected end of input".to_owned()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+}
+
+fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}", pos = *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance over one UTF-8 scalar starting at *pos.
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let Some(c) = rest.chars().next() else {
+                    return Err("unterminated string".to_owned());
+                };
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+            None => return Err("unterminated string".to_owned()),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // [
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // {
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        let key = parse_str(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let value = parse_value(b, pos)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+/// Validate a `BENCH_nsga2.json` document against the v1 schema:
+/// required top-level fields, non-empty `results` with finite positive
+/// timings, and `comparisons` whose names reference real results.
+/// Returns a one-line human summary on success.
+pub fn validate_bench_json(text: &str) -> Result<String, String> {
+    let root = parse(text)?;
+    let obj = root.as_obj().ok_or("top level is not an object")?;
+
+    let schema = obj
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing string field `schema`")?;
+    if schema != "flower-bench/nsga2/v1" {
+        return Err(format!("unknown schema `{schema}`"));
+    }
+    let smoke = matches!(obj.get("smoke"), Some(Value::Bool(true)));
+    if !matches!(obj.get("smoke"), Some(Value::Bool(_))) {
+        return Err("missing boolean field `smoke`".to_owned());
+    }
+    for key in ["cores", "workers", "seed"] {
+        let n = obj
+            .get(key)
+            .and_then(Value::as_num)
+            .ok_or_else(|| format!("missing numeric field `{key}`"))?;
+        if !(n.is_finite() && n >= 0.0) {
+            return Err(format!("field `{key}` must be a non-negative number"));
+        }
+    }
+
+    let results = obj
+        .get("results")
+        .and_then(Value::as_arr)
+        .ok_or("missing array field `results`")?;
+    if results.is_empty() {
+        return Err("`results` is empty".to_owned());
+    }
+    let mut names = Vec::new();
+    for (i, r) in results.iter().enumerate() {
+        let r = r
+            .as_obj()
+            .ok_or_else(|| format!("results[{i}] is not an object"))?;
+        let name = r
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("results[{i}] missing `name`"))?;
+        for key in ["median_ns", "mean_ns", "samples", "iters_per_sample"] {
+            let n = r
+                .get(key)
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("results[{i}] ({name}) missing numeric `{key}`"))?;
+            if !(n.is_finite() && n > 0.0) {
+                return Err(format!(
+                    "results[{i}] ({name}) `{key}` must be finite and positive"
+                ));
+            }
+        }
+        names.push(name.to_owned());
+    }
+
+    let comparisons = obj
+        .get("comparisons")
+        .and_then(Value::as_arr)
+        .ok_or("missing array field `comparisons`")?;
+    for (i, c) in comparisons.iter().enumerate() {
+        let c = c
+            .as_obj()
+            .ok_or_else(|| format!("comparisons[{i}] is not an object"))?;
+        for key in ["name", "baseline", "candidate"] {
+            c.get(key)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("comparisons[{i}] missing string `{key}`"))?;
+        }
+        for key in ["baseline", "candidate"] {
+            let target = c.get(key).and_then(Value::as_str).unwrap_or_default();
+            if !names.iter().any(|n| n == target) {
+                return Err(format!(
+                    "comparisons[{i}] `{key}` references unknown result `{target}`"
+                ));
+            }
+        }
+        let speedup = c
+            .get("speedup")
+            .and_then(Value::as_num)
+            .ok_or_else(|| format!("comparisons[{i}] missing numeric `speedup`"))?;
+        if !(speedup.is_finite() && speedup > 0.0) {
+            return Err(format!(
+                "comparisons[{i}] `speedup` must be finite and positive"
+            ));
+        }
+    }
+
+    Ok(format!(
+        "{} result(s), {} comparison(s){}",
+        results.len(),
+        comparisons.len(),
+        if smoke { ", smoke mode" } else { "" }
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{
+      "schema": "flower-bench/nsga2/v1",
+      "smoke": true,
+      "cores": 4, "workers": 4, "seed": 2017,
+      "note": "n/a",
+      "results": [
+        {"name": "a", "median_ns": 10.5, "mean_ns": 11.0, "samples": 5, "iters_per_sample": 3},
+        {"name": "b", "median_ns": 20.0, "mean_ns": 21.0, "samples": 5, "iters_per_sample": 3}
+      ],
+      "comparisons": [
+        {"name": "a_vs_b", "baseline": "b", "candidate": "a", "speedup": 1.9}
+      ]
+    }"#;
+
+    #[test]
+    fn good_document_validates() {
+        let summary = validate_bench_json(GOOD).unwrap();
+        assert!(summary.contains("2 result(s)"), "{summary}");
+        assert!(summary.contains("smoke mode"), "{summary}");
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = parse(r#"{"k": ["a\n\"b\"", {"n": -1.5e3}, null, false]}"#).unwrap();
+        let obj = v.as_obj().unwrap();
+        let arr = obj.get("k").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_str(), Some("a\n\"b\""));
+        assert_eq!(
+            arr[1].as_obj().unwrap().get("n").unwrap().as_num(),
+            Some(-1_500.0)
+        );
+        assert_eq!(arr[2], Value::Null);
+        assert_eq!(arr[3], Value::Bool(false));
+    }
+
+    #[test]
+    fn bad_documents_are_rejected() {
+        for (doc, why) in [
+            ("[]", "top level"),
+            (r#"{"schema": "other/v9"}"#, "unknown schema"),
+            (
+                r#"{"schema": "flower-bench/nsga2/v1", "smoke": false,
+                    "cores": 1, "workers": 1, "seed": 0,
+                    "results": [], "comparisons": []}"#,
+                "`results` is empty",
+            ),
+            (
+                r#"{"schema": "flower-bench/nsga2/v1", "smoke": false,
+                    "cores": 1, "workers": 1, "seed": 0,
+                    "results": [{"name": "a", "median_ns": 1, "mean_ns": 1,
+                                 "samples": 1, "iters_per_sample": 1}],
+                    "comparisons": [{"name": "x", "baseline": "ghost",
+                                     "candidate": "a", "speedup": 2.0}]}"#,
+                "unknown result",
+            ),
+        ] {
+            let err = validate_bench_json(doc).unwrap_err();
+            assert!(err.contains(why), "`{err}` should mention `{why}`");
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        assert!(parse("{\"a\": ").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("{} trailing").is_err());
+    }
+}

@@ -3,19 +3,29 @@
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
 //! `cargo xtask` — workspace automation.
 //!
-//! The one subcommand today is `lint`: the *flower-lint* static-analysis
-//! pass enforcing repo-specific determinism, NaN-safety, and
-//! panic-freedom invariants that the stock toolchain cannot express.
-//! See `DESIGN.md` § "Static analysis & determinism invariants".
+//! Subcommands:
+//!
+//! * `lint` — the *flower-lint* static-analysis pass enforcing
+//!   repo-specific determinism, NaN-safety, and panic-freedom invariants
+//!   that the stock toolchain cannot express. See `DESIGN.md` § "Static
+//!   analysis & determinism invariants". The per-file scan fans out over
+//!   [`flower_par::Executor`]; results are collected in path-sorted
+//!   submission order, so the output is byte-identical for any worker
+//!   count.
+//! * `bench` — runs the `bench_nsga2` performance baseline and validates
+//!   the emitted `BENCH_nsga2.json` against the expected schema.
 //!
 //! ```text
 //! cargo xtask lint            # human-readable diagnostics
 //! cargo xtask lint --json     # machine-readable, for CI
 //! cargo xtask lint --rules    # list the enforced invariant classes
+//! cargo xtask bench           # full baseline -> BENCH_nsga2.json
+//! cargo xtask bench --smoke   # seconds-scale run -> target/BENCH_nsga2.json
 //! ```
 //!
 //! Exit codes: 0 = clean, 1 = violations found, 2 = usage/IO error.
 
+mod benchjson;
 mod lexer;
 mod lints;
 
@@ -23,7 +33,8 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use lints::{analyze, count_by_rule, AllowEntry, Violation, RULES};
+use flower_par::Executor;
+use lints::{analyze, count_by_rule, AllowEntry, FileReport, Violation, RULES};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,13 +69,91 @@ fn main() -> ExitCode {
             }
             run_lint(&root, json)
         }
+        Some("bench") => {
+            let mut smoke = false;
+            let mut out: Option<String> = None;
+            while let Some(arg) = it.next() {
+                match arg {
+                    "--smoke" => smoke = true,
+                    "--out" => match it.next() {
+                        Some(path) => out = Some(path.to_owned()),
+                        None => {
+                            eprintln!("--out requires a path");
+                            return usage();
+                        }
+                    },
+                    other => {
+                        eprintln!("unknown argument `{other}`");
+                        return usage();
+                    }
+                }
+            }
+            run_bench(smoke, out.as_deref())
+        }
         _ => usage(),
     }
 }
 
 fn usage() -> ExitCode {
     eprintln!("usage: cargo xtask lint [--json] [--rules] [--root <path>]");
+    eprintln!("       cargo xtask bench [--smoke] [--out <path>]");
     ExitCode::from(2)
+}
+
+/// Run the `bench_nsga2` baseline via cargo and validate the JSON it
+/// writes. `--smoke` exists so CI can check the schema in seconds
+/// without gating on timings.
+fn run_bench(smoke: bool, out: Option<&str>) -> ExitCode {
+    let out_path = out.map(str::to_owned).unwrap_or_else(|| {
+        if smoke {
+            "target/BENCH_nsga2.json".to_owned()
+        } else {
+            "BENCH_nsga2.json".to_owned()
+        }
+    });
+    let mut cmd =
+        std::process::Command::new(std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into()));
+    cmd.args([
+        "run",
+        "--release",
+        "-p",
+        "flower-bench",
+        "--bin",
+        "bench_nsga2",
+        "--",
+    ]);
+    if smoke {
+        cmd.arg("--smoke");
+    }
+    cmd.args(["--out", &out_path]);
+    match cmd.status() {
+        Ok(status) if status.success() => {}
+        Ok(status) => {
+            eprintln!("bench_nsga2 failed: {status}");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("cannot spawn cargo: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let text = match fs::read_to_string(&out_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {out_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match benchjson::validate_bench_json(&text) {
+        Ok(summary) => {
+            println!("xtask bench: {out_path} is schema-valid ({summary})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask bench: {out_path} failed validation: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Workspace root: the ancestor of this binary's manifest dir, or cwd.
@@ -99,26 +188,37 @@ fn run_lint(root: &Path, json: bool) -> ExitCode {
     }
     files.sort();
 
+    // Fan the per-file read + analysis out over the executor. Reports
+    // come back in the path-sorted submission order regardless of worker
+    // count, so the aggregated output below is byte-identical to the old
+    // sequential loop's.
+    let reports: Vec<Result<FileReport, String>> =
+        Executor::from_env().par_map(&files, |_, (crate_name, path)| {
+            let source = fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(path)
+                .to_string_lossy()
+                .into_owned();
+            Ok(analyze(&rel, crate_name, &source))
+        });
+
     let mut violations: Vec<Violation> = Vec::new();
     let mut allows: Vec<AllowEntry> = Vec::new();
     let mut scanned = 0usize;
-    for (crate_name, path) in &files {
-        let source = match fs::read_to_string(path) {
-            Ok(s) => s,
+    for report in reports {
+        match report {
+            Ok(report) => {
+                violations.extend(report.violations);
+                allows.extend(report.allows_used);
+                scanned += 1;
+            }
             Err(e) => {
-                eprintln!("cannot read {}: {e}", path.display());
+                eprintln!("{e}");
                 return ExitCode::from(2);
             }
-        };
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .into_owned();
-        let report = analyze(&rel, crate_name, &source);
-        violations.extend(report.violations);
-        allows.extend(report.allows_used);
-        scanned += 1;
+        }
     }
     violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
 

@@ -56,7 +56,8 @@ fn main() {
         .workload(Workload::custom(Box::new(process)))
         .monitoring_period(SimDuration::from_secs(30))
         .seed(13)
-        .build();
+        .build()
+        .expect("workload attached above");
 
     println!("running 2 simulated hours of click-stream analytics...");
     let report = manager.run_for_mins(120);

@@ -35,7 +35,8 @@ fn main() {
             .workload(Workload::step(600.0, 3_600.0, SimTime::from_mins(10)))
             .all_controllers(spec)
             .seed(5)
-            .build();
+            .build()
+            .expect("workload attached above");
         let report = manager.run_for_mins(40);
 
         // Score the analytics layer against its 60% CPU setpoint ± 15.

@@ -25,7 +25,8 @@ fn main() {
     let mut manager = ElasticityManager::builder(flow)
         .workload(Workload::diurnal(1_800.0, 1_400.0))
         .seed(31)
-        .build();
+        .build()
+        .expect("workload attached above");
 
     let mut monitor = CrossPlatformMonitor::for_clickstream("clicks", "counter", "aggregates");
 

@@ -30,7 +30,8 @@ fn main() {
     let mut manager = ElasticityManager::builder(flow)
         .workload(Workload::diurnal(1_500.0, 1_200.0))
         .seed(7)
-        .build();
+        .build()
+        .expect("workload attached above");
 
     // Step 3 — run and observe.
     let report = manager.run_for_mins(10);

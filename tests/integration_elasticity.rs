@@ -15,7 +15,8 @@ fn run(spec: ControllerSpec, workload: Workload, minutes: u64, seed: u64) -> Epi
         .workload(workload)
         .all_controllers(spec)
         .seed(seed)
-        .build();
+        .build()
+        .unwrap();
     manager.run_for_mins(minutes)
 }
 
@@ -79,13 +80,15 @@ fn holistic_scaling_is_cheaper_than_static_peak() {
         .workload(diurnal())
         .all_controllers(ControllerSpec::Static)
         .seed(9)
-        .build();
+        .build()
+        .unwrap();
     let static_report = static_manager.run_for_mins(240); // two diurnal cycles
 
     let mut elastic_manager = ElasticityManager::builder(clickstream_flow())
         .workload(diurnal())
         .seed(9)
-        .build();
+        .build()
+        .unwrap();
     let elastic_report = elastic_manager.run_for_mins(240);
 
     assert!(
@@ -110,12 +113,14 @@ fn monitoring_period_affects_reaction_granularity() {
         .monitoring_period(SimDuration::from_secs(15))
         .seed(2)
         .build()
+        .unwrap()
         .run_for_mins(20);
     let slow = ElasticityManager::builder(clickstream_flow())
         .workload(Workload::step(500.0, 3_000.0, SimTime::from_mins(5)))
         .monitoring_period(SimDuration::from_mins(3))
         .seed(2)
         .build()
+        .unwrap()
         .run_for_mins(20);
     // Faster monitoring yields at least as many scaling actions.
     assert!(
@@ -135,7 +140,8 @@ fn mixed_controllers_per_layer() {
         .controller(Layer::Analytics, ControllerSpec::rule_based(60.0))
         .controller(Layer::Storage, ControllerSpec::Static)
         .seed(4)
-        .build();
+        .build()
+        .unwrap();
     assert_eq!(manager.controller_spec(Layer::Ingestion).name(), "adaptive");
     assert_eq!(
         manager.controller_spec(Layer::Analytics).name(),
@@ -165,7 +171,8 @@ fn rejections_are_tracked_not_fatal() {
         ))))
         .monitoring_period(SimDuration::from_secs(15))
         .seed(8)
-        .build();
+        .build()
+        .unwrap();
     let report = manager.run_for_mins(120);
     // Long bursty episodes exercise reshard-in-progress and the WCU
     // decrease limit; at least some actuations are expected to bounce.
@@ -194,7 +201,8 @@ fn rcu_loop_manages_read_capacity() {
         })
         .rcu_controller(ControllerSpec::adaptive_for_capacity(70.0), 1.0, 2_000.0)
         .seed(12)
-        .build();
+        .build()
+        .unwrap();
     let report = manager.run_for_mins(60);
 
     // Demand ≈ 150 RCU/s; at the 70% target the loop converges toward
@@ -243,7 +251,8 @@ fn without_read_workload_the_read_path_is_idle() {
     let mut manager = ElasticityManager::builder(clickstream_flow())
         .workload(Workload::constant(500.0))
         .seed(2)
-        .build();
+        .build()
+        .unwrap();
     let report = manager.run_for_mins(3);
     assert_eq!(report.throttled_reads, 0);
     assert_eq!(report.rcu_actions, 0);

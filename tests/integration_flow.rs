@@ -126,7 +126,8 @@ fn quickstart_shape_from_lib_docs() {
     let mut manager = ElasticityManager::builder(flow)
         .workload(Workload::diurnal(800.0, 600.0))
         .seed(7)
-        .build();
+        .build()
+        .unwrap();
     let report = manager.run_for_mins(10);
     assert!(report.total_cost_dollars > 0.0);
     assert_eq!(report.arrival_trace.len(), 600);

@@ -22,7 +22,8 @@ fn end_to_end_paper_workflow() {
         .workload(Workload::diurnal(1_500.0, 1_200.0))
         .all_controllers(ControllerSpec::Static)
         .seed(21)
-        .build();
+        .build()
+        .unwrap();
     probe.run_for_mins(90);
 
     // ---- Phase 1 (§3.1): learn cross-layer dependencies from the logs.
@@ -70,7 +71,8 @@ fn end_to_end_paper_workflow() {
         .bounds(Layer::Analytics, 1.0, plan.vms.max(2.0))
         .bounds(Layer::Storage, 1.0, plan.wcu.max(100.0))
         .seed(21)
-        .build();
+        .build()
+        .unwrap();
     let report = manager.run_for_mins(120);
 
     // Bounds hold throughout.
@@ -124,7 +126,8 @@ fn share_plan_bounds_prevent_budget_blowout_under_overload() {
         .bounds(Layer::Analytics, 1.0, plan.vms.max(2.0))
         .bounds(Layer::Storage, 1.0, plan.wcu.max(100.0))
         .seed(17)
-        .build();
+        .build()
+        .unwrap();
     let report = manager.run_for_mins(60);
     let peak_hourly = report
         .actuators(Layer::Ingestion)
@@ -176,7 +179,8 @@ fn replanner_updates_bounds_during_an_episode() {
         .workload(Workload::diurnal(1_800.0, 1_400.0))
         .replanner(replanner)
         .seed(6)
-        .build();
+        .build()
+        .unwrap();
     let report = manager.run_for_mins(90);
 
     // The replanner fired at 20, 40, 60, 80 minutes.
