@@ -32,6 +32,7 @@ use flower_bench::harness::{measure, Measurement};
 use flower_bench::seed_arg;
 use flower_nsga2::sorting::fast_non_dominated_sort_with;
 use flower_nsga2::{Executor, Individual, Nsga2, Nsga2Config, Problem};
+use flower_obs::Recorder;
 
 /// ZDT1 with an artificially expensive evaluation, standing in for the
 /// cost-model evaluations of a real provisioning-plan search. The inner
@@ -114,6 +115,23 @@ fn run_nsga2(pop: usize, gens: usize, weight: u32, seed: u64, workers: usize) ->
         .len()
 }
 
+/// Like [`run_nsga2`] but with an explicit recorder attached, for the
+/// tracing-overhead comparison. A *cheap* evaluation function keeps the
+/// recorder's branch cost from drowning in evaluation time.
+fn run_nsga2_with_recorder(pop: usize, gens: usize, seed: u64, recorder: &Recorder) -> usize {
+    let cfg = Nsga2Config {
+        population: pop,
+        generations: gens,
+        seed,
+        ..Default::default()
+    };
+    Nsga2::new(HeavyZdt1 { weight: 0 }, cfg)
+        .with_recorder(recorder.clone())
+        .run()
+        .population
+        .len()
+}
+
 fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.3}")
@@ -166,7 +184,28 @@ fn main() {
         m: eval_parallel,
     });
 
-    // 2. Dominance sort: serial triangular pass vs. row-parallel.
+    // 2. Tracing overhead: a disabled recorder (the production default)
+    // vs. an enabled flight recorder capturing every generation. Cheap
+    // evaluations make the recorder's cost visible rather than letting
+    // evaluation time mask it.
+    let disabled = Recorder::disabled();
+    let rec_disabled = measure(samples, || {
+        run_nsga2_with_recorder(pop, gens, seed, &disabled)
+    });
+    results.push(NamedResult {
+        name: "nsga2_run_recorder_disabled",
+        m: rec_disabled,
+    });
+    let enabled = Recorder::with_capacity(4_096);
+    let rec_enabled = measure(samples, || {
+        run_nsga2_with_recorder(pop, gens, seed, &enabled)
+    });
+    results.push(NamedResult {
+        name: "nsga2_run_recorder_enabled",
+        m: rec_enabled,
+    });
+
+    // 3. Dominance sort: serial triangular pass vs. row-parallel.
     let mut sorted_pop: Vec<Individual> = {
         let problem = HeavyZdt1 { weight: 0 };
         point_cloud(sort_n, 30, 0x5eed_0001)
@@ -195,7 +234,7 @@ fn main() {
         m: sort_parallel,
     });
 
-    // 3. Non-dominated filter: sweep vs. the naive scan it replaced.
+    // 4. Non-dominated filter: sweep vs. the naive scan it replaced.
     // `hypervolume` runs the filter internally; benchmark it through a
     // small 3-D hypervolume call vs. naive-filter + the same call.
     let cloud = point_cloud(filter_n, 3, 0x5eed_0002);
@@ -219,6 +258,12 @@ fn main() {
             "nsga2_run_eval_heavy_serial",
             "nsga2_run_eval_heavy_parallel",
             eval_serial.median_ns / eval_parallel.median_ns,
+        ),
+        (
+            "recorder_disabled_overhead",
+            "nsga2_run_recorder_enabled",
+            "nsga2_run_recorder_disabled",
+            rec_enabled.median_ns / rec_disabled.median_ns,
         ),
         (
             "parallel_sort_speedup",

@@ -8,8 +8,10 @@ use flower_core::dependency::DependencyAnalyzer;
 use flower_core::flow::{FlowBuilder, Layer, Platform};
 use flower_core::monitor::CrossPlatformMonitor;
 use flower_core::prelude::*;
+use flower_core::replan::{ReplanConfig, Replanner};
 use flower_core::share::ShareProblem;
 use flower_nsga2::Nsga2Config;
+use flower_obs::{kind, JsonValue, Recorder};
 use flower_sim::{SimDuration, SimTime};
 
 use crate::args::Args;
@@ -34,6 +36,9 @@ COMMANDS:
                                    rule-based|static       [adaptive]
               --period SECS        monitoring period       [30]
               --csv PATH           write the per-tick trace as CSV
+              --trace PATH         record structured events as JSONL
+                                   (flower-trace/v1)
+              --replan MINS        re-run share analysis every MINS min
               --config PATH        load a wizard config file (overrides
                                    the flags above; see flower_core::wizard)
   plan      resource share analysis under a budget (Fig. 4)
@@ -45,6 +50,9 @@ COMMANDS:
   monitor   run briefly and print the all-in-one-place snapshot (Fig. 6)
               --minutes N          run length              [10]
               --seed N             RNG seed                [0]
+  trace     summarize a JSONL trace written by `run --trace`
+              --in PATH            trace file to read      (required)
+              --field NAME         also chart this numeric event field
   help      this text
 "
     .to_owned()
@@ -112,6 +120,9 @@ pub fn run(args: &Args) -> CmdResult {
     let minutes = args.u64_or("minutes", 30)?;
 
     let mut manager = if let Some(path) = args.get("config") {
+        if args.get("trace").is_some() || args.get("replan").is_some() {
+            return Err("--trace/--replan are not supported together with --config".into());
+        }
         let text = std::fs::read_to_string(path)?;
         let config = flower_core::wizard::WizardConfig::from_text(&text)?;
         println!(
@@ -134,6 +145,29 @@ pub fn run(args: &Args) -> CmdResult {
             .seed(seed);
         for (layer, spec) in Layer::ALL.into_iter().zip(specs) {
             builder = builder.controller(layer, spec);
+        }
+        if let Some(mins) = args.get("replan") {
+            let mins: u64 = mins.parse().map_err(|_| format!("bad --replan '{mins}'"))?;
+            builder = builder.replanner(Replanner::for_clickstream(
+                ReplanConfig {
+                    cadence: SimDuration::from_mins(mins),
+                    analysis_window: SimDuration::from_mins(mins),
+                    nsga2: Nsga2Config {
+                        population: 40,
+                        generations: 40,
+                        seed,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                "clicks",
+                "counter",
+                "aggregates",
+                ShareProblem::worked_example(1.0),
+            ));
+        }
+        if args.get("trace").is_some() {
+            builder = builder.recorder(Recorder::with_capacity(65_536));
         }
         println!(
             "running {minutes} min of '{wl_kind}' at ~{rate} rec/s with the {ctl_kind} controller (seed {seed})"
@@ -187,6 +221,85 @@ pub fn run(args: &Args) -> CmdResult {
         let file = std::fs::File::create(path)?;
         flower_core::export::episode_to_csv(&report, std::io::BufWriter::new(file))?;
         println!("trace written to {path}");
+    }
+    if let Some(path) = args.get("trace") {
+        std::fs::write(path, manager.recorder().to_jsonl())?;
+        println!("event trace written to {path}");
+    }
+    Ok(())
+}
+
+/// `flower trace`
+pub fn trace(args: &Args) -> CmdResult {
+    let path = args
+        .get("in")
+        .ok_or("trace needs --in PATH (a file written by `flower run --trace`)")?;
+    let text = std::fs::read_to_string(path)?;
+    let trace = flower_obs::parse_trace(&text)?;
+
+    println!(
+        "{path}: {} events kept of {} emitted ({} dropped, capacity {})",
+        trace.events.len(),
+        trace.emitted,
+        trace.dropped,
+        trace.capacity
+    );
+
+    println!("\nevents by kind:");
+    for (event_kind, count) in trace.counts_by_kind() {
+        println!("  {event_kind:<20} {count:>6}");
+    }
+
+    if let Some(spans) = trace.summary.as_obj().and_then(|o| o.get("spans")) {
+        if let Some(spans) = spans.as_obj().filter(|o| !o.is_empty()) {
+            println!("\nspans:");
+            for (name, stats) in spans {
+                let field = |key: &str| {
+                    stats
+                        .as_obj()
+                        .and_then(|o| o.get(key))
+                        .and_then(JsonValue::as_num)
+                        .unwrap_or(f64::NAN)
+                };
+                println!(
+                    "  {name:<24} count {:>4}  total {:>9.1} ms  max {:>9.1} ms",
+                    field("count"),
+                    field("total_ms"),
+                    field("max_ms")
+                );
+            }
+        }
+    }
+
+    let alarms: Vec<&flower_obs::TraceEvent> = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == kind::ALARM_TRANSITION)
+        .collect();
+    if !alarms.is_empty() {
+        println!("\nalarm timeline:");
+        for e in alarms {
+            println!(
+                "  t={:>6}s  {:<24} {} -> {}",
+                e.t_ms / 1000,
+                e.str("alarm").unwrap_or("?"),
+                e.str("from").unwrap_or("?"),
+                e.str("to").unwrap_or("?")
+            );
+        }
+    }
+
+    if let Some(field) = args.get("field") {
+        let points: Vec<(SimTime, f64)> = trace
+            .events
+            .iter()
+            .filter_map(|e| Some((SimTime::from_millis(e.t_ms), e.f64(field)?)))
+            .collect();
+        if points.is_empty() {
+            return Err(format!("no event carries a numeric field '{field}'").into());
+        }
+        let panel = Panel::new(format!("event field '{field}'"), points);
+        println!("\n{}", Dashboard::new().panel(panel).render(100));
     }
     Ok(())
 }
@@ -278,7 +391,7 @@ mod tests {
     #[test]
     fn usage_mentions_every_command() {
         let text = usage();
-        for cmd in ["run", "plan", "analyze", "monitor", "help"] {
+        for cmd in ["run", "plan", "analyze", "monitor", "trace", "help"] {
             assert!(text.contains(cmd), "usage missing {cmd}");
         }
     }
@@ -327,6 +440,57 @@ mod tests {
         assert!(text.starts_with("t_seconds,"));
         assert_eq!(text.lines().count(), 1 + 120);
         std::fs::remove_file(csv).ok();
+    }
+
+    #[test]
+    fn run_with_trace_writes_parseable_jsonl() {
+        let dir = std::env::temp_dir().join("flower-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("episode.jsonl");
+        let path_str = path.to_str().unwrap().to_owned();
+        run(&args(&[
+            "run",
+            "--minutes",
+            "3",
+            "--workload",
+            "step",
+            "--rate",
+            "4000",
+            "--trace",
+            &path_str,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = flower_obs::parse_trace(&text).unwrap();
+        assert!(!parsed.events.is_empty(), "traced run emitted no events");
+        let counts = parsed.counts_by_kind();
+        assert!(counts.contains_key(kind::CONTROL_DECISION), "{counts:?}");
+        // The summary command consumes what the run command wrote.
+        trace(&args(&["trace", "--in", &path_str])).unwrap();
+        trace(&args(&[
+            "trace",
+            "--in",
+            &path_str,
+            "--field",
+            "measurement",
+        ]))
+        .unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn trace_flag_is_rejected_with_config() {
+        let result = run(&args(&[
+            "run",
+            "--minutes",
+            "1",
+            "--config",
+            "/nonexistent",
+            "--trace",
+            "/tmp/t.jsonl",
+        ]));
+        let err = result.unwrap_err().to_string();
+        assert!(err.contains("not supported"), "{err}");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! flower plan     # resource share analysis (§3.2, Fig. 4)
 //! flower analyze  # workload dependency analysis (§3.1, Fig. 2 / Eq. 2)
 //! flower monitor  # cross-platform monitoring snapshot (§3.4, Fig. 6)
+//! flower trace    # summarize a structured event trace (flower-trace/v1)
 //! ```
 //!
 //! Run `flower help` (or any subcommand with bad options) for usage.
@@ -33,6 +34,7 @@ fn main() {
         Some("plan") => commands::plan(&args),
         Some("analyze") => commands::analyze(&args),
         Some("monitor") => commands::monitor(&args),
+        Some("trace") => commands::trace(&args),
         Some("help") | None => {
             println!("{}", commands::usage());
             Ok(())

@@ -229,6 +229,21 @@ impl AlarmSet {
             .map(Alarm::state)
     }
 
+    /// All alarms in the set, in registration order (the consolidated
+    /// monitor view renders every alarm with its state, not just the
+    /// firing ones).
+    pub fn iter(&self) -> impl Iterator<Item = &Alarm> {
+        self.alarms.iter()
+    }
+
+    /// `(name, state)` for every alarm, in registration order.
+    pub fn states(&self) -> Vec<(&str, AlarmState)> {
+        self.alarms
+            .iter()
+            .map(|a| (a.name.as_str(), a.state()))
+            .collect()
+    }
+
     /// All alarms currently in `ALARM`.
     pub fn firing(&self) -> Vec<&Alarm> {
         self.alarms
@@ -367,6 +382,36 @@ mod tests {
         assert_eq!(set.state("cpu-low"), Some(AlarmState::Alarm));
         assert_eq!(set.history().len(), 4);
         assert_eq!(set.state("absent"), None);
+    }
+
+    #[test]
+    fn iteration_exposes_every_alarm_with_state() {
+        let mut set = AlarmSet::new();
+        set.add(cpu_alarm(1));
+        set.add(Alarm::new(
+            "cpu-low",
+            id(),
+            Statistic::Average,
+            SimDuration::from_secs(60),
+            Comparison::LessThan,
+            30.0,
+            1,
+        ));
+        let names: Vec<&str> = set.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["cpu-high", "cpu-low"]);
+        assert_eq!(
+            set.states(),
+            vec![
+                ("cpu-high", AlarmState::InsufficientData),
+                ("cpu-low", AlarmState::InsufficientData),
+            ]
+        );
+        let store = store_with(&[90.0]);
+        set.evaluate(&store, SimTime::from_secs(60));
+        assert_eq!(
+            set.states(),
+            vec![("cpu-high", AlarmState::Alarm), ("cpu-low", AlarmState::Ok)]
+        );
     }
 
     #[test]

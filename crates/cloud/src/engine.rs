@@ -13,6 +13,7 @@
 //! consumed write capacity downstream, with saturation and backlogs
 //! decoupling the layers under overload.
 
+use flower_obs::{kind, FieldValue, Recorder};
 use flower_sim::{SimDuration, SimTime};
 use flower_workload::ClickRecord;
 
@@ -184,6 +185,8 @@ pub struct CloudEngine {
     /// Fractional read items carried between ticks so the configured
     /// read rate holds exactly in the long run.
     read_carry: f64,
+    /// Structured-event sink (disabled by default; near-free when off).
+    recorder: Recorder,
 }
 
 impl CloudEngine {
@@ -201,7 +204,15 @@ impl CloudEngine {
             billing: BillingMeter::new(),
             last_cost_total: 0.0,
             read_carry: 0.0,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attach a flight recorder; the engine emits [`kind::CLOUD_RESIZE`]
+    /// and [`kind::CLOUD_THROTTLE`] events (plus per-layer gauges and
+    /// counters) through it. Pass [`Recorder::disabled`] to detach.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The ingestion layer.
@@ -236,30 +247,81 @@ impl CloudEngine {
 
     /// Actuator: request a shard-count change.
     pub fn scale_shards(&mut self, target: u32, now: SimTime) -> Result<(), EngineError> {
-        self.kinesis
+        let from = f64::from(self.kinesis.shards());
+        let result = self
+            .kinesis
             .update_shard_count(target, now)
-            .map_err(EngineError::Kinesis)
+            .map_err(EngineError::Kinesis);
+        self.trace_resize("shards", from, f64::from(target), &result, now);
+        result
     }
 
     /// Actuator: request a VM-count change.
     pub fn scale_vms(&mut self, target: u32, now: SimTime) -> Result<(), EngineError> {
-        self.storm
+        let from = f64::from(self.storm.target_vms());
+        let result = self
+            .storm
             .set_vm_target(target, now)
-            .map_err(EngineError::Storm)
+            .map_err(EngineError::Storm);
+        self.trace_resize("vms", from, f64::from(target), &result, now);
+        result
     }
 
     /// Actuator: request a write-capacity change.
     pub fn scale_wcu(&mut self, target: f64, now: SimTime) -> Result<(), EngineError> {
-        self.dynamo
+        let from = self.dynamo.provisioned_wcu();
+        let result = self
+            .dynamo
             .update_write_capacity(target, now)
-            .map_err(EngineError::Dynamo)
+            .map_err(EngineError::Dynamo);
+        self.trace_resize("wcu", from, target, &result, now);
+        result
     }
 
     /// Actuator: request a read-capacity change.
     pub fn scale_rcu(&mut self, target: f64, now: SimTime) -> Result<(), EngineError> {
-        self.dynamo
+        let from = self.dynamo.provisioned_rcu();
+        let result = self
+            .dynamo
             .update_read_capacity(target, now)
-            .map_err(EngineError::Dynamo)
+            .map_err(EngineError::Dynamo);
+        self.trace_resize("rcu", from, target, &result, now);
+        result
+    }
+
+    /// Emit a [`kind::CLOUD_RESIZE`] event for an actuation that changed
+    /// something or was rejected (no-op re-assertions of the current
+    /// size are not trace-worthy).
+    fn trace_resize(
+        &self,
+        resource: &'static str,
+        from: f64,
+        to: f64,
+        result: &Result<(), EngineError>,
+        now: SimTime,
+    ) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let accepted = result.is_ok();
+        if accepted && from.to_bits() == to.to_bits() {
+            return;
+        }
+        self.recorder.set_now(now);
+        let mut fields: Vec<(&'static str, FieldValue)> = vec![
+            ("accepted", accepted.into()),
+            ("from", from.into()),
+            ("resource", resource.into()),
+            ("to", to.into()),
+        ];
+        if let Err(e) = result {
+            fields.push(("error", e.to_string().into()));
+        }
+        self.recorder.emit(kind::CLOUD_RESIZE, &fields);
+        self.recorder.count("cloud.resize_requests", 1);
+        if !accepted {
+            self.recorder.count("cloud.resize_rejections", 1);
+        }
     }
 
     /// Advance the whole flow by one step of `dt`, feeding it the step's
@@ -287,6 +349,7 @@ impl CloudEngine {
         };
 
         self.publish_metrics(now, records.len() as u64, &ingest, &process, &write, &read);
+        self.trace_tick(now, &ingest, &process, &write, &read);
 
         // Billing: integrate held resources over the step.
         let prices = &self.config.prices;
@@ -328,6 +391,48 @@ impl CloudEngine {
             read,
             cost,
         }
+    }
+
+    /// Trace-side view of a tick: one [`kind::CLOUD_THROTTLE`] event per
+    /// layer that throttled/dropped work, plus rolling counters, layer
+    /// gauges, and a CPU histogram. One branch and no allocation when
+    /// the recorder is disabled.
+    fn trace_tick(
+        &self,
+        now: SimTime,
+        ingest: &IngestOutcome,
+        process: &ProcessOutcome,
+        write: &WriteOutcome,
+        read: &ReadOutcome,
+    ) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        self.recorder.set_now(now);
+        let throttles: [(&'static str, u64); 3] = [
+            ("ingestion", ingest.throttled),
+            ("storage", write.throttled),
+            ("storage_read", read.throttled),
+        ];
+        for (layer, count) in throttles {
+            if count > 0 {
+                self.recorder.emit(
+                    kind::CLOUD_THROTTLE,
+                    &[("count", count.into()), ("layer", layer.into())],
+                );
+                self.recorder.count("cloud.throttled_records", count);
+            }
+        }
+        self.recorder.count("cloud.ticks", 1);
+        self.recorder
+            .gauge("cloud.shards", f64::from(self.kinesis.shards()));
+        self.recorder
+            .gauge("cloud.vms", f64::from(self.storm.running_vms()));
+        self.recorder
+            .gauge("cloud.wcu", self.dynamo.provisioned_wcu());
+        self.recorder
+            .gauge("cloud.rcu", self.dynamo.provisioned_rcu());
+        self.recorder.observe("cloud.cpu_pct", process.cpu_pct);
     }
 
     fn publish_metrics(
@@ -592,6 +697,60 @@ mod tests {
         let r1 = run_constant(&mut e1, 800.0, 20, 7);
         let mut e2 = engine();
         let r2 = run_constant(&mut e2, 800.0, 20, 7);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn traced_engine_emits_resize_and_throttle_events() {
+        let rec = Recorder::with_capacity(1 << 12);
+        let mut e = CloudEngine::new(EngineConfig {
+            kinesis: KinesisConfig {
+                initial_shards: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        e.set_recorder(rec.clone());
+        // A real change and a rejected change both trace; a no-op does not.
+        e.scale_shards(4, SimTime::ZERO).unwrap();
+        e.scale_vms(e.storm().target_vms(), SimTime::ZERO).unwrap();
+        assert!(e.scale_wcu(0.0, SimTime::ZERO).is_err());
+        // Overload a tiny deployment so throttling shows up.
+        run_constant(&mut e, 6_000.0, 10, 11);
+        let events = rec.events();
+        let resizes: Vec<_> = events
+            .iter()
+            .filter(|ev| ev.kind == kind::CLOUD_RESIZE)
+            .collect();
+        assert_eq!(resizes.len(), 2, "no-op vm resize must not trace");
+        assert_eq!(resizes[0].str("resource"), Some("shards"));
+        assert_eq!(resizes[0].f64("to"), Some(4.0));
+        assert_eq!(resizes[1].str("resource"), Some("wcu"));
+        assert!(resizes[1].str("error").is_some());
+        assert!(
+            events
+                .iter()
+                .any(|ev| ev.kind == kind::CLOUD_THROTTLE && ev.str("layer") == Some("ingestion")),
+            "overload must emit ingestion throttle events"
+        );
+        assert_eq!(rec.counter("cloud.ticks"), 10);
+        assert!(rec.counter("cloud.throttled_records") > 0);
+        assert_eq!(rec.counter("cloud.resize_rejections"), 1);
+        assert!(rec.gauge_value("cloud.shards").is_some());
+        assert!(rec
+            .histogram("cloud.cpu_pct")
+            .is_some_and(|h| h.count == 10));
+    }
+
+    #[test]
+    fn disabled_recorder_changes_nothing() {
+        // A tick stream with the default (disabled) recorder matches one
+        // with an enabled recorder attached: tracing is observational.
+        let mut plain = engine();
+        let r1 = run_constant(&mut plain, 800.0, 15, 9);
+        let mut traced = engine();
+        traced.set_recorder(Recorder::with_capacity(64));
+        let r2 = run_constant(&mut traced, 800.0, 15, 9);
         assert_eq!(r1, r2);
     }
 }

@@ -95,6 +95,10 @@ pub struct AdaptiveController {
     history_under: VecDeque<f64>,
     last_error_positive: Option<bool>,
     steps: u64,
+    /// Whether the most recent step recalled a remembered gain.
+    warm_started_last: bool,
+    /// Total warm starts taken since construction/reset.
+    warm_starts: u64,
 }
 
 impl AdaptiveController {
@@ -113,6 +117,8 @@ impl AdaptiveController {
             last_error_positive: None,
             config,
             steps: 0,
+            warm_started_last: false,
+            warm_starts: 0,
         }
     }
 
@@ -132,6 +138,12 @@ impl AdaptiveController {
     /// Number of control steps taken.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Number of steps that warm-started the gain from memory (regime
+    /// re-entries where a remembered gain beat the current one).
+    pub fn warm_starts(&self) -> u64 {
+        self.warm_starts
     }
 
     fn remember(&mut self, positive_error: bool, gain: f64) {
@@ -174,10 +186,15 @@ impl Controller for AdaptiveController {
         // (§1); releasing them reuses the cautious freshly-adapted gain,
         // so a remembered aggressive scale-in can never amplify the next
         // disturbance.
+        self.warm_started_last = false;
         if self.config.gain_memory && has_direction {
             if positive && self.last_error_positive != Some(true) {
                 if let Some(remembered) = self.recall(true) {
-                    self.l = self.l.max(remembered);
+                    if remembered > self.l {
+                        self.l = remembered;
+                        self.warm_started_last = true;
+                        self.warm_starts += 1;
+                    }
                 }
             }
             self.last_error_positive = Some(positive);
@@ -226,6 +243,16 @@ impl Controller for AdaptiveController {
         self.history_under.clear();
         self.last_error_positive = None;
         self.steps = 0;
+        self.warm_started_last = false;
+        self.warm_starts = 0;
+    }
+
+    fn current_gain(&self) -> Option<f64> {
+        Some(self.l)
+    }
+
+    fn warm_started(&self) -> bool {
+        self.warm_started_last
     }
 }
 
@@ -339,6 +366,41 @@ mod tests {
             du_with > du_without * 3.0,
             "memory should react much faster: {du_with} vs {du_without}"
         );
+    }
+
+    #[test]
+    fn warm_start_telemetry_is_exposed() {
+        let mut c = controller(true);
+        assert_eq!(c.current_gain(), Some(0.1));
+        assert!(!c.warm_started());
+        // Ramp up, dip out, and re-enter the scale-out regime.
+        for _ in 0..30 {
+            c.step(95.0);
+        }
+        for _ in 0..25 {
+            c.step(30.0);
+        }
+        assert_eq!(c.warm_starts(), 0, "no re-entry yet");
+        c.step(95.0);
+        assert!(c.warm_started(), "re-entry recalls the remembered gain");
+        assert_eq!(c.warm_starts(), 1);
+        // The flag reports only the most recent step.
+        c.step(95.0);
+        assert!(!c.warm_started());
+        assert_eq!(c.warm_starts(), 1);
+        assert_eq!(c.current_gain(), Some(c.gain()));
+        c.reset();
+        assert_eq!(c.warm_starts(), 0);
+    }
+
+    #[test]
+    fn memoryless_controller_never_warm_starts() {
+        let mut c = controller(false);
+        for i in 0..40 {
+            c.step(if i % 3 == 0 { 30.0 } else { 95.0 });
+            assert!(!c.warm_started());
+        }
+        assert_eq!(c.warm_starts(), 0);
     }
 
     #[test]

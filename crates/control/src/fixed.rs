@@ -91,6 +91,10 @@ impl Controller for FixedGainController {
     fn reset(&mut self) {
         self.u = self.config.u_init;
     }
+
+    fn current_gain(&self) -> Option<f64> {
+        Some(self.config.gain)
+    }
 }
 
 #[cfg(test)]

@@ -79,4 +79,18 @@ pub trait Controller {
 
     /// Reset internal state (gain, histories) keeping configuration.
     fn reset(&mut self);
+
+    /// The current integral gain, for controllers that have one. The
+    /// observability layer records this per control round to expose the
+    /// Eq. 7 gain trajectory; gain-free controllers return `None`.
+    fn current_gain(&self) -> Option<f64> {
+        None
+    }
+
+    /// True when the *most recent* [`Controller::step`] warm-started its
+    /// gain from memory (the adaptive controller's gain-memory feature,
+    /// §3.3). Always false for memoryless controllers.
+    fn warm_started(&self) -> bool {
+        false
+    }
 }

@@ -6,9 +6,13 @@
 //! → actuator loops run every monitoring period; everything observable is
 //! recorded into an [`EpisodeReport`] for scoring and plotting.
 
+use std::collections::BTreeMap;
+
+use flower_cloud::alarms::AlarmState;
 use flower_cloud::{CloudEngine, ReadWorkloadConfig};
 use flower_control::Controller;
 use flower_control::ResponseMetrics;
+use flower_obs::{kind, FieldValue, Recorder, SpanId};
 use flower_sim::{SimDuration, SimRng, SimTime};
 use flower_workload::{
     ArrivalProcess, ClickStreamConfig, ClickStreamGenerator, ConstantRate, DiurnalRate, FlashCrowd,
@@ -18,6 +22,7 @@ use flower_workload::{
 use crate::config::ControllerSpec;
 use crate::error::FlowerError;
 use crate::flow::{FlowSpec, Layer, Platform};
+use crate::monitor::CrossPlatformMonitor;
 use crate::provision::{sensors, LayerControllerConfig, ProvisioningManager};
 use crate::replan::{ReplanOutcome, Replanner};
 
@@ -116,6 +121,7 @@ pub struct ElasticityManagerBuilder {
     read_workload: Option<ReadWorkloadConfig>,
     rcu_controller: Option<(ControllerSpec, LayerBounds)>,
     hot_shard_sensor: bool,
+    recorder: Recorder,
 }
 
 impl ElasticityManagerBuilder {
@@ -148,7 +154,18 @@ impl ElasticityManagerBuilder {
             read_workload: None,
             rcu_controller: None,
             hot_shard_sensor: false,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attach an observability recorder (see [`flower_obs`]). The same
+    /// recorder handle is cloned into every subsystem — cloud engine,
+    /// provisioning loops, replanner, NSGA-II — so one trace carries the
+    /// whole control stack's events in emission order. With the default
+    /// disabled recorder the episode runs exactly as without tracing.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Set the workload (required).
@@ -253,13 +270,15 @@ impl ElasticityManagerBuilder {
                 actions: 0,
             })
         });
-        let engine = CloudEngine::new(engine_config);
+        let mut engine = CloudEngine::new(engine_config);
+        engine.set_recorder(self.recorder.clone());
         let rng = SimRng::seed(self.seed);
         let generator = ClickStreamGenerator::new(workload.click.clone(), rng.fork(1));
 
         let stream = self.flow.ingestion.name().to_owned();
         let cluster = self.flow.analytics.name().to_owned();
         let table = self.flow.storage.name().to_owned();
+        let monitor = CrossPlatformMonitor::for_clickstream(&stream, &cluster, &table);
 
         let initial_units = |layer: Layer| match self.flow.platform(layer) {
             Platform::Kinesis { shards, .. } => *shards as f64,
@@ -290,7 +309,12 @@ impl ElasticityManagerBuilder {
                 max_units: b.max,
             });
         }
-        let provisioning = ProvisioningManager::new(loops, self.monitoring_period);
+        let mut provisioning = ProvisioningManager::new(loops, self.monitoring_period);
+        provisioning.set_recorder(self.recorder.clone());
+        let mut replanner = self.replanner;
+        if let Some(r) = replanner.as_mut() {
+            r.set_recorder(self.recorder.clone());
+        }
 
         Ok(ElasticityManager {
             flow: self.flow,
@@ -301,9 +325,12 @@ impl ElasticityManagerBuilder {
             monitoring_period: self.monitoring_period,
             now: SimTime::ZERO,
             controller_specs: self.controllers,
-            replanner: self.replanner,
+            replanner,
             rcu_loop,
             report: EpisodeReport::empty(),
+            recorder: self.recorder,
+            monitor,
+            alarm_spans: BTreeMap::new(),
         })
     }
 }
@@ -427,6 +454,9 @@ pub struct ElasticityManager {
     replanner: Option<Replanner>,
     rcu_loop: Option<RcuLoop>,
     report: EpisodeReport,
+    recorder: Recorder,
+    monitor: CrossPlatformMonitor,
+    alarm_spans: BTreeMap<String, SpanId>,
 }
 
 impl ElasticityManager {
@@ -462,11 +492,25 @@ impl ElasticityManager {
             .map_or(&[], super::replan::Replanner::history)
     }
 
+    /// The attached observability recorder (disabled unless one was
+    /// passed to [`ElasticityManagerBuilder::recorder`]).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// The cross-platform monitor whose alarms the traced episode
+    /// evaluates on the one-minute grid.
+    pub fn monitor(&self) -> &CrossPlatformMonitor {
+        &self.monitor
+    }
+
     /// Run for `duration` (1-second ticks), extending any previous run.
     /// Returns a clone of the cumulative report.
     pub fn run_for(&mut self, duration: SimDuration) -> EpisodeReport {
         let dt = SimDuration::from_secs(1);
         let end = self.now + duration;
+        self.recorder.set_now(self.now);
+        let episode_span = self.recorder.span_enter("episode.run");
         let mut prev_actuators = [
             self.engine.kinesis().shards() as f64,
             self.engine.storm().target_vms() as f64,
@@ -547,6 +591,33 @@ impl ElasticityManager {
                     }
                 }
             }
+            // Traced episodes evaluate the cross-platform alarms on the
+            // one-minute grid (the alarms' own evaluation period) and
+            // record state transitions; an `alarm:<name>` span spans the
+            // sim-time interval each alarm stays in ALARM.
+            if self.recorder.is_enabled() && next.as_millis().is_multiple_of(60_000) {
+                let transitions = self.monitor.observe(self.engine.metrics(), next);
+                self.recorder.set_now(next);
+                for tr in &transitions {
+                    let mut fields: Vec<(&'static str, FieldValue)> = vec![
+                        ("alarm", tr.alarm.as_str().into()),
+                        ("from", tr.from.to_string().into()),
+                        ("to", tr.to.to_string().into()),
+                    ];
+                    if let Some(value) = tr.value {
+                        fields.push(("value", value.into()));
+                    }
+                    self.recorder.emit(kind::ALARM_TRANSITION, &fields);
+                    self.recorder.count("alarm.transitions", 1);
+                    let span_name = format!("alarm:{}", tr.alarm);
+                    if tr.to == AlarmState::Alarm {
+                        let id = self.recorder.span_enter(&span_name);
+                        self.alarm_spans.insert(tr.alarm.clone(), id);
+                    } else if let Some(id) = self.alarm_spans.remove(&tr.alarm) {
+                        self.recorder.span_exit(id);
+                    }
+                }
+            }
             // Re-planning rounds at the (much slower) replanner cadence.
             // A failed round (thin window, infeasible problem) leaves the
             // previous bounds in force.
@@ -572,6 +643,8 @@ impl ElasticityManager {
         if let Some(rcu) = &self.rcu_loop {
             self.report.rcu_actions = rcu.actions;
         }
+        self.recorder.set_now(self.now);
+        self.recorder.span_exit(episode_span);
         self.report.clone()
     }
 

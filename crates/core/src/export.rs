@@ -110,6 +110,69 @@ mod tests {
     }
 
     #[test]
+    fn ragged_traces_round_trip_nan_cells() {
+        let t = |s: u64| flower_sim::SimTime::from_secs(s);
+        // A hand-built report whose traces are shorter than the arrival
+        // trace (a ragged episode): missing cells take the NaN fill and
+        // must survive a CSV round-trip.
+        let report = EpisodeReport {
+            arrival_trace: vec![(t(0), 100.0), (t(1), 110.0), (t(2), 120.0)],
+            measurement_traces: [
+                vec![(t(0), 50.0), (t(1), 55.0)], // one short
+                vec![(t(0), 40.0)],               // two short
+                Vec::new(),                       // empty
+            ],
+            actuator_traces: [
+                vec![(t(0), 2.0), (t(1), 2.0), (t(2), 3.0)],
+                vec![(t(0), 2.0)],
+                Vec::new(),
+            ],
+            read_utilization_trace: Vec::new(),
+            rcu_trace: vec![(t(0), 100.0), (t(1), 100.0)],
+            total_cost_dollars: 0.0,
+            throttled_ingest: 0,
+            throttled_storage: 0,
+            stored_items: 0,
+            dropped_tuples: 0,
+            offered_records: 0,
+            accepted_records: 0,
+            scaling_actions: [0; 3],
+            rejected_actuations: [0; 3],
+            throttled_reads: 0,
+            rcu_actions: 0,
+        };
+        let mut buf = Vec::new();
+        episode_to_csv(&report, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + 3, "header + one row per arrival tick");
+        assert_eq!(
+            lines[0],
+            "t_seconds,arrival_rate,ingest_util_pct,shards,cpu_pct,vms,write_util_pct,wcu,read_util_pct,rcu"
+        );
+        let rows: Vec<Vec<f64>> = lines[1..]
+            .iter()
+            .map(|l| l.split(',').map(|c| c.parse().unwrap()).collect())
+            .collect();
+        for row in &rows {
+            assert_eq!(row.len(), 10, "every row carries every column");
+        }
+        // Present cells survive verbatim...
+        assert_eq!(rows[0][0], 0.0);
+        assert_eq!(rows[2][1], 120.0);
+        assert_eq!(rows[1][2], 55.0);
+        assert_eq!(rows[2][3], 3.0);
+        // ...and cells past a trace's end round-trip as NaN.
+        assert!(rows[2][2].is_nan(), "ingest_util past its trace end");
+        assert!(rows[1][4].is_nan() && rows[2][4].is_nan(), "cpu_pct tail");
+        assert!(rows[1][5].is_nan(), "vms tail");
+        assert!(rows.iter().all(|r| r[6].is_nan()), "empty write_util trace");
+        assert!(rows.iter().all(|r| r[7].is_nan()), "empty wcu trace");
+        assert!(rows.iter().all(|r| r[8].is_nan()), "empty read_util trace");
+        assert!(rows[2][9].is_nan() && !rows[0][9].is_nan(), "rcu tail only");
+    }
+
+    #[test]
     fn summary_csv_contains_all_keys() {
         let report = small_report();
         let mut buf = Vec::new();

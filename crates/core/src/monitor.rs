@@ -11,7 +11,7 @@
 //! renders the result as a text table (the simulated stand-in for the
 //! demo GUI of Fig. 6).
 
-use flower_cloud::alarms::{Alarm, AlarmSet, AlarmState, AlarmTransition, Comparison};
+use flower_cloud::alarms::{Alarm, AlarmSet, AlarmTransition, Comparison};
 use flower_cloud::{MetricId, MetricsStore, Statistic};
 use flower_sim::{SimDuration, SimTime};
 
@@ -59,17 +59,15 @@ impl MonitorSnapshot {
     }
 
     /// Render as an aligned text table — the all-in-one-place view.
-    /// Alarm states, when provided, are appended below the metric rows.
+    /// Every attached alarm is appended below the metric rows with its
+    /// current state (`OK`, `INSUFFICIENT_DATA`, or `ALARM`) — a healthy
+    /// alarm is information too, not just a firing one.
     pub fn to_table_with_alarms(&self, alarms: &AlarmSet) -> String {
         let mut out = self.to_table();
         if !alarms.is_empty() {
             out.push_str("alarms:\n");
-            let firing = alarms.firing();
-            if firing.is_empty() {
-                out.push_str("  (none firing)\n");
-            }
-            for a in firing {
-                out.push_str(&format!("  {} -> {}\n", a.name, AlarmState::Alarm));
+            for (name, state) in alarms.states() {
+                out.push_str(&format!("  {name} -> {state}\n"));
             }
         }
         out
@@ -135,10 +133,20 @@ impl CrossPlatformMonitor {
         self.alarms.evaluate(store, now)
     }
 
-    /// Register a metric under a layer. Duplicates are ignored.
-    pub fn register(&mut self, layer: Layer, metric: MetricId) {
-        if !self.registered.iter().any(|(_, m)| *m == metric) {
-            self.registered.push((layer, metric));
+    /// Register a metric under a layer. Returns `true` when the metric
+    /// is new; re-registering an already-known metric updates its layer
+    /// (last wins — previously a conflicting layer was silently dropped)
+    /// and returns `false`.
+    pub fn register(&mut self, layer: Layer, metric: MetricId) -> bool {
+        match self.registered.iter_mut().find(|(_, m)| *m == metric) {
+            Some(entry) => {
+                entry.0 = layer;
+                false
+            }
+            None => {
+                self.registered.push((layer, metric));
+                true
+            }
         }
     }
 
@@ -368,12 +376,29 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_registration_ignored() {
+    fn duplicate_registration_is_deduplicated() {
         let mut m = CrossPlatformMonitor::new();
         let id = MetricId::new("ns", "m", "r");
-        m.register(Layer::Ingestion, id.clone());
-        m.register(Layer::Ingestion, id);
+        assert!(m.register(Layer::Ingestion, id.clone()));
+        assert!(!m.register(Layer::Ingestion, id));
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_layer_registration_replaces() {
+        // Regression: re-registering a metric under a *different* layer
+        // used to be silently dropped, leaving the metric filed under
+        // the stale layer forever. Last registration must win.
+        let mut m = CrossPlatformMonitor::new();
+        let id = MetricId::new("ns", "m", "r");
+        assert!(m.register(Layer::Ingestion, id.clone()));
+        assert!(!m.register(Layer::Storage, id.clone()));
+        assert_eq!(m.len(), 1, "still one registration");
+        let mut store = MetricsStore::new();
+        store.put(id, SimTime::from_secs(1), 42.0);
+        let snap = m.snapshot(&store, SimTime::from_secs(2), SimDuration::from_secs(10));
+        assert!(snap.layer_rows(Layer::Ingestion).is_empty());
+        assert_eq!(snap.layer_rows(Layer::Storage).len(), 1);
     }
 
     #[test]
@@ -440,9 +465,12 @@ mod tests {
             SimTime::from_secs(120),
             SimDuration::from_mins(2),
         );
-        assert!(snap
-            .to_table_with_alarms(m.alarms())
-            .contains("(none firing)"));
+        // Every attached alarm is listed with its (healthy) state.
+        let table = snap.to_table_with_alarms(m.alarms());
+        assert!(table.contains("ingestion-throttling -> OK"), "{table}");
+        assert!(table.contains("analytics-cpu-high -> OK"), "{table}");
+        assert!(table.contains("storage-throttling -> OK"), "{table}");
+        assert!(!table.contains("-> ALARM"), "{table}");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use flower_cloud::{CloudEngine, MetricId, MetricsStore, Statistic};
 use flower_control::Controller;
+use flower_obs::{kind, Recorder};
 use flower_sim::{SimDuration, SimTime};
 
 use crate::flow::Layer;
@@ -84,6 +85,7 @@ struct LayerLoop {
 pub struct ProvisioningManager {
     loops: Vec<LayerLoop>,
     window: SimDuration,
+    recorder: Recorder,
 }
 
 impl ProvisioningManager {
@@ -110,7 +112,17 @@ impl ProvisioningManager {
                 })
                 .collect(),
             window,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attach an observability recorder: every control round then emits
+    /// one [`kind::CONTROL_DECISION`] event per layer (sensor reading,
+    /// raw command, applied value, acceptance) plus a
+    /// [`kind::CONTROL_GAIN`] event for controllers exposing a gain —
+    /// the Eq. 7 gain trajectory and its gain-memory warm starts.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The monitoring window.
@@ -208,6 +220,37 @@ impl ProvisioningManager {
                 applied: in_force,
                 accepted,
             };
+            if self.recorder.is_enabled() {
+                self.recorder.set_now(now);
+                self.recorder.emit(
+                    kind::CONTROL_DECISION,
+                    &[
+                        ("accepted", accepted.into()),
+                        ("applied", in_force.into()),
+                        ("commanded", commanded.into()),
+                        ("layer", l.config.layer.label().into()),
+                        ("measurement", measurement.into()),
+                    ],
+                );
+                self.recorder.count("control.decisions", 1);
+                if !accepted {
+                    self.recorder.count("control.rejections", 1);
+                }
+                if let Some(gain) = l.config.controller.current_gain() {
+                    let warm = l.config.controller.warm_started();
+                    self.recorder.emit(
+                        kind::CONTROL_GAIN,
+                        &[
+                            ("gain", gain.into()),
+                            ("layer", l.config.layer.label().into()),
+                            ("warm_start", warm.into()),
+                        ],
+                    );
+                    if warm {
+                        self.recorder.count("control.warm_starts", 1);
+                    }
+                }
+            }
             l.history.push(record);
             records.push(record);
         }

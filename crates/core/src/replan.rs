@@ -20,6 +20,7 @@
 
 use flower_cloud::{MetricId, MetricsStore, Statistic};
 use flower_nsga2::Nsga2Config;
+use flower_obs::{kind, Recorder};
 use flower_sim::{SimDuration, SimTime};
 
 use crate::dependency::DependencyAnalyzer;
@@ -91,6 +92,11 @@ pub struct ReplanConfig {
     pub dependency_band: f64,
     /// NSGA-II settings for each re-solve.
     pub nsga2: Nsga2Config,
+    /// Evaluation fan-out worker count for each re-solve; `None` uses
+    /// the environment's (`FLOWER_THREADS`). Fronts are bit-identical
+    /// for every worker count — pinning makes that property testable
+    /// without mutating process-global environment state.
+    pub workers: Option<usize>,
 }
 
 impl Default for ReplanConfig {
@@ -106,6 +112,7 @@ impl Default for ReplanConfig {
                 generations: 60,
                 ..Default::default()
             },
+            workers: None,
         }
     }
 }
@@ -134,6 +141,7 @@ pub struct Replanner {
     resource_metrics: Option<[MetricId; 3]>,
     history: Vec<ReplanOutcome>,
     next_due: SimTime,
+    recorder: Recorder,
 }
 
 impl Replanner {
@@ -185,7 +193,16 @@ impl Replanner {
             resource_metrics: None,
             history: Vec::new(),
             next_due,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attach an observability recorder: each round then emits a
+    /// [`kind::REPLAN_OUTCOME`] event carrying the chosen Pareto point
+    /// (or [`kind::REPLAN_FAILED`] with the error), and the NSGA-II
+    /// re-solve emits its per-generation progress events.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// All completed rounds.
@@ -208,6 +225,39 @@ impl Replanner {
     /// exists (in which case the previous bounds should stay in force —
     /// the caller decides).
     pub fn replan(
+        &mut self,
+        store: &MetricsStore,
+        now: SimTime,
+    ) -> Result<ReplanOutcome, FlowerError> {
+        let result = self.replan_inner(store, now);
+        if self.recorder.is_enabled() {
+            self.recorder.set_now(now);
+            match &result {
+                Ok(outcome) => {
+                    self.recorder.emit(
+                        kind::REPLAN_OUTCOME,
+                        &[
+                            ("dependencies", outcome.dependencies.into()),
+                            ("front_size", outcome.front_size.into()),
+                            ("hourly_cost", outcome.plan.hourly_cost.into()),
+                            ("shards", outcome.plan.shards.into()),
+                            ("vms", outcome.plan.vms.into()),
+                            ("wcu", outcome.plan.wcu.into()),
+                        ],
+                    );
+                }
+                Err(err) => {
+                    self.recorder
+                        .emit(kind::REPLAN_FAILED, &[("error", err.to_string().into())]);
+                    self.recorder.count("replan.failures", 1);
+                }
+            }
+            self.recorder.count("replan.rounds", 1);
+        }
+        result
+    }
+
+    fn replan_inner(
         &mut self,
         store: &MetricsStore,
         now: SimTime,
@@ -250,9 +300,13 @@ impl Replanner {
             }
         }
 
-        let plans = ShareAnalyzer::new(problem)
+        let mut analyzer = ShareAnalyzer::new(problem)
             .with_config(self.config.nsga2)
-            .solve()?;
+            .with_recorder(self.recorder.clone());
+        if let Some(workers) = self.config.workers {
+            analyzer = analyzer.with_workers(workers);
+        }
+        let plans = analyzer.solve()?;
         let plan = self.config.selection.pick(&plans).clone();
         let outcome = ReplanOutcome {
             at: now,

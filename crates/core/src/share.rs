@@ -19,6 +19,7 @@
 
 use flower_cloud::PriceList;
 use flower_nsga2::{Nsga2, Nsga2Config, Problem};
+use flower_obs::Recorder;
 
 use crate::error::FlowerError;
 use crate::flow::Layer;
@@ -236,6 +237,8 @@ impl Problem for ShareProblem {
 pub struct ShareAnalyzer {
     problem: ShareProblem,
     config: Nsga2Config,
+    workers: Option<usize>,
+    recorder: Recorder,
 }
 
 impl ShareAnalyzer {
@@ -244,12 +247,29 @@ impl ShareAnalyzer {
         ShareAnalyzer {
             problem,
             config: Nsga2Config::default(),
+            workers: None,
+            recorder: Recorder::disabled(),
         }
     }
 
     /// Override the NSGA-II settings.
     pub fn with_config(mut self, config: Nsga2Config) -> ShareAnalyzer {
         self.config = config;
+        self
+    }
+
+    /// Pin the optimizer's evaluation fan-out to a fixed worker count
+    /// instead of the environment's (`FLOWER_THREADS`). Results are
+    /// bit-identical either way; pinning makes that property testable.
+    pub fn with_workers(mut self, workers: usize) -> ShareAnalyzer {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Attach an observability recorder; NSGA-II then emits one
+    /// progress event per generation (front size + hypervolume).
+    pub fn with_recorder(mut self, recorder: Recorder) -> ShareAnalyzer {
+        self.recorder = recorder;
         self
     }
 
@@ -263,7 +283,12 @@ impl ShareAnalyzer {
     /// "maximum shares" first). Errors with
     /// [`FlowerError::NoFeasiblePlan`] when nothing feasible was found.
     pub fn solve(&self) -> Result<Vec<ResourceShares>, FlowerError> {
-        let result = Nsga2::new(self.problem.clone(), self.config).run();
+        let mut optimizer =
+            Nsga2::new(self.problem.clone(), self.config).with_recorder(self.recorder.clone());
+        if let Some(workers) = self.workers {
+            optimizer = optimizer.with_workers(workers);
+        }
+        let result = optimizer.run();
         let mut seen: Vec<(u32, u32, u32)> = Vec::new();
         let mut plans = Vec::new();
         for ind in result.pareto_front() {

@@ -16,9 +16,11 @@
 //! * **Buffer reuse** — the combined pool and the survivor list are
 //!   allocated once and recycled across generations.
 
+use flower_obs::{kind, FieldValue, Recorder};
 use flower_par::Executor;
 use flower_sim::SimRng;
 
+use crate::hypervolume::hypervolume;
 use crate::individual::Individual;
 use crate::operators::{binary_tournament, polynomial_mutation, random_genes, sbx_crossover};
 use crate::problem::Problem;
@@ -105,6 +107,7 @@ pub struct Nsga2<P: Problem> {
     problem: P,
     config: Nsga2Config,
     executor: Executor,
+    recorder: Recorder,
 }
 
 impl<P: Problem> Nsga2<P> {
@@ -122,12 +125,24 @@ impl<P: Problem> Nsga2<P> {
             problem,
             config,
             executor: Executor::from_env(),
+            recorder: Recorder::disabled(),
         }
     }
 
     /// Override the executor driving evaluation and sorting fan-out.
     pub fn with_executor(mut self, executor: Executor) -> Self {
         self.executor = executor;
+        self
+    }
+
+    /// Attach an observability recorder. Each generation then emits an
+    /// [`flower_obs::kind::NSGA2_GENERATION`] event carrying the first
+    /// front's size and (for 2- and 3-objective problems) its exact
+    /// hypervolume against a reference point fixed from the initial
+    /// population. Emission happens in the sequential section of the
+    /// loop, so traces stay byte-identical across worker counts.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -148,6 +163,64 @@ impl<P: Problem> Nsga2<P> {
         let problem = &self.problem;
         self.executor
             .par_map_owned(genes, |_, g| Individual::evaluated(problem, g))
+    }
+
+    /// Hypervolume reference point for progress tracing: the
+    /// componentwise maximum over the initial population's objectives,
+    /// pushed out by a margin so boundary points still dominate volume.
+    /// `None` when tracing is off, the problem is not 2-/3-objective, or
+    /// the initial objectives are not finite.
+    fn trace_reference(&self, pop: &[Individual]) -> Option<Vec<f64>> {
+        if !self.recorder.is_enabled() {
+            return None;
+        }
+        let m = self.problem.n_objectives();
+        if !(2..=3).contains(&m) {
+            return None;
+        }
+        let mut lo = vec![f64::INFINITY; m];
+        let mut hi = vec![f64::NEG_INFINITY; m];
+        for ind in pop {
+            for (j, &o) in ind.objectives.iter().enumerate() {
+                if o.is_finite() {
+                    lo[j] = lo[j].min(o);
+                    hi[j] = hi[j].max(o);
+                }
+            }
+        }
+        if hi.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        Some(
+            lo.iter()
+                .zip(&hi)
+                .map(|(&l, &h)| h + 0.1 * (h - l).max(1.0))
+                .collect(),
+        )
+    }
+
+    /// Emit one [`kind::NSGA2_GENERATION`] progress event for the
+    /// population as it stands after survival selection.
+    fn trace_generation(&self, generation: usize, pop: &[Individual], reference: Option<&[f64]>) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let front: Vec<Vec<f64>> = pop
+            .iter()
+            .filter(|i| i.rank == 0)
+            .map(|i| i.objectives.clone())
+            .collect();
+        let mut fields: Vec<(&'static str, FieldValue)> = vec![
+            ("front_size", FieldValue::from(front.len())),
+            ("generation", FieldValue::from(generation as u64)),
+        ];
+        if let Some(reference) = reference {
+            let hv = hypervolume(&front, reference);
+            fields.push(("hypervolume", FieldValue::from(hv)));
+            self.recorder.gauge("nsga2.hypervolume", hv);
+        }
+        self.recorder.emit(kind::NSGA2_GENERATION, &fields);
+        self.recorder.count("nsga2.generations", 1);
     }
 
     /// Run the full generational loop.
@@ -171,6 +244,8 @@ impl<P: Problem> Nsga2<P> {
         for front in &fronts {
             crowding_distance(&mut pop, front);
         }
+        let reference = self.trace_reference(&pop);
+        self.trace_generation(0, &pop, reference.as_deref());
 
         // Buffers reused across generations: the combined (μ+λ) pool,
         // the offspring gene batch, and the survivor index list.
@@ -178,7 +253,7 @@ impl<P: Problem> Nsga2<P> {
         let mut offspring_genes: Vec<Vec<f64>> = Vec::with_capacity(n);
         let mut selected: Vec<usize> = Vec::with_capacity(n);
 
-        for _gen in 0..self.config.generations {
+        for generation in 0..self.config.generations {
             // Variation: sequential (RNG draw order is the determinism
             // anchor); evaluation of the finished gene batch: parallel.
             offspring_genes.clear();
@@ -243,6 +318,7 @@ impl<P: Problem> Nsga2<P> {
             for &i in &selected {
                 pop.push(take_individual(&mut combined, i));
             }
+            self.trace_generation(generation + 1, &pop, reference.as_deref());
         }
 
         // Final bookkeeping sort so callers see coherent ranks.
@@ -457,6 +533,44 @@ mod tests {
             "coarse front too large: {}",
             coarse.len()
         );
+    }
+
+    #[test]
+    fn traced_run_reports_progress_without_perturbing_the_search() {
+        let cfg = Nsga2Config {
+            population: 32,
+            generations: 30,
+            seed: 11,
+            ..Default::default()
+        };
+        let plain = Nsga2::new(Sch, cfg).run();
+        let recorder = Recorder::with_capacity(256);
+        let traced = Nsga2::new(Sch, cfg).with_recorder(recorder.clone()).run();
+
+        // The recorder observes; it must not change the search.
+        let g1: Vec<f64> = plain.population.iter().map(|i| i.genes[0]).collect();
+        let g2: Vec<f64> = traced.population.iter().map(|i| i.genes[0]).collect();
+        assert_eq!(g1, g2);
+
+        // One event per generation plus one for the initial population.
+        let events: Vec<_> = recorder
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == kind::NSGA2_GENERATION)
+            .collect();
+        assert_eq!(events.len(), 31);
+        assert_eq!(recorder.counter("nsga2.generations"), 31);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.f64("generation"), Some(i as f64));
+            let front_size = e.f64("front_size").unwrap();
+            assert!((1.0..=32.0).contains(&front_size));
+            assert!(e.f64("hypervolume").unwrap() >= 0.0, "SCH is 2-objective");
+        }
+        // Elitism: the converged front dominates far more volume than the
+        // random initial front.
+        let first = events.first().unwrap().f64("hypervolume").unwrap();
+        let last = events.last().unwrap().f64("hypervolume").unwrap();
+        assert!(last > first, "hv {first} → {last}");
     }
 
     #[test]

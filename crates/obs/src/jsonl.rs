@@ -1,0 +1,242 @@
+//! The versioned `flower-trace/v1` JSONL export.
+//!
+//! Layout (one JSON object per line, `\n`-terminated):
+//!
+//! 1. **Header** — `{"schema":"flower-trace/v1","capacity":…,
+//!    "events":…,"emitted":…,"dropped":…}`.
+//! 2. **Events** — one line per buffered event, oldest first:
+//!    `{"seq":…,"t_ms":…,"kind":"…","fields":{…}}` with fields in key
+//!    order.
+//! 3. **Summary** — a final `{"summary":{…}}` line folding in the
+//!    counters, gauges, histograms, and closed-span aggregates.
+//!
+//! Determinism: all maps are `BTreeMap`s, floats are rendered with
+//! Rust's shortest-round-trip `Display` (bit-identical for bit-identical
+//! inputs), and non-finite floats become `null` — so the same recorder
+//! state always serializes to the same bytes. `cargo xtask trace`
+//! validates documents against this schema with the same hand-rolled
+//! JSON machinery that validates `BENCH_nsga2.json`.
+
+use std::fmt::Write as _;
+
+use crate::event::FieldValue;
+use crate::recorder::Flight;
+
+/// The schema identifier stamped into every export.
+pub const SCHEMA: &str = "flower-trace/v1";
+
+pub(crate) fn write_jsonl(flight: &Flight) -> String {
+    let mut out = String::new();
+    // Header.
+    let _ = writeln!(
+        out,
+        "{{\"schema\":{},\"capacity\":{},\"events\":{},\"emitted\":{},\"dropped\":{}}}",
+        json_str(SCHEMA),
+        flight.capacity,
+        flight.events.len(),
+        flight.next_seq,
+        flight.dropped,
+    );
+    // Events, oldest first.
+    for event in &flight.events {
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"t_ms\":{},\"kind\":{},\"fields\":{{",
+            event.seq,
+            event.at.as_millis(),
+            json_str(event.kind),
+        );
+        for (i, (key, value)) in event.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_str(key), json_value(value));
+        }
+        out.push_str("}}\n");
+    }
+    // Summary.
+    out.push_str("{\"summary\":{\"counters\":{");
+    for (i, (name, value)) in flight.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{value}", json_str(name));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, value)) in flight.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_str(name), json_f64(*value));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in flight.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+            json_str(name),
+            h.count,
+            json_f64(h.sum),
+            json_f64(h.min),
+            json_f64(h.max),
+        );
+        for (j, bucket) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{bucket}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("},\"spans\":{");
+    for (i, (name, stats)) in flight.span_stats.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{}:{{\"count\":{},\"total_ms\":{},\"max_ms\":{}}}",
+            json_str(name),
+            stats.count,
+            stats.total.as_millis(),
+            stats.max.as_millis(),
+        );
+    }
+    out.push_str("}}}\n");
+    out
+}
+
+/// Render a field value as a JSON scalar.
+fn json_value(value: &FieldValue) -> String {
+    match value {
+        FieldValue::Bool(b) => b.to_string(),
+        FieldValue::U64(v) => v.to_string(),
+        FieldValue::I64(v) => v.to_string(),
+        FieldValue::F64(v) => json_f64(*v),
+        FieldValue::Str(s) => json_str(s),
+    }
+}
+
+/// Floats render with Rust's shortest-round-trip `Display`; JSON has no
+/// non-finite literals, so NaN/±inf map to `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 2);
+    out.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use flower_sim::SimTime;
+
+    #[test]
+    fn empty_recorder_exports_header_and_summary() {
+        let rec = Recorder::with_capacity(4);
+        let doc = rec.to_jsonl();
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"schema\":\"flower-trace/v1\""));
+        assert!(lines[1].starts_with("{\"summary\":"));
+        assert!(doc.ends_with('\n'));
+    }
+
+    #[test]
+    fn events_render_with_ordered_fields() {
+        let rec = Recorder::with_capacity(4);
+        rec.set_now(SimTime::from_secs(30));
+        rec.emit(
+            "control.decision",
+            &[
+                ("layer", "ingestion".into()),
+                ("applied", 3u64.into()),
+                ("accepted", true.into()),
+                ("measurement", 71.5.into()),
+            ],
+        );
+        let doc = rec.to_jsonl();
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // BTreeMap field order: accepted, applied, layer, measurement.
+        assert_eq!(
+            lines[1],
+            "{\"seq\":0,\"t_ms\":30000,\"kind\":\"control.decision\",\"fields\":\
+             {\"accepted\":true,\"applied\":3,\"layer\":\"ingestion\",\"measurement\":71.5}}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(1.25), "1.25");
+        assert_eq!(json_f64(2.0), "2");
+    }
+
+    #[test]
+    fn string_escaping_round_trips_specials() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn summary_folds_in_counters_spans_histograms() {
+        let rec = Recorder::with_capacity(4);
+        rec.count("ticks", 7);
+        rec.gauge("shards", 4.0);
+        rec.observe("util", 50.0);
+        rec.set_now(SimTime::from_secs(1));
+        let s = rec.span_enter("round");
+        rec.set_now(SimTime::from_secs(3));
+        rec.span_exit(s);
+        let doc = rec.to_jsonl();
+        let last = doc.lines().last().unwrap_or_default();
+        assert!(last.contains("\"counters\":{\"ticks\":7}"), "{last}");
+        assert!(last.contains("\"gauges\":{\"shards\":4}"), "{last}");
+        assert!(last.contains("\"util\":{\"count\":1"), "{last}");
+        assert!(
+            last.contains("\"round\":{\"count\":1,\"total_ms\":2000,\"max_ms\":2000}"),
+            "{last}"
+        );
+    }
+
+    #[test]
+    fn export_is_reproducible() {
+        let build = || {
+            let rec = Recorder::with_capacity(8);
+            rec.set_now(SimTime::from_secs(2));
+            rec.emit("a", &[("x", 0.1.into()), ("y", (-3i64).into())]);
+            rec.count("n", 1);
+            rec.to_jsonl()
+        };
+        assert_eq!(build(), build());
+    }
+}

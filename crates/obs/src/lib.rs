@@ -1,0 +1,49 @@
+// Unit tests may unwrap/expect and compare floats exactly — the
+// panic-freedom and NaN-safety floor applies to library code only.
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)
+)]
+//! # flower-obs
+//!
+//! Deterministic structured tracing for the Flower control stack: the
+//! system's answer to "*why* did it act?". The monitor
+//! (`flower-core::monitor`) shows the current state all in one place;
+//! this crate records the *decisions* — controller gain updates,
+//! actuations, throttling, alarm transitions, replanner outcomes,
+//! NSGA-II convergence — as a totally-ordered event stream that
+//! survives the episode.
+//!
+//! Three properties drive the design:
+//!
+//! * **Determinism.** Timestamps come from [`flower_sim::SimTime`] only
+//!   (wall clocks are banned by the `nondet-time` lint), collections
+//!   are `BTreeMap`-ordered, and sequence numbers are assigned at emit
+//!   time on the single control thread — so the same seed produces a
+//!   **byte-identical** JSONL trace at any `FLOWER_THREADS` worker
+//!   count.
+//! * **Bounded memory.** The [`Recorder`] is a ring-buffer flight
+//!   recorder: the last *N* events survive arbitrarily long episodes;
+//!   counters, gauges, histograms, and span aggregates summarize the
+//!   rest.
+//! * **Near-free when off.** A disabled recorder costs one branch per
+//!   call and never allocates, so instrumentation stays compiled into
+//!   hot paths (`bench_nsga2` proves the overhead is in the noise).
+//!
+//! The export format is the versioned JSONL schema `flower-trace/v1`
+//! ([`jsonl::SCHEMA`]): a header line, one line per event, and a final
+//! summary line. `cargo xtask trace <file>` validates documents against
+//! the schema; [`reader`] parses them back for the `flower trace`
+//! subcommand.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod event;
+pub mod jsonl;
+pub mod reader;
+pub mod recorder;
+
+pub use event::{kind, Event, FieldValue};
+pub use reader::{parse_trace, JsonValue, Trace, TraceEvent};
+pub use recorder::{Histogram, Recorder, SpanId, SpanStats};

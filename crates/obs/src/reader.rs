@@ -1,0 +1,481 @@
+//! Reading `flower-trace/v1` JSONL documents back.
+//!
+//! The CLI's `flower trace` subcommand and the integration tests
+//! consume traces through this module. The parser is the same
+//! hand-rolled, dependency-free recursive-descent shape as the
+//! workspace's bench-JSON validator (`crates/xtask/src/benchjson.rs`):
+//! strict enough for schema checking, with byte-offset error messages.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. Objects use [`BTreeMap`] so that re-serialized
+/// or iterated output is deterministically key-ordered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also produced for non-finite floats by the writer).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object.
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// The value as an object, when it is one.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, when numeric.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, when a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+/// One event line read back from a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Emit-order sequence number.
+    pub seq: u64,
+    /// Virtual timestamp in milliseconds.
+    pub t_ms: u64,
+    /// Dot-namespaced kind.
+    pub kind: String,
+    /// Payload fields.
+    pub fields: BTreeMap<String, JsonValue>,
+}
+
+impl TraceEvent {
+    /// The field `name` as a float, when present and numeric.
+    pub fn f64(&self, name: &str) -> Option<f64> {
+        self.fields.get(name).and_then(JsonValue::as_num)
+    }
+
+    /// The field `name` as a string slice, when present and a string.
+    pub fn str(&self, name: &str) -> Option<&str> {
+        self.fields.get(name).and_then(JsonValue::as_str)
+    }
+}
+
+/// A fully parsed `flower-trace/v1` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Ring-buffer capacity of the producing recorder.
+    pub capacity: u64,
+    /// Total events emitted over the recorder's lifetime.
+    pub emitted: u64,
+    /// Events evicted before export.
+    pub dropped: u64,
+    /// The buffered events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// The summary object from the final line.
+    pub summary: JsonValue,
+}
+
+impl Trace {
+    /// Event count per kind, kind-ordered.
+    pub fn counts_by_kind(&self) -> BTreeMap<&str, usize> {
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for event in &self.events {
+            *counts.entry(event.kind.as_str()).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+/// Parse a complete `flower-trace/v1` JSONL document.
+pub fn parse_trace(text: &str) -> Result<Trace, String> {
+    let mut lines = text.lines().enumerate();
+    let Some((_, header_line)) = lines.next() else {
+        return Err("empty document: missing header line".to_owned());
+    };
+    let header = parse_json(header_line).map_err(|e| format!("line 1 (header): {e}"))?;
+    let header = header
+        .as_obj()
+        .ok_or_else(|| "line 1 (header): not an object".to_owned())?;
+    let schema = header
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "header: missing string `schema`".to_owned())?;
+    if schema != crate::jsonl::SCHEMA {
+        return Err(format!(
+            "header: schema is `{schema}`, expected `{}`",
+            crate::jsonl::SCHEMA
+        ));
+    }
+    let header_u64 = |key: &str| -> Result<u64, String> {
+        header
+            .get(key)
+            .and_then(JsonValue::as_num)
+            .map(|n| n as u64)
+            .ok_or_else(|| format!("header: missing numeric `{key}`"))
+    };
+    let capacity = header_u64("capacity")?;
+    let emitted = header_u64("emitted")?;
+    let dropped = header_u64("dropped")?;
+    let declared_events = header_u64("events")?;
+
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let mut summary = None;
+    for (i, line) in lines {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = parse_json(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let obj = value
+            .as_obj()
+            .ok_or_else(|| format!("line {lineno}: not an object"))?;
+        if let Some(summary_value) = obj.get("summary") {
+            if summary.is_some() {
+                return Err(format!("line {lineno}: duplicate summary line"));
+            }
+            summary = Some(summary_value.clone());
+            continue;
+        }
+        if summary.is_some() {
+            return Err(format!("line {lineno}: event after the summary line"));
+        }
+        let num = |key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(JsonValue::as_num)
+                .map(|n| n as u64)
+                .ok_or_else(|| format!("line {lineno}: missing numeric `{key}`"))
+        };
+        let event = TraceEvent {
+            seq: num("seq")?,
+            t_ms: num("t_ms")?,
+            kind: obj
+                .get("kind")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("line {lineno}: missing string `kind`"))?
+                .to_owned(),
+            fields: obj
+                .get("fields")
+                .and_then(JsonValue::as_obj)
+                .ok_or_else(|| format!("line {lineno}: missing object `fields`"))?
+                .clone(),
+        };
+        if event.kind.is_empty() {
+            return Err(format!("line {lineno}: empty event kind"));
+        }
+        if let Some(prev) = events.last() {
+            if event.seq <= prev.seq {
+                return Err(format!(
+                    "line {lineno}: seq {} not strictly increasing (previous {})",
+                    event.seq, prev.seq
+                ));
+            }
+            if event.t_ms < prev.t_ms {
+                return Err(format!(
+                    "line {lineno}: t_ms {} goes backwards (previous {})",
+                    event.t_ms, prev.t_ms
+                ));
+            }
+        }
+        events.push(event);
+    }
+    let summary = summary.ok_or_else(|| "missing final summary line".to_owned())?;
+    if events.len() as u64 != declared_events {
+        return Err(format!(
+            "header declares {declared_events} events, document has {}",
+            events.len()
+        ));
+    }
+    Ok(Trace {
+        capacity,
+        emitted,
+        dropped,
+        events,
+        summary,
+    })
+}
+
+/// Parse a single JSON document from `text`.
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at offset {}",
+                byte as char, self.pos
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at offset {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at offset {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(map));
+                }
+                _ => return Err(format!("expected `,` or `}}` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let start = self.pos + 1;
+                            let end = start + 4;
+                            let hex = self
+                                .bytes
+                                .get(start..end)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| format!("bad \\u escape at offset {}", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at offset {}", self.pos))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input came from &str,
+                    // so boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| format!("invalid UTF-8 at offset {}", self.pos))?;
+                    if let Some(c) = s.chars().next() {
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number at offset {start}"))?;
+        raw.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| format!("invalid number `{raw}` at offset {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use flower_sim::SimTime;
+
+    #[test]
+    fn scalars_parse() {
+        assert_eq!(parse_json("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse_json("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse_json("-2.5e1").unwrap(), JsonValue::Num(-25.0));
+        assert_eq!(
+            parse_json("\"a\\nb\"").unwrap(),
+            JsonValue::Str("a\nb".to_owned())
+        );
+    }
+
+    #[test]
+    fn structures_parse() {
+        let v = parse_json("{\"a\":[1,2,{\"b\":false}],\"c\":\"x\"}").unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(obj.len(), 2);
+        match obj.get("a") {
+            Some(JsonValue::Arr(items)) => assert_eq!(items.len(), 3),
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("[1,2").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_json("\"open").is_err());
+    }
+
+    #[test]
+    fn written_traces_round_trip() {
+        let rec = Recorder::with_capacity(8);
+        rec.set_now(SimTime::from_secs(30));
+        rec.emit(
+            "control.decision",
+            &[("layer", "ingestion".into()), ("applied", 3u64.into())],
+        );
+        rec.set_now(SimTime::from_secs(60));
+        rec.emit("cloud.throttle", &[("count", 12u64.into())]);
+        rec.count("ticks", 2);
+        let trace = parse_trace(&rec.to_jsonl()).unwrap();
+        assert_eq!(trace.capacity, 8);
+        assert_eq!(trace.emitted, 2);
+        assert_eq!(trace.dropped, 0);
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.events[0].kind, "control.decision");
+        assert_eq!(trace.events[0].t_ms, 30_000);
+        assert_eq!(trace.events[0].str("layer"), Some("ingestion"));
+        assert_eq!(trace.events[1].f64("count"), Some(12.0));
+        let counts = trace.counts_by_kind();
+        assert_eq!(counts.get("cloud.throttle"), Some(&1));
+        assert!(trace.summary.as_obj().is_some());
+    }
+
+    #[test]
+    fn schema_and_shape_violations_are_rejected() {
+        assert!(parse_trace("").is_err());
+        assert!(parse_trace("{\"schema\":\"flower-bench/nsga2/v1\"}\n").is_err());
+        // Valid header but no summary line.
+        let header =
+            "{\"schema\":\"flower-trace/v1\",\"capacity\":4,\"events\":0,\"emitted\":0,\"dropped\":0}";
+        assert!(parse_trace(header).is_err());
+        // Event count mismatch.
+        let doc = format!("{header}\n{{\"summary\":{{}}}}\n");
+        assert!(parse_trace(&doc).is_ok());
+        let bad = doc.replace("\"events\":0", "\"events\":3");
+        assert!(parse_trace(&bad).is_err());
+        // Non-monotonic seq.
+        let two_events = concat!(
+            "{\"schema\":\"flower-trace/v1\",\"capacity\":4,\"events\":2,\"emitted\":2,\"dropped\":0}\n",
+            "{\"seq\":1,\"t_ms\":0,\"kind\":\"a\",\"fields\":{}}\n",
+            "{\"seq\":1,\"t_ms\":0,\"kind\":\"a\",\"fields\":{}}\n",
+            "{\"summary\":{}}\n"
+        );
+        assert!(parse_trace(two_events).is_err());
+    }
+}

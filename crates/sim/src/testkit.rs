@@ -36,6 +36,7 @@ struct CaseGuard(u64);
 impl Drop for CaseGuard {
     fn drop(&mut self) {
         if std::thread::panicking() {
+            // lint:allow(print-in-lib): test-harness drop guard; only fires mid-panic to aid reproduction
             eprintln!(
                 "property failed at deterministic case {} (reproduce with testkit::case_rng({}))",
                 self.0, self.0

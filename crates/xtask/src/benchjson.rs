@@ -26,7 +26,7 @@ pub enum Value {
 }
 
 impl Value {
-    fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+    pub(crate) fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
         match self {
             Value::Obj(m) => Some(m),
             _ => None,
@@ -38,13 +38,13 @@ impl Value {
             _ => None,
         }
     }
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
             _ => None,
         }
     }
-    fn as_num(&self) -> Option<f64> {
+    pub(crate) fn as_num(&self) -> Option<f64> {
         match self {
             Value::Num(n) => Some(*n),
             _ => None,

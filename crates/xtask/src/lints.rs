@@ -63,6 +63,11 @@ pub const RULES: &[(&str, &str)] = &[
          short; use .first()/.get(..) or destructuring",
     ),
     (
+        "print-in-lib",
+        "println!/eprintln!/print!/eprint! in a library crate: libraries report through \
+         return values or the structured recorder (flower-obs), never stdout/stderr",
+    ),
+    (
         "allow-invalid",
         "malformed lint:allow directive: unknown rule name or missing justification",
     ),
@@ -431,6 +436,15 @@ fn scan_tokens(file: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Violat
                         }
                     }
                 }
+                // --- observability: ad-hoc console output ---
+                "println" | "eprintln" | "print" | "eprint" if text(i + 1) == "!" => {
+                    emit(
+                        out,
+                        "print-in-lib",
+                        t.line,
+                        format!("`{}!` writes to the console from library code", t.text),
+                    );
+                }
                 // --- panic freedom: macros ---
                 "panic" | "todo" | "unimplemented" if text(i + 1) == "!" => {
                     emit(
@@ -574,6 +588,32 @@ mod tests {
         assert!(hits.contains(&"panic-expect"));
         assert!(hits.iter().filter(|r| **r == "panic-macro").count() == 2);
         assert!(hits.contains(&"index-literal"));
+    }
+
+    #[test]
+    fn catches_console_prints_in_library_code() {
+        let src = r#"
+            fn f(x: u64) {
+                println!("x = {x}");
+                eprintln!("warning");
+                print!("partial");
+                eprint!("partial err");
+            }
+        "#;
+        assert_eq!(
+            rules_hit(src),
+            vec![
+                "print-in-lib",
+                "print-in-lib",
+                "print-in-lib",
+                "print-in-lib"
+            ]
+        );
+        // Test code and exempt crates keep their prints.
+        let test_src = "#[cfg(test)]\nmod tests { fn t() { println!(\"dbg\"); } }";
+        assert!(rules_hit(test_src).is_empty());
+        let report = analyze("cli.rs", "cli", "fn f() { println!(\"hi\"); }");
+        assert!(report.violations.is_empty());
     }
 
     #[test]

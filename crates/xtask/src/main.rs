@@ -14,6 +14,8 @@
 //!   count.
 //! * `bench` — runs the `bench_nsga2` performance baseline and validates
 //!   the emitted `BENCH_nsga2.json` against the expected schema.
+//! * `trace` — validates a `flower-trace/v1` JSONL document (written by
+//!   `flower run --trace`) against its schema.
 //!
 //! ```text
 //! cargo xtask lint            # human-readable diagnostics
@@ -21,6 +23,7 @@
 //! cargo xtask lint --rules    # list the enforced invariant classes
 //! cargo xtask bench           # full baseline -> BENCH_nsga2.json
 //! cargo xtask bench --smoke   # seconds-scale run -> target/BENCH_nsga2.json
+//! cargo xtask trace <path>    # schema-validate a recorded episode trace
 //! ```
 //!
 //! Exit codes: 0 = clean, 1 = violations found, 2 = usage/IO error.
@@ -28,6 +31,7 @@
 mod benchjson;
 mod lexer;
 mod lints;
+mod tracejson;
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -90,6 +94,17 @@ fn main() -> ExitCode {
             }
             run_bench(smoke, out.as_deref())
         }
+        Some("trace") => {
+            let Some(path) = it.next() else {
+                eprintln!("trace requires a path to a JSONL document");
+                return usage();
+            };
+            if let Some(other) = it.next() {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+            run_trace(path)
+        }
         _ => usage(),
     }
 }
@@ -97,7 +112,30 @@ fn main() -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!("usage: cargo xtask lint [--json] [--rules] [--root <path>]");
     eprintln!("       cargo xtask bench [--smoke] [--out <path>]");
+    eprintln!("       cargo xtask trace <path>");
     ExitCode::from(2)
+}
+
+/// Validate a `flower-trace/v1` JSONL document written by
+/// `flower run --trace`.
+fn run_trace(path: &str) -> ExitCode {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match tracejson::validate_trace_jsonl(&text) {
+        Ok(summary) => {
+            println!("xtask trace: {path} is schema-valid ({summary})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask trace: {path} failed validation: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Run the `bench_nsga2` baseline via cargo and validate the JSON it

@@ -1,0 +1,211 @@
+//! Schema validation for `flower-trace/v1` JSONL documents.
+//!
+//! Reuses the hand-rolled JSON parser from [`crate::benchjson`] — one
+//! parse per line — so `cargo xtask trace <path>` can gate CI on the
+//! shape of a recorded episode the same way `cargo xtask bench` gates
+//! on `BENCH_nsga2.json`.
+
+use crate::benchjson::{parse, Value};
+
+/// The schema identifier `flower-obs` stamps into every export.
+pub const SCHEMA: &str = "flower-trace/v1";
+
+/// Validate a JSONL trace document:
+///
+/// 1. a header line declaring the schema and consistent
+///    capacity/events/emitted/dropped accounting,
+/// 2. exactly `events` event lines with strictly increasing `seq`,
+///    non-decreasing `t_ms`, a non-empty `kind`, and an object `fields`,
+/// 3. a final summary line carrying `counters`/`gauges`/`histograms`/
+///    `spans` objects.
+///
+/// Returns a one-line human summary on success.
+pub fn validate_trace_jsonl(text: &str) -> Result<String, String> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+
+    let (_, header_line) = lines.next().ok_or("empty document: missing header line")?;
+    let header = parse(header_line).map_err(|e| format!("line 1 (header): {e}"))?;
+    let header = header.as_obj().ok_or("line 1 (header): not an object")?;
+    let schema = header
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("header: missing string `schema`")?;
+    if schema != SCHEMA {
+        return Err(format!("header: schema is `{schema}`, expected `{SCHEMA}`"));
+    }
+    let header_u64 = |key: &str| -> Result<u64, String> {
+        let n = header
+            .get(key)
+            .and_then(Value::as_num)
+            .ok_or_else(|| format!("header: missing numeric `{key}`"))?;
+        if !(n.is_finite() && n >= 0.0 && n.fract() == 0.0) {
+            return Err(format!("header: `{key}` must be a non-negative integer"));
+        }
+        Ok(n as u64)
+    };
+    let capacity = header_u64("capacity")?;
+    let declared_events = header_u64("events")?;
+    let emitted = header_u64("emitted")?;
+    let dropped = header_u64("dropped")?;
+    if declared_events > capacity {
+        return Err(format!(
+            "header: {declared_events} events exceed capacity {capacity}"
+        ));
+    }
+    if emitted != declared_events + dropped {
+        return Err(format!(
+            "header: emitted ({emitted}) != events ({declared_events}) + dropped ({dropped})"
+        ));
+    }
+
+    let mut event_count = 0u64;
+    let mut last_seq: Option<u64> = None;
+    let mut last_t_ms = 0.0f64;
+    let mut kinds: Vec<String> = Vec::new();
+    let mut summary: Option<Value> = None;
+    for (i, line) in lines {
+        let lineno = i + 1;
+        if summary.is_some() {
+            return Err(format!("line {lineno}: content after the summary line"));
+        }
+        let value = parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let obj = value
+            .as_obj()
+            .ok_or_else(|| format!("line {lineno}: not an object"))?;
+        if let Some(inner) = obj.get("summary") {
+            let inner = inner
+                .as_obj()
+                .ok_or_else(|| format!("line {lineno}: `summary` is not an object"))?;
+            for key in ["counters", "gauges", "histograms", "spans"] {
+                if inner.get(key).and_then(Value::as_obj).is_none() {
+                    return Err(format!("line {lineno}: summary missing object `{key}`"));
+                }
+            }
+            summary = Some(value.clone());
+            continue;
+        }
+        // An event line.
+        let num = |key: &str| -> Result<f64, String> {
+            obj.get(key)
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("line {lineno}: event missing numeric `{key}`"))
+        };
+        let seq = num("seq")? as u64;
+        if last_seq.is_some_and(|prev| seq <= prev) {
+            return Err(format!("line {lineno}: `seq` {seq} is not increasing"));
+        }
+        last_seq = Some(seq);
+        let t_ms = num("t_ms")?;
+        if t_ms < last_t_ms {
+            return Err(format!("line {lineno}: `t_ms` {t_ms} went backwards"));
+        }
+        last_t_ms = t_ms;
+        let kind = obj
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {lineno}: event missing string `kind`"))?;
+        if kind.is_empty() {
+            return Err(format!("line {lineno}: event `kind` is empty"));
+        }
+        if obj.get("fields").and_then(Value::as_obj).is_none() {
+            return Err(format!("line {lineno}: event missing object `fields`"));
+        }
+        if !kinds.iter().any(|k| k == kind) {
+            kinds.push(kind.to_owned());
+        }
+        event_count += 1;
+    }
+    if summary.is_none() {
+        return Err("missing final summary line".to_owned());
+    }
+    if event_count != declared_events {
+        return Err(format!(
+            "header declares {declared_events} events but {event_count} event line(s) follow"
+        ));
+    }
+
+    Ok(format!(
+        "{event_count} event(s) across {} kind(s), {} emitted, {} dropped",
+        kinds.len(),
+        emitted,
+        dropped
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+{\"schema\":\"flower-trace/v1\",\"capacity\":8,\"events\":2,\"emitted\":2,\"dropped\":0}\n\
+{\"seq\":0,\"t_ms\":30000,\"kind\":\"control.decision\",\"fields\":{\"accepted\":true,\"applied\":3}}\n\
+{\"seq\":1,\"t_ms\":60000,\"kind\":\"cloud.resize\",\"fields\":{\"to\":4}}\n\
+{\"summary\":{\"counters\":{\"control.decisions\":1},\"gauges\":{},\"histograms\":{},\"spans\":{}}}\n";
+
+    #[test]
+    fn good_document_validates() {
+        let summary = validate_trace_jsonl(GOOD).unwrap();
+        assert!(summary.contains("2 event(s)"), "{summary}");
+        assert!(summary.contains("2 kind(s)"), "{summary}");
+    }
+
+    #[test]
+    fn real_recorder_output_validates() {
+        let rec = flower_obs::Recorder::with_capacity(16);
+        rec.set_now(flower_sim::SimTime::from_secs(30));
+        rec.emit("control.decision", &[("applied", 3u64.into())]);
+        rec.count("control.decisions", 1);
+        rec.observe("util", 71.5);
+        let s = rec.span_enter("episode.run");
+        rec.set_now(flower_sim::SimTime::from_secs(90));
+        rec.span_exit(s);
+        // The emit plus the span enter/exit marker events.
+        let summary = validate_trace_jsonl(&rec.to_jsonl()).unwrap();
+        assert!(summary.contains("3 event(s)"), "{summary}");
+    }
+
+    #[test]
+    fn bad_documents_are_rejected() {
+        for (mutate, why) in [
+            (
+                GOOD.replace("flower-trace/v1", "other/v9"),
+                "schema is `other/v9`",
+            ),
+            (GOOD.replace("\"events\":2", "\"events\":3"), "emitted"),
+            (GOOD.replace("\"seq\":1", "\"seq\":0"), "not increasing"),
+            (
+                GOOD.replace("\"t_ms\":60000", "\"t_ms\":1"),
+                "went backwards",
+            ),
+            (
+                GOOD.replace("\"kind\":\"cloud.resize\",", ""),
+                "missing string `kind`",
+            ),
+            (
+                GOOD.replace(",\"spans\":{}", ""),
+                "summary missing object `spans`",
+            ),
+            (
+                GOOD.lines().take(3).collect::<Vec<_>>().join("\n"),
+                "missing final summary",
+            ),
+            (String::new(), "empty document"),
+        ] {
+            let err = validate_trace_jsonl(&mutate).unwrap_err();
+            assert!(err.contains(why), "`{err}` should mention `{why}`");
+        }
+    }
+
+    #[test]
+    fn events_after_summary_are_rejected() {
+        let doc = format!(
+            "{}{}",
+            GOOD, "{\"seq\":2,\"t_ms\":70000,\"kind\":\"x\",\"fields\":{}}\n"
+        );
+        let err = validate_trace_jsonl(&doc).unwrap_err();
+        assert!(err.contains("after the summary"), "{err}");
+    }
+}

@@ -168,6 +168,7 @@ fn replanner_updates_bounds_during_an_episode() {
                 seed: 4,
                 ..Default::default()
             },
+            workers: None,
         },
         "clicks",
         "counter",

@@ -1,0 +1,172 @@
+// Test target: unwrap/expect and exact comparison are deliberate here
+// (determinism assertions compare exported traces byte-for-byte).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
+//! Integration: the structured-event trace of a full elasticity episode.
+//!
+//! Two contracts are pinned here. First, a traced episode is *complete*:
+//! every instrumented subsystem — provisioning decisions, adaptive gain
+//! updates, cloud actuations, alarm transitions, replanning outcomes,
+//! and the NSGA-II generations inside each replan — shows up in one
+//! JSONL document. Second, the trace is *deterministic*: same seed ⇒
+//! byte-identical bytes regardless of how many workers the replanner's
+//! share analysis fans out over.
+
+use flower_core::flow::clickstream_flow;
+use flower_core::prelude::*;
+use flower_core::replan::{PlanSelection, ReplanConfig, Replanner};
+use flower_core::share::ShareProblem;
+use flower_nsga2::Nsga2Config;
+use flower_obs::{kind, parse_trace, Recorder};
+use flower_sim::{SimDuration, SimTime};
+
+fn replanner(workers: Option<usize>) -> Replanner {
+    Replanner::for_clickstream(
+        ReplanConfig {
+            budget: 1.0,
+            cadence: SimDuration::from_mins(15),
+            analysis_window: SimDuration::from_mins(15),
+            selection: PlanSelection::Balanced,
+            dependency_band: 0.5,
+            nsga2: Nsga2Config {
+                population: 32,
+                generations: 24,
+                seed: 9,
+                ..Default::default()
+            },
+            workers,
+        },
+        "clicks",
+        "counter",
+        "aggregates",
+        ShareProblem::worked_example(1.0),
+    )
+}
+
+/// A 45-minute flash-crowd episode with replanning, traced end to end.
+fn traced_episode(workers: Option<usize>) -> String {
+    let mut manager = ElasticityManager::builder(clickstream_flow())
+        .workload(Workload::flash_crowd(
+            600.0,
+            9_000.0,
+            SimTime::from_mins(10),
+        ))
+        .replanner(replanner(workers))
+        .recorder(Recorder::with_capacity(65_536))
+        .seed(5)
+        .build()
+        .unwrap();
+    manager.run_for_mins(45);
+    manager.recorder().to_jsonl()
+}
+
+#[test]
+fn traced_episode_emits_events_from_every_source() {
+    let doc = traced_episode(None);
+    let trace = parse_trace(&doc).unwrap();
+    assert_eq!(trace.dropped, 0, "flight recorder overflowed");
+    let counts = trace.counts_by_kind();
+
+    // Every instrumented subsystem reports: the control loop, the
+    // adaptive gain trajectory, the cloud actuator, the alarm evaluator,
+    // the replanner, and the NSGA-II optimizer inside it.
+    for required in [
+        kind::CONTROL_DECISION,
+        kind::CONTROL_GAIN,
+        kind::CLOUD_RESIZE,
+        kind::ALARM_TRANSITION,
+        kind::REPLAN_OUTCOME,
+        kind::NSGA2_GENERATION,
+        kind::SPAN_ENTER,
+        kind::SPAN_EXIT,
+    ] {
+        assert!(
+            counts.get(required).copied().unwrap_or(0) > 0,
+            "no `{required}` events in the trace; kinds seen: {counts:?}"
+        );
+    }
+
+    // The flash crowd overwhelms the initial deployment hard enough to
+    // throttle at least one layer before the controllers catch up.
+    assert!(
+        counts.get(kind::CLOUD_THROTTLE).copied().unwrap_or(0) > 0,
+        "expected throttling under a 15x flash crowd; kinds seen: {counts:?}"
+    );
+
+    // One control decision per layer per 30-second period for 45 min.
+    let decisions = counts[kind::CONTROL_DECISION];
+    assert!(
+        (200..=300).contains(&decisions),
+        "expected ~270 control decisions, got {decisions}"
+    );
+
+    // Replan rounds fired at 15 and 30 minutes (the 45-minute boundary
+    // is the episode end). A round may legitimately fail — e.g. the
+    // analysis window is too thin to learn dependencies mid-flash — and
+    // then it shows up as `replan.failed` instead of an outcome.
+    let replans = counts[kind::REPLAN_OUTCOME];
+    let failed = counts.get(kind::REPLAN_FAILED).copied().unwrap_or(0);
+    assert!(replans >= 1, "no successful replan in 45 min");
+    assert!(
+        (2..=3).contains(&(replans + failed)),
+        "expected 2-3 replan rounds, got {replans} outcomes + {failed} failures"
+    );
+    // Every round that reached the optimizer traced all generations
+    // plus the initial population (24 generations + 1).
+    assert!(counts[kind::NSGA2_GENERATION] >= replans * 25);
+    assert_eq!(counts[kind::NSGA2_GENERATION] % 25, 0);
+
+    // Event timestamps never run backwards and stay inside the episode.
+    let mut last = 0;
+    for e in &trace.events {
+        assert!(e.t_ms >= last, "t_ms went backwards at seq {}", e.seq);
+        last = e.t_ms;
+    }
+    assert!(last <= 45 * 60 * 1_000);
+
+    // The summary aggregates agree with the event stream.
+    let summary = trace.summary.as_obj().unwrap();
+    let counter = |name: &str| {
+        summary
+            .get("counters")
+            .and_then(|c| c.as_obj())
+            .and_then(|c| c.get(name))
+            .and_then(flower_obs::JsonValue::as_num)
+            .unwrap_or(0.0) as usize
+    };
+    assert_eq!(counter("control.decisions"), decisions);
+    assert_eq!(counter("replan.rounds"), replans + failed);
+    let spans = summary.get("spans").and_then(|s| s.as_obj()).unwrap();
+    assert!(spans.contains_key("episode.run"), "spans: {spans:?}");
+}
+
+#[test]
+fn trace_is_byte_identical_across_worker_counts() {
+    let one = traced_episode(Some(1));
+    let two = traced_episode(Some(2));
+    let eight = traced_episode(Some(8));
+    assert!(!one.is_empty());
+    assert_eq!(one, two, "1-worker and 2-worker traces differ");
+    assert_eq!(one, eight, "1-worker and 8-worker traces differ");
+}
+
+#[test]
+fn untraced_episode_is_unchanged_by_the_instrumentation() {
+    let run = |recorder: Option<Recorder>| {
+        let mut builder = ElasticityManager::builder(clickstream_flow())
+            .workload(Workload::diurnal(1_500.0, 1_200.0))
+            .seed(7);
+        if let Some(r) = recorder {
+            builder = builder.recorder(r);
+        }
+        let mut manager = builder.build().unwrap();
+        manager.run_for_mins(20)
+    };
+    // A disabled recorder is the default; attaching an enabled one must
+    // not perturb the simulation itself, only observe it.
+    let plain = run(None);
+    let traced = run(Some(Recorder::with_capacity(4_096)));
+    assert_eq!(plain.offered_records, traced.offered_records);
+    assert_eq!(plain.accepted_records, traced.accepted_records);
+    assert_eq!(plain.scaling_actions, traced.scaling_actions);
+    assert_eq!(plain.total_cost_dollars, traced.total_cost_dollars);
+}
