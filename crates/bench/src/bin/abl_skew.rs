@@ -56,7 +56,7 @@ fn main() {
     for (skewed, label) in [(false, "uniform"), (true, "skewed")] {
         for (hot, sensor) in [(false, "average"), (true, "hot-shard")] {
             let report = episode(skewed, hot, seed);
-            let shards = report.actuators(Layer::Ingestion).last().unwrap().1;
+            let shards = report.actuators(Layer::INGESTION).last().unwrap().1;
             println!(
                 "{:>8} {:>12} {:>14} {:>8.2} {:>12.0} {:>10.4}",
                 label,

@@ -67,9 +67,9 @@ fn main() {
     let analytics_only = {
         let mut m = ElasticityManager::builder(peak_flow())
             .workload(diurnal())
-            .controller(Layer::Ingestion, ControllerSpec::Static)
-            .controller(Layer::Analytics, ControllerSpec::adaptive(60.0))
-            .controller(Layer::Storage, ControllerSpec::Static)
+            .controller(Layer::INGESTION, ControllerSpec::Static)
+            .controller(Layer::ANALYTICS, ControllerSpec::adaptive(60.0))
+            .controller(Layer::STORAGE, ControllerSpec::Static)
             .seed(seed)
             .build()
             .expect("workload attached above");

@@ -50,7 +50,7 @@ fn main() {
     // indexes the trade-off; keep the maximum-share plan per VM count.
     let mut plans_by_vms: Vec<flower_core::share::ResourceShares> = Vec::new();
     for p in &plans {
-        match plans_by_vms.iter_mut().find(|q| q.vms == p.vms) {
+        match plans_by_vms.iter_mut().find(|q| q.vms() == p.vms()) {
             Some(existing) => {
                 if p.hourly_cost > existing.hourly_cost {
                     *existing = p.clone();
@@ -59,7 +59,7 @@ fn main() {
             None => plans_by_vms.push(p.clone()),
         }
     }
-    plans_by_vms.sort_by(|a, b| a.vms.partial_cmp(&b.vms).expect("finite"));
+    plans_by_vms.sort_by(|a, b| a.vms().partial_cmp(&b.vms()).expect("finite"));
     let plans = plans_by_vms;
 
     println!("representative Pareto-optimal provisioning plans (paper: 6):");
@@ -71,9 +71,9 @@ fn main() {
         println!(
             "{:>4} {:>14.0} {:>10.0} {:>12.0} {:>10.4}",
             i + 1,
-            p.shards,
-            p.vms,
-            p.wcu,
+            p.shards(),
+            p.vms(),
+            p.wcu(),
             p.hourly_cost
         );
     }
@@ -86,10 +86,10 @@ fn main() {
         .count();
     let tradeoff = {
         // At least two plans must differ in which layer they favour.
-        let max_vms = plans.iter().map(|p| p.vms).fold(0.0, f64::max);
-        let max_shards = plans.iter().map(|p| p.shards).fold(0.0, f64::max);
-        let argmax_vms = plans.iter().position(|p| p.vms == max_vms);
-        let argmax_shards = plans.iter().position(|p| p.shards == max_shards);
+        let max_vms = plans.iter().map(ResourceShares::vms).fold(0.0, f64::max);
+        let max_shards = plans.iter().map(ResourceShares::shards).fold(0.0, f64::max);
+        let argmax_vms = plans.iter().position(|p| p.vms() == max_vms);
+        let argmax_shards = plans.iter().position(|p| p.shards() == max_shards);
         argmax_vms != argmax_shards || plans.len() == 1
     };
     println!("\n== shape checks ==");

@@ -79,7 +79,7 @@ pub struct EpisodeSummary {
 
 /// Build the summary for a finished episode.
 pub fn summarize(controller: &str, report: &EpisodeReport) -> EpisodeSummary {
-    let metrics = report.response_metrics(Layer::Analytics, 60.0, 15.0);
+    let metrics = report.response_metrics(Layer::ANALYTICS, 60.0, 15.0);
     let slo_met = flower_core::slo::SloSpec::clickstream_default()
         .evaluate(report)
         .all_met();

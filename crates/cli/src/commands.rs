@@ -184,26 +184,26 @@ pub fn run(args: &Args) -> CmdResult {
         .panel(
             Panel::new(
                 "ingestion utilization (%)",
-                report.measurements(Layer::Ingestion).to_vec(),
+                report.measurements(Layer::INGESTION).to_vec(),
             )
             .with_reference(70.0),
         )
         .panel(Panel::new(
             "shards",
-            report.actuators(Layer::Ingestion).to_vec(),
+            report.actuators(Layer::INGESTION).to_vec(),
         ))
         .panel(
             Panel::new(
                 "analytics CPU (%)",
-                report.measurements(Layer::Analytics).to_vec(),
+                report.measurements(Layer::ANALYTICS).to_vec(),
             )
             .with_reference(60.0),
         )
         .panel(Panel::new(
             "VMs",
-            report.actuators(Layer::Analytics).to_vec(),
+            report.actuators(Layer::ANALYTICS).to_vec(),
         ))
-        .panel(Panel::new("WCU", report.actuators(Layer::Storage).to_vec()));
+        .panel(Panel::new("WCU", report.actuators(Layer::STORAGE).to_vec()));
     println!("\n{}", dashboard.render(100));
     println!(
         "offered {} | accepted {} | loss {:.2}% | actions {} | cost ${:.4}",
@@ -324,7 +324,10 @@ pub fn plan(args: &Args) -> CmdResult {
     for p in &plans {
         println!(
             "{:>8.0} {:>6.0} {:>8.0} {:>10.4}",
-            p.shards, p.vms, p.wcu, p.hourly_cost
+            p.shards(),
+            p.vms(),
+            p.wcu(),
+            p.hourly_cost
         );
     }
     Ok(())

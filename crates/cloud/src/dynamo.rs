@@ -15,6 +15,12 @@
 
 use flower_sim::{SimDuration, SimTime};
 
+use crate::alarms::{Alarm, Comparison};
+use crate::engine::{metric_names, EngineError, TickReport};
+use crate::layer::{LayerId, LayerService, SensorProbe, STORAGE};
+use crate::metrics::{MetricId, Statistic};
+use crate::pricing::PriceList;
+
 /// Static configuration of a simulated table.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DynamoConfig {
@@ -424,6 +430,86 @@ impl DynamoTable {
             utilization: demand_wcu / provisioned_step.max(f64::MIN_POSITIVE),
             burst_credit: self.burst_credit,
         }
+    }
+}
+
+impl LayerService for DynamoTable {
+    fn id(&self) -> LayerId {
+        STORAGE
+    }
+
+    fn service_name(&self) -> &str {
+        self.name()
+    }
+
+    fn actuator_units(&self) -> f64 {
+        self.provisioned_wcu()
+    }
+
+    fn target_units(&self) -> f64 {
+        self.target_wcu()
+    }
+
+    fn max_units(&self) -> f64 {
+        self.config.max_wcu
+    }
+
+    fn unit_price(&self, prices: &PriceList) -> f64 {
+        prices.wcu_hour
+    }
+
+    fn actuate(&mut self, target: f64, now: SimTime) -> Result<(), EngineError> {
+        self.update_write_capacity(target, now)
+            .map_err(EngineError::Dynamo)
+    }
+
+    fn utilization_sensor(&self) -> SensorProbe {
+        SensorProbe {
+            metric: MetricId::new(
+                metric_names::NS_DYNAMO,
+                metric_names::WRITE_UTILIZATION,
+                self.name(),
+            ),
+            statistic: Statistic::Average,
+            scale: 100.0,
+        }
+    }
+
+    fn measurement(&self, tick: &TickReport) -> Option<f64> {
+        Some(tick.write.utilization * 100.0)
+    }
+
+    fn headline_metrics(&self) -> Vec<MetricId> {
+        use metric_names::*;
+        [
+            CONSUMED_WCU,
+            DYNAMO_THROTTLED,
+            WRITE_UTILIZATION,
+            PROVISIONED_WCU,
+            CONSUMED_RCU,
+            DYNAMO_READ_THROTTLED,
+            READ_UTILIZATION,
+            PROVISIONED_RCU,
+        ]
+        .into_iter()
+        .map(|m| MetricId::new(NS_DYNAMO, m, self.name()))
+        .collect()
+    }
+
+    fn default_alarm(&self) -> Option<Alarm> {
+        Some(Alarm::new(
+            "storage-throttling",
+            MetricId::new(
+                metric_names::NS_DYNAMO,
+                metric_names::DYNAMO_THROTTLED,
+                self.name(),
+            ),
+            Statistic::Sum,
+            SimDuration::from_mins(1),
+            Comparison::GreaterThan,
+            0.0,
+            2,
+        ))
     }
 }
 

@@ -17,8 +17,10 @@ use flower_obs::{kind, FieldValue, Recorder};
 use flower_sim::{SimDuration, SimTime};
 use flower_workload::ClickRecord;
 
+use crate::cache::{CacheCluster, CacheConfig, CacheError, CacheOutcome};
 use crate::dynamo::{DynamoConfig, DynamoError, DynamoTable, ReadOutcome, WriteOutcome};
 use crate::kinesis::{IngestOutcome, KinesisConfig, KinesisError, KinesisStream};
+use crate::layer::{LayerId, LayerService};
 use crate::metrics::{MetricId, MetricsStore};
 use crate::pricing::{BillingMeter, PriceList, ResourceKind};
 use crate::storm::{ProcessOutcome, StormCluster, StormConfig, StormError, Topology};
@@ -42,6 +44,9 @@ pub struct EngineConfig {
     /// querying the aggregates) — §2 of the paper lists "DynamoDB
     /// read/write units" among the managed resources.
     pub read_workload: ReadWorkloadConfig,
+    /// Optional fourth tier: a cache interposed on the storage read
+    /// path. `None` reproduces the paper's three-layer flow exactly.
+    pub cache: Option<CacheConfig>,
 }
 
 /// Read traffic against the aggregates table.
@@ -79,6 +84,7 @@ impl Default for EngineConfig {
             prices: PriceList::default(),
             aggregate_item_bytes: 512,
             read_workload: ReadWorkloadConfig::default(),
+            cache: None,
         }
     }
 }
@@ -97,6 +103,8 @@ pub struct TickReport {
     /// Storage-layer read outcome (all-zero when no read workload is
     /// configured).
     pub read: ReadOutcome,
+    /// Cache-tier outcome (`None` when no cache tier is deployed).
+    pub cache: Option<CacheOutcome>,
     /// Dollars accrued during this tick.
     pub cost: f64,
 }
@@ -148,6 +156,17 @@ pub mod metric_names {
     pub const READ_UTILIZATION: &str = "ReadUtilization";
     /// Provisioned RCU.
     pub const PROVISIONED_RCU: &str = "ProvisionedReadCapacityUnits";
+
+    /// Cache-tier namespace.
+    pub const NS_CACHE: &str = "ElastiCache";
+    /// Read requests offered to the cache per tick.
+    pub const CACHE_REQUESTS: &str = "CacheRequests";
+    /// Hit ratio in effect, in `[0, 1]`.
+    pub const CACHE_HIT_RATIO: &str = "CacheHitRate";
+    /// Cache utilization (offered rate / fleet capacity).
+    pub const CACHE_UTILIZATION: &str = "CacheUtilization";
+    /// Running cache node count.
+    pub const CACHE_NODES: &str = "CacheNodes";
 }
 
 /// Control-plane errors surfaced by the engine's actuator API.
@@ -159,6 +178,10 @@ pub enum EngineError {
     Storm(StormError),
     /// Storage-layer rejection.
     Dynamo(DynamoError),
+    /// Cache-tier rejection.
+    Cache(CacheError),
+    /// The addressed layer is not registered with the engine.
+    UnknownLayer(LayerId),
 }
 
 impl std::fmt::Display for EngineError {
@@ -167,18 +190,24 @@ impl std::fmt::Display for EngineError {
             EngineError::Kinesis(e) => write!(f, "kinesis: {e}"),
             EngineError::Storm(e) => write!(f, "storm: {e}"),
             EngineError::Dynamo(e) => write!(f, "dynamo: {e}"),
+            EngineError::Cache(e) => write!(f, "cache: {e}"),
+            EngineError::UnknownLayer(layer) => {
+                write!(f, "no service registered for layer {layer}")
+            }
         }
     }
 }
 
 impl std::error::Error for EngineError {}
 
-/// The co-simulated three-layer flow.
+/// The co-simulated flow: the paper's three layers, plus any optional
+/// extension tiers, behind an ordered [`LayerService`] registry.
 pub struct CloudEngine {
     config: EngineConfig,
     kinesis: KinesisStream,
     storm: StormCluster,
     dynamo: DynamoTable,
+    cache: Option<CacheCluster>,
     metrics: MetricsStore,
     billing: BillingMeter,
     last_cost_total: f64,
@@ -195,11 +224,13 @@ impl CloudEngine {
         let kinesis = KinesisStream::new(config.kinesis.clone());
         let storm = StormCluster::new(config.storm.clone(), config.topology.clone());
         let dynamo = DynamoTable::new(config.dynamo.clone());
+        let cache = config.cache.clone().map(CacheCluster::new);
         CloudEngine {
             config,
             kinesis,
             storm,
             dynamo,
+            cache,
             metrics: MetricsStore::new(),
             billing: BillingMeter::new(),
             last_cost_total: 0.0,
@@ -230,6 +261,85 @@ impl CloudEngine {
         &self.dynamo
     }
 
+    /// The cache tier, when one is deployed.
+    pub fn cache(&self) -> Option<&CacheCluster> {
+        self.cache.as_ref()
+    }
+
+    /// The registered layer services, in ascending [`LayerId`] order.
+    ///
+    /// This order is the determinism contract everything downstream
+    /// leans on: genome encodings, trace exports, and episode reports
+    /// all iterate layers the way this registry yields them.
+    pub fn services(&self) -> Vec<&dyn LayerService> {
+        let mut services: Vec<&dyn LayerService> = vec![&self.kinesis, &self.storm, &self.dynamo];
+        if let Some(cache) = &self.cache {
+            services.push(cache);
+        }
+        services
+    }
+
+    /// The registered layers, in ascending [`LayerId`] order.
+    pub fn layer_ids(&self) -> Vec<LayerId> {
+        self.services().into_iter().map(LayerService::id).collect()
+    }
+
+    /// The service occupying `layer`, if registered.
+    pub fn service(&self, layer: LayerId) -> Option<&dyn LayerService> {
+        self.services().into_iter().find(|s| s.id() == layer)
+    }
+
+    fn service_mut(&mut self, layer: LayerId) -> Option<&mut dyn LayerService> {
+        if LayerService::id(&self.kinesis) == layer {
+            return Some(&mut self.kinesis);
+        }
+        if LayerService::id(&self.storm) == layer {
+            return Some(&mut self.storm);
+        }
+        if LayerService::id(&self.dynamo) == layer {
+            return Some(&mut self.dynamo);
+        }
+        match &mut self.cache {
+            Some(cache) if LayerService::id(cache) == layer => Some(cache),
+            _ => None,
+        }
+    }
+
+    /// Units `layer` is converging to, if the layer is registered.
+    pub fn target_units(&self, layer: LayerId) -> Option<f64> {
+        self.service(layer).map(LayerService::target_units)
+    }
+
+    /// Units `layer` currently has deployed, if the layer is registered.
+    pub fn actuator_units(&self, layer: LayerId) -> Option<f64> {
+        self.service(layer).map(LayerService::actuator_units)
+    }
+
+    /// Actuator: request a resize of `layer` to `target` units.
+    ///
+    /// The layer's own [`LayerService::quantize`] decides how the
+    /// continuous command lands on the service's actuation grid, and
+    /// the attempt is traced as a [`kind::CLOUD_RESIZE`] event under the
+    /// layer's resource name.
+    pub fn actuate(
+        &mut self,
+        layer: LayerId,
+        target: f64,
+        now: SimTime,
+    ) -> Result<(), EngineError> {
+        let Some(service) = self.service(layer) else {
+            return Err(EngineError::UnknownLayer(layer));
+        };
+        let from = service.actuator_units();
+        let to = service.quantize(target);
+        let result = match self.service_mut(layer) {
+            Some(service) => service.actuate(target, now),
+            None => Err(EngineError::UnknownLayer(layer)),
+        };
+        self.trace_resize(layer.resource(), from, to, &result, now);
+        result
+    }
+
     /// The metric store all layers publish into.
     pub fn metrics(&self) -> &MetricsStore {
         &self.metrics
@@ -245,37 +355,22 @@ impl CloudEngine {
         &self.config
     }
 
-    /// Actuator: request a shard-count change.
+    /// Actuator: request a shard-count change (compat wrapper over
+    /// [`CloudEngine::actuate`] for the ingestion layer).
     pub fn scale_shards(&mut self, target: u32, now: SimTime) -> Result<(), EngineError> {
-        let from = f64::from(self.kinesis.shards());
-        let result = self
-            .kinesis
-            .update_shard_count(target, now)
-            .map_err(EngineError::Kinesis);
-        self.trace_resize("shards", from, f64::from(target), &result, now);
-        result
+        self.actuate(crate::layer::INGESTION, f64::from(target), now)
     }
 
-    /// Actuator: request a VM-count change.
+    /// Actuator: request a VM-count change (compat wrapper over
+    /// [`CloudEngine::actuate`] for the analytics layer).
     pub fn scale_vms(&mut self, target: u32, now: SimTime) -> Result<(), EngineError> {
-        let from = f64::from(self.storm.target_vms());
-        let result = self
-            .storm
-            .set_vm_target(target, now)
-            .map_err(EngineError::Storm);
-        self.trace_resize("vms", from, f64::from(target), &result, now);
-        result
+        self.actuate(crate::layer::ANALYTICS, f64::from(target), now)
     }
 
-    /// Actuator: request a write-capacity change.
+    /// Actuator: request a write-capacity change (compat wrapper over
+    /// [`CloudEngine::actuate`] for the storage layer).
     pub fn scale_wcu(&mut self, target: f64, now: SimTime) -> Result<(), EngineError> {
-        let from = self.dynamo.provisioned_wcu();
-        let result = self
-            .dynamo
-            .update_write_capacity(target, now)
-            .map_err(EngineError::Dynamo);
-        self.trace_resize("wcu", from, target, &result, now);
-        result
+        self.actuate(crate::layer::STORAGE, target, now)
     }
 
     /// Actuator: request a read-capacity change.
@@ -335,20 +430,42 @@ impl CloudEngine {
         let write = self
             .dynamo
             .write(process.emitted, self.config.aggregate_item_bytes, now, dt);
-        // ...and serves the read traffic (dashboards + per-record queries).
+        // ...and serves the read traffic (dashboards + per-record
+        // queries), through the cache tier when one is deployed: only
+        // cache misses reach the table.
         let rw = &self.config.read_workload;
+        let mut cache_outcome = None;
         let read = if rw.base_rate > 0.0 || rw.per_record > 0.0 {
             let demand = (rw.base_rate * dt.as_secs_f64() + rw.per_record * records.len() as f64)
                 + self.read_carry;
             let items = demand.floor() as u64;
             self.read_carry = demand - items as f64;
-            self.dynamo
-                .read(items, rw.avg_item_bytes, rw.eventually_consistent, now, dt)
+            let table_items = match &mut self.cache {
+                Some(cache) => {
+                    let outcome = cache.serve(items, now, dt);
+                    cache_outcome = Some(outcome);
+                    outcome.misses
+                }
+                None => items,
+            };
+            self.dynamo.read(
+                table_items,
+                rw.avg_item_bytes,
+                rw.eventually_consistent,
+                now,
+                dt,
+            )
         } else {
+            // No read traffic; still step the cache so in-flight fleet
+            // resizes settle on time.
+            if let Some(cache) = &mut self.cache {
+                cache_outcome = Some(cache.serve(0, now, dt));
+            }
             ReadOutcome::idle()
         };
 
         self.publish_metrics(now, records.len() as u64, &ingest, &process, &write, &read);
+        self.publish_cache_metrics(now, cache_outcome.as_ref());
         self.trace_tick(now, &ingest, &process, &write, &read);
 
         // Billing: integrate held resources over the step.
@@ -378,6 +495,15 @@ impl CloudEngine {
             self.dynamo.provisioned_rcu(),
             dt,
         );
+        if let Some(cache) = &self.cache {
+            self.billing.accrue(
+                prices,
+                ResourceKind::CacheNode,
+                // Like VMs, nodes bill from launch, not from ready.
+                f64::from(cache.target_nodes()),
+                dt,
+            );
+        }
         self.billing.accrue_put_records(prices, ingest.accepted);
 
         let cost = self.billing.total() - self.last_cost_total;
@@ -389,6 +515,7 @@ impl CloudEngine {
             process,
             write,
             read,
+            cache: cache_outcome,
             cost,
         }
     }
@@ -432,7 +559,41 @@ impl CloudEngine {
             .gauge("cloud.wcu", self.dynamo.provisioned_wcu());
         self.recorder
             .gauge("cloud.rcu", self.dynamo.provisioned_rcu());
+        if let Some(cache) = &self.cache {
+            self.recorder
+                .gauge("cloud.cache_nodes", f64::from(cache.nodes()));
+        }
         self.recorder.observe("cloud.cpu_pct", process.cpu_pct);
+    }
+
+    /// Publish the cache tier's metrics for the tick, when deployed.
+    fn publish_cache_metrics(&mut self, now: SimTime, outcome: Option<&CacheOutcome>) {
+        use metric_names::*;
+        let Some(cache) = &self.cache else { return };
+        let Some(outcome) = outcome else { return };
+        let name = cache.name().to_owned();
+        let nodes = cache.nodes();
+        let m = &mut self.metrics;
+        m.put(
+            MetricId::new(NS_CACHE, CACHE_REQUESTS, &name),
+            now,
+            outcome.requests as f64,
+        );
+        m.put(
+            MetricId::new(NS_CACHE, CACHE_HIT_RATIO, &name),
+            now,
+            outcome.hit_ratio,
+        );
+        m.put(
+            MetricId::new(NS_CACHE, CACHE_UTILIZATION, &name),
+            now,
+            outcome.utilization,
+        );
+        m.put(
+            MetricId::new(NS_CACHE, CACHE_NODES, &name),
+            now,
+            f64::from(nodes),
+        );
     }
 
     fn publish_metrics(

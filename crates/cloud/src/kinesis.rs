@@ -17,6 +17,12 @@
 use flower_sim::{SimDuration, SimTime};
 use flower_workload::ClickRecord;
 
+use crate::alarms::{Alarm, Comparison};
+use crate::engine::{metric_names, EngineError, TickReport};
+use crate::layer::{LayerId, LayerService, SensorProbe, INGESTION};
+use crate::metrics::{MetricId, Statistic};
+use crate::pricing::PriceList;
+
 /// Static configuration of a simulated stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KinesisConfig {
@@ -271,6 +277,86 @@ impl KinesisStream {
             utilization,
             max_shard_utilization,
         }
+    }
+}
+
+impl LayerService for KinesisStream {
+    fn id(&self) -> LayerId {
+        INGESTION
+    }
+
+    fn service_name(&self) -> &str {
+        self.name()
+    }
+
+    fn actuator_units(&self) -> f64 {
+        f64::from(self.shards())
+    }
+
+    fn target_units(&self) -> f64 {
+        f64::from(self.target_shards())
+    }
+
+    fn max_units(&self) -> f64 {
+        f64::from(self.config.max_shards)
+    }
+
+    fn unit_price(&self, prices: &PriceList) -> f64 {
+        prices.shard_hour
+    }
+
+    fn quantize(&self, target: f64) -> f64 {
+        f64::from(target as u32)
+    }
+
+    fn actuate(&mut self, target: f64, now: SimTime) -> Result<(), EngineError> {
+        self.update_shard_count(target as u32, now)
+            .map_err(EngineError::Kinesis)
+    }
+
+    fn utilization_sensor(&self) -> SensorProbe {
+        SensorProbe {
+            metric: MetricId::new(
+                metric_names::NS_KINESIS,
+                metric_names::SHARD_UTILIZATION,
+                self.name(),
+            ),
+            statistic: Statistic::Average,
+            scale: 100.0,
+        }
+    }
+
+    fn measurement(&self, tick: &TickReport) -> Option<f64> {
+        Some(tick.ingest.utilization * 100.0)
+    }
+
+    fn headline_metrics(&self) -> Vec<MetricId> {
+        use metric_names::*;
+        [
+            INCOMING_RECORDS,
+            WRITE_THROTTLED,
+            SHARD_UTILIZATION,
+            OPEN_SHARDS,
+        ]
+        .into_iter()
+        .map(|m| MetricId::new(NS_KINESIS, m, self.name()))
+        .collect()
+    }
+
+    fn default_alarm(&self) -> Option<Alarm> {
+        Some(Alarm::new(
+            "ingestion-throttling",
+            MetricId::new(
+                metric_names::NS_KINESIS,
+                metric_names::WRITE_THROTTLED,
+                self.name(),
+            ),
+            Statistic::Sum,
+            SimDuration::from_mins(1),
+            Comparison::GreaterThan,
+            0.0,
+            2,
+        ))
     }
 }
 

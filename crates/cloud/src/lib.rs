@@ -31,7 +31,12 @@
 //!   `INSUFFICIENT_DATA → OK ⇄ ALARM` machine.
 //! * [`pricing`] — 2017 us-east-1 list prices and a billing meter that
 //!   integrates $-cost over virtual time.
-//! * [`engine`] — [`engine::CloudEngine`] wires the three services into
+//! * [`cache`] — an ElastiCache-like node-count-scaled read cache that
+//!   can be interposed on the storage read path as a fourth tier.
+//! * [`layer`] — the open layer registry: [`layer::LayerId`] identities,
+//!   the [`layer::LayerService`] control-plane trait each simulator
+//!   implements, and [`layer::ResourceVector`] plans indexed by layer.
+//! * [`engine`] — [`engine::CloudEngine`] wires the services into
 //!   the click-stream flow of the paper's Fig. 1 and publishes every
 //!   metric each tick; it is the "world" the elasticity manager controls.
 
@@ -39,17 +44,21 @@
 #![warn(clippy::all)]
 
 pub mod alarms;
+pub mod cache;
 pub mod dynamo;
 pub mod engine;
 pub mod kinesis;
+pub mod layer;
 pub mod metrics;
 pub mod pricing;
 pub mod storm;
 
 pub use alarms::{Alarm, AlarmSet, AlarmState, AlarmTransition, Comparison};
+pub use cache::{CacheCluster, CacheConfig, CacheError, CacheOutcome};
 pub use dynamo::{DynamoConfig, DynamoTable, ReadOutcome, WriteOutcome};
 pub use engine::{CloudEngine, EngineConfig, ReadWorkloadConfig, TickReport};
 pub use kinesis::{IngestOutcome, KinesisConfig, KinesisStream};
+pub use layer::{LayerId, LayerService, ResourceVector, SensorProbe};
 pub use metrics::{MetricId, MetricsStore, Statistic};
 pub use pricing::{BillingMeter, PriceList, ResourceKind};
 pub use storm::{Bolt, ProcessOutcome, StormCluster, StormConfig, Topology};

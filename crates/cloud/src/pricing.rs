@@ -19,15 +19,18 @@ pub enum ResourceKind {
     WriteCapacityUnit,
     /// A DynamoDB read capacity unit (storage layer).
     ReadCapacityUnit,
+    /// An ElastiCache-style cache node (cache tier).
+    CacheNode,
 }
 
 impl ResourceKind {
     /// All kinds, for iteration.
-    pub const ALL: [ResourceKind; 4] = [
+    pub const ALL: [ResourceKind; 5] = [
         ResourceKind::Shard,
         ResourceKind::Vm,
         ResourceKind::WriteCapacityUnit,
         ResourceKind::ReadCapacityUnit,
+        ResourceKind::CacheNode,
     ];
 
     /// Short label for reports.
@@ -37,6 +40,7 @@ impl ResourceKind {
             ResourceKind::Vm => "vm",
             ResourceKind::WriteCapacityUnit => "wcu",
             ResourceKind::ReadCapacityUnit => "rcu",
+            ResourceKind::CacheNode => "cache_node",
         }
     }
 }
@@ -54,6 +58,8 @@ pub struct PriceList {
     pub wcu_hour: f64,
     /// $/RCU-hour (DynamoDB, 2017: $0.00013).
     pub rcu_hour: f64,
+    /// $/cache-node-hour (ElastiCache cache.m3.medium, 2017: $0.090).
+    pub cache_node_hour: f64,
 }
 
 impl Default for PriceList {
@@ -64,6 +70,7 @@ impl Default for PriceList {
             vm_hour: 0.10,
             wcu_hour: 0.00065,
             rcu_hour: 0.00013,
+            cache_node_hour: 0.090,
         }
     }
 }
@@ -76,6 +83,7 @@ impl PriceList {
             ResourceKind::Vm => self.vm_hour,
             ResourceKind::WriteCapacityUnit => self.wcu_hour,
             ResourceKind::ReadCapacityUnit => self.rcu_hour,
+            ResourceKind::CacheNode => self.cache_node_hour,
         }
     }
 
@@ -91,7 +99,7 @@ impl PriceList {
 #[derive(Debug, Clone, Default)]
 pub struct BillingMeter {
     total: f64,
-    by_kind: [f64; 4],
+    by_kind: [f64; 5],
     request_charges: f64,
 }
 
@@ -107,6 +115,7 @@ impl BillingMeter {
             ResourceKind::Vm => 1,
             ResourceKind::WriteCapacityUnit => 2,
             ResourceKind::ReadCapacityUnit => 3,
+            ResourceKind::CacheNode => 4,
         }
     }
 
@@ -152,6 +161,7 @@ mod tests {
         assert_eq!(p.unit_hour(ResourceKind::Vm), 0.10);
         assert_eq!(p.unit_hour(ResourceKind::WriteCapacityUnit), 0.00065);
         assert_eq!(p.unit_hour(ResourceKind::ReadCapacityUnit), 0.00013);
+        assert_eq!(p.unit_hour(ResourceKind::CacheNode), 0.090);
     }
 
     #[test]
@@ -192,6 +202,7 @@ mod tests {
         assert_eq!(ResourceKind::Vm.label(), "vm");
         assert_eq!(ResourceKind::WriteCapacityUnit.label(), "wcu");
         assert_eq!(ResourceKind::ReadCapacityUnit.label(), "rcu");
-        assert_eq!(ResourceKind::ALL.len(), 4);
+        assert_eq!(ResourceKind::CacheNode.label(), "cache_node");
+        assert_eq!(ResourceKind::ALL.len(), 5);
     }
 }

@@ -14,6 +14,12 @@
 
 use flower_sim::{SimDuration, SimRng, SimTime};
 
+use crate::alarms::{Alarm, Comparison};
+use crate::engine::{metric_names, EngineError, TickReport};
+use crate::layer::{LayerId, LayerService, SensorProbe, ANALYTICS};
+use crate::metrics::{MetricId, Statistic};
+use crate::pricing::PriceList;
+
 /// One bolt of the topology.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Bolt {
@@ -360,6 +366,89 @@ impl StormCluster {
             cpu_pct,
             latency_secs,
         }
+    }
+}
+
+impl LayerService for StormCluster {
+    fn id(&self) -> LayerId {
+        ANALYTICS
+    }
+
+    fn service_name(&self) -> &str {
+        self.name()
+    }
+
+    /// VMs bill (and trace) from launch, so the actuator baseline is the
+    /// target fleet, booting included.
+    fn actuator_units(&self) -> f64 {
+        f64::from(self.target_vms())
+    }
+
+    fn target_units(&self) -> f64 {
+        f64::from(self.target_vms())
+    }
+
+    fn max_units(&self) -> f64 {
+        f64::from(self.config.max_vms)
+    }
+
+    fn unit_price(&self, prices: &PriceList) -> f64 {
+        prices.vm_hour
+    }
+
+    fn quantize(&self, target: f64) -> f64 {
+        f64::from(target as u32)
+    }
+
+    fn actuate(&mut self, target: f64, now: SimTime) -> Result<(), EngineError> {
+        self.set_vm_target(target as u32, now)
+            .map_err(EngineError::Storm)
+    }
+
+    fn utilization_sensor(&self) -> SensorProbe {
+        SensorProbe {
+            metric: MetricId::new(
+                metric_names::NS_STORM,
+                metric_names::CPU_UTILIZATION,
+                self.name(),
+            ),
+            statistic: Statistic::Average,
+            scale: 1.0,
+        }
+    }
+
+    fn measurement(&self, tick: &TickReport) -> Option<f64> {
+        Some(tick.process.cpu_pct)
+    }
+
+    fn headline_metrics(&self) -> Vec<MetricId> {
+        use metric_names::*;
+        [
+            CPU_UTILIZATION,
+            TUPLES_PROCESSED,
+            BACKLOG,
+            PROCESS_LATENCY,
+            RUNNING_VMS,
+        ]
+        .into_iter()
+        .map(|m| MetricId::new(NS_STORM, m, self.name()))
+        .collect()
+    }
+
+    fn default_alarm(&self) -> Option<Alarm> {
+        Some(Alarm::new(
+            "analytics-cpu-high",
+            MetricId::new(
+                metric_names::NS_STORM,
+                metric_names::CPU_UTILIZATION,
+                self.name(),
+            ),
+            Statistic::Average,
+            SimDuration::from_mins(1),
+            Comparison::GreaterThan,
+            85.0,
+            2,
+        ))
     }
 }
 

@@ -133,15 +133,15 @@ impl DependencyAnalyzer {
             DependencyConfig::default(),
             vec![
                 LayerMetric {
-                    layer: Layer::Ingestion,
+                    layer: Layer::INGESTION,
                     id: MetricId::new(NS_KINESIS, INCOMING_RECORDS, stream),
                 },
                 LayerMetric {
-                    layer: Layer::Analytics,
+                    layer: Layer::ANALYTICS,
                     id: MetricId::new(NS_STORM, CPU_UTILIZATION, cluster),
                 },
                 LayerMetric {
-                    layer: Layer::Storage,
+                    layer: Layer::STORAGE,
                     id: MetricId::new(NS_DYNAMO, CONSUMED_WCU, table),
                 },
             ],
@@ -289,9 +289,9 @@ mod tests {
         DependencyAnalyzer::new(
             DependencyConfig::default(),
             vec![
-                metric(Layer::Ingestion, "records"),
-                metric(Layer::Analytics, "cpu"),
-                metric(Layer::Storage, "unrelated"),
+                metric(Layer::INGESTION, "records"),
+                metric(Layer::ANALYTICS, "cpu"),
+                metric(Layer::STORAGE, "unrelated"),
             ],
         )
     }
@@ -375,7 +375,7 @@ mod tests {
     fn clickstream_analyzer_has_three_metrics() {
         let a = DependencyAnalyzer::for_clickstream("s", "c", "t");
         assert_eq!(a.metrics().len(), 3);
-        assert_eq!(a.metrics()[0].layer, Layer::Ingestion);
+        assert_eq!(a.metrics()[0].layer, Layer::INGESTION);
         assert_eq!(a.metrics()[2].id.resource, "t");
     }
 }

@@ -21,7 +21,7 @@ use flower_workload::{
 
 use crate::config::ControllerSpec;
 use crate::error::FlowerError;
-use crate::flow::{FlowSpec, Layer, Platform};
+use crate::flow::{FlowSpec, Layer};
 use crate::monitor::CrossPlatformMonitor;
 use crate::provision::{sensors, LayerControllerConfig, ProvisioningManager};
 use crate::replan::{ReplanOutcome, Replanner};
@@ -115,13 +115,43 @@ pub struct ElasticityManagerBuilder {
     workload: Option<Workload>,
     seed: u64,
     monitoring_period: SimDuration,
-    controllers: [ControllerSpec; 3],
-    bounds: [LayerBounds; 3],
+    controllers: Vec<(Layer, ControllerSpec)>,
+    all_controllers: Option<ControllerSpec>,
+    bounds: Vec<(Layer, LayerBounds)>,
     replanner: Option<Replanner>,
     read_workload: Option<ReadWorkloadConfig>,
     rcu_controller: Option<(ControllerSpec, LayerBounds)>,
     hot_shard_sensor: bool,
     recorder: Recorder,
+}
+
+/// The default controller spec for `layer`: the paper's setpoints for
+/// the three reference layers, a 70 % utilization adaptive controller
+/// for anything else.
+fn default_controller(layer: Layer) -> ControllerSpec {
+    if layer == Layer::ANALYTICS {
+        ControllerSpec::adaptive(60.0)
+    } else if layer == Layer::STORAGE {
+        ControllerSpec::adaptive_for_capacity(70.0)
+    } else {
+        ControllerSpec::adaptive(70.0)
+    }
+}
+
+/// The default actuator bounds for `layer`: the paper's share-analysis
+/// caps for the three reference layers; `fallback_max` (the service's
+/// own deployment limit) for anything else.
+fn default_bounds(layer: Layer, fallback_max: f64) -> LayerBounds {
+    let max = if layer == Layer::INGESTION {
+        100.0
+    } else if layer == Layer::ANALYTICS {
+        50.0
+    } else if layer == Layer::STORAGE {
+        10_000.0
+    } else {
+        fallback_max
+    };
+    LayerBounds { min: 1.0, max }
 }
 
 impl ElasticityManagerBuilder {
@@ -131,25 +161,9 @@ impl ElasticityManagerBuilder {
             workload: None,
             seed: 0,
             monitoring_period: SimDuration::from_secs(30),
-            controllers: [
-                ControllerSpec::adaptive(70.0),
-                ControllerSpec::adaptive(60.0),
-                ControllerSpec::adaptive_for_capacity(70.0),
-            ],
-            bounds: [
-                LayerBounds {
-                    min: 1.0,
-                    max: 100.0,
-                },
-                LayerBounds {
-                    min: 1.0,
-                    max: 50.0,
-                },
-                LayerBounds {
-                    min: 1.0,
-                    max: 10_000.0,
-                },
-            ],
+            controllers: Vec::new(),
+            all_controllers: None,
+            bounds: Vec::new(),
             replanner: None,
             read_workload: None,
             rcu_controller: None,
@@ -187,23 +201,33 @@ impl ElasticityManagerBuilder {
         self
     }
 
-    /// Choose the controller of one layer.
+    /// Choose the controller of one layer (overrides any earlier
+    /// [`Self::all_controllers`] for that layer).
     pub fn controller(mut self, layer: Layer, spec: ControllerSpec) -> Self {
-        self.controllers[layer_index(layer)] = spec;
+        match self.controllers.iter_mut().find(|(l, _)| *l == layer) {
+            Some((_, s)) => *s = spec,
+            None => self.controllers.push((layer, spec)),
+        }
         self
     }
 
-    /// Use the same controller spec for all three layers (setpoints are
-    /// taken from the spec as-is).
+    /// Use the same controller spec for every registered layer
+    /// (setpoints are taken from the spec as-is). Clears earlier
+    /// per-layer choices.
     pub fn all_controllers(mut self, spec: ControllerSpec) -> Self {
-        self.controllers = [spec.clone(), spec.clone(), spec];
+        self.controllers.clear();
+        self.all_controllers = Some(spec);
         self
     }
 
     /// Set one layer's actuator bounds (from the share analysis).
     pub fn bounds(mut self, layer: Layer, min: f64, max: f64) -> Self {
         assert!(min >= 1.0 && min <= max, "invalid bounds [{min}, {max}]");
-        self.bounds[layer_index(layer)] = LayerBounds { min, max };
+        let b = LayerBounds { min, max };
+        match self.bounds.iter_mut().find(|(l, _)| *l == layer) {
+            Some((_, slot)) => *slot = b,
+            None => self.bounds.push((layer, b)),
+        }
         self
     }
 
@@ -276,31 +300,62 @@ impl ElasticityManagerBuilder {
         let generator = ClickStreamGenerator::new(workload.click.clone(), rng.fork(1));
 
         let stream = self.flow.ingestion.name().to_owned();
-        let cluster = self.flow.analytics.name().to_owned();
-        let table = self.flow.storage.name().to_owned();
-        let monitor = CrossPlatformMonitor::for_clickstream(&stream, &cluster, &table);
+        let mut monitor = CrossPlatformMonitor::for_clickstream(
+            &stream,
+            self.flow.analytics.name(),
+            self.flow.storage.name(),
+        );
+        if let Some(cache) = &self.flow.cache {
+            use flower_cloud::engine::metric_names::{
+                CACHE_HIT_RATIO, CACHE_NODES, CACHE_REQUESTS, CACHE_UTILIZATION, NS_CACHE,
+            };
+            for name in [
+                CACHE_REQUESTS,
+                CACHE_HIT_RATIO,
+                CACHE_UTILIZATION,
+                CACHE_NODES,
+            ] {
+                monitor.register(
+                    Layer::CACHE,
+                    flower_cloud::MetricId::new(NS_CACHE, name, cache.name()),
+                );
+            }
+        }
 
-        let initial_units = |layer: Layer| match self.flow.platform(layer) {
-            Platform::Kinesis { shards, .. } => *shards as f64,
-            Platform::Storm { vms, .. } => *vms as f64,
-            Platform::Dynamo { wcu, .. } => *wcu,
-        };
-
+        // One loop per layer the engine registers, in the registry's
+        // (ascending) layer order. Controller and bounds come from the
+        // builder's per-layer choices, falling back to the paper
+        // defaults; sensor and initial actuator level come from the
+        // layer's own service.
         let mut loops = Vec::new();
-        for layer in Layer::ALL {
-            let spec = &self.controllers[layer_index(layer)];
-            let Some(controller) = spec.build(initial_units(layer)) else {
+        let mut controller_specs = Vec::new();
+        for layer in engine.layer_ids() {
+            let Some(service) = engine.service(layer) else {
+                continue;
+            };
+            let spec = self
+                .controllers
+                .iter()
+                .find(|(l, _)| *l == layer)
+                .map(|(_, s)| s.clone())
+                .or_else(|| self.all_controllers.clone())
+                .unwrap_or_else(|| default_controller(layer));
+            let initial = service.target_units();
+            let sensor = if layer == Layer::INGESTION && self.hot_shard_sensor {
+                sensors::hot_shard_utilization(&stream)
+            } else {
+                sensors::for_service(service)
+            };
+            let b = self
+                .bounds
+                .iter()
+                .find(|(l, _)| *l == layer)
+                .map(|&(_, b)| b)
+                .unwrap_or_else(|| default_bounds(layer, service.max_units()));
+            controller_specs.push((layer, spec.clone()));
+            let Some(controller) = spec.build(initial) else {
                 continue; // static layer
             };
-            let sensor = match layer {
-                Layer::Ingestion if self.hot_shard_sensor => {
-                    sensors::hot_shard_utilization(&stream)
-                }
-                Layer::Ingestion => sensors::shard_utilization(&stream),
-                Layer::Analytics => sensors::cpu_utilization(&cluster),
-                Layer::Storage => sensors::write_utilization(&table),
-            };
-            let b = self.bounds[layer_index(layer)];
             loops.push(LayerControllerConfig {
                 layer,
                 controller,
@@ -316,6 +371,7 @@ impl ElasticityManagerBuilder {
             r.set_recorder(self.recorder.clone());
         }
 
+        let layers = engine.layer_ids();
         Ok(ElasticityManager {
             flow: self.flow,
             engine,
@@ -324,10 +380,10 @@ impl ElasticityManagerBuilder {
             generator,
             monitoring_period: self.monitoring_period,
             now: SimTime::ZERO,
-            controller_specs: self.controllers,
+            controller_specs,
             replanner,
             rcu_loop,
-            report: EpisodeReport::empty(),
+            report: EpisodeReport::for_layers(layers),
             recorder: self.recorder,
             monitor,
             alarm_spans: BTreeMap::new(),
@@ -342,24 +398,20 @@ struct RcuLoop {
     actions: u64,
 }
 
-fn layer_index(layer: Layer) -> usize {
-    match layer {
-        Layer::Ingestion => 0,
-        Layer::Analytics => 1,
-        Layer::Storage => 2,
-    }
-}
-
 /// Everything one elasticity episode produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EpisodeReport {
+    /// The layers under management, in registry (ascending) order. The
+    /// per-layer vectors below are parallel to this list.
+    pub layers: Vec<Layer>,
     /// Offered arrival rate per second, per tick.
     pub arrival_trace: Vec<(SimTime, f64)>,
     /// Per-layer measurement traces (ingestion %, analytics CPU %,
-    /// storage write %) at tick resolution.
-    pub measurement_traces: [Vec<(SimTime, f64)>; 3],
-    /// Per-layer actuator traces (shards, VMs, WCU) at tick resolution.
-    pub actuator_traces: [Vec<(SimTime, f64)>; 3],
+    /// storage write %, …) at tick resolution, parallel to `layers`.
+    pub measurement_traces: Vec<Vec<(SimTime, f64)>>,
+    /// Per-layer actuator traces (shards, VMs, WCU, …) at tick
+    /// resolution, parallel to `layers`.
+    pub actuator_traces: Vec<Vec<(SimTime, f64)>>,
     /// Total dollars spent.
     pub total_cost_dollars: f64,
     /// Records throttled at ingestion.
@@ -374,10 +426,11 @@ pub struct EpisodeReport {
     pub offered_records: u64,
     /// Records accepted at ingestion.
     pub accepted_records: u64,
-    /// Per-layer count of actuator *changes* applied.
-    pub scaling_actions: [u64; 3],
-    /// Per-layer count of rejected actuations.
-    pub rejected_actuations: [u64; 3],
+    /// Per-layer count of actuator *changes* applied, parallel to
+    /// `layers`.
+    pub scaling_actions: Vec<u64>,
+    /// Per-layer count of rejected actuations, parallel to `layers`.
+    pub rejected_actuations: Vec<u64>,
     /// Storage-layer read utilization trace (%, empty without a read
     /// workload).
     pub read_utilization_trace: Vec<(SimTime, f64)>,
@@ -390,11 +443,13 @@ pub struct EpisodeReport {
 }
 
 impl EpisodeReport {
-    fn empty() -> EpisodeReport {
+    fn for_layers(layers: Vec<Layer>) -> EpisodeReport {
+        let n = layers.len();
         EpisodeReport {
+            layers,
             arrival_trace: Vec::new(),
-            measurement_traces: [Vec::new(), Vec::new(), Vec::new()],
-            actuator_traces: [Vec::new(), Vec::new(), Vec::new()],
+            measurement_traces: vec![Vec::new(); n],
+            actuator_traces: vec![Vec::new(); n],
             total_cost_dollars: 0.0,
             throttled_ingest: 0,
             throttled_storage: 0,
@@ -402,8 +457,8 @@ impl EpisodeReport {
             dropped_tuples: 0,
             offered_records: 0,
             accepted_records: 0,
-            scaling_actions: [0; 3],
-            rejected_actuations: [0; 3],
+            scaling_actions: vec![0; n],
+            rejected_actuations: vec![0; n],
             read_utilization_trace: Vec::new(),
             rcu_trace: Vec::new(),
             throttled_reads: 0,
@@ -411,14 +466,24 @@ impl EpisodeReport {
         }
     }
 
-    /// One layer's measurement trace.
-    pub fn measurements(&self, layer: Layer) -> &[(SimTime, f64)] {
-        &self.measurement_traces[layer_index(layer)]
+    fn layer_slot(&self, layer: Layer) -> Option<usize> {
+        self.layers.iter().position(|&l| l == layer)
     }
 
-    /// One layer's actuator trace.
+    /// One layer's measurement trace (empty for unmanaged layers).
+    pub fn measurements(&self, layer: Layer) -> &[(SimTime, f64)] {
+        self.layer_slot(layer)
+            .and_then(|i| self.measurement_traces.get(i))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// One layer's actuator trace (empty for unmanaged layers).
     pub fn actuators(&self, layer: Layer) -> &[(SimTime, f64)] {
-        &self.actuator_traces[layer_index(layer)]
+        self.layer_slot(layer)
+            .and_then(|i| self.actuator_traces.get(i))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Fraction of offered records lost to ingestion throttling.
@@ -450,7 +515,7 @@ pub struct ElasticityManager {
     generator: ClickStreamGenerator,
     monitoring_period: SimDuration,
     now: SimTime,
-    controller_specs: [ControllerSpec; 3],
+    controller_specs: Vec<(Layer, ControllerSpec)>,
     replanner: Option<Replanner>,
     rcu_loop: Option<RcuLoop>,
     report: EpisodeReport,
@@ -475,9 +540,13 @@ impl ElasticityManager {
         &self.engine
     }
 
-    /// The controller spec of one layer.
-    pub fn controller_spec(&self, layer: Layer) -> &ControllerSpec {
-        &self.controller_specs[layer_index(layer)]
+    /// The controller spec of one layer (`None` for layers the engine
+    /// does not register).
+    pub fn controller_spec(&self, layer: Layer) -> Option<&ControllerSpec> {
+        self.controller_specs
+            .iter()
+            .find(|(l, _)| *l == layer)
+            .map(|(_, s)| s)
     }
 
     /// Current virtual time.
@@ -511,11 +580,12 @@ impl ElasticityManager {
         let end = self.now + duration;
         self.recorder.set_now(self.now);
         let episode_span = self.recorder.span_enter("episode.run");
-        let mut prev_actuators = [
-            self.engine.kinesis().shards() as f64,
-            self.engine.storm().target_vms() as f64,
-            self.engine.dynamo().provisioned_wcu(),
-        ];
+        let mut prev_actuators: Vec<f64> = self
+            .engine
+            .services()
+            .iter()
+            .map(|s| s.actuator_units())
+            .collect();
         while self.now < end {
             let rate = self.process.rate(self.now);
             let records = self.generator.tick_at_rate(rate, self.now, 1.0);
@@ -530,10 +600,14 @@ impl ElasticityManager {
             self.report.dropped_tuples += tick.process.dropped;
             self.report.total_cost_dollars += tick.cost;
 
-            let [ingest_trace, cpu_trace, write_trace] = &mut self.report.measurement_traces;
-            ingest_trace.push((self.now, tick.ingest.utilization * 100.0));
-            cpu_trace.push((self.now, tick.process.cpu_pct));
-            write_trace.push((self.now, tick.write.utilization * 100.0));
+            for (i, service) in self.engine.services().into_iter().enumerate() {
+                let Some(v) = service.measurement(&tick) else {
+                    continue;
+                };
+                if let Some(trace) = self.report.measurement_traces.get_mut(i) {
+                    trace.push((self.now, v));
+                }
+            }
             self.report.throttled_reads += tick.read.throttled;
             self.report
                 .read_utilization_trace
@@ -542,15 +616,21 @@ impl ElasticityManager {
                 .rcu_trace
                 .push((self.now, self.engine.dynamo().provisioned_rcu()));
 
-            let actuators = [
-                self.engine.kinesis().shards() as f64,
-                self.engine.storm().target_vms() as f64,
-                self.engine.dynamo().provisioned_wcu(),
-            ];
+            let actuators: Vec<f64> = self
+                .engine
+                .services()
+                .iter()
+                .map(|s| s.actuator_units())
+                .collect();
             for (i, &a) in actuators.iter().enumerate() {
-                self.report.actuator_traces[i].push((self.now, a));
-                if (a - prev_actuators[i]).abs() > 1e-9 {
-                    self.report.scaling_actions[i] += 1;
+                if let Some(trace) = self.report.actuator_traces.get_mut(i) {
+                    trace.push((self.now, a));
+                }
+                let changed = prev_actuators.get(i).is_some_and(|p| (a - p).abs() > 1e-9);
+                if changed {
+                    if let Some(slot) = self.report.scaling_actions.get_mut(i) {
+                        *slot += 1;
+                    }
                 }
             }
             prev_actuators = actuators;
@@ -624,12 +704,7 @@ impl ElasticityManager {
             if let Some(replanner) = &mut self.replanner {
                 if replanner.is_due(next) {
                     if let Ok(outcome) = replanner.replan(self.engine.metrics(), next) {
-                        let plan = &outcome.plan;
-                        for (layer, max_units) in [
-                            (Layer::Ingestion, plan.shards),
-                            (Layer::Analytics, plan.vms),
-                            (Layer::Storage, plan.wcu),
-                        ] {
+                        for (layer, max_units) in outcome.plan.shares.iter() {
                             self.provisioning.set_bounds(layer, 1.0, max_units.max(1.0));
                         }
                     }
@@ -637,8 +712,11 @@ impl ElasticityManager {
             }
             self.now = next;
         }
-        for layer in Layer::ALL {
-            self.report.rejected_actuations[layer_index(layer)] = self.provisioning.rejected(layer);
+        let managed = self.report.layers.clone();
+        for (i, layer) in managed.into_iter().enumerate() {
+            if let Some(slot) = self.report.rejected_actuations.get_mut(i) {
+                *slot = self.provisioning.rejected(layer);
+            }
         }
         if let Some(rcu) = &self.rcu_loop {
             self.report.rcu_actions = rcu.actions;
@@ -688,14 +766,14 @@ mod tests {
         let mut m = manager(Workload::constant(4_500.0));
         let report = m.run_for_mins(20);
         // Shards must have grown beyond the initial 2 (capacity 2,000/s).
-        let final_shards = report.actuators(Layer::Ingestion).last().unwrap().1;
+        let final_shards = report.actuators(Layer::INGESTION).last().unwrap().1;
         assert!(final_shards > 2.0, "shards stuck at {final_shards}");
         // And VMs beyond the initial 2.
-        let final_vms = report.actuators(Layer::Analytics).last().unwrap().1;
+        let final_vms = report.actuators(Layer::ANALYTICS).last().unwrap().1;
         assert!(final_vms > 2.0, "vms stuck at {final_vms}");
         // Loss rate must fall over time: compare first vs last 5 minutes
         // of ingestion utilization (should approach the 70% setpoint).
-        let meas = report.measurements(Layer::Ingestion);
+        let meas = report.measurements(Layer::INGESTION);
         let early: f64 = meas[..60].iter().map(|&(_, v)| v).sum::<f64>() / 60.0;
         let late: f64 = meas[meas.len() - 300..]
             .iter()
@@ -717,8 +795,8 @@ mod tests {
             .unwrap();
         let report = m.run_for_mins(5);
         assert_eq!(report.total_actions(), 0);
-        assert_eq!(report.actuators(Layer::Ingestion).last().unwrap().1, 2.0);
-        assert_eq!(report.actuators(Layer::Storage).last().unwrap().1, 100.0);
+        assert_eq!(report.actuators(Layer::INGESTION).last().unwrap().1, 2.0);
+        assert_eq!(report.actuators(Layer::STORAGE).last().unwrap().1, 100.0);
         // Under-provisioned static deployment keeps throttling.
         assert!(report.ingest_loss_rate() > 0.2);
     }
@@ -732,11 +810,11 @@ mod tests {
             .unwrap();
         let report = m.run_for_mins(40);
         let shards_peak = report
-            .actuators(Layer::Ingestion)
+            .actuators(Layer::INGESTION)
             .iter()
             .map(|&(_, v)| v)
             .fold(0.0, f64::max);
-        let shards_final = report.actuators(Layer::Ingestion).last().unwrap().1;
+        let shards_final = report.actuators(Layer::INGESTION).last().unwrap().1;
         assert!(shards_peak >= 3.0, "peak shards {shards_peak}");
         assert!(
             shards_final < shards_peak,
@@ -748,13 +826,13 @@ mod tests {
     fn bounds_are_respected() {
         let mut m = ElasticityManager::builder(clickstream_flow())
             .workload(Workload::constant(8_000.0))
-            .bounds(Layer::Ingestion, 1.0, 4.0)
+            .bounds(Layer::INGESTION, 1.0, 4.0)
             .seed(7)
             .build()
             .unwrap();
         let report = m.run_for_mins(15);
         let max_shards = report
-            .actuators(Layer::Ingestion)
+            .actuators(Layer::INGESTION)
             .iter()
             .map(|&(_, v)| v)
             .fold(0.0, f64::max);
@@ -798,7 +876,7 @@ mod tests {
     fn response_metrics_are_computable() {
         let mut m = manager(Workload::constant(2_000.0));
         let report = m.run_for_mins(10);
-        let rm = report.response_metrics(Layer::Analytics, 60.0, 15.0);
+        let rm = report.response_metrics(Layer::ANALYTICS, 60.0, 15.0);
         assert!(rm.integral_abs_error >= 0.0);
         assert!(rm.violation_rate >= 0.0 && rm.violation_rate <= 1.0);
     }

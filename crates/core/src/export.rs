@@ -30,12 +30,12 @@ pub fn episode_to_csv<W: Write>(report: &EpisodeReport, mut w: W) -> std::io::Re
             w,
             "{},{arrival},{},{},{},{},{},{},{},{}",
             t.as_secs(),
-            get(report.measurements(Layer::Ingestion)),
-            get(report.actuators(Layer::Ingestion)),
-            get(report.measurements(Layer::Analytics)),
-            get(report.actuators(Layer::Analytics)),
-            get(report.measurements(Layer::Storage)),
-            get(report.actuators(Layer::Storage)),
+            get(report.measurements(Layer::INGESTION)),
+            get(report.actuators(Layer::INGESTION)),
+            get(report.measurements(Layer::ANALYTICS)),
+            get(report.actuators(Layer::ANALYTICS)),
+            get(report.measurements(Layer::STORAGE)),
+            get(report.actuators(Layer::STORAGE)),
             get(&report.read_utilization_trace),
             get(&report.rcu_trace),
         )?;
@@ -54,17 +54,8 @@ pub fn summary_to_csv<W: Write>(report: &EpisodeReport, mut w: W) -> std::io::Re
     writeln!(w, "dropped_tuples,{}", report.dropped_tuples)?;
     writeln!(w, "total_cost_dollars,{}", report.total_cost_dollars)?;
     writeln!(w, "ingest_loss_rate,{}", report.ingest_loss_rate())?;
-    for layer in Layer::ALL {
-        writeln!(
-            w,
-            "scaling_actions_{},{}",
-            layer.label(),
-            report.scaling_actions[match layer {
-                Layer::Ingestion => 0,
-                Layer::Analytics => 1,
-                Layer::Storage => 2,
-            }]
-        )?;
+    for (layer, actions) in report.layers.iter().zip(&report.scaling_actions) {
+        writeln!(w, "scaling_actions_{},{actions}", layer.label())?;
     }
     writeln!(w, "rcu_actions,{}", report.rcu_actions)?;
     Ok(())
@@ -116,13 +107,14 @@ mod tests {
         // trace (a ragged episode): missing cells take the NaN fill and
         // must survive a CSV round-trip.
         let report = EpisodeReport {
+            layers: Layer::ALL.to_vec(),
             arrival_trace: vec![(t(0), 100.0), (t(1), 110.0), (t(2), 120.0)],
-            measurement_traces: [
+            measurement_traces: vec![
                 vec![(t(0), 50.0), (t(1), 55.0)], // one short
                 vec![(t(0), 40.0)],               // two short
                 Vec::new(),                       // empty
             ],
-            actuator_traces: [
+            actuator_traces: vec![
                 vec![(t(0), 2.0), (t(1), 2.0), (t(2), 3.0)],
                 vec![(t(0), 2.0)],
                 Vec::new(),
@@ -136,8 +128,8 @@ mod tests {
             dropped_tuples: 0,
             offered_records: 0,
             accepted_records: 0,
-            scaling_actions: [0; 3],
-            rejected_actuations: [0; 3],
+            scaling_actions: vec![0; 3],
+            rejected_actuations: vec![0; 3],
             throttled_reads: 0,
             rcu_actions: 0,
         };

@@ -5,49 +5,18 @@
 //! combination and [`FlowSpec::engine_config`] materializes the simulated
 //! cloud deployment the elasticity manager runs against.
 
-use flower_cloud::{DynamoConfig, EngineConfig, KinesisConfig, StormConfig, Topology};
+use flower_cloud::{CacheConfig, DynamoConfig, EngineConfig, KinesisConfig, StormConfig, Topology};
 
 use crate::error::FlowerError;
 
-/// The three layers of a data analytics flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum Layer {
-    /// Stream ingestion (Kinesis in the paper's demo).
-    Ingestion,
-    /// Stream analytics (Storm on EC2).
-    Analytics,
-    /// Result storage (DynamoDB).
-    Storage,
-}
-
-impl Layer {
-    /// All layers in pipeline order.
-    pub const ALL: [Layer; 3] = [Layer::Ingestion, Layer::Analytics, Layer::Storage];
-
-    /// Short label for reports.
-    pub fn label(self) -> &'static str {
-        match self {
-            Layer::Ingestion => "ingestion",
-            Layer::Analytics => "analytics",
-            Layer::Storage => "storage",
-        }
-    }
-
-    /// The resource unit this layer scales, as the paper names them.
-    pub fn resource_unit(self) -> &'static str {
-        match self {
-            Layer::Ingestion => "shards",
-            Layer::Analytics => "VMs",
-            Layer::Storage => "write capacity units",
-        }
-    }
-}
-
-impl std::fmt::Display for Layer {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.label())
-    }
-}
+/// A layer of a data analytics flow.
+///
+/// This is [`flower_cloud::LayerId`] — an open identity, not a closed
+/// enum. The paper's three layers are `Layer::INGESTION`,
+/// `Layer::ANALYTICS`, and `Layer::STORAGE`; extensions (like the cache
+/// tier, `Layer::CACHE`) and custom layers minted with [`Layer::new`]
+/// slot into the same ordering.
+pub type Layer = flower_cloud::LayerId;
 
 /// A platform dropped onto the canvas: which service, its name, and its
 /// initial capacity.
@@ -73,6 +42,13 @@ pub enum Platform {
         name: String,
         /// Initial write capacity units.
         wcu: f64,
+    },
+    /// An ElastiCache-like cluster with an initial node count.
+    Cache {
+        /// Cluster name.
+        name: String,
+        /// Initial cache nodes.
+        nodes: u32,
     },
 }
 
@@ -101,12 +77,21 @@ impl Platform {
         }
     }
 
+    /// An ElastiCache-like cluster.
+    pub fn cache(name: impl Into<String>, nodes: u32) -> Platform {
+        Platform::Cache {
+            name: name.into(),
+            nodes,
+        }
+    }
+
     /// Which layer this platform can serve.
     pub fn layer(&self) -> Layer {
         match self {
-            Platform::Kinesis { .. } => Layer::Ingestion,
-            Platform::Storm { .. } => Layer::Analytics,
-            Platform::Dynamo { .. } => Layer::Storage,
+            Platform::Kinesis { .. } => Layer::INGESTION,
+            Platform::Storm { .. } => Layer::ANALYTICS,
+            Platform::Dynamo { .. } => Layer::STORAGE,
+            Platform::Cache { .. } => Layer::CACHE,
         }
     }
 
@@ -115,12 +100,14 @@ impl Platform {
         match self {
             Platform::Kinesis { name, .. }
             | Platform::Storm { name, .. }
-            | Platform::Dynamo { name, .. } => name,
+            | Platform::Dynamo { name, .. }
+            | Platform::Cache { name, .. } => name,
         }
     }
 }
 
-/// A validated three-layer flow.
+/// A validated flow: the paper's three layers, plus an optional cache
+/// tier.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlowSpec {
     /// Flow name.
@@ -131,16 +118,31 @@ pub struct FlowSpec {
     pub analytics: Platform,
     /// Storage platform.
     pub storage: Platform,
+    /// Cache tier, when deployed.
+    pub cache: Option<Platform>,
 }
 
 impl FlowSpec {
-    /// The platform serving `layer`.
-    pub fn platform(&self, layer: Layer) -> &Platform {
-        match layer {
-            Layer::Ingestion => &self.ingestion,
-            Layer::Analytics => &self.analytics,
-            Layer::Storage => &self.storage,
+    /// The platform serving `layer`, if the flow populates it.
+    pub fn platform(&self, layer: Layer) -> Option<&Platform> {
+        [&self.ingestion, &self.analytics, &self.storage]
+            .into_iter()
+            .chain(self.cache.as_ref())
+            .find(|p| p.layer() == layer)
+    }
+
+    /// The layers this flow populates, in ascending order.
+    pub fn layers(&self) -> Vec<Layer> {
+        let mut layers = vec![
+            self.ingestion.layer(),
+            self.analytics.layer(),
+            self.storage.layer(),
+        ];
+        if let Some(cache) = &self.cache {
+            layers.push(cache.layer());
         }
+        layers.sort();
+        layers
     }
 
     /// Materialize the simulated cloud deployment for this flow.
@@ -157,6 +159,14 @@ impl FlowSpec {
             Platform::Dynamo { name, wcu } => (name.clone(), *wcu),
             _ => unreachable!("validated by the builder"),
         };
+        let cache = self.cache.as_ref().map(|platform| match platform {
+            Platform::Cache { name, nodes } => CacheConfig {
+                name: name.clone(),
+                initial_nodes: *nodes,
+                ..Default::default()
+            },
+            _ => unreachable!("validated by the builder"),
+        });
         EngineConfig {
             kinesis: KinesisConfig {
                 name: stream_name,
@@ -174,6 +184,7 @@ impl FlowSpec {
                 ..Default::default()
             },
             topology: Topology::clickstream(),
+            cache,
             ..Default::default()
         }
     }
@@ -186,6 +197,7 @@ pub struct FlowBuilder {
     ingestion: Option<Platform>,
     analytics: Option<Platform>,
     storage: Option<Platform>,
+    cache: Option<Platform>,
 }
 
 impl FlowBuilder {
@@ -215,6 +227,12 @@ impl FlowBuilder {
         self
     }
 
+    /// Drop a platform onto the optional cache tier.
+    pub fn cache(mut self, platform: Platform) -> FlowBuilder {
+        self.cache = Some(platform);
+        self
+    }
+
     /// Validate and produce the flow.
     ///
     /// Checks: every layer is populated, each platform sits on a layer it
@@ -234,12 +252,16 @@ impl FlowBuilder {
             .storage
             .ok_or_else(|| FlowerError::InvalidFlow("storage layer is empty".into()))?;
 
-        for (expected, platform) in [
-            (Layer::Ingestion, &ingestion),
-            (Layer::Analytics, &analytics),
-            (Layer::Storage, &storage),
-        ] {
-            if platform.layer() != expected {
+        let mut placements = vec![
+            (Layer::INGESTION, &ingestion),
+            (Layer::ANALYTICS, &analytics),
+            (Layer::STORAGE, &storage),
+        ];
+        if let Some(cache) = &self.cache {
+            placements.push((Layer::CACHE, cache));
+        }
+        for (expected, platform) in &placements {
+            if platform.layer() != *expected {
                 return Err(FlowerError::InvalidFlow(format!(
                     "platform '{}' cannot serve the {expected} layer",
                     platform.name()
@@ -251,9 +273,12 @@ impl FlowBuilder {
                 )));
             }
         }
-        let (n_ingest, n_analytics, n_storage) =
-            (ingestion.name(), analytics.name(), storage.name());
-        if n_ingest == n_analytics || n_ingest == n_storage || n_analytics == n_storage {
+        let names: Vec<&str> = placements.iter().map(|(_, p)| p.name()).collect();
+        if names
+            .iter()
+            .enumerate()
+            .any(|(i, n)| names.iter().skip(i + 1).any(|m| m == n))
+        {
             return Err(FlowerError::InvalidFlow(
                 "platform names must be unique".into(),
             ));
@@ -275,12 +300,18 @@ impl FlowBuilder {
                 ));
             }
         }
+        if let Some(Platform::Cache { nodes: 0, .. }) = self.cache {
+            return Err(FlowerError::InvalidFlow(
+                "cache needs at least one node".into(),
+            ));
+        }
 
         Ok(FlowSpec {
             name: self.name,
             ingestion,
             analytics,
             storage,
+            cache: self.cache,
         })
     }
 }
@@ -297,6 +328,20 @@ pub fn clickstream_flow() -> FlowSpec {
         .expect("the reference flow is valid")
 }
 
+/// The demo flow extended with a fourth tier: a cache on the storage
+/// read path, proving the layer registry is open beyond the paper's
+/// three layers.
+#[allow(clippy::expect_used)] // invariant stated in the expect message
+pub fn cached_clickstream_flow() -> FlowSpec {
+    FlowBuilder::new("clickstream-analytics-cached")
+        .ingestion(Platform::kinesis("clicks", 2))
+        .analytics(Platform::storm("counter", 2))
+        .storage(Platform::dynamo("aggregates", 100.0))
+        .cache(Platform::cache("hot-aggregates", 1))
+        .build()
+        .expect("the reference flow is valid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,9 +350,47 @@ mod tests {
     fn valid_flow_builds() {
         let flow = clickstream_flow();
         assert_eq!(flow.name, "clickstream-analytics");
-        assert_eq!(flow.platform(Layer::Ingestion).name(), "clicks");
-        assert_eq!(flow.platform(Layer::Analytics).name(), "counter");
-        assert_eq!(flow.platform(Layer::Storage).name(), "aggregates");
+        assert_eq!(flow.platform(Layer::INGESTION).unwrap().name(), "clicks");
+        assert_eq!(flow.platform(Layer::ANALYTICS).unwrap().name(), "counter");
+        assert_eq!(flow.platform(Layer::STORAGE).unwrap().name(), "aggregates");
+        assert!(flow.platform(Layer::CACHE).is_none());
+        assert_eq!(flow.layers(), Layer::ALL.to_vec());
+    }
+
+    #[test]
+    fn cached_flow_adds_a_fourth_layer() {
+        let flow = cached_clickstream_flow();
+        assert_eq!(
+            flow.platform(Layer::CACHE).unwrap().name(),
+            "hot-aggregates"
+        );
+        assert_eq!(
+            flow.layers(),
+            vec![
+                Layer::INGESTION,
+                Layer::ANALYTICS,
+                Layer::STORAGE,
+                Layer::CACHE
+            ]
+        );
+        let cfg = flow.engine_config();
+        let cache = cfg.cache.expect("cache tier configured");
+        assert_eq!(cache.name, "hot-aggregates");
+        assert_eq!(cache.initial_nodes, 1);
+    }
+
+    #[test]
+    fn cache_validation() {
+        let base = || {
+            FlowBuilder::new("x")
+                .ingestion(Platform::kinesis("a", 1))
+                .analytics(Platform::storm("b", 1))
+                .storage(Platform::dynamo("c", 10.0))
+        };
+        assert!(base().cache(Platform::cache("d", 0)).build().is_err());
+        assert!(base().cache(Platform::cache("c", 1)).build().is_err());
+        assert!(base().cache(Platform::kinesis("d", 1)).build().is_err());
+        assert!(base().cache(Platform::cache("d", 1)).build().is_ok());
     }
 
     #[test]
@@ -381,10 +464,11 @@ mod tests {
 
     #[test]
     fn layer_metadata() {
-        assert_eq!(Layer::Ingestion.resource_unit(), "shards");
-        assert_eq!(Layer::Analytics.resource_unit(), "VMs");
-        assert_eq!(Layer::Storage.resource_unit(), "write capacity units");
+        assert_eq!(Layer::INGESTION.resource_unit(), "shards");
+        assert_eq!(Layer::ANALYTICS.resource_unit(), "VMs");
+        assert_eq!(Layer::STORAGE.resource_unit(), "write capacity units");
+        assert_eq!(Layer::CACHE.resource_unit(), "cache nodes");
         assert_eq!(Layer::ALL.len(), 3);
-        assert_eq!(Layer::Analytics.to_string(), "analytics");
+        assert_eq!(Layer::ANALYTICS.to_string(), "analytics");
     }
 }

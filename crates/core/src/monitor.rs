@@ -160,7 +160,7 @@ impl CrossPlatformMonitor {
             SHARD_UTILIZATION,
             OPEN_SHARDS,
         ] {
-            monitor.register(Layer::Ingestion, MetricId::new(NS_KINESIS, name, stream));
+            monitor.register(Layer::INGESTION, MetricId::new(NS_KINESIS, name, stream));
         }
         for name in [
             CPU_UTILIZATION,
@@ -169,7 +169,7 @@ impl CrossPlatformMonitor {
             PROCESS_LATENCY,
             RUNNING_VMS,
         ] {
-            monitor.register(Layer::Analytics, MetricId::new(NS_STORM, name, cluster));
+            monitor.register(Layer::ANALYTICS, MetricId::new(NS_STORM, name, cluster));
         }
         for name in [
             CONSUMED_WCU,
@@ -181,7 +181,7 @@ impl CrossPlatformMonitor {
             READ_UTILIZATION,
             PROVISIONED_RCU,
         ] {
-            monitor.register(Layer::Storage, MetricId::new(NS_DYNAMO, name, table));
+            monitor.register(Layer::STORAGE, MetricId::new(NS_DYNAMO, name, table));
         }
         // Default health alarms, one per layer (1-minute average over two
         // consecutive evaluations, CloudWatch-style).
@@ -314,9 +314,9 @@ mod tests {
             SimDuration::from_mins(2),
         );
         assert_eq!(snap.rows.len(), 17, "all metrics have data");
-        assert_eq!(snap.layer_rows(Layer::Ingestion).len(), 4);
-        assert_eq!(snap.layer_rows(Layer::Analytics).len(), 5);
-        assert_eq!(snap.layer_rows(Layer::Storage).len(), 8);
+        assert_eq!(snap.layer_rows(Layer::INGESTION).len(), 4);
+        assert_eq!(snap.layer_rows(Layer::ANALYTICS).len(), 5);
+        assert_eq!(snap.layer_rows(Layer::STORAGE).len(), 8);
     }
 
     #[test]
@@ -379,8 +379,8 @@ mod tests {
     fn duplicate_registration_is_deduplicated() {
         let mut m = CrossPlatformMonitor::new();
         let id = MetricId::new("ns", "m", "r");
-        assert!(m.register(Layer::Ingestion, id.clone()));
-        assert!(!m.register(Layer::Ingestion, id));
+        assert!(m.register(Layer::INGESTION, id.clone()));
+        assert!(!m.register(Layer::INGESTION, id));
         assert_eq!(m.len(), 1);
     }
 
@@ -391,14 +391,14 @@ mod tests {
         // the stale layer forever. Last registration must win.
         let mut m = CrossPlatformMonitor::new();
         let id = MetricId::new("ns", "m", "r");
-        assert!(m.register(Layer::Ingestion, id.clone()));
-        assert!(!m.register(Layer::Storage, id.clone()));
+        assert!(m.register(Layer::INGESTION, id.clone()));
+        assert!(!m.register(Layer::STORAGE, id.clone()));
         assert_eq!(m.len(), 1, "still one registration");
         let mut store = MetricsStore::new();
         store.put(id, SimTime::from_secs(1), 42.0);
         let snap = m.snapshot(&store, SimTime::from_secs(2), SimDuration::from_secs(10));
-        assert!(snap.layer_rows(Layer::Ingestion).is_empty());
-        assert_eq!(snap.layer_rows(Layer::Storage).len(), 1);
+        assert!(snap.layer_rows(Layer::INGESTION).is_empty());
+        assert_eq!(snap.layer_rows(Layer::STORAGE).len(), 1);
     }
 
     #[test]

@@ -6,11 +6,14 @@
 //! controllers' commands, such as adding or removing VMs and increasing
 //! or decreasing number of Shards." (§2)
 //!
-//! The [`ProvisioningManager`] owns the three loops and steps them every
-//! monitoring period against the simulated cloud. Actuator commands are
-//! rounded to deployable units, clamped to the bounds the share analysis
-//! produced, and — crucially — the applied value is synced back into the
-//! controller so it never winds up against a limit it cannot cross.
+//! The [`ProvisioningManager`] owns one loop per registered layer and
+//! steps them every monitoring period against the simulated cloud.
+//! Actuator commands are rounded to deployable units, clamped to the
+//! bounds the share analysis produced, and — crucially — the applied
+//! value is synced back into the controller so it never winds up against
+//! a limit it cannot cross. Actuations dispatch through the engine's
+//! [`flower_cloud::LayerService`] registry, so a loop works for any
+//! layer the engine knows about.
 
 use flower_cloud::{CloudEngine, MetricId, MetricsStore, Statistic};
 use flower_control::Controller;
@@ -187,11 +190,7 @@ impl ProvisioningManager {
             let desired = commanded.clamp(l.config.min_units, l.config.max_units);
             let applied = desired.round();
 
-            let accepted = match l.config.layer {
-                Layer::Ingestion => engine.scale_shards(applied as u32, now).is_ok(),
-                Layer::Analytics => engine.scale_vms(applied as u32, now).is_ok(),
-                Layer::Storage => engine.scale_wcu(applied, now).is_ok(),
-            };
+            let accepted = engine.actuate(l.config.layer, applied, now).is_ok();
             if !accepted {
                 l.rejected += 1;
             }
@@ -205,11 +204,7 @@ impl ProvisioningManager {
             let in_force = if accepted {
                 desired
             } else {
-                match l.config.layer {
-                    Layer::Ingestion => engine.kinesis().target_shards() as f64,
-                    Layer::Analytics => engine.storm().target_vms() as f64,
-                    Layer::Storage => engine.dynamo().target_wcu(),
-                }
+                engine.target_units(l.config.layer).unwrap_or(desired)
             };
             l.config.controller.sync_actuator(in_force);
 
@@ -310,6 +305,27 @@ pub mod sensors {
             scale: 100.0,
         }
     }
+
+    /// Cache: average node utilization over the window, as %.
+    pub fn cache_utilization(cluster: &str) -> SensorSpec {
+        SensorSpec {
+            metric: MetricId::new(NS_CACHE, CACHE_UTILIZATION, cluster),
+            statistic: Statistic::Average,
+            scale: 100.0,
+        }
+    }
+
+    /// The sensor a [`flower_cloud::LayerService`] declares for itself
+    /// ([`flower_cloud::LayerService::utilization_sensor`]) — how loops
+    /// for registry layers get their sensors without per-layer wiring.
+    pub fn for_service(service: &dyn flower_cloud::LayerService) -> SensorSpec {
+        let probe = service.utilization_sensor();
+        SensorSpec {
+            metric: probe.metric,
+            statistic: probe.statistic,
+            scale: probe.scale,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -337,7 +353,7 @@ mod tests {
 
     fn analytics_loop() -> LayerControllerConfig {
         LayerControllerConfig {
-            layer: Layer::Analytics,
+            layer: Layer::ANALYTICS,
             controller: Box::new(AdaptiveController::new(AdaptiveConfig {
                 setpoint: 60.0,
                 u_init: 2.0,
@@ -423,7 +439,7 @@ mod tests {
             "should have scaled out, still at {}",
             e.storm().target_vms()
         );
-        let history = manager.history(Layer::Analytics);
+        let history = manager.history(Layer::ANALYTICS);
         assert!(!history.is_empty());
         assert!(history.iter().all(|r| r.accepted));
     }
@@ -435,7 +451,7 @@ mod tests {
             ProvisioningManager::new(vec![analytics_loop()], SimDuration::from_secs(30));
         let records = manager.step(&mut e, SimTime::from_secs(30));
         assert!(records.is_empty());
-        assert!(manager.history(Layer::Analytics).is_empty());
+        assert!(manager.history(Layer::ANALYTICS).is_empty());
     }
 
     #[test]
@@ -457,7 +473,7 @@ mod tests {
             }
         }
         assert!(e.storm().target_vms() <= 3, "clamped at 3 VMs");
-        let history = manager.history(Layer::Analytics);
+        let history = manager.history(Layer::ANALYTICS);
         assert!(history.iter().all(|r| r.applied <= 3.0));
         // The raw command should exceed the clamp under this overload.
         assert!(history.iter().any(|r| r.commanded > 3.0));
@@ -466,10 +482,10 @@ mod tests {
     #[test]
     fn layers_listed() {
         let manager = ProvisioningManager::new(vec![analytics_loop()], SimDuration::from_secs(30));
-        assert_eq!(manager.layers(), vec![Layer::Analytics]);
+        assert_eq!(manager.layers(), vec![Layer::ANALYTICS]);
         assert_eq!(manager.window(), SimDuration::from_secs(30));
-        assert_eq!(manager.rejected(Layer::Analytics), 0);
-        assert!(manager.history(Layer::Storage).is_empty());
+        assert_eq!(manager.rejected(Layer::ANALYTICS), 0);
+        assert!(manager.history(Layer::STORAGE).is_empty());
     }
 
     #[test]

@@ -50,12 +50,15 @@ impl PlanSelection {
     #[allow(clippy::expect_used)] // invariant stated in the expect message
     pub fn pick<'a>(&self, plans: &'a [ResourceShares]) -> &'a ResourceShares {
         assert!(!plans.is_empty(), "cannot select from an empty plan list");
+        let max_of = |layer: Layer| {
+            plans
+                .iter()
+                .max_by(|a, b| a.of(layer).total_cmp(&b.of(layer)))
+        };
         let picked = match self {
-            PlanSelection::MaxIngestion => {
-                plans.iter().max_by(|a, b| a.shards.total_cmp(&b.shards))
-            }
-            PlanSelection::MaxAnalytics => plans.iter().max_by(|a, b| a.vms.total_cmp(&b.vms)),
-            PlanSelection::MaxStorage => plans.iter().max_by(|a, b| a.wcu.total_cmp(&b.wcu)),
+            PlanSelection::MaxIngestion => max_of(Layer::INGESTION),
+            PlanSelection::MaxAnalytics => max_of(Layer::ANALYTICS),
+            PlanSelection::MaxStorage => max_of(Layer::STORAGE),
             PlanSelection::Balanced => plans
                 .iter()
                 .min_by(|a, b| balance_score(a).total_cmp(&balance_score(b))),
@@ -64,15 +67,35 @@ impl PlanSelection {
     }
 }
 
-/// Spread of per-layer spend (smaller = more even).
+/// Hourly list price of one unit of `layer`'s resource. Unknown layers
+/// price at zero — they then carry no weight in the balance score.
+fn layer_unit_price(prices: &flower_cloud::PriceList, layer: Layer) -> f64 {
+    if layer == Layer::INGESTION {
+        prices.shard_hour
+    } else if layer == Layer::ANALYTICS {
+        prices.vm_hour
+    } else if layer == Layer::STORAGE {
+        prices.wcu_hour
+    } else if layer == Layer::CACHE {
+        prices.cache_node_hour
+    } else {
+        0.0
+    }
+}
+
+/// Spread of per-layer spend (smaller = more even), over whatever layers
+/// the plan covers (ascending layer order).
 fn balance_score(plan: &ResourceShares) -> f64 {
     let prices = flower_cloud::PriceList::default();
-    let spends = [
-        plan.shards * prices.shard_hour,
-        plan.vms * prices.vm_hour,
-        plan.wcu * prices.wcu_hour,
-    ];
-    let mean = spends.iter().sum::<f64>() / 3.0;
+    let spends: Vec<f64> = plan
+        .shares
+        .iter()
+        .map(|(layer, units)| units * layer_unit_price(&prices, layer))
+        .collect();
+    if spends.is_empty() {
+        return 0.0;
+    }
+    let mean = spends.iter().sum::<f64>() / spends.len() as f64;
     spends.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
 }
 
@@ -135,10 +158,11 @@ pub struct Replanner {
     config: ReplanConfig,
     analyzer: DependencyAnalyzer,
     base_problem: ShareProblem,
-    /// Metric ids of the three layers' deployed resource levels
-    /// (open shards, running VMs, provisioned WCU), used to anchor
-    /// learned dependencies in resource space.
-    resource_metrics: Option<[MetricId; 3]>,
+    /// Metric id of each layer's deployed resource level (open shards,
+    /// running VMs, provisioned WCU, cache nodes, …), used to anchor
+    /// learned dependencies in resource space. Layers without an entry
+    /// contribute no learned constraints.
+    resource_metrics: Vec<(Layer, MetricId)>,
     history: Vec<ReplanOutcome>,
     next_due: SimTime,
     recorder: Recorder,
@@ -157,14 +181,30 @@ impl Replanner {
     ) -> Replanner {
         use flower_cloud::engine::metric_names::*;
         let analyzer = DependencyAnalyzer::for_clickstream(stream, cluster, table);
-        let resource_metrics = [
-            MetricId::new(NS_KINESIS, OPEN_SHARDS, stream),
-            MetricId::new(NS_STORM, RUNNING_VMS, cluster),
-            MetricId::new(NS_DYNAMO, PROVISIONED_WCU, table),
-        ];
-        let mut r = Replanner::new(config, analyzer, base_problem);
-        r.resource_metrics = Some(resource_metrics);
-        r
+        Replanner::new(config, analyzer, base_problem)
+            .with_resource_metric(
+                Layer::INGESTION,
+                MetricId::new(NS_KINESIS, OPEN_SHARDS, stream),
+            )
+            .with_resource_metric(
+                Layer::ANALYTICS,
+                MetricId::new(NS_STORM, RUNNING_VMS, cluster),
+            )
+            .with_resource_metric(
+                Layer::STORAGE,
+                MetricId::new(NS_DYNAMO, PROVISIONED_WCU, table),
+            )
+    }
+
+    /// Register the metric carrying `layer`'s deployed resource level,
+    /// anchoring learned dependencies touching that layer in resource
+    /// space. Replaces any previous metric for the layer.
+    pub fn with_resource_metric(mut self, layer: Layer, metric: MetricId) -> Replanner {
+        match self.resource_metrics.iter_mut().find(|(l, _)| *l == layer) {
+            Some((_, m)) => *m = metric,
+            None => self.resource_metrics.push((layer, metric)),
+        }
+        self
     }
 
     /// Create a replanner from an analyzer and the static parts of the
@@ -190,7 +230,7 @@ impl Replanner {
             config,
             analyzer,
             base_problem,
-            resource_metrics: None,
+            resource_metrics: Vec::new(),
             history: Vec::new(),
             next_due,
             recorder: Recorder::disabled(),
@@ -234,17 +274,18 @@ impl Replanner {
             self.recorder.set_now(now);
             match &result {
                 Ok(outcome) => {
-                    self.recorder.emit(
-                        kind::REPLAN_OUTCOME,
-                        &[
-                            ("dependencies", outcome.dependencies.into()),
-                            ("front_size", outcome.front_size.into()),
-                            ("hourly_cost", outcome.plan.hourly_cost.into()),
-                            ("shards", outcome.plan.shards.into()),
-                            ("vms", outcome.plan.vms.into()),
-                            ("wcu", outcome.plan.wcu.into()),
-                        ],
-                    );
+                    // One field per planned layer, keyed by the layer's
+                    // resource name ("shards", "vms", "wcu", …); the
+                    // event's BTreeMap orders the final payload.
+                    let mut fields: Vec<(&'static str, flower_obs::FieldValue)> = vec![
+                        ("dependencies", outcome.dependencies.into()),
+                        ("front_size", outcome.front_size.into()),
+                        ("hourly_cost", outcome.plan.hourly_cost.into()),
+                    ];
+                    for (layer, units) in outcome.plan.shares.iter() {
+                        fields.push((layer.resource(), units.into()));
+                    }
+                    self.recorder.emit(kind::REPLAN_OUTCOME, &fields);
                 }
                 Err(err) => {
                     self.recorder
@@ -275,28 +316,22 @@ impl Replanner {
         // operating ratio; the band leaves the optimizer room around it.
         let mut problem = self.base_problem.clone();
         problem.budget = self.config.budget;
-        if let Some(resource_metrics) = &self.resource_metrics {
-            let mean_units = |layer: Layer| -> Option<f64> {
-                let idx = match layer {
-                    Layer::Ingestion => 0,
-                    Layer::Analytics => 1,
-                    Layer::Storage => 2,
-                };
-                store.window_stat(&resource_metrics[idx], Statistic::Average, from, now)
+        let mean_units = |layer: Layer| -> Option<f64> {
+            let (_, metric) = self.resource_metrics.iter().find(|(l, _)| *l == layer)?;
+            store.window_stat(metric, Statistic::Average, from, now)
+        };
+        for dep in &deps {
+            let (Some(source_units), Some(target_units)) =
+                (mean_units(dep.source.layer), mean_units(dep.target.layer))
+            else {
+                continue;
             };
-            for dep in &deps {
-                let (Some(source_units), Some(target_units)) =
-                    (mean_units(dep.source.layer), mean_units(dep.target.layer))
-                else {
-                    continue;
-                };
-                if let Some(constraints) = dependency_to_constraint(
-                    dep,
-                    target_units / source_units.max(f64::MIN_POSITIVE),
-                    self.config.dependency_band,
-                ) {
-                    problem.constraints.extend(constraints);
-                }
+            if let Some(constraints) = dependency_to_constraint(
+                dep,
+                target_units / source_units.max(f64::MIN_POSITIVE),
+                self.config.dependency_band,
+            ) {
+                problem.constraints.extend(constraints);
             }
         }
 
@@ -343,30 +378,18 @@ fn dependency_to_constraint(
     let hi = ratio * (1.0 + band);
     Some([
         // r_t − hi·r_s ≤ 0
-        crate::share::Constraint {
-            coeffs: layer_vec(target, 1.0, source, -hi),
-            constant: 0.0,
-            label: format!("learned: r_{target} <= {hi:.4}*r_{source}"),
-        },
+        crate::share::Constraint::new(
+            [(target, 1.0), (source, -hi)],
+            0.0,
+            format!("learned: r_{target} <= {hi:.4}*r_{source}"),
+        ),
         // lo·r_s − r_t ≤ 0
-        crate::share::Constraint {
-            coeffs: layer_vec(target, -1.0, source, lo),
-            constant: 0.0,
-            label: format!("learned: r_{target} >= {lo:.4}*r_{source}"),
-        },
+        crate::share::Constraint::new(
+            [(target, -1.0), (source, lo)],
+            0.0,
+            format!("learned: r_{target} >= {lo:.4}*r_{source}"),
+        ),
     ])
-}
-
-fn layer_vec(a: Layer, av: f64, b: Layer, bv: f64) -> [f64; 3] {
-    let mut v = [0.0; 3];
-    let idx = |l: Layer| match l {
-        Layer::Ingestion => 0,
-        Layer::Analytics => 1,
-        Layer::Storage => 2,
-    };
-    v[idx(a)] += av;
-    v[idx(b)] += bv;
-    v
 }
 
 #[cfg(test)]
@@ -376,38 +399,34 @@ mod tests {
     use flower_sim::SimRng;
     use flower_workload::{ClickStreamConfig, ClickStreamGenerator, DiurnalRate};
 
+    fn shares(shards: f64, vms: f64, wcu: f64, hourly_cost: f64) -> ResourceShares {
+        ResourceShares::new(
+            flower_cloud::ResourceVector::from_pairs([
+                (Layer::INGESTION, shards),
+                (Layer::ANALYTICS, vms),
+                (Layer::STORAGE, wcu),
+            ]),
+            hourly_cost,
+        )
+    }
+
     fn plans() -> Vec<ResourceShares> {
         vec![
-            ResourceShares {
-                shards: 10.0,
-                vms: 2.0,
-                wcu: 100.0,
-                hourly_cost: 0.5,
-            },
-            ResourceShares {
-                shards: 4.0,
-                vms: 4.0,
-                wcu: 200.0,
-                hourly_cost: 0.6,
-            },
-            ResourceShares {
-                shards: 2.0,
-                vms: 1.0,
-                wcu: 900.0,
-                hourly_cost: 0.7,
-            },
+            shares(10.0, 2.0, 100.0, 0.5),
+            shares(4.0, 4.0, 200.0, 0.6),
+            shares(2.0, 1.0, 900.0, 0.7),
         ]
     }
 
     #[test]
     fn selection_policies_pick_expected_plans() {
         let plans = plans();
-        assert_eq!(PlanSelection::MaxIngestion.pick(&plans).shards, 10.0);
-        assert_eq!(PlanSelection::MaxAnalytics.pick(&plans).vms, 4.0);
-        assert_eq!(PlanSelection::MaxStorage.pick(&plans).wcu, 900.0);
+        assert_eq!(PlanSelection::MaxIngestion.pick(&plans).shards(), 10.0);
+        assert_eq!(PlanSelection::MaxAnalytics.pick(&plans).vms(), 4.0);
+        assert_eq!(PlanSelection::MaxStorage.pick(&plans).wcu(), 900.0);
         // Balanced: spend vectors are (0.15,0.2,0.065), (0.06,0.4,0.13),
         // (0.03,0.1,0.585) → the first is the most even.
-        assert_eq!(PlanSelection::Balanced.pick(&plans).shards, 10.0);
+        assert_eq!(PlanSelection::Balanced.pick(&plans).shards(), 10.0);
     }
 
     #[test]
@@ -546,21 +565,22 @@ mod tests {
         let y: Vec<f64> = x.iter().map(|&v| 2.0 * v + 1.0).collect();
         let dep = Dependency {
             source: LayerMetric {
-                layer: Layer::Ingestion,
+                layer: Layer::INGESTION,
                 id: MetricId::new("n", "a", "r"),
             },
             target: LayerMetric {
-                layer: Layer::Analytics,
+                layer: Layer::ANALYTICS,
                 id: MetricId::new("n", "b", "r"),
             },
             fit: SimpleOls::fit(&x, &y).expect("fits"),
         };
         let [up, down] = dependency_to_constraint(&dep, 2.0, 0.5).expect("valid");
         // observed ratio 2, band ±50% → r_A ∈ [1·r_I, 3·r_I].
-        assert_eq!(up.violation(&[1.0, 2.0, 0.0]), 0.0);
-        assert!(up.violation(&[1.0, 4.0, 0.0]) > 0.0);
-        assert_eq!(down.violation(&[1.0, 2.0, 0.0]), 0.0);
-        assert!(down.violation(&[1.0, 0.5, 0.0]) > 0.0);
+        let layers = Layer::ALL;
+        assert_eq!(up.violation(&layers, &[1.0, 2.0, 0.0]), 0.0);
+        assert!(up.violation(&layers, &[1.0, 4.0, 0.0]) > 0.0);
+        assert_eq!(down.violation(&layers, &[1.0, 2.0, 0.0]), 0.0);
+        assert!(down.violation(&layers, &[1.0, 0.5, 0.0]) > 0.0);
     }
 
     #[test]
@@ -572,11 +592,11 @@ mod tests {
         let y = x.clone();
         let dep = Dependency {
             source: LayerMetric {
-                layer: Layer::Storage,
+                layer: Layer::STORAGE,
                 id: MetricId::new("n", "a", "r"),
             },
             target: LayerMetric {
-                layer: Layer::Storage,
+                layer: Layer::STORAGE,
                 id: MetricId::new("n", "b", "r"),
             },
             fit: SimpleOls::fit(&x, &y).expect("fits"),

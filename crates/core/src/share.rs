@@ -16,20 +16,30 @@
 //! (constraints `5·r_A ≥ r_I`, `2·r_A ≤ r_I`, `2·r_I ≤ r_S`), whose
 //! distinct integer-resolution Pareto plans reproduce the "six Pareto
 //! optimal solutions" the demo reports.
+//!
+//! The encoding is layer-generic: a [`ShareProblem`] carries an ordered
+//! list of layers, and that order *is* the genome order. The paper's
+//! three layers are the default; [`ShareProblem::with_layer`] opens the
+//! program to any registered tier.
 
-use flower_cloud::PriceList;
+use flower_cloud::{PriceList, ResourceVector};
 use flower_nsga2::{Nsga2, Nsga2Config, Problem};
-use flower_obs::Recorder;
+use flower_obs::{kind, Recorder};
 
 use crate::error::FlowerError;
 use crate::flow::Layer;
 
-/// A linear inequality over the share vector `(r_I, r_A, r_S)`:
-/// `coeffs · r + constant ≤ 0`.
+/// A linear inequality over the share vector: `Σ coeff(L)·r_L +
+/// constant ≤ 0`.
+///
+/// Terms are stored sparsely by layer; evaluation iterates the owning
+/// problem's layer order (zero coefficients included) so the float
+/// accumulation order is a function of the problem, not of how the
+/// constraint was built.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Constraint {
-    /// Coefficients on `(r_I, r_A, r_S)`.
-    pub coeffs: [f64; 3],
+    /// `(layer, coefficient)` terms, merged per layer.
+    pub terms: Vec<(Layer, f64)>,
     /// Constant term.
     pub constant: f64,
     /// Human-readable form for reports.
@@ -37,20 +47,39 @@ pub struct Constraint {
 }
 
 impl Constraint {
+    /// Build a constraint from sparse terms; duplicate layers are
+    /// summed.
+    pub fn new(
+        terms: impl IntoIterator<Item = (Layer, f64)>,
+        constant: f64,
+        label: impl Into<String>,
+    ) -> Constraint {
+        let mut merged: Vec<(Layer, f64)> = Vec::new();
+        for (layer, coeff) in terms {
+            match merged.iter_mut().find(|(l, _)| *l == layer) {
+                Some((_, c)) => *c += coeff,
+                None => merged.push((layer, coeff)),
+            }
+        }
+        merged.sort_by_key(|&(l, _)| l);
+        Constraint {
+            terms: merged,
+            constant,
+            label: label.into(),
+        }
+    }
+
     /// `lhs_coeff·r[lhs] ≤ rhs_coeff·r[rhs]`, e.g. `2·r_A ≤ r_I`.
     pub fn ratio(lhs_coeff: f64, lhs: Layer, rhs_coeff: f64, rhs: Layer) -> Constraint {
-        let mut coeffs = [0.0; 3];
-        coeffs[layer_index(lhs)] += lhs_coeff;
-        coeffs[layer_index(rhs)] -= rhs_coeff;
-        Constraint {
-            coeffs,
-            constant: 0.0,
-            label: format!(
+        Constraint::new(
+            [(lhs, lhs_coeff), (rhs, -rhs_coeff)],
+            0.0,
+            format!(
                 "{lhs_coeff}*r_{} <= {rhs_coeff}*r_{}",
-                layer_symbol(lhs),
-                layer_symbol(rhs)
+                lhs.symbol(),
+                rhs.symbol()
             ),
-        }
+        )
     }
 
     /// A regression-learned dependency (Eq. 5) as a banded equality:
@@ -64,141 +93,221 @@ impl Constraint {
         tolerance: f64,
     ) -> [Constraint; 2] {
         assert!(tolerance >= 0.0, "tolerance must be non-negative");
-        let t = layer_index(target);
-        let s = layer_index(source);
-        // r_t − β1·r_s − β0 − tol ≤ 0
-        let mut up = [0.0; 3];
-        up[t] += 1.0;
-        up[s] -= slope;
-        // −r_t + β1·r_s + β0 − tol ≤ 0
-        let mut down = [0.0; 3];
-        down[t] -= 1.0;
-        down[s] += slope;
         [
-            Constraint {
-                coeffs: up,
-                constant: -intercept - tolerance,
-                label: format!(
+            // r_t − β1·r_s − β0 − tol ≤ 0
+            Constraint::new(
+                [(target, 1.0), (source, -slope)],
+                -intercept - tolerance,
+                format!(
                     "r_{} <= {slope}*r_{} + {intercept} + {tolerance}",
-                    layer_symbol(target),
-                    layer_symbol(source)
+                    target.symbol(),
+                    source.symbol()
                 ),
-            },
-            Constraint {
-                coeffs: down,
-                constant: intercept - tolerance,
-                label: format!(
+            ),
+            // −r_t + β1·r_s + β0 − tol ≤ 0
+            Constraint::new(
+                [(target, -1.0), (source, slope)],
+                intercept - tolerance,
+                format!(
                     "r_{} >= {slope}*r_{} + {intercept} - {tolerance}",
-                    layer_symbol(target),
-                    layer_symbol(source)
+                    target.symbol(),
+                    source.symbol()
                 ),
-            },
+            ),
         ]
     }
 
-    /// Violation magnitude at the share vector `r` (0 when satisfied).
-    pub fn violation(&self, r: &[f64; 3]) -> f64 {
-        let [c0, c1, c2] = self.coeffs;
-        let [r0, r1, r2] = *r;
-        (c0 * r0 + c1 * r1 + c2 * r2 + self.constant).max(0.0)
+    /// The coefficient on `layer` (zero when absent).
+    pub fn coeff(&self, layer: Layer) -> f64 {
+        self.terms
+            .iter()
+            .find(|(l, _)| *l == layer)
+            .map(|&(_, c)| c)
+            .unwrap_or(0.0)
+    }
+
+    /// Violation magnitude at the share vector `r`, whose entries are
+    /// indexed by `layers` (0 when satisfied). Accumulates in `layers`
+    /// order, zero coefficients included, so the result is a pure
+    /// function of the problem's layer order.
+    pub fn violation(&self, layers: &[Layer], r: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (layer, ri) in layers.iter().zip(r) {
+            acc += self.coeff(*layer) * ri;
+        }
+        (acc + self.constant).max(0.0)
     }
 }
 
-fn layer_index(layer: Layer) -> usize {
-    match layer {
-        Layer::Ingestion => 0,
-        Layer::Analytics => 1,
-        Layer::Storage => 2,
-    }
-}
-
-fn layer_symbol(layer: Layer) -> &'static str {
-    match layer {
-        Layer::Ingestion => "I",
-        Layer::Analytics => "A",
-        Layer::Storage => "S",
-    }
-}
-
-/// One provisioning plan: the resource shares of the three layers.
+/// One provisioning plan: the resource share of every layer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResourceShares {
-    /// Kinesis shards (ingestion).
-    pub shards: f64,
-    /// Storm VMs (analytics).
-    pub vms: f64,
-    /// DynamoDB write capacity units (storage).
-    pub wcu: f64,
+    /// The per-layer shares.
+    pub shares: ResourceVector,
     /// Hourly cost of the plan in dollars.
     pub hourly_cost: f64,
 }
 
 impl ResourceShares {
-    /// The share of `layer`.
-    pub fn of(&self, layer: Layer) -> f64 {
-        match layer {
-            Layer::Ingestion => self.shards,
-            Layer::Analytics => self.vms,
-            Layer::Storage => self.wcu,
+    /// Build a plan from per-layer shares and its hourly cost.
+    pub fn new(shares: ResourceVector, hourly_cost: f64) -> ResourceShares {
+        ResourceShares {
+            shares,
+            hourly_cost,
         }
     }
 
-    /// Round to deployable integer units.
-    pub fn rounded(&self) -> (u32, u32, u32) {
-        (
-            self.shards.round().max(1.0) as u32,
-            self.vms.round().max(1.0) as u32,
-            self.wcu.round().max(1.0) as u32,
-        )
+    /// The share of `layer` (zero when the plan doesn't cover it).
+    pub fn of(&self, layer: Layer) -> f64 {
+        self.shares.of(layer)
+    }
+
+    /// Compat accessor: the ingestion share (Kinesis shards).
+    pub fn shards(&self) -> f64 {
+        self.of(Layer::INGESTION)
+    }
+
+    /// Compat accessor: the analytics share (Storm VMs).
+    pub fn vms(&self) -> f64 {
+        self.of(Layer::ANALYTICS)
+    }
+
+    /// Compat accessor: the storage share (DynamoDB WCU).
+    pub fn wcu(&self) -> f64 {
+        self.of(Layer::STORAGE)
+    }
+
+    /// Round to deployable integer units, in ascending layer order.
+    pub fn rounded(&self) -> Vec<(Layer, u32)> {
+        self.rounded_traced(&Recorder::disabled())
+    }
+
+    /// Round to deployable integer units, emitting a
+    /// [`kind::PLAN_CLAMP`] event for every share the rounding clamps up
+    /// to the layer's minimum of one unit — a planned share this small
+    /// means the optimizer wanted less capacity than is deployable, a
+    /// fact worth tracing rather than silently absorbing.
+    pub fn rounded_traced(&self, recorder: &Recorder) -> Vec<(Layer, u32)> {
+        self.shares
+            .iter()
+            .map(|(layer, units)| {
+                let rounded = units.round();
+                if rounded < 1.0 && recorder.is_enabled() {
+                    recorder.emit(
+                        kind::PLAN_CLAMP,
+                        &[
+                            ("clamped_to", 1.0.into()),
+                            ("layer", layer.label().into()),
+                            ("planned", units.into()),
+                        ],
+                    );
+                    recorder.count("plan.clamps", 1);
+                }
+                (layer, rounded.max(1.0) as u32)
+            })
+            .collect()
     }
 }
 
 /// The NSGA-II encoding of the share problem.
+///
+/// `layers`, `unit_prices`, and `upper_bounds` are parallel: index `i`
+/// of the genome is the share of `layers[i]`. That order is the
+/// determinism contract for the solver — identical problems produce
+/// bit-identical fronts at any worker count.
 #[derive(Debug, Clone)]
 pub struct ShareProblem {
     /// Hourly budget in dollars (Eq. 4's `Bud_t`).
     pub budget: f64,
-    /// Unit prices (`c_d`).
-    pub prices: PriceList,
+    /// The layers under analysis, in genome order.
+    pub layers: Vec<Layer>,
+    /// Hourly unit price per layer (`c_d`), parallel to `layers`.
+    pub unit_prices: Vec<f64>,
     /// Dependency constraints (Eq. 5).
     pub constraints: Vec<Constraint>,
-    /// Upper bound per layer `(r_I, r_A, r_S)`.
-    pub upper_bounds: [f64; 3],
+    /// Upper bound per layer, parallel to `layers`.
+    pub upper_bounds: Vec<f64>,
 }
 
 impl ShareProblem {
     /// The worked example of §3.2 / Fig. 4: constraints `5·r_A ≥ r_I`,
     /// `2·r_A ≤ r_I`, `2·r_I ≤ r_S`, 2017 list prices.
     pub fn worked_example(budget: f64) -> ShareProblem {
+        let prices = PriceList::default();
         ShareProblem {
             budget,
-            prices: PriceList::default(),
+            layers: Layer::ALL.to_vec(),
+            unit_prices: vec![prices.shard_hour, prices.vm_hour, prices.wcu_hour],
             constraints: vec![
                 // 5·r_A ≥ r_I  ⇔  r_I − 5·r_A ≤ 0
-                Constraint::ratio(1.0, Layer::Ingestion, 5.0, Layer::Analytics),
+                Constraint::ratio(1.0, Layer::INGESTION, 5.0, Layer::ANALYTICS),
                 // 2·r_A ≤ r_I
-                Constraint::ratio(2.0, Layer::Analytics, 1.0, Layer::Ingestion),
+                Constraint::ratio(2.0, Layer::ANALYTICS, 1.0, Layer::INGESTION),
                 // 2·r_I ≤ r_S
-                Constraint::ratio(2.0, Layer::Ingestion, 1.0, Layer::Storage),
+                Constraint::ratio(2.0, Layer::INGESTION, 1.0, Layer::STORAGE),
             ],
-            upper_bounds: [100.0, 50.0, 5_000.0],
+            upper_bounds: vec![100.0, 50.0, 5_000.0],
         }
     }
 
-    /// Hourly cost of a share vector.
-    pub fn cost(&self, r: &[f64; 3]) -> f64 {
-        let [shards, vms, wcu] = *r;
-        self.prices.hourly_cost(shards, vms, wcu, 0.0)
+    /// Extend the program with another layer: appends a genome slot with
+    /// its unit price and upper bound. The new slot sits after the
+    /// existing ones, so extending never perturbs the encoding of the
+    /// layers already present.
+    pub fn with_layer(mut self, layer: Layer, unit_price: f64, upper_bound: f64) -> ShareProblem {
+        assert!(
+            !self.layers.contains(&layer),
+            "layer {layer} already encoded"
+        );
+        self.layers.push(layer);
+        self.unit_prices.push(unit_price);
+        self.upper_bounds.push(upper_bound);
+        self
+    }
+
+    /// Add a dependency constraint.
+    pub fn with_constraint(mut self, constraint: Constraint) -> ShareProblem {
+        self.constraints.push(constraint);
+        self
+    }
+
+    /// Hourly cost of a share vector in genome order.
+    pub fn cost(&self, r: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (ri, price) in r.iter().zip(&self.unit_prices) {
+            acc += ri * price;
+        }
+        acc
+    }
+
+    /// Hourly cost of a per-layer plan, accumulated in genome order.
+    pub fn plan_cost(&self, shares: &ResourceVector) -> f64 {
+        let mut acc = 0.0;
+        for (layer, price) in self.layers.iter().zip(&self.unit_prices) {
+            acc += shares.of(*layer) * price;
+        }
+        acc
+    }
+
+    /// The rounding slack of `constraint` under this problem: integer
+    /// rounding moves each variable by at most 0.5, so a violation of up
+    /// to `0.5·Σ|coeffs|` is a pure rounding artifact.
+    pub fn rounding_slack(&self, constraint: &Constraint) -> f64 {
+        let mut sum = 0.0;
+        for layer in &self.layers {
+            sum += constraint.coeff(*layer).abs();
+        }
+        0.5 * sum
     }
 }
 
 impl Problem for ShareProblem {
     fn n_vars(&self) -> usize {
-        3
+        self.layers.len()
     }
 
     fn n_objectives(&self) -> usize {
-        3
+        self.layers.len()
     }
 
     fn n_constraints(&self) -> usize {
@@ -217,16 +326,12 @@ impl Problem for ShareProblem {
     }
 
     fn constraints(&self, x: &[f64], out: &mut [f64]) {
-        let r = match *x {
-            [a, b, c] => [a, b, c],
-            _ => unreachable!("the optimizer always passes n_vars() == 3 genes"),
-        };
         let Some((budget_slot, rest)) = out.split_first_mut() else {
             return;
         };
-        *budget_slot = (self.cost(&r) - self.budget).max(0.0);
+        *budget_slot = (self.cost(x) - self.budget).max(0.0);
         for (slot, c) in rest.iter_mut().zip(&self.constraints) {
-            *slot = c.violation(&r);
+            *slot = c.violation(&self.layers, x);
         }
     }
 }
@@ -289,22 +394,29 @@ impl ShareAnalyzer {
             optimizer = optimizer.with_workers(workers);
         }
         let result = optimizer.run();
-        let mut seen: Vec<(u32, u32, u32)> = Vec::new();
+        let layers = &self.problem.layers;
+        let mut seen: Vec<Vec<u32>> = Vec::new();
         let mut plans = Vec::new();
         for ind in result.pareto_front() {
             if !ind.is_feasible() {
                 continue;
             }
-            let [shards, vms, wcu] = ind.genes[..] else {
+            if ind.genes.len() != layers.len() {
                 continue; // foreign individual with the wrong arity
-            };
-            let shares = ResourceShares {
-                shards,
-                vms,
-                wcu,
-                hourly_cost: self.problem.cost(&[shards, vms, wcu]),
-            };
-            let key = shares.rounded();
+            }
+            let continuous = ResourceShares::new(
+                layers
+                    .iter()
+                    .copied()
+                    .zip(ind.genes.iter().copied())
+                    .collect(),
+                self.problem.cost(&ind.genes),
+            );
+            let key: Vec<u32> = continuous
+                .rounded_traced(&self.recorder)
+                .into_iter()
+                .map(|(_, units)| units)
+                .collect();
             // The rounded plan must stay within budget and (near-)satisfy
             // every dependency constraint — integer rounding can push a
             // feasible continuous plan across a ratio constraint. Since
@@ -312,25 +424,27 @@ impl ShareAnalyzer {
             // up to `0.5·Σ|coeffs|` is a pure rounding artifact and is
             // tolerated; anything larger means the continuous plan was
             // near-infeasible and is dropped.
-            let rounded = [key.0 as f64, key.1 as f64, key.2 as f64];
+            let rounded_shares: ResourceVector = layers
+                .iter()
+                .zip(&key)
+                .map(|(&layer, &units)| (layer, f64::from(units)))
+                .collect();
+            let rounded: Vec<f64> = layers.iter().map(|&l| rounded_shares.of(l)).collect();
             let rounded_cost = self.problem.cost(&rounded);
             if rounded_cost > self.problem.budget + 1e-9 {
                 continue;
             }
-            if self.problem.constraints.iter().any(|c| {
-                let rounding_slack = 0.5 * c.coeffs.iter().map(|v| v.abs()).sum::<f64>();
-                c.violation(&rounded) > rounding_slack + 1e-9
-            }) {
+            if self
+                .problem
+                .constraints
+                .iter()
+                .any(|c| c.violation(layers, &rounded) > self.problem.rounding_slack(c) + 1e-9)
+            {
                 continue;
             }
             if !seen.contains(&key) {
                 seen.push(key);
-                plans.push(ResourceShares {
-                    shards: key.0 as f64,
-                    vms: key.1 as f64,
-                    wcu: key.2 as f64,
-                    hourly_cost: rounded_cost,
-                });
+                plans.push(ResourceShares::new(rounded_shares, rounded_cost));
             }
         }
         if plans.is_empty() {
@@ -360,14 +474,13 @@ mod tests {
         assert!(!plans.is_empty());
         let p = ShareProblem::worked_example(1.0);
         for plan in &plans {
-            let r = [plan.shards, plan.vms, plan.wcu];
+            let r = [plan.shards(), plan.vms(), plan.wcu()];
             assert!(p.cost(&r) <= 1.0 + 1e-9, "over budget: {plan:?}");
             for c in &p.constraints {
                 // Integer plans may carry up to half a unit of rounding
                 // slack per variable (see `ShareAnalyzer::solve`).
-                let slack = 0.5 * c.coeffs.iter().map(|v| v.abs()).sum::<f64>();
                 assert!(
-                    c.violation(&r) <= slack + 1e-9,
+                    c.violation(&p.layers, &r) <= p.rounding_slack(c) + 1e-9,
                     "constraint '{}' violated by {plan:?}",
                     c.label
                 );
@@ -383,7 +496,7 @@ mod tests {
         assert!(plans.len() >= 2, "front collapsed: {}", plans.len());
         assert!(plans.len() <= 60, "front exploded: {}", plans.len());
         let mut keys: Vec<_> = plans.iter().map(ResourceShares::rounded).collect();
-        keys.sort_unstable();
+        keys.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
         keys.dedup();
         assert_eq!(keys.len(), plans.len(), "duplicate plans");
     }
@@ -404,7 +517,8 @@ mod tests {
     fn bigger_budget_buys_bigger_shares() {
         let small = analyzer(0.5).solve().unwrap();
         let large = analyzer(2.0).solve().unwrap();
-        let max_vms = |plans: &[ResourceShares]| plans.iter().map(|p| p.vms).fold(0.0, f64::max);
+        let max_vms =
+            |plans: &[ResourceShares]| plans.iter().map(ResourceShares::vms).fold(0.0, f64::max);
         assert!(max_vms(&large) > max_vms(&small));
     }
 
@@ -419,43 +533,108 @@ mod tests {
     #[test]
     fn ratio_constraint_violation() {
         // 2·r_A ≤ r_I
-        let c = Constraint::ratio(2.0, Layer::Analytics, 1.0, Layer::Ingestion);
-        assert_eq!(c.violation(&[10.0, 5.0, 0.0]), 0.0, "2·5 = 10 ≤ 10");
+        let layers = Layer::ALL;
+        let c = Constraint::ratio(2.0, Layer::ANALYTICS, 1.0, Layer::INGESTION);
+        assert_eq!(
+            c.violation(&layers, &[10.0, 5.0, 0.0]),
+            0.0,
+            "2·5 = 10 ≤ 10"
+        );
         assert!(
-            (c.violation(&[10.0, 6.0, 0.0]) - 2.0).abs() < 1e-12,
+            (c.violation(&layers, &[10.0, 6.0, 0.0]) - 2.0).abs() < 1e-12,
             "2·6 − 10 = 2"
         );
         assert!(c.label.contains("r_A"));
+        assert_eq!(c.coeff(Layer::ANALYTICS), 2.0);
+        assert_eq!(c.coeff(Layer::STORAGE), 0.0);
     }
 
     #[test]
     fn equality_band_constraints() {
         // r_A = 0.5·r_I + 1 ± 0.5
+        let layers = Layer::ALL;
         let [up, down] =
-            Constraint::equality_band(Layer::Analytics, Layer::Ingestion, 0.5, 1.0, 0.5);
+            Constraint::equality_band(Layer::ANALYTICS, Layer::INGESTION, 0.5, 1.0, 0.5);
         // Inside the band: r_I = 10 → r_A ∈ [5.5, 6.5].
-        assert_eq!(up.violation(&[10.0, 6.0, 0.0]), 0.0);
-        assert_eq!(down.violation(&[10.0, 6.0, 0.0]), 0.0);
+        assert_eq!(up.violation(&layers, &[10.0, 6.0, 0.0]), 0.0);
+        assert_eq!(down.violation(&layers, &[10.0, 6.0, 0.0]), 0.0);
         // Above the band.
-        assert!(up.violation(&[10.0, 7.0, 0.0]) > 0.0);
-        assert_eq!(down.violation(&[10.0, 7.0, 0.0]), 0.0);
+        assert!(up.violation(&layers, &[10.0, 7.0, 0.0]) > 0.0);
+        assert_eq!(down.violation(&layers, &[10.0, 7.0, 0.0]), 0.0);
         // Below the band.
-        assert_eq!(up.violation(&[10.0, 5.0, 0.0]), 0.0);
-        assert!(down.violation(&[10.0, 5.0, 0.0]) > 0.0);
+        assert_eq!(up.violation(&layers, &[10.0, 5.0, 0.0]), 0.0);
+        assert!(down.violation(&layers, &[10.0, 5.0, 0.0]) > 0.0);
     }
 
     #[test]
     fn shares_accessors() {
-        let s = ResourceShares {
-            shards: 4.4,
-            vms: 2.6,
-            wcu: 100.2,
-            hourly_cost: 0.5,
-        };
-        assert_eq!(s.of(Layer::Ingestion), 4.4);
-        assert_eq!(s.of(Layer::Analytics), 2.6);
-        assert_eq!(s.of(Layer::Storage), 100.2);
-        assert_eq!(s.rounded(), (4, 3, 100));
+        let s = ResourceShares::new(
+            ResourceVector::from_pairs([
+                (Layer::INGESTION, 4.4),
+                (Layer::ANALYTICS, 2.6),
+                (Layer::STORAGE, 100.2),
+            ]),
+            0.5,
+        );
+        assert_eq!(s.of(Layer::INGESTION), 4.4);
+        assert_eq!(s.vms(), 2.6);
+        assert_eq!(s.wcu(), 100.2);
+        assert_eq!(s.of(Layer::CACHE), 0.0);
+        assert_eq!(
+            s.rounded(),
+            vec![
+                (Layer::INGESTION, 4),
+                (Layer::ANALYTICS, 3),
+                (Layer::STORAGE, 100)
+            ]
+        );
+    }
+
+    #[test]
+    fn sub_minimum_shares_trace_the_clamp() {
+        let s = ResourceShares::new(
+            ResourceVector::from_pairs([(Layer::INGESTION, 0.3), (Layer::ANALYTICS, 2.0)]),
+            0.2,
+        );
+        // Silent path still clamps...
+        assert_eq!(
+            s.rounded(),
+            vec![(Layer::INGESTION, 1), (Layer::ANALYTICS, 2)]
+        );
+        // ...and the traced path records what was clamped.
+        let recorder = Recorder::with_capacity(16);
+        let rounded = s.rounded_traced(&recorder);
+        assert_eq!(rounded, s.rounded());
+        let events = recorder.events();
+        assert_eq!(events.len(), 1, "one clamp for the one sub-minimum share");
+        assert_eq!(events[0].kind, kind::PLAN_CLAMP);
+        assert_eq!(events[0].str("layer"), Some("ingestion"));
+        assert_eq!(events[0].f64("planned"), Some(0.3));
+        assert_eq!(events[0].f64("clamped_to"), Some(1.0));
+        assert_eq!(recorder.counter("plan.clamps"), 1);
+    }
+
+    #[test]
+    fn extended_problem_appends_a_genome_slot() {
+        let p = ShareProblem::worked_example(1.0)
+            .with_layer(Layer::CACHE, 0.09, 20.0)
+            .with_constraint(Constraint::ratio(1.0, Layer::CACHE, 1.0, Layer::ANALYTICS));
+        assert_eq!(p.n_vars(), 4);
+        assert_eq!(p.n_objectives(), 4);
+        assert_eq!(p.bounds(3), (1.0, 20.0));
+        // The paper layers keep their genome slots.
+        assert_eq!(p.layers[..3], Layer::ALL);
+        // Cost picks up the fourth term.
+        let base = ShareProblem::worked_example(1.0).cost(&[1.0, 1.0, 2.0]);
+        assert!((p.cost(&[1.0, 1.0, 2.0, 2.0]) - (base + 2.0 * 0.09)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_cost_matches_genome_cost() {
+        let p = ShareProblem::worked_example(1.0);
+        let genes = [4.0, 2.0, 9.0];
+        let shares: ResourceVector = p.layers.iter().copied().zip(genes).collect();
+        assert_eq!(p.plan_cost(&shares).to_bits(), p.cost(&genes).to_bits());
     }
 
     #[test]

@@ -109,7 +109,7 @@ impl SloSpec {
             .with(Objective::MaxIngestLossRate(0.01))
             .with(Objective::MaxStorageThrottleRate(0.02))
             .with(Objective::UtilizationBand {
-                layer: Layer::Analytics,
+                layer: Layer::ANALYTICS,
                 setpoint: 60.0,
                 band: 25.0,
                 min_attainment: 0.8,
@@ -290,7 +290,7 @@ mod tests {
         // A generous band is attained; an impossible band is not.
         let wide = SloSpec::new()
             .with(Objective::UtilizationBand {
-                layer: Layer::Analytics,
+                layer: Layer::ANALYTICS,
                 setpoint: 60.0,
                 band: 60.0,
                 min_attainment: 0.9,
@@ -299,7 +299,7 @@ mod tests {
         assert!(wide.all_met());
         let impossible = SloSpec::new()
             .with(Objective::UtilizationBand {
-                layer: Layer::Analytics,
+                layer: Layer::ANALYTICS,
                 setpoint: 60.0,
                 band: 0.01,
                 min_attainment: 0.99,
@@ -340,7 +340,7 @@ mod tests {
         assert!(Objective::MaxCost(2.5).label().contains("$2.50"));
         assert!(Objective::MaxBacklog(10).label().contains("10 tuples"));
         assert!(Objective::UtilizationBand {
-            layer: Layer::Analytics,
+            layer: Layer::ANALYTICS,
             setpoint: 60.0,
             band: 15.0,
             min_attainment: 0.8

@@ -26,11 +26,11 @@ pub fn sbx_crossover<P: Problem>(
     if !rng.chance(crossover_prob) {
         return (c1, c2);
     }
-    for i in 0..a.len() {
+    for (i, (&pa, &pb)) in a.iter().zip(b).enumerate() {
         if !rng.chance(0.5) {
             continue;
         }
-        let (x1, x2) = (a[i].min(b[i]), a[i].max(b[i]));
+        let (x1, x2) = (pa.min(pb), pa.max(pb));
         if (x2 - x1).abs() < 1e-14 {
             continue;
         }
@@ -74,7 +74,6 @@ fn sbx_beta_q(u: f64, alpha: f64, eta_c: f64) -> f64 {
 /// Polynomial mutation with distribution index `eta_m`; each variable
 /// mutates independently with probability `mutation_prob` (conventionally
 /// `1 / n_vars`).
-#[allow(clippy::needless_range_loop)] // bounds lookup needs the index
 pub fn polynomial_mutation<P: Problem>(
     problem: &P,
     rng: &mut SimRng,
@@ -82,7 +81,7 @@ pub fn polynomial_mutation<P: Problem>(
     eta_m: f64,
     mutation_prob: f64,
 ) {
-    for i in 0..genes.len() {
+    for (i, gene) in genes.iter_mut().enumerate() {
         if !rng.chance(mutation_prob) {
             continue;
         }
@@ -91,7 +90,7 @@ pub fn polynomial_mutation<P: Problem>(
         if span <= 0.0 {
             continue;
         }
-        let x = genes[i];
+        let x = *gene;
         let d1 = (x - lo) / span;
         let d2 = (hi - x) / span;
         let u = rng.next_f64();
@@ -105,7 +104,7 @@ pub fn polynomial_mutation<P: Problem>(
             let val = 2.0 * (1.0 - u) + 2.0 * (u - 0.5) * xy.powf(eta_m + 1.0);
             1.0 - val.powf(mut_pow)
         };
-        genes[i] = (x + delta_q * span).clamp(lo, hi);
+        *gene = (x + delta_q * span).clamp(lo, hi);
     }
 }
 

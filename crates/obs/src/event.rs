@@ -152,6 +152,9 @@ pub mod kind {
     pub const ALARM_TRANSITION: &str = "alarm.transition";
     /// A replanning round completed with a chosen Pareto plan.
     pub const REPLAN_OUTCOME: &str = "replan.outcome";
+    /// A planned resource share was clamped up to a layer's minimum
+    /// deployable unit during rounding.
+    pub const PLAN_CLAMP: &str = "plan.clamp";
     /// A replanning round failed (e.g. no feasible plan).
     pub const REPLAN_FAILED: &str = "replan.failed";
     /// NSGA-II per-generation progress (front size, hypervolume).

@@ -122,7 +122,7 @@ fn json_value(value: &FieldValue) -> String {
 
 /// Floats render with Rust's shortest-round-trip `Display`; JSON has no
 /// non-finite literals, so NaN/±inf map to `null`.
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -131,7 +131,7 @@ fn json_f64(v: f64) -> String {
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_str(raw: &str) -> String {
+pub(crate) fn json_str(raw: &str) -> String {
     let mut out = String::with_capacity(raw.len() + 2);
     out.push('"');
     for c in raw.chars() {

@@ -101,6 +101,142 @@ impl Trace {
         }
         counts
     }
+
+    /// Re-serialize as a `flower-trace/v1` JSONL document, byte-identical
+    /// to the document this trace was parsed from.
+    ///
+    /// Export → [`parse_trace`] → re-export is a fixed point: maps render
+    /// in key order (they were parsed into `BTreeMap`s), floats with the
+    /// shortest-round-trip `Display` the writer used, and the schema's
+    /// two aggregate shapes — histogram and span objects in the summary —
+    /// in the writer's fixed field order rather than key order.
+    pub fn to_jsonl(&self) -> String {
+        use crate::jsonl::json_str;
+        use std::fmt::Write as _;
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"schema\":{},\"capacity\":{},\"events\":{},\"emitted\":{},\"dropped\":{}}}",
+            json_str(crate::jsonl::SCHEMA),
+            self.capacity,
+            self.events.len(),
+            self.emitted,
+            self.dropped,
+        );
+        for event in &self.events {
+            let _ = write!(
+                out,
+                "{{\"seq\":{},\"t_ms\":{},\"kind\":{},\"fields\":",
+                event.seq,
+                event.t_ms,
+                json_str(&event.kind),
+            );
+            write_json(&JsonValue::Obj(event.fields.clone()), &mut out);
+            out.push_str("}\n");
+        }
+        out.push_str("{\"summary\":");
+        write_summary(&self.summary, &mut out);
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// The writer's fixed field order for histogram aggregates.
+const HISTOGRAM_SHAPE: [&str; 5] = ["count", "sum", "min", "max", "buckets"];
+/// The writer's fixed field order for closed-span aggregates.
+const SPAN_SHAPE: [&str; 3] = ["count", "total_ms", "max_ms"];
+
+/// Serialize the summary object: generic key-ordered JSON, except that
+/// the `histograms` and `spans` sections hold aggregate objects the
+/// writer emits in a fixed (non-alphabetical) field order.
+fn write_summary(value: &JsonValue, out: &mut String) {
+    use crate::jsonl::json_str;
+    let Some(map) = value.as_obj() else {
+        write_json(value, out);
+        return;
+    };
+    out.push('{');
+    for (i, (key, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_str(key));
+        out.push(':');
+        match (key.as_str(), v) {
+            ("histograms", JsonValue::Obj(aggs)) => write_aggregates(aggs, &HISTOGRAM_SHAPE, out),
+            ("spans", JsonValue::Obj(aggs)) => write_aggregates(aggs, &SPAN_SHAPE, out),
+            _ => write_json(v, out),
+        }
+    }
+    out.push('}');
+}
+
+/// Serialize a map of named aggregate objects, each in the writer's
+/// `shape` field order (falling back to generic serialization for a
+/// value that does not match the shape).
+fn write_aggregates(map: &BTreeMap<String, JsonValue>, shape: &[&str], out: &mut String) {
+    use crate::jsonl::json_str;
+    out.push('{');
+    for (i, (name, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_str(name));
+        out.push(':');
+        match v.as_obj() {
+            Some(obj) if obj.len() == shape.len() && shape.iter().all(|k| obj.contains_key(*k)) => {
+                out.push('{');
+                for (j, key) in shape.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_str(key));
+                    out.push(':');
+                    if let Some(field) = obj.get(*key) {
+                        write_json(field, out);
+                    }
+                }
+                out.push('}');
+            }
+            _ => write_json(v, out),
+        }
+    }
+    out.push('}');
+}
+
+/// Serialize a parsed value back to the writer's byte format: maps in
+/// key order, floats via the shortest-round-trip `Display`.
+fn write_json(value: &JsonValue, out: &mut String) {
+    use crate::jsonl::{json_f64, json_str};
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Num(n) => out.push_str(&json_f64(*n)),
+        JsonValue::Str(s) => out.push_str(&json_str(s)),
+        JsonValue::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(item, out);
+            }
+            out.push(']');
+        }
+        JsonValue::Obj(map) => {
+            out.push('{');
+            for (i, (key, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_str(key));
+                out.push(':');
+                write_json(v, out);
+            }
+            out.push('}');
+        }
+    }
 }
 
 /// Parse a complete `flower-trace/v1` JSONL document.
@@ -454,6 +590,35 @@ mod tests {
         let counts = trace.counts_by_kind();
         assert_eq!(counts.get("cloud.throttle"), Some(&1));
         assert!(trace.summary.as_obj().is_some());
+    }
+
+    #[test]
+    fn reexport_is_byte_identical() {
+        // Exercise every writer shape: all field-value types, counters,
+        // gauges, a histogram, and a closed span (the two aggregates
+        // whose field order is schema-fixed, not alphabetical).
+        let rec = Recorder::with_capacity(16);
+        rec.set_now(SimTime::from_secs(5));
+        rec.emit(
+            "plan.outcome",
+            &[
+                ("accepted", true.into()),
+                ("cost", 0.9714.into()),
+                ("delta", (-2i64).into()),
+                ("layer", "storage".into()),
+                ("units", 431u64.into()),
+            ],
+        );
+        rec.count("replan.rounds", 3);
+        rec.gauge("cloud.shards", 6.0);
+        rec.observe("util", 71.5);
+        rec.observe("util", 12.0);
+        let span = rec.span_enter("episode.run");
+        rec.set_now(SimTime::from_secs(9));
+        rec.span_exit(span);
+        let doc = rec.to_jsonl();
+        let trace = parse_trace(&doc).unwrap();
+        assert_eq!(trace.to_jsonl(), doc, "re-export is not a fixed point");
     }
 
     #[test]

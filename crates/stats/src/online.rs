@@ -58,15 +58,14 @@ impl RecursiveLeastSquares {
 
     /// Fold one observation `(x, y)` and return the *a-priori* prediction
     /// error `y − θᵀx` (before the update).
-    #[allow(clippy::needless_range_loop)] // matrix-index form mirrors the RLS equations
     pub fn update(&mut self, x: &[f64], y: f64) -> f64 {
         let n = self.theta.len();
         assert_eq!(x.len(), n, "regressor dimension mismatch");
         // Px = P · x
         let mut px = vec![0.0; n];
-        for i in 0..n {
-            for j in 0..n {
-                px[i] += self.p[(i, j)] * x[j];
+        for (i, pxi) in px.iter_mut().enumerate() {
+            for (j, &xj) in x.iter().enumerate() {
+                *pxi += self.p[(i, j)] * xj;
             }
         }
         // denom = λ + xᵀ P x
@@ -74,13 +73,13 @@ impl RecursiveLeastSquares {
         // Gain k = Px / denom
         let k: Vec<f64> = px.iter().map(|v| v / denom).collect();
         let err = y - self.predict(x);
-        for i in 0..n {
-            self.theta[i] += k[i] * err;
+        for (theta_i, &ki) in self.theta.iter_mut().zip(&k) {
+            *theta_i += ki * err;
         }
         // P ← (P − k·(Px)ᵀ) / λ
-        for i in 0..n {
-            for j in 0..n {
-                let v = (self.p[(i, j)] - k[i] * px[j]) / self.lambda;
+        for (i, &ki) in k.iter().enumerate() {
+            for (j, &pxj) in px.iter().enumerate() {
+                let v = (self.p[(i, j)] - ki * pxj) / self.lambda;
                 self.p[(i, j)] = v;
             }
         }

@@ -59,8 +59,9 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "index-literal",
-        "slice indexing by integer literal in library code: panics when the slice is \
-         short; use .first()/.get(..) or destructuring",
+        "slice indexing by integer literal, or by a for-loop variable on a Vec<f64>/\
+         &[f64], in library code: panics when the slice is short; use \
+         .first()/.get(..)/.iter().zip(..) or destructuring",
     ),
     (
         "print-in-lib",
@@ -322,6 +323,36 @@ pub fn analyze(file: &str, crate_name: &str, src: &str) -> FileReport {
     report
 }
 
+/// Names annotated as `Vec<f64>` or `&[f64]` (including `&mut [f64]`
+/// and lifetime-qualified references) anywhere in the file. The
+/// indexed-loop extension of `index-literal` only fires on these: a
+/// lexical pass cannot infer types, but float-slice annotations on
+/// `let` bindings and parameters are where the hot numeric loops live.
+fn f64_sequence_names(tokens: &[Token]) -> Vec<String> {
+    let text = |i: usize| tokens.get(i).map_or("", |t: &Token| t.text.as_str());
+    let mut names: Vec<String> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || text(i + 1) != ":" {
+            continue;
+        }
+        // Skip reference/mut/lifetime prefixes in the type position.
+        let mut j = i + 2;
+        while text(j) == "&"
+            || text(j) == "mut"
+            || tokens.get(j).is_some_and(|t| t.kind == TokKind::Lifetime)
+        {
+            j += 1;
+        }
+        let slice = text(j) == "[" && text(j + 1) == "f64" && text(j + 2) == "]";
+        let vec =
+            text(j) == "Vec" && text(j + 1) == "<" && text(j + 2) == "f64" && text(j + 3) == ">";
+        if (slice || vec) && !names.iter().any(|n| *n == t.text) {
+            names.push(t.text.clone());
+        }
+    }
+    names
+}
+
 /// Run every token-pattern rule over non-test tokens.
 fn scan_tokens(file: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Violation>) {
     let text = |i: usize| tokens.get(i).map_or("", |t: &Token| t.text.as_str());
@@ -335,11 +366,36 @@ fn scan_tokens(file: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Violat
         });
     };
 
+    let f64_seqs = f64_sequence_names(tokens);
+    // `for`-loop variables currently in scope, each with the brace depth
+    // of its loop body. A `for i in ..` records a pending variable that
+    // activates at the next `{` and retires when that brace closes.
+    // Masked (test) spans are brace-balanced and skipped wholesale, so
+    // depth stays consistent across them.
+    let mut loop_vars: Vec<(String, i64)> = Vec::new();
+    let mut pending_loop_var: Option<String> = None;
+    let mut depth = 0i64;
+
     for i in 0..tokens.len() {
         if mask[i] {
             continue;
         }
         let t = &tokens[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => {
+                    depth += 1;
+                    if let Some(name) = pending_loop_var.take() {
+                        loop_vars.push((name, depth));
+                    }
+                }
+                "}" => {
+                    loop_vars.retain(|(_, d)| *d < depth);
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
         match t.kind {
             TokKind::Ident => match t.text.as_str() {
                 // --- determinism: hashed containers ---
@@ -454,7 +510,11 @@ fn scan_tokens(file: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Violat
                         format!("`{}!` in library code", t.text),
                     );
                 }
-                // --- panic freedom: indexing by literal ---
+                // --- panic freedom: indexed loops over float slices ---
+                "for" if kind(i + 1) == Some(TokKind::Ident) && text(i + 2) == "in" => {
+                    pending_loop_var = Some(text(i + 1).to_owned());
+                }
+                // --- panic freedom: indexing by literal or loop var ---
                 _ => {
                     if text(i + 1) == "["
                         && kind(i + 2) == Some(TokKind::Int)
@@ -466,6 +526,23 @@ fn scan_tokens(file: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Violat
                             "index-literal",
                             t.line,
                             format!("`{}[{}]` indexes by literal", t.text, text(i + 2)),
+                        );
+                    } else if text(i + 1) == "["
+                        && kind(i + 2) == Some(TokKind::Ident)
+                        && text(i + 3) == "]"
+                        && loop_vars.iter().any(|(n, _)| n == text(i + 2))
+                        && f64_seqs.iter().any(|n| n == &t.text)
+                    {
+                        emit(
+                            out,
+                            "index-literal",
+                            t.line,
+                            format!(
+                                "`{0}[{1}]` subscripts a float sequence by its loop \
+                                 variable; iterate with .iter().zip(..) or use .get({1})",
+                                t.text,
+                                text(i + 2)
+                            ),
                         );
                     }
                 }
@@ -728,6 +805,52 @@ mod tests {
         let report = analyze("fixture.rs", "core", src);
         assert_eq!(report.violations.len(), 1);
         assert_eq!(report.allows_used.len(), 1);
+    }
+
+    #[test]
+    fn catches_loop_variable_indexing_of_float_slices() {
+        let src = r#"
+            fn dot(xs: &[f64], ys: &'a mut [f64], zs: Vec<f64>) -> f64 {
+                let mut acc = 0.0;
+                for i in 0..xs.len() {
+                    acc += xs[i] * ys[i] + zs[i];
+                }
+                acc
+            }
+        "#;
+        let hits = rules_hit(src);
+        assert_eq!(
+            hits.iter().filter(|r| **r == "index-literal").count(),
+            3,
+            "hits: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn loop_indexing_requires_a_float_sequence_and_a_loop_var() {
+        let src = r#"
+            fn f(ids: &[u64], ws: Vec<f64>) -> f64 {
+                for i in 0..ids.len() {
+                    let _ = ids[i]; // not f64: clean
+                }
+                let j = 2usize;
+                ws[j] // not a loop variable: clean
+            }
+        "#;
+        assert!(rules_hit(src).is_empty(), "{:?}", rules_hit(src));
+    }
+
+    #[test]
+    fn loop_variable_scope_ends_with_the_loop_body() {
+        let src = r#"
+            fn f(xs: Vec<f64>, i: usize) -> f64 {
+                for i in 0..3 {
+                    let _ = i;
+                }
+                xs[i]
+            }
+        "#;
+        assert!(rules_hit(src).is_empty(), "{:?}", rules_hit(src));
     }
 
     #[test]

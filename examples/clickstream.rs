@@ -71,35 +71,35 @@ fn main() {
         .panel(
             Panel::new(
                 "ingestion utilization (%)",
-                report.measurements(Layer::Ingestion).to_vec(),
+                report.measurements(Layer::INGESTION).to_vec(),
             )
             .with_reference(70.0),
         )
         .panel(Panel::new(
             "shards",
-            report.actuators(Layer::Ingestion).to_vec(),
+            report.actuators(Layer::INGESTION).to_vec(),
         ))
         .panel(
             Panel::new(
                 "analytics CPU (%)",
-                report.measurements(Layer::Analytics).to_vec(),
+                report.measurements(Layer::ANALYTICS).to_vec(),
             )
             .with_reference(60.0),
         )
         .panel(Panel::new(
             "VMs",
-            report.actuators(Layer::Analytics).to_vec(),
+            report.actuators(Layer::ANALYTICS).to_vec(),
         ))
         .panel(
             Panel::new(
                 "storage write utilization (%)",
-                report.measurements(Layer::Storage).to_vec(),
+                report.measurements(Layer::STORAGE).to_vec(),
             )
             .with_reference(70.0),
         )
         .panel(Panel::new(
             "write capacity units",
-            report.actuators(Layer::Storage).to_vec(),
+            report.actuators(Layer::STORAGE).to_vec(),
         ));
     println!("\n{}", dashboard.render(100));
 

@@ -40,7 +40,7 @@ fn main() {
         let report = manager.run_for_mins(40);
 
         // Score the analytics layer against its 60% CPU setpoint ± 15.
-        let metrics = report.response_metrics(Layer::Analytics, 60.0, 15.0);
+        let metrics = report.response_metrics(Layer::ANALYTICS, 60.0, 15.0);
         let settle = metrics
             .settling_time
             .map(|t| format!("{}", t.as_secs()))

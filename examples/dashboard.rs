@@ -51,21 +51,21 @@ fn main() {
             .panel(
                 Panel::new(
                     "ingestion utilization (%)",
-                    report.measurements(Layer::Ingestion).to_vec(),
+                    report.measurements(Layer::INGESTION).to_vec(),
                 )
                 .with_reference(70.0),
             )
             .panel(
                 Panel::new(
                     "analytics CPU (%)",
-                    report.measurements(Layer::Analytics).to_vec(),
+                    report.measurements(Layer::ANALYTICS).to_vec(),
                 )
                 .with_reference(60.0),
             )
             .panel(
                 Panel::new(
                     "storage write utilization (%)",
-                    report.measurements(Layer::Storage).to_vec(),
+                    report.measurements(Layer::STORAGE).to_vec(),
                 )
                 .with_reference(70.0),
             );

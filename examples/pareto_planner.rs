@@ -26,10 +26,11 @@ fn main() {
     for c in &problem.constraints {
         println!("  {}", c.label);
     }
-    println!(
-        "prices: shard ${}/h, VM ${}/h, WCU ${}/h\n",
-        problem.prices.shard_hour, problem.prices.vm_hour, problem.prices.wcu_hour
-    );
+    print!("prices:");
+    for (layer, price) in problem.layers.iter().zip(&problem.unit_prices) {
+        print!(" {} ${price}/h,", layer.resource());
+    }
+    println!("\n");
 
     let analyzer = ShareAnalyzer::new(problem).with_config(Nsga2Config {
         population: 100,
@@ -52,9 +53,9 @@ fn main() {
                 println!(
                     "{:>4} {:>8.0} {:>6.0} {:>8.0} {:>10.4}",
                     i + 1,
-                    p.shards,
-                    p.vms,
-                    p.wcu,
+                    p.shards(),
+                    p.vms(),
+                    p.wcu(),
                     p.hourly_cost
                 );
             }

@@ -22,7 +22,8 @@ fn main() {
         .expect("valid flow");
     println!("flow '{}' built:", flow.name);
     for layer in Layer::ALL {
-        println!("  {layer:<10} -> {}", flow.platform(layer).name());
+        let platform = flow.platform(layer).expect("paper layers are present");
+        println!("  {layer:<10} -> {}", platform.name());
     }
 
     // Step 2 — Configuration wizard: defaults are the paper's adaptive

@@ -1,0 +1,141 @@
+// Test target: unwrap/expect and exact comparison are deliberate here
+// (determinism assertions compare exported traces byte-for-byte).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
+//! Integration: a fourth layer — the cache tier — driven end-to-end
+//! through the registry with zero special-casing.
+//!
+//! The paper's stack is three layers; the `LayerService` registry is
+//! open. This episode mirrors `examples/cache_tier.rs`: the cache gets
+//! its own capacity unit, price, control loop, structural dependency
+//! edge to storage, and NSGA-II genome slot, and its lifecycle must
+//! show up in the same trace with the same determinism guarantees as
+//! the paper layers.
+
+use flower_cloud::{MetricId, PriceList, ReadWorkloadConfig};
+use flower_core::flow::{cached_clickstream_flow, Layer};
+use flower_core::prelude::*;
+use flower_core::share::Constraint;
+use flower_nsga2::Nsga2Config;
+use flower_obs::{kind, parse_trace, Recorder};
+use flower_sim::SimTime;
+
+/// The example's 45-minute four-layer episode, traced.
+fn traced_cached_episode(workers: Option<usize>) -> String {
+    let prices = PriceList::default();
+    let problem = ShareProblem::worked_example(1.0)
+        .with_layer(Layer::CACHE, prices.cache_node_hour, 20.0)
+        .with_constraint(Constraint::ratio(0.001, Layer::STORAGE, 1.0, Layer::CACHE));
+    let replanner = Replanner::for_clickstream(
+        ReplanConfig {
+            budget: 1.0,
+            cadence: SimDuration::from_mins(15),
+            analysis_window: SimDuration::from_mins(15),
+            selection: PlanSelection::Balanced,
+            dependency_band: 0.5,
+            nsga2: Nsga2Config {
+                population: 32,
+                generations: 24,
+                seed: 9,
+                ..Default::default()
+            },
+            workers,
+        },
+        "clicks",
+        "counter",
+        "aggregates",
+        problem,
+    )
+    .with_resource_metric(
+        Layer::CACHE,
+        MetricId::new(
+            flower_cloud::engine::metric_names::NS_CACHE,
+            flower_cloud::engine::metric_names::CACHE_NODES,
+            "hot-aggregates",
+        ),
+    );
+    let mut manager = ElasticityManager::builder(cached_clickstream_flow())
+        .workload(Workload::flash_crowd(
+            600.0,
+            9_000.0,
+            SimTime::from_mins(10),
+        ))
+        .read_workload(ReadWorkloadConfig {
+            base_rate: 150.0,
+            per_record: 0.5,
+            ..Default::default()
+        })
+        .replanner(replanner)
+        .recorder(Recorder::with_capacity(65_536))
+        .seed(5)
+        .build()
+        .unwrap();
+    manager.run_for_mins(45);
+    manager.recorder().to_jsonl()
+}
+
+#[test]
+fn cache_layer_flows_through_plan_actuation_and_trace() {
+    let doc = traced_cached_episode(Some(2));
+    let trace = parse_trace(&doc).unwrap();
+    assert_eq!(trace.dropped, 0, "flight recorder overflowed");
+
+    // The cache tier's deployed-node gauge is published every tick,
+    // alongside the three paper layers' gauges.
+    assert!(
+        doc.contains("\"cloud.cache_nodes\""),
+        "no cache-node gauge in the trace"
+    );
+
+    // Every successful replan carries a cache_nodes share: the fourth
+    // genome slot flowed through NSGA-II into the chosen plan.
+    let outcomes: Vec<_> = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == kind::REPLAN_OUTCOME)
+        .collect();
+    assert!(!outcomes.is_empty(), "no successful replan in 45 min");
+    for o in &outcomes {
+        assert!(
+            o.f64(Layer::CACHE.resource()).is_some(),
+            "replan outcome missing a cache_nodes share: {o:?}"
+        );
+        assert!(o.f64("shards").is_some());
+        assert!(o.f64("vms").is_some());
+        assert!(o.f64("wcu").is_some());
+    }
+
+    // The cache's own control loop decides — and its decisions reach
+    // the actuator as cache_nodes resizes, same as any paper layer.
+    let cache_decisions = trace
+        .events
+        .iter()
+        .filter(|e| {
+            e.kind == kind::CONTROL_DECISION && e.str("layer") == Some(Layer::CACHE.label())
+        })
+        .count();
+    assert!(
+        cache_decisions > 0,
+        "the cache layer's control loop never ran"
+    );
+    let cache_resizes = trace
+        .events
+        .iter()
+        .filter(|e| {
+            e.kind == kind::CLOUD_RESIZE && e.str("resource") == Some(Layer::CACHE.resource())
+        })
+        .count();
+    assert!(
+        cache_resizes > 0,
+        "no cache_nodes resize in a 15x flash crowd with a tracking read load"
+    );
+}
+
+#[test]
+fn cached_trace_is_byte_identical_across_worker_counts() {
+    let one = traced_cached_episode(Some(1));
+    let two = traced_cached_episode(Some(2));
+    let eight = traced_cached_episode(Some(8));
+    assert!(!one.is_empty());
+    assert_eq!(one, two, "1-worker and 2-worker traces differ");
+    assert_eq!(one, eight, "1-worker and 8-worker traces differ");
+}

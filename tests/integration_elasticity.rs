@@ -36,7 +36,7 @@ fn every_controller_kind_survives_a_step_disturbance() {
             1,
         );
         // All controllers must eventually add ingestion capacity.
-        let final_shards = report.actuators(Layer::Ingestion).last().unwrap().1;
+        let final_shards = report.actuators(Layer::INGESTION).last().unwrap().1;
         assert!(final_shards > 2.0, "{name}: shards stuck at {final_shards}");
         // And the flow must keep accepting most records post-transient.
         assert!(
@@ -136,25 +136,28 @@ fn mixed_controllers_per_layer() {
     // The wizard allows different controllers per layer (§4 step 2).
     let mut manager = ElasticityManager::builder(clickstream_flow())
         .workload(Workload::constant(2_500.0))
-        .controller(Layer::Ingestion, ControllerSpec::adaptive(70.0))
-        .controller(Layer::Analytics, ControllerSpec::rule_based(60.0))
-        .controller(Layer::Storage, ControllerSpec::Static)
+        .controller(Layer::INGESTION, ControllerSpec::adaptive(70.0))
+        .controller(Layer::ANALYTICS, ControllerSpec::rule_based(60.0))
+        .controller(Layer::STORAGE, ControllerSpec::Static)
         .seed(4)
         .build()
         .unwrap();
-    assert_eq!(manager.controller_spec(Layer::Ingestion).name(), "adaptive");
     assert_eq!(
-        manager.controller_spec(Layer::Analytics).name(),
+        manager.controller_spec(Layer::INGESTION).unwrap().name(),
+        "adaptive"
+    );
+    assert_eq!(
+        manager.controller_spec(Layer::ANALYTICS).unwrap().name(),
         "rule-based"
     );
     let report = manager.run_for_mins(15);
     // The static storage layer never moves.
     assert!(report
-        .actuators(Layer::Storage)
+        .actuators(Layer::STORAGE)
         .iter()
         .all(|&(_, v)| v == 100.0));
     // The managed layers do.
-    assert!(report.actuators(Layer::Ingestion).last().unwrap().1 > 2.0);
+    assert!(report.actuators(Layer::INGESTION).last().unwrap().1 > 2.0);
 }
 
 #[test]

@@ -49,7 +49,7 @@ fn fig2_dependency_emerges_from_the_simulated_flow() {
         .unwrap();
     let ingestion_analytics = deps
         .iter()
-        .find(|d| d.source.layer == Layer::Ingestion && d.target.layer == Layer::Analytics)
+        .find(|d| d.source.layer == Layer::INGESTION && d.target.layer == Layer::ANALYTICS)
         .expect("ingestion→analytics dependency must be detected");
     assert!(
         ingestion_analytics.correlation() > 0.9,

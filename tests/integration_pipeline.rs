@@ -45,8 +45,8 @@ fn end_to_end_paper_workflow() {
     // Example of Eq. 5 in constraint form: keep VMs within a band of the
     // regression between shards and VMs implied by capacity ratios.
     problem.constraints.extend(Constraint::equality_band(
-        Layer::Analytics,
-        Layer::Ingestion,
+        Layer::ANALYTICS,
+        Layer::INGESTION,
         0.5,
         0.0,
         4.0,
@@ -67,9 +67,9 @@ fn end_to_end_paper_workflow() {
     // ---- Phase 3 (§3.3): provision with the plan as upper bounds.
     let mut manager = ElasticityManager::builder(clickstream_flow())
         .workload(Workload::diurnal(1_500.0, 1_200.0))
-        .bounds(Layer::Ingestion, 1.0, plan.shards.max(2.0))
-        .bounds(Layer::Analytics, 1.0, plan.vms.max(2.0))
-        .bounds(Layer::Storage, 1.0, plan.wcu.max(100.0))
+        .bounds(Layer::INGESTION, 1.0, plan.shards().max(2.0))
+        .bounds(Layer::ANALYTICS, 1.0, plan.vms().max(2.0))
+        .bounds(Layer::STORAGE, 1.0, plan.wcu().max(100.0))
         .seed(21)
         .build()
         .unwrap();
@@ -77,11 +77,11 @@ fn end_to_end_paper_workflow() {
 
     // Bounds hold throughout.
     let max_shards = report
-        .actuators(Layer::Ingestion)
+        .actuators(Layer::INGESTION)
         .iter()
         .map(|&(_, v)| v)
         .fold(0.0, f64::max);
-    assert!(max_shards <= plan.shards.max(2.0) + 1e-9);
+    assert!(max_shards <= plan.shards().max(2.0) + 1e-9);
 
     // ---- Phase 4 (§3.4): the consolidated monitor sees the episode.
     let monitor = CrossPlatformMonitor::for_clickstream("clicks", "counter", "aggregates");
@@ -94,10 +94,10 @@ fn end_to_end_paper_workflow() {
     // The hourly spend implied by the final deployment respects the plan:
     // it cannot exceed the budget the share analysis was given, because
     // every actuator is capped by the plan's shares.
-    let final_vms = report.actuators(Layer::Analytics).last().unwrap().1;
-    let final_wcu = report.actuators(Layer::Storage).last().unwrap().1;
+    let final_vms = report.actuators(Layer::ANALYTICS).last().unwrap().1;
+    let final_wcu = report.actuators(Layer::STORAGE).last().unwrap().1;
     let hourly = flower_cloud::PriceList::default().hourly_cost(
-        report.actuators(Layer::Ingestion).last().unwrap().1,
+        report.actuators(Layer::INGESTION).last().unwrap().1,
         final_vms,
         final_wcu,
         0.0,
@@ -122,21 +122,21 @@ fn share_plan_bounds_prevent_budget_blowout_under_overload() {
     let plan = &plans[0];
     let mut manager = ElasticityManager::builder(clickstream_flow())
         .workload(Workload::constant(20_000.0))
-        .bounds(Layer::Ingestion, 1.0, plan.shards.max(2.0))
-        .bounds(Layer::Analytics, 1.0, plan.vms.max(2.0))
-        .bounds(Layer::Storage, 1.0, plan.wcu.max(100.0))
+        .bounds(Layer::INGESTION, 1.0, plan.shards().max(2.0))
+        .bounds(Layer::ANALYTICS, 1.0, plan.vms().max(2.0))
+        .bounds(Layer::STORAGE, 1.0, plan.wcu().max(100.0))
         .seed(17)
         .build()
         .unwrap();
     let report = manager.run_for_mins(60);
     let peak_hourly = report
-        .actuators(Layer::Ingestion)
+        .actuators(Layer::INGESTION)
         .iter()
         .zip(
             report
-                .actuators(Layer::Analytics)
+                .actuators(Layer::ANALYTICS)
                 .iter()
-                .zip(report.actuators(Layer::Storage).iter()),
+                .zip(report.actuators(Layer::STORAGE).iter()),
         )
         .map(|(&(_, s), (&(_, v), &(_, w)))| {
             flower_cloud::PriceList::default().hourly_cost(s, v, w, 0.0)
@@ -199,9 +199,9 @@ fn replanner_updates_bounds_during_an_episode() {
     // spend more per hour than the budget (plus the cheapest layer's
     // rounding slack).
     let final_hourly = flower_cloud::PriceList::default().hourly_cost(
-        report.actuators(Layer::Ingestion).last().unwrap().1,
-        report.actuators(Layer::Analytics).last().unwrap().1,
-        report.actuators(Layer::Storage).last().unwrap().1,
+        report.actuators(Layer::INGESTION).last().unwrap().1,
+        report.actuators(Layer::ANALYTICS).last().unwrap().1,
+        report.actuators(Layer::STORAGE).last().unwrap().1,
         0.0,
     );
     assert!(final_hourly <= 1.1, "final spend ${final_hourly}/h");

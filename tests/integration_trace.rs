@@ -140,6 +140,88 @@ fn traced_episode_emits_events_from_every_source() {
 }
 
 #[test]
+fn trace_matches_pre_registry_golden_fixture() {
+    // The fixture was exported by the hard-wired three-layer stack
+    // before the LayerService-registry refactor. The registry must
+    // reproduce it byte for byte: same events, same field order, same
+    // float formatting — proof that the generalization changed no
+    // observable behavior of the paper's three-layer flow.
+    let golden = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/fixtures/golden_trace_3layer.jsonl"
+    ));
+    let current = traced_episode(Some(2));
+    assert!(
+        current == golden,
+        "trace diverged from the pre-refactor golden fixture \
+         (first differing line: {:?})",
+        current
+            .lines()
+            .zip(golden.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map(|(i, (a, b))| format!("line {}: {a} != {b}", i + 1))
+    );
+}
+
+#[test]
+fn resource_vector_trace_round_trips_byte_identically() {
+    use flower_cloud::ResourceVector;
+    use flower_core::flow::Layer;
+
+    // A plan over three of the four registered layers: the cache layer
+    // is deliberately absent, and its absence must survive the round
+    // trip — no synthesized zero-unit field, no dropped field.
+    let plan = ResourceVector::from_pairs([
+        (Layer::INGESTION, 6.0),
+        (Layer::ANALYTICS, 3.0),
+        (Layer::STORAGE, 431.0),
+    ]);
+    let recorder = Recorder::with_capacity(64);
+    recorder.set_now(SimTime::from_mins(15));
+    let mut fields: Vec<(&'static str, flower_obs::FieldValue)> =
+        vec![("hourly_cost", 0.9714.into())];
+    for (layer, units) in plan.iter() {
+        fields.push((layer.resource(), units.into()));
+    }
+    recorder.emit(kind::REPLAN_OUTCOME, &fields);
+    for (layer, units) in plan.iter() {
+        recorder.gauge(
+            match layer {
+                l if l == Layer::INGESTION => "cloud.shards",
+                l if l == Layer::ANALYTICS => "cloud.vms",
+                _ => "cloud.wcu",
+            },
+            units,
+        );
+    }
+    recorder.count("replan.rounds", 1);
+
+    let doc = recorder.to_jsonl();
+    let trace = parse_trace(&doc).unwrap();
+    assert_eq!(trace.to_jsonl(), doc, "re-export is not a fixed point");
+    let outcome = &trace.events[0];
+    assert_eq!(outcome.f64(Layer::STORAGE.resource()), Some(431.0));
+    assert_eq!(
+        outcome.f64(Layer::CACHE.resource()),
+        None,
+        "a layer absent from the plan must stay absent after the round trip"
+    );
+}
+
+#[test]
+fn full_episode_trace_round_trips_byte_identically() {
+    // The golden 3-layer document — spans, histograms, counters, gauges,
+    // hundreds of events — is a fixed point of parse → re-export.
+    let golden = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/fixtures/golden_trace_3layer.jsonl"
+    ));
+    let trace = parse_trace(golden).unwrap();
+    assert_eq!(trace.to_jsonl(), golden);
+}
+
+#[test]
 fn trace_is_byte_identical_across_worker_counts() {
     let one = traced_episode(Some(1));
     let two = traced_episode(Some(2));
