@@ -1,0 +1,556 @@
+//! Declarative fault plans: what to break, where, when, and how hard.
+//!
+//! A [`FaultPlan`] is a seed plus an ordered list of [`FaultClause`]s.
+//! Each clause names a layer (or all layers), an active window in sim
+//! time, and a [`FaultKind`]. Plans come from three places: the built-in
+//! scenario presets ([`FaultPlan::preset`]), a TOML-subset text file
+//! ([`FaultPlan::parse`]), or code.
+
+use flower_sim::{SimDuration, SimTime};
+
+/// One way a layer can misbehave.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The resize API rejects the call outright with probability `p`.
+    Reject {
+        /// Per-call rejection probability in `[0, 1]`.
+        p: f64,
+    },
+    /// The resize lands short: only `fraction` of the requested *change*
+    /// is applied (quantized-short actuation), with probability `p`.
+    Short {
+        /// Per-call probability in `[0, 1]`.
+        p: f64,
+        /// Fraction of the requested delta that actually lands, in
+        /// `(0, 1)`.
+        fraction: f64,
+    },
+    /// The resize call is accepted but its effect lands `delay` later.
+    Delay {
+        /// Per-call probability in `[0, 1]`.
+        p: f64,
+        /// How late the resize lands.
+        delay: SimDuration,
+    },
+    /// The layer's sensor reading is dropped (stale metrics) with
+    /// probability `p` per monitoring round.
+    Dropout {
+        /// Per-round drop probability in `[0, 1]`.
+        p: f64,
+    },
+    /// A transient throttling storm: the control-plane API rejects every
+    /// call during the first `burst` of each `period`, deterministically
+    /// (a duty cycle anchored at the clause's window start — no RNG).
+    Storm {
+        /// Storm cycle length.
+        period: SimDuration,
+        /// Throttled prefix of each cycle (`0 < burst <= period`).
+        burst: SimDuration,
+    },
+}
+
+impl FaultKind {
+    /// The short name used in traces and plan files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Reject { .. } => "reject",
+            FaultKind::Short { .. } => "short",
+            FaultKind::Delay { .. } => "delay",
+            FaultKind::Dropout { .. } => "dropout",
+            FaultKind::Storm { .. } => "storm",
+        }
+    }
+}
+
+/// One fault clause: a kind, a layer selector, and an active window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultClause {
+    /// The layer label this clause targets (`None` = every layer).
+    pub layer: Option<String>,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+impl FaultClause {
+    /// Whether the clause targets the layer labelled `label`.
+    pub fn applies_to(&self, label: &str) -> bool {
+        self.layer.as_deref().is_none_or(|l| l == label)
+    }
+
+    /// Whether the clause is active at `now`.
+    pub fn active(&self, now: SimTime) -> bool {
+        self.from <= now && now < self.until
+    }
+}
+
+/// A complete fault plan: seed plus ordered clauses.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Root seed of the injector's per-layer RNG streams. Independent of
+    /// the episode seed, so the same fault draw sequence can be replayed
+    /// against different workloads.
+    pub seed: u64,
+    /// The clauses, evaluated in order (first triggering clause wins).
+    pub clauses: Vec<FaultClause>,
+}
+
+/// The built-in scenario preset names, in menu order.
+pub const PRESETS: [&str; 5] = [
+    "none",
+    "flaky-actuator",
+    "stale-sensor",
+    "slow-resize",
+    "throttle-storm",
+];
+
+impl FaultPlan {
+    /// A plan with no clauses: running under it is byte-identical to not
+    /// installing an injector at all.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True when the plan carries no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// A built-in scenario preset by name (see [`PRESETS`]), or `None`
+    /// for an unknown name. Every preset's fault window closes by
+    /// t = 25 min so a 45-minute episode has 20 minutes to re-converge.
+    pub fn preset(name: &str) -> Option<FaultPlan> {
+        let clause =
+            |layer: Option<&str>, from_s: u64, until_s: u64, kind: FaultKind| FaultClause {
+                layer: layer.map(str::to_owned),
+                from: SimTime::from_secs(from_s),
+                until: SimTime::from_secs(until_s),
+                kind,
+            };
+        match name {
+            "none" => Some(FaultPlan::none()),
+            // Resize API flakiness across the whole flow while the flash
+            // crowd is in force.
+            "flaky-actuator" => Some(FaultPlan {
+                seed: 0xFA11,
+                clauses: vec![clause(None, 600, 1_200, FaultKind::Reject { p: 0.6 })],
+            }),
+            // Ingestion and analytics sensors go stale for three minutes
+            // mid-spike: their loops must hold last-known-good shares.
+            "stale-sensor" => Some(FaultPlan {
+                seed: 0x57A1,
+                clauses: vec![
+                    clause(Some("ingestion"), 720, 900, FaultKind::Dropout { p: 1.0 }),
+                    clause(Some("analytics"), 720, 900, FaultKind::Dropout { p: 1.0 }),
+                ],
+            }),
+            // Resizes land two and a half minutes late (past the default
+            // actuation timeout) at the two slow-moving tiers.
+            "slow-resize" => Some(FaultPlan {
+                seed: 0xDE1A,
+                clauses: vec![
+                    clause(
+                        Some("analytics"),
+                        600,
+                        1_200,
+                        FaultKind::Delay {
+                            p: 1.0,
+                            delay: SimDuration::from_secs(150),
+                        },
+                    ),
+                    clause(
+                        Some("storage"),
+                        600,
+                        1_200,
+                        FaultKind::Delay {
+                            p: 1.0,
+                            delay: SimDuration::from_secs(150),
+                        },
+                    ),
+                ],
+            }),
+            // Control-plane throttling storms: one minute of every two is
+            // fully throttled, across all layers, for 15 minutes.
+            "throttle-storm" => Some(FaultPlan {
+                seed: 0x5709,
+                clauses: vec![clause(
+                    None,
+                    600,
+                    1_500,
+                    FaultKind::Storm {
+                        period: SimDuration::from_secs(120),
+                        burst: SimDuration::from_secs(60),
+                    },
+                )],
+            }),
+            _ => None,
+        }
+    }
+
+    /// Parse the TOML-subset plan format:
+    ///
+    /// ```toml
+    /// seed = 7
+    ///
+    /// [[fault]]
+    /// layer = "analytics"   # or "all"
+    /// kind = "reject"       # reject|short|delay|dropout|storm
+    /// p = 0.6
+    /// from_s = 600
+    /// until_s = 1200
+    /// ```
+    ///
+    /// Kind-specific keys: `fraction` (short), `delay_s` (delay),
+    /// `period_s`/`burst_s` (storm). `#` starts a comment; unknown keys
+    /// are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending line or
+    /// clause on malformed input.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        let mut draft: Option<ClauseDraft> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[fault]]" {
+                if let Some(d) = draft.take() {
+                    plan.clauses.push(d.finish()?);
+                }
+                draft = Some(ClauseDraft::default());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`: {line}", i + 1));
+            };
+            let key = key.trim();
+            let value = value.trim().trim_matches('"');
+            match &mut draft {
+                None => match key {
+                    "seed" => plan.seed = parse_u64(key, value)?,
+                    _ => return Err(format!("line {}: unknown top-level key `{key}`", i + 1)),
+                },
+                Some(d) => d.set(key, value)?,
+            }
+        }
+        if let Some(d) = draft.take() {
+            plan.clauses.push(d.finish()?);
+        }
+        Ok(plan)
+    }
+
+    /// Serialize back into the [`FaultPlan::parse`] format.
+    pub fn to_toml(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("# flower fault plan\n");
+        let _ = writeln!(out, "seed = {}", self.seed);
+        for c in &self.clauses {
+            out.push_str("\n[[fault]]\n");
+            let layer = c.layer.as_deref().unwrap_or("all");
+            let _ = writeln!(out, "layer = \"{layer}\"");
+            let _ = writeln!(out, "kind = \"{}\"", c.kind.name());
+            match &c.kind {
+                FaultKind::Reject { p } | FaultKind::Dropout { p } => {
+                    let _ = writeln!(out, "p = {p}");
+                }
+                FaultKind::Short { p, fraction } => {
+                    let _ = writeln!(out, "p = {p}");
+                    let _ = writeln!(out, "fraction = {fraction}");
+                }
+                FaultKind::Delay { p, delay } => {
+                    let _ = writeln!(out, "p = {p}");
+                    let _ = writeln!(out, "delay_s = {}", delay.as_secs());
+                }
+                FaultKind::Storm { period, burst } => {
+                    let _ = writeln!(out, "period_s = {}", period.as_secs());
+                    let _ = writeln!(out, "burst_s = {}", burst.as_secs());
+                }
+            }
+            let _ = writeln!(out, "from_s = {}", c.from.as_secs());
+            if c.until < SimTime::MAX {
+                let _ = writeln!(out, "until_s = {}", c.until.as_secs());
+            }
+        }
+        out
+    }
+}
+
+fn parse_u64(key: &str, value: &str) -> Result<u64, String> {
+    value
+        .parse::<u64>()
+        .map_err(|_| format!("`{key}` must be a non-negative integer, got `{value}`"))
+}
+
+fn parse_f64(key: &str, value: &str) -> Result<f64, String> {
+    value
+        .parse::<f64>()
+        .ok()
+        .filter(|v| v.is_finite())
+        .ok_or_else(|| format!("`{key}` must be a finite number, got `{value}`"))
+}
+
+/// A `[[fault]]` section under construction.
+#[derive(Debug, Default)]
+struct ClauseDraft {
+    layer: Option<String>,
+    kind: Option<String>,
+    p: Option<f64>,
+    fraction: Option<f64>,
+    delay_s: Option<u64>,
+    period_s: Option<u64>,
+    burst_s: Option<u64>,
+    from_s: Option<u64>,
+    until_s: Option<u64>,
+}
+
+impl ClauseDraft {
+    fn set(&mut self, key: &str, value: &str) -> Result<(), String> {
+        match key {
+            "layer" => self.layer = Some(value.to_owned()),
+            "kind" => self.kind = Some(value.to_owned()),
+            "p" => self.p = Some(parse_f64(key, value)?),
+            "fraction" => self.fraction = Some(parse_f64(key, value)?),
+            "delay_s" => self.delay_s = Some(parse_u64(key, value)?),
+            "period_s" => self.period_s = Some(parse_u64(key, value)?),
+            "burst_s" => self.burst_s = Some(parse_u64(key, value)?),
+            "from_s" => self.from_s = Some(parse_u64(key, value)?),
+            "until_s" => self.until_s = Some(parse_u64(key, value)?),
+            _ => return Err(format!("unknown [[fault]] key `{key}`")),
+        }
+        Ok(())
+    }
+
+    fn probability(&self) -> Result<f64, String> {
+        let p = self.p.ok_or("missing `p`")?;
+        if (0.0..=1.0).contains(&p) {
+            Ok(p)
+        } else {
+            Err(format!("`p` must be in [0, 1], got {p}"))
+        }
+    }
+
+    fn finish(self) -> Result<FaultClause, String> {
+        let kind_name = self.kind.as_deref().ok_or("fault clause missing `kind`")?;
+        let kind = match kind_name {
+            "reject" => FaultKind::Reject {
+                p: self.probability()?,
+            },
+            "dropout" => FaultKind::Dropout {
+                p: self.probability()?,
+            },
+            "short" => {
+                let fraction = self.fraction.ok_or("short fault missing `fraction`")?;
+                if !(fraction > 0.0 && fraction < 1.0) {
+                    return Err(format!("`fraction` must be in (0, 1), got {fraction}"));
+                }
+                FaultKind::Short {
+                    p: self.probability()?,
+                    fraction,
+                }
+            }
+            "delay" => {
+                let delay_s = self.delay_s.ok_or("delay fault missing `delay_s`")?;
+                if delay_s == 0 {
+                    return Err("`delay_s` must be positive".to_owned());
+                }
+                FaultKind::Delay {
+                    p: self.probability()?,
+                    delay: SimDuration::from_secs(delay_s),
+                }
+            }
+            "storm" => {
+                let period_s = self.period_s.ok_or("storm fault missing `period_s`")?;
+                let burst_s = self.burst_s.ok_or("storm fault missing `burst_s`")?;
+                if period_s == 0 || burst_s == 0 || burst_s > period_s {
+                    return Err(format!(
+                        "storm needs 0 < burst_s <= period_s, got burst_s={burst_s} period_s={period_s}"
+                    ));
+                }
+                FaultKind::Storm {
+                    period: SimDuration::from_secs(period_s),
+                    burst: SimDuration::from_secs(burst_s),
+                }
+            }
+            other => return Err(format!("unknown fault kind `{other}`")),
+        };
+        let from = SimTime::from_secs(self.from_s.unwrap_or(0));
+        let until = match self.until_s {
+            Some(s) => SimTime::from_secs(s),
+            None => SimTime::MAX,
+        };
+        if until <= from {
+            return Err(format!(
+                "fault window must be non-empty: from_s={} until_s={}",
+                from.as_secs(),
+                until.as_secs()
+            ));
+        }
+        let layer = match self.layer.as_deref() {
+            None | Some("all") => None,
+            Some(l) => Some(l.to_owned()),
+        };
+        Ok(FaultClause {
+            layer,
+            from,
+            until,
+            kind,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid_and_windowed() {
+        for name in PRESETS {
+            let plan = FaultPlan::preset(name).expect("every listed preset exists");
+            if name == "none" {
+                assert!(plan.is_empty());
+                continue;
+            }
+            assert!(!plan.is_empty(), "{name} must carry clauses");
+            for c in &plan.clauses {
+                assert!(c.from < c.until, "{name}: empty window");
+                assert!(
+                    c.until <= SimTime::from_mins(25),
+                    "{name}: fault window must close by t=25min for re-convergence"
+                );
+            }
+        }
+        assert!(FaultPlan::preset("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn clause_selector_and_window() {
+        let plan = FaultPlan::preset("stale-sensor").expect("preset exists");
+        let c = plan.clauses.first().expect("has clauses");
+        assert!(c.applies_to("ingestion"));
+        assert!(!c.applies_to("storage"));
+        assert!(!c.active(SimTime::from_secs(719)));
+        assert!(c.active(SimTime::from_secs(720)));
+        assert!(!c.active(SimTime::from_secs(900)), "until is exclusive");
+        let all = FaultClause {
+            layer: None,
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
+            kind: FaultKind::Reject { p: 1.0 },
+        };
+        assert!(all.applies_to("anything"));
+    }
+
+    #[test]
+    fn parse_round_trips_every_preset() {
+        for name in PRESETS {
+            let plan = FaultPlan::preset(name).expect("preset exists");
+            let text = plan.to_toml();
+            let back = FaultPlan::parse(&text).expect("round-trip parses");
+            assert_eq!(back, plan, "{name} round-trip");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_example() {
+        let plan = FaultPlan::parse(
+            r#"
+            seed = 7  # fault stream seed
+
+            [[fault]]
+            layer = "analytics"
+            kind = "reject"
+            p = 0.6
+            from_s = 600
+            until_s = 1200
+
+            [[fault]]
+            layer = "all"
+            kind = "storm"
+            period_s = 120
+            burst_s = 30
+            "#,
+        )
+        .expect("example parses");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.clauses.len(), 2);
+        let storm = plan.clauses.last().expect("two clauses");
+        assert_eq!(storm.layer, None, "\"all\" normalizes to every layer");
+        assert_eq!(storm.until, SimTime::MAX, "until defaults to forever");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_plans() {
+        for (text, needle) in [
+            ("nonsense", "expected `key = value`"),
+            ("speed = 3", "unknown top-level key"),
+            ("[[fault]]\nkind = \"reject\"", "missing `p`"),
+            ("[[fault]]\nkind = \"reject\"\np = 1.5", "must be in [0, 1]"),
+            ("[[fault]]\nkind = \"warp\"\np = 0.5", "unknown fault kind"),
+            ("[[fault]]\np = 0.5", "missing `kind`"),
+            (
+                "[[fault]]\nkind = \"reject\"\nzap = 1",
+                "unknown [[fault]] key",
+            ),
+            (
+                "[[fault]]\nkind = \"short\"\np = 0.5\nfraction = 1.0",
+                "`fraction` must be in (0, 1)",
+            ),
+            (
+                "[[fault]]\nkind = \"delay\"\np = 0.5\ndelay_s = 0",
+                "`delay_s` must be positive",
+            ),
+            (
+                "[[fault]]\nkind = \"storm\"\nperiod_s = 10\nburst_s = 20",
+                "burst_s <= period_s",
+            ),
+            (
+                "[[fault]]\nkind = \"reject\"\np = 0.5\nfrom_s = 9\nuntil_s = 9",
+                "window must be non-empty",
+            ),
+            ("seed = -4", "non-negative integer"),
+            ("[[fault]]\nkind = \"reject\"\np = x", "finite number"),
+        ] {
+            let err = FaultPlan::parse(text).expect_err(text);
+            assert!(
+                err.contains(needle),
+                "`{text}` → `{err}` (wanted `{needle}`)"
+            );
+        }
+    }
+
+    #[test]
+    fn kind_names_match_parser_vocabulary() {
+        assert_eq!(FaultKind::Reject { p: 0.5 }.name(), "reject");
+        assert_eq!(FaultKind::Dropout { p: 0.5 }.name(), "dropout");
+        assert_eq!(
+            FaultKind::Short {
+                p: 0.5,
+                fraction: 0.5
+            }
+            .name(),
+            "short"
+        );
+        assert_eq!(
+            FaultKind::Delay {
+                p: 0.5,
+                delay: SimDuration::from_secs(1)
+            }
+            .name(),
+            "delay"
+        );
+        assert_eq!(
+            FaultKind::Storm {
+                period: SimDuration::from_secs(2),
+                burst: SimDuration::from_secs(1)
+            }
+            .name(),
+            "storm"
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! [`ChaosLayer`]: wrap any [`LayerService`] in a fault injector.
+//!
+//! The wrapper is transparent for everything except [`LayerService::
+//! actuate`]: resize requests first pass through the injector, which may
+//! reject them ([`EngineError::Unavailable`]), land them short, or hold
+//! them back to land later (release held resizes each tick with
+//! [`ChaosLayer::release_due`]). Sensor dropout is a *metrics-path*
+//! fault, so it is applied where sensors are read (see
+//! [`FaultInjector::on_sense`]), not here.
+
+use flower_cloud::alarms::Alarm;
+use flower_cloud::engine::{EngineError, TickReport};
+use flower_cloud::pricing::PriceList;
+use flower_cloud::{LayerId, LayerService, MetricId, SensorProbe};
+use flower_sim::SimTime;
+
+use crate::inject::{DelayedResize, FaultDecision, FaultInjector};
+
+/// A [`LayerService`] whose control-plane calls pass through a
+/// [`FaultInjector`].
+pub struct ChaosLayer<S: LayerService> {
+    inner: S,
+    injector: FaultInjector,
+}
+
+impl<S: LayerService> ChaosLayer<S> {
+    /// Wrap `inner` behind `injector`.
+    pub fn new(inner: S, injector: FaultInjector) -> ChaosLayer<S> {
+        ChaosLayer { inner, injector }
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The injector (e.g. to route sensor reads through
+    /// [`FaultInjector::on_sense`]).
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Mutable injector access.
+    pub fn injector_mut(&mut self) -> &mut FaultInjector {
+        &mut self.injector
+    }
+
+    /// Land every delayed resize that has come due by `now`, applying it
+    /// to the wrapped service. Returns the landed resizes with each
+    /// outcome (a resize can still be rejected by the service itself
+    /// when it finally lands).
+    pub fn release_due(&mut self, now: SimTime) -> Vec<(DelayedResize, Result<(), EngineError>)> {
+        self.injector
+            .due_resizes(now)
+            .into_iter()
+            .map(|d| {
+                let outcome = self.inner.actuate(d.target, now);
+                (d, outcome)
+            })
+            .collect()
+    }
+
+    /// Unwrap, discarding the injector.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: LayerService> LayerService for ChaosLayer<S> {
+    fn id(&self) -> LayerId {
+        self.inner.id()
+    }
+
+    fn service_name(&self) -> &str {
+        self.inner.service_name()
+    }
+
+    fn actuator_units(&self) -> f64 {
+        self.inner.actuator_units()
+    }
+
+    fn target_units(&self) -> f64 {
+        self.inner.target_units()
+    }
+
+    fn min_units(&self) -> f64 {
+        self.inner.min_units()
+    }
+
+    fn max_units(&self) -> f64 {
+        self.inner.max_units()
+    }
+
+    fn unit_price(&self, prices: &PriceList) -> f64 {
+        self.inner.unit_price(prices)
+    }
+
+    fn quantize(&self, target: f64) -> f64 {
+        self.inner.quantize(target)
+    }
+
+    fn actuate(&mut self, target: f64, now: SimTime) -> Result<(), EngineError> {
+        let id = self.inner.id();
+        let from = self.inner.actuator_units();
+        match self.injector.on_actuate(id, from, target, now) {
+            FaultDecision::Pass => self.inner.actuate(target, now),
+            FaultDecision::Reject => Err(EngineError::Unavailable(id)),
+            FaultDecision::Short { target: short } => self.inner.actuate(short, now),
+            // Accepted, but the effect lands at `due`; the caller's
+            // tick loop releases it via `release_due`.
+            FaultDecision::Delay { .. } => Ok(()),
+        }
+    }
+
+    fn utilization_sensor(&self) -> SensorProbe {
+        self.inner.utilization_sensor()
+    }
+
+    fn measurement(&self, tick: &TickReport) -> Option<f64> {
+        self.inner.measurement(tick)
+    }
+
+    fn headline_metrics(&self) -> Vec<MetricId> {
+        self.inner.headline_metrics()
+    }
+
+    fn default_alarm(&self) -> Option<Alarm> {
+        self.inner.default_alarm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultClause, FaultKind, FaultPlan};
+    use flower_cloud::Statistic;
+    use flower_sim::{SimDuration, SimTime};
+
+    /// A minimal deterministic mock tier.
+    struct MockService {
+        units: f64,
+        resizes: Vec<(f64, SimTime)>,
+    }
+
+    impl MockService {
+        fn new() -> MockService {
+            MockService {
+                units: 2.0,
+                resizes: Vec::new(),
+            }
+        }
+    }
+
+    const MOCK: LayerId = LayerId::new(7, "mock", "pods", "pods", "M");
+
+    impl LayerService for MockService {
+        fn id(&self) -> LayerId {
+            MOCK
+        }
+        fn service_name(&self) -> &str {
+            "mock-service"
+        }
+        fn actuator_units(&self) -> f64 {
+            self.units
+        }
+        fn target_units(&self) -> f64 {
+            self.units
+        }
+        fn max_units(&self) -> f64 {
+            64.0
+        }
+        fn unit_price(&self, _prices: &PriceList) -> f64 {
+            0.1
+        }
+        fn quantize(&self, target: f64) -> f64 {
+            target.round()
+        }
+        fn actuate(&mut self, target: f64, now: SimTime) -> Result<(), EngineError> {
+            let t = self.quantize(target).clamp(1.0, self.max_units());
+            self.units = t;
+            self.resizes.push((t, now));
+            Ok(())
+        }
+        fn utilization_sensor(&self) -> SensorProbe {
+            SensorProbe {
+                metric: MetricId::new("Mock", "Utilization", "mock-service"),
+                statistic: Statistic::Average,
+                scale: 100.0,
+            }
+        }
+        fn measurement(&self, _tick: &TickReport) -> Option<f64> {
+            None
+        }
+        fn headline_metrics(&self) -> Vec<MetricId> {
+            vec![MetricId::new("Mock", "Utilization", "mock-service")]
+        }
+    }
+
+    fn plan_with(kind: FaultKind) -> FaultPlan {
+        FaultPlan {
+            seed: 11,
+            clauses: vec![FaultClause {
+                layer: Some("mock".to_owned()),
+                from: SimTime::ZERO,
+                until: SimTime::MAX,
+                kind,
+            }],
+        }
+    }
+
+    #[test]
+    fn passthrough_without_active_faults() {
+        let mut wrapped =
+            ChaosLayer::new(MockService::new(), FaultInjector::new(FaultPlan::none()));
+        assert_eq!(wrapped.id(), MOCK);
+        assert_eq!(wrapped.service_name(), "mock-service");
+        assert_eq!(wrapped.max_units(), 64.0);
+        assert_eq!(wrapped.quantize(2.4), 2.0);
+        assert!(wrapped.default_alarm().is_none());
+        assert_eq!(wrapped.headline_metrics().len(), 1);
+        wrapped
+            .actuate(5.0, SimTime::from_secs(1))
+            .expect("clean pass-through");
+        assert_eq!(wrapped.actuator_units(), 5.0);
+        assert_eq!(wrapped.injector().injected(), 0);
+        assert_eq!(wrapped.into_inner().resizes.len(), 1);
+    }
+
+    #[test]
+    fn reject_surfaces_unavailable_and_leaves_inner_untouched() {
+        let mut wrapped = ChaosLayer::new(
+            MockService::new(),
+            FaultInjector::new(plan_with(FaultKind::Reject { p: 1.0 })),
+        );
+        let err = wrapped
+            .actuate(5.0, SimTime::from_secs(1))
+            .expect_err("injected rejection");
+        assert!(matches!(err, EngineError::Unavailable(id) if id == MOCK));
+        assert!(err.to_string().contains("temporarily unavailable"));
+        assert_eq!(wrapped.actuator_units(), 2.0, "no resize landed");
+    }
+
+    #[test]
+    fn short_actuation_lands_part_of_the_delta() {
+        let mut wrapped = ChaosLayer::new(
+            MockService::new(),
+            FaultInjector::new(plan_with(FaultKind::Short {
+                p: 1.0,
+                fraction: 0.5,
+            })),
+        );
+        wrapped
+            .actuate(10.0, SimTime::from_secs(1))
+            .expect("short actuations are accepted");
+        // 2 → 10 shortened to 2 + 8·0.5 = 6.
+        assert_eq!(wrapped.actuator_units(), 6.0);
+    }
+
+    #[test]
+    fn delayed_actuation_lands_on_release() {
+        let mut wrapped = ChaosLayer::new(
+            MockService::new(),
+            FaultInjector::new(plan_with(FaultKind::Delay {
+                p: 1.0,
+                delay: SimDuration::from_secs(90),
+            })),
+        );
+        wrapped
+            .actuate(8.0, SimTime::from_secs(10))
+            .expect("delayed calls are accepted");
+        assert_eq!(wrapped.actuator_units(), 2.0, "not landed yet");
+        assert!(wrapped.release_due(SimTime::from_secs(60)).is_empty());
+        let landed = wrapped.release_due(SimTime::from_secs(100));
+        assert_eq!(landed.len(), 1);
+        let (d, outcome) = landed.into_iter().next().expect("one landed resize");
+        assert_eq!(d.due, SimTime::from_secs(100));
+        assert!(outcome.is_ok());
+        assert_eq!(wrapped.actuator_units(), 8.0);
+        assert_eq!(
+            wrapped.inner().resizes.as_slice(),
+            &[(8.0, SimTime::from_secs(100))],
+            "the resize landed late, at release time"
+        );
+    }
+
+    #[test]
+    fn injector_mut_reaches_sensor_faults() {
+        let mut wrapped = ChaosLayer::new(
+            MockService::new(),
+            FaultInjector::new(plan_with(FaultKind::Dropout { p: 1.0 })),
+        );
+        assert_eq!(
+            wrapped.injector_mut().on_sense(MOCK, 42.0, SimTime::ZERO),
+            None
+        );
+    }
+}

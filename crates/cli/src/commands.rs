@@ -39,6 +39,12 @@ COMMANDS:
               --trace PATH         record structured events as JSONL
                                    (flower-trace/v1)
               --replan MINS        re-run share analysis every MINS min
+              --faults NAME|PATH   inject faults: a scenario preset
+                                   (none|flaky-actuator|stale-sensor|
+                                   slow-resize|throttle-storm) or a TOML
+                                   fault plan; enables the resilience
+                                   policy (retries, timeouts, degraded
+                                   mode) alongside
               --config PATH        load a wizard config file (overrides
                                    the flags above; see flower_core::wizard)
   plan      resource share analysis under a budget (Fig. 4)
@@ -50,7 +56,8 @@ COMMANDS:
   monitor   run briefly and print the all-in-one-place snapshot (Fig. 6)
               --minutes N          run length              [10]
               --seed N             RNG seed                [0]
-  trace     summarize a JSONL trace written by `run --trace`
+  trace     summarize a JSONL trace written by `run --trace` (includes a
+            fault/recovery timeline when the run injected faults)
               --in PATH            trace file to read      (required)
               --field NAME         also chart this numeric event field
   help      this text
@@ -115,13 +122,32 @@ fn controller(kind: &str) -> Result<[ControllerSpec; 3], Box<dyn Error>> {
     })
 }
 
+/// Resolve `--faults`: a scenario preset name, else a TOML plan file.
+fn fault_plan(spec: &str) -> Result<FaultPlan, Box<dyn Error>> {
+    if let Some(plan) = FaultPlan::preset(spec) {
+        return Ok(plan);
+    }
+    let text = std::fs::read_to_string(spec).map_err(|e| {
+        format!(
+            "--faults '{spec}' is neither a preset ({}) nor a readable file: {e}",
+            PRESETS.join("|")
+        )
+    })?;
+    FaultPlan::parse(&text).map_err(|e| format!("--faults {spec}: {e}").into())
+}
+
 /// `flower run`
 pub fn run(args: &Args) -> CmdResult {
     let minutes = args.u64_or("minutes", 30)?;
 
     let mut manager = if let Some(path) = args.get("config") {
-        if args.get("trace").is_some() || args.get("replan").is_some() {
-            return Err("--trace/--replan are not supported together with --config".into());
+        if args.get("trace").is_some()
+            || args.get("replan").is_some()
+            || args.get("faults").is_some()
+        {
+            return Err(
+                "--trace/--replan/--faults are not supported together with --config".into(),
+            );
         }
         let text = std::fs::read_to_string(path)?;
         let config = flower_core::wizard::WizardConfig::from_text(&text)?;
@@ -165,6 +191,17 @@ pub fn run(args: &Args) -> CmdResult {
                 "aggregates",
                 ShareProblem::worked_example(1.0),
             ));
+        }
+        if let Some(spec) = args.get("faults") {
+            let plan = fault_plan(spec)?;
+            if !plan.is_empty() {
+                println!(
+                    "injecting faults from '{spec}' (seed {}, {} clauses) with the resilience policy enabled",
+                    plan.seed,
+                    plan.clauses.len()
+                );
+            }
+            builder = builder.faults(plan);
         }
         if args.get("trace").is_some() {
             builder = builder.recorder(Recorder::with_capacity(65_536));
@@ -287,6 +324,59 @@ pub fn trace(args: &Args) -> CmdResult {
                 e.str("to").unwrap_or("?")
             );
         }
+    }
+
+    let faults: Vec<&flower_obs::TraceEvent> = trace
+        .events
+        .iter()
+        .filter(|e| e.kind.starts_with("chaos.") || e.kind.starts_with("resilience."))
+        .collect();
+    if !faults.is_empty() {
+        println!("\nfault/recovery timeline:");
+        for e in &faults {
+            let layer = e.str("layer").unwrap_or("?");
+            let accepted = e.fields.get("accepted") == Some(&JsonValue::Bool(true));
+            let detail = match e.kind.as_str() {
+                "chaos.fault" => format!("fault injected: {}", e.str("fault").unwrap_or("?")),
+                "resilience.retry" => format!(
+                    "retry #{:.0} {}",
+                    e.f64("attempt").unwrap_or(0.0),
+                    if accepted { "landed" } else { "rejected again" }
+                ),
+                "resilience.timeout" => format!(
+                    "actuation timed out (target {:.0})",
+                    e.f64("target").unwrap_or(f64::NAN)
+                ),
+                "resilience.degraded" => match e.str("phase") {
+                    Some("enter") => format!(
+                        "sensor stale -> degraded, holding {:.0} units",
+                        e.f64("held").unwrap_or(f64::NAN)
+                    ),
+                    _ => format!(
+                        "sensor recovered after {:.0} held round(s)",
+                        e.f64("rounds").unwrap_or(0.0)
+                    ),
+                },
+                other => other.to_owned(),
+            };
+            println!("  t={:>6}s  {layer:<12} {detail}", e.t_ms / 1000);
+        }
+        println!(
+            "  ({} fault events, {} retries, {} timeouts, {} degraded transitions)",
+            faults.iter().filter(|e| e.kind == "chaos.fault").count(),
+            faults
+                .iter()
+                .filter(|e| e.kind == "resilience.retry")
+                .count(),
+            faults
+                .iter()
+                .filter(|e| e.kind == "resilience.timeout")
+                .count(),
+            faults
+                .iter()
+                .filter(|e| e.kind == "resilience.degraded")
+                .count()
+        );
     }
 
     if let Some(field) = args.get("field") {
@@ -494,6 +584,69 @@ mod tests {
         ]));
         let err = result.unwrap_err().to_string();
         assert!(err.contains("not supported"), "{err}");
+    }
+
+    #[test]
+    fn fault_plan_resolves_presets_and_files() {
+        assert!(!fault_plan("flaky-actuator").unwrap().is_empty());
+        assert!(fault_plan("none").unwrap().is_empty());
+        let err = fault_plan("nope").unwrap_err().to_string();
+        assert!(err.contains("neither a preset"), "{err}");
+
+        let dir = std::env::temp_dir().join("flower-cli-faults-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.toml");
+        std::fs::write(&path, FaultPlan::preset("stale-sensor").unwrap().to_toml()).unwrap();
+        let from_file = fault_plan(path.to_str().unwrap()).unwrap();
+        assert_eq!(from_file, FaultPlan::preset("stale-sensor").unwrap());
+        std::fs::write(&path, "seed = what").unwrap();
+        assert!(fault_plan(path.to_str().unwrap()).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn faults_flag_is_rejected_with_config() {
+        let result = run(&args(&[
+            "run",
+            "--minutes",
+            "1",
+            "--config",
+            "/nonexistent",
+            "--faults",
+            "flaky-actuator",
+        ]));
+        let err = result.unwrap_err().to_string();
+        assert!(err.contains("not supported"), "{err}");
+    }
+
+    #[test]
+    fn run_with_faults_traces_the_fault_timeline() {
+        let dir = std::env::temp_dir().join("flower-cli-chaos-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chaos.jsonl");
+        let path_str = path.to_str().unwrap().to_owned();
+        run(&args(&[
+            "run",
+            "--minutes",
+            "12",
+            "--workload",
+            "constant",
+            "--rate",
+            "4500",
+            "--faults",
+            "flaky-actuator",
+            "--trace",
+            &path_str,
+        ]))
+        .unwrap();
+        let parsed = flower_obs::parse_trace(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(
+            parsed.events.iter().any(|e| e.kind == "chaos.fault"),
+            "faulted run must trace injected faults"
+        );
+        // The timeline panel renders what the run wrote.
+        trace(&args(&["trace", "--in", &path_str])).unwrap();
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

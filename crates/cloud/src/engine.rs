@@ -182,6 +182,9 @@ pub enum EngineError {
     Cache(CacheError),
     /// The addressed layer is not registered with the engine.
     UnknownLayer(LayerId),
+    /// The layer's control-plane API is transiently unavailable (e.g.
+    /// an injected fault rejected the resize call).
+    Unavailable(LayerId),
 }
 
 impl std::fmt::Display for EngineError {
@@ -193,6 +196,9 @@ impl std::fmt::Display for EngineError {
             EngineError::Cache(e) => write!(f, "cache: {e}"),
             EngineError::UnknownLayer(layer) => {
                 write!(f, "no service registered for layer {layer}")
+            }
+            EngineError::Unavailable(layer) => {
+                write!(f, "layer {layer} control plane temporarily unavailable")
             }
         }
     }

@@ -99,6 +99,8 @@ pub struct AdaptiveController {
     warm_started_last: bool,
     /// Total warm starts taken since construction/reset.
     warm_starts: u64,
+    /// Control rounds held with a stale sensor (degraded mode).
+    held_rounds: u64,
 }
 
 impl AdaptiveController {
@@ -119,6 +121,7 @@ impl AdaptiveController {
             steps: 0,
             warm_started_last: false,
             warm_starts: 0,
+            held_rounds: 0,
         }
     }
 
@@ -144,6 +147,12 @@ impl AdaptiveController {
     /// re-entries where a remembered gain beat the current one).
     pub fn warm_starts(&self) -> u64 {
         self.warm_starts
+    }
+
+    /// Control rounds spent held in degraded mode (see
+    /// [`Controller::hold`]).
+    pub fn held_rounds(&self) -> u64 {
+        self.held_rounds
     }
 
     fn remember(&mut self, positive_error: bool, gain: f64) {
@@ -245,6 +254,7 @@ impl Controller for AdaptiveController {
         self.steps = 0;
         self.warm_started_last = false;
         self.warm_starts = 0;
+        self.held_rounds = 0;
     }
 
     fn current_gain(&self) -> Option<f64> {
@@ -253,6 +263,14 @@ impl Controller for AdaptiveController {
 
     fn warm_started(&self) -> bool {
         self.warm_started_last
+    }
+
+    fn hold(&mut self) {
+        // Degraded mode: no measurement arrived, so neither Eq. 6 nor
+        // Eq. 7 runs — `u`, `l`, and the gain memory all stay frozen.
+        // Only bookkeeping moves.
+        self.warm_started_last = false;
+        self.held_rounds += 1;
     }
 }
 
@@ -411,6 +429,68 @@ mod tests {
         }
         // Each regime keeps at most `memory_len` gains.
         assert!(c.gain_history().count() <= 32);
+    }
+
+    #[test]
+    fn hold_freezes_gain_actuator_and_memory() {
+        let mut c = controller(true);
+        // Ramp the gain up and populate the scale-out memory.
+        for _ in 0..20 {
+            c.step(95.0);
+        }
+        let gain = c.gain();
+        let u = c.actuator();
+        let remembered = c.gain_history().count();
+        let steps = c.steps();
+        for _ in 0..5 {
+            c.hold();
+        }
+        assert_eq!(c.gain(), gain, "Eq. 7 gain must stay frozen while held");
+        assert_eq!(c.actuator(), u, "Eq. 6 actuator must stay frozen");
+        assert_eq!(c.gain_history().count(), remembered, "memory untouched");
+        assert_eq!(c.steps(), steps, "held rounds are not control steps");
+        assert_eq!(c.held_rounds(), 5);
+        assert!(!c.warm_started(), "hold clears the warm-start flag");
+        // Recovery: the next real step resumes from the frozen gain.
+        let before = c.actuator();
+        let after = c.step(95.0);
+        assert!((after - before - gain_effect(gain, 95.0 - 60.0)).abs() < 1.0);
+        c.reset();
+        assert_eq!(c.held_rounds(), 0);
+    }
+
+    /// The Eq. 6 increment for a gain near `l` and error `e` (the gain
+    /// drifts by γ·e within the step, hence "near").
+    fn gain_effect(l: f64, e: f64) -> f64 {
+        l * e
+    }
+
+    #[test]
+    fn default_hold_is_a_noop_for_stateless_controllers() {
+        // The trait default must compile and do nothing observable.
+        struct Bang(f64);
+        impl Controller for Bang {
+            fn step(&mut self, _m: f64) -> f64 {
+                self.0
+            }
+            fn actuator(&self) -> f64 {
+                self.0
+            }
+            fn sync_actuator(&mut self, actual: f64) {
+                self.0 = actual;
+            }
+            fn setpoint(&self) -> f64 {
+                0.0
+            }
+            fn set_setpoint(&mut self, _s: f64) {}
+            fn name(&self) -> &str {
+                "bang"
+            }
+            fn reset(&mut self) {}
+        }
+        let mut b = Bang(3.0);
+        b.hold();
+        assert_eq!(b.actuator(), 3.0);
     }
 
     #[test]

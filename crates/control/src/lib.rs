@@ -93,4 +93,13 @@ pub trait Controller {
     fn warm_started(&self) -> bool {
         false
     }
+
+    /// Notify the controller that this control round is *held*: the
+    /// sensor is stale (e.g. an injected metric dropout) and the loop is
+    /// keeping the last-known-good actuation instead of stepping. The
+    /// controller must freeze every adaptive quantity — for the paper's
+    /// adaptive controller that means the Eq. 7 gain `l_k` and its gain
+    /// memory stay untouched, so garbage error signals cannot corrupt
+    /// them. The default is a no-op (stateless controllers need nothing).
+    fn hold(&mut self) {}
 }

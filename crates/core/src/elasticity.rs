@@ -19,11 +19,13 @@ use flower_workload::{
     RateTrace, StepRate,
 };
 
+use flower_chaos::{FaultInjector, FaultPlan};
+
 use crate::config::ControllerSpec;
 use crate::error::FlowerError;
 use crate::flow::{FlowSpec, Layer};
 use crate::monitor::CrossPlatformMonitor;
-use crate::provision::{sensors, LayerControllerConfig, ProvisioningManager};
+use crate::provision::{sensors, LayerControllerConfig, ProvisioningManager, ResilienceConfig};
 use crate::replan::{ReplanOutcome, Replanner};
 
 /// A workload: an arrival process plus the click-stream shape.
@@ -123,6 +125,8 @@ pub struct ElasticityManagerBuilder {
     rcu_controller: Option<(ControllerSpec, LayerBounds)>,
     hot_shard_sensor: bool,
     recorder: Recorder,
+    faults: Option<FaultPlan>,
+    resilience: Option<ResilienceConfig>,
 }
 
 /// The default controller spec for `layer`: the paper's setpoints for
@@ -169,7 +173,30 @@ impl ElasticityManagerBuilder {
             rcu_controller: None,
             hot_shard_sensor: false,
             recorder: Recorder::disabled(),
+            faults: None,
+            resilience: None,
         }
+    }
+
+    /// Inject faults per `plan` (see [`flower_chaos`]): sensor reads and
+    /// actuations route through a seeded, deterministic
+    /// [`FaultInjector`], and — unless overridden via
+    /// [`Self::resilience`] — the default [`ResilienceConfig`] is
+    /// enabled alongside, so injected faults meet retries, timeouts, and
+    /// degraded-mode holds. An empty plan installs nothing: the episode
+    /// stays byte-identical to an unfaulted one.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Tune the resilience policy (bounded retries, deterministic
+    /// exponential backoff, actuation timeouts, degraded-mode holds).
+    /// Can also be used without [`Self::faults`] to harden against the
+    /// cloud's organic rejections.
+    pub fn resilience(mut self, config: ResilienceConfig) -> Self {
+        self.resilience = Some(config);
+        self
     }
 
     /// Attach an observability recorder (see [`flower_obs`]). The same
@@ -366,6 +393,22 @@ impl ElasticityManagerBuilder {
         }
         let mut provisioning = ProvisioningManager::new(loops, self.monitoring_period);
         provisioning.set_recorder(self.recorder.clone());
+        // Fault injection + resilience. A zero-fault plan installs
+        // *neither* — the untouched hot path keeps traced episodes
+        // byte-identical to fixtures recorded before this layer existed.
+        match self.faults {
+            Some(plan) if !plan.is_empty() => {
+                let mut injector = FaultInjector::new(plan);
+                injector.set_recorder(self.recorder.clone());
+                provisioning.set_fault_injector(injector);
+                provisioning.set_resilience(self.resilience.unwrap_or_default());
+            }
+            _ => {
+                if let Some(config) = self.resilience {
+                    provisioning.set_resilience(config);
+                }
+            }
+        }
         let mut replanner = self.replanner;
         if let Some(r) = replanner.as_mut() {
             r.set_recorder(self.recorder.clone());
@@ -635,8 +678,12 @@ impl ElasticityManager {
             }
             prev_actuators = actuators;
 
-            // Control rounds on the monitoring-period grid.
             let next = self.now + dt;
+            // Resilience housekeeping every tick: land delayed resizes,
+            // expire timeouts, fire due retries. A no-op without a fault
+            // injector or resilience policy.
+            self.provisioning.poll(&mut self.engine, next);
+            // Control rounds on the monitoring-period grid.
             if next
                 .as_millis()
                 .is_multiple_of(self.monitoring_period.as_millis())
@@ -879,6 +926,33 @@ mod tests {
         let rm = report.response_metrics(Layer::ANALYTICS, 60.0, 15.0);
         assert!(rm.integral_abs_error >= 0.0);
         assert!(rm.violation_rate >= 0.0 && rm.violation_rate <= 1.0);
+    }
+
+    #[test]
+    fn zero_fault_plan_changes_nothing() {
+        let base = manager(Workload::constant(2_000.0)).run_for_mins(5);
+        let mut faulted = ElasticityManager::builder(clickstream_flow())
+            .workload(Workload::constant(2_000.0))
+            .seed(11)
+            .faults(FaultPlan::none())
+            .build()
+            .unwrap();
+        assert_eq!(base, faulted.run_for_mins(5));
+    }
+
+    #[test]
+    fn preset_faults_emit_chaos_and_resilience_events() {
+        let recorder = Recorder::with_capacity(16_384);
+        let mut m = ElasticityManager::builder(clickstream_flow())
+            .workload(Workload::constant(4_500.0))
+            .seed(11)
+            .recorder(recorder.clone())
+            .faults(FaultPlan::preset("flaky-actuator").unwrap())
+            .build()
+            .unwrap();
+        m.run_for_mins(25);
+        assert!(recorder.counter("chaos.faults") > 0, "faults injected");
+        assert!(recorder.counter("resilience.retries") > 0, "retries fired");
     }
 
     #[test]

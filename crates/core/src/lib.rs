@@ -90,11 +90,12 @@ pub mod prelude {
     pub use crate::error::FlowerError;
     pub use crate::flow::{FlowBuilder, FlowSpec, Layer, Platform};
     pub use crate::monitor::CrossPlatformMonitor;
-    pub use crate::provision::{LayerControllerConfig, ProvisioningManager};
+    pub use crate::provision::{LayerControllerConfig, ProvisioningManager, ResilienceConfig};
     pub use crate::replan::{PlanSelection, ReplanConfig, Replanner};
     pub use crate::share::{ResourceShares, ShareAnalyzer, ShareProblem};
     pub use crate::slo::{Objective, SloReport, SloSpec};
     pub use crate::wizard::WizardConfig;
+    pub use flower_chaos::{FaultInjector, FaultPlan, PRESETS};
     pub use flower_control::Controller;
     pub use flower_sim::{SimDuration, SimTime};
 }

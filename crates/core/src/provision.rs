@@ -15,6 +15,7 @@
 //! [`flower_cloud::LayerService`] registry, so a loop works for any
 //! layer the engine knows about.
 
+use flower_chaos::{FaultDecision, FaultInjector};
 use flower_cloud::{CloudEngine, MetricId, MetricsStore, Statistic};
 use flower_control::Controller;
 use flower_obs::{kind, Recorder};
@@ -77,11 +78,140 @@ pub struct ActuationRecord {
     pub accepted: bool,
 }
 
+/// The resilience policy: bounded retries with deterministic
+/// exponential backoff, actuation timeouts, and graceful degradation.
+///
+/// All durations are [`SimTime`]-based — no wall clock anywhere — so an
+/// episode under faults replays byte-identically at any worker count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceConfig {
+    /// Retry attempts after a rejected actuation (0 disables retries).
+    pub max_retries: u32,
+    /// Backoff before the first retry; attempt `n` waits
+    /// `backoff_base · backoff_factor^(n−1)`.
+    pub backoff_base: SimDuration,
+    /// Multiplier applied to the backoff per attempt.
+    pub backoff_factor: u64,
+    /// How long a delayed (accepted-but-not-landed) actuation may stay
+    /// in flight before it is declared timed out.
+    pub actuation_timeout: SimDuration,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> ResilienceConfig {
+        ResilienceConfig {
+            max_retries: 3,
+            backoff_base: SimDuration::from_secs(5),
+            backoff_factor: 2,
+            actuation_timeout: SimDuration::from_secs(120),
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// The deterministic backoff before retry attempt `attempt`
+    /// (1-based): `base · factor^(attempt−1)`, saturating.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let exp = attempt.saturating_sub(1);
+        SimDuration::from_millis(
+            self.backoff_base
+                .as_millis()
+                .saturating_mul(self.backoff_factor.saturating_pow(exp)),
+        )
+    }
+}
+
+/// A scheduled retry of a rejected actuation.
+#[derive(Debug, Clone, Copy)]
+struct RetryTicket {
+    layer: Layer,
+    target: f64,
+    attempt: u32,
+    due: SimTime,
+}
+
+/// An accepted actuation whose effect has not landed yet.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    layer: Layer,
+    target: f64,
+    deadline: SimTime,
+}
+
+/// Live retry/timeout bookkeeping for the resilience policy.
+struct ResilienceRuntime {
+    config: ResilienceConfig,
+    retries: Vec<RetryTicket>,
+    in_flight: Vec<InFlight>,
+}
+
+impl ResilienceRuntime {
+    fn new(config: ResilienceConfig) -> ResilienceRuntime {
+        ResilienceRuntime {
+            config,
+            retries: Vec::new(),
+            in_flight: Vec::new(),
+        }
+    }
+
+    /// A fresh control decision supersedes any retry chain for the
+    /// layer — fresher information wins. In-flight actuations are *not*
+    /// cancelled: the cloud-side operation is still pending whatever
+    /// the loop decides next, so its timeout clock keeps running until
+    /// it lands or expires.
+    fn cancel(&mut self, layer: Layer) {
+        self.retries.retain(|t| t.layer != layer);
+    }
+
+    fn schedule_retry(&mut self, layer: Layer, target: f64, now: SimTime) {
+        if self.config.max_retries == 0 {
+            return;
+        }
+        self.retries.push(RetryTicket {
+            layer,
+            target,
+            attempt: 1,
+            due: now + self.config.backoff(1),
+        });
+    }
+
+    fn track_in_flight(&mut self, layer: Layer, target: f64, now: SimTime) {
+        self.in_flight.push(InFlight {
+            layer,
+            target,
+            deadline: now + self.config.actuation_timeout,
+        });
+    }
+
+    /// A delayed actuation landed: stop its timeout clock.
+    fn landed(&mut self, layer: Layer, target: f64) {
+        if let Some(i) = self
+            .in_flight
+            .iter()
+            .position(|f| f.layer == layer && (f.target - target).abs() < 1e-9)
+        {
+            self.in_flight.remove(i);
+        }
+    }
+}
+
+/// Degraded-mode bookkeeping while a layer's sensor is stale.
+#[derive(Debug, Clone, Copy)]
+struct DegradedState {
+    /// When the sensor went quiet.
+    since: SimTime,
+    /// The last-known-good applied share being held.
+    held: f64,
+    /// Control rounds spent degraded so far.
+    rounds: u64,
+}
+
 /// One layer's running control loop.
 struct LayerLoop {
     config: LayerControllerConfig,
     history: Vec<ActuationRecord>,
     rejected: u64,
+    degraded: Option<DegradedState>,
 }
 
 /// The per-layer provisioning manager.
@@ -89,6 +219,8 @@ pub struct ProvisioningManager {
     loops: Vec<LayerLoop>,
     window: SimDuration,
     recorder: Recorder,
+    injector: Option<FaultInjector>,
+    resilience: Option<ResilienceRuntime>,
 }
 
 impl ProvisioningManager {
@@ -112,11 +244,41 @@ impl ProvisioningManager {
                     config,
                     history: Vec::new(),
                     rejected: 0,
+                    degraded: None,
                 })
                 .collect(),
             window,
             recorder: Recorder::disabled(),
+            injector: None,
+            resilience: None,
         }
+    }
+
+    /// Route every sensor read and actuation through a fault injector.
+    /// Injected faults surface exactly like organic ones (rejections,
+    /// shortfalls, silence), so the control loops cannot tell the
+    /// difference — which is the point.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Enable the resilience policy: bounded deterministic retries,
+    /// actuation timeouts, and degraded-mode holds on sensor dropout.
+    pub fn set_resilience(&mut self, config: ResilienceConfig) {
+        self.resilience = Some(ResilienceRuntime::new(config));
+    }
+
+    /// Whether `layer` is currently degraded (sensor stale, share held).
+    pub fn degraded(&self, layer: Layer) -> bool {
+        self.loops
+            .iter()
+            .find(|l| l.config.layer == layer)
+            .is_some_and(|l| l.degraded.is_some())
+    }
+
+    /// The attached fault injector, if any.
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
     }
 
     /// Attach an observability recorder: every control round then emits
@@ -181,27 +343,87 @@ impl ProvisioningManager {
     pub fn step(&mut self, engine: &mut CloudEngine, now: SimTime) -> Vec<ActuationRecord> {
         let mut records = Vec::with_capacity(self.loops.len());
         for l in &mut self.loops {
-            let Some(measurement) = l.config.sensor.read(engine.metrics(), now, self.window) else {
-                continue; // no data yet — skip this round
+            let raw = l.config.sensor.read(engine.metrics(), now, self.window);
+            let sensed = match (raw, self.injector.as_mut()) {
+                (Some(v), Some(inj)) => inj.on_sense(l.config.layer, v, now),
+                (v, _) => v,
             };
+            let Some(measurement) = sensed else {
+                // No data. With the resilience policy on, enter (or stay
+                // in) degraded mode: hold the last-known-good share and
+                // freeze the controller so Eq. 7's gain memory is not
+                // corrupted by a stale window. Otherwise, legacy skip.
+                if self.resilience.is_some() {
+                    degraded_round(l, &self.recorder, now);
+                }
+                continue;
+            };
+            if let Some(d) = l.degraded.take() {
+                // Fresh data after a stale spell: resume control.
+                if self.recorder.is_enabled() {
+                    self.recorder.set_now(now);
+                    self.recorder.emit(
+                        kind::RESILIENCE_DEGRADED,
+                        &[
+                            ("held", d.held.into()),
+                            ("layer", l.config.layer.label().into()),
+                            ("phase", "exit".into()),
+                            ("rounds", d.rounds.into()),
+                            ("stale_ms", now.since(d.since).as_millis().into()),
+                        ],
+                    );
+                    self.recorder.count("resilience.recoveries", 1);
+                }
+            }
             let commanded = l.config.controller.step(measurement);
             // The continuous command, clamped to the share bounds; the
             // deployment gets its rounding.
             let desired = commanded.clamp(l.config.min_units, l.config.max_units);
             let applied = desired.round();
 
-            let accepted = engine.actuate(l.config.layer, applied, now).is_ok();
+            // A fresh decision supersedes any retry chain in flight.
+            if let Some(res) = self.resilience.as_mut() {
+                res.cancel(l.config.layer);
+            }
+            let decision = match self.injector.as_mut() {
+                Some(inj) => {
+                    let from = engine.actuator_units(l.config.layer).unwrap_or(applied);
+                    inj.on_actuate(l.config.layer, from, applied, now)
+                }
+                None => FaultDecision::Pass,
+            };
+            let (accepted, delayed) = match decision {
+                FaultDecision::Pass => {
+                    (engine.actuate(l.config.layer, applied, now).is_ok(), false)
+                }
+                FaultDecision::Short { target } => {
+                    (engine.actuate(l.config.layer, target, now).is_ok(), false)
+                }
+                FaultDecision::Reject => (false, false),
+                // Accepted but not landed: `poll` releases it when due.
+                FaultDecision::Delay { .. } => (true, true),
+            };
             if !accepted {
                 l.rejected += 1;
+                if let Some(res) = self.resilience.as_mut() {
+                    res.schedule_retry(l.config.layer, applied, now);
+                }
+            }
+            if delayed {
+                if let Some(res) = self.resilience.as_mut() {
+                    res.track_in_flight(l.config.layer, applied, now);
+                }
             }
             // Sync the controller with reality while preserving sub-unit
             // integral progress: when accepted, sync to the *continuous*
             // clamped command (anti-windup at the bounds only — rounding
             // is the deployment's concern, and syncing to the rounded
             // value would erase small accumulating adjustments). When
-            // rejected, sync to the deployment's current target so an
-            // in-flight change stays visible to the controller.
-            let in_force = if accepted {
+            // rejected — or landed short — sync to the deployment's
+            // current target so the shortfall stays visible to the
+            // controller. A delayed actuation counts as accepted: the
+            // command is in flight.
+            let in_force = if (matches!(decision, FaultDecision::Pass) && accepted) || delayed {
                 desired
             } else {
                 engine.target_units(l.config.layer).unwrap_or(desired)
@@ -251,6 +473,152 @@ impl ProvisioningManager {
         }
         records
     }
+
+    /// Per-tick housekeeping between control rounds: land delayed
+    /// actuations that have come due, expire in-flight actuations past
+    /// their timeout, and fire due retries with deterministic
+    /// exponential backoff. A no-op unless a fault injector or the
+    /// resilience policy is attached — the zero-fault path stays
+    /// byte-identical to a manager without either.
+    pub fn poll(&mut self, engine: &mut CloudEngine, now: SimTime) {
+        if self.injector.is_none() && self.resilience.is_none() {
+            return;
+        }
+        // 1. Delayed actuations landing now. The engine traces each as
+        //    an ordinary resize; `landed` stops its timeout clock.
+        if let Some(inj) = self.injector.as_mut() {
+            for d in inj.due_resizes(now) {
+                if engine.actuate(d.layer, d.target, now).is_err() {
+                    continue; // the service itself refused the late landing
+                }
+                if let Some(res) = self.resilience.as_mut() {
+                    res.landed(d.layer, d.target);
+                }
+            }
+        }
+        let Some(res) = self.resilience.as_mut() else {
+            return;
+        };
+        // 2. In-flight actuations past their deadline.
+        let mut timed_out = Vec::new();
+        res.in_flight.retain(|f| {
+            if f.deadline <= now {
+                timed_out.push(*f);
+                false
+            } else {
+                true
+            }
+        });
+        for f in timed_out {
+            if self.recorder.is_enabled() {
+                self.recorder.set_now(now);
+                self.recorder.emit(
+                    kind::RESILIENCE_TIMEOUT,
+                    &[
+                        ("layer", f.layer.label().into()),
+                        ("target", f.target.into()),
+                    ],
+                );
+                self.recorder.count("resilience.timeouts", 1);
+            }
+        }
+        // 3. Due retries. Each re-enters the fault path — a retry can be
+        //    rejected again (and back off further) or be delayed.
+        let mut due = Vec::new();
+        res.retries.retain(|t| {
+            if t.due <= now {
+                due.push(*t);
+                false
+            } else {
+                true
+            }
+        });
+        for t in due {
+            let decision = match self.injector.as_mut() {
+                Some(inj) => {
+                    let from = engine.actuator_units(t.layer).unwrap_or(t.target);
+                    inj.on_actuate(t.layer, from, t.target, now)
+                }
+                None => FaultDecision::Pass,
+            };
+            let (accepted, delayed) = match decision {
+                FaultDecision::Pass => (engine.actuate(t.layer, t.target, now).is_ok(), false),
+                FaultDecision::Short { target } => {
+                    (engine.actuate(t.layer, target, now).is_ok(), false)
+                }
+                FaultDecision::Reject => (false, false),
+                FaultDecision::Delay { .. } => (true, true),
+            };
+            if self.recorder.is_enabled() {
+                self.recorder.set_now(now);
+                self.recorder.emit(
+                    kind::RESILIENCE_RETRY,
+                    &[
+                        ("accepted", accepted.into()),
+                        ("attempt", t.attempt.into()),
+                        ("layer", t.layer.label().into()),
+                        ("target", t.target.into()),
+                    ],
+                );
+                self.recorder.count("resilience.retries", 1);
+            }
+            let Some(res) = self.resilience.as_mut() else {
+                return;
+            };
+            if delayed {
+                res.track_in_flight(t.layer, t.target, now);
+            }
+            if !accepted {
+                if t.attempt < res.config.max_retries {
+                    let attempt = t.attempt + 1;
+                    res.retries.push(RetryTicket {
+                        layer: t.layer,
+                        target: t.target,
+                        attempt,
+                        due: now + res.config.backoff(attempt),
+                    });
+                } else if self.recorder.is_enabled() {
+                    self.recorder.count("resilience.exhausted", 1);
+                }
+            }
+        }
+    }
+}
+
+/// One degraded control round for `l`: enter degraded mode on the first
+/// stale window (holding the last-known-good applied share), then hold
+/// the controller — neither Eq. 6 nor Eq. 7 runs, so the adaptive gain
+/// `l_k` and its memory stay frozen exactly as they were.
+fn degraded_round(l: &mut LayerLoop, recorder: &Recorder, now: SimTime) {
+    match l.degraded.as_mut() {
+        Some(d) => d.rounds += 1,
+        None => {
+            let Some(last) = l.history.last() else {
+                // Warm-up: no last-known-good share to hold yet, and the
+                // controller has never stepped — nothing to freeze.
+                return;
+            };
+            let held = last.applied;
+            l.degraded = Some(DegradedState {
+                since: now,
+                held,
+                rounds: 1,
+            });
+            if recorder.is_enabled() {
+                recorder.set_now(now);
+                recorder.emit(
+                    kind::RESILIENCE_DEGRADED,
+                    &[
+                        ("held", held.into()),
+                        ("layer", l.config.layer.label().into()),
+                        ("phase", "enter".into()),
+                    ],
+                );
+                recorder.count("resilience.degraded_entries", 1);
+            }
+        }
+    }
+    l.config.controller.hold();
 }
 
 /// Standard sensors for the paper's click-stream flow.
@@ -501,5 +869,179 @@ mod tests {
         cfg.min_units = 10.0;
         cfg.max_units = 2.0;
         ProvisioningManager::new(vec![cfg], SimDuration::from_secs(30));
+    }
+
+    // ----- resilience policy ---------------------------------------
+
+    use flower_chaos::{FaultClause, FaultInjector, FaultKind, FaultPlan};
+    use flower_obs::{FieldValue, Recorder};
+
+    /// 6 shards so Kinesis passes ~4,800 rec/s through to Storm, pushing
+    /// CPU past the 60% setpoint — every control round wants scale-out.
+    fn overloaded_engine(to_secs: u64) -> CloudEngine {
+        let mut e = engine();
+        e.scale_shards(6, SimTime::ZERO).unwrap();
+        drive(&mut e, 4_800.0, 0, to_secs, 5);
+        e
+    }
+
+    fn analytics_plan(kind: FaultKind, from_s: u64, until_s: u64) -> FaultPlan {
+        FaultPlan {
+            seed: 21,
+            clauses: vec![FaultClause {
+                layer: Some("analytics".to_owned()),
+                from: SimTime::from_secs(from_s),
+                until: SimTime::from_secs(until_s),
+                kind,
+            }],
+        }
+    }
+
+    fn resilient_manager(
+        plan: FaultPlan,
+        config: ResilienceConfig,
+    ) -> (ProvisioningManager, Recorder) {
+        let mut manager =
+            ProvisioningManager::new(vec![analytics_loop()], SimDuration::from_secs(30));
+        let recorder = Recorder::with_capacity(4_096);
+        manager.set_recorder(recorder.clone());
+        let mut injector = FaultInjector::new(plan);
+        injector.set_recorder(recorder.clone());
+        manager.set_fault_injector(injector);
+        manager.set_resilience(config);
+        (manager, recorder)
+    }
+
+    #[test]
+    fn rejection_schedules_and_exhausts_retries() {
+        let mut e = overloaded_engine(120);
+        let (mut manager, recorder) = resilient_manager(
+            analytics_plan(FaultKind::Reject { p: 1.0 }, 0, 3_600),
+            ResilienceConfig {
+                max_retries: 2,
+                backoff_base: SimDuration::from_secs(5),
+                backoff_factor: 2,
+                actuation_timeout: SimDuration::from_secs(120),
+            },
+        );
+        let now = SimTime::from_secs(120);
+        manager.step(&mut e, now);
+        assert_eq!(manager.rejected(Layer::ANALYTICS), 1);
+        assert_eq!(recorder.counter("chaos.faults"), 1);
+        // Attempt 1 due at +5s, attempt 2 at +5s+10s; both re-rejected.
+        manager.poll(&mut e, now + SimDuration::from_secs(5));
+        assert_eq!(recorder.counter("resilience.retries"), 1);
+        manager.poll(&mut e, now + SimDuration::from_secs(15));
+        assert_eq!(recorder.counter("resilience.retries"), 2);
+        assert_eq!(recorder.counter("resilience.exhausted"), 1);
+        // Chain exhausted: nothing more ever fires.
+        manager.poll(&mut e, now + SimDuration::from_secs(600));
+        assert_eq!(recorder.counter("resilience.retries"), 2);
+    }
+
+    #[test]
+    fn retry_that_lands_clears_the_chain() {
+        let mut e = overloaded_engine(120);
+        // Rejections stop at t=121s, so the retry at t=125s succeeds.
+        let (mut manager, recorder) = resilient_manager(
+            analytics_plan(FaultKind::Reject { p: 1.0 }, 0, 121),
+            ResilienceConfig::default(),
+        );
+        let now = SimTime::from_secs(120);
+        manager.step(&mut e, now);
+        assert_eq!(manager.rejected(Layer::ANALYTICS), 1);
+        manager.poll(&mut e, SimTime::from_secs(125));
+        assert_eq!(recorder.counter("resilience.retries"), 1);
+        assert_eq!(recorder.counter("resilience.exhausted"), 0);
+        let retry = recorder
+            .events()
+            .iter()
+            .find(|ev| ev.kind == kind::RESILIENCE_RETRY)
+            .cloned()
+            .unwrap();
+        assert_eq!(retry.fields.get("accepted"), Some(&FieldValue::Bool(true)));
+        manager.poll(&mut e, SimTime::from_secs(600));
+        assert_eq!(recorder.counter("resilience.retries"), 1, "chain cleared");
+    }
+
+    #[test]
+    fn dropout_enters_holds_and_exits_degraded_mode() {
+        let mut e = overloaded_engine(240);
+        let (mut manager, recorder) = resilient_manager(
+            analytics_plan(FaultKind::Dropout { p: 1.0 }, 121, 181),
+            ResilienceConfig::default(),
+        );
+        // Round 1: healthy — establishes the last-known-good share.
+        manager.step(&mut e, SimTime::from_secs(120));
+        assert!(!manager.degraded(Layer::ANALYTICS));
+        let held = manager.history(Layer::ANALYTICS).last().unwrap().applied;
+        let target_before = e.target_units(Layer::ANALYTICS).unwrap();
+        // Rounds 2–3: sensor dark — degraded, share held, no actuation.
+        manager.step(&mut e, SimTime::from_secs(150));
+        manager.step(&mut e, SimTime::from_secs(180));
+        assert!(manager.degraded(Layer::ANALYTICS));
+        assert_eq!(manager.history(Layer::ANALYTICS).len(), 1);
+        assert_eq!(e.target_units(Layer::ANALYTICS).unwrap(), target_before);
+        assert_eq!(recorder.counter("resilience.degraded_entries"), 1);
+        // Round 4: data is back — exit, control resumes.
+        manager.step(&mut e, SimTime::from_secs(210));
+        assert!(!manager.degraded(Layer::ANALYTICS));
+        assert_eq!(recorder.counter("resilience.recoveries"), 1);
+        let exit = recorder
+            .events()
+            .iter()
+            .filter(|ev| ev.kind == kind::RESILIENCE_DEGRADED)
+            .find(|ev| ev.str("phase") == Some("exit"))
+            .cloned()
+            .unwrap();
+        assert_eq!(exit.f64("held"), Some(held));
+        assert_eq!(exit.f64("rounds"), Some(2.0));
+        assert_eq!(manager.history(Layer::ANALYTICS).len(), 2);
+    }
+
+    #[test]
+    fn delayed_actuation_times_out_then_lands() {
+        let mut e = overloaded_engine(120);
+        let (mut manager, recorder) = resilient_manager(
+            analytics_plan(
+                FaultKind::Delay {
+                    p: 1.0,
+                    delay: SimDuration::from_secs(150),
+                },
+                0,
+                3_600,
+            ),
+            ResilienceConfig::default(), // 120s timeout < 150s delay
+        );
+        let now = SimTime::from_secs(120);
+        let records = manager.step(&mut e, now);
+        assert!(records[0].accepted, "delayed counts as accepted");
+        let target_before = e.target_units(Layer::ANALYTICS).unwrap();
+        manager.poll(&mut e, now + SimDuration::from_secs(120));
+        assert_eq!(recorder.counter("resilience.timeouts"), 1);
+        assert_eq!(e.target_units(Layer::ANALYTICS).unwrap(), target_before);
+        manager.poll(&mut e, now + SimDuration::from_secs(150));
+        assert!(e.target_units(Layer::ANALYTICS).unwrap() > target_before);
+    }
+
+    #[test]
+    fn poll_without_faults_or_resilience_is_a_noop() {
+        let mut e = engine();
+        let mut manager =
+            ProvisioningManager::new(vec![analytics_loop()], SimDuration::from_secs(30));
+        manager.poll(&mut e, SimTime::from_secs(60));
+        assert!(manager.injector().is_none());
+        assert!(!manager.degraded(Layer::ANALYTICS));
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_saturating() {
+        let config = ResilienceConfig::default();
+        assert_eq!(config.backoff(1), SimDuration::from_secs(5));
+        assert_eq!(config.backoff(2), SimDuration::from_secs(10));
+        assert_eq!(config.backoff(3), SimDuration::from_secs(20));
+        assert_eq!(config.backoff(0), SimDuration::from_secs(5));
+        // Saturates instead of overflowing.
+        let _ = config.backoff(u32::MAX);
     }
 }

@@ -163,6 +163,17 @@ pub mod kind {
     pub const SPAN_ENTER: &str = "span.enter";
     /// A named span was exited (payload carries its sim-time duration).
     pub const SPAN_EXIT: &str = "span.exit";
+    /// The chaos layer injected a fault (rejected, shortened, delayed
+    /// or dropped an operation) at some layer.
+    pub const CHAOS_FAULT: &str = "chaos.fault";
+    /// The resilience policy retried a rejected actuation after its
+    /// deterministic backoff elapsed.
+    pub const RESILIENCE_RETRY: &str = "resilience.retry";
+    /// A delayed actuation missed its deadline and was declared lost.
+    pub const RESILIENCE_TIMEOUT: &str = "resilience.timeout";
+    /// A control loop entered or left degraded mode (stale sensor —
+    /// hold last-known-good share, freeze the adaptive gain).
+    pub const RESILIENCE_DEGRADED: &str = "resilience.degraded";
 }
 
 #[cfg(test)]

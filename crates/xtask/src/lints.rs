@@ -29,6 +29,11 @@ pub const RULES: &[(&str, &str)] = &[
          all randomness must flow from a seeded flower_sim::SimRng",
     ),
     (
+        "nondet-sleep",
+        "OS-clock wait (thread::sleep / park_timeout) in a deterministic crate: retry and \
+         backoff delays must be scheduled on flower_sim::SimTime, never the wall clock",
+    ),
+    (
         "nondet-env",
         "environment-dependent branching (std::env) in a deterministic crate: environment \
          reads belong in crates/cli or crates/bench",
@@ -346,7 +351,7 @@ fn f64_sequence_names(tokens: &[Token]) -> Vec<String> {
         let slice = text(j) == "[" && text(j + 1) == "f64" && text(j + 2) == "]";
         let vec =
             text(j) == "Vec" && text(j + 1) == "<" && text(j + 2) == "f64" && text(j + 3) == ">";
-        if (slice || vec) && !names.iter().any(|n| *n == t.text) {
+        if (slice || vec) && !names.contains(&t.text) {
             names.push(t.text.clone());
         }
     }
@@ -416,6 +421,18 @@ fn scan_tokens(file: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Violat
                         "nondet-time",
                         t.line,
                         format!("`{}::now()` reads the wall clock", t.text),
+                    );
+                }
+                // --- determinism: OS-clock waits ---
+                "thread"
+                    if text(i + 1) == "::"
+                        && matches!(text(i + 2), "sleep" | "sleep_ms" | "park_timeout") =>
+                {
+                    emit(
+                        out,
+                        "nondet-sleep",
+                        t.line,
+                        format!("`thread::{}` waits on the OS clock", text(i + 2)),
                     );
                 }
                 // --- determinism: entropy ---
@@ -631,6 +648,46 @@ mod tests {
                 "nondet-env"
             ]
         );
+    }
+
+    #[test]
+    fn catches_os_clock_sleeps() {
+        let src = r#"
+            fn backoff_badly(attempt: u32) {
+                std::thread::sleep(std::time::Duration::from_secs(1 << attempt));
+                thread::sleep(Duration::from_millis(50));
+                std::thread::park_timeout(Duration::from_secs(1));
+            }
+        "#;
+        assert_eq!(
+            rules_hit(src),
+            vec!["nondet-sleep", "nondet-sleep", "nondet-sleep"]
+        );
+        // Sim-clock waits and test code are clean.
+        assert!(
+            rules_hit("fn f(rng: &mut SimRng) { let due = now + config.backoff(1); }").is_empty()
+        );
+        let test_src = "#[cfg(test)]\nmod tests { fn t() { std::thread::sleep(Duration::ZERO); } }";
+        assert!(rules_hit(test_src).is_empty());
+        // Exempt crates (cli/bench/xtask) may sleep.
+        let report = analyze(
+            "bench.rs",
+            "bench",
+            "fn f() { std::thread::sleep(Duration::ZERO); }",
+        );
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_and_joins_are_not_sleeps() {
+        let src = r#"
+            fn f() {
+                let h = std::thread::spawn(|| 1u64);
+                let _ = h.join();
+                std::thread::park();
+            }
+        "#;
+        assert!(rules_hit(src).is_empty(), "{:?}", rules_hit(src));
     }
 
     #[test]

@@ -110,8 +110,19 @@ pub fn validate_trace_jsonl(text: &str) -> Result<String, String> {
         if kind.is_empty() {
             return Err(format!("line {lineno}: event `kind` is empty"));
         }
-        if obj.get("fields").and_then(Value::as_obj).is_none() {
-            return Err(format!("line {lineno}: event missing object `fields`"));
+        let fields = obj
+            .get("fields")
+            .and_then(Value::as_obj)
+            .ok_or_else(|| format!("line {lineno}: event missing object `fields`"))?;
+        // Fault-layer events must be attributable: every `chaos.*` and
+        // `resilience.*` event names the layer it hit, or the CLI's
+        // fault/recovery timeline cannot line faults up with recoveries.
+        if (kind.starts_with("chaos.") || kind.starts_with("resilience."))
+            && fields.get("layer").and_then(Value::as_str).is_none()
+        {
+            return Err(format!(
+                "line {lineno}: `{kind}` event missing string field `layer`"
+            ));
         }
         if !kinds.iter().any(|k| k == kind) {
             kinds.push(kind.to_owned());
@@ -196,6 +207,27 @@ mod tests {
         ] {
             let err = validate_trace_jsonl(&mutate).unwrap_err();
             assert!(err.contains(why), "`{err}` should mention `{why}`");
+        }
+    }
+
+    #[test]
+    fn fault_events_must_name_their_layer() {
+        let good = "\
+{\"schema\":\"flower-trace/v1\",\"capacity\":8,\"events\":2,\"emitted\":2,\"dropped\":0}\n\
+{\"seq\":0,\"t_ms\":30000,\"kind\":\"chaos.fault\",\"fields\":{\"fault\":\"reject\",\"layer\":\"analytics\"}}\n\
+{\"seq\":1,\"t_ms\":35000,\"kind\":\"resilience.retry\",\"fields\":{\"attempt\":1,\"layer\":\"analytics\"}}\n\
+{\"summary\":{\"counters\":{},\"gauges\":{},\"histograms\":{},\"spans\":{}}}\n";
+        validate_trace_jsonl(good).unwrap();
+        for broken in [
+            good.replace(",\"layer\":\"analytics\"}}\n{\"seq\":1", "}}\n{\"seq\":1"),
+            good.replace("\"attempt\":1,\"layer\":\"analytics\"", "\"attempt\":1"),
+            good.replace(
+                "\"layer\":\"analytics\"}}\n{\"summary",
+                "\"layer\":7}}\n{\"summary",
+            ),
+        ] {
+            let err = validate_trace_jsonl(&broken).unwrap_err();
+            assert!(err.contains("missing string field `layer`"), "{err}");
         }
     }
 
