@@ -82,9 +82,11 @@ impl ResponseMetrics {
                     let e0 = y0 - setpoint;
                     let e1 = y1 - setpoint;
                     // `abs() <= 0` catches a sample landing exactly on the
-                    // setpoint (±0.0) without a float equality; signum is
-                    // ±1 for signed zeros so it cannot detect that case.
-                    e0.abs() <= 0.0 || e0.signum() != e1.signum()
+                    // setpoint (±0.0) without a float equality. The sign
+                    // flip is read off the sign bit: identical to comparing
+                    // signum() for every non-NaN value (including signed
+                    // zeros), but a bool compare — no NaN-unsafe float `!=`.
+                    e0.abs() <= 0.0 || e0.is_sign_positive() != e1.is_sign_positive()
                 });
         let overshoot = match first_cross {
             None => 0.0,

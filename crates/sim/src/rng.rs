@@ -156,7 +156,7 @@ impl SimRng {
             lambda >= 0.0 && lambda.is_finite(),
             "invalid Poisson mean {lambda}"
         );
-        // lint:allow(float-eq): exact-zero sentinel — any positive mean, however small, takes the sampling path
+        // lint:allow(float-eq-typed): exact-zero sentinel — any positive mean, however small, takes the sampling path
         if lambda == 0.0 {
             return 0;
         }

@@ -6,7 +6,7 @@
 //! `partial_cmp` panics the moment a NaN sneaks into a comparator.
 //! These helpers are the sanctioned replacements. Exact-zero *sentinel*
 //! checks (a value that is zero by construction, never by arithmetic)
-//! may instead carry a justified `lint:allow(float-eq)`.
+//! may instead carry a justified `lint:allow(float-eq-typed)`.
 
 /// Relative-plus-absolute tolerance equality.
 ///

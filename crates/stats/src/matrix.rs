@@ -99,7 +99,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
-                // lint:allow(float-eq): exact-zero sparsity fast path — skips only true zeros, bit-identical results
+                // lint:allow(float-eq-typed): exact-zero sparsity fast path — skips only true zeros, bit-identical results
                 if a == 0.0 {
                     continue;
                 }
@@ -141,7 +141,7 @@ impl Matrix {
             }
             for row in (col + 1)..n {
                 let factor = a[row * n + col] / a[col * n + col];
-                // lint:allow(float-eq): exact-zero sparsity fast path — skips only true zeros, bit-identical results
+                // lint:allow(float-eq-typed): exact-zero sparsity fast path — skips only true zeros, bit-identical results
                 if factor == 0.0 {
                     continue;
                 }

@@ -1,0 +1,1095 @@
+//! Determinism-taint dataflow and the typed rules.
+//!
+//! Three rules run over the AST with the signature index and local
+//! type inference behind them:
+//!
+//! * **`float-eq-typed`** — exact `==` / `!=` where inference says
+//!   either side is `f64` / `f32`. Supersedes the old lexical
+//!   `float-eq`, which only saw literal-adjacent comparisons.
+//! * **`nondet-flow`** — a value originating at a nondeterminism
+//!   source (`Instant::now`, `thread_rng`, `std::env`, `HashMap`
+//!   iteration, thread IDs, or a call into a taint-propagating fn)
+//!   flows — through any number of `let` bindings — into a
+//!   deterministic-state sink: a `SimRng` seed or fork label, a
+//!   `flower-obs` recorder event, or a field store. The diagnostic
+//!   reports the *flow*: source, line, and sink.
+//! * **`rng-provenance`** — every `SimRng::seed(..)` in non-test
+//!   library code must trace its seed to a parameter, field, constant,
+//!   or computed value — never a bare literal, which would hide a
+//!   fixed seed outside the per-layer fork discipline.
+//!
+//! A `lint:allow` for the corresponding *source* rule (`nondet-time`,
+//! `nondet-rng`, `nondet-env`, `hash-iteration`) on the source line
+//! stops taint from seeding there, so a justified source does not
+//! cascade into flow diagnostics downstream. `nondet-flow` itself is
+//! suppressed at the *sink* line, like any other rule.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parse::{Block, Expr, FnDef, Item, Stmt, TypeRef};
+use crate::sig::SigIndex;
+use crate::types::TypeEnv;
+
+/// One typed-rule diagnostic (file attached by the caller).
+#[derive(Debug, Clone)]
+pub struct FlowFinding {
+    /// Rule identifier from [`crate::lints::RULES`].
+    pub rule: &'static str,
+    /// 1-indexed line.
+    pub line: u32,
+    /// Human-readable message; single-line for stable JSON.
+    pub message: String,
+}
+
+/// Nondeterminism sources spelled as 2-segment path suffixes.
+const SOURCE_PATHS: &[[&str; 2]] = &[
+    ["Instant", "now"],
+    ["SystemTime", "now"],
+    ["rand", "random"],
+    ["env", "var"],
+    ["env", "var_os"],
+    ["env", "vars"],
+    ["thread", "current"],
+    ["RandomState", "new"],
+];
+
+/// Single-name source fns (unambiguous spellings).
+const SOURCE_FNS: &[&str] = &["thread_rng", "from_entropy", "getrandom"];
+
+/// Iteration methods whose order is nondeterministic on hashed
+/// containers.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+    "into_keys",
+    "into_values",
+];
+
+/// `flower_obs::Recorder` methods that persist values into the trace.
+const RECORDER_SINKS: &[&str] = &[
+    "emit",
+    "count",
+    "gauge",
+    "observe",
+    "span_enter",
+    "span_exit",
+];
+
+/// Run the typed rules over a parsed file.
+///
+/// `source_allowed` holds the lines on which a justified `lint:allow`
+/// suppresses nondeterminism sources (the directive line and the line
+/// below it, matching the suppression scope of the token rules).
+pub fn check_file(
+    ast: &crate::parse::Ast,
+    idx: &SigIndex,
+    source_allowed: &BTreeSet<u32>,
+) -> Vec<FlowFinding> {
+    let mut out = Vec::new();
+    check_items(&ast.items, None, false, idx, source_allowed, &mut out);
+    out
+}
+
+fn check_items(
+    items: &[Item],
+    self_ty: Option<&str>,
+    in_test: bool,
+    idx: &SigIndex,
+    allowed: &BTreeSet<u32>,
+    out: &mut Vec<FlowFinding>,
+) {
+    for item in items {
+        match item {
+            Item::Fn(f) => {
+                if !(in_test || f.is_test) {
+                    check_fn(f, self_ty, idx, allowed, out);
+                }
+            }
+            Item::Impl {
+                self_ty: ty,
+                items,
+                is_test,
+            } => check_items(items, Some(ty), in_test || *is_test, idx, allowed, out),
+            Item::Mod { items, is_test, .. } => {
+                check_items(items, self_ty, in_test || *is_test, idx, allowed, out);
+            }
+            Item::Trait { items, .. } => check_items(items, self_ty, in_test, idx, allowed, out),
+            Item::Struct(_) | Item::Enum { .. } | Item::Const(_) | Item::Other => {}
+        }
+    }
+}
+
+fn check_fn(
+    f: &FnDef,
+    self_ty: Option<&str>,
+    idx: &SigIndex,
+    allowed: &BTreeSet<u32>,
+    out: &mut Vec<FlowFinding>,
+) {
+    let Some(body) = &f.body else {
+        return;
+    };
+    let mut env = TypeEnv::new(idx, self_ty);
+    env.bind_params(f);
+    let mut checker = Checker {
+        env,
+        taint: vec![BTreeMap::new()],
+        prov: vec![BTreeMap::new()],
+        allowed,
+        self_ty,
+        in_test: false,
+        out,
+    };
+    checker.walk_block(body);
+}
+
+/// Per-fn walker: mirrors lexical scoping for taint and provenance
+/// alongside [`TypeEnv`]'s binding types.
+struct Checker<'a, 'o> {
+    env: TypeEnv<'a>,
+    /// name → `Some(origin)` when tainted, `None` when explicitly
+    /// clean (so shadowing an outer tainted name works).
+    taint: Vec<BTreeMap<String, Option<String>>>,
+    /// name → seed-provenance flag (false only for literal-derived
+    /// bindings).
+    prov: Vec<BTreeMap<String, bool>>,
+    allowed: &'a BTreeSet<u32>,
+    self_ty: Option<&'a str>,
+    in_test: bool,
+    out: &'o mut Vec<FlowFinding>,
+}
+
+impl Checker<'_, '_> {
+    fn push_scope(&mut self) {
+        self.env.push();
+        self.taint.push(BTreeMap::new());
+        self.prov.push(BTreeMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.env.pop();
+        self.taint.pop();
+        self.prov.pop();
+    }
+
+    fn bind_taint(&mut self, name: &str, origin: Option<String>) {
+        if let Some(scope) = self.taint.last_mut() {
+            scope.insert(name.to_owned(), origin);
+        }
+    }
+
+    fn bind_prov(&mut self, name: &str, ok: bool) {
+        if let Some(scope) = self.prov.last_mut() {
+            scope.insert(name.to_owned(), ok);
+        }
+    }
+
+    fn taint_lookup(&self, name: &str) -> Option<String> {
+        for scope in self.taint.iter().rev() {
+            if let Some(entry) = scope.get(name) {
+                return entry.clone();
+            }
+        }
+        None
+    }
+
+    fn prov_lookup(&self, name: &str) -> bool {
+        for scope in self.prov.iter().rev() {
+            if let Some(ok) = scope.get(name) {
+                return *ok;
+            }
+        }
+        // Unknown names (params, constants, upvars) have provenance:
+        // only demonstrably literal-derived bindings lack it.
+        true
+    }
+
+    /// Mutate an existing binding's taint (assignment, not `let`).
+    fn assign_taint(&mut self, name: &str, origin: Option<String>) {
+        for scope in self.taint.iter_mut().rev() {
+            if scope.contains_key(name) {
+                scope.insert(name.to_owned(), origin);
+                return;
+            }
+        }
+        self.bind_taint(name, origin);
+    }
+
+    // ---- walking -----------------------------------------------------
+
+    fn walk_block(&mut self, b: &Block) {
+        self.push_scope();
+        for stmt in &b.stmts {
+            self.walk_stmt(stmt);
+        }
+        self.pop_scope();
+    }
+
+    fn walk_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Let { names, init, .. } => {
+                let mut origin = None;
+                let mut prov = true;
+                if let Some(e) = init {
+                    self.visit(e);
+                    origin = self.taint_of(e);
+                    prov = self.prov_of(e);
+                }
+                self.env.process_let(stmt);
+                for n in names {
+                    self.bind_taint(n, origin.clone());
+                    self.bind_prov(n, prov);
+                }
+            }
+            Stmt::Expr(e) => self.visit(e),
+            Stmt::Item(item) => check_items(
+                std::slice::from_ref(item),
+                self.self_ty,
+                self.in_test,
+                self.env.idx,
+                self.allowed,
+                self.out,
+            ),
+        }
+    }
+
+    /// Visit an expression: recurse into children, check sinks.
+    fn visit(&mut self, e: &Expr) {
+        match e {
+            Expr::Binary { op, lhs, rhs, line } => {
+                self.visit(lhs);
+                self.visit(rhs);
+                if op == "==" || op == "!=" {
+                    self.check_float_eq(op, lhs, rhs, *line);
+                }
+            }
+            Expr::Assign { lhs, rhs, line } => {
+                self.visit(rhs);
+                let origin = self.taint_of(rhs);
+                match &**lhs {
+                    Expr::Path { segs, .. } if segs.len() == 1 => {
+                        self.assign_taint(&segs[0], origin);
+                    }
+                    Expr::Field { base, name, .. } => {
+                        self.visit(base);
+                        if let Some(o) = origin {
+                            self.out.push(FlowFinding {
+                                rule: "nondet-flow",
+                                line: *line,
+                                message: format!(
+                                    "nondeterministic value ({o}) stored into field `.{name}` \
+                                     — state fed from a nondet source breaks replay"
+                                ),
+                            });
+                        }
+                    }
+                    other => self.visit(other),
+                }
+            }
+            Expr::Call { callee, args, line } => {
+                for a in args {
+                    self.visit(a);
+                }
+                if let Expr::Path { segs, .. } = &**callee {
+                    self.check_call_sinks(segs, args, *line);
+                }
+            }
+            Expr::Method {
+                recv,
+                name,
+                args,
+                line,
+                ..
+            } => {
+                self.visit(recv);
+                for a in args {
+                    self.visit(a);
+                }
+                self.check_method_sinks(recv, name, args, *line);
+            }
+            Expr::If { cond, then, alt } => {
+                self.walk_cond_and_block(cond, then);
+                if let Some(a) = alt {
+                    self.visit(a);
+                }
+            }
+            Expr::While { cond, body } => self.walk_cond_and_block(cond, body),
+            Expr::Match { scrutinee, arms } => {
+                self.visit(scrutinee);
+                let origin = self.taint_of(scrutinee);
+                for (names, body) in arms {
+                    self.push_scope();
+                    for n in names {
+                        self.bind_taint(n, origin.clone());
+                        self.bind_prov(n, true);
+                    }
+                    self.visit(body);
+                    self.pop_scope();
+                }
+            }
+            Expr::For { vars, iter, body } => {
+                self.visit(iter);
+                let mut origin = self.taint_of(iter);
+                if origin.is_none() {
+                    // `for (k, v) in map` over a hashed container.
+                    if let TypeRef::Path { name, .. } = self.env.type_of(iter).deref() {
+                        if (name == "HashMap" || name == "HashSet")
+                            && !self.allowed.contains(&iter.line())
+                        {
+                            origin =
+                                Some(format!("`{name}` iteration order (line {})", iter.line()));
+                        }
+                    }
+                }
+                self.push_scope();
+                for v in vars {
+                    self.bind_taint(v, origin.clone());
+                    self.bind_prov(v, true);
+                }
+                for stmt in &body.stmts {
+                    self.walk_stmt(stmt);
+                }
+                self.pop_scope();
+            }
+            Expr::Loop { body } => self.walk_block(body),
+            Expr::Block(body) => self.walk_block(body),
+            Expr::Closure { params, body, .. } => {
+                self.push_scope();
+                for (name, ty) in params {
+                    self.env.bind(name, ty.clone().unwrap_or(TypeRef::Unknown));
+                    self.bind_taint(name, None);
+                    self.bind_prov(name, true);
+                }
+                self.visit(body);
+                self.pop_scope();
+            }
+            Expr::Field { base, .. } => self.visit(base),
+            Expr::Index { base, index, .. } => {
+                self.visit(base);
+                self.visit(index);
+            }
+            Expr::Unary { inner, .. } | Expr::Try { inner } => self.visit(inner),
+            Expr::Cast { inner, .. } => self.visit(inner),
+            Expr::Return { value, .. } => {
+                if let Some(v) = value {
+                    self.visit(v);
+                }
+            }
+            Expr::StructLit { fields, rest, .. } => {
+                for (_, v) in fields {
+                    self.visit(v);
+                }
+                if let Some(r) = rest {
+                    self.visit(r);
+                }
+            }
+            Expr::Tuple { items, .. } | Expr::Array { items, .. } => {
+                for i in items {
+                    self.visit(i);
+                }
+            }
+            Expr::Macro { args, .. } => {
+                for a in args {
+                    self.visit(a);
+                }
+            }
+            Expr::Range { lo, hi } => {
+                if let Some(l) = lo {
+                    self.visit(l);
+                }
+                if let Some(h) = hi {
+                    self.visit(h);
+                }
+            }
+            Expr::LetCond { value, .. } => self.visit(value),
+            Expr::Path { .. } | Expr::Lit { .. } | Expr::Opaque { .. } => {}
+        }
+    }
+
+    /// `if let` / `while let` conditions bind their pattern names over
+    /// the body with the matched value's taint.
+    fn walk_cond_and_block(&mut self, cond: &Expr, body: &Block) {
+        if let Expr::LetCond { names, value } = cond {
+            self.visit(value);
+            let origin = self.taint_of(value);
+            self.push_scope();
+            for n in names {
+                self.bind_taint(n, origin.clone());
+                self.bind_prov(n, true);
+            }
+            for stmt in &body.stmts {
+                self.walk_stmt(stmt);
+            }
+            self.pop_scope();
+        } else {
+            self.visit(cond);
+            self.walk_block(body);
+        }
+    }
+
+    // ---- rules -------------------------------------------------------
+
+    fn check_float_eq(&mut self, op: &str, lhs: &Expr, rhs: &Expr, line: u32) {
+        let lt = self.env.type_of(lhs);
+        let ty = if lt.is_float() {
+            lt
+        } else {
+            let rt = self.env.type_of(rhs);
+            if rt.is_float() {
+                rt
+            } else {
+                return;
+            }
+        };
+        self.out.push(FlowFinding {
+            rule: "float-eq-typed",
+            line,
+            message: format!(
+                "exact `{op}` on `{}` values: NaN-unsafe and rounding-brittle; use \
+                 f64::total_cmp or flower_stats::float::{{approx_eq, near_zero}}",
+                ty.deref().display()
+            ),
+        });
+    }
+
+    fn check_call_sinks(&mut self, segs: &[String], args: &[Expr], line: u32) {
+        let is_seed =
+            segs.len() >= 2 && segs[segs.len() - 2] == "SimRng" && segs[segs.len() - 1] == "seed";
+        if !is_seed {
+            return;
+        }
+        let Some(seed_arg) = args.first() else {
+            return;
+        };
+        if let Some(origin) = self.taint_of(seed_arg) {
+            self.out.push(FlowFinding {
+                rule: "nondet-flow",
+                line,
+                message: format!(
+                    "nondeterministic value ({origin}) flows into `SimRng::seed` — \
+                     the stream is unreproducible"
+                ),
+            });
+        }
+        if !self.prov_of(seed_arg) {
+            self.out.push(FlowFinding {
+                rule: "rng-provenance",
+                line,
+                message: "`SimRng::seed` with a hard-coded literal seed: seeds must trace \
+                          to a seed parameter, config field, or parent stream fork"
+                    .to_owned(),
+            });
+        }
+    }
+
+    fn check_method_sinks(&mut self, recv: &Expr, name: &str, args: &[Expr], line: u32) {
+        let recv_ty = self.env.type_of(recv);
+        let recv_name = match recv_ty.deref() {
+            TypeRef::Path { name, .. } => {
+                if name == "Self" {
+                    self.self_ty.unwrap_or("Self").to_owned()
+                } else {
+                    name.clone()
+                }
+            }
+            _ => String::new(),
+        };
+        if name == "fork" && recv_name == "SimRng" {
+            if let Some(arg) = args.first() {
+                if let Some(origin) = self.taint_of(arg) {
+                    self.out.push(FlowFinding {
+                        rule: "nondet-flow",
+                        line,
+                        message: format!(
+                            "nondeterministic value ({origin}) used as a `SimRng::fork` \
+                             label — stream assignment becomes unreproducible"
+                        ),
+                    });
+                }
+            }
+        }
+        if recv_name == "Recorder" && RECORDER_SINKS.contains(&name) {
+            for arg in args {
+                if let Some(origin) = self.taint_of(arg) {
+                    self.out.push(FlowFinding {
+                        rule: "nondet-flow",
+                        line,
+                        message: format!(
+                            "nondeterministic value ({origin}) flows into \
+                             `Recorder::{name}` — traces diverge across runs"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+
+    // ---- taint -------------------------------------------------------
+
+    /// Is this expression a nondeterminism source? Returns the origin
+    /// description.
+    fn source_of(&self, e: &Expr) -> Option<String> {
+        match e {
+            Expr::Call { callee, line, .. } => {
+                if self.allowed.contains(line) {
+                    return None;
+                }
+                let Expr::Path { segs, .. } = &**callee else {
+                    return None;
+                };
+                if segs.len() >= 2 {
+                    let a = &segs[segs.len() - 2];
+                    let b = &segs[segs.len() - 1];
+                    if SOURCE_PATHS.iter().any(|[x, y]| x == a && y == b) {
+                        return Some(format!("`{a}::{b}()` (line {line})"));
+                    }
+                    let qualified = format!("{a}::{b}");
+                    if self.env.idx.tainted_fns.contains(&qualified) {
+                        return Some(format!(
+                            "call to nondet-tainted `{qualified}` (line {line})"
+                        ));
+                    }
+                }
+                let last = segs.last()?;
+                if SOURCE_FNS.contains(&last.as_str()) {
+                    return Some(format!("`{last}()` (line {line})"));
+                }
+                if segs.len() == 1 && self.env.idx.tainted_fns.contains(last) {
+                    return Some(format!("call to nondet-tainted `{last}` (line {line})"));
+                }
+                None
+            }
+            Expr::Method {
+                recv, name, line, ..
+            } => {
+                if self.allowed.contains(line) {
+                    return None;
+                }
+                let recv_ty = self.env.type_of(recv);
+                if let TypeRef::Path { name: tn, .. } = recv_ty.deref() {
+                    if (tn == "HashMap" || tn == "HashSet")
+                        && HASH_ITER_METHODS.contains(&name.as_str())
+                    {
+                        return Some(format!("`{tn}` iteration order (line {line})"));
+                    }
+                    let owner = if tn == "Self" {
+                        self.self_ty.unwrap_or("Self")
+                    } else {
+                        tn
+                    };
+                    let qualified = format!("{owner}::{name}");
+                    if self.env.idx.tainted_fns.contains(&qualified) {
+                        return Some(format!(
+                            "call to nondet-tainted `{qualified}` (line {line})"
+                        ));
+                    }
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// Transitive taint of an expression: source, tainted binding, or
+    /// any tainted operand.
+    fn taint_of(&self, e: &Expr) -> Option<String> {
+        if let Some(desc) = self.source_of(e) {
+            return Some(desc);
+        }
+        match e {
+            Expr::Path { segs, .. } if segs.len() == 1 => self.taint_lookup(&segs[0]),
+            Expr::Binary { lhs, rhs, .. } => self.taint_of(lhs).or_else(|| self.taint_of(rhs)),
+            Expr::Unary { inner, .. } | Expr::Try { inner } => self.taint_of(inner),
+            Expr::Cast { inner, .. } => self.taint_of(inner),
+            Expr::Field { base, .. } => self.taint_of(base),
+            Expr::Index { base, .. } => self.taint_of(base),
+            Expr::Method { recv, args, .. } => self
+                .taint_of(recv)
+                .or_else(|| args.iter().find_map(|a| self.taint_of(a))),
+            Expr::Call { args, .. } => args.iter().find_map(|a| self.taint_of(a)),
+            Expr::If { then, alt, .. } => self
+                .block_tail_taint(then)
+                .or_else(|| alt.as_deref().and_then(|a| self.taint_of(a))),
+            Expr::Block(b) => self.block_tail_taint(b),
+            Expr::Match { arms, .. } => arms.iter().find_map(|(_, body)| self.taint_of(body)),
+            Expr::Tuple { items, .. } | Expr::Array { items, .. } => {
+                items.iter().find_map(|i| self.taint_of(i))
+            }
+            Expr::StructLit { fields, rest, .. } => fields
+                .iter()
+                .find_map(|(_, v)| self.taint_of(v))
+                .or_else(|| rest.as_deref().and_then(|r| self.taint_of(r))),
+            Expr::Return { value, .. } => value.as_deref().and_then(|v| self.taint_of(v)),
+            _ => None,
+        }
+    }
+
+    fn block_tail_taint(&self, b: &Block) -> Option<String> {
+        match b.stmts.last() {
+            Some(Stmt::Expr(e)) => self.taint_of(e),
+            _ => None,
+        }
+    }
+
+    // ---- provenance --------------------------------------------------
+
+    /// Does a seed expression trace to anything beyond bare literals?
+    /// `false` only when the value is demonstrably literal-derived.
+    fn prov_of(&self, e: &Expr) -> bool {
+        match e {
+            Expr::Lit { .. } => false,
+            Expr::Path { segs, .. } if segs.len() == 1 => self.prov_lookup(&segs[0]),
+            Expr::Binary { lhs, rhs, .. } => self.prov_of(lhs) || self.prov_of(rhs),
+            Expr::Unary { inner, .. } | Expr::Try { inner } => self.prov_of(inner),
+            Expr::Cast { inner, .. } => self.prov_of(inner),
+            Expr::Method { recv, args, .. } => {
+                self.prov_of(recv) || args.iter().any(|a| self.prov_of(a))
+            }
+            Expr::Tuple { items, .. } | Expr::Array { items, .. } => {
+                items.iter().any(|i| self.prov_of(i))
+            }
+            // Paths, fields, calls, macros, blocks: assume provenance —
+            // only bindings we can prove literal-only are flagged.
+            _ => true,
+        }
+    }
+}
+
+// ---- return-taint summary for the signature pass ---------------------
+
+/// Summarise whether a fn's returned value is fed by a nondeterminism
+/// source (`direct`) and which callee keys feed it (`callees`), for the
+/// cross-fn taint fixed-point in [`crate::sig`].
+///
+/// Runs before the signature index exists, so detection is purely
+/// syntactic: path-suffix sources and call-name collection, expanded
+/// through local `let` bindings. `suppressed` lines (justified source
+/// allows) do not seed taint.
+pub fn return_taint_summary(body: &Block, suppressed: &BTreeSet<u32>) -> (bool, Vec<String>) {
+    // Binding name → initialiser, flat across the whole body.
+    let mut inits: BTreeMap<&str, &Expr> = BTreeMap::new();
+    collect_lets(body, &mut inits);
+
+    // Returned expressions: the body's tail plus every `return`.
+    let mut returned: Vec<&Expr> = Vec::new();
+    if let Some(Stmt::Expr(tail)) = body.stmts.last() {
+        returned.push(tail);
+    }
+    for stmt in &body.stmts {
+        collect_returns_stmt(stmt, &mut returned);
+    }
+
+    let mut direct = false;
+    let mut callees: BTreeSet<String> = BTreeSet::new();
+    let mut visited: BTreeSet<&str> = BTreeSet::new();
+    let mut work = returned;
+    while let Some(e) = work.pop() {
+        let mut refs: Vec<&str> = Vec::new();
+        scan_expr(e, suppressed, &mut direct, &mut callees, &mut refs);
+        for name in refs {
+            if visited.insert(name) {
+                if let Some(init) = inits.get(name) {
+                    work.push(init);
+                }
+            }
+        }
+    }
+    (direct, callees.into_iter().collect())
+}
+
+fn scan_expr<'a>(
+    e: &'a Expr,
+    suppressed: &BTreeSet<u32>,
+    direct: &mut bool,
+    callees: &mut BTreeSet<String>,
+    refs: &mut Vec<&'a str>,
+) {
+    walk_expr(e, &mut |node| match node {
+        Expr::Call { callee, line, .. } => {
+            let Expr::Path { segs, .. } = &**callee else {
+                return;
+            };
+            let Some(last) = segs.last() else {
+                return;
+            };
+            let is_source = (segs.len() >= 2
+                && SOURCE_PATHS
+                    .iter()
+                    .any(|[x, y]| *x == segs[segs.len() - 2] && *y == segs[segs.len() - 1]))
+                || SOURCE_FNS.contains(&last.as_str());
+            if is_source {
+                if !suppressed.contains(line) {
+                    *direct = true;
+                }
+                return;
+            }
+            if segs.len() >= 2 {
+                callees.insert(format!("{}::{}", segs[segs.len() - 2], last));
+            }
+            callees.insert(last.clone());
+        }
+        Expr::Method { name, .. } => {
+            callees.insert(name.clone());
+        }
+        Expr::Path { segs, .. } if segs.len() == 1 => {
+            refs.push(segs[0].as_str());
+        }
+        _ => {}
+    });
+}
+
+/// Record every `let` binding's initialiser, recursing into nested
+/// blocks.
+fn collect_lets<'a>(b: &'a Block, out: &mut BTreeMap<&'a str, &'a Expr>) {
+    for stmt in &b.stmts {
+        match stmt {
+            Stmt::Let { names, init, .. } => {
+                if let Some(e) = init {
+                    for n in names {
+                        out.insert(n.as_str(), e);
+                    }
+                    walk_blocks(e, &mut |inner| collect_lets_shallow(inner, out));
+                }
+            }
+            Stmt::Expr(e) => walk_blocks(e, &mut |inner| collect_lets_shallow(inner, out)),
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+fn collect_lets_shallow<'a>(b: &'a Block, out: &mut BTreeMap<&'a str, &'a Expr>) {
+    for stmt in &b.stmts {
+        if let Stmt::Let {
+            names,
+            init: Some(e),
+            ..
+        } = stmt
+        {
+            for n in names {
+                out.insert(n.as_str(), e);
+            }
+        }
+    }
+}
+
+fn collect_returns_stmt<'a>(stmt: &'a Stmt, out: &mut Vec<&'a Expr>) {
+    let scan = |e: &'a Expr, out: &mut Vec<&'a Expr>| {
+        walk_expr(e, &mut |node| {
+            if let Expr::Return { value: Some(v), .. } = node {
+                out.push(v);
+            }
+        });
+    };
+    match stmt {
+        Stmt::Let { init: Some(e), .. } | Stmt::Expr(e) => scan(e, out),
+        _ => {}
+    }
+}
+
+/// Visit every expression node in `e`, including statements inside
+/// nested blocks.
+pub fn walk_expr<'a>(e: &'a Expr, f: &mut dyn FnMut(&'a Expr)) {
+    f(e);
+    match e {
+        Expr::Call { callee, args, .. } => {
+            walk_expr(callee, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Method { recv, args, .. } => {
+            walk_expr(recv, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Field { base, .. } => walk_expr(base, f),
+        Expr::Index { base, index, .. } => {
+            walk_expr(base, f);
+            walk_expr(index, f);
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        Expr::Assign { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        Expr::Unary { inner, .. } | Expr::Try { inner } => walk_expr(inner, f),
+        Expr::Cast { inner, .. } => walk_expr(inner, f),
+        Expr::Closure { body, .. } => walk_expr(body, f),
+        Expr::If { cond, then, alt } => {
+            walk_expr(cond, f);
+            walk_block_exprs(then, f);
+            if let Some(a) = alt {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Match { scrutinee, arms } => {
+            walk_expr(scrutinee, f);
+            for (_, body) in arms {
+                walk_expr(body, f);
+            }
+        }
+        Expr::For { iter, body, .. } => {
+            walk_expr(iter, f);
+            walk_block_exprs(body, f);
+        }
+        Expr::While { cond, body } => {
+            walk_expr(cond, f);
+            walk_block_exprs(body, f);
+        }
+        Expr::Loop { body } => walk_block_exprs(body, f),
+        Expr::Block(body) => walk_block_exprs(body, f),
+        Expr::Return { value, .. } => {
+            if let Some(v) = value {
+                walk_expr(v, f);
+            }
+        }
+        Expr::StructLit { fields, rest, .. } => {
+            for (_, v) in fields {
+                walk_expr(v, f);
+            }
+            if let Some(r) = rest {
+                walk_expr(r, f);
+            }
+        }
+        Expr::Tuple { items, .. } | Expr::Array { items, .. } => {
+            for i in items {
+                walk_expr(i, f);
+            }
+        }
+        Expr::Macro { args, .. } => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Range { lo, hi } => {
+            if let Some(l) = lo {
+                walk_expr(l, f);
+            }
+            if let Some(h) = hi {
+                walk_expr(h, f);
+            }
+        }
+        Expr::LetCond { value, .. } => walk_expr(value, f),
+        Expr::Path { .. } | Expr::Lit { .. } | Expr::Opaque { .. } => {}
+    }
+}
+
+fn walk_block_exprs<'a>(b: &'a Block, f: &mut dyn FnMut(&'a Expr)) {
+    for stmt in &b.stmts {
+        match stmt {
+            Stmt::Let { init: Some(e), .. } | Stmt::Expr(e) => walk_expr(e, f),
+            _ => {}
+        }
+    }
+}
+
+/// Visit every `Block` nested anywhere inside `e`, each exactly once.
+/// `walk_expr` already descends into block statements, so pairing this
+/// with a shallow per-block handler gives full coverage without
+/// double-visiting.
+fn walk_blocks<'a>(e: &'a Expr, f: &mut dyn FnMut(&'a Block)) {
+    walk_expr(e, &mut |node| match node {
+        Expr::If { then, .. } => f(then),
+        Expr::For { body, .. }
+        | Expr::While { body, .. }
+        | Expr::Loop { body }
+        | Expr::Block(body) => f(body),
+        _ => {}
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_source;
+    use crate::sig::{collect_file, merge};
+
+    fn findings(src: &str) -> Vec<(String, String)> {
+        let ast = parse_source(src);
+        assert_eq!(ast.recovered, 0, "fixture must parse cleanly");
+        let idx = merge(&[collect_file(&ast, &BTreeSet::new(), true)]);
+        check_file(&ast, &idx, &BTreeSet::new())
+            .into_iter()
+            .map(|f| (f.rule.to_owned(), f.message))
+            .collect()
+    }
+
+    fn rules(src: &str) -> Vec<String> {
+        findings(src).into_iter().map(|(r, _)| r).collect()
+    }
+
+    #[test]
+    fn typed_float_eq_on_two_bindings() {
+        // The acceptance fixture: the lexical rule provably misses
+        // this (no literal adjacent to `==`).
+        let src = r#"
+            fn other_f64() -> f64 { 1.5 }
+            fn f() -> bool {
+                let a: f64 = 3.0_f64.sqrt();
+                let b = other_f64();
+                a == b
+            }
+        "#;
+        assert_eq!(rules(src), vec!["float-eq-typed"]);
+    }
+
+    #[test]
+    fn integer_eq_is_clean() {
+        let src = "fn f(a: u64, b: u64) -> bool { a == b }";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn taint_flows_through_bindings_into_seed() {
+        let src = r#"
+            fn f() {
+                let t = Instant::now();
+                let stamp = t.elapsed().as_nanos() as u64;
+                let rng = SimRng::seed(stamp);
+            }
+        "#;
+        let fs = findings(src);
+        assert!(fs.iter().any(|(r, m)| r == "nondet-flow"
+            && m.contains("Instant::now")
+            && m.contains("SimRng::seed")));
+    }
+
+    #[test]
+    fn seed_from_parameter_is_clean() {
+        let src = "fn f(seed: u64) { let rng = SimRng::seed(seed ^ 0x9E3779B97F4A7C15); }";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn literal_seed_violates_provenance() {
+        let src = "fn f() { let rng = SimRng::seed(42); }";
+        assert_eq!(rules(src), vec!["rng-provenance"]);
+    }
+
+    #[test]
+    fn literal_seed_through_binding_violates_provenance() {
+        let src = "fn f() { let s = 7 ^ 13; let rng = SimRng::seed(s); }";
+        assert_eq!(rules(src), vec!["rng-provenance"]);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { let rng = SimRng::seed(42); }
+            }
+        "#;
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn taint_into_recorder_is_flagged() {
+        let src = r#"
+            fn f(rec: &Recorder) {
+                let elapsed = Instant::now();
+                rec.gauge("latency", elapsed.as_nanos() as u64);
+            }
+        "#;
+        let fs = findings(src);
+        assert!(fs
+            .iter()
+            .any(|(r, m)| r == "nondet-flow" && m.contains("Recorder::gauge")));
+    }
+
+    #[test]
+    fn field_store_of_taint_is_flagged() {
+        let src = r#"
+            fn f(state: &mut State) {
+                let id = thread::current();
+                state.owner = id;
+            }
+        "#;
+        assert_eq!(rules(src), vec!["nondet-flow"]);
+    }
+
+    #[test]
+    fn shadowing_clears_taint() {
+        // Rebinding `t` to a clean value severs the flow; the recorder
+        // sink must not report the earlier, dead source.
+        let src = r#"
+            fn f(rec: &Recorder) {
+                let t = Instant::now();
+                let t = 5u64;
+                rec.emit(t);
+            }
+        "#;
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn cross_fn_taint_via_index() {
+        let src = r#"
+            fn now_ms() -> u64 { Instant::now().elapsed().as_millis() as u64 }
+            fn g() {
+                let stamp = now_ms();
+                let rng = SimRng::seed(stamp);
+            }
+        "#;
+        let fs = findings(src);
+        assert!(fs
+            .iter()
+            .any(|(r, m)| r == "nondet-flow" && m.contains("now_ms")));
+    }
+
+    #[test]
+    fn hash_iteration_taints_loop_vars() {
+        let src = r#"
+            fn f(m: HashMap<u64, u64>, rec: &Recorder) {
+                for k in m.keys() {
+                    rec.count("seen", 1);
+                    let rng = SimRng::seed(*k);
+                }
+            }
+        "#;
+        let fs = findings(src);
+        assert!(fs
+            .iter()
+            .any(|(r, m)| r == "nondet-flow" && m.contains("iteration order")));
+    }
+
+    #[test]
+    fn return_summary_detects_direct_and_callees() {
+        let ast = parse_source(
+            "fn f() -> u64 { let t = Instant::now(); t.elapsed().as_millis() as u64 }",
+        );
+        let crate::parse::Item::Fn(f) = &ast.items[0] else {
+            panic!()
+        };
+        let (direct, callees) = return_taint_summary(f.body.as_ref().unwrap(), &BTreeSet::new());
+        assert!(direct);
+        assert!(callees.contains(&"elapsed".to_owned()));
+    }
+
+    #[test]
+    fn suppressed_source_does_not_seed_taint() {
+        let src = r#"
+            fn f() {
+                let t = Instant::now();
+                let rng = SimRng::seed(t.elapsed().as_nanos() as u64);
+            }
+        "#;
+        let ast = parse_source(src);
+        let idx = merge(&[collect_file(&ast, &BTreeSet::new(), true)]);
+        // Allow covering the source line: no taint, no findings.
+        let allowed: BTreeSet<u32> = [3u32].into_iter().collect();
+        let fs = check_file(&ast, &idx, &allowed);
+        assert!(fs.is_empty(), "unexpected findings: {fs:?}");
+    }
+}

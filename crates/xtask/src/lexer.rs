@@ -310,6 +310,25 @@ impl Lexer {
     fn number(&mut self, line: u32) {
         let mut text = String::new();
         let mut is_float = false;
+        // Tuple-field position: directly after a `.` punct (`self.0`,
+        // `pair.0.1`) the digits are a field index, never a float — without
+        // this, `pair.0.1` would mislex as `pair` `.` `0.1`.
+        let after_dot = self
+            .tokens
+            .last()
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == ".");
+        if after_dot {
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_digit() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Int, text, line);
+            return;
+        }
         // Hex / octal / binary prefixes never form floats.
         if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
             text.push(self.bump().unwrap_or_default());
@@ -387,7 +406,8 @@ impl Lexer {
                 break;
             }
         }
-        if suffix.starts_with('f') {
+        // `1_f64` / `1__f32`: underscores may precede the float suffix.
+        if suffix.trim_start_matches('_').starts_with('f') {
             is_float = true;
         }
         text.push_str(&suffix);
@@ -412,22 +432,26 @@ impl Lexer {
         self.push(TokKind::Ident, text, line);
     }
 
+    /// Multi-character operators, longest first (maximal munch). The
+    /// parser re-splits `>>` when it closes two nested generic lists.
+    const JOINED_OPS: &'static [&'static str] = &[
+        "<<=", ">>=", "..=", "::", "==", "!=", "->", "=>", "<=", ">=", "&&", "||", "<<", ">>",
+        "..", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+    ];
+
     fn punct(&mut self, line: u32) {
-        let c = self.bump().unwrap_or_default();
-        let joined = match (c, self.peek(0)) {
-            (':', Some(':')) => Some("::"),
-            ('=', Some('=')) => Some("=="),
-            ('!', Some('=')) => Some("!="),
-            ('-', Some('>')) => Some("->"),
-            ('=', Some('>')) => Some("=>"),
-            _ => None,
-        };
-        if let Some(op) = joined {
-            self.bump();
-            self.push(TokKind::Punct, op.to_owned(), line);
-        } else {
-            self.push(TokKind::Punct, c.to_string(), line);
+        for op in Self::JOINED_OPS {
+            let matches_here = op.chars().enumerate().all(|(i, c)| self.peek(i) == Some(c));
+            if matches_here {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                self.push(TokKind::Punct, (*op).to_owned(), line);
+                return;
+            }
         }
+        let c = self.bump().unwrap_or_default();
+        self.push(TokKind::Punct, c.to_string(), line);
     }
 }
 

@@ -7,9 +7,10 @@
 //! (deterministic library vs. exempt front-end) that selects which rule
 //! families apply.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::lexer::{lex, Comment, TokKind, Token};
+use crate::sig::SigIndex;
 
 /// Machine identifier for each invariant class the pass enforces.
 pub const RULES: &[(&str, &str)] = &[
@@ -44,9 +45,20 @@ pub const RULES: &[(&str, &str)] = &[
          f64::total_cmp or an epsilon helper from flower-stats",
     ),
     (
-        "float-eq",
-        "exact ==/!= against a float literal: NaN-unsafe and rounding-brittle; use \
-         f64::total_cmp or flower_stats::float::{approx_eq, near_zero}",
+        "float-eq-typed",
+        "exact ==/!= where type inference says either side is f64/f32: NaN-unsafe and \
+         rounding-brittle; use f64::total_cmp or flower_stats::float::{approx_eq, near_zero}",
+    ),
+    (
+        "nondet-flow",
+        "a value originating at a nondeterminism source (wall clock, entropy, environment, \
+         hash iteration) flows through bindings into deterministic state: a SimRng seed or \
+         fork label, a flower-obs recorder event, or a field store",
+    ),
+    (
+        "rng-provenance",
+        "SimRng::seed with a literal-derived seed in library code: every stream must trace \
+         to a seed parameter, config field, or parent fork so replay stays reproducible",
     ),
     (
         "panic-unwrap",
@@ -77,6 +89,11 @@ pub const RULES: &[(&str, &str)] = &[
         "allow-invalid",
         "malformed lint:allow directive: unknown rule name or missing justification",
     ),
+    (
+        "allow-unused",
+        "stale lint:allow directive: its line produces no violation of the named rule, so \
+         the suppression is dead weight and hides intent — remove it",
+    ),
 ];
 
 /// Which rule families a crate is subject to.
@@ -88,6 +105,12 @@ pub enum Profile {
     /// determinism and panic-freedom rules (they talk to the real world
     /// and may crash on bad CLI input).
     Exempt,
+    /// Self-lint profile for `crates/xtask` (`cargo xtask lint
+    /// --tooling`): only the typed rules (`float-eq-typed`,
+    /// `nondet-flow`, `rng-provenance`) and the allow-hygiene rules
+    /// run — the tooling crate talks to the real filesystem and may
+    /// panic, but its analysis results must still be deterministic.
+    Tooling,
 }
 
 /// Classify a crate by name.
@@ -287,12 +310,42 @@ fn skip_attribute(tokens: &[Token], i: usize) -> usize {
     j
 }
 
+/// Rules whose `lint:allow` also stops determinism *taint* from
+/// seeding at the allowed line: a justified source must not cascade
+/// into `nondet-flow` reports downstream.
+const SOURCE_RULES: &[&str] = &["nondet-time", "nondet-rng", "nondet-env", "hash-iteration"];
+
+/// Phase 1 of the typed pipeline: extract one file's signature
+/// contribution (fn returns, struct fields, const types, taint
+/// summaries). Runs over *every* crate — exempt ones included, since
+/// their return types can still resolve calls — but only
+/// `taint_eligible` (non-exempt) crates contribute taint edges.
+/// Sources behind a justified `lint:allow` do not seed taint.
+pub fn collect_signatures(src: &str, taint_eligible: bool) -> crate::sig::FileSigs {
+    let (tokens, comments) = lex(src);
+    let (allows, _) = parse_allows(&comments, "");
+    let suppressed: BTreeSet<u32> = allows
+        .iter()
+        .filter(|a| SOURCE_RULES.contains(&a.rule.as_str()))
+        .flat_map(|a| [a.line, a.line + 1])
+        .collect();
+    let ast = crate::parse::parse_tokens(&tokens);
+    crate::sig::collect_file(&ast, &suppressed, taint_eligible)
+}
+
 /// Analyze one file's source.
 ///
 /// `crate_name` is the workspace member directory name (`core`,
-/// `nsga2`, ...), used to select the rule [`Profile`].
-pub fn analyze(file: &str, crate_name: &str, src: &str) -> FileReport {
-    let profile = profile_for(crate_name);
+/// `nsga2`, ...), used to select the rule [`Profile`]. `idx` is the
+/// merged workspace signature index from phase 1 (an empty index
+/// degrades the typed rules to local inference only).
+pub fn analyze(file: &str, crate_name: &str, src: &str, idx: &SigIndex) -> FileReport {
+    analyze_with_profile(file, profile_for(crate_name), src, idx)
+}
+
+/// [`analyze`] with an explicit profile (`--tooling` overrides the
+/// name-based classification to self-lint `crates/xtask`).
+pub fn analyze_with_profile(file: &str, profile: Profile, src: &str, idx: &SigIndex) -> FileReport {
     // Exempt crates (cli, bench, xtask) are not scanned at all — their
     // comments may legitimately *describe* the directive syntax (this
     // file does), so allow parsing is skipped there too.
@@ -304,17 +357,41 @@ pub fn analyze(file: &str, crate_name: &str, src: &str) -> FileReport {
     let mask = test_mask(&tokens);
 
     let mut raw = Vec::new();
-    scan_tokens(file, &tokens, &mask, &mut raw);
+    if profile == Profile::DeterministicLib {
+        scan_tokens(file, &tokens, &mask, &mut raw);
+    }
+
+    // Typed passes: parse, then run inference + taint over the AST.
+    // Test items carry `is_test` flags from the parser, mirroring the
+    // token mask the lexical rules use.
+    let ast = crate::parse::parse_tokens(&tokens);
+    let source_allowed: BTreeSet<u32> = allows
+        .iter()
+        .filter(|a| SOURCE_RULES.contains(&a.rule.as_str()))
+        .flat_map(|a| [a.line, a.line + 1])
+        .collect();
+    for finding in crate::flow::check_file(&ast, idx, &source_allowed) {
+        raw.push(Violation {
+            rule: finding.rule,
+            file: file.to_owned(),
+            line: finding.line,
+            message: finding.message,
+        });
+    }
+
     let mut report = FileReport::default();
     report.violations.append(&mut pre_violations);
 
     // Apply suppressions: a directive on the violation's line or the
     // line immediately above it suppresses that rule there.
+    let mut used = vec![false; allows.len()];
     for v in raw {
         let suppressed = allows
             .iter()
-            .find(|a| a.rule == v.rule && (a.line == v.line || a.line + 1 == v.line));
-        if let Some(a) = suppressed {
+            .position(|a| a.rule == v.rule && (a.line == v.line || a.line + 1 == v.line));
+        if let Some(i) = suppressed {
+            used[i] = true;
+            let a = &allows[i];
             report.allows_used.push(AllowEntry {
                 rule: a.rule.clone(),
                 file: file.to_owned(),
@@ -323,6 +400,22 @@ pub fn analyze(file: &str, crate_name: &str, src: &str) -> FileReport {
             });
         } else {
             report.violations.push(v);
+        }
+    }
+    // Stale-allow detection: a well-formed directive that suppressed
+    // nothing is itself a violation.
+    for (i, a) in allows.iter().enumerate() {
+        if !used[i] {
+            report.violations.push(Violation {
+                rule: "allow-unused",
+                file: file.to_owned(),
+                line: a.line,
+                message: format!(
+                    "lint:allow({}) matched no violation of that rule — remove the \
+                     stale directive",
+                    a.rule
+                ),
+            });
         }
     }
     report
@@ -401,8 +494,12 @@ fn scan_tokens(file: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Violat
                 _ => {}
             }
         }
-        match t.kind {
-            TokKind::Ident => match t.text.as_str() {
+        // Float comparisons are handled by the typed pass
+        // (`float-eq-typed` in `crate::flow`), which sees literal
+        // comparisons *and* `a == b` on two inferred-float bindings —
+        // the case a lexical rule provably misses.
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
                 // --- determinism: hashed containers ---
                 "HashMap" | "HashSet" => {
                     // Skip `use std::collections::{...}` re-exports no —
@@ -563,21 +660,7 @@ fn scan_tokens(file: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Violat
                         );
                     }
                 }
-            },
-            TokKind::Punct if t.text == "==" || t.text == "!=" => {
-                // --- NaN safety: float-literal comparison ---
-                let prev_float = i > 0 && kind(i - 1) == Some(TokKind::Float);
-                let next_float = kind(i + 1) == Some(TokKind::Float);
-                if prev_float || next_float {
-                    emit(
-                        out,
-                        "float-eq",
-                        t.line,
-                        format!("`{}` against a float literal", t.text),
-                    );
-                }
             }
-            _ => {}
         }
     }
 }
@@ -614,8 +697,12 @@ mod tests {
     use super::*;
 
     fn rules_hit(src: &str) -> Vec<&'static str> {
-        let report = analyze("fixture.rs", "core", src);
+        let report = analyze("fixture.rs", "core", src, &SigIndex::default());
         report.violations.iter().map(|v| v.rule).collect()
+    }
+
+    fn analyze_no_idx(file: &str, crate_name: &str, src: &str) -> FileReport {
+        analyze(file, crate_name, src, &SigIndex::default())
     }
 
     #[test]
@@ -670,7 +757,7 @@ mod tests {
         let test_src = "#[cfg(test)]\nmod tests { fn t() { std::thread::sleep(Duration::ZERO); } }";
         assert!(rules_hit(test_src).is_empty());
         // Exempt crates (cli/bench/xtask) may sleep.
-        let report = analyze(
+        let report = analyze_no_idx(
             "bench.rs",
             "bench",
             "fn f() { std::thread::sleep(Duration::ZERO); }",
@@ -703,7 +790,7 @@ mod tests {
         let hits = rules_hit(src);
         // partial_cmp violations also trip panic-unwrap/panic-expect.
         assert!(hits.iter().filter(|r| **r == "nan-partial-cmp").count() == 2);
-        assert!(hits.iter().filter(|r| **r == "float-eq").count() == 2);
+        assert!(hits.iter().filter(|r| **r == "float-eq-typed").count() == 2);
     }
 
     #[test]
@@ -746,7 +833,7 @@ mod tests {
         // Test code and exempt crates keep their prints.
         let test_src = "#[cfg(test)]\nmod tests { fn t() { println!(\"dbg\"); } }";
         assert!(rules_hit(test_src).is_empty());
-        let report = analyze("cli.rs", "cli", "fn f() { println!(\"hi\"); }");
+        let report = analyze_no_idx("cli.rs", "cli", "fn f() { println!(\"hi\"); }");
         assert!(report.violations.is_empty());
     }
 
@@ -787,7 +874,7 @@ mod tests {
     #[test]
     fn exempt_profile_skips_determinism_rules() {
         let src = "fn f() { let t = Instant::now(); let x: Option<u32> = None; x.unwrap(); }";
-        let report = analyze("cli.rs", "cli", src);
+        let report = analyze_no_idx("cli.rs", "cli", src);
         assert!(report.violations.is_empty());
     }
 
@@ -807,7 +894,7 @@ mod tests {
             // lint:allow(hash-iteration): membership-only set, never iterated
             use std::collections::HashSet;
         "#;
-        let report = analyze("fixture.rs", "core", src);
+        let report = analyze_no_idx("fixture.rs", "core", src);
         assert!(report.violations.is_empty());
         assert_eq!(report.allows_used.len(), 1);
         assert_eq!(report.allows_used[0].rule, "hash-iteration");
@@ -816,7 +903,7 @@ mod tests {
     #[test]
     fn same_line_allow_suppresses() {
         let src = "use std::collections::HashSet; // lint:allow(hash-iteration): membership-only set, never iterated\n";
-        let report = analyze("fixture.rs", "core", src);
+        let report = analyze_no_idx("fixture.rs", "core", src);
         assert!(report.violations.is_empty());
         assert_eq!(report.allows_used.len(), 1);
     }
@@ -827,7 +914,7 @@ mod tests {
             // lint:allow(hash-iteration)
             use std::collections::HashSet;
         "#;
-        let report = analyze("fixture.rs", "core", src);
+        let report = analyze_no_idx("fixture.rs", "core", src);
         // An unjustified allow must not silence the underlying finding:
         // both the bad allow and the real violation are reported.
         assert_eq!(
@@ -838,8 +925,9 @@ mod tests {
 
     #[test]
     fn prose_mention_of_allow_syntax_is_not_a_directive() {
-        let src = "//! Suppress with a justified `lint:allow(float-eq)` comment.\nfn f() {}\n";
-        let report = analyze("fixture.rs", "core", src);
+        let src =
+            "//! Suppress with a justified `lint:allow(float-eq-typed)` comment.\nfn f() {}\n";
+        let report = analyze_no_idx("fixture.rs", "core", src);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
         assert!(report.allows_used.is_empty());
     }
@@ -847,7 +935,7 @@ mod tests {
     #[test]
     fn unknown_rule_allow_is_a_violation() {
         let src = "// lint:allow(no-such-rule): this rule does not exist\nfn f() {}\n";
-        let report = analyze("fixture.rs", "core", src);
+        let report = analyze_no_idx("fixture.rs", "core", src);
         assert_eq!(report.violations.len(), 1);
         assert_eq!(report.violations[0].rule, "allow-invalid");
     }
@@ -859,7 +947,7 @@ mod tests {
             fn a(x: Option<u32>) -> u32 { x.unwrap() }
             fn b(x: Option<u32>) -> u32 { x.unwrap() }
         "#;
-        let report = analyze("fixture.rs", "core", src);
+        let report = analyze_no_idx("fixture.rs", "core", src);
         assert_eq!(report.violations.len(), 1);
         assert_eq!(report.allows_used.len(), 1);
     }

@@ -29,9 +29,13 @@
 //! Exit codes: 0 = clean, 1 = violations found, 2 = usage/IO error.
 
 mod benchjson;
+mod flow;
 mod lexer;
 mod lints;
+mod parse;
+mod sig;
 mod tracejson;
+mod types;
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -47,11 +51,13 @@ fn main() -> ExitCode {
         Some("lint") => {
             let mut json = false;
             let mut list_rules = false;
+            let mut tooling = false;
             let mut root = default_root();
             while let Some(arg) = it.next() {
                 match arg {
                     "--json" => json = true,
                     "--rules" => list_rules = true,
+                    "--tooling" => tooling = true,
                     "--root" => match it.next() {
                         Some(path) => root = PathBuf::from(path),
                         None => {
@@ -71,7 +77,7 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
-            run_lint(&root, json)
+            run_lint(&root, json, tooling)
         }
         Some("bench") => {
             let mut smoke = false;
@@ -110,7 +116,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo xtask lint [--json] [--rules] [--root <path>]");
+    eprintln!("usage: cargo xtask lint [--json] [--rules] [--tooling] [--root <path>]");
     eprintln!("       cargo xtask bench [--smoke] [--out <path>]");
     eprintln!("       cargo xtask trace <path>");
     ExitCode::from(2)
@@ -202,7 +208,7 @@ fn default_root() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("."))
 }
 
-fn run_lint(root: &Path, json: bool) -> ExitCode {
+fn run_lint(root: &Path, json: bool, tooling: bool) -> ExitCode {
     let crates_dir = root.join("crates");
     let mut files: Vec<(String, PathBuf)> = Vec::new(); // (crate name, file)
     let mut crate_dirs: Vec<PathBuf> = match fs::read_dir(&crates_dir) {
@@ -226,12 +232,44 @@ fn run_lint(root: &Path, json: bool) -> ExitCode {
     }
     files.sort();
 
-    // Fan the per-file read + analysis out over the executor. Reports
-    // come back in the path-sorted submission order regardless of worker
-    // count, so the aggregated output below is byte-identical to the old
-    // sequential loop's.
+    let exec = Executor::from_env();
+
+    // Phase 1: build the workspace signature index from *every* crate,
+    // in parallel. `par_map` returns results in path-sorted submission
+    // order, and `sig::merge` folds them sequentially in that order, so
+    // the index is byte-identical at any FLOWER_THREADS.
+    let sig_results: Vec<Result<sig::FileSigs, String>> =
+        exec.par_map(&files, |_, (crate_name, path)| {
+            let source = fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let taint_eligible = lints::profile_for(crate_name) == lints::Profile::DeterministicLib;
+            Ok(lints::collect_signatures(&source, taint_eligible))
+        });
+    let mut file_sigs = Vec::with_capacity(sig_results.len());
+    for r in sig_results {
+        match r {
+            Ok(fs) => file_sigs.push(fs),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let index = sig::merge(&file_sigs);
+
+    // Phase 2: rule scan. The default pass covers the library crates;
+    // `--tooling` self-lints crates/xtask with the typed rules only.
+    let scan_files: Vec<(String, PathBuf)> = if tooling {
+        files
+            .iter()
+            .filter(|(c, _)| c == "xtask")
+            .cloned()
+            .collect()
+    } else {
+        files
+    };
     let reports: Vec<Result<FileReport, String>> =
-        Executor::from_env().par_map(&files, |_, (crate_name, path)| {
+        exec.par_map(&scan_files, |_, (crate_name, path)| {
             let source = fs::read_to_string(path)
                 .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
             let rel = path
@@ -239,7 +277,16 @@ fn run_lint(root: &Path, json: bool) -> ExitCode {
                 .unwrap_or(path)
                 .to_string_lossy()
                 .into_owned();
-            Ok(analyze(&rel, crate_name, &source))
+            if tooling {
+                Ok(lints::analyze_with_profile(
+                    &rel,
+                    lints::Profile::Tooling,
+                    &source,
+                    &index,
+                ))
+            } else {
+                Ok(analyze(&rel, crate_name, &source, &index))
+            }
         });
 
     let mut violations: Vec<Violation> = Vec::new();
@@ -375,6 +422,71 @@ mod tests {
         assert_eq!(json_str("plain"), "\"plain\"");
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    /// Lex + parse every `.rs` file in the workspace: the parser must
+    /// consume each file with zero recoveries (total grammar coverage
+    /// of our own code), and token/item counts must be identical
+    /// across two independent passes — the determinism pin for the
+    /// whole front end.
+    #[test]
+    fn workspace_lexes_and_parses_without_recovery() {
+        let root = default_root();
+        let mut files: Vec<(String, PathBuf)> = Vec::new();
+        let crates_dir = root.join("crates");
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+            .expect("workspace crates/ dir")
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let src = dir.join("src");
+            if src.is_dir() {
+                let name = dir
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                collect_rs_files(&src, &name, &mut files);
+            }
+        }
+        assert!(
+            files.len() >= 80,
+            "workspace walker found {} files",
+            files.len()
+        );
+        let mut total_tokens = 0usize;
+        let mut total_items = 0usize;
+        for (_, path) in &files {
+            let src = fs::read_to_string(path).expect("readable source");
+            let (tokens, _) = crate::lexer::lex(&src);
+            let ast = crate::parse::parse_tokens(&tokens);
+            assert_eq!(
+                ast.recovered,
+                0,
+                "{}: parser recovered {} time(s)",
+                path.display(),
+                ast.recovered
+            );
+            assert_eq!(
+                ast.tokens,
+                tokens.len(),
+                "{}: token count drift",
+                path.display()
+            );
+            // Second pass must agree exactly: lexing and parsing are
+            // pure functions of the source text.
+            let (tokens2, _) = crate::lexer::lex(&src);
+            let ast2 = crate::parse::parse_tokens(&tokens2);
+            assert_eq!(tokens.len(), tokens2.len(), "{}", path.display());
+            assert_eq!(ast.item_count(), ast2.item_count(), "{}", path.display());
+            total_tokens += tokens.len();
+            total_items += ast.item_count();
+        }
+        assert!(
+            total_tokens > 100_000,
+            "implausibly few tokens: {total_tokens}"
+        );
+        assert!(total_items > 500, "implausibly few items: {total_items}");
     }
 
     #[test]

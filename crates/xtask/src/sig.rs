@@ -1,0 +1,308 @@
+//! Workspace signature index.
+//!
+//! Phase 1 of the typed lint pipeline parses every crate (including
+//! exempt ones — `flower-cli` calls into deterministic crates, so its
+//! signatures matter for inference) and records:
+//!
+//! * `fn` return types, keyed by bare name and by `Type::name` for
+//!   methods,
+//! * `struct` field types, keyed by `Type.field`,
+//! * `const` / `static` types by name,
+//! * the set of **taint-propagating functions**: fns whose return
+//!   value derives from a nondeterminism source, closed under a
+//!   bounded fixed-point so taint flows through call chains.
+//!
+//! Per-file indexes are merged with a sequential fold over
+//! path-sorted results (`BTreeMap` storage), so the index — and every
+//! diagnostic derived from it — is byte-identical at any
+//! `FLOWER_THREADS`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::flow;
+use crate::parse::{Ast, FnDef, Item, TypeRef};
+
+/// Return-type entry: a keyed fn can be unambiguous or collide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetEntry {
+    /// Exactly one fn with this key; its return type.
+    One(TypeRef),
+    /// Multiple fns share the key with conflicting return types —
+    /// inference must not guess.
+    Ambiguous,
+}
+
+/// The merged workspace index.
+#[derive(Debug, Default)]
+pub struct SigIndex {
+    /// `name` and `Type::name` → return type.
+    pub fn_returns: BTreeMap<String, RetEntry>,
+    /// `Type.field` → field type.
+    pub struct_fields: BTreeMap<String, TypeRef>,
+    /// `NAME` → const/static type.
+    pub const_types: BTreeMap<String, TypeRef>,
+    /// Keys of fns (same keying as `fn_returns`) whose return value is
+    /// determinism-tainted.
+    pub tainted_fns: BTreeSet<String>,
+}
+
+/// One file's contribution, produced in parallel phase 1.
+#[derive(Debug, Default)]
+pub struct FileSigs {
+    fn_returns: Vec<(String, TypeRef)>,
+    struct_fields: Vec<(String, TypeRef)>,
+    const_types: Vec<(String, TypeRef)>,
+    /// Fn key → keys of fns its return value depends on (for the
+    /// fixed-point) and whether it directly returns a source.
+    fn_deps: Vec<(String, bool, Vec<String>)>,
+}
+
+/// Extract one file's signature contribution from its AST.
+///
+/// `suppressed` holds source lines covered by a justified
+/// `lint:allow` — sources there do not mark their fn tainted.
+/// `taint_eligible` is false for exempt crates (cli, bench, xtask):
+/// their return types still index (deterministic code may share
+/// names), but their bodies never contribute taint — deterministic
+/// crates cannot depend on them, so cross-crate name collisions would
+/// only produce false flows.
+pub fn collect_file(ast: &Ast, suppressed: &BTreeSet<u32>, taint_eligible: bool) -> FileSigs {
+    let mut out = FileSigs::default();
+    let cx = Cx {
+        suppressed,
+        taint_eligible,
+    };
+    walk_items(&ast.items, None, false, &cx, &mut out);
+    out
+}
+
+struct Cx<'a> {
+    suppressed: &'a BTreeSet<u32>,
+    taint_eligible: bool,
+}
+
+fn walk_items(items: &[Item], self_ty: Option<&str>, in_test: bool, cx: &Cx, out: &mut FileSigs) {
+    for item in items {
+        match item {
+            Item::Fn(f) => record_fn(f, self_ty, in_test, cx, out),
+            Item::Struct(s) => {
+                for (fname, fty) in &s.fields {
+                    out.struct_fields
+                        .push((format!("{}.{}", s.name, fname), fty.clone()));
+                }
+            }
+            Item::Const(c) => {
+                out.const_types.push((c.name.clone(), c.ty.clone()));
+            }
+            Item::Impl {
+                self_ty: ty,
+                items,
+                is_test,
+            } => walk_items(items, Some(ty), in_test || *is_test, cx, out),
+            Item::Mod { items, is_test, .. } => {
+                walk_items(items, self_ty, in_test || *is_test, cx, out);
+            }
+            Item::Trait { items, .. } => walk_items(items, self_ty, in_test, cx, out),
+            Item::Enum { .. } | Item::Other => {}
+        }
+    }
+}
+
+fn record_fn(f: &FnDef, self_ty: Option<&str>, in_test: bool, cx: &Cx, out: &mut FileSigs) {
+    if in_test || f.is_test {
+        // Test helpers may legitimately be nondeterministic and their
+        // signatures must not shadow production ones.
+        return;
+    }
+    let keys: Vec<String> = match self_ty {
+        Some(ty) => vec![format!("{ty}::{}", f.name), f.name.clone()],
+        None => vec![f.name.clone()],
+    };
+    if let Some(ret) = &f.ret {
+        for key in &keys {
+            out.fn_returns.push((key.clone(), ret.clone()));
+        }
+    }
+    // Taint seed + dependency edges for the fixed-point: which fn
+    // calls feed this fn's returned value.
+    if cx.taint_eligible {
+        if let Some(body) = &f.body {
+            let (direct, callees) = flow::return_taint_summary(body, cx.suppressed);
+            if direct || !callees.is_empty() {
+                for key in &keys {
+                    out.fn_deps.push((key.clone(), direct, callees.clone()));
+                }
+            }
+        }
+    }
+    // Nested items inside the body (rare; nested fns).
+    if let Some(body) = &f.body {
+        for stmt in &body.stmts {
+            if let crate::parse::Stmt::Item(item) = stmt {
+                walk_items(std::slice::from_ref(item), self_ty, in_test, cx, out);
+            }
+        }
+    }
+}
+
+/// Merge per-file signature sets into the workspace index.
+///
+/// `files` must already be in path-sorted order — the caller sorts the
+/// file list before the parallel map, and `par_map` returns results in
+/// submission order, so this fold is deterministic.
+pub fn merge(files: &[FileSigs]) -> SigIndex {
+    let mut idx = SigIndex::default();
+    for fs in files {
+        for (key, ty) in &fs.fn_returns {
+            match idx.fn_returns.get(key) {
+                None => {
+                    idx.fn_returns
+                        .insert(key.clone(), RetEntry::One(ty.clone()));
+                }
+                Some(RetEntry::One(existing)) if existing != ty => {
+                    idx.fn_returns.insert(key.clone(), RetEntry::Ambiguous);
+                }
+                _ => {}
+            }
+        }
+        for (key, ty) in &fs.struct_fields {
+            // First writer wins; duplicate struct names across crates
+            // with different field types are rare enough that a stale
+            // entry only weakens inference, never corrupts it — but an
+            // explicit conflict downgrade keeps it honest.
+            match idx.struct_fields.get(key) {
+                None => {
+                    idx.struct_fields.insert(key.clone(), ty.clone());
+                }
+                Some(existing) if existing != ty => {
+                    idx.struct_fields.insert(key.clone(), TypeRef::Unknown);
+                }
+                _ => {}
+            }
+        }
+        for (key, ty) in &fs.const_types {
+            match idx.const_types.get(key) {
+                None => {
+                    idx.const_types.insert(key.clone(), ty.clone());
+                }
+                Some(existing) if existing != ty => {
+                    idx.const_types.insert(key.clone(), TypeRef::Unknown);
+                }
+                _ => {}
+            }
+        }
+    }
+    // Taint fixed-point: a fn is tainted if it directly returns a
+    // source, or if any callee feeding its return value is tainted.
+    // Bounded at the workspace fn count — each round marks at least
+    // one new fn or the set is closed.
+    let mut deps: BTreeMap<&str, (bool, &[String])> = BTreeMap::new();
+    for fs in files {
+        for (key, direct, callees) in &fs.fn_deps {
+            let entry = deps.entry(key).or_insert((false, &[]));
+            entry.0 |= *direct;
+            if !callees.is_empty() {
+                entry.1 = callees;
+            }
+        }
+    }
+    for (key, (direct, _)) in &deps {
+        if *direct {
+            idx.tainted_fns.insert((*key).to_owned());
+        }
+    }
+    let bound = deps.len() + 1;
+    for _ in 0..bound {
+        let mut grew = false;
+        for (key, (_, callees)) in &deps {
+            if idx.tainted_fns.contains(*key) {
+                continue;
+            }
+            if callees.iter().any(|c| idx.tainted_fns.contains(c)) {
+                idx.tainted_fns.insert((*key).to_owned());
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    idx
+}
+
+impl SigIndex {
+    /// Look up an unambiguous return type.
+    pub fn ret_of(&self, key: &str) -> Option<&TypeRef> {
+        match self.fn_returns.get(key) {
+            Some(RetEntry::One(ty)) => Some(ty),
+            _ => None,
+        }
+    }
+
+    /// Look up a struct field type by `Type.field`.
+    pub fn field_of(&self, ty: &str, field: &str) -> Option<&TypeRef> {
+        self.struct_fields.get(&format!("{ty}.{field}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_source;
+
+    fn index_of(srcs: &[&str]) -> SigIndex {
+        let none = BTreeSet::new();
+        let files: Vec<FileSigs> = srcs
+            .iter()
+            .map(|s| collect_file(&parse_source(s), &none, true))
+            .collect();
+        merge(&files)
+    }
+
+    #[test]
+    fn indexes_fn_returns_and_methods() {
+        let idx = index_of(&[
+            "pub fn mean(xs: &[f64]) -> f64 { 0.0 }",
+            "impl Engine { pub fn rate(&self) -> f64 { self.r } }",
+        ]);
+        assert!(idx.ret_of("mean").is_some_and(TypeRef::is_float));
+        assert!(idx.ret_of("Engine::rate").is_some_and(TypeRef::is_float));
+        assert!(idx.ret_of("rate").is_some_and(TypeRef::is_float));
+    }
+
+    #[test]
+    fn conflicting_returns_are_ambiguous() {
+        let idx = index_of(&[
+            "fn size() -> u64 { 0 }",
+            "impl A { fn size(&self) -> f64 { 0.0 } }",
+        ]);
+        assert_eq!(idx.ret_of("size"), None);
+        assert!(idx.ret_of("A::size").is_some_and(TypeRef::is_float));
+    }
+
+    #[test]
+    fn indexes_struct_fields_and_consts() {
+        let idx = index_of(&["struct P { x: f64, n: u64 }\nconst EPS: f64 = 1e-9;"]);
+        assert!(idx.field_of("P", "x").is_some_and(TypeRef::is_float));
+        assert!(!idx.field_of("P", "n").is_some_and(TypeRef::is_float));
+        assert!(idx.const_types.get("EPS").is_some_and(TypeRef::is_float));
+    }
+
+    #[test]
+    fn test_fns_do_not_pollute_index() {
+        let idx = index_of(&["#[cfg(test)] mod tests { fn helper() -> f64 { 0.0 } }"]);
+        assert_eq!(idx.ret_of("helper"), None);
+    }
+
+    #[test]
+    fn taint_closes_over_call_chains() {
+        let idx = index_of(&[
+            "fn now_ms() -> u64 { Instant::now().elapsed().as_millis() as u64 }",
+            "fn stamp() -> u64 { now_ms() + 1 }",
+            "fn clean() -> u64 { 42 }",
+        ]);
+        assert!(idx.tainted_fns.contains("now_ms"));
+        assert!(idx.tainted_fns.contains("stamp"));
+        assert!(!idx.tainted_fns.contains("clean"));
+    }
+}

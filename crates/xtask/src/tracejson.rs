@@ -41,6 +41,7 @@ pub fn validate_trace_jsonl(text: &str) -> Result<String, String> {
             .get(key)
             .and_then(Value::as_num)
             .ok_or_else(|| format!("header: missing numeric `{key}`"))?;
+        // lint:allow(float-eq-typed): integer-valuedness check — fract() of a finite f64 is exactly 0.0 iff the value is an integer
         if !(n.is_finite() && n >= 0.0 && n.fract() == 0.0) {
             return Err(format!("header: `{key}` must be a non-negative integer"));
         }

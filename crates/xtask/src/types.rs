@@ -1,0 +1,490 @@
+//! Local binding-type inference.
+//!
+//! Resolves the type of each expression well enough for the float
+//! rules: `let` annotations, literals, parameter types, struct field
+//! access through the signature index, calls resolved by fn name,
+//! method calls on known receivers, float-preserving arithmetic, and
+//! casts. Inference is deliberately conservative — `Unknown` is always
+//! an acceptable answer, and rules only fire on a positive `is_float`
+//! from **both** sides, so imprecision can only cause false negatives,
+//! never false positives.
+
+use std::collections::BTreeMap;
+
+use crate::parse::{Block, Expr, FnDef, LitKind, Stmt, TypeRef};
+use crate::sig::SigIndex;
+
+/// Lexical scope stack of binding types.
+pub struct TypeEnv<'a> {
+    /// Workspace signature index.
+    pub idx: &'a SigIndex,
+    /// Enclosing `impl` type name, for `self.field` lookups.
+    pub self_ty: Option<&'a str>,
+    scopes: Vec<BTreeMap<String, TypeRef>>,
+}
+
+/// `f64` methods returning `f64` (receiver-float preserved).
+const FLOAT_METHODS: &[&str] = &[
+    "abs",
+    "sqrt",
+    "min",
+    "max",
+    "powi",
+    "powf",
+    "ln",
+    "log2",
+    "log10",
+    "exp",
+    "exp2",
+    "clamp",
+    "floor",
+    "ceil",
+    "round",
+    "trunc",
+    "fract",
+    "recip",
+    "mul_add",
+    "hypot",
+    "atan2",
+    "sin",
+    "cos",
+    "tan",
+    "signum",
+    "copysign",
+    "to_degrees",
+    "to_radians",
+    "rem_euclid",
+];
+
+/// Methods whose return type matches a known element type
+/// (`Vec<f64>::remove`, iterator `sum::<f64>()` handled separately).
+const ELEM_METHODS: &[&str] = &["remove", "swap_remove", "pop"];
+
+impl<'a> TypeEnv<'a> {
+    /// Fresh env with one (outer) scope.
+    pub fn new(idx: &'a SigIndex, self_ty: Option<&'a str>) -> TypeEnv<'a> {
+        TypeEnv {
+            idx,
+            self_ty,
+            scopes: vec![BTreeMap::new()],
+        }
+    }
+
+    /// Seed the outer scope with a fn's parameters.
+    pub fn bind_params(&mut self, f: &FnDef) {
+        for p in &f.params {
+            if !p.name.is_empty() {
+                self.bind(&p.name, p.ty.clone());
+            }
+        }
+    }
+
+    /// Push/pop lexical scopes.
+    pub fn push(&mut self) {
+        self.scopes.push(BTreeMap::new());
+    }
+
+    /// Pop the innermost scope.
+    pub fn pop(&mut self) {
+        if self.scopes.len() > 1 {
+            self.scopes.pop();
+        }
+    }
+
+    /// Bind (or shadow) a name in the innermost scope.
+    pub fn bind(&mut self, name: &str, ty: TypeRef) {
+        if let Some(scope) = self.scopes.last_mut() {
+            scope.insert(name.to_owned(), ty);
+        }
+    }
+
+    /// Resolve a name, innermost scope first, then workspace consts.
+    pub fn lookup(&self, name: &str) -> Option<TypeRef> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(ty) = scope.get(name) {
+                return Some(ty.clone());
+            }
+        }
+        self.idx.const_types.get(name).cloned()
+    }
+
+    /// Process a `let`, binding its names from annotation or inferred
+    /// initialiser type.
+    pub fn process_let(&mut self, stmt: &Stmt) {
+        let Stmt::Let {
+            name,
+            names,
+            ty,
+            init,
+            ..
+        } = stmt
+        else {
+            return;
+        };
+        let resolved = match ty {
+            Some(t) => t.clone(),
+            None => init.as_ref().map_or(TypeRef::Unknown, |e| self.type_of(e)),
+        };
+        if let Some(n) = name {
+            self.bind(n, resolved);
+        } else {
+            // Destructuring: per-element types are not tracked; bind
+            // every name Unknown so shadowing still works, except the
+            // single-name `Some(x)` style where an `Option<T>` /
+            // `Result<T, _>` initialiser reveals the element.
+            let elem = match &resolved {
+                TypeRef::Path { name: n, args }
+                    if (n == "Option" || n == "Result") && !args.is_empty() =>
+                {
+                    args[0].clone()
+                }
+                _ => TypeRef::Unknown,
+            };
+            for (i, n) in names.iter().enumerate() {
+                let t = if names.len() == 1 && i == 0 {
+                    elem.clone()
+                } else {
+                    TypeRef::Unknown
+                };
+                self.bind(n, t);
+            }
+        }
+    }
+
+    /// Infer an expression's type; `Unknown` when out of reach.
+    pub fn type_of(&self, e: &Expr) -> TypeRef {
+        match e {
+            Expr::Lit { kind, text, .. } => match kind {
+                LitKind::Float => {
+                    if text.ends_with("f32") {
+                        TypeRef::named("f32")
+                    } else {
+                        TypeRef::named("f64")
+                    }
+                }
+                LitKind::Int => {
+                    // Suffixed int literals carry their type; float
+                    // suffixes are already lexed as Float.
+                    for suffix in ["u64", "u32", "usize", "i64", "i32", "isize", "u8", "u16"] {
+                        if text.ends_with(suffix) {
+                            return TypeRef::named(suffix);
+                        }
+                    }
+                    TypeRef::named("{integer}")
+                }
+                LitKind::Bool => TypeRef::named("bool"),
+                LitKind::Str => TypeRef::Unknown,
+                LitKind::Char => TypeRef::named("char"),
+            },
+            Expr::Path { segs, .. } => match segs.as_slice() {
+                [single] => self.lookup(single).unwrap_or(TypeRef::Unknown),
+                [.., last] => self
+                    .idx
+                    .const_types
+                    .get(last)
+                    .cloned()
+                    .unwrap_or(TypeRef::Unknown),
+                [] => TypeRef::Unknown,
+            },
+            Expr::Cast { ty, .. } => ty.clone(),
+            Expr::Unary { op, inner } => match op {
+                '-' => self.type_of(inner),
+                '!' => self.type_of(inner),
+                '*' => match self.type_of(inner) {
+                    TypeRef::Ref(t) => (*t).clone(),
+                    other => other,
+                },
+                '&' => TypeRef::Ref(Box::new(self.type_of(inner))),
+                _ => TypeRef::Unknown,
+            },
+            Expr::Binary { op, lhs, rhs, .. } => match op.as_str() {
+                "==" | "!=" | "<" | ">" | "<=" | ">=" | "&&" | "||" => TypeRef::named("bool"),
+                "+" | "-" | "*" | "/" | "%" => {
+                    let lt = self.type_of(lhs);
+                    if lt.is_float() {
+                        return lt.deref().clone();
+                    }
+                    let rt = self.type_of(rhs);
+                    if rt.is_float() {
+                        return rt.deref().clone();
+                    }
+                    if matches!(lt, TypeRef::Unknown) {
+                        rt
+                    } else {
+                        lt
+                    }
+                }
+                _ => self.type_of(lhs),
+            },
+            Expr::Field { base, name, .. } => {
+                let base_ty = self.type_of(base);
+                match base_ty.deref() {
+                    TypeRef::Path { name: ty_name, .. } => {
+                        let owner = if ty_name == "Self" {
+                            self.self_ty.unwrap_or("Self")
+                        } else {
+                            ty_name
+                        };
+                        self.idx
+                            .field_of(owner, name)
+                            .cloned()
+                            .unwrap_or(TypeRef::Unknown)
+                    }
+                    TypeRef::Tuple(parts) => name
+                        .parse::<usize>()
+                        .ok()
+                        .and_then(|i| parts.get(i))
+                        .cloned()
+                        .unwrap_or(TypeRef::Unknown),
+                    _ => TypeRef::Unknown,
+                }
+            }
+            Expr::Index { base, .. } => {
+                let base_ty = self.type_of(base);
+                match base_ty.deref() {
+                    TypeRef::Slice(elem) => (**elem).clone(),
+                    TypeRef::Path { name, args } if name == "Vec" && !args.is_empty() => {
+                        args[0].clone()
+                    }
+                    _ => TypeRef::Unknown,
+                }
+            }
+            Expr::Call { callee, .. } => match &**callee {
+                Expr::Path { segs, .. } => self.resolve_call(segs),
+                _ => TypeRef::Unknown,
+            },
+            Expr::Method {
+                recv,
+                name,
+                turbofish,
+                args,
+                ..
+            } => self.method_type(recv, name, turbofish.as_ref(), args),
+            Expr::If { then, alt, .. } => {
+                let t = self.block_tail_type(then);
+                if !matches!(t, TypeRef::Unknown) {
+                    return t;
+                }
+                alt.as_deref().map_or(TypeRef::Unknown, |a| self.type_of(a))
+            }
+            Expr::Block(b) => self.block_tail_type(b),
+            Expr::Match { arms, .. } => arms
+                .first()
+                .map_or(TypeRef::Unknown, |(_, body)| self.type_of(body)),
+            Expr::Try { inner } => match self.type_of(inner).deref() {
+                TypeRef::Path { name, args }
+                    if (name == "Option" || name == "Result") && !args.is_empty() =>
+                {
+                    args[0].clone()
+                }
+                _ => TypeRef::Unknown,
+            },
+            Expr::StructLit { path, .. } => {
+                path.last().map_or(TypeRef::Unknown, |n| TypeRef::named(n))
+            }
+            Expr::Tuple { items, .. } => {
+                TypeRef::Tuple(items.iter().map(|i| self.type_of(i)).collect())
+            }
+            Expr::Array { items, .. } => {
+                let elem = items.first().map_or(TypeRef::Unknown, |i| self.type_of(i));
+                TypeRef::Slice(Box::new(elem))
+            }
+            Expr::Assign { .. }
+            | Expr::Closure { .. }
+            | Expr::For { .. }
+            | Expr::While { .. }
+            | Expr::Loop { .. }
+            | Expr::Return { .. }
+            | Expr::Macro { .. }
+            | Expr::Range { .. }
+            | Expr::LetCond { .. }
+            | Expr::Opaque { .. } => TypeRef::Unknown,
+        }
+    }
+
+    fn block_tail_type(&self, b: &Block) -> TypeRef {
+        match b.stmts.last() {
+            Some(Stmt::Expr(e)) => self.type_of(e),
+            _ => TypeRef::Unknown,
+        }
+    }
+
+    fn resolve_call(&self, segs: &[String]) -> TypeRef {
+        // `Type::new(...)` style: prefer the qualified key, fall back
+        // to the bare fn name, then to constructor convention.
+        if segs.len() >= 2 {
+            let qualified = format!("{}::{}", segs[segs.len() - 2], segs[segs.len() - 1]);
+            if let Some(ty) = self.idx.ret_of(&qualified) {
+                return ty.clone();
+            }
+            let ctor = &segs[segs.len() - 2];
+            let is_ctor = matches!(
+                segs[segs.len() - 1].as_str(),
+                "new" | "default" | "seed" | "from" | "with_capacity"
+            );
+            if is_ctor && ctor.chars().next().is_some_and(char::is_uppercase) {
+                return TypeRef::named(ctor);
+            }
+        }
+        if let Some(last) = segs.last() {
+            if let Some(ty) = self.idx.ret_of(last) {
+                return ty.clone();
+            }
+        }
+        TypeRef::Unknown
+    }
+
+    fn method_type(
+        &self,
+        recv: &Expr,
+        name: &str,
+        turbofish: Option<&TypeRef>,
+        args: &[Expr],
+    ) -> TypeRef {
+        // `iter.sum::<f64>()` / `collect::<Vec<f64>>()` — the
+        // turbofish *is* the return type.
+        if let Some(t) = turbofish {
+            if matches!(name, "sum" | "product" | "collect" | "parse" | "fold") {
+                if name == "parse" {
+                    return TypeRef::Path {
+                        name: "Result".to_owned(),
+                        args: vec![t.clone(), TypeRef::Unknown],
+                    };
+                }
+                return t.clone();
+            }
+        }
+        let recv_ty = self.type_of(recv);
+        let recv_ty = recv_ty.deref();
+        if recv_ty.is_float() && FLOAT_METHODS.contains(&name) {
+            return recv_ty.clone();
+        }
+        if name == "len" || name == "count" {
+            return TypeRef::named("usize");
+        }
+        if ELEM_METHODS.contains(&name) {
+            if let TypeRef::Path { name: n, args } = recv_ty {
+                if n == "Vec" && !args.is_empty() {
+                    return args[0].clone();
+                }
+            }
+        }
+        if matches!(name, "clone" | "to_owned") {
+            return recv_ty.clone();
+        }
+        if matches!(name, "unwrap" | "expect" | "unwrap_or_default") {
+            if let TypeRef::Path { name: n, args } = recv_ty {
+                if (n == "Option" || n == "Result") && !args.is_empty() {
+                    return args[0].clone();
+                }
+            }
+        }
+        if name == "unwrap_or" {
+            if let Some(default) = args.first() {
+                let t = self.type_of(default);
+                if !matches!(t, TypeRef::Unknown) {
+                    return t;
+                }
+            }
+        }
+        // Method resolved through the signature index by receiver type.
+        if let TypeRef::Path { name: ty_name, .. } = recv_ty {
+            let owner = if ty_name == "Self" {
+                self.self_ty.unwrap_or("Self")
+            } else {
+                ty_name
+            };
+            if let Some(ty) = self.idx.ret_of(&format!("{owner}::{name}")) {
+                return ty.clone();
+            }
+        }
+        TypeRef::Unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_source, Item};
+    use crate::sig::{collect_file, merge};
+
+    /// Infer the type of the final expression statement of the first
+    /// fn in `src`, with the index built from `src` itself.
+    fn tail_type(src: &str) -> TypeRef {
+        let ast = parse_source(src);
+        assert_eq!(ast.recovered, 0, "fixture must parse cleanly");
+        let idx = merge(&[collect_file(&ast, &std::collections::BTreeSet::new(), true)]);
+        for item in &ast.items {
+            if let Item::Fn(f) = item {
+                let mut env = TypeEnv::new(&idx, None);
+                env.bind_params(f);
+                let body = f.body.as_ref().expect("fixture fn has a body");
+                for stmt in &body.stmts {
+                    env.process_let(stmt);
+                }
+                if let Some(Stmt::Expr(e)) = body.stmts.last() {
+                    return env.type_of(e);
+                }
+            }
+        }
+        TypeRef::Unknown
+    }
+
+    #[test]
+    fn annotation_wins() {
+        assert!(tail_type("fn f() -> f64 { let a: f64 = helper(); a }").is_float());
+    }
+
+    #[test]
+    fn float_literal_infers() {
+        assert!(tail_type("fn f() -> f64 { let a = 0.5; a }").is_float());
+        assert!(!tail_type("fn f() -> u64 { let a = 5; a }").is_float());
+    }
+
+    #[test]
+    fn call_resolves_through_index() {
+        let src = "fn mean(xs: &[f64]) -> f64 { 0.0 }\nfn f() -> f64 { let m = mean(&[]); m }";
+        assert!(tail_type(src).is_float());
+    }
+
+    #[test]
+    fn field_access_resolves() {
+        let src = "struct P { x: f64 }\nfn f(p: &P) -> f64 { let v = p.x; v }";
+        assert!(tail_type(src).is_float());
+    }
+
+    #[test]
+    fn indexing_resolves_elements() {
+        assert!(tail_type("fn f(xs: &[f64]) -> f64 { let v = xs[0]; v }").is_float());
+        assert!(tail_type("fn f(xs: Vec<f64>) -> f64 { let v = xs[1]; v }").is_float());
+    }
+
+    #[test]
+    fn arithmetic_preserves_float() {
+        assert!(tail_type("fn f(a: f64, n: u64) -> f64 { let v = a * 2.0 + 1.0; v }").is_float());
+    }
+
+    #[test]
+    fn float_methods_preserve() {
+        assert!(tail_type("fn f(a: f64) -> f64 { let v = a.abs().sqrt(); v }").is_float());
+        assert!(!tail_type("fn f(xs: &[f64]) -> usize { let n = xs.len(); n }").is_float());
+    }
+
+    #[test]
+    fn sum_turbofish_resolves() {
+        assert!(
+            tail_type("fn f(xs: &[f64]) -> f64 { let s = xs.iter().sum::<f64>(); s }").is_float()
+        );
+    }
+
+    #[test]
+    fn shadowing_takes_latest_binding() {
+        let src = "fn f() -> u64 { let a = 1.0; let a = 2u64; a }";
+        assert!(!tail_type(src).is_float());
+    }
+
+    #[test]
+    fn cast_sets_type() {
+        assert!(tail_type("fn f(n: u64) -> f64 { let v = n as f64; v }").is_float());
+    }
+}
