@@ -379,6 +379,14 @@ pub fn trace(args: &Args) -> CmdResult {
         );
     }
 
+    let replans = replan_timeline_lines(&trace);
+    if !replans.is_empty() {
+        println!("\nreplan timeline (warm = seeded from the previous front):");
+        for line in &replans {
+            println!("{line}");
+        }
+    }
+
     if let Some(field) = args.get("field") {
         let points: Vec<(SimTime, f64)> = trace
             .events
@@ -392,6 +400,41 @@ pub fn trace(args: &Args) -> CmdResult {
         println!("\n{}", Dashboard::new().panel(panel).render(100));
     }
     Ok(())
+}
+
+/// One line per re-planning round in `trace`, oldest first: the
+/// warm/cold start marker (from the `warm` event field — traces from
+/// replanners without warm starts predate the field and render
+/// `cold*`), the confirmed dependency count, the Pareto front size and
+/// the chosen plan's hourly cost. Failed rounds show the error.
+/// Empty when the trace holds no replan events.
+fn replan_timeline_lines(trace: &flower_obs::Trace) -> Vec<String> {
+    trace
+        .events
+        .iter()
+        .filter(|e| e.kind == kind::REPLAN_OUTCOME || e.kind == kind::REPLAN_FAILED)
+        .map(|e| {
+            if e.kind == kind::REPLAN_FAILED {
+                return format!(
+                    "  t={:>6}s  failed: {}",
+                    e.t_ms / 1000,
+                    e.str("error").unwrap_or("?")
+                );
+            }
+            let start = match e.fields.get("warm") {
+                Some(JsonValue::Bool(true)) => "warm",
+                Some(JsonValue::Bool(false)) => "cold",
+                _ => "cold*", // pre-warm-start trace: the field is absent
+            };
+            format!(
+                "  t={:>6}s  {start:<5}  deps {:>2.0}  front {:>3.0}  ${:.4}/h",
+                e.t_ms / 1000,
+                e.f64("dependencies").unwrap_or(f64::NAN),
+                e.f64("front_size").unwrap_or(f64::NAN),
+                e.f64("hourly_cost").unwrap_or(f64::NAN)
+            )
+        })
+        .collect()
 }
 
 /// `flower plan`
@@ -487,6 +530,69 @@ mod tests {
         for cmd in ["run", "plan", "analyze", "monitor", "trace", "help"] {
             assert!(text.contains(cmd), "usage missing {cmd}");
         }
+    }
+
+    #[test]
+    fn replan_timeline_shows_warm_and_cold_rounds() {
+        let recorder = flower_obs::Recorder::with_capacity(16);
+        recorder.set_now(SimTime::from_mins(40));
+        recorder.emit(
+            kind::REPLAN_OUTCOME,
+            &[
+                ("dependencies", 3u32.into()),
+                ("front_size", 12u32.into()),
+                ("hourly_cost", 0.75.into()),
+                ("warm", false.into()),
+            ],
+        );
+        recorder.set_now(SimTime::from_mins(70));
+        recorder.emit(
+            kind::REPLAN_OUTCOME,
+            &[
+                ("dependencies", 3u32.into()),
+                ("front_size", 11u32.into()),
+                ("hourly_cost", 0.74.into()),
+                ("warm", true.into()),
+            ],
+        );
+        // A round from before the warm-start field existed.
+        recorder.set_now(SimTime::from_mins(100));
+        recorder.emit(
+            kind::REPLAN_OUTCOME,
+            &[
+                ("dependencies", 2u32.into()),
+                ("front_size", 9u32.into()),
+                ("hourly_cost", 0.71.into()),
+            ],
+        );
+        recorder.set_now(SimTime::from_mins(130));
+        recorder.emit(kind::REPLAN_FAILED, &[("error", "no feasible plan".into())]);
+
+        let trace = flower_obs::parse_trace(&recorder.to_jsonl()).unwrap();
+        let lines = replan_timeline_lines(&trace);
+        assert_eq!(lines.len(), 4, "{lines:?}");
+        assert!(
+            lines[0].contains("cold ") && lines[0].contains("t=  2400s"),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[1].contains("warm ") && lines[1].contains("front  11"),
+            "{}",
+            lines[1]
+        );
+        assert!(lines[2].contains("cold*"), "{}", lines[2]);
+        assert!(
+            lines[3].contains("failed: no feasible plan"),
+            "{}",
+            lines[3]
+        );
+
+        // A trace without replan events renders no timeline.
+        let empty = flower_obs::Recorder::with_capacity(4);
+        empty.emit(kind::ALARM_TRANSITION, &[("alarm", "x".into())]);
+        let trace = flower_obs::parse_trace(&empty.to_jsonl()).unwrap();
+        assert!(replan_timeline_lines(&trace).is_empty());
     }
 
     #[test]

@@ -92,7 +92,7 @@ pub mod prelude {
     pub use crate::monitor::CrossPlatformMonitor;
     pub use crate::provision::{LayerControllerConfig, ProvisioningManager, ResilienceConfig};
     pub use crate::replan::{PlanSelection, ReplanConfig, Replanner};
-    pub use crate::share::{ResourceShares, ShareAnalyzer, ShareProblem};
+    pub use crate::share::{ResourceShares, ShareAnalyzer, ShareProblem, ShareSolution};
     pub use crate::slo::{Objective, SloReport, SloSpec};
     pub use crate::wizard::WizardConfig;
     pub use flower_chaos::{FaultInjector, FaultPlan, PRESETS};

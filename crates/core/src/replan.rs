@@ -19,7 +19,9 @@
 //! 4. publishes the selected plan's shares as the new per-layer bounds.
 
 use flower_cloud::{MetricId, MetricsStore, Statistic};
-use flower_nsga2::Nsga2Config;
+use flower_nsga2::{
+    DominanceMatrix, EpsilonArchive, Executor, Individual, Nsga2Config, SoaPopulation,
+};
 use flower_obs::{kind, Recorder};
 use flower_sim::{SimDuration, SimTime};
 
@@ -120,6 +122,18 @@ pub struct ReplanConfig {
     /// for every worker count — pinning makes that property testable
     /// without mutating process-global environment state.
     pub workers: Option<usize>,
+    /// Warm-start consecutive re-solves from the previous rounds'
+    /// epsilon-archived Pareto front (falling back to a cold start
+    /// whenever the layer set or constraint shape changed). Warm rounds
+    /// run [`ReplanConfig::warm_generations`] generations instead of
+    /// the full `nsga2.generations`. Disable to pin byte-identical
+    /// cold-start traces (e.g. against a pre-warm-start golden
+    /// fixture).
+    pub warm_start: bool,
+    /// Generation budget of a warm-started re-solve. Seeded from the
+    /// previous front, NSGA-II needs only a refinement pass, not a full
+    /// search from uniform noise.
+    pub warm_generations: usize,
 }
 
 impl Default for ReplanConfig {
@@ -136,6 +150,8 @@ impl Default for ReplanConfig {
                 ..Default::default()
             },
             workers: None,
+            warm_start: true,
+            warm_generations: 12,
         }
     }
 }
@@ -151,6 +167,51 @@ pub struct ReplanOutcome {
     pub plan: ResourceShares,
     /// Size of the Pareto front the plan was chosen from.
     pub front_size: usize,
+    /// Whether this round's solve was warm-started from the previous
+    /// rounds' archived front (`false` on cold starts — the first
+    /// round, a constraint-shape change, or `warm_start` disabled).
+    pub warm: bool,
+}
+
+/// The shape of a share problem for warm-start compatibility: the layer
+/// list (the genome encoding) and the sorted multiset of per-constraint
+/// layer couplings. Coefficient *values* are free to move between
+/// rounds (that is what re-evaluation + incremental dominance absorb),
+/// and so is the *order* constraints are listed in — dependency
+/// enumeration order varies by analysis window, but a reorder of the
+/// same couplings leaves the feasible region and genome space intact.
+/// A genuine change of shape means the archived genomes live in a
+/// different space and the replanner must cold-start.
+type ProblemSignature = (Vec<Layer>, Vec<Vec<Layer>>);
+
+fn problem_signature(problem: &ShareProblem) -> ProblemSignature {
+    let mut shapes: Vec<Vec<Layer>> = problem
+        .constraints
+        .iter()
+        .map(|c| c.terms.iter().map(|&(layer, _)| layer).collect())
+        .collect();
+    shapes.sort();
+    (problem.layers.clone(), shapes)
+}
+
+/// Objective-space box edge of the warm-start archive. Plans deploy at
+/// integer resolution, so solutions within half a unit of each other
+/// are duplicates for seeding purposes.
+const WARM_ARCHIVE_EPSILON: f64 = 0.5;
+/// Entry cap of the warm-start archive — bounds the seed set (and the
+/// incremental dominance matrix) regardless of how wide fronts get.
+const WARM_ARCHIVE_CAPACITY: usize = 64;
+
+/// Carry-over state between warm-started rounds: the epsilon archive of
+/// front points, the archived genomes evaluated under the previous
+/// round's problem (SoA), and that population's dominance matrix —
+/// refreshed incrementally when the next round's constraint bounds
+/// move.
+struct WarmState {
+    signature: ProblemSignature,
+    archive: EpsilonArchive,
+    pool: SoaPopulation,
+    matrix: DominanceMatrix,
 }
 
 /// The outer re-planning loop.
@@ -166,6 +227,7 @@ pub struct Replanner {
     history: Vec<ReplanOutcome>,
     next_due: SimTime,
     recorder: Recorder,
+    warm: Option<WarmState>,
 }
 
 impl Replanner {
@@ -234,6 +296,7 @@ impl Replanner {
             history: Vec::new(),
             next_due,
             recorder: Recorder::disabled(),
+            warm: None,
         }
     }
 
@@ -282,6 +345,12 @@ impl Replanner {
                         ("front_size", outcome.front_size.into()),
                         ("hourly_cost", outcome.plan.hourly_cost.into()),
                     ];
+                    // The warm/cold marker exists only for replanners
+                    // with warm starts enabled, keeping cold-only trace
+                    // fixtures from before the field byte-identical.
+                    if self.config.warm_start {
+                        fields.push(("warm", outcome.warm.into()));
+                    }
                     for (layer, units) in outcome.plan.shares.iter() {
                         fields.push((layer.resource(), units.into()));
                     }
@@ -335,23 +404,112 @@ impl Replanner {
             }
         }
 
-        let mut analyzer = ShareAnalyzer::new(problem)
-            .with_config(self.config.nsga2)
+        // Warm start: when the problem kept its shape since the last
+        // round, seed the solver with the archived front's survivors.
+        // The archived genomes are re-evaluated under the new problem
+        // (objectives are shape-stable; only constraint violations can
+        // move) and the dominance matrix is refreshed incrementally —
+        // only rows touched by re-evaluated individuals are
+        // re-classified — so picking the seed front costs O(k·n), not
+        // O(n²). A shape change drops the state and cold-starts.
+        let signature = problem_signature(&problem);
+        let mut seeds: Vec<Vec<f64>> = Vec::new();
+        if self.config.warm_start {
+            match self.warm.as_mut() {
+                Some(state) if state.signature == signature => {
+                    let mut pool = SoaPopulation::for_problem(&problem, state.pool.len());
+                    let mut changed = Vec::with_capacity(state.pool.len());
+                    for i in 0..state.pool.len() {
+                        let ind = Individual::evaluated(&problem, state.pool.genes(i).to_vec());
+                        changed.push(
+                            !bits_equal(&ind.objectives, state.pool.objectives(i))
+                                || !bits_equal(&ind.violations, state.pool.violations(i)),
+                        );
+                        pool.push(ind);
+                    }
+                    state.matrix.refresh(&pool, &changed);
+                    if let Some(front) = state.matrix.fronts().first() {
+                        seeds = front.iter().map(|&i| pool.genes(i).to_vec()).collect();
+                    }
+                    state.pool = pool;
+                }
+                Some(_) => self.warm = None,
+                None => {}
+            }
+        }
+        let warm = !seeds.is_empty();
+        let nsga2 = if warm {
+            Nsga2Config {
+                generations: self.config.warm_generations,
+                ..self.config.nsga2
+            }
+        } else {
+            self.config.nsga2
+        };
+
+        let mut analyzer = ShareAnalyzer::new(problem.clone())
+            .with_config(nsga2)
             .with_recorder(self.recorder.clone());
         if let Some(workers) = self.config.workers {
             analyzer = analyzer.with_workers(workers);
         }
-        let plans = analyzer.solve()?;
-        let plan = self.config.selection.pick(&plans).clone();
+        let solution = match analyzer.solve_with_seeds(&seeds) {
+            Ok(solution) => solution,
+            Err(err) => {
+                // A failed round invalidates the carried state: the
+                // next round retries from a cold start.
+                self.warm = None;
+                return Err(err);
+            }
+        };
+
+        if self.config.warm_start {
+            // Fold this round's front into the epsilon archive, then
+            // rebuild the seed pool (and its dominance matrix) from the
+            // archive under the current problem. The archive bounds
+            // front churn: sub-epsilon wiggles between rounds cannot
+            // change its membership, so the seed set stays small and
+            // stable across consecutive replans.
+            let mut archive = match self.warm.take() {
+                Some(state) => state.archive,
+                None => EpsilonArchive::new(WARM_ARCHIVE_EPSILON, WARM_ARCHIVE_CAPACITY),
+            };
+            for (genes, objectives) in &solution.front {
+                archive.offer(genes, objectives);
+            }
+            let mut pool = SoaPopulation::for_problem(&problem, archive.len());
+            for entry in archive.entries() {
+                pool.push(Individual::evaluated(&problem, entry.genes.clone()));
+            }
+            // The pool is capped at the archive capacity — far below
+            // the parallel-sort threshold — so the build is serial.
+            let matrix = DominanceMatrix::build(&pool, &Executor::serial());
+            self.warm = Some(WarmState {
+                signature,
+                archive,
+                pool,
+                matrix,
+            });
+        }
+
+        let plan = self.config.selection.pick(&solution.plans).clone();
         let outcome = ReplanOutcome {
             at: now,
             dependencies: deps.len(),
             plan,
-            front_size: plans.len(),
+            front_size: solution.plans.len(),
+            warm,
         };
         self.history.push(outcome.clone());
         Ok(outcome)
     }
+}
+
+/// Bitwise slice equality — the change detector for incremental
+/// dominance refresh. Bit-level (not `==`) so NaN re-evaluations and
+/// signed zeros compare stably.
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 /// Translate a learned dependency into resource-space constraints, when
@@ -554,6 +712,103 @@ mod tests {
         let small = run(0.5);
         let large = run(1.5);
         assert!(small.hourly_cost < large.hourly_cost);
+    }
+
+    #[test]
+    fn consecutive_replans_warm_start() {
+        let store = populated_store(100);
+        let mut replanner = Replanner::for_clickstream(
+            ReplanConfig {
+                cadence: SimDuration::from_mins(30),
+                analysis_window: SimDuration::from_mins(30),
+                nsga2: Nsga2Config {
+                    population: 40,
+                    generations: 40,
+                    seed: 3,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            "clickstream",
+            "storm-cluster",
+            "click-aggregates",
+            ShareProblem::worked_example(1.0),
+        );
+        let r1 = replanner
+            .replan(&store, SimTime::from_mins(40))
+            .expect("round 1");
+        assert!(!r1.warm, "first round has nothing to warm-start from");
+        let r2 = replanner
+            .replan(&store, SimTime::from_mins(70))
+            .expect("round 2");
+        assert!(r2.warm, "second round must reuse the archived front");
+        let r3 = replanner
+            .replan(&store, SimTime::from_mins(100))
+            .expect("round 3");
+        assert!(r3.warm);
+        // Warm rounds still deliver feasible, budget-respecting plans.
+        for outcome in replanner.history() {
+            assert!(outcome.front_size >= 1);
+            assert!(outcome.plan.hourly_cost <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn warm_start_disabled_stays_cold() {
+        let store = populated_store(100);
+        let mut replanner = Replanner::for_clickstream(
+            ReplanConfig {
+                warm_start: false,
+                nsga2: Nsga2Config {
+                    population: 40,
+                    generations: 40,
+                    seed: 3,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            "clickstream",
+            "storm-cluster",
+            "click-aggregates",
+            ShareProblem::worked_example(1.0),
+        );
+        for mins in [40u64, 70, 100] {
+            let outcome = replanner
+                .replan(&store, SimTime::from_mins(mins))
+                .expect("replan");
+            assert!(!outcome.warm, "warm_start=false must never warm-start");
+        }
+    }
+
+    #[test]
+    fn signature_tracks_constraint_shape_not_coefficients() {
+        let base = ShareProblem::worked_example(1.0);
+        let a = base
+            .clone()
+            .with_constraint(crate::share::Constraint::ratio(
+                2.0,
+                Layer::ANALYTICS,
+                1.0,
+                Layer::STORAGE,
+            ));
+        // Same coupling, different coefficient: same shape.
+        let b = base
+            .clone()
+            .with_constraint(crate::share::Constraint::ratio(
+                3.5,
+                Layer::ANALYTICS,
+                1.0,
+                Layer::STORAGE,
+            ));
+        assert_eq!(problem_signature(&a), problem_signature(&b));
+        // Different coupling: different shape.
+        let c = base.with_constraint(crate::share::Constraint::ratio(
+            2.0,
+            Layer::ANALYTICS,
+            1.0,
+            Layer::INGESTION,
+        ));
+        assert_ne!(problem_signature(&a), problem_signature(&c));
     }
 
     #[test]

@@ -336,6 +336,19 @@ impl Problem for ShareProblem {
     }
 }
 
+/// A solved share analysis: the deployable plans plus the continuous
+/// front they were derived from.
+#[derive(Debug, Clone)]
+pub struct ShareSolution {
+    /// Distinct feasible Pareto plans at integer resolution, sorted by
+    /// hourly cost descending.
+    pub plans: Vec<ResourceShares>,
+    /// The continuous feasible rank-0 `(genes, objectives)` pairs the
+    /// plans were rounded from, in front order — the raw material a
+    /// replanner archives for warm-starting the next solve.
+    pub front: Vec<(Vec<f64>, Vec<f64>)>,
+}
+
 /// Drives NSGA-II over a [`ShareProblem`] and post-processes the front
 /// into deployable plans.
 #[derive(Debug, Clone)]
@@ -388,15 +401,27 @@ impl ShareAnalyzer {
     /// "maximum shares" first). Errors with
     /// [`FlowerError::NoFeasiblePlan`] when nothing feasible was found.
     pub fn solve(&self) -> Result<Vec<ResourceShares>, FlowerError> {
+        self.solve_with_seeds(&[]).map(|solution| solution.plans)
+    }
+
+    /// [`ShareAnalyzer::solve`] with a warm-start seed population (see
+    /// [`Nsga2::with_seed_genes`]); also returns the continuous front so
+    /// the caller can archive it for the next warm start. An empty seed
+    /// set is exactly the cold [`ShareAnalyzer::solve`] path.
+    pub fn solve_with_seeds(&self, seeds: &[Vec<f64>]) -> Result<ShareSolution, FlowerError> {
         let mut optimizer =
             Nsga2::new(self.problem.clone(), self.config).with_recorder(self.recorder.clone());
         if let Some(workers) = self.workers {
             optimizer = optimizer.with_workers(workers);
         }
+        if !seeds.is_empty() {
+            optimizer = optimizer.with_seed_genes(seeds.to_vec());
+        }
         let result = optimizer.run();
         let layers = &self.problem.layers;
         let mut seen: Vec<Vec<u32>> = Vec::new();
         let mut plans = Vec::new();
+        let mut front: Vec<(Vec<f64>, Vec<f64>)> = Vec::new();
         for ind in result.pareto_front() {
             if !ind.is_feasible() {
                 continue;
@@ -404,6 +429,7 @@ impl ShareAnalyzer {
             if ind.genes.len() != layers.len() {
                 continue; // foreign individual with the wrong arity
             }
+            front.push((ind.genes.clone(), ind.objectives.clone()));
             let continuous = ResourceShares::new(
                 layers
                     .iter()
@@ -451,7 +477,7 @@ impl ShareAnalyzer {
             return Err(FlowerError::NoFeasiblePlan);
         }
         plans.sort_by(|a, b| b.hourly_cost.total_cmp(&a.hourly_cost));
-        Ok(plans)
+        Ok(ShareSolution { plans, front })
     }
 }
 

@@ -9,12 +9,22 @@
 //!   genes, so each generation's offspring are evaluated in parallel
 //!   over a [`flower_par::Executor`] with ordered collection. Same
 //!   seed ⇒ bit-identical fronts for every worker count.
+//! * **SoA hot loops** — the generational loop runs over
+//!   [`SoaPopulation`]: genomes, objectives, and violations live in
+//!   contiguous strided arrays, so the dominance matrix, crowding
+//!   sorts, and tournaments read flat `f64` columns instead of chasing
+//!   a heap pointer per individual. The storage swap changes no float
+//!   operation and no RNG draw (see `soa`), so results are
+//!   bit-identical to the former `Vec<Individual>` loop.
 //! * **Clone-free survival** — environmental selection picks indices
-//!   into the combined parent+offspring pool and *moves* the survivors
-//!   out (`std::mem::replace` against an empty placeholder) instead of
-//!   cloning `combined[i]` per survivor per generation.
+//!   into the combined parent+offspring pool and copies the survivor
+//!   rows with a handful of `memcpy`s per generation.
 //! * **Buffer reuse** — the combined pool and the survivor list are
 //!   allocated once and recycled across generations.
+//! * **Warm starts** — [`Nsga2::with_seed_genes`] seeds the initial
+//!   population from a previous front (replanners re-solving a
+//!   barely-moved problem); remaining slots are filled with mutated
+//!   jitter around the seeds instead of uniform random draws.
 
 use flower_obs::{kind, FieldValue, Recorder};
 use flower_par::Executor;
@@ -22,9 +32,13 @@ use flower_sim::SimRng;
 
 use crate::hypervolume::hypervolume;
 use crate::individual::Individual;
-use crate::operators::{binary_tournament, polynomial_mutation, random_genes, sbx_crossover};
+use crate::operators::{binary_tournament_soa, polynomial_mutation, random_genes, sbx_crossover};
 use crate::problem::Problem;
-use crate::sorting::{crowding_distance, fast_non_dominated_sort_with};
+use crate::soa::SoaPopulation;
+use crate::sorting::{
+    crowding_distance, crowding_distance_soa, fast_non_dominated_sort_soa,
+    fast_non_dominated_sort_with,
+};
 
 /// Tunables of an NSGA-II run. `Default` mirrors the settings of Deb's
 /// reference implementation.
@@ -108,6 +122,7 @@ pub struct Nsga2<P: Problem> {
     config: Nsga2Config,
     executor: Executor,
     recorder: Recorder,
+    seed_genes: Vec<Vec<f64>>,
 }
 
 impl<P: Problem> Nsga2<P> {
@@ -126,7 +141,23 @@ impl<P: Problem> Nsga2<P> {
             config,
             executor: Executor::from_env(),
             recorder: Recorder::disabled(),
+            seed_genes: Vec::new(),
         }
+    }
+
+    /// Warm-start the initial population from known-good genomes (for
+    /// example the previous replan's Pareto front). Seeds are clamped
+    /// to the problem's bounds; seeds with the wrong gene count are
+    /// skipped. The first `min(seeds, population)` slots take the seeds
+    /// verbatim; every remaining slot is a seed (round-robin) jittered
+    /// by polynomial mutation with per-variable probability 1, so the
+    /// search explores around the seeded front instead of restarting
+    /// from uniform noise. An empty (or entirely skipped) seed set
+    /// leaves the cold-start path untouched, including its RNG draw
+    /// order.
+    pub fn with_seed_genes(mut self, seeds: Vec<Vec<f64>>) -> Self {
+        self.seed_genes = seeds;
+        self
     }
 
     /// Override the executor driving evaluation and sorting fan-out.
@@ -165,12 +196,62 @@ impl<P: Problem> Nsga2<P> {
             .par_map_owned(genes, |_, g| Individual::evaluated(problem, g))
     }
 
+    /// [`Nsga2::evaluate_all`] appended onto SoA storage: the fan-out
+    /// and per-gene computation are identical; only where the results
+    /// land changes (pushed in index order, so bit-identical columns at
+    /// any worker count).
+    fn evaluate_into(&self, genes: Vec<Vec<f64>>, pop: &mut SoaPopulation) {
+        for ind in self.evaluate_all(genes) {
+            pop.push(ind);
+        }
+    }
+
+    /// The initial gene batch: uniform random draws when no seeds were
+    /// provided (the cold path — draw order identical to every prior
+    /// release), else the seeds clamped to bounds followed by mutated
+    /// jitter around them (round-robin over the seeds, polynomial
+    /// mutation with per-variable probability 1).
+    fn initial_genes(&self, rng: &mut SimRng) -> Vec<Vec<f64>> {
+        let n = self.config.population;
+        let usable: Vec<Vec<f64>> = self
+            .seed_genes
+            .iter()
+            .filter(|s| s.len() == self.problem.n_vars())
+            .map(|s| {
+                s.iter()
+                    .enumerate()
+                    .map(|(i, &g)| {
+                        let (lo, hi) = self.problem.bounds(i);
+                        g.clamp(lo, hi)
+                    })
+                    .collect()
+            })
+            .collect();
+        if usable.is_empty() {
+            return (0..n).map(|_| random_genes(&self.problem, rng)).collect();
+        }
+        let mut genes: Vec<Vec<f64>> = Vec::with_capacity(n);
+        genes.extend(usable.iter().take(n).cloned());
+        while genes.len() < n {
+            let mut jittered = usable[genes.len() % usable.len()].clone();
+            polynomial_mutation(
+                &self.problem,
+                rng,
+                &mut jittered,
+                self.config.eta_mutation,
+                1.0,
+            );
+            genes.push(jittered);
+        }
+        genes
+    }
+
     /// Hypervolume reference point for progress tracing: the
     /// componentwise maximum over the initial population's objectives,
     /// pushed out by a margin so boundary points still dominate volume.
     /// `None` when tracing is off, the problem is not 2-/3-objective, or
     /// the initial objectives are not finite.
-    fn trace_reference(&self, pop: &[Individual]) -> Option<Vec<f64>> {
+    fn trace_reference(&self, pop: &SoaPopulation) -> Option<Vec<f64>> {
         if !self.recorder.is_enabled() {
             return None;
         }
@@ -180,8 +261,8 @@ impl<P: Problem> Nsga2<P> {
         }
         let mut lo = vec![f64::INFINITY; m];
         let mut hi = vec![f64::NEG_INFINITY; m];
-        for ind in pop {
-            for (j, &o) in ind.objectives.iter().enumerate() {
+        for i in 0..pop.len() {
+            for (j, &o) in pop.objectives(i).iter().enumerate() {
                 if o.is_finite() {
                     lo[j] = lo[j].min(o);
                     hi[j] = hi[j].max(o);
@@ -201,14 +282,13 @@ impl<P: Problem> Nsga2<P> {
 
     /// Emit one [`kind::NSGA2_GENERATION`] progress event for the
     /// population as it stands after survival selection.
-    fn trace_generation(&self, generation: usize, pop: &[Individual], reference: Option<&[f64]>) {
+    fn trace_generation(&self, generation: usize, pop: &SoaPopulation, reference: Option<&[f64]>) {
         if !self.recorder.is_enabled() {
             return;
         }
-        let front: Vec<Vec<f64>> = pop
-            .iter()
-            .filter(|i| i.rank == 0)
-            .map(|i| i.objectives.clone())
+        let front: Vec<Vec<f64>> = (0..pop.len())
+            .filter(|&i| pop.rank(i) == 0)
+            .map(|i| pop.objectives(i).to_vec())
             .collect();
         let mut fields: Vec<(&'static str, FieldValue)> = vec![
             ("front_size", FieldValue::from(front.len())),
@@ -234,22 +314,21 @@ impl<P: Problem> Nsga2<P> {
         let mut evaluations = 0u64;
 
         // Initial population: genes are drawn sequentially (preserving
-        // the seed's draw order), evaluation fans out.
-        let initial_genes: Vec<Vec<f64>> = (0..n)
-            .map(|_| random_genes(&self.problem, &mut rng))
-            .collect();
+        // the seed's draw order), evaluation fans out into SoA storage.
+        let initial = self.initial_genes(&mut rng);
         evaluations += n as u64;
-        let mut pop = self.evaluate_all(initial_genes);
-        let fronts = fast_non_dominated_sort_with(&mut pop, &self.executor);
+        let mut pop = SoaPopulation::for_problem(&self.problem, 2 * n);
+        self.evaluate_into(initial, &mut pop);
+        let fronts = fast_non_dominated_sort_soa(&mut pop, &self.executor);
         for front in &fronts {
-            crowding_distance(&mut pop, front);
+            crowding_distance_soa(&mut pop, front);
         }
         let reference = self.trace_reference(&pop);
         self.trace_generation(0, &pop, reference.as_deref());
 
         // Buffers reused across generations: the combined (μ+λ) pool,
         // the offspring gene batch, and the survivor index list.
-        let mut combined: Vec<Individual> = Vec::with_capacity(2 * n);
+        let mut combined = SoaPopulation::for_problem(&self.problem, 2 * n);
         let mut offspring_genes: Vec<Vec<f64>> = Vec::with_capacity(n);
         let mut selected: Vec<usize> = Vec::with_capacity(n);
 
@@ -258,13 +337,13 @@ impl<P: Problem> Nsga2<P> {
             // anchor); evaluation of the finished gene batch: parallel.
             offspring_genes.clear();
             while offspring_genes.len() < n {
-                let p1 = binary_tournament(&mut rng, &pop);
-                let p2 = binary_tournament(&mut rng, &pop);
+                let p1 = binary_tournament_soa(&mut rng, &pop);
+                let p2 = binary_tournament_soa(&mut rng, &pop);
                 let (mut g1, mut g2) = sbx_crossover(
                     &self.problem,
                     &mut rng,
-                    &pop[p1].genes,
-                    &pop[p2].genes,
+                    pop.genes(p1),
+                    pop.genes(p2),
                     self.config.eta_crossover,
                     self.config.crossover_prob,
                 );
@@ -286,18 +365,17 @@ impl<P: Problem> Nsga2<P> {
                 offspring_genes.push(g1);
                 offspring_genes.push(g2);
             }
-            let offspring = self.evaluate_all(std::mem::take(&mut offspring_genes));
 
             // (μ+λ) survival: combine, sort, fill by fronts, truncate
             // the boundary front by crowding distance. Selection is
-            // index-based and survivors are *moved* out of the pool.
+            // index-based and survivor rows are copied column-wise.
             combined.clear();
-            combined.append(&mut pop);
-            combined.extend(offspring);
-            let fronts = fast_non_dominated_sort_with(&mut combined, &self.executor);
+            combined.extend_from(&pop);
+            self.evaluate_into(std::mem::take(&mut offspring_genes), &mut combined);
+            let fronts = fast_non_dominated_sort_soa(&mut combined, &self.executor);
             selected.clear();
             for front in &fronts {
-                crowding_distance(&mut combined, front);
+                crowding_distance_soa(&mut combined, front);
                 if selected.len() + front.len() <= n {
                     selected.extend_from_slice(front);
                     if selected.len() == n {
@@ -310,18 +388,21 @@ impl<P: Problem> Nsga2<P> {
                     // in descending order here, i.e. it is kept — rank
                     // already quarantined NaN objectives in worst fronts.
                     boundary
-                        .sort_by(|&a, &b| combined[b].crowding.total_cmp(&combined[a].crowding));
+                        .sort_by(|&a, &b| combined.crowding(b).total_cmp(&combined.crowding(a)));
                     selected.extend(boundary.iter().take(n - selected.len()));
                     break;
                 }
             }
+            pop.clear();
             for &i in &selected {
-                pop.push(take_individual(&mut combined, i));
+                pop.push_row_from(&combined, i);
             }
             self.trace_generation(generation + 1, &pop, reference.as_deref());
         }
 
-        // Final bookkeeping sort so callers see coherent ranks.
+        // Final bookkeeping sort so callers see coherent ranks; the
+        // result converts back to array-of-structs at the API boundary.
+        let mut pop = pop.to_individuals();
         let fronts = fast_non_dominated_sort_with(&mut pop, &self.executor);
         for front in &fronts {
             crowding_distance(&mut pop, front);
@@ -338,23 +419,6 @@ impl<P: Problem> Nsga2<P> {
             generations: self.config.generations,
         }
     }
-}
-
-/// Move the individual at `i` out of the pool, leaving an empty
-/// placeholder behind. Each survivor index is selected at most once per
-/// generation, so the placeholder is never read; the pool is cleared at
-/// the top of the next generation.
-fn take_individual(pool: &mut [Individual], i: usize) -> Individual {
-    std::mem::replace(
-        &mut pool[i],
-        Individual {
-            genes: Vec::new(),
-            objectives: Vec::new(),
-            violations: Vec::new(),
-            rank: usize::MAX,
-            crowding: 0.0,
-        },
-    )
 }
 
 #[cfg(test)]
@@ -571,6 +635,95 @@ mod tests {
         let first = events.first().unwrap().f64("hypervolume").unwrap();
         let last = events.last().unwrap().f64("hypervolume").unwrap();
         assert!(last > first, "hv {first} → {last}");
+    }
+
+    #[test]
+    fn empty_seed_set_is_the_cold_path() {
+        let cfg = Nsga2Config {
+            population: 20,
+            generations: 10,
+            seed: 5,
+            ..Default::default()
+        };
+        let cold = Nsga2::new(Sch, cfg).run();
+        let seeded = Nsga2::new(Sch, cfg).with_seed_genes(Vec::new()).run();
+        let g1: Vec<u64> = cold
+            .population
+            .iter()
+            .map(|i| i.genes[0].to_bits())
+            .collect();
+        let g2: Vec<u64> = seeded
+            .population
+            .iter()
+            .map(|i| i.genes[0].to_bits())
+            .collect();
+        assert_eq!(g1, g2, "empty seeds must not perturb the cold path");
+    }
+
+    #[test]
+    fn seeds_are_clamped_and_wrong_arity_skipped() {
+        let cfg = Nsga2Config {
+            population: 4,
+            generations: 0,
+            seed: 1,
+            ..Default::default()
+        };
+        // One out-of-bounds seed (clamped to 1000), one wrong-arity
+        // seed (skipped). With zero generations the initial population
+        // is returned as-is, sorted.
+        let result = Nsga2::new(Sch, cfg)
+            .with_seed_genes(vec![vec![5_000.0], vec![1.0, 2.0]])
+            .run();
+        assert_eq!(result.population.len(), 4);
+        for ind in &result.population {
+            assert!(
+                (-1_000.0..=1_000.0).contains(&ind.genes[0]),
+                "unclamped gene: {}",
+                ind.genes[0]
+            );
+        }
+        // Slot 0 holds the clamped seed verbatim.
+        assert!(result.population.iter().any(|i| i.genes[0] == 1_000.0));
+    }
+
+    #[test]
+    fn warm_start_converges_in_far_fewer_generations() {
+        let cold_cfg = Nsga2Config {
+            population: 40,
+            generations: 60,
+            seed: 21,
+            ..Default::default()
+        };
+        let cold = Nsga2::new(Zdt1, cold_cfg).run();
+        let seeds: Vec<Vec<f64>> = cold
+            .pareto_front()
+            .iter()
+            .map(|i| i.genes.clone())
+            .collect();
+        // A short warm run seeded from the cold front must stay on the
+        // front; a short cold run from uniform noise does not get there.
+        let short_cfg = Nsga2Config {
+            population: 40,
+            generations: 8,
+            seed: 22,
+            ..Default::default()
+        };
+        let warm = Nsga2::new(Zdt1, short_cfg).with_seed_genes(seeds).run();
+        let dev = |r: &Nsga2Result| -> f64 {
+            let front = r.pareto_front();
+            front
+                .iter()
+                .map(|i| (i.objectives[1] - (1.0 - i.objectives[0].sqrt())).abs())
+                .sum::<f64>()
+                / front.len() as f64
+        };
+        let short_cold = Nsga2::new(Zdt1, short_cfg).run();
+        assert!(
+            dev(&warm) < 0.2 * dev(&short_cold),
+            "warm {} vs cold {}",
+            dev(&warm),
+            dev(&short_cold)
+        );
     }
 
     #[test]

@@ -17,6 +17,67 @@ pub enum Domination {
     Neither,
 }
 
+/// The constraint-domination kernel shared by the array-of-structs
+/// ([`Individual::domination`]) and structure-of-arrays
+/// ([`crate::soa::SoaPopulation::domination`]) hot paths. Taking the
+/// total violation and degeneracy flags precomputed lets the SoA path
+/// cache them per individual while guaranteeing both representations
+/// classify every pair bit-identically.
+///
+/// Deb's rule, extended for NaN/inf robustness: a well-defined
+/// individual dominates a degenerate (non-finite-objective) one;
+/// feasible beats infeasible; between infeasibles the smaller total
+/// violation wins; between feasibles, plain Pareto domination applies.
+pub fn domination_kernel(
+    a_objectives: &[f64],
+    a_total_violation: f64,
+    a_degenerate: bool,
+    b_objectives: &[f64],
+    b_total_violation: f64,
+    b_degenerate: bool,
+) -> Domination {
+    match (a_degenerate, b_degenerate) {
+        (false, true) => return Domination::Left,
+        (true, false) => return Domination::Right,
+        (true, true) => return Domination::Neither,
+        (false, false) => {}
+    }
+    match (a_total_violation <= 0.0, b_total_violation <= 0.0) {
+        (true, false) => Domination::Left,
+        (false, true) => Domination::Right,
+        (false, false) => {
+            if a_total_violation < b_total_violation {
+                Domination::Left
+            } else if b_total_violation < a_total_violation {
+                Domination::Right
+            } else {
+                Domination::Neither
+            }
+        }
+        (true, true) => {
+            // Single scan computing both Pareto directions with an
+            // early exit once the pair is known incomparable.
+            let mut a_better = false;
+            let mut b_better = false;
+            for (a, b) in a_objectives.iter().zip(b_objectives) {
+                if a < b {
+                    a_better = true;
+                } else if b < a {
+                    b_better = true;
+                }
+                if a_better && b_better {
+                    return Domination::Neither;
+                }
+            }
+            match (a_better, b_better) {
+                (true, false) => Domination::Left,
+                (false, true) => Domination::Right,
+                _ => Domination::Neither,
+            }
+        }
+    }
+}
+
 /// One candidate solution together with its evaluation results and the
 /// bookkeeping NSGA-II attaches during sorting.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,47 +173,14 @@ impl Individual {
     /// classify each pair with a single scan of the objective vectors
     /// instead of two.
     pub fn domination(&self, other: &Individual) -> Domination {
-        match (self.is_degenerate(), other.is_degenerate()) {
-            (false, true) => return Domination::Left,
-            (true, false) => return Domination::Right,
-            (true, true) => return Domination::Neither,
-            (false, false) => {}
-        }
-        match (self.is_feasible(), other.is_feasible()) {
-            (true, false) => Domination::Left,
-            (false, true) => Domination::Right,
-            (false, false) => {
-                let (va, vb) = (self.total_violation(), other.total_violation());
-                if va < vb {
-                    Domination::Left
-                } else if vb < va {
-                    Domination::Right
-                } else {
-                    Domination::Neither
-                }
-            }
-            (true, true) => {
-                // Single scan computing both Pareto directions with an
-                // early exit once the pair is known incomparable.
-                let mut self_better = false;
-                let mut other_better = false;
-                for (a, b) in self.objectives.iter().zip(&other.objectives) {
-                    if a < b {
-                        self_better = true;
-                    } else if b < a {
-                        other_better = true;
-                    }
-                    if self_better && other_better {
-                        return Domination::Neither;
-                    }
-                }
-                match (self_better, other_better) {
-                    (true, false) => Domination::Left,
-                    (false, true) => Domination::Right,
-                    _ => Domination::Neither,
-                }
-            }
-        }
+        domination_kernel(
+            &self.objectives,
+            self.total_violation(),
+            self.is_degenerate(),
+            &other.objectives,
+            other.total_violation(),
+            other.is_degenerate(),
+        )
     }
 }
 

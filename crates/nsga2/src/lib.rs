@@ -20,8 +20,14 @@
 //!   variables, minimized objectives, and inequality constraints reported
 //!   as violation magnitudes.
 //! * [`individual`] — a candidate solution with its evaluation results.
+//! * [`soa`] — structure-of-arrays population storage backing the hot
+//!   loops: contiguous genome/objective/violation arrays with cached
+//!   feasibility/degeneracy, bit-identical to the `Individual` path.
 //! * [`sorting`] — fast non-dominated sorting and crowding distance,
-//!   including Deb's constraint-domination rule.
+//!   including Deb's constraint-domination rule, plus the persistent
+//!   [`DominanceMatrix`] a replanner can refresh incrementally.
+//! * [`archive`] — an epsilon-dominance archive bounding Pareto-front
+//!   churn across replans so warm-start seeds stay small and stable.
 //! * [`operators`] — simulated binary crossover (SBX), polynomial
 //!   mutation, and binary tournament selection.
 //! * [`algorithm`] — the generational loop with (μ+λ) elitist survival.
@@ -54,14 +60,19 @@
 #![warn(clippy::all)]
 
 pub mod algorithm;
+pub mod archive;
 pub mod hypervolume;
 pub mod individual;
 pub mod operators;
 pub mod problem;
+pub mod soa;
 pub mod sorting;
 
 pub use algorithm::{Nsga2, Nsga2Config, Nsga2Result};
+pub use archive::EpsilonArchive;
 pub use flower_par::Executor;
 pub use hypervolume::hypervolume;
 pub use individual::{Domination, Individual};
 pub use problem::Problem;
+pub use soa::SoaPopulation;
+pub use sorting::DominanceMatrix;

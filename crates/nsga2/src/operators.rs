@@ -6,6 +6,7 @@ use flower_sim::SimRng;
 
 use crate::individual::Individual;
 use crate::problem::Problem;
+use crate::soa::SoaPopulation;
 use crate::sorting::crowded_less;
 
 /// Simulated binary crossover of two parent gene vectors.
@@ -118,6 +119,30 @@ pub fn binary_tournament(rng: &mut SimRng, pop: &[Individual]) -> usize {
     if crowded_less(&pop[i], &pop[j]) {
         i
     } else if crowded_less(&pop[j], &pop[i]) {
+        j
+    } else if rng.chance(0.5) {
+        i
+    } else {
+        j
+    }
+}
+
+/// [`binary_tournament`] over SoA storage: the same two `below` draws,
+/// the same crowded-comparison rule (rank then crowding), the same
+/// coin-flip tiebreak — reading the rank/crowding columns instead of
+/// per-individual structs, so the RNG stream and the winner are
+/// identical to the array-of-structs path.
+pub fn binary_tournament_soa(rng: &mut SimRng, pop: &SoaPopulation) -> usize {
+    assert!(!pop.is_empty(), "tournament over empty population");
+    let i = rng.below(pop.len() as u64) as usize;
+    let j = rng.below(pop.len() as u64) as usize;
+    let less = |a: usize, b: usize| {
+        pop.rank(a) < pop.rank(b)
+            || (pop.rank(a) == pop.rank(b) && pop.crowding(a) > pop.crowding(b))
+    };
+    if less(i, j) {
+        i
+    } else if less(j, i) {
         j
     } else if rng.chance(0.5) {
         i
@@ -259,5 +284,37 @@ mod tests {
         // Individual 0 wins every mixed tournament and half of the
         // self-tournaments: expected 750/1000.
         assert!(wins0 > 650, "wins0={wins0}");
+    }
+
+    #[test]
+    fn tournament_soa_draws_and_winners_match_aos() {
+        let make = |rank, crowding| Individual {
+            genes: vec![0.0, 0.0],
+            objectives: vec![0.0],
+            violations: vec![],
+            rank,
+            crowding,
+        };
+        let pop = vec![
+            make(0, 1.0),
+            make(0, f64::INFINITY),
+            make(1, 0.5),
+            make(2, 0.0),
+            make(0, 1.0),
+        ];
+        let mut soa = SoaPopulation::for_problem(&Box2, pop.len());
+        for ind in &pop {
+            soa.push(ind.clone());
+        }
+        let mut rng_a = SimRng::seed(11);
+        let mut rng_b = SimRng::seed(11);
+        for _ in 0..2_000 {
+            assert_eq!(
+                binary_tournament(&mut rng_a, &pop),
+                binary_tournament_soa(&mut rng_b, &soa)
+            );
+        }
+        // Both RNGs consumed identical draw counts.
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
     }
 }

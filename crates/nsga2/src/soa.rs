@@ -1,0 +1,330 @@
+//! Structure-of-arrays population storage for the optimizer hot loops.
+//!
+//! `Vec<Individual>` scatters every genome, objective vector, and
+//! violation vector behind its own heap allocation; the dominance
+//! matrix and crowding-distance loops then chase a pointer per access.
+//! [`SoaPopulation`] flattens all three into contiguous `Vec<f64>`
+//! arrays (strided by the problem's arity) and caches the two derived
+//! quantities the constraint-domination kernel needs — total violation
+//! and degeneracy — once per individual instead of recomputing them per
+//! pair.
+//!
+//! Bit-identity contract: every accessor returns exactly the slice the
+//! equivalent `Individual` would hold, and all derived values are
+//! computed by the same functions ([`total_violation`],
+//! [`domination_kernel`]) the array-of-structs path uses. Swapping the
+//! storage changes no float operation and no RNG draw, so results are
+//! byte-identical at any `FLOWER_THREADS`.
+
+use crate::individual::{domination_kernel, Domination, Individual};
+use crate::problem::{total_violation, Problem};
+
+/// A population stored column-wise: one contiguous array per field,
+/// strided by the problem's variable/objective/constraint counts.
+#[derive(Debug, Clone, Default)]
+pub struct SoaPopulation {
+    n_vars: usize,
+    n_objectives: usize,
+    n_constraints: usize,
+    genes: Vec<f64>,
+    objectives: Vec<f64>,
+    violations: Vec<f64>,
+    /// Cached `total_violation(violations(i))` per individual.
+    total_violation: Vec<f64>,
+    /// Cached "any objective non-finite" flag per individual.
+    degenerate: Vec<bool>,
+    /// Non-domination rank (written by the sorter).
+    rank: Vec<usize>,
+    /// Crowding distance (written by the sorter).
+    crowding: Vec<f64>,
+}
+
+impl SoaPopulation {
+    /// An empty population shaped for `problem`, with room for
+    /// `capacity` individuals.
+    pub fn for_problem<P: Problem>(problem: &P, capacity: usize) -> SoaPopulation {
+        let (nv, no, nc) = (
+            problem.n_vars(),
+            problem.n_objectives(),
+            problem.n_constraints(),
+        );
+        SoaPopulation {
+            n_vars: nv,
+            n_objectives: no,
+            n_constraints: nc,
+            genes: Vec::with_capacity(capacity * nv),
+            objectives: Vec::with_capacity(capacity * no),
+            violations: Vec::with_capacity(capacity * nc),
+            total_violation: Vec::with_capacity(capacity),
+            degenerate: Vec::with_capacity(capacity),
+            rank: Vec::with_capacity(capacity),
+            crowding: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of individuals stored.
+    pub fn len(&self) -> usize {
+        self.total_violation.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total_violation.is_empty()
+    }
+
+    /// Objective count per individual.
+    pub fn n_objectives(&self) -> usize {
+        self.n_objectives
+    }
+
+    /// Drop all individuals, keeping the allocations and the strides.
+    pub fn clear(&mut self) {
+        self.genes.clear();
+        self.objectives.clear();
+        self.violations.clear();
+        self.total_violation.clear();
+        self.degenerate.clear();
+        self.rank.clear();
+        self.crowding.clear();
+    }
+
+    /// Append an evaluated individual, consuming its buffers. The
+    /// cached total violation and degeneracy are derived here with the
+    /// same functions the AoS path uses lazily.
+    pub fn push(&mut self, ind: Individual) {
+        assert_eq!(ind.genes.len(), self.n_vars, "gene arity mismatch");
+        assert_eq!(
+            ind.objectives.len(),
+            self.n_objectives,
+            "objective arity mismatch"
+        );
+        assert_eq!(
+            ind.violations.len(),
+            self.n_constraints,
+            "violation arity mismatch"
+        );
+        self.total_violation.push(total_violation(&ind.violations));
+        self.degenerate
+            .push(ind.objectives.iter().any(|o| !o.is_finite()));
+        self.genes.extend_from_slice(&ind.genes);
+        self.objectives.extend_from_slice(&ind.objectives);
+        self.violations.extend_from_slice(&ind.violations);
+        self.rank.push(ind.rank);
+        self.crowding.push(ind.crowding);
+    }
+
+    /// The genome of individual `i`.
+    pub fn genes(&self, i: usize) -> &[f64] {
+        &self.genes[i * self.n_vars..(i + 1) * self.n_vars]
+    }
+
+    /// The objective vector of individual `i`.
+    pub fn objectives(&self, i: usize) -> &[f64] {
+        &self.objectives[i * self.n_objectives..(i + 1) * self.n_objectives]
+    }
+
+    /// The violation vector of individual `i`.
+    pub fn violations(&self, i: usize) -> &[f64] {
+        &self.violations[i * self.n_constraints..(i + 1) * self.n_constraints]
+    }
+
+    /// Cached total constraint violation of individual `i`.
+    pub fn total_violation(&self, i: usize) -> f64 {
+        self.total_violation[i]
+    }
+
+    /// Whether individual `i` is feasible.
+    pub fn is_feasible(&self, i: usize) -> bool {
+        self.total_violation[i] <= 0.0
+    }
+
+    /// Cached degeneracy flag (any non-finite objective) of `i`.
+    pub fn is_degenerate(&self, i: usize) -> bool {
+        self.degenerate[i]
+    }
+
+    /// Non-domination rank of individual `i`.
+    pub fn rank(&self, i: usize) -> usize {
+        self.rank[i]
+    }
+
+    /// Set the rank of individual `i`.
+    pub fn set_rank(&mut self, i: usize, rank: usize) {
+        self.rank[i] = rank;
+    }
+
+    /// Crowding distance of individual `i`.
+    pub fn crowding(&self, i: usize) -> f64 {
+        self.crowding[i]
+    }
+
+    /// Set the crowding distance of individual `i`.
+    pub fn set_crowding(&mut self, i: usize, crowding: f64) {
+        self.crowding[i] = crowding;
+    }
+
+    /// Classify the pair `(a, b)` under constraint-domination, reading
+    /// the cached derived values — the SoA face of
+    /// [`Individual::domination`].
+    pub fn domination(&self, a: usize, b: usize) -> Domination {
+        domination_kernel(
+            self.objectives(a),
+            self.total_violation[a],
+            self.degenerate[a],
+            self.objectives(b),
+            self.total_violation[b],
+            self.degenerate[b],
+        )
+    }
+
+    /// Copy individual `i` of `other` onto the end of `self` (rank and
+    /// crowding included) — the SoA survival move, a handful of memcpys
+    /// instead of a per-individual allocation.
+    pub fn push_row_from(&mut self, other: &SoaPopulation, i: usize) {
+        self.genes.extend_from_slice(other.genes(i));
+        self.objectives.extend_from_slice(other.objectives(i));
+        self.violations.extend_from_slice(other.violations(i));
+        self.total_violation.push(other.total_violation[i]);
+        self.degenerate.push(other.degenerate[i]);
+        self.rank.push(other.rank[i]);
+        self.crowding.push(other.crowding[i]);
+    }
+
+    /// Append every individual of `other`, preserving order.
+    pub fn extend_from(&mut self, other: &SoaPopulation) {
+        self.genes.extend_from_slice(&other.genes);
+        self.objectives.extend_from_slice(&other.objectives);
+        self.violations.extend_from_slice(&other.violations);
+        self.total_violation
+            .extend_from_slice(&other.total_violation);
+        self.degenerate.extend_from_slice(&other.degenerate);
+        self.rank.extend_from_slice(&other.rank);
+        self.crowding.extend_from_slice(&other.crowding);
+    }
+
+    /// Reconstruct the individual at `i` (cloning its rows).
+    pub fn to_individual(&self, i: usize) -> Individual {
+        Individual {
+            genes: self.genes(i).to_vec(),
+            objectives: self.objectives(i).to_vec(),
+            violations: self.violations(i).to_vec(),
+            rank: self.rank[i],
+            crowding: self.crowding[i],
+        }
+    }
+
+    /// Convert the whole population back to array-of-structs form, in
+    /// storage order.
+    pub fn to_individuals(&self) -> Vec<Individual> {
+        (0..self.len()).map(|i| self.to_individual(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct P2;
+    impl Problem for P2 {
+        fn n_vars(&self) -> usize {
+            2
+        }
+        fn n_objectives(&self) -> usize {
+            2
+        }
+        fn n_constraints(&self) -> usize {
+            1
+        }
+        fn bounds(&self, _: usize) -> (f64, f64) {
+            (0.0, 1.0)
+        }
+        fn evaluate(&self, x: &[f64], out: &mut [f64]) {
+            out[0] = x[0];
+            out[1] = x[1];
+        }
+        fn constraints(&self, x: &[f64], out: &mut [f64]) {
+            out[0] = (1.0 - (x[0] + x[1])).max(0.0);
+        }
+    }
+
+    #[test]
+    fn round_trips_individuals_bit_identically() {
+        let inds: Vec<Individual> = [[0.2, 0.9], [0.5, 0.5], [0.1, 0.1]]
+            .iter()
+            .map(|g| Individual::evaluated(&P2, g.to_vec()))
+            .collect();
+        let mut soa = SoaPopulation::for_problem(&P2, inds.len());
+        for ind in &inds {
+            soa.push(ind.clone());
+        }
+        assert_eq!(soa.len(), 3);
+        for (i, ind) in inds.iter().enumerate() {
+            assert_eq!(soa.genes(i), ind.genes.as_slice());
+            assert_eq!(soa.objectives(i), ind.objectives.as_slice());
+            assert_eq!(soa.violations(i), ind.violations.as_slice());
+            assert_eq!(
+                soa.total_violation(i).to_bits(),
+                ind.total_violation().to_bits()
+            );
+            assert_eq!(soa.is_feasible(i), ind.is_feasible());
+            assert_eq!(soa.is_degenerate(i), ind.is_degenerate());
+        }
+        assert_eq!(soa.to_individuals(), inds);
+    }
+
+    #[test]
+    fn domination_matches_the_aos_kernel() {
+        let genes = [
+            [0.2, 0.9], // feasible
+            [0.5, 0.5], // feasible
+            [0.1, 0.1], // infeasible
+            [0.2, 0.2], // infeasible, smaller violation
+        ];
+        let inds: Vec<Individual> = genes
+            .iter()
+            .map(|g| Individual::evaluated(&P2, g.to_vec()))
+            .collect();
+        let mut soa = SoaPopulation::for_problem(&P2, inds.len());
+        for ind in &inds {
+            soa.push(ind.clone());
+        }
+        for a in 0..inds.len() {
+            for b in 0..inds.len() {
+                if a == b {
+                    continue;
+                }
+                assert_eq!(
+                    soa.domination(a, b),
+                    inds[a].domination(&inds[b]),
+                    "pair ({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn survival_copy_preserves_rows() {
+        let mut soa = SoaPopulation::for_problem(&P2, 4);
+        for g in [[0.2, 0.9], [0.5, 0.5], [0.7, 0.1]] {
+            soa.push(Individual::evaluated(&P2, g.to_vec()));
+        }
+        soa.set_rank(1, 3);
+        soa.set_crowding(1, 0.25);
+        let mut next = SoaPopulation::for_problem(&P2, 2);
+        next.push_row_from(&soa, 1);
+        next.push_row_from(&soa, 0);
+        assert_eq!(next.len(), 2);
+        assert_eq!(next.genes(0), soa.genes(1));
+        assert_eq!(next.rank(0), 3);
+        assert_eq!(next.crowding(0), 0.25);
+        assert_eq!(next.genes(1), soa.genes(0));
+
+        let mut all = SoaPopulation::for_problem(&P2, 8);
+        all.extend_from(&soa);
+        all.extend_from(&next);
+        assert_eq!(all.len(), 5);
+        assert_eq!(all.genes(3), soa.genes(1));
+        all.clear();
+        assert!(all.is_empty());
+    }
+}

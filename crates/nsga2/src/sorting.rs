@@ -4,6 +4,7 @@
 use flower_par::Executor;
 
 use crate::individual::{Domination, Individual};
+use crate::soa::SoaPopulation;
 
 /// Below this population size the O(N²) dominance matrix is cheaper to
 /// compute serially (one triangular pass) than to fan out across
@@ -37,20 +38,31 @@ pub fn fast_non_dominated_sort_with(
     let n = pop.len();
     // dominated_by[i] = individuals that i dominates;
     // domination_count[i] = how many individuals dominate i.
-    let (dominated_by, mut domination_count) =
-        if executor.workers() > 1 && n >= PARALLEL_SORT_MIN_POP {
-            dominance_rows_parallel(pop, executor)
-        } else {
-            dominance_rows_serial(pop)
-        };
+    let (dominated_by, domination_count) = if executor.workers() > 1 && n >= PARALLEL_SORT_MIN_POP {
+        dominance_rows_parallel(pop, executor)
+    } else {
+        dominance_rows_serial(pop)
+    };
 
-    let mut fronts: Vec<Vec<usize>> = Vec::new();
-    let mut current: Vec<usize> = (0..n).filter(|&i| domination_count[i] == 0).collect();
-    let mut rank = 0;
-    while !current.is_empty() {
-        for &i in &current {
+    let fronts = peel_fronts(&dominated_by, domination_count);
+    for (rank, front) in fronts.iter().enumerate() {
+        for &i in front {
             pop[i].rank = rank;
         }
+    }
+    fronts
+}
+
+/// Peel non-domination fronts out of a dominance structure: front 0 is
+/// everyone with domination count zero; removing a front decrements the
+/// counts of everyone its members dominate, exposing the next front.
+/// Consumes the counts (they end at zero); `dominated_by` is read-only.
+/// Shared by the one-shot sorters and [`DominanceMatrix::fronts`].
+fn peel_fronts(dominated_by: &[Vec<usize>], mut domination_count: Vec<usize>) -> Vec<Vec<usize>> {
+    let n = dominated_by.len();
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| domination_count[i] == 0).collect();
+    while !current.is_empty() {
         let mut next = Vec::new();
         for &i in &current {
             for &j in &dominated_by[i] {
@@ -61,7 +73,6 @@ pub fn fast_non_dominated_sort_with(
             }
         }
         fronts.push(std::mem::replace(&mut current, next));
-        rank += 1;
     }
     fronts
 }
@@ -118,6 +129,207 @@ fn dominance_rows_parallel(
         (dominates, dominated_count)
     });
     rows.into_iter().unzip()
+}
+
+/// The O(N²) dominance structure as a persistent, incrementally
+/// updatable value: row `i` lists (ascending) every individual `i`
+/// dominates, and `count[i]` is how many individuals dominate `i`.
+///
+/// The one-shot sorters rebuild this structure from scratch every call;
+/// a replanner that re-solves a barely-moved problem can instead keep
+/// the matrix across rounds and [`DominanceMatrix::refresh`] only the
+/// rows touched by re-evaluated individuals — O(k·N) pair
+/// classifications for k changed individuals instead of O(N²).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DominanceMatrix {
+    dominated_by: Vec<Vec<usize>>,
+    domination_count: Vec<usize>,
+}
+
+impl DominanceMatrix {
+    /// Build the full matrix over an SoA population. Serial triangular
+    /// pass below [`PARALLEL_SORT_MIN_POP`], row-parallel above — both
+    /// produce identical structures (see the module notes).
+    pub fn build(pop: &SoaPopulation, executor: &Executor) -> DominanceMatrix {
+        let n = pop.len();
+        let (dominated_by, domination_count) =
+            if executor.workers() > 1 && n >= PARALLEL_SORT_MIN_POP {
+                let rows: Vec<(Vec<usize>, usize)> = executor.par_map_index(n, |i| {
+                    let mut dominates: Vec<usize> = Vec::new();
+                    let mut dominated_count = 0usize;
+                    for j in 0..n {
+                        if j == i {
+                            continue;
+                        }
+                        match pop.domination(i, j) {
+                            Domination::Left => dominates.push(j),
+                            Domination::Right => dominated_count += 1,
+                            Domination::Neither => {}
+                        }
+                    }
+                    (dominates, dominated_count)
+                });
+                rows.into_iter().unzip()
+            } else {
+                let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n];
+                let mut domination_count = vec![0usize; n];
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        match pop.domination(i, j) {
+                            Domination::Left => {
+                                dominated_by[i].push(j);
+                                domination_count[j] += 1;
+                            }
+                            Domination::Right => {
+                                dominated_by[j].push(i);
+                                domination_count[i] += 1;
+                            }
+                            Domination::Neither => {}
+                        }
+                    }
+                }
+                (dominated_by, domination_count)
+            };
+        DominanceMatrix {
+            dominated_by,
+            domination_count,
+        }
+    }
+
+    /// Number of individuals covered.
+    pub fn len(&self) -> usize {
+        self.dominated_by.len()
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dominated_by.is_empty()
+    }
+
+    /// Incrementally update after some individuals were re-evaluated:
+    /// `changed[i]` marks individuals whose objectives or violations
+    /// differ (bitwise) from the values the matrix was built over. Rows
+    /// of changed individuals are rebuilt in full; rows of unchanged
+    /// individuals only re-classify against the changed columns (their
+    /// unchanged-vs-unchanged relations cannot have moved). With k
+    /// changed individuals that is ~2·k·N kernel calls instead of N².
+    ///
+    /// The result is exactly [`DominanceMatrix::build`] over the
+    /// current population: every row stays ascending and the counts are
+    /// re-derived from the rows.
+    pub fn refresh(&mut self, pop: &SoaPopulation, changed: &[bool]) {
+        let n = self.dominated_by.len();
+        assert_eq!(pop.len(), n, "population size changed; rebuild instead");
+        assert_eq!(changed.len(), n, "changed mask arity mismatch");
+        let changed_idx: Vec<usize> = (0..n).filter(|&i| changed[i]).collect();
+        if changed_idx.is_empty() {
+            return;
+        }
+        for i in 0..n {
+            if changed[i] {
+                // Full row rebuild.
+                let mut row = Vec::new();
+                for j in 0..n {
+                    if j != i && pop.domination(i, j) == Domination::Left {
+                        row.push(j);
+                    }
+                }
+                self.dominated_by[i] = row;
+            } else {
+                // Keep unchanged targets, re-classify changed ones,
+                // merging so the row stays ascending.
+                let old = std::mem::take(&mut self.dominated_by[i]);
+                let mut merged = Vec::with_capacity(old.len());
+                let mut kept = old.into_iter().filter(|&j| !changed[j]).peekable();
+                for &j in &changed_idx {
+                    while kept.peek().is_some_and(|&o| o < j) {
+                        merged.extend(kept.next());
+                    }
+                    if j != i && pop.domination(i, j) == Domination::Left {
+                        merged.push(j);
+                    }
+                }
+                merged.extend(kept);
+                self.dominated_by[i] = merged;
+            }
+        }
+        // Re-derive the counts from the rows: cheap (one pass over the
+        // edges) and immune to incremental bookkeeping drift.
+        self.domination_count.iter_mut().for_each(|c| *c = 0);
+        for row in &self.dominated_by {
+            for &j in row {
+                self.domination_count[j] += 1;
+            }
+        }
+    }
+
+    /// Peel the non-domination fronts out of the matrix (front 0
+    /// first). Does not write ranks; pair with
+    /// [`SoaPopulation::set_rank`] when they are needed.
+    pub fn fronts(&self) -> Vec<Vec<usize>> {
+        peel_fronts(&self.dominated_by, self.domination_count.clone())
+    }
+}
+
+/// [`fast_non_dominated_sort_with`] over SoA storage: identical
+/// dominance structures (the kernel, row order, and peeling are
+/// shared), writing each individual's rank. Returns the fronts as
+/// index vectors, front 0 first.
+pub fn fast_non_dominated_sort_soa(
+    pop: &mut SoaPopulation,
+    executor: &Executor,
+) -> Vec<Vec<usize>> {
+    let fronts = DominanceMatrix::build(pop, executor).fronts();
+    for (rank, front) in fronts.iter().enumerate() {
+        for &i in front {
+            pop.set_rank(i, rank);
+        }
+    }
+    fronts
+}
+
+/// [`crowding_distance`] over SoA storage — the same sorts, the same
+/// boundary and span rules, the same accumulation order, element
+/// accesses going to the contiguous objective array.
+pub fn crowding_distance_soa(pop: &mut SoaPopulation, front: &[usize]) {
+    if front.is_empty() {
+        return;
+    }
+    for &i in front {
+        pop.set_crowding(i, 0.0);
+    }
+    if front.len() <= 2 {
+        for &i in front {
+            pop.set_crowding(i, f64::INFINITY);
+        }
+        return;
+    }
+    let n_obj = pop.n_objectives();
+    let mut order: Vec<usize> = front.to_vec();
+    for m in 0..n_obj {
+        // total_cmp orders NaN objectives above +inf instead of
+        // panicking; such individuals are already quarantined into the
+        // worst fronts by the domination kernel.
+        order.sort_by(|&a, &b| pop.objectives(a)[m].total_cmp(&pop.objectives(b)[m]));
+        let (Some(&first), Some(&last)) = (order.first(), order.last()) else {
+            continue; // unreachable: fronts of len <= 2 returned above
+        };
+        let lo = pop.objectives(first)[m];
+        let hi = pop.objectives(last)[m];
+        pop.set_crowding(first, f64::INFINITY);
+        pop.set_crowding(last, f64::INFINITY);
+        let span = hi - lo;
+        if span <= 0.0 {
+            continue; // degenerate objective: all equal
+        }
+        for w in 1..order.len() - 1 {
+            let delta = (pop.objectives(order[w + 1])[m] - pop.objectives(order[w - 1])[m]) / span;
+            let i = order[w];
+            if pop.crowding(i).is_finite() {
+                pop.set_crowding(i, pop.crowding(i) + delta);
+            }
+        }
+    }
 }
 
 /// Compute the crowding distance of every individual in `front`
@@ -329,6 +541,142 @@ mod tests {
         let front: Vec<usize> = vec![0, 1, 2];
         crowding_distance(&mut pop, &front);
         assert!(!pop[1].crowding.is_nan());
+    }
+
+    /// A throwaway problem matching the ad-hoc individuals used below
+    /// (no genes, two objectives, one optional constraint slot).
+    struct Shape2;
+    impl crate::problem::Problem for Shape2 {
+        fn n_vars(&self) -> usize {
+            0
+        }
+        fn n_objectives(&self) -> usize {
+            2
+        }
+        fn n_constraints(&self) -> usize {
+            1
+        }
+        fn bounds(&self, _: usize) -> (f64, f64) {
+            (0.0, 1.0)
+        }
+        fn evaluate(&self, _: &[f64], _: &mut [f64]) {}
+        fn constraints(&self, _: &[f64], _: &mut [f64]) {}
+    }
+
+    fn mixed_population(n: usize) -> Vec<Individual> {
+        (0..n)
+            .map(|k| {
+                let x = (k % 37) as f64 * 0.11;
+                let y = ((k * 7) % 53) as f64 * 0.07;
+                let mut i = ind(&[x, y]);
+                i.violations = vec![if k % 29 == 0 {
+                    (k % 5) as f64 * 0.3
+                } else {
+                    0.0
+                }];
+                if k == 3 {
+                    i.objectives[0] = f64::NAN;
+                }
+                i
+            })
+            .collect()
+    }
+
+    fn to_soa(pop: &[Individual]) -> SoaPopulation {
+        let mut soa = SoaPopulation::for_problem(&Shape2, pop.len());
+        for i in pop {
+            soa.push(i.clone());
+        }
+        soa
+    }
+
+    #[test]
+    fn soa_sort_matches_aos_sort() {
+        for n in [0usize, 1, 7, 60, 2 * super::PARALLEL_SORT_MIN_POP] {
+            let mut pop = mixed_population(n);
+            let mut soa = to_soa(&pop);
+            for workers in [1, 8] {
+                let executor = Executor::new(workers);
+                let aos_fronts = fast_non_dominated_sort_with(&mut pop, &executor);
+                let soa_fronts = fast_non_dominated_sort_soa(&mut soa, &executor);
+                assert_eq!(aos_fronts, soa_fronts, "n={n} workers={workers}");
+                for (i, ind) in pop.iter().enumerate() {
+                    assert_eq!(ind.rank, soa.rank(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soa_crowding_matches_aos_crowding() {
+        let mut pop = mixed_population(60);
+        let mut soa = to_soa(&pop);
+        let fronts = fast_non_dominated_sort_with(&mut pop, &Executor::serial());
+        fast_non_dominated_sort_soa(&mut soa, &Executor::serial());
+        for front in &fronts {
+            crowding_distance(&mut pop, front);
+            crowding_distance_soa(&mut soa, front);
+        }
+        for (i, ind) in pop.iter().enumerate() {
+            assert_eq!(
+                ind.crowding.to_bits(),
+                soa.crowding(i).to_bits(),
+                "crowding diverged at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn dominance_matrix_build_is_worker_count_independent() {
+        let soa = to_soa(&mixed_population(2 * super::PARALLEL_SORT_MIN_POP));
+        let serial = DominanceMatrix::build(&soa, &Executor::serial());
+        let parallel = DominanceMatrix::build(&soa, &Executor::new(8));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), soa.len());
+        assert!(!serial.is_empty());
+    }
+
+    #[test]
+    fn refresh_after_reevaluation_matches_full_rebuild() {
+        let executor = Executor::serial();
+        let pop = mixed_population(80);
+        let mut soa = to_soa(&pop);
+        let mut matrix = DominanceMatrix::build(&soa, &executor);
+
+        // Re-evaluate a scattered subset: shift objectives, flip one
+        // individual feasible→infeasible and another the other way.
+        let mut changed = vec![false; soa.len()];
+        let mut updated = pop.clone();
+        for (k, ind) in updated.iter_mut().enumerate() {
+            if k % 11 == 0 {
+                ind.objectives[0] += 0.5;
+                ind.objectives[1] = (ind.objectives[1] - 0.3).max(0.0);
+                changed[k] = true;
+            }
+            if k == 17 {
+                ind.violations = vec![0.7];
+                changed[k] = true;
+            }
+            if k == 29 {
+                ind.violations = vec![0.0];
+                changed[k] = true;
+            }
+        }
+        soa = to_soa(&updated);
+        matrix.refresh(&soa, &changed);
+        let rebuilt = DominanceMatrix::build(&soa, &executor);
+        assert_eq!(matrix, rebuilt, "incremental refresh diverged");
+        assert_eq!(matrix.fronts(), rebuilt.fronts());
+    }
+
+    #[test]
+    fn refresh_with_no_changes_is_a_noop() {
+        let soa = to_soa(&mixed_population(40));
+        let mut matrix = DominanceMatrix::build(&soa, &Executor::serial());
+        let before = matrix.clone();
+        let mask = vec![false; soa.len()];
+        matrix.refresh(&soa, &mask);
+        assert_eq!(matrix, before);
     }
 
     #[test]

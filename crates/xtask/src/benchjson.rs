@@ -205,10 +205,15 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     }
 }
 
-/// Validate a `BENCH_nsga2.json` document against the v1 schema:
+/// Validate a `BENCH_nsga2.json` document against the v2 schema:
 /// required top-level fields, non-empty `results` with finite positive
-/// timings, and `comparisons` whose names reference real results.
-/// Returns a one-line human summary on success.
+/// timings (including the `replan_*` row family), and `comparisons`
+/// whose names reference real results. Returns a human summary on
+/// success; comparisons whose measured direction contradicts the
+/// promise in their name (`_speedup` / `_overhead` / `_vs_` names
+/// promise baseline ≥ candidate) are flagged as `warning:` lines in
+/// that summary rather than failing validation — honest sub-1×
+/// numbers on a single-core host are data, not schema errors.
 pub fn validate_bench_json(text: &str) -> Result<String, String> {
     let root = parse(text)?;
     let obj = root.as_obj().ok_or("top level is not an object")?;
@@ -217,8 +222,10 @@ pub fn validate_bench_json(text: &str) -> Result<String, String> {
         .get("schema")
         .and_then(Value::as_str)
         .ok_or("missing string field `schema`")?;
-    if schema != "flower-bench/nsga2/v1" {
-        return Err(format!("unknown schema `{schema}`"));
+    if schema != "flower-bench/nsga2/v2" {
+        return Err(format!(
+            "unknown schema `{schema}` (expected flower-bench/nsga2/v2)"
+        ));
     }
     let smoke = matches!(obj.get("smoke"), Some(Value::Bool(true)));
     if !matches!(obj.get("smoke"), Some(Value::Bool(_))) {
@@ -263,11 +270,15 @@ pub fn validate_bench_json(text: &str) -> Result<String, String> {
         }
         names.push(name.to_owned());
     }
+    if !names.iter().any(|n| n.starts_with("replan_")) {
+        return Err("`results` has no `replan_*` row (warm-start family missing)".to_owned());
+    }
 
     let comparisons = obj
         .get("comparisons")
         .and_then(Value::as_arr)
         .ok_or("missing array field `comparisons`")?;
+    let mut warnings: Vec<String> = Vec::new();
     for (i, c) in comparisons.iter().enumerate() {
         let c = c
             .as_obj()
@@ -294,14 +305,38 @@ pub fn validate_bench_json(text: &str) -> Result<String, String> {
                 "comparisons[{i}] `speedup` must be finite and positive"
             ));
         }
+        // Directional names promise baseline ≥ candidate. Flag (don't
+        // fail) clear contradictions; 0.9 leaves headroom for the ~1x
+        // noise of parallel rows on single-core hosts.
+        let name = c.get("name").and_then(Value::as_str).unwrap_or_default();
+        let directional =
+            name.ends_with("_speedup") || name.ends_with("_overhead") || name.contains("_vs_");
+        if directional && speedup < 0.9 {
+            warnings.push(format!(
+                "warning: comparison `{name}` is {speedup:.2}x — direction contradicts its name"
+            ));
+        }
+    }
+    if !comparisons
+        .iter()
+        .filter_map(|c| c.as_obj())
+        .filter_map(|c| c.get("name").and_then(Value::as_str))
+        .any(|n| n == "replan_warm_vs_cold")
+    {
+        return Err("missing `replan_warm_vs_cold` comparison".to_owned());
     }
 
-    Ok(format!(
+    let mut summary = format!(
         "{} result(s), {} comparison(s){}",
         results.len(),
         comparisons.len(),
         if smoke { ", smoke mode" } else { "" }
-    ))
+    );
+    for w in &warnings {
+        summary.push('\n');
+        summary.push_str(w);
+    }
+    Ok(summary)
 }
 
 #[cfg(test)]
@@ -309,16 +344,16 @@ mod tests {
     use super::*;
 
     const GOOD: &str = r#"{
-      "schema": "flower-bench/nsga2/v1",
+      "schema": "flower-bench/nsga2/v2",
       "smoke": true,
       "cores": 4, "workers": 4, "seed": 2017,
       "note": "n/a",
       "results": [
-        {"name": "a", "median_ns": 10.5, "mean_ns": 11.0, "samples": 5, "iters_per_sample": 3},
-        {"name": "b", "median_ns": 20.0, "mean_ns": 21.0, "samples": 5, "iters_per_sample": 3}
+        {"name": "replan_cold", "median_ns": 10.5, "mean_ns": 11.0, "samples": 5, "iters_per_sample": 3},
+        {"name": "replan_warm", "median_ns": 20.0, "mean_ns": 21.0, "samples": 5, "iters_per_sample": 3}
       ],
       "comparisons": [
-        {"name": "a_vs_b", "baseline": "b", "candidate": "a", "speedup": 1.9}
+        {"name": "replan_warm_vs_cold", "baseline": "replan_cold", "candidate": "replan_warm", "speedup": 1.9}
       ]
     }"#;
 
@@ -327,6 +362,43 @@ mod tests {
         let summary = validate_bench_json(GOOD).unwrap();
         assert!(summary.contains("2 result(s)"), "{summary}");
         assert!(summary.contains("smoke mode"), "{summary}");
+        assert!(!summary.contains("warning"), "{summary}");
+    }
+
+    #[test]
+    fn contradicting_direction_is_flagged_not_fatal() {
+        let doc = GOOD.replace("\"speedup\": 1.9", "\"speedup\": 0.865");
+        let summary = validate_bench_json(&doc).unwrap();
+        assert!(
+            summary.contains("warning: comparison `replan_warm_vs_cold` is 0.86x"),
+            "{summary}"
+        );
+    }
+
+    #[test]
+    fn near_parity_is_not_flagged() {
+        // 0.978x parallel-sort parity on a 1-core host is data, not an
+        // inversion worth flagging.
+        let doc = GOOD.replace("\"speedup\": 1.9", "\"speedup\": 0.978");
+        let summary = validate_bench_json(&doc).unwrap();
+        assert!(!summary.contains("warning"), "{summary}");
+    }
+
+    #[test]
+    fn missing_replan_rows_are_rejected() {
+        let doc = GOOD
+            .replace("replan_cold", "other_a")
+            .replace("replan_warm_vs_cold", "other_a_vs_b")
+            .replace("replan_warm", "other_b");
+        let err = validate_bench_json(&doc).unwrap_err();
+        assert!(err.contains("no `replan_*` row"), "{err}");
+    }
+
+    #[test]
+    fn missing_warm_vs_cold_comparison_is_rejected() {
+        let doc = GOOD.replace("replan_warm_vs_cold", "replan_some_other");
+        let err = validate_bench_json(&doc).unwrap_err();
+        assert!(err.contains("replan_warm_vs_cold"), "{err}");
     }
 
     #[test]
@@ -348,19 +420,20 @@ mod tests {
         for (doc, why) in [
             ("[]", "top level"),
             (r#"{"schema": "other/v9"}"#, "unknown schema"),
+            (r#"{"schema": "flower-bench/nsga2/v1"}"#, "unknown schema"),
             (
-                r#"{"schema": "flower-bench/nsga2/v1", "smoke": false,
+                r#"{"schema": "flower-bench/nsga2/v2", "smoke": false,
                     "cores": 1, "workers": 1, "seed": 0,
                     "results": [], "comparisons": []}"#,
                 "`results` is empty",
             ),
             (
-                r#"{"schema": "flower-bench/nsga2/v1", "smoke": false,
+                r#"{"schema": "flower-bench/nsga2/v2", "smoke": false,
                     "cores": 1, "workers": 1, "seed": 0,
-                    "results": [{"name": "a", "median_ns": 1, "mean_ns": 1,
+                    "results": [{"name": "replan_a", "median_ns": 1, "mean_ns": 1,
                                  "samples": 1, "iters_per_sample": 1}],
                     "comparisons": [{"name": "x", "baseline": "ghost",
-                                     "candidate": "a", "speedup": 2.0}]}"#,
+                                     "candidate": "replan_a", "speedup": 2.0}]}"#,
                 "unknown result",
             ),
         ] {

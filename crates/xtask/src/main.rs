@@ -190,7 +190,15 @@ fn run_bench(smoke: bool, out: Option<&str>) -> ExitCode {
     };
     match benchjson::validate_bench_json(&text) {
         Ok(summary) => {
-            println!("xtask bench: {out_path} is schema-valid ({summary})");
+            // The first summary line is the shape; any further lines
+            // are directional warnings — surface them on their own
+            // lines so an inverted comparison is visible in CI logs.
+            let mut lines = summary.lines();
+            let shape = lines.next().unwrap_or_default();
+            println!("xtask bench: {out_path} is schema-valid ({shape})");
+            for warning in lines {
+                println!("xtask bench: {warning}");
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -70,6 +70,8 @@ fn main() {
                 ..Default::default()
             },
             workers,
+            warm_start: false,
+            warm_generations: 12,
         },
         "clicks",
         "counter",

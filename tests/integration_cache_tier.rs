@@ -39,6 +39,8 @@ fn traced_cached_episode(workers: Option<usize>) -> String {
                 ..Default::default()
             },
             workers,
+            warm_start: false,
+            warm_generations: 12,
         },
         "clicks",
         "counter",

@@ -37,6 +37,8 @@ fn replanner(workers: Option<usize>) -> Replanner {
                 ..Default::default()
             },
             workers,
+            warm_start: false,
+            warm_generations: 12,
         },
         "clicks",
         "counter",

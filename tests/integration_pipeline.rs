@@ -169,6 +169,8 @@ fn replanner_updates_bounds_during_an_episode() {
                 ..Default::default()
             },
             workers: None,
+            warm_start: false,
+            warm_generations: 12,
         },
         "clicks",
         "counter",
