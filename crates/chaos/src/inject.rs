@@ -79,6 +79,15 @@ impl FaultInjector {
         &self.plan
     }
 
+    /// Append a clause to the plan at runtime (live fault injection —
+    /// `flower serve`'s inject-fault command lands here). The clause
+    /// joins the plan's ordered evaluation; per-layer RNG streams keep
+    /// their positions, so a clause pushed at the same sim time sees
+    /// the same draws on replay.
+    pub fn push_clause(&mut self, clause: crate::plan::FaultClause) {
+        self.plan.clauses.push(clause);
+    }
+
     /// Total faults injected so far.
     pub fn injected(&self) -> u64 {
         self.injected

@@ -60,6 +60,24 @@ COMMANDS:
             fault/recovery timeline when the run injected faults)
               --in PATH            trace file to read      (required)
               --field NAME         also chart this numeric event field
+              --follow true        tail a growing trace, printing events as
+                                   their lines complete; exits at the summary
+  serve     host a live episode behind the flower-wire/v1 socket protocol,
+            streaming flower-obs events and accepting live commands
+            (inject-fault, set-budget, force-replan, pause, resume,
+            shutdown); takes the `run` episode flags, plus:
+              --listen ADDR        bind address            [127.0.0.1:7733]
+              --pace-ms N          wall-clock ms per 1 s sim tick [0: flat out]
+              --hold true          start paused until a `resume` command
+              --snapshot-secs N    counter/gauge snapshot grid     [60]
+              --record PATH        record applied commands (flower-record/v1)
+              --trace PATH         write the episode trace on completion
+              --replay RECORD      no sockets: re-run a recorded session to a
+                                   byte-identical trace (with --trace PATH)
+  client    line-mode client for a running `flower serve`
+              --connect HOST:PORT  daemon address          (required)
+              --script PATH        frames to send, one per line (`!sleep MS`
+                                   pauses, `#` comments); default: subscribe
   help      this text
 "
     .to_owned()
@@ -136,6 +154,151 @@ fn fault_plan(spec: &str) -> Result<FaultPlan, Box<dyn Error>> {
     FaultPlan::parse(&text).map_err(|e| format!("--faults {spec}: {e}").into())
 }
 
+/// One episode's construction flags, shared by `flower run`,
+/// `flower serve`, and `flower serve --replay`. The spec round-trips
+/// through a flat string map — the `episode` object of `flower-wire/v1`
+/// hello frames and `flower-record/v1` headers — so a recorded live
+/// session rebuilds the exact manager it ran against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeSpec {
+    /// Episode length in minutes.
+    pub minutes: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Base arrival rate, records/s.
+    pub rate: f64,
+    /// Monitoring period in seconds.
+    pub period: u64,
+    /// Workload kind (`constant|diurnal|step|flash|bursts`).
+    pub workload: String,
+    /// Controller kind (see [`controller`]).
+    pub controller: String,
+    /// Replanning cadence in minutes, if replanning is on.
+    pub replan: Option<u64>,
+    /// `--faults` spec (preset name or plan file path), if any.
+    pub faults: Option<String>,
+}
+
+impl EpisodeSpec {
+    /// Read the spec from CLI flags (the same flags `flower run` takes,
+    /// with the same defaults).
+    pub fn from_args(args: &Args) -> Result<EpisodeSpec, Box<dyn Error>> {
+        let replan = match args.get("replan") {
+            Some(mins) => Some(mins.parse().map_err(|_| format!("bad --replan '{mins}'"))?),
+            None => None,
+        };
+        Ok(EpisodeSpec {
+            minutes: args.u64_or("minutes", 30)?,
+            seed: args.u64_or("seed", 0)?,
+            rate: args.f64_or("rate", 1_500.0)?,
+            period: args.u64_or("period", 30)?,
+            workload: args.str_or("workload", "diurnal"),
+            controller: args.str_or("controller", "adaptive"),
+            replan,
+            faults: args.get("faults").map(str::to_owned),
+        })
+    }
+
+    /// Rebuild the spec from a recorded episode map (missing keys take
+    /// the `flower run` defaults, so hand-written records stay terse).
+    pub fn from_map(
+        map: &std::collections::BTreeMap<String, String>,
+    ) -> Result<EpisodeSpec, Box<dyn Error>> {
+        fn parsed<T: std::str::FromStr>(
+            map: &std::collections::BTreeMap<String, String>,
+            key: &str,
+            default: T,
+        ) -> Result<T, Box<dyn Error>> {
+            match map.get(key) {
+                Some(raw) => raw
+                    .parse()
+                    .map_err(|_| format!("episode.{key}: bad value '{raw}'").into()),
+                None => Ok(default),
+            }
+        }
+        Ok(EpisodeSpec {
+            minutes: parsed(map, "minutes", 30)?,
+            seed: parsed(map, "seed", 0)?,
+            rate: parsed(map, "rate", 1_500.0)?,
+            period: parsed(map, "period", 30)?,
+            workload: map
+                .get("workload")
+                .cloned()
+                .unwrap_or_else(|| "diurnal".to_owned()),
+            controller: map
+                .get("controller")
+                .cloned()
+                .unwrap_or_else(|| "adaptive".to_owned()),
+            replan: match map.get("replan") {
+                Some(raw) => Some(
+                    raw.parse()
+                        .map_err(|_| format!("episode.replan: bad value '{raw}'"))?,
+                ),
+                None => None,
+            },
+            faults: map.get("faults").cloned(),
+        })
+    }
+
+    /// The flat string map that [`Self::from_map`] reverses.
+    pub fn to_map(&self) -> std::collections::BTreeMap<String, String> {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("minutes".to_owned(), self.minutes.to_string());
+        map.insert("seed".to_owned(), self.seed.to_string());
+        map.insert("rate".to_owned(), self.rate.to_string());
+        map.insert("period".to_owned(), self.period.to_string());
+        map.insert("workload".to_owned(), self.workload.clone());
+        map.insert("controller".to_owned(), self.controller.clone());
+        if let Some(mins) = self.replan {
+            map.insert("replan".to_owned(), mins.to_string());
+        }
+        if let Some(faults) = &self.faults {
+            map.insert("faults".to_owned(), faults.clone());
+        }
+        map
+    }
+
+    /// Build the manager this spec describes. `with_recorder` attaches
+    /// the standard 65 536-event flight recorder (`flower serve` always
+    /// does; `flower run` only under `--trace`).
+    pub fn build(&self, with_recorder: bool) -> Result<ElasticityManager, Box<dyn Error>> {
+        let specs = controller(&self.controller)?;
+        let mut builder = ElasticityManager::builder(flow())
+            .workload(workload(&self.workload, self.rate, self.seed)?)
+            .monitoring_period(SimDuration::from_secs(self.period))
+            .seed(self.seed);
+        for (layer, spec) in Layer::ALL.into_iter().zip(specs) {
+            builder = builder.controller(layer, spec);
+        }
+        if let Some(mins) = self.replan {
+            builder = builder.replanner(Replanner::for_clickstream(
+                ReplanConfig {
+                    cadence: SimDuration::from_mins(mins),
+                    analysis_window: SimDuration::from_mins(mins),
+                    nsga2: Nsga2Config {
+                        population: 40,
+                        generations: 40,
+                        seed: self.seed,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                "clicks",
+                "counter",
+                "aggregates",
+                ShareProblem::worked_example(1.0),
+            ));
+        }
+        if let Some(spec) = &self.faults {
+            builder = builder.faults(fault_plan(spec)?);
+        }
+        if with_recorder {
+            builder = builder.recorder(Recorder::with_capacity(65_536));
+        }
+        Ok(builder.build()?)
+    }
+}
+
 /// `flower run`
 pub fn run(args: &Args) -> CmdResult {
     let minutes = args.u64_or("minutes", 30)?;
@@ -158,58 +321,22 @@ pub fn run(args: &Args) -> CmdResult {
         );
         config.build_manager()?
     } else {
-        let seed = args.u64_or("seed", 0)?;
-        let rate = args.f64_or("rate", 1_500.0)?;
-        let period = args.u64_or("period", 30)?;
-        let wl_kind = args.str_or("workload", "diurnal");
-        let ctl_kind = args.str_or("controller", "adaptive");
-
-        let specs = controller(&ctl_kind)?;
-        let mut builder = ElasticityManager::builder(flow())
-            .workload(workload(&wl_kind, rate, seed)?)
-            .monitoring_period(SimDuration::from_secs(period))
-            .seed(seed);
-        for (layer, spec) in Layer::ALL.into_iter().zip(specs) {
-            builder = builder.controller(layer, spec);
-        }
-        if let Some(mins) = args.get("replan") {
-            let mins: u64 = mins.parse().map_err(|_| format!("bad --replan '{mins}'"))?;
-            builder = builder.replanner(Replanner::for_clickstream(
-                ReplanConfig {
-                    cadence: SimDuration::from_mins(mins),
-                    analysis_window: SimDuration::from_mins(mins),
-                    nsga2: Nsga2Config {
-                        population: 40,
-                        generations: 40,
-                        seed,
-                        ..Default::default()
-                    },
-                    ..Default::default()
-                },
-                "clicks",
-                "counter",
-                "aggregates",
-                ShareProblem::worked_example(1.0),
-            ));
-        }
-        if let Some(spec) = args.get("faults") {
-            let plan = fault_plan(spec)?;
+        let spec = EpisodeSpec::from_args(args)?;
+        if let Some(faults) = &spec.faults {
+            let plan = fault_plan(faults)?;
             if !plan.is_empty() {
                 println!(
-                    "injecting faults from '{spec}' (seed {}, {} clauses) with the resilience policy enabled",
+                    "injecting faults from '{faults}' (seed {}, {} clauses) with the resilience policy enabled",
                     plan.seed,
                     plan.clauses.len()
                 );
             }
-            builder = builder.faults(plan);
-        }
-        if args.get("trace").is_some() {
-            builder = builder.recorder(Recorder::with_capacity(65_536));
         }
         println!(
-            "running {minutes} min of '{wl_kind}' at ~{rate} rec/s with the {ctl_kind} controller (seed {seed})"
+            "running {minutes} min of '{}' at ~{} rec/s with the {} controller (seed {})",
+            spec.workload, spec.rate, spec.controller, spec.seed
         );
-        builder.build()?
+        spec.build(args.get("trace").is_some())?
     };
     let report = manager.run_for_mins(minutes);
 
@@ -271,6 +398,9 @@ pub fn trace(args: &Args) -> CmdResult {
     let path = args
         .get("in")
         .ok_or("trace needs --in PATH (a file written by `flower run --trace`)")?;
+    if args.str_or("follow", "false") == "true" {
+        return follow(path);
+    }
     let text = std::fs::read_to_string(path)?;
     let trace = flower_obs::parse_trace(&text)?;
 
@@ -281,6 +411,14 @@ pub fn trace(args: &Args) -> CmdResult {
         trace.dropped,
         trace.capacity
     );
+    if trace.dropped > 0 {
+        println!(
+            "warning: the flight recorder overflowed — the {} oldest events were \
+             evicted before export (ring capacity {}); re-run with a larger recorder \
+             or treat kept-event history as truncated",
+            trace.dropped, trace.capacity
+        );
+    }
 
     println!("\nevents by kind:");
     for (event_kind, count) in trace.counts_by_kind() {
@@ -398,6 +536,56 @@ pub fn trace(args: &Args) -> CmdResult {
         }
         let panel = Panel::new(format!("event field '{field}'"), points);
         println!("\n{}", Dashboard::new().panel(panel).render(100));
+    }
+    Ok(())
+}
+
+/// `flower trace --follow true`: tail a growing trace file, printing
+/// each event as its line completes. Partial writes are carried by the
+/// incremental parser until the rest of the line lands; the command
+/// exits when the final summary line arrives.
+fn follow(path: &str) -> CmdResult {
+    let mut follower = flower_obs::TraceFollower::new();
+    let mut offset = 0usize;
+    while !follower.finished() {
+        let data = std::fs::read(path)?;
+        if data.len() < offset {
+            return Err(format!("{path}: file shrank while following").into());
+        }
+        if data.len() > offset {
+            let chunk = std::str::from_utf8(&data[offset..])
+                .map_err(|e| format!("{path}: not UTF-8 at byte {offset}: {e}"))?;
+            offset = data.len();
+            for item in follower.feed(chunk)? {
+                match item {
+                    flower_obs::FollowItem::Header {
+                        capacity, dropped, ..
+                    } => {
+                        print!("following {path} (flower-trace/v1, capacity {capacity})");
+                        if dropped > 0 {
+                            print!(" — warning: {dropped} events already evicted");
+                        }
+                        println!();
+                    }
+                    flower_obs::FollowItem::Event(event) => {
+                        println!(
+                            "t={:>6}s  seq {:>6}  {}",
+                            event.t_ms / 1000,
+                            event.seq,
+                            event.kind
+                        );
+                    }
+                    flower_obs::FollowItem::Summary(_) => {
+                        println!(
+                            "trace complete: {} event(s) followed",
+                            follower.events_seen()
+                        );
+                    }
+                }
+            }
+        } else {
+            std::thread::sleep(std::time::Duration::from_millis(150));
+        }
     }
     Ok(())
 }

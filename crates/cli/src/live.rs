@@ -1,0 +1,144 @@
+//! `flower serve` and `flower client`: the live-daemon front end.
+
+use std::error::Error;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use flower_serve::{parse_recording, replay, Daemon, ServeConfig};
+use flower_sim::SimDuration;
+
+use crate::args::Args;
+use crate::commands::EpisodeSpec;
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// `flower serve`: host one episode behind the `flower-wire/v1`
+/// socket. `--replay RECORD` instead re-runs a recorded session with
+/// no sockets and writes the byte-identical trace.
+pub fn serve(args: &Args) -> CmdResult {
+    if let Some(record_path) = args.get("replay") {
+        return replay_recording(args, record_path);
+    }
+    let spec = EpisodeSpec::from_args(args)?;
+    let pace_ms = args.u64_or("pace-ms", 0)?;
+    let hold = args.str_or("hold", "false") == "true";
+    let config = ServeConfig {
+        listen: args.str_or("listen", "127.0.0.1:7733"),
+        duration: SimDuration::from_mins(spec.minutes),
+        pace: (pace_ms > 0).then(|| Duration::from_millis(pace_ms)),
+        hold,
+        snapshot_every: SimDuration::from_secs(args.u64_or("snapshot-secs", 60)?),
+        record: args.get("record").map(std::path::PathBuf::from),
+        episode: spec.to_map(),
+    };
+    let mut manager = spec.build(true)?;
+    let daemon = Daemon::bind(config)?;
+    println!(
+        "flower serve: listening on {} ({} min episode, '{}' workload, seed {}){}",
+        daemon.local_addr()?,
+        spec.minutes,
+        spec.workload,
+        spec.seed,
+        if hold {
+            " — holding until `resume`"
+        } else {
+            ""
+        }
+    );
+    let outcome = daemon.run(&mut manager)?;
+    println!(
+        "episode {}: {} command(s) applied across {} client connection(s)",
+        if outcome.shut_down {
+            "shut down"
+        } else {
+            "complete"
+        },
+        outcome.commands_applied,
+        outcome.clients_served
+    );
+    if let Some(path) = args.get("trace") {
+        std::fs::write(path, manager.recorder().to_jsonl())?;
+        println!("event trace written to {path}");
+    }
+    Ok(())
+}
+
+/// `flower serve --replay`: deterministic re-run of a recorded live
+/// session.
+fn replay_recording(args: &Args, record_path: &str) -> CmdResult {
+    let text = std::fs::read_to_string(record_path)?;
+    let recording = parse_recording(&text).map_err(|e| format!("{record_path}: {e}"))?;
+    let spec = EpisodeSpec::from_map(&recording.episode)?;
+    let mut manager = spec.build(true)?;
+    replay(
+        &mut manager,
+        SimDuration::from_mins(spec.minutes),
+        &recording.commands,
+    )?;
+    println!(
+        "replayed {} command(s) over a {} min episode (seed {})",
+        recording.commands.len(),
+        spec.minutes,
+        spec.seed
+    );
+    if let Some(path) = args.get("trace") {
+        std::fs::write(path, manager.recorder().to_jsonl())?;
+        println!("event trace written to {path}");
+    }
+    Ok(())
+}
+
+/// `flower client`: a line-mode `flower-wire/v1` client. Connects,
+/// optionally plays a script (one frame per line; `!sleep MS` pauses;
+/// `#` comments), prints every server frame to stdout, and exits when
+/// the server says bye (closes the connection).
+pub fn client(args: &Args) -> CmdResult {
+    let addr = args
+        .get("connect")
+        .ok_or("client needs --connect HOST:PORT")?;
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let read_half = stream.try_clone()?;
+    let printer = std::thread::spawn(move || {
+        let reader = BufReader::new(read_half);
+        let mut frames = 0u64;
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            println!("{line}");
+            frames += 1;
+        }
+        frames
+    });
+
+    let mut write_half = stream;
+    match args.get("script") {
+        Some(path) => {
+            let script = std::fs::read_to_string(path)?;
+            for line in script.lines() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                if let Some(ms) = line.strip_prefix("!sleep ") {
+                    let ms: u64 = ms
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("{path}: bad directive '{line}'"))?;
+                    std::thread::sleep(Duration::from_millis(ms));
+                    continue;
+                }
+                writeln!(write_half, "{line}")?;
+            }
+        }
+        None => {
+            writeln!(write_half, "{{\"frame\":\"subscribe\"}}")?;
+        }
+    }
+    // Keep the connection open for the stream; the printer thread ends
+    // when the server closes after its bye frame.
+    let frames = printer
+        .join()
+        .map_err(|_| "client reader thread panicked")?;
+    eprintln!("connection closed after {frames} frame(s)");
+    Ok(())
+}

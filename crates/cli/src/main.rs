@@ -11,12 +11,15 @@
 //! flower analyze  # workload dependency analysis (§3.1, Fig. 2 / Eq. 2)
 //! flower monitor  # cross-platform monitoring snapshot (§3.4, Fig. 6)
 //! flower trace    # summarize a structured event trace (flower-trace/v1)
+//! flower serve    # host a live episode behind flower-wire/v1
+//! flower client   # line-mode client for a running `flower serve`
 //! ```
 //!
 //! Run `flower help` (or any subcommand with bad options) for usage.
 
 mod args;
 mod commands;
+mod live;
 
 use args::Args;
 
@@ -35,6 +38,8 @@ fn main() {
         Some("analyze") => commands::analyze(&args),
         Some("monitor") => commands::monitor(&args),
         Some("trace") => commands::trace(&args),
+        Some("serve") => live::serve(&args),
+        Some("client") => live::client(&args),
         Some("help") | None => {
             println!("{}", commands::usage());
             Ok(())

@@ -430,6 +430,7 @@ impl ElasticityManagerBuilder {
             recorder: self.recorder,
             monitor,
             alarm_spans: BTreeMap::new(),
+            episode: None,
         })
     }
 }
@@ -565,6 +566,15 @@ pub struct ElasticityManager {
     recorder: Recorder,
     monitor: CrossPlatformMonitor,
     alarm_spans: BTreeMap<String, SpanId>,
+    episode: Option<EpisodeState>,
+}
+
+/// In-flight bookkeeping between [`ElasticityManager::start_episode`]
+/// and [`ElasticityManager::finish_episode`].
+struct EpisodeState {
+    end: SimTime,
+    span: SpanId,
+    prev_actuators: Vec<f64>,
 }
 
 impl ElasticityManager {
@@ -618,18 +628,49 @@ impl ElasticityManager {
 
     /// Run for `duration` (1-second ticks), extending any previous run.
     /// Returns a clone of the cumulative report.
+    ///
+    /// Equivalent to [`Self::start_episode`] + [`Self::tick`] to
+    /// exhaustion + [`Self::finish_episode`] — the decomposed form
+    /// `flower serve` drives so it can apply live commands between
+    /// ticks without perturbing the byte-identical trace.
     pub fn run_for(&mut self, duration: SimDuration) -> EpisodeReport {
-        let dt = SimDuration::from_secs(1);
+        self.start_episode(duration);
+        while self.tick() {}
+        self.finish_episode()
+    }
+
+    /// Open an episode ending `duration` from now: enter the
+    /// `episode.run` span and snapshot actuator positions. Ticks are
+    /// then advanced one at a time with [`Self::tick`].
+    pub fn start_episode(&mut self, duration: SimDuration) {
         let end = self.now + duration;
         self.recorder.set_now(self.now);
-        let episode_span = self.recorder.span_enter("episode.run");
-        let mut prev_actuators: Vec<f64> = self
+        let span = self.recorder.span_enter("episode.run");
+        let prev_actuators: Vec<f64> = self
             .engine
             .services()
             .iter()
             .map(|s| s.actuator_units())
             .collect();
-        while self.now < end {
+        self.episode = Some(EpisodeState {
+            end,
+            span,
+            prev_actuators,
+        });
+    }
+
+    /// Advance one 1-second tick of the open episode. Returns `false`
+    /// once the episode's end is reached (or none is open) — time to
+    /// call [`Self::finish_episode`].
+    pub fn tick(&mut self) -> bool {
+        let dt = SimDuration::from_secs(1);
+        let Some(end) = self.episode.as_ref().map(|e| e.end) else {
+            return false;
+        };
+        if self.now >= end {
+            return false;
+        }
+        {
             let rate = self.process.rate(self.now);
             let records = self.generator.tick_at_rate(rate, self.now, 1.0);
             self.report.offered_records += records.len() as u64;
@@ -669,14 +710,20 @@ impl ElasticityManager {
                 if let Some(trace) = self.report.actuator_traces.get_mut(i) {
                     trace.push((self.now, a));
                 }
-                let changed = prev_actuators.get(i).is_some_and(|p| (a - p).abs() > 1e-9);
+                let changed = self
+                    .episode
+                    .as_ref()
+                    .and_then(|e| e.prev_actuators.get(i))
+                    .is_some_and(|p| (a - p).abs() > 1e-9);
                 if changed {
                     if let Some(slot) = self.report.scaling_actions.get_mut(i) {
                         *slot += 1;
                     }
                 }
             }
-            prev_actuators = actuators;
+            if let Some(episode) = self.episode.as_mut() {
+                episode.prev_actuators = actuators;
+            }
 
             let next = self.now + dt;
             // Resilience housekeeping every tick: land delayed resizes,
@@ -759,6 +806,13 @@ impl ElasticityManager {
             }
             self.now = next;
         }
+        true
+    }
+
+    /// Close the open episode: fill in rejected-actuation and RCU
+    /// totals, exit the `episode.run` span, and return a clone of the
+    /// cumulative report. A no-op span-wise when no episode is open.
+    pub fn finish_episode(&mut self) -> EpisodeReport {
         let managed = self.report.layers.clone();
         for (i, layer) in managed.into_iter().enumerate() {
             if let Some(slot) = self.report.rejected_actuations.get_mut(i) {
@@ -768,14 +822,53 @@ impl ElasticityManager {
         if let Some(rcu) = &self.rcu_loop {
             self.report.rcu_actions = rcu.actions;
         }
-        self.recorder.set_now(self.now);
-        self.recorder.span_exit(episode_span);
+        if let Some(state) = self.episode.take() {
+            self.recorder.set_now(self.now);
+            self.recorder.span_exit(state.span);
+        }
         self.report.clone()
     }
 
     /// Run for `minutes` simulated minutes.
     pub fn run_for_mins(&mut self, minutes: u64) -> EpisodeReport {
         self.run_for(SimDuration::from_mins(minutes))
+    }
+
+    /// Force the replanner's next round to run at the next tick
+    /// boundary (the `force-replan` live command). Returns `false`
+    /// when no replanner is attached.
+    pub fn force_replan(&mut self) -> bool {
+        match self.replanner.as_mut() {
+            Some(replanner) => {
+                replanner.force_next();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Change the replanner's budget for subsequent rounds (the
+    /// `set-budget` live command). Rejects non-finite or non-positive
+    /// budgets and returns `false` when no replanner is attached.
+    pub fn set_budget(&mut self, budget: f64) -> bool {
+        if !budget.is_finite() || budget <= 0.0 {
+            return false;
+        }
+        match self.replanner.as_mut() {
+            Some(replanner) => {
+                replanner.set_budget(budget);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inject a chaos fault clause at runtime (the `inject-fault` live
+    /// command). Installs a fault injector (seeded with `seed`) and the
+    /// default resilience policy on first use; later clauses join the
+    /// existing injector's plan, preserving its RNG stream positions.
+    pub fn inject_fault(&mut self, seed: u64, clause: flower_chaos::FaultClause) {
+        self.provisioning.inject_fault(seed, clause);
     }
 }
 

@@ -268,6 +268,32 @@ impl ProvisioningManager {
         self.resilience = Some(ResilienceRuntime::new(config));
     }
 
+    /// Inject a fault clause at runtime (`flower serve`'s
+    /// `inject-fault` command). With an injector already installed the
+    /// clause joins its plan — per-layer RNG streams keep their
+    /// positions, so replaying the same command at the same sim time
+    /// reproduces the same draws. Without one, a fresh injector seeded
+    /// with `seed` is installed, along with the default resilience
+    /// policy if none is active (faults without retries would wedge
+    /// the loops in ways no operator asks for).
+    pub fn inject_fault(&mut self, seed: u64, clause: flower_chaos::FaultClause) {
+        match self.injector.as_mut() {
+            Some(injector) => injector.push_clause(clause),
+            None => {
+                let plan = flower_chaos::FaultPlan {
+                    seed,
+                    clauses: vec![clause],
+                };
+                let mut injector = FaultInjector::new(plan);
+                injector.set_recorder(self.recorder.clone());
+                self.injector = Some(injector);
+            }
+        }
+        if self.resilience.is_none() {
+            self.set_resilience(ResilienceConfig::default());
+        }
+    }
+
     /// Whether `layer` is currently degraded (sensor stale, share held).
     pub fn degraded(&self, layer: Layer) -> bool {
         self.loops

@@ -323,6 +323,21 @@ impl Replanner {
         now >= self.next_due
     }
 
+    /// Make the next round due immediately (`flower serve`'s
+    /// `force-replan` command): the round then runs at the next tick
+    /// boundary the episode loop checks [`Self::is_due`] on.
+    pub fn force_next(&mut self) {
+        self.next_due = SimTime::ZERO;
+    }
+
+    /// Change the hourly budget handed to subsequent rounds
+    /// (`flower serve`'s `set-budget` command). Callers validate the
+    /// value; the same `budget > 0` invariant as construction applies.
+    pub fn set_budget(&mut self, budget: f64) {
+        assert!(budget > 0.0, "replan budget must be positive: {budget}");
+        self.config.budget = budget;
+    }
+
     /// Run one round against the metric store. Returns the outcome, or
     /// an error when the analysis window is too thin or no feasible plan
     /// exists (in which case the previous bounds should stay in force —

@@ -39,20 +39,8 @@ pub(crate) fn write_jsonl(flight: &Flight) -> String {
     );
     // Events, oldest first.
     for event in &flight.events {
-        let _ = write!(
-            out,
-            "{{\"seq\":{},\"t_ms\":{},\"kind\":{},\"fields\":{{",
-            event.seq,
-            event.at.as_millis(),
-            json_str(event.kind),
-        );
-        for (i, (key, value)) in event.fields.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(out, "{}:{}", json_str(key), json_value(value));
-        }
-        out.push_str("}}\n");
+        out.push_str(&event_line(event));
+        out.push('\n');
     }
     // Summary.
     out.push_str("{\"summary\":{\"counters\":{");
@@ -109,6 +97,30 @@ pub(crate) fn write_jsonl(flight: &Flight) -> String {
     out
 }
 
+/// Render one event as its `flower-trace/v1` event line (no trailing
+/// newline): `{"seq":…,"t_ms":…,"kind":"…","fields":{…}}` with fields
+/// in key order. `flower serve` embeds exactly these bytes in its
+/// `event` frames so live streams and file exports cannot diverge.
+#[must_use]
+pub fn event_line(event: &crate::event::Event) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"seq\":{},\"t_ms\":{},\"kind\":{},\"fields\":{{",
+        event.seq,
+        event.at.as_millis(),
+        json_str(event.kind),
+    );
+    for (i, (key, value)) in event.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_str(key), json_value(value));
+    }
+    out.push_str("}}");
+    out
+}
+
 /// Render a field value as a JSON scalar.
 fn json_value(value: &FieldValue) -> String {
     match value {
@@ -122,7 +134,8 @@ fn json_value(value: &FieldValue) -> String {
 
 /// Floats render with Rust's shortest-round-trip `Display`; JSON has no
 /// non-finite literals, so NaN/±inf map to `null`.
-pub(crate) fn json_f64(v: f64) -> String {
+#[must_use]
+pub fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -131,7 +144,8 @@ pub(crate) fn json_f64(v: f64) -> String {
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
-pub(crate) fn json_str(raw: &str) -> String {
+#[must_use]
+pub fn json_str(raw: &str) -> String {
     let mut out = String::with_capacity(raw.len() + 2);
     out.push('"');
     for c in raw.chars() {

@@ -45,5 +45,8 @@ pub mod reader;
 pub mod recorder;
 
 pub use event::{kind, Event, FieldValue};
-pub use reader::{parse_trace, JsonValue, Trace, TraceEvent};
-pub use recorder::{Histogram, Recorder, SpanId, SpanStats};
+pub use jsonl::{event_line, json_f64, json_str};
+pub use reader::{
+    parse_json, parse_trace, FollowItem, JsonValue, Trace, TraceEvent, TraceFollower,
+};
+pub use recorder::{EventSink, Histogram, Recorder, SpanId, SpanStats, DROPPED_COUNTER};

@@ -239,57 +239,169 @@ fn write_json(value: &JsonValue, out: &mut String) {
     }
 }
 
-/// Parse a complete `flower-trace/v1` JSONL document.
-pub fn parse_trace(text: &str) -> Result<Trace, String> {
-    let mut lines = text.lines().enumerate();
-    let Some((_, header_line)) = lines.next() else {
-        return Err("empty document: missing header line".to_owned());
-    };
-    let header = parse_json(header_line).map_err(|e| format!("line 1 (header): {e}"))?;
-    let header = header
-        .as_obj()
-        .ok_or_else(|| "line 1 (header): not an object".to_owned())?;
-    let schema = header
-        .get("schema")
-        .and_then(JsonValue::as_str)
-        .ok_or_else(|| "header: missing string `schema`".to_owned())?;
-    if schema != crate::jsonl::SCHEMA {
-        return Err(format!(
-            "header: schema is `{schema}`, expected `{}`",
-            crate::jsonl::SCHEMA
-        ));
-    }
-    let header_u64 = |key: &str| -> Result<u64, String> {
-        header
-            .get(key)
-            .and_then(JsonValue::as_num)
-            .map(|n| n as u64)
-            .ok_or_else(|| format!("header: missing numeric `{key}`"))
-    };
-    let capacity = header_u64("capacity")?;
-    let emitted = header_u64("emitted")?;
-    let dropped = header_u64("dropped")?;
-    let declared_events = header_u64("events")?;
+/// One complete line surfaced by [`TraceFollower`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FollowItem {
+    /// The header line: the document opened.
+    Header {
+        /// Ring-buffer capacity of the producing recorder.
+        capacity: u64,
+        /// Total events emitted over the recorder's lifetime.
+        emitted: u64,
+        /// Events evicted before export.
+        dropped: u64,
+        /// Event-line count the header declares.
+        declared_events: u64,
+    },
+    /// One complete, validated event line.
+    Event(TraceEvent),
+    /// The final summary line: the document is complete.
+    Summary(JsonValue),
+}
 
-    let mut events: Vec<TraceEvent> = Vec::new();
-    let mut summary = None;
-    for (i, line) in lines {
-        let lineno = i + 1;
+/// Incremental reader for a growing `flower-trace/v1` JSONL document.
+///
+/// Feed arbitrarily-chopped chunks with [`TraceFollower::feed`]; only
+/// *complete* (newline-terminated) lines are parsed, and a partial tail
+/// is carried until the rest of the line arrives — so the follower
+/// survives mid-line writes, resumes cleanly across partial reads, and
+/// never mis-parses a truncated record. The same schema rules as
+/// [`parse_trace`] are enforced as lines stream in: header first,
+/// strictly increasing `seq`, non-decreasing `t_ms`, and a single
+/// summary line last. `flower trace --follow` tails a file with this
+/// type; [`parse_trace`] is the same machine run to end-of-input.
+#[derive(Debug, Default)]
+pub struct TraceFollower {
+    pending: String,
+    lineno: usize,
+    header: Option<(u64, u64, u64, u64)>,
+    last: Option<(u64, u64)>,
+    events_seen: u64,
+    summary_seen: bool,
+}
+
+impl TraceFollower {
+    /// A follower expecting the header line.
+    pub fn new() -> TraceFollower {
+        TraceFollower::default()
+    }
+
+    /// Feed the next chunk of the document (any split, including
+    /// mid-line and mid-token) and collect the items completed by it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same line-addressed schema violations as
+    /// [`parse_trace`]. After an error the follower is poisoned only in
+    /// the sense that its validation state reflects the lines accepted
+    /// so far; callers should stop feeding.
+    pub fn feed(&mut self, chunk: &str) -> Result<Vec<FollowItem>, String> {
+        self.pending.push_str(chunk);
+        let mut items = Vec::new();
+        while let Some(nl) = self.pending.find('\n') {
+            let line: String = self.pending[..nl].to_owned();
+            self.pending.drain(..=nl);
+            if let Some(item) = self.take_line(&line)? {
+                items.push(item);
+            }
+        }
+        Ok(items)
+    }
+
+    /// Treat end-of-input as the final line terminator: parse any
+    /// carried partial line (a document whose last line has no trailing
+    /// newline). Tailing callers should *not* call this until the
+    /// writer is done — a mid-line EOF is exactly what [`Self::pending`]
+    /// carries across the next read.
+    ///
+    /// # Errors
+    ///
+    /// Returns the pending line's parse or schema violation, if any.
+    pub fn finish(&mut self) -> Result<Option<FollowItem>, String> {
+        if self.pending.is_empty() {
+            return Ok(None);
+        }
+        let line = std::mem::take(&mut self.pending);
+        self.take_line(&line)
+    }
+
+    /// The carried partial line (empty when the last feed ended exactly
+    /// on a line boundary).
+    pub fn pending(&self) -> &str {
+        &self.pending
+    }
+
+    /// True once the summary line has been read: the document is
+    /// complete and no further lines are valid.
+    pub fn finished(&self) -> bool {
+        self.summary_seen
+    }
+
+    /// Event lines accepted so far.
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    fn take_line(&mut self, line: &str) -> Result<Option<FollowItem>, String> {
+        self.lineno += 1;
+        let lineno = self.lineno;
+        let Some((_, _, _, declared_events)) = self.header else {
+            let header = parse_json(line).map_err(|e| format!("line 1 (header): {e}"))?;
+            let header = header
+                .as_obj()
+                .ok_or_else(|| "line 1 (header): not an object".to_owned())?;
+            let schema = header
+                .get("schema")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| "header: missing string `schema`".to_owned())?;
+            if schema != crate::jsonl::SCHEMA {
+                return Err(format!(
+                    "header: schema is `{schema}`, expected `{}`",
+                    crate::jsonl::SCHEMA
+                ));
+            }
+            let header_u64 = |key: &str| -> Result<u64, String> {
+                header
+                    .get(key)
+                    .and_then(JsonValue::as_num)
+                    .map(|n| n as u64)
+                    .ok_or_else(|| format!("header: missing numeric `{key}`"))
+            };
+            let parsed = (
+                header_u64("capacity")?,
+                header_u64("emitted")?,
+                header_u64("dropped")?,
+                header_u64("events")?,
+            );
+            self.header = Some(parsed);
+            return Ok(Some(FollowItem::Header {
+                capacity: parsed.0,
+                emitted: parsed.1,
+                dropped: parsed.2,
+                declared_events: parsed.3,
+            }));
+        };
         if line.trim().is_empty() {
-            continue;
+            return Ok(None);
         }
         let value = parse_json(line).map_err(|e| format!("line {lineno}: {e}"))?;
         let obj = value
             .as_obj()
             .ok_or_else(|| format!("line {lineno}: not an object"))?;
         if let Some(summary_value) = obj.get("summary") {
-            if summary.is_some() {
+            if self.summary_seen {
                 return Err(format!("line {lineno}: duplicate summary line"));
             }
-            summary = Some(summary_value.clone());
-            continue;
+            if self.events_seen != declared_events {
+                return Err(format!(
+                    "header declares {declared_events} events, document has {}",
+                    self.events_seen
+                ));
+            }
+            self.summary_seen = true;
+            return Ok(Some(FollowItem::Summary(summary_value.clone())));
         }
-        if summary.is_some() {
+        if self.summary_seen {
             return Err(format!("line {lineno}: event after the summary line"));
         }
         let num = |key: &str| -> Result<u64, String> {
@@ -315,22 +427,53 @@ pub fn parse_trace(text: &str) -> Result<Trace, String> {
         if event.kind.is_empty() {
             return Err(format!("line {lineno}: empty event kind"));
         }
-        if let Some(prev) = events.last() {
-            if event.seq <= prev.seq {
+        if let Some((prev_seq, prev_t)) = self.last {
+            if event.seq <= prev_seq {
                 return Err(format!(
-                    "line {lineno}: seq {} not strictly increasing (previous {})",
-                    event.seq, prev.seq
+                    "line {lineno}: seq {} not strictly increasing (previous {prev_seq})",
+                    event.seq
                 ));
             }
-            if event.t_ms < prev.t_ms {
+            if event.t_ms < prev_t {
                 return Err(format!(
-                    "line {lineno}: t_ms {} goes backwards (previous {})",
-                    event.t_ms, prev.t_ms
+                    "line {lineno}: t_ms {} goes backwards (previous {prev_t})",
+                    event.t_ms
                 ));
             }
         }
-        events.push(event);
+        self.last = Some((event.seq, event.t_ms));
+        self.events_seen += 1;
+        Ok(Some(FollowItem::Event(event)))
     }
+}
+
+/// Parse a complete `flower-trace/v1` JSONL document: the
+/// [`TraceFollower`] state machine run to end-of-input, requiring the
+/// header, the declared event count, and the final summary line.
+pub fn parse_trace(text: &str) -> Result<Trace, String> {
+    let mut follower = TraceFollower::new();
+    let mut items = follower.feed(text)?;
+    if let Some(item) = follower.finish()? {
+        items.push(item);
+    }
+    let mut header = None;
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let mut summary = None;
+    for item in items {
+        match item {
+            FollowItem::Header {
+                capacity,
+                emitted,
+                dropped,
+                declared_events,
+            } => header = Some((capacity, emitted, dropped, declared_events)),
+            FollowItem::Event(event) => events.push(event),
+            FollowItem::Summary(value) => summary = Some(value),
+        }
+    }
+    let Some((capacity, emitted, dropped, declared_events)) = header else {
+        return Err("empty document: missing header line".to_owned());
+    };
     let summary = summary.ok_or_else(|| "missing final summary line".to_owned())?;
     if events.len() as u64 != declared_events {
         return Err(format!(
@@ -642,5 +785,96 @@ mod tests {
             "{\"summary\":{}}\n"
         );
         assert!(parse_trace(two_events).is_err());
+    }
+
+    fn small_doc() -> String {
+        let rec = Recorder::with_capacity(16);
+        rec.set_now(SimTime::from_secs(1));
+        rec.emit("control.decision", &[("layer", "ingestion".into())]);
+        rec.set_now(SimTime::from_secs(2));
+        rec.emit("cloud.resize", &[("units", 3u64.into())]);
+        rec.count("ticks", 2);
+        rec.to_jsonl()
+    }
+
+    #[test]
+    fn truncated_document_is_rejected_whole_but_followable() {
+        // A writer that died mid-episode: header + events, no summary.
+        let doc = small_doc();
+        let truncated: String = doc.lines().take(3).map(|l| format!("{l}\n")).collect();
+        let err = parse_trace(&truncated).unwrap_err();
+        assert!(err.contains("missing final summary line"), "{err}");
+
+        // The follower accepts the same prefix and simply reports that
+        // the document is not finished yet.
+        let mut follower = TraceFollower::new();
+        let items = follower.feed(&truncated).unwrap();
+        assert_eq!(items.len(), 3);
+        assert!(matches!(items[0], FollowItem::Header { .. }));
+        assert!(!follower.finished());
+        assert_eq!(follower.events_seen(), 2);
+        assert!(follower.pending().is_empty());
+    }
+
+    #[test]
+    fn interleaved_chunks_reassemble_every_line() {
+        // Feed the document in 7-byte chunks: every line boundary and
+        // most JSON tokens are split across reads.
+        let doc = small_doc();
+        let mut follower = TraceFollower::new();
+        let mut items = Vec::new();
+        let bytes = doc.as_bytes();
+        for chunk in bytes.chunks(7) {
+            let chunk = std::str::from_utf8(chunk).unwrap();
+            items.extend(follower.feed(chunk).unwrap());
+        }
+        assert!(follower.finished());
+        assert!(matches!(items.first(), Some(FollowItem::Header { .. })));
+        assert!(matches!(items.last(), Some(FollowItem::Summary(_))));
+        let events: Vec<_> = items
+            .iter()
+            .filter_map(|i| match i {
+                FollowItem::Event(e) => Some(e.kind.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(events, ["control.decision", "cloud.resize"]);
+    }
+
+    #[test]
+    fn mid_line_eof_is_carried_until_the_rest_arrives() {
+        let doc = small_doc();
+        // Stop mid-way through the second event line, as a tailing
+        // reader would see while the writer is flushing.
+        let split = doc.find("cloud.resize").unwrap();
+        let (head, tail) = doc.split_at(split);
+        let mut follower = TraceFollower::new();
+        let items = follower.feed(head).unwrap();
+        assert_eq!(items.len(), 2, "header + first event only");
+        assert!(follower.pending().starts_with("{\"seq\""));
+        assert_eq!(follower.events_seen(), 1);
+
+        // finish() at a true mid-line EOF surfaces the malformed tail.
+        let mut eof = TraceFollower::new();
+        eof.feed(head).unwrap();
+        assert!(eof.finish().is_err());
+
+        // The tailing reader instead keeps the fragment and resumes.
+        let items = follower.feed(tail).unwrap();
+        assert!(follower.finished());
+        assert!(matches!(items.last(), Some(FollowItem::Summary(_))));
+        assert_eq!(follower.events_seen(), 2);
+    }
+
+    #[test]
+    fn follower_rejects_lines_after_the_summary() {
+        let doc = small_doc();
+        let mut follower = TraceFollower::new();
+        follower.feed(&doc).unwrap();
+        assert!(follower.finished());
+        let err = follower
+            .feed("{\"seq\":99,\"t_ms\":0,\"kind\":\"a\",\"fields\":{}}\n")
+            .unwrap_err();
+        assert!(err.contains("event after the summary line"), "{err}");
     }
 }

@@ -105,6 +105,19 @@ struct OpenSpan {
     started: SimTime,
 }
 
+/// A streaming tap on the event stream: [`Recorder::set_sink`] installs
+/// one alongside the ring buffer, and every event is handed to it the
+/// moment it is recorded — before any later eviction can touch it. This
+/// is what `flower serve` uses to stream `event` frames live.
+///
+/// The sink runs on the control thread, inside the recorder's borrow:
+/// implementations must not call back into the recorder (buffer the
+/// event and drain it from outside instead).
+pub trait EventSink: std::fmt::Debug {
+    /// Called once per emitted event, in sequence order.
+    fn on_event(&mut self, event: &Event);
+}
+
 /// The shared recorder state. Private: all access goes through
 /// [`Recorder`].
 #[derive(Debug)]
@@ -120,7 +133,12 @@ pub(crate) struct Flight {
     next_span_id: u64,
     open_spans: BTreeMap<u64, OpenSpan>,
     pub(crate) span_stats: BTreeMap<String, SpanStats>,
+    sink: Option<Box<dyn EventSink>>,
 }
+
+/// The counter bumped when the ring buffer evicts an event, so overflow
+/// is visible in the exported summary (`flower trace` warns on it).
+pub const DROPPED_COUNTER: &str = "trace.dropped";
 
 impl Flight {
     fn push(&mut self, kind: &'static str, fields: &[(&'static str, FieldValue)]) {
@@ -131,9 +149,13 @@ impl Flight {
             fields: fields.iter().cloned().collect(),
         };
         self.next_seq += 1;
+        if let Some(sink) = self.sink.as_mut() {
+            sink.on_event(&event);
+        }
         if self.events.len() == self.capacity {
             self.events.pop_front();
             self.dropped += 1;
+            *self.counters.entry(DROPPED_COUNTER).or_insert(0) += 1;
         }
         self.events.push_back(event);
     }
@@ -170,7 +192,25 @@ impl Recorder {
                 next_span_id: 0,
                 open_spans: BTreeMap::new(),
                 span_stats: BTreeMap::new(),
+                sink: None,
             }))),
+        }
+    }
+
+    /// Install a streaming [`EventSink`] alongside the ring buffer (a
+    /// no-op on a disabled recorder). Every subsequent event reaches
+    /// the sink at emit time, in sequence order, including events the
+    /// ring buffer later evicts. Replaces any previous sink.
+    pub fn set_sink(&self, sink: Box<dyn EventSink>) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().sink = Some(sink);
+        }
+    }
+
+    /// Remove the streaming sink, if one is installed.
+    pub fn clear_sink(&self) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().sink = None;
         }
     }
 
@@ -331,6 +371,33 @@ impl Recorder {
         }
     }
 
+    /// Snapshot of every counter, name-ordered. Powers the live
+    /// `snapshot` frames of the `flower-wire/v1` protocol.
+    pub fn counters_snapshot(&self) -> Vec<(&'static str, u64)> {
+        match &self.inner {
+            Some(inner) => inner
+                .borrow()
+                .counters
+                .iter()
+                .map(|(&name, &value)| (name, value))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Snapshot of every gauge, name-ordered.
+    pub fn gauges_snapshot(&self) -> Vec<(&'static str, f64)> {
+        match &self.inner {
+            Some(inner) => inner
+                .borrow()
+                .gauges
+                .iter()
+                .map(|(&name, &value)| (name, value))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
     /// Current value of the gauge `name`.
     pub fn gauge_value(&self, name: &str) -> Option<f64> {
         self.inner
@@ -414,6 +481,67 @@ mod tests {
         // Sequence numbers survive eviction: the survivors are 7, 8, 9.
         let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![7, 8, 9]);
+        // Overflow is surfaced as a counter, not just silent eviction.
+        assert_eq!(rec.counter(DROPPED_COUNTER), 7);
+        // A non-overflowing recorder carries no such counter, so
+        // existing golden traces are unaffected.
+        let quiet = Recorder::with_capacity(16);
+        quiet.emit("tick", &[]);
+        assert_eq!(quiet.counters_snapshot(), Vec::new());
+    }
+
+    #[derive(Debug, Default)]
+    struct Tap {
+        seen: std::rc::Rc<std::cell::RefCell<Vec<(u64, &'static str)>>>,
+    }
+
+    impl EventSink for Tap {
+        fn on_event(&mut self, event: &Event) {
+            self.seen.borrow_mut().push((event.seq, event.kind));
+        }
+    }
+
+    #[test]
+    fn sink_sees_every_event_including_evicted_ones() {
+        let rec = Recorder::with_capacity(2);
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        rec.set_sink(Box::new(Tap { seen: seen.clone() }));
+        for _ in 0..4 {
+            rec.emit("tick", &[]);
+        }
+        let span = rec.span_enter("s");
+        rec.span_exit(span);
+        // The tap saw all six events in sequence order, even though the
+        // ring buffer only retains the last two.
+        assert_eq!(
+            *seen.borrow(),
+            vec![
+                (0, "tick"),
+                (1, "tick"),
+                (2, "tick"),
+                (3, "tick"),
+                (4, kind::SPAN_ENTER),
+                (5, kind::SPAN_EXIT)
+            ]
+        );
+        assert_eq!(rec.len(), 2);
+        rec.clear_sink();
+        rec.emit("tick", &[]);
+        assert_eq!(seen.borrow().len(), 6, "cleared sink sees nothing");
+        // Disabled recorders accept (and ignore) a sink.
+        Recorder::disabled().set_sink(Box::new(Tap::default()));
+    }
+
+    #[test]
+    fn snapshots_are_name_ordered() {
+        let rec = Recorder::with_capacity(4);
+        rec.count("z.late", 1);
+        rec.count("a.early", 2);
+        rec.gauge("m.mid", 3.5);
+        assert_eq!(rec.counters_snapshot(), vec![("a.early", 2), ("z.late", 1)]);
+        assert_eq!(rec.gauges_snapshot(), vec![("m.mid", 3.5)]);
+        assert_eq!(Recorder::disabled().counters_snapshot(), Vec::new());
+        assert_eq!(Recorder::disabled().gauges_snapshot(), Vec::new());
     }
 
     #[test]

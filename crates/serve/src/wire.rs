@@ -1,0 +1,602 @@
+//! The versioned `flower-wire/v1` socket protocol and the
+//! `flower-record/v1` command recording it produces.
+//!
+//! `flower-wire/v1` is newline-delimited JSON, one frame per line:
+//!
+//! - **Server → client**: `{"frame":"hello","proto":"flower-wire/v1",
+//!   "t_ms":…,"episode":{…}}` on connect; `{"frame":"event",
+//!   "event":{…}}` for each `flower-obs` event (the nested object is
+//!   *exactly* the `flower-trace/v1` event line); `{"frame":"snapshot",
+//!   "t_ms":…,"counters":{…},"gauges":{…}}` on the snapshot grid;
+//!   `{"frame":"ack","id":…,"ok":…}` answering each command;
+//!   `{"frame":"bye","reason":"…"}` before close.
+//! - **Client → server**: `{"frame":"subscribe"}` to start the event
+//!   stream; `{"frame":"command","id":…,"cmd":"…",…}` for live
+//!   commands (`inject-fault`, `set-budget`, `force-replan`, `pause`,
+//!   `resume`, `shutdown`).
+//!
+//! `flower-record/v1` is the replayable residue of a live session: a
+//! header line `{"schema":"flower-record/v1","proto":"flower-wire/v1",
+//!   "episode":{…}}` whose `episode` map holds the CLI flags that
+//! rebuild the manager, then one line per *applied* state-affecting
+//! command `{"t_ms":…,"cmd":"…",…}` stamped with the sim time (a tick
+//! boundary) at which it was applied. Pause/resume shape wall-clock
+//! only, so they are not recorded; shutdown is, because it truncates
+//! the episode. `cargo xtask wire` validates these documents.
+
+use std::collections::BTreeMap;
+
+use flower_chaos::{FaultClause, FaultKind};
+use flower_obs::{json_f64, json_str, parse_json, JsonValue};
+use flower_sim::{SimDuration, SimTime};
+
+/// The wire-protocol identifier sent in every hello frame.
+pub const PROTO: &str = "flower-wire/v1";
+
+/// The schema identifier of a command recording.
+pub const RECORD_SCHEMA: &str = "flower-record/v1";
+
+/// A live command, parsed from a command frame or a record line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Inject a chaos fault clause into the running episode.
+    InjectFault(FaultCommand),
+    /// Change the replanner's hourly budget.
+    SetBudget {
+        /// The new budget (finite, positive — validated on apply).
+        budget: f64,
+    },
+    /// Make the next replanning round due immediately.
+    ForceReplan,
+    /// Stop ticking (wall-clock only; the sim clock freezes with it).
+    Pause,
+    /// Resume ticking after a pause.
+    Resume,
+    /// End the episode at the current tick boundary.
+    Shutdown,
+}
+
+/// The parameters of an `inject-fault` command. The clause's active
+/// window is anchored at apply time ([`FaultCommand::clause_at`]), so
+/// the record line plus its `t_ms` stamp reproduces the exact clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCommand {
+    /// Seed for the injector installed on first use (ignored when an
+    /// injector is already running).
+    pub seed: u64,
+    /// Target layer name, `None` for all layers.
+    pub layer: Option<String>,
+    /// Fault kind name: `reject`, `short`, `delay`, `dropout`, `storm`.
+    pub kind: String,
+    /// Per-call probability (kinds with an RNG draw).
+    pub p: f64,
+    /// Landed fraction of the requested delta (`short`).
+    pub fraction: f64,
+    /// Landing delay in seconds (`delay`).
+    pub delay_s: u64,
+    /// Storm cycle length in seconds (`storm`).
+    pub period_s: u64,
+    /// Throttled prefix of each storm cycle in seconds (`storm`).
+    pub burst_s: u64,
+    /// Clause lifetime in seconds from apply time; `None` = until the
+    /// end of the episode.
+    pub for_s: Option<u64>,
+}
+
+impl FaultCommand {
+    /// Build the fault clause this command injects when applied at
+    /// `now`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown kinds, probabilities outside `[0, 1]`, and
+    /// degenerate kind parameters before they can poison the injector.
+    pub fn clause_at(&self, now: SimTime) -> Result<FaultClause, String> {
+        if !(0.0..=1.0).contains(&self.p) {
+            return Err(format!("p must be in [0, 1]: {}", self.p));
+        }
+        let kind = match self.kind.as_str() {
+            "reject" => FaultKind::Reject { p: self.p },
+            "short" => {
+                if !(self.fraction > 0.0 && self.fraction < 1.0) {
+                    return Err(format!("fraction must be in (0, 1): {}", self.fraction));
+                }
+                FaultKind::Short {
+                    p: self.p,
+                    fraction: self.fraction,
+                }
+            }
+            "delay" => {
+                if self.delay_s == 0 {
+                    return Err("delay_s must be positive".to_owned());
+                }
+                FaultKind::Delay {
+                    p: self.p,
+                    delay: SimDuration::from_secs(self.delay_s),
+                }
+            }
+            "dropout" => FaultKind::Dropout { p: self.p },
+            "storm" => {
+                if self.burst_s == 0 || self.burst_s > self.period_s {
+                    return Err(format!(
+                        "storm needs 0 < burst_s <= period_s: burst_s={}, period_s={}",
+                        self.burst_s, self.period_s
+                    ));
+                }
+                FaultKind::Storm {
+                    period: SimDuration::from_secs(self.period_s),
+                    burst: SimDuration::from_secs(self.burst_s),
+                }
+            }
+            other => return Err(format!("unknown fault kind `{other}`")),
+        };
+        let until = match self.for_s {
+            Some(s) => now + SimDuration::from_secs(s),
+            None => SimTime::MAX,
+        };
+        Ok(FaultClause {
+            layer: self.layer.clone(),
+            from: now,
+            until,
+            kind,
+        })
+    }
+}
+
+impl Command {
+    /// The wire name of this command.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::InjectFault(_) => "inject-fault",
+            Command::SetBudget { .. } => "set-budget",
+            Command::ForceReplan => "force-replan",
+            Command::Pause => "pause",
+            Command::Resume => "resume",
+            Command::Shutdown => "shutdown",
+        }
+    }
+
+    /// Whether an applied instance of this command belongs in the
+    /// record file: everything that shapes the deterministic episode.
+    /// Pause/resume only stretch wall-clock, so they are omitted.
+    pub fn is_recorded(&self) -> bool {
+        !matches!(self, Command::Pause | Command::Resume)
+    }
+
+    /// The command's argument fields as a JSON fragment (leading comma
+    /// included; empty for argument-less commands). Field order is
+    /// fixed so record files are deterministic.
+    fn args_json(&self) -> String {
+        match self {
+            Command::InjectFault(f) => {
+                let mut out = format!(",\"seed\":{}", f.seed);
+                if let Some(layer) = &f.layer {
+                    out.push_str(&format!(",\"layer\":{}", json_str(layer)));
+                }
+                out.push_str(&format!(",\"kind\":{}", json_str(&f.kind)));
+                match f.kind.as_str() {
+                    "short" => out.push_str(&format!(
+                        ",\"p\":{},\"fraction\":{}",
+                        json_f64(f.p),
+                        json_f64(f.fraction)
+                    )),
+                    "delay" => {
+                        out.push_str(&format!(
+                            ",\"p\":{},\"delay_s\":{}",
+                            json_f64(f.p),
+                            f.delay_s
+                        ));
+                    }
+                    "storm" => out.push_str(&format!(
+                        ",\"period_s\":{},\"burst_s\":{}",
+                        f.period_s, f.burst_s
+                    )),
+                    _ => out.push_str(&format!(",\"p\":{}", json_f64(f.p))),
+                }
+                if let Some(for_s) = f.for_s {
+                    out.push_str(&format!(",\"for_s\":{for_s}"));
+                }
+                out
+            }
+            Command::SetBudget { budget } => format!(",\"budget\":{}", json_f64(*budget)),
+            Command::ForceReplan | Command::Pause | Command::Resume | Command::Shutdown => {
+                String::new()
+            }
+        }
+    }
+
+    /// Parse a command from the fields of a command frame or record
+    /// line (everything but the envelope keys).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown command names and missing or mistyped arguments.
+    pub fn from_obj(obj: &BTreeMap<String, JsonValue>) -> Result<Command, String> {
+        let cmd = obj
+            .get("cmd")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "missing string `cmd`".to_owned())?;
+        let num = |key: &str| obj.get(key).and_then(JsonValue::as_num);
+        match cmd {
+            "inject-fault" => {
+                let kind = obj
+                    .get("kind")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| "inject-fault: missing string `kind`".to_owned())?
+                    .to_owned();
+                Ok(Command::InjectFault(FaultCommand {
+                    seed: num("seed").map_or(0, |n| n as u64),
+                    layer: obj
+                        .get("layer")
+                        .and_then(JsonValue::as_str)
+                        .map(str::to_owned),
+                    kind,
+                    p: num("p").unwrap_or(1.0),
+                    fraction: num("fraction").unwrap_or(0.5),
+                    delay_s: num("delay_s").map_or(0, |n| n as u64),
+                    period_s: num("period_s").map_or(0, |n| n as u64),
+                    burst_s: num("burst_s").map_or(0, |n| n as u64),
+                    for_s: num("for_s").map(|n| n as u64),
+                }))
+            }
+            "set-budget" => {
+                let budget = num("budget")
+                    .ok_or_else(|| "set-budget: missing numeric `budget`".to_owned())?;
+                Ok(Command::SetBudget { budget })
+            }
+            "force-replan" => Ok(Command::ForceReplan),
+            "pause" => Ok(Command::Pause),
+            "resume" => Ok(Command::Resume),
+            "shutdown" => Ok(Command::Shutdown),
+            other => Err(format!("unknown command `{other}`")),
+        }
+    }
+}
+
+/// A parsed client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientFrame {
+    /// Start streaming event/snapshot frames to this client.
+    Subscribe,
+    /// A live command; `id` correlates the ack.
+    Command {
+        /// Client-chosen correlation id, echoed in the ack.
+        id: u64,
+        /// The command itself.
+        command: Command,
+    },
+}
+
+/// Parse one client line.
+///
+/// # Errors
+///
+/// Rejects malformed JSON, unknown frame kinds, and command frames
+/// without an `id`.
+pub fn parse_client_frame(line: &str) -> Result<ClientFrame, String> {
+    let value = parse_json(line)?;
+    let obj = value
+        .as_obj()
+        .ok_or_else(|| "frame is not an object".to_owned())?;
+    let frame = obj
+        .get("frame")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "missing string `frame`".to_owned())?;
+    match frame {
+        "subscribe" => Ok(ClientFrame::Subscribe),
+        "command" => {
+            let id = obj
+                .get("id")
+                .and_then(JsonValue::as_num)
+                .ok_or_else(|| "command frame: missing numeric `id`".to_owned())?
+                as u64;
+            let command = Command::from_obj(obj)?;
+            Ok(ClientFrame::Command { id, command })
+        }
+        other => Err(format!("unknown frame `{other}`")),
+    }
+}
+
+fn string_map_json(map: &BTreeMap<String, String>) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{}", json_str(key), json_str(value)));
+    }
+    out.push('}');
+    out
+}
+
+/// The hello frame greeting every new connection.
+#[must_use]
+pub fn hello_frame(episode: &BTreeMap<String, String>, t_ms: u64) -> String {
+    format!(
+        "{{\"frame\":\"hello\",\"proto\":{},\"t_ms\":{t_ms},\"episode\":{}}}",
+        json_str(PROTO),
+        string_map_json(episode)
+    )
+}
+
+/// The ack frame answering command `id`.
+#[must_use]
+pub fn ack_frame(id: u64, result: &Result<(), String>) -> String {
+    match result {
+        Ok(()) => format!("{{\"frame\":\"ack\",\"id\":{id},\"ok\":true}}"),
+        Err(error) => format!(
+            "{{\"frame\":\"ack\",\"id\":{id},\"ok\":false,\"error\":{}}}",
+            json_str(error)
+        ),
+    }
+}
+
+/// An event frame wrapping one `flower-trace/v1` event line verbatim.
+#[must_use]
+pub fn event_frame(event_line: &str) -> String {
+    format!("{{\"frame\":\"event\",\"event\":{event_line}}}")
+}
+
+/// A snapshot frame carrying the live counter/gauge state.
+#[must_use]
+pub fn snapshot_frame(
+    t_ms: u64,
+    counters: &[(&'static str, u64)],
+    gauges: &[(&'static str, f64)],
+) -> String {
+    let mut out = format!("{{\"frame\":\"snapshot\",\"t_ms\":{t_ms},\"counters\":{{");
+    for (i, (name, value)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{value}", json_str(name)));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, value)) in gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{}", json_str(name), json_f64(*value)));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// The bye frame sent before the server closes a connection.
+#[must_use]
+pub fn bye_frame(reason: &str) -> String {
+    format!("{{\"frame\":\"bye\",\"reason\":{}}}", json_str(reason))
+}
+
+/// The `flower-record/v1` header line.
+#[must_use]
+pub fn record_header(episode: &BTreeMap<String, String>) -> String {
+    format!(
+        "{{\"schema\":{},\"proto\":{},\"episode\":{}}}",
+        json_str(RECORD_SCHEMA),
+        json_str(PROTO),
+        string_map_json(episode)
+    )
+}
+
+/// One `flower-record/v1` command line: the command as applied at sim
+/// time `t_ms`.
+#[must_use]
+pub fn record_line(t_ms: u64, command: &Command) -> String {
+    format!(
+        "{{\"t_ms\":{t_ms},\"cmd\":{}{}}}",
+        json_str(command.name()),
+        command.args_json()
+    )
+}
+
+/// A parsed `flower-record/v1` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recording {
+    /// The episode flag map that rebuilds the manager.
+    pub episode: BTreeMap<String, String>,
+    /// Applied commands, in application order, stamped with the sim
+    /// time of their tick boundary.
+    pub commands: Vec<(u64, Command)>,
+}
+
+/// Parse a `flower-record/v1` document.
+///
+/// # Errors
+///
+/// Rejects a missing or mis-schema'd header, malformed command lines,
+/// and `t_ms` stamps that go backwards.
+pub fn parse_recording(text: &str) -> Result<Recording, String> {
+    let mut lines = text.lines().enumerate();
+    let Some((_, header_line)) = lines.next() else {
+        return Err("empty document: missing header line".to_owned());
+    };
+    let header = parse_json(header_line).map_err(|e| format!("line 1 (header): {e}"))?;
+    let header = header
+        .as_obj()
+        .ok_or_else(|| "line 1 (header): not an object".to_owned())?;
+    let schema = header
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "header: missing string `schema`".to_owned())?;
+    if schema != RECORD_SCHEMA {
+        return Err(format!(
+            "header: schema is `{schema}`, expected `{RECORD_SCHEMA}`"
+        ));
+    }
+    let proto = header
+        .get("proto")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "header: missing string `proto`".to_owned())?;
+    if proto != PROTO {
+        return Err(format!("header: proto is `{proto}`, expected `{PROTO}`"));
+    }
+    let episode_obj = header
+        .get("episode")
+        .and_then(JsonValue::as_obj)
+        .ok_or_else(|| "header: missing object `episode`".to_owned())?;
+    let mut episode = BTreeMap::new();
+    for (key, value) in episode_obj {
+        let value = value
+            .as_str()
+            .ok_or_else(|| format!("header: episode.{key} is not a string"))?;
+        episode.insert(key.clone(), value.to_owned());
+    }
+    let mut commands = Vec::new();
+    let mut last_t = 0u64;
+    for (i, line) in lines {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = parse_json(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let obj = value
+            .as_obj()
+            .ok_or_else(|| format!("line {lineno}: not an object"))?;
+        let t_ms = obj
+            .get("t_ms")
+            .and_then(JsonValue::as_num)
+            .ok_or_else(|| format!("line {lineno}: missing numeric `t_ms`"))?
+            as u64;
+        if t_ms < last_t {
+            return Err(format!(
+                "line {lineno}: t_ms {t_ms} goes backwards (previous {last_t})"
+            ));
+        }
+        last_t = t_ms;
+        let command = Command::from_obj(obj).map_err(|e| format!("line {lineno}: {e}"))?;
+        if !command.is_recorded() {
+            return Err(format!(
+                "line {lineno}: `{}` is wall-clock-only and never recorded",
+                command.name()
+            ));
+        }
+        commands.push((t_ms, command));
+    }
+    Ok(Recording { episode, commands })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fault() -> FaultCommand {
+        FaultCommand {
+            seed: 7,
+            layer: Some("counter".to_owned()),
+            kind: "reject".to_owned(),
+            p: 1.0,
+            fraction: 0.5,
+            delay_s: 0,
+            period_s: 0,
+            burst_s: 0,
+            for_s: Some(120),
+        }
+    }
+
+    #[test]
+    fn command_frames_round_trip() {
+        let line = "{\"frame\":\"command\",\"id\":3,\"cmd\":\"inject-fault\",\
+                    \"seed\":7,\"layer\":\"counter\",\"kind\":\"reject\",\"p\":1,\"for_s\":120}";
+        let frame = parse_client_frame(line).unwrap();
+        assert_eq!(
+            frame,
+            ClientFrame::Command {
+                id: 3,
+                command: Command::InjectFault(fault())
+            }
+        );
+        assert_eq!(
+            parse_client_frame("{\"frame\":\"subscribe\"}").unwrap(),
+            ClientFrame::Subscribe
+        );
+        assert!(parse_client_frame("{\"frame\":\"command\",\"cmd\":\"pause\"}").is_err());
+        assert!(parse_client_frame("{\"frame\":\"nope\"}").is_err());
+    }
+
+    #[test]
+    fn record_documents_round_trip() {
+        let mut episode = BTreeMap::new();
+        episode.insert("seed".to_owned(), "5".to_owned());
+        episode.insert("minutes".to_owned(), "45".to_owned());
+        let mut doc = record_header(&episode);
+        doc.push('\n');
+        doc.push_str(&record_line(60_000, &Command::InjectFault(fault())));
+        doc.push('\n');
+        doc.push_str(&record_line(60_000, &Command::SetBudget { budget: 2.5 }));
+        doc.push('\n');
+        doc.push_str(&record_line(120_000, &Command::Shutdown));
+        doc.push('\n');
+        let recording = parse_recording(&doc).unwrap();
+        assert_eq!(recording.episode.get("seed").map(String::as_str), Some("5"));
+        assert_eq!(recording.commands.len(), 3);
+        assert_eq!(recording.commands[0].0, 60_000);
+        assert_eq!(recording.commands[2].1, Command::Shutdown);
+
+        // Wall-clock-only commands are rejected as record lines.
+        let bad = format!(
+            "{}\n{{\"t_ms\":0,\"cmd\":\"pause\"}}\n",
+            record_header(&episode)
+        );
+        assert!(parse_recording(&bad).is_err());
+        // Backwards time is rejected.
+        let bad = format!(
+            "{}\n{{\"t_ms\":9000,\"cmd\":\"force-replan\"}}\n{{\"t_ms\":0,\"cmd\":\"shutdown\"}}\n",
+            record_header(&episode)
+        );
+        assert!(parse_recording(&bad).is_err());
+    }
+
+    #[test]
+    fn clauses_anchor_at_apply_time() {
+        let clause = fault().clause_at(SimTime::from_secs(60)).unwrap();
+        assert_eq!(clause.from, SimTime::from_secs(60));
+        assert_eq!(clause.until, SimTime::from_secs(180));
+        assert_eq!(clause.kind, FaultKind::Reject { p: 1.0 });
+
+        let mut open_ended = fault();
+        open_ended.for_s = None;
+        let clause = open_ended.clause_at(SimTime::ZERO).unwrap();
+        assert_eq!(clause.until, SimTime::MAX);
+
+        let mut bad = fault();
+        bad.kind = "gremlins".to_owned();
+        assert!(bad.clause_at(SimTime::ZERO).is_err());
+        let mut bad = fault();
+        bad.p = 1.5;
+        assert!(bad.clause_at(SimTime::ZERO).is_err());
+        let mut bad = fault();
+        bad.kind = "storm".to_owned();
+        assert!(bad.clause_at(SimTime::ZERO).is_err(), "zero-length storm");
+    }
+
+    #[test]
+    fn frames_serialize_deterministically() {
+        let mut episode = BTreeMap::new();
+        episode.insert("seed".to_owned(), "5".to_owned());
+        assert_eq!(
+            hello_frame(&episode, 0),
+            "{\"frame\":\"hello\",\"proto\":\"flower-wire/v1\",\"t_ms\":0,\"episode\":{\"seed\":\"5\"}}"
+        );
+        assert_eq!(
+            ack_frame(1, &Ok(())),
+            "{\"frame\":\"ack\",\"id\":1,\"ok\":true}"
+        );
+        assert_eq!(
+            ack_frame(2, &Err("no replanner attached".to_owned())),
+            "{\"frame\":\"ack\",\"id\":2,\"ok\":false,\"error\":\"no replanner attached\"}"
+        );
+        assert_eq!(
+            event_frame("{\"seq\":0,\"t_ms\":0,\"kind\":\"a\",\"fields\":{}}"),
+            "{\"frame\":\"event\",\"event\":{\"seq\":0,\"t_ms\":0,\"kind\":\"a\",\"fields\":{}}}"
+        );
+        assert_eq!(
+            snapshot_frame(60_000, &[("ticks", 60)], &[("shards", 2.0)]),
+            "{\"frame\":\"snapshot\",\"t_ms\":60000,\"counters\":{\"ticks\":60},\"gauges\":{\"shards\":2}}"
+        );
+        assert_eq!(
+            bye_frame("episode-complete"),
+            "{\"frame\":\"bye\",\"reason\":\"episode-complete\"}"
+        );
+    }
+}

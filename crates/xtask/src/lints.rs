@@ -86,6 +86,12 @@ pub const RULES: &[(&str, &str)] = &[
          return values or the structured recorder (flower-obs), never stdout/stderr",
     ),
     (
+        "serve-dep",
+        "reference to flower_serve in a deterministic library crate: the live daemon is \
+         an I/O shell *over* the deterministic core; depending on it inverts the layering \
+         and drags sockets and wall clocks into replayable code",
+    ),
+    (
         "allow-invalid",
         "malformed lint:allow directive: unknown rule name or missing justification",
     ),
@@ -116,7 +122,7 @@ pub enum Profile {
 /// Classify a crate by name.
 pub fn profile_for(crate_name: &str) -> Profile {
     match crate_name {
-        "cli" | "bench" | "xtask" => Profile::Exempt,
+        "cli" | "bench" | "xtask" | "serve" => Profile::Exempt,
         _ => Profile::DeterministicLib,
     }
 }
@@ -532,6 +538,15 @@ fn scan_tokens(file: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Violat
                         format!("`thread::{}` waits on the OS clock", text(i + 2)),
                     );
                 }
+                // --- layering: the daemon shell is downstream-only ---
+                "flower_serve" => {
+                    emit(
+                        out,
+                        "serve-dep",
+                        t.line,
+                        "`flower_serve` referenced from deterministic library code".into(),
+                    );
+                }
                 // --- determinism: entropy ---
                 "thread_rng" | "from_entropy" | "getrandom" => {
                     emit(
@@ -735,6 +750,26 @@ mod tests {
                 "nondet-env"
             ]
         );
+    }
+
+    #[test]
+    fn forbids_serve_dependencies_in_deterministic_crates() {
+        // The inverted layering the rule exists to catch: a
+        // deterministic crate importing the daemon shell.
+        let src =
+            "use flower_serve::Daemon;\nfn f() { let d = flower_serve::ServeConfig::default(); }";
+        assert_eq!(rules_hit(src), vec!["serve-dep", "serve-dep"]);
+        // The serve crate itself is Exempt, as are the front ends.
+        for exempt in ["serve", "cli", "bench", "xtask"] {
+            assert!(
+                analyze_no_idx("fixture.rs", exempt, src)
+                    .violations
+                    .is_empty(),
+                "`{exempt}` must be exempt from serve-dep"
+            );
+        }
+        // Mentioning the crate in a comment is fine.
+        assert!(rules_hit("// flower_serve is downstream of this crate\nfn f() {}").is_empty());
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   the emitted `BENCH_nsga2.json` against the expected schema.
 //! * `trace` — validates a `flower-trace/v1` JSONL document (written by
 //!   `flower run --trace`) against its schema.
+//! * `wire` — validates a `flower-record/v1` command recording (written
+//!   by `flower serve --record`) against its schema.
 //!
 //! ```text
 //! cargo xtask lint            # human-readable diagnostics
@@ -24,6 +26,7 @@
 //! cargo xtask bench           # full baseline -> BENCH_nsga2.json
 //! cargo xtask bench --smoke   # seconds-scale run -> target/BENCH_nsga2.json
 //! cargo xtask trace <path>    # schema-validate a recorded episode trace
+//! cargo xtask wire <path>     # schema-validate a recorded live session
 //! ```
 //!
 //! Exit codes: 0 = clean, 1 = violations found, 2 = usage/IO error.
@@ -36,6 +39,7 @@ mod parse;
 mod sig;
 mod tracejson;
 mod types;
+mod wirejson;
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -111,6 +115,17 @@ fn main() -> ExitCode {
             }
             run_trace(path)
         }
+        Some("wire") => {
+            let Some(path) = it.next() else {
+                eprintln!("wire requires a path to a JSONL document");
+                return usage();
+            };
+            if let Some(other) = it.next() {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+            run_wire(path)
+        }
         _ => usage(),
     }
 }
@@ -119,6 +134,7 @@ fn usage() -> ExitCode {
     eprintln!("usage: cargo xtask lint [--json] [--rules] [--tooling] [--root <path>]");
     eprintln!("       cargo xtask bench [--smoke] [--out <path>]");
     eprintln!("       cargo xtask trace <path>");
+    eprintln!("       cargo xtask wire <path>");
     ExitCode::from(2)
 }
 
@@ -139,6 +155,28 @@ fn run_trace(path: &str) -> ExitCode {
         }
         Err(e) => {
             eprintln!("xtask trace: {path} failed validation: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Validate a `flower-record/v1` command recording written by
+/// `flower serve --record`.
+fn run_wire(path: &str) -> ExitCode {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match wirejson::validate_record_jsonl(&text) {
+        Ok(summary) => {
+            println!("xtask wire: {path} is schema-valid ({summary})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask wire: {path} failed validation: {e}");
             ExitCode::FAILURE
         }
     }

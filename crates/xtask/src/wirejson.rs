@@ -1,0 +1,210 @@
+//! Schema validation for `flower-record/v1` command recordings.
+//!
+//! Reuses the hand-rolled JSON parser from [`crate::benchjson`] — one
+//! parse per line — so `cargo xtask wire <path>` can gate CI on the
+//! shape of a recorded `flower serve` session the same way
+//! `cargo xtask trace` gates on the episode trace it replays into.
+
+use crate::benchjson::{parse, Value};
+
+/// The schema identifier `flower serve --record` stamps into the header.
+pub const SCHEMA: &str = "flower-record/v1";
+
+/// The wire protocol the record's commands arrived over.
+pub const PROTO: &str = "flower-wire/v1";
+
+const COMMANDS: &[&str] = &["inject-fault", "set-budget", "force-replan", "shutdown"];
+const FAULT_KINDS: &[&str] = &["reject", "short", "delay", "dropout", "storm"];
+
+/// Validate a `flower-record/v1` document:
+///
+/// 1. a header line declaring the schema, the wire protocol, and an
+///    `episode` object of string flags,
+/// 2. zero or more command lines with a non-decreasing integer `t_ms`
+///    stamp and a known, fully-specified `cmd` (wall-clock-only
+///    commands — pause/resume — must never appear),
+/// 3. at most one trailing `shutdown`.
+///
+/// Returns a one-line human summary on success.
+pub fn validate_record_jsonl(text: &str) -> Result<String, String> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+
+    let (_, header_line) = lines.next().ok_or("empty document: missing header line")?;
+    let header = parse(header_line).map_err(|e| format!("line 1 (header): {e}"))?;
+    let header = header.as_obj().ok_or("line 1 (header): not an object")?;
+    let schema = header
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("header: missing string `schema`")?;
+    if schema != SCHEMA {
+        return Err(format!("header: schema is `{schema}`, expected `{SCHEMA}`"));
+    }
+    let proto = header
+        .get("proto")
+        .and_then(Value::as_str)
+        .ok_or("header: missing string `proto`")?;
+    if proto != PROTO {
+        return Err(format!("header: proto is `{proto}`, expected `{PROTO}`"));
+    }
+    let episode = header
+        .get("episode")
+        .and_then(Value::as_obj)
+        .ok_or("header: missing object `episode`")?;
+    for (key, value) in episode {
+        if value.as_str().is_none() {
+            return Err(format!("header: episode.{key} is not a string"));
+        }
+    }
+
+    let mut commands = 0u64;
+    let mut last_t = 0.0f64;
+    let mut saw_shutdown = false;
+    for (i, line) in lines {
+        let lineno = i + 1;
+        if saw_shutdown {
+            return Err(format!("line {lineno}: command after shutdown"));
+        }
+        let value = parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let obj = value
+            .as_obj()
+            .ok_or_else(|| format!("line {lineno}: not an object"))?;
+        let t_ms = obj
+            .get("t_ms")
+            .and_then(Value::as_num)
+            .ok_or_else(|| format!("line {lineno}: missing numeric `t_ms`"))?;
+        // lint:allow(float-eq-typed): integer-valuedness check — fract() of a finite f64 is exactly 0.0 iff the value is an integer
+        if !(t_ms.is_finite() && t_ms >= 0.0 && t_ms.fract() == 0.0) {
+            return Err(format!(
+                "line {lineno}: `t_ms` must be a non-negative integer"
+            ));
+        }
+        if t_ms < last_t {
+            return Err(format!(
+                "line {lineno}: t_ms {t_ms} goes backwards (previous {last_t})"
+            ));
+        }
+        last_t = t_ms;
+        let cmd = obj
+            .get("cmd")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing string `cmd`"))?;
+        match cmd {
+            "inject-fault" => {
+                let kind = obj
+                    .get("kind")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {lineno}: inject-fault: missing string `kind`"))?;
+                if !FAULT_KINDS.contains(&kind) {
+                    return Err(format!(
+                        "line {lineno}: inject-fault: unknown kind `{kind}` (expected {})",
+                        FAULT_KINDS.join("|")
+                    ));
+                }
+                if kind == "storm" {
+                    for key in ["period_s", "burst_s"] {
+                        if obj.get(key).and_then(Value::as_num).is_none() {
+                            return Err(format!(
+                                "line {lineno}: inject-fault storm: missing numeric `{key}`"
+                            ));
+                        }
+                    }
+                } else {
+                    let p = obj.get("p").and_then(Value::as_num).ok_or_else(|| {
+                        format!("line {lineno}: inject-fault: missing numeric `p`")
+                    })?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("line {lineno}: inject-fault: p out of [0, 1]"));
+                    }
+                }
+            }
+            "set-budget" => {
+                let budget = obj.get("budget").and_then(Value::as_num).ok_or_else(|| {
+                    format!("line {lineno}: set-budget: missing numeric `budget`")
+                })?;
+                if !(budget.is_finite() && budget > 0.0) {
+                    return Err(format!(
+                        "line {lineno}: set-budget: budget must be finite and positive"
+                    ));
+                }
+            }
+            "force-replan" => {}
+            "shutdown" => saw_shutdown = true,
+            "pause" | "resume" => {
+                return Err(format!(
+                    "line {lineno}: `{cmd}` is wall-clock-only and never recorded"
+                ));
+            }
+            other => {
+                return Err(format!(
+                    "line {lineno}: unknown cmd `{other}` (expected {})",
+                    COMMANDS.join("|")
+                ));
+            }
+        }
+        commands += 1;
+    }
+    Ok(format!(
+        "ok: flower-record/v1, {} episode flag(s), {commands} command(s){}",
+        episode.len(),
+        if saw_shutdown {
+            ", shut down early"
+        } else {
+            ""
+        }
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEADER: &str = "{\"schema\":\"flower-record/v1\",\"proto\":\"flower-wire/v1\",\
+                          \"episode\":{\"minutes\":\"10\",\"seed\":\"7\"}}";
+
+    #[test]
+    fn accepts_a_well_formed_record() {
+        let doc = format!(
+            "{HEADER}\n\
+             {{\"t_ms\":0,\"cmd\":\"inject-fault\",\"seed\":11,\"layer\":\"counter\",\
+              \"kind\":\"reject\",\"p\":1,\"for_s\":120}}\n\
+             {{\"t_ms\":0,\"cmd\":\"set-budget\",\"budget\":2.5}}\n\
+             {{\"t_ms\":60000,\"cmd\":\"force-replan\"}}\n\
+             {{\"t_ms\":90000,\"cmd\":\"shutdown\"}}\n"
+        );
+        let summary = validate_record_jsonl(&doc).unwrap();
+        assert!(summary.contains("4 command(s)"), "{summary}");
+        assert!(summary.contains("shut down early"), "{summary}");
+        // Commands are optional: a header-only record is a valid
+        // zero-command session.
+        assert!(validate_record_jsonl(HEADER).is_ok());
+    }
+
+    #[test]
+    fn rejects_schema_and_shape_violations() {
+        assert!(validate_record_jsonl("").is_err());
+        assert!(validate_record_jsonl("{\"schema\":\"flower-trace/v1\"}").is_err());
+        let bad = format!("{HEADER}\n{{\"t_ms\":0,\"cmd\":\"pause\"}}\n");
+        assert!(validate_record_jsonl(&bad).is_err(), "wall-clock-only cmd");
+        let bad = format!(
+            "{HEADER}\n{{\"t_ms\":9000,\"cmd\":\"force-replan\"}}\n\
+             {{\"t_ms\":0,\"cmd\":\"shutdown\"}}\n"
+        );
+        assert!(validate_record_jsonl(&bad).is_err(), "backwards t_ms");
+        let bad = format!(
+            "{HEADER}\n{{\"t_ms\":0,\"cmd\":\"shutdown\"}}\n\
+             {{\"t_ms\":0,\"cmd\":\"force-replan\"}}\n"
+        );
+        assert!(
+            validate_record_jsonl(&bad).is_err(),
+            "command after shutdown"
+        );
+        let bad =
+            format!("{HEADER}\n{{\"t_ms\":0,\"cmd\":\"inject-fault\",\"kind\":\"gremlins\"}}\n");
+        assert!(validate_record_jsonl(&bad).is_err(), "unknown fault kind");
+        let bad = format!("{HEADER}\n{{\"t_ms\":0,\"cmd\":\"set-budget\",\"budget\":-1}}\n");
+        assert!(validate_record_jsonl(&bad).is_err(), "negative budget");
+    }
+}
