@@ -14,7 +14,10 @@
 //! * `fast_non_dominated_sort` on a large population, serial triangular
 //!   pass vs. row-parallel;
 //! * the non-dominated filter, sort-then-sweep vs. the naive all-pairs
-//!   scan it replaced.
+//!   scan it replaced;
+//! * the event-driven episode core on a quiet-heavy 1-hour episode,
+//!   tick-compat cadence (every engine second simulated) vs.
+//!   fast-forward (quiet windows jumped to the next scheduled event).
 //!
 //! The JSON records the machine's core count — parallel speedups are
 //! only meaningful on multi-core hosts, and a single-core container
@@ -40,7 +43,10 @@ use std::io::Write as _;
 
 use flower_bench::harness::{measure, Measurement};
 use flower_bench::seed_arg;
-use flower_core::prelude::{ShareAnalyzer, ShareProblem};
+use flower_core::flow::clickstream_flow;
+use flower_core::prelude::{
+    ElasticityManager, ShareAnalyzer, ShareProblem, SimDuration, SimTime, Workload,
+};
 use flower_nsga2::sorting::fast_non_dominated_sort_with;
 use flower_nsga2::{EpsilonArchive, Executor, Individual, Nsga2, Nsga2Config, Problem};
 use flower_obs::Recorder;
@@ -169,6 +175,29 @@ fn run_replan(
         .len()
 }
 
+/// One event-driven elasticity episode over a quiet-heavy workload —
+/// a short busy ramp, then silence until the end. With `fast_forward`
+/// off the engine chain walks every simulated second (the tick-compat
+/// cadence); with it on, quiet windows are covered by a single
+/// catch-up tick per inter-event gap, so the episode costs only its
+/// scheduled control/housekeeping events.
+fn run_episode(minutes: u64, quiet_at_secs: u64, fast_forward: bool, seed: u64) -> usize {
+    // A light busy phase (the skip is what's being measured, and record
+    // generation costs both modes identically) and a 2-minute grid:
+    // fast-forward's jumps are bounded by control events, and it only
+    // engages after one monitoring period of inactivity, so shorter
+    // periods both cost grid events and engage the skip sooner.
+    let mut manager = ElasticityManager::builder(clickstream_flow())
+        .workload(Workload::step(10.0, 0.0, SimTime::from_secs(quiet_at_secs)))
+        .monitoring_period(SimDuration::from_mins(2))
+        .fast_forward(fast_forward)
+        .seed(seed)
+        .build()
+        .expect("bench episode builds");
+    let report = manager.run_for_mins(minutes);
+    report.events_executed as usize
+}
+
 /// Re-measure a pair whose observed direction contradicts the promise
 /// in its comparison name (`baseline ≥ candidate`). A first pass can
 /// land under 1× purely through scheduler noise — the v1 committed
@@ -234,10 +263,15 @@ fn main() {
     // warm runs the refinement budget — the same 60/12 split
     // `ReplanConfig` defaults to.
     let (replan_pop, cold_gens, warm_gens) = if smoke { (24, 16, 4) } else { (60, 60, 12) };
+    // Event-core episodes: mostly-quiet so the fast-forward row has
+    // windows to skip. The full size is the acceptance scenario — a
+    // 1-hour episode that goes quiet after its first half-minute.
+    let (episode_mins, quiet_at_secs) = if smoke { (6, 30) } else { (60, 30) };
 
     println!("B1 — NSGA-II performance baseline (cores {cores}, workers {workers}, seed {seed})");
     println!("  sizes: pop {pop} x gens {gens}, sort n={sort_n}, filter n={filter_n}");
     println!("  replan: pop {replan_pop}, cold gens {cold_gens}, warm gens {warm_gens}");
+    println!("  episode: {episode_mins} min, quiet after {quiet_at_secs} s");
 
     // 1. Full-run evaluation fan-out: 1 worker vs. all workers.
     let eval_serial_f = |n: usize| measure(n, || run_nsga2(pop, gens, weight, seed, 1));
@@ -363,6 +397,25 @@ fn main() {
         &filter_sweep_f,
     );
 
+    // 6. The event-driven episode core: tick-compat cadence (every
+    // engine second simulated) vs. fast-forward (quiet windows jumped
+    // to the next scheduled event). Both rows run the identical
+    // quiet-heavy episode; only the fast-forward switch differs.
+    let episode_compat_f =
+        |n: usize| measure(n, || run_episode(episode_mins, quiet_at_secs, false, seed));
+    let episode_ff_f =
+        |n: usize| measure(n, || run_episode(episode_mins, quiet_at_secs, true, seed));
+    let mut episode_compat = episode_compat_f(samples);
+    let mut episode_ff = episode_ff_f(samples);
+    settle_direction(
+        "event_core_fast_forward_speedup",
+        samples,
+        &mut episode_compat,
+        &mut episode_ff,
+        &episode_compat_f,
+        &episode_ff_f,
+    );
+
     let results = [
         NamedResult {
             name: "nsga2_run_eval_heavy_serial",
@@ -404,6 +457,14 @@ fn main() {
             name: "hypervolume_naive_filter",
             m: filter_naive,
         },
+        NamedResult {
+            name: "event_core_tick_compat",
+            m: episode_compat,
+        },
+        NamedResult {
+            name: "event_core_fast_forward",
+            m: episode_ff,
+        },
     ];
 
     let comparisons = [
@@ -437,6 +498,12 @@ fn main() {
             "hypervolume_sweep_filter",
             filter_naive.median_ns / filter_sweep.median_ns,
         ),
+        (
+            "event_core_fast_forward_speedup",
+            "event_core_tick_compat",
+            "event_core_fast_forward",
+            episode_compat.median_ns / episode_ff.median_ns,
+        ),
     ];
 
     for r in &results {
@@ -459,7 +526,8 @@ fn main() {
     json.push_str(
         "  \"note\": \"parallel_* speedups reflect this machine's core count; \
          on a single-core host they are ~1x by construction. replan_warm_vs_cold \
-         is algorithmic (generation budget), not core-count dependent. \
+         and event_core_fast_forward_speedup are algorithmic (generation budget; \
+         events executed), not core-count dependent. \
          Directional comparisons are re-measured (3x samples, twice) before an \
          inverted value is published\",\n",
     );

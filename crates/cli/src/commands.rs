@@ -45,6 +45,10 @@ COMMANDS:
                                    fault plan; enables the resilience
                                    policy (retries, timeouts, degraded
                                    mode) alongside
+              --fast-forward true  skip quiet windows: when the workload
+                                   is idle, jump the clock to the next
+                                   scheduled event instead of simulating
+                                   every second (long-horizon episodes)
               --config PATH        load a wizard config file (overrides
                                    the flags above; see flower_core::wizard)
   plan      resource share analysis under a budget (Fig. 4)
@@ -177,6 +181,8 @@ pub struct EpisodeSpec {
     pub replan: Option<u64>,
     /// `--faults` spec (preset name or plan file path), if any.
     pub faults: Option<String>,
+    /// Skip quiet windows (`--fast-forward true`).
+    pub fast_forward: bool,
 }
 
 impl EpisodeSpec {
@@ -196,6 +202,7 @@ impl EpisodeSpec {
             controller: args.str_or("controller", "adaptive"),
             replan,
             faults: args.get("faults").map(str::to_owned),
+            fast_forward: args.str_or("fast-forward", "false") == "true",
         })
     }
 
@@ -237,6 +244,7 @@ impl EpisodeSpec {
                 None => None,
             },
             faults: map.get("faults").cloned(),
+            fast_forward: map.get("fast_forward").map(String::as_str) == Some("true"),
         })
     }
 
@@ -255,6 +263,9 @@ impl EpisodeSpec {
         if let Some(faults) = &self.faults {
             map.insert("faults".to_owned(), faults.clone());
         }
+        if self.fast_forward {
+            map.insert("fast_forward".to_owned(), "true".to_owned());
+        }
         map
     }
 
@@ -266,6 +277,7 @@ impl EpisodeSpec {
         let mut builder = ElasticityManager::builder(flow())
             .workload(workload(&self.workload, self.rate, self.seed)?)
             .monitoring_period(SimDuration::from_secs(self.period))
+            .fast_forward(self.fast_forward)
             .seed(self.seed);
         for (layer, spec) in Layer::ALL.into_iter().zip(specs) {
             builder = builder.controller(layer, spec);

@@ -5,6 +5,33 @@
 //! simulated three-layer cloud deployment; per-layer sensor → controller
 //! → actuator loops run every monitoring period; everything observable is
 //! recorded into an [`EpisodeReport`] for scoring and plotting.
+//!
+//! # Event-driven core
+//!
+//! The episode runs on [`flower_sim::Scheduler`] as discrete events, not
+//! a per-second loop. Every instant that the retired tick loop touched is
+//! now an explicit scheduled event, and events sharing a timestamp fire
+//! in a fixed class order that reproduces the old loop's intra-second
+//! sequencing byte-for-byte (see DESIGN.md §15):
+//!
+//! 1. `POLL` — resilience housekeeping (delayed-resize landings, actuation
+//!    timeouts, retry backoffs), scheduled on demand at the next due
+//!    instant instead of polled every second;
+//! 2. `CONTROL` — the per-layer sensor → controller → actuator rounds on
+//!    the monitoring-period grid;
+//! 3. `RCU` — the storage read-capacity loop on the same grid;
+//! 4. `ALARM` — cross-platform alarm evaluation on the one-minute grid of
+//!    traced episodes;
+//! 5. `REPLAN` — re-planning rounds at the replanner's cadence (a single
+//!    cancellable event, rescheduled from `next_due`);
+//! 6. `ENGINE` — the cloud-engine tick covering the span to the next
+//!    engine event (normally one second; longer in fast-forward).
+//!
+//! With [`ElasticityManagerBuilder::fast_forward`] enabled, quiet windows
+//! — zero offered rate, no pending work — are covered by a single
+//! catch-up engine tick to the next scheduled event instead of one tick
+//! per second, so month-scale episodes cost wall-clock proportional to
+//! activity, not duration.
 
 use std::collections::BTreeMap;
 
@@ -13,7 +40,7 @@ use flower_cloud::{CloudEngine, ReadWorkloadConfig};
 use flower_control::Controller;
 use flower_control::ResponseMetrics;
 use flower_obs::{kind, FieldValue, Recorder, SpanId};
-use flower_sim::{SimDuration, SimRng, SimTime};
+use flower_sim::{EventHandle, Scheduler, SimDuration, SimRng, SimTime};
 use flower_workload::{
     ArrivalProcess, ClickStreamConfig, ClickStreamGenerator, ConstantRate, DiurnalRate, FlashCrowd,
     RateTrace, StepRate,
@@ -127,6 +154,7 @@ pub struct ElasticityManagerBuilder {
     recorder: Recorder,
     faults: Option<FaultPlan>,
     resilience: Option<ResilienceConfig>,
+    fast_forward: bool,
 }
 
 /// The default controller spec for `layer`: the paper's setpoints for
@@ -175,6 +203,7 @@ impl ElasticityManagerBuilder {
             recorder: Recorder::disabled(),
             faults: None,
             resilience: None,
+            fast_forward: false,
         }
     }
 
@@ -225,6 +254,21 @@ impl ElasticityManagerBuilder {
     pub fn monitoring_period(mut self, period: SimDuration) -> Self {
         assert!(!period.is_zero(), "monitoring period must be non-zero");
         self.monitoring_period = period;
+        self
+    }
+
+    /// Skip quiet windows: when the arrival process offers a zero rate,
+    /// no housekeeping is due, and the workload has been quiet for at
+    /// least one monitoring period, the engine covers the span to the
+    /// next scheduled event with a single catch-up tick instead of one
+    /// tick per second. Billing stays exact (resources cannot change
+    /// inside a skipped span — any event that could change them bounds
+    /// it), but per-second trace samples inside skipped spans collapse
+    /// to one boundary sample, so fixtures that pin per-second bytes
+    /// keep this **off** (the default). Fast-forwarded episodes are
+    /// deterministic in their own right: same seed ⇒ same bytes.
+    pub fn fast_forward(mut self, enabled: bool) -> Self {
+        self.fast_forward = enabled;
         self
     }
 
@@ -415,14 +459,33 @@ impl ElasticityManagerBuilder {
         }
 
         let layers = engine.layer_ids();
-        Ok(ElasticityManager {
+
+        // The recurring event chains. Control, RCU, and alarm rounds
+        // fire at whole seconds that are also multiples of their period,
+        // i.e. on the lcm(period, 1 s) grid, starting at the first grid
+        // point after t = 0; each event reschedules itself, so the
+        // chains persist across episodes exactly like the old loop's
+        // modulo checks did. Poll and replan events are scheduled on
+        // demand from their next due instants.
+        let mut sched: Scheduler<World> = Scheduler::new();
+        let control_grid =
+            SimDuration::from_millis(lcm_ms(self.monitoring_period.as_millis(), 1_000));
+        sched.schedule_at_class(SimTime::ZERO + control_grid, CLASS_CONTROL, control_event);
+        if rcu_loop.is_some() {
+            sched.schedule_at_class(SimTime::ZERO + control_grid, CLASS_RCU, rcu_event);
+        }
+        if self.recorder.is_enabled() {
+            sched.schedule_at_class(SimTime::from_secs(60), CLASS_ALARM, alarm_event);
+        }
+
+        let mut world = World {
             flow: self.flow,
             engine,
             provisioning,
             process: workload.process,
             generator,
             monitoring_period: self.monitoring_period,
-            now: SimTime::ZERO,
+            control_grid,
             controller_specs,
             replanner,
             rcu_loop,
@@ -431,7 +494,14 @@ impl ElasticityManagerBuilder {
             monitor,
             alarm_spans: BTreeMap::new(),
             episode: None,
-        })
+            fast_forward: self.fast_forward,
+            last_active: SimTime::ZERO,
+            poll_handle: None,
+            replan_handle: None,
+            engine_alive: false,
+        };
+        reschedule_replan(&mut sched, &mut world);
+        Ok(ElasticityManager { sched, world })
     }
 }
 
@@ -448,12 +518,14 @@ pub struct EpisodeReport {
     /// The layers under management, in registry (ascending) order. The
     /// per-layer vectors below are parallel to this list.
     pub layers: Vec<Layer>,
-    /// Offered arrival rate per second, per tick.
+    /// Offered arrival rate per second, per engine tick. In fast-forward
+    /// a skipped span contributes a single boundary sample.
     pub arrival_trace: Vec<(SimTime, f64)>,
     /// Per-layer measurement traces (ingestion %, analytics CPU %,
-    /// storage write %, …) at tick resolution, parallel to `layers`.
+    /// storage write %, …) at engine-tick resolution, parallel to
+    /// `layers`.
     pub measurement_traces: Vec<Vec<(SimTime, f64)>>,
-    /// Per-layer actuator traces (shards, VMs, WCU, …) at tick
+    /// Per-layer actuator traces (shards, VMs, WCU, …) at engine-tick
     /// resolution, parallel to `layers`.
     pub actuator_traces: Vec<Vec<(SimTime, f64)>>,
     /// Total dollars spent.
@@ -484,6 +556,13 @@ pub struct EpisodeReport {
     pub throttled_reads: u64,
     /// Scaling actions taken by the RCU loop.
     pub rcu_actions: u64,
+    /// Discrete events the scheduler executed over the manager's
+    /// lifetime so far — the event-core cost model's native unit. With
+    /// fast-forward, quiet windows drive this far below one event per
+    /// simulated second.
+    pub events_executed: u64,
+    /// High-water mark of the scheduler's pending-event queue depth.
+    pub queue_high_water: u64,
 }
 
 impl EpisodeReport {
@@ -507,6 +586,8 @@ impl EpisodeReport {
             rcu_trace: Vec::new(),
             throttled_reads: 0,
             rcu_actions: 0,
+            events_executed: 0,
+            queue_high_water: 0,
         }
     }
 
@@ -550,15 +631,53 @@ impl EpisodeReport {
     }
 }
 
-/// The elasticity manager: workload + cloud + provisioning loops.
-pub struct ElasticityManager {
+// Tie-break classes: at a shared timestamp, housekeeping (poll, control,
+// RCU, alarm, replan — in that order) fires before the engine tick,
+// reproducing the retired loop's "housekeeping for T runs at the end of
+// the previous second's tick" sequencing.
+const CLASS_POLL: u8 = 0;
+const CLASS_CONTROL: u8 = 1;
+const CLASS_RCU: u8 = 2;
+const CLASS_ALARM: u8 = 3;
+const CLASS_REPLAN: u8 = 4;
+const CLASS_ENGINE: u8 = 5;
+
+/// Least common multiple of two periods in milliseconds.
+fn lcm_ms(a: u64, b: u64) -> u64 {
+    fn gcd(mut a: u64, mut b: u64) -> u64 {
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a
+    }
+    a / gcd(a, b) * b
+}
+
+/// `t` rounded up to the next whole second (identity on whole seconds).
+fn ceil_whole_second(t: SimTime) -> SimTime {
+    SimTime::from_millis(t.as_millis().div_ceil(1_000) * 1_000)
+}
+
+/// The first whole second strictly after `t` — where the retired loop
+/// would next run housekeeping.
+fn next_whole_second_after(t: SimTime) -> SimTime {
+    SimTime::from_millis((t.as_millis() / 1_000 + 1) * 1_000)
+}
+
+/// Mutable world state the scheduler's events operate on. Event bodies
+/// are free functions over `(&mut Scheduler<World>, &mut World)` so
+/// chains can reschedule themselves.
+struct World {
     flow: FlowSpec,
     engine: CloudEngine,
     provisioning: ProvisioningManager,
     process: Box<dyn ArrivalProcess>,
     generator: ClickStreamGenerator,
     monitoring_period: SimDuration,
-    now: SimTime,
+    /// lcm(monitoring period, 1 s): the control/RCU rounds' actual grid.
+    control_grid: SimDuration,
     controller_specs: Vec<(Layer, ControllerSpec)>,
     replanner: Option<Replanner>,
     rcu_loop: Option<RcuLoop>,
@@ -567,6 +686,17 @@ pub struct ElasticityManager {
     monitor: CrossPlatformMonitor,
     alarm_spans: BTreeMap<String, SpanId>,
     episode: Option<EpisodeState>,
+    fast_forward: bool,
+    /// Last instant the arrival process offered a non-zero rate; quiet
+    /// spans are only skipped after one full monitoring period of
+    /// silence so backlogs and boot timers settle first.
+    last_active: SimTime,
+    poll_handle: Option<EventHandle>,
+    replan_handle: Option<EventHandle>,
+    /// Whether the self-rescheduling engine chain has a live event in
+    /// the queue. The chain dies at episode end and `start_episode`
+    /// revives it.
+    engine_alive: bool,
 }
 
 /// In-flight bookkeeping between [`ElasticityManager::start_episode`]
@@ -575,6 +705,246 @@ struct EpisodeState {
     end: SimTime,
     span: SpanId,
     prev_actuators: Vec<f64>,
+    events_at_start: u64,
+}
+
+/// ENGINE event: cover `[t, next engine event)` with one cloud-engine
+/// tick — one second in tick-compat mode, the whole quiet span in
+/// fast-forward — then reschedule at the span's end. Dies (clearing
+/// `engine_alive`) at or past the episode end.
+fn engine_event(s: &mut Scheduler<World>, w: &mut World) {
+    let t = s.now();
+    let Some(end) = w.episode.as_ref().map(|e| e.end) else {
+        w.engine_alive = false;
+        return;
+    };
+    if t >= end {
+        w.engine_alive = false;
+        return;
+    }
+    let rate = w.process.rate(t);
+    let mut until = t + SimDuration::from_secs(1);
+    let mut fast_forwarding = false;
+    if w.fast_forward && rate <= 0.0 && t.since(w.last_active) >= w.monitoring_period {
+        // Skip to the earliest of: the workload waking up, the episode
+        // end, or the next scheduled event. Capping at the next event
+        // keeps the skipped span observably inert — nothing that could
+        // resize, decide, or emit fires inside it — so one catch-up
+        // tick bills exactly what per-second ticks would have.
+        let wake = w.process.next_active(t);
+        let mut horizon = if wake >= end {
+            end
+        } else {
+            ceil_whole_second(wake).min(end)
+        };
+        if let Some(next_event) = s.next_event_time() {
+            horizon = horizon.min(next_event);
+        }
+        if horizon > until {
+            until = horizon;
+            fast_forwarding = true;
+        }
+    }
+    if rate > 0.0 {
+        w.last_active = t;
+    }
+    let records = if fast_forwarding {
+        Vec::new()
+    } else {
+        w.generator.tick_at_rate(rate, t, 1.0)
+    };
+    w.report.offered_records += records.len() as u64;
+    w.report.arrival_trace.push((t, rate));
+
+    let tick = w.engine.tick(&records, t, until.since(t));
+    w.report.accepted_records += tick.ingest.accepted;
+    w.report.throttled_ingest += tick.ingest.throttled;
+    w.report.throttled_storage += tick.write.throttled;
+    w.report.stored_items += tick.write.written;
+    w.report.dropped_tuples += tick.process.dropped;
+    w.report.total_cost_dollars += tick.cost;
+
+    for (i, service) in w.engine.services().into_iter().enumerate() {
+        let Some(v) = service.measurement(&tick) else {
+            continue;
+        };
+        if let Some(trace) = w.report.measurement_traces.get_mut(i) {
+            trace.push((t, v));
+        }
+    }
+    w.report.throttled_reads += tick.read.throttled;
+    w.report
+        .read_utilization_trace
+        .push((t, tick.read.utilization * 100.0));
+    w.report
+        .rcu_trace
+        .push((t, w.engine.dynamo().provisioned_rcu()));
+
+    let actuators: Vec<f64> = w
+        .engine
+        .services()
+        .iter()
+        .map(|svc| svc.actuator_units())
+        .collect();
+    for (i, &a) in actuators.iter().enumerate() {
+        if let Some(trace) = w.report.actuator_traces.get_mut(i) {
+            trace.push((t, a));
+        }
+        let changed = w
+            .episode
+            .as_ref()
+            .and_then(|e| e.prev_actuators.get(i))
+            .is_some_and(|p| (a - p).abs() > 1e-9);
+        if changed {
+            if let Some(slot) = w.report.scaling_actions.get_mut(i) {
+                *slot += 1;
+            }
+        }
+    }
+    if let Some(episode) = w.episode.as_mut() {
+        episode.prev_actuators = actuators;
+    }
+    s.schedule_at_class(until, CLASS_ENGINE, engine_event);
+}
+
+/// CONTROL event: one provisioning round (sensor → controller →
+/// actuator per managed layer) on the monitoring-period grid. Control
+/// decisions can create retry/timeout work, so the poll event is
+/// re-aimed afterwards.
+fn control_event(s: &mut Scheduler<World>, w: &mut World) {
+    let t = s.now();
+    w.provisioning.step(&mut w.engine, t);
+    reschedule_poll(s, w);
+    s.schedule_at_class(t + w.control_grid, CLASS_CONTROL, control_event);
+}
+
+/// RCU event: the storage read-capacity loop, sharing the control grid.
+fn rcu_event(s: &mut Scheduler<World>, w: &mut World) {
+    let t = s.now();
+    if let Some(rcu) = &mut w.rcu_loop {
+        let sensor = sensors::read_utilization(w.flow.storage.name());
+        if let Some(measurement) = sensor.read(w.engine.metrics(), t, w.monitoring_period) {
+            let commanded = rcu.controller.step(measurement);
+            let desired = commanded.clamp(rcu.bounds.min, rcu.bounds.max);
+            let applied = desired.round();
+            let before = w.engine.dynamo().target_rcu();
+            let accepted = w.engine.scale_rcu(applied, t).is_ok();
+            let in_force = if accepted {
+                desired
+            } else {
+                w.engine.dynamo().target_rcu()
+            };
+            rcu.controller.sync_actuator(in_force);
+            if accepted && (applied - before).abs() > 1e-9 {
+                rcu.actions += 1;
+            }
+        }
+    }
+    s.schedule_at_class(t + w.control_grid, CLASS_RCU, rcu_event);
+}
+
+/// ALARM event: traced episodes evaluate the cross-platform alarms on
+/// the one-minute grid (the alarms' own evaluation period) and record
+/// state transitions; an `alarm:<name>` span spans the sim-time
+/// interval each alarm stays in ALARM.
+fn alarm_event(s: &mut Scheduler<World>, w: &mut World) {
+    let t = s.now();
+    let transitions = w.monitor.observe(w.engine.metrics(), t);
+    w.recorder.set_now(t);
+    for tr in &transitions {
+        let mut fields: Vec<(&'static str, FieldValue)> = vec![
+            ("alarm", tr.alarm.as_str().into()),
+            ("from", tr.from.to_string().into()),
+            ("to", tr.to.to_string().into()),
+        ];
+        if let Some(value) = tr.value {
+            fields.push(("value", value.into()));
+        }
+        w.recorder.emit(kind::ALARM_TRANSITION, &fields);
+        w.recorder.count("alarm.transitions", 1);
+        let span_name = format!("alarm:{}", tr.alarm);
+        if tr.to == AlarmState::Alarm {
+            let id = w.recorder.span_enter(&span_name);
+            w.alarm_spans.insert(tr.alarm.clone(), id);
+        } else if let Some(id) = w.alarm_spans.remove(&tr.alarm) {
+            w.recorder.span_exit(id);
+        }
+    }
+    s.schedule_at_class(t + SimDuration::from_secs(60), CLASS_ALARM, alarm_event);
+}
+
+/// POLL event: resilience housekeeping — land delayed resizes, expire
+/// in-flight actuations past their timeout, fire due retries — then
+/// re-aim at whatever due instant remains.
+fn poll_event(s: &mut Scheduler<World>, w: &mut World) {
+    w.poll_handle = None;
+    w.provisioning.poll(&mut w.engine, s.now());
+    reschedule_poll(s, w);
+}
+
+/// Re-aim the single poll event at the ceiling-to-whole-second of the
+/// provisioning manager's earliest due instant (the retired loop
+/// observed dues on the one-second grid). No due work ⇒ no event: quiet
+/// resilience bookkeeping costs nothing.
+fn reschedule_poll(s: &mut Scheduler<World>, w: &mut World) {
+    if let Some(h) = w.poll_handle.take() {
+        s.cancel(h);
+    }
+    if let Some(due) = w.provisioning.next_due() {
+        let at = ceil_whole_second(due);
+        let at = if at <= s.now() {
+            next_whole_second_after(s.now())
+        } else {
+            at
+        };
+        w.poll_handle = Some(s.schedule_at_class(at, CLASS_POLL, poll_event));
+    }
+}
+
+/// REPLAN event: one re-planning round. A failed round (thin window,
+/// infeasible problem) leaves the previous bounds in force; either way
+/// the replanner advances `next_due` and the event re-aims from it.
+fn replan_event(s: &mut Scheduler<World>, w: &mut World) {
+    w.replan_handle = None;
+    let t = s.now();
+    if let Some(replanner) = &mut w.replanner {
+        if replanner.is_due(t) {
+            if let Ok(outcome) = replanner.replan(w.engine.metrics(), t) {
+                for (layer, max_units) in outcome.plan.shares.iter() {
+                    w.provisioning.set_bounds(layer, 1.0, max_units.max(1.0));
+                }
+            }
+        }
+    }
+    reschedule_replan(s, w);
+}
+
+/// Re-aim the single replan event at the ceiling-to-whole-second of the
+/// replanner's `next_due` (the retired loop checked `is_due` on the
+/// one-second grid). `force_next` resets `next_due` into the past, so a
+/// forced round lands at the next whole second — the old "next tick
+/// boundary" contract.
+fn reschedule_replan(s: &mut Scheduler<World>, w: &mut World) {
+    if let Some(h) = w.replan_handle.take() {
+        s.cancel(h);
+    }
+    let Some(replanner) = w.replanner.as_ref() else {
+        return;
+    };
+    let at = ceil_whole_second(replanner.next_due());
+    let at = if at <= s.now() {
+        next_whole_second_after(s.now())
+    } else {
+        at
+    };
+    w.replan_handle = Some(s.schedule_at_class(at, CLASS_REPLAN, replan_event));
+}
+
+/// The elasticity manager: workload + cloud + provisioning loops on a
+/// discrete-event scheduler.
+pub struct ElasticityManager {
+    sched: Scheduler<World>,
+    world: World,
 }
 
 impl ElasticityManager {
@@ -585,18 +955,19 @@ impl ElasticityManager {
 
     /// The flow under management.
     pub fn flow(&self) -> &FlowSpec {
-        &self.flow
+        &self.world.flow
     }
 
     /// The simulated cloud (read access for dashboards).
     pub fn engine(&self) -> &CloudEngine {
-        &self.engine
+        &self.world.engine
     }
 
     /// The controller spec of one layer (`None` for layers the engine
     /// does not register).
     pub fn controller_spec(&self, layer: Layer) -> Option<&ControllerSpec> {
-        self.controller_specs
+        self.world
+            .controller_specs
             .iter()
             .find(|(l, _)| *l == layer)
             .map(|(_, s)| s)
@@ -604,12 +975,13 @@ impl ElasticityManager {
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.sched.now()
     }
 
     /// Completed re-planning rounds (empty without a replanner).
     pub fn replan_history(&self) -> &[ReplanOutcome] {
-        self.replanner
+        self.world
+            .replanner
             .as_ref()
             .map_or(&[], super::replan::Replanner::history)
     }
@@ -617,195 +989,73 @@ impl ElasticityManager {
     /// The attached observability recorder (disabled unless one was
     /// passed to [`ElasticityManagerBuilder::recorder`]).
     pub fn recorder(&self) -> &Recorder {
-        &self.recorder
+        &self.world.recorder
     }
 
     /// The cross-platform monitor whose alarms the traced episode
     /// evaluates on the one-minute grid.
     pub fn monitor(&self) -> &CrossPlatformMonitor {
-        &self.monitor
+        &self.world.monitor
     }
 
-    /// Run for `duration` (1-second ticks), extending any previous run.
-    /// Returns a clone of the cumulative report.
+    /// Run for `duration`, extending any previous run. Returns a clone
+    /// of the cumulative report.
     ///
-    /// Equivalent to [`Self::start_episode`] + [`Self::tick`] to
-    /// exhaustion + [`Self::finish_episode`] — the decomposed form
-    /// `flower serve` drives so it can apply live commands between
-    /// ticks without perturbing the byte-identical trace.
+    /// Equivalent to [`Self::start_episode`] + [`Self::run_until`] to
+    /// the episode end + [`Self::finish_episode`] — the decomposed form
+    /// `flower serve` drives so it can apply live commands at second
+    /// boundaries without perturbing the byte-identical trace.
     pub fn run_for(&mut self, duration: SimDuration) -> EpisodeReport {
         self.start_episode(duration);
-        while self.tick() {}
+        if let Some(end) = self.world.episode.as_ref().map(|e| e.end) {
+            self.run_until(end);
+        }
         self.finish_episode()
     }
 
     /// Open an episode ending `duration` from now: enter the
-    /// `episode.run` span and snapshot actuator positions. Ticks are
-    /// then advanced one at a time with [`Self::tick`].
+    /// `episode.run` span, snapshot actuator positions, and (re)arm the
+    /// engine event chain. Time is then advanced with
+    /// [`Self::run_until`].
     pub fn start_episode(&mut self, duration: SimDuration) {
-        let end = self.now + duration;
-        self.recorder.set_now(self.now);
-        let span = self.recorder.span_enter("episode.run");
+        let now = self.sched.now();
+        let end = now + duration;
+        self.world.recorder.set_now(now);
+        let span = self.world.recorder.span_enter("episode.run");
         let prev_actuators: Vec<f64> = self
+            .world
             .engine
             .services()
             .iter()
             .map(|s| s.actuator_units())
             .collect();
-        self.episode = Some(EpisodeState {
+        self.world.episode = Some(EpisodeState {
             end,
             span,
             prev_actuators,
+            events_at_start: self.sched.executed(),
         });
+        if !self.world.engine_alive {
+            self.world.engine_alive = true;
+            self.sched
+                .schedule_at_class(now, CLASS_ENGINE, engine_event);
+        }
     }
 
-    /// Advance one 1-second tick of the open episode. Returns `false`
-    /// once the episode's end is reached (or none is open) — time to
-    /// call [`Self::finish_episode`].
-    pub fn tick(&mut self) -> bool {
-        let dt = SimDuration::from_secs(1);
-        let Some(end) = self.episode.as_ref().map(|e| e.end) else {
+    /// Execute every event up to `min(until, episode end)` inclusive,
+    /// advancing the clock exactly there. Returns `false` once the
+    /// episode's end has been reached (or none is open) — time to call
+    /// [`Self::finish_episode`]. `flower serve` drives this one second
+    /// at a time so live commands land on second boundaries; batch runs
+    /// pass the episode end directly and pay no per-second overhead.
+    pub fn run_until(&mut self, until: SimTime) -> bool {
+        let Some(end) = self.world.episode.as_ref().map(|e| e.end) else {
             return false;
         };
-        if self.now >= end {
+        if self.sched.now() >= end {
             return false;
         }
-        {
-            let rate = self.process.rate(self.now);
-            let records = self.generator.tick_at_rate(rate, self.now, 1.0);
-            self.report.offered_records += records.len() as u64;
-            self.report.arrival_trace.push((self.now, rate));
-
-            let tick = self.engine.tick(&records, self.now, dt);
-            self.report.accepted_records += tick.ingest.accepted;
-            self.report.throttled_ingest += tick.ingest.throttled;
-            self.report.throttled_storage += tick.write.throttled;
-            self.report.stored_items += tick.write.written;
-            self.report.dropped_tuples += tick.process.dropped;
-            self.report.total_cost_dollars += tick.cost;
-
-            for (i, service) in self.engine.services().into_iter().enumerate() {
-                let Some(v) = service.measurement(&tick) else {
-                    continue;
-                };
-                if let Some(trace) = self.report.measurement_traces.get_mut(i) {
-                    trace.push((self.now, v));
-                }
-            }
-            self.report.throttled_reads += tick.read.throttled;
-            self.report
-                .read_utilization_trace
-                .push((self.now, tick.read.utilization * 100.0));
-            self.report
-                .rcu_trace
-                .push((self.now, self.engine.dynamo().provisioned_rcu()));
-
-            let actuators: Vec<f64> = self
-                .engine
-                .services()
-                .iter()
-                .map(|s| s.actuator_units())
-                .collect();
-            for (i, &a) in actuators.iter().enumerate() {
-                if let Some(trace) = self.report.actuator_traces.get_mut(i) {
-                    trace.push((self.now, a));
-                }
-                let changed = self
-                    .episode
-                    .as_ref()
-                    .and_then(|e| e.prev_actuators.get(i))
-                    .is_some_and(|p| (a - p).abs() > 1e-9);
-                if changed {
-                    if let Some(slot) = self.report.scaling_actions.get_mut(i) {
-                        *slot += 1;
-                    }
-                }
-            }
-            if let Some(episode) = self.episode.as_mut() {
-                episode.prev_actuators = actuators;
-            }
-
-            let next = self.now + dt;
-            // Resilience housekeeping every tick: land delayed resizes,
-            // expire timeouts, fire due retries. A no-op without a fault
-            // injector or resilience policy.
-            self.provisioning.poll(&mut self.engine, next);
-            // Control rounds on the monitoring-period grid.
-            if next
-                .as_millis()
-                .is_multiple_of(self.monitoring_period.as_millis())
-            {
-                self.provisioning.step(&mut self.engine, next);
-            }
-            // The RCU loop shares the monitoring-period grid.
-            if next
-                .as_millis()
-                .is_multiple_of(self.monitoring_period.as_millis())
-            {
-                if let Some(rcu) = &mut self.rcu_loop {
-                    let sensor =
-                        crate::provision::sensors::read_utilization(self.flow.storage.name());
-                    if let Some(measurement) =
-                        sensor.read(self.engine.metrics(), next, self.monitoring_period)
-                    {
-                        let commanded = rcu.controller.step(measurement);
-                        let desired = commanded.clamp(rcu.bounds.min, rcu.bounds.max);
-                        let applied = desired.round();
-                        let before = self.engine.dynamo().target_rcu();
-                        let accepted = self.engine.scale_rcu(applied, next).is_ok();
-                        let in_force = if accepted {
-                            desired
-                        } else {
-                            self.engine.dynamo().target_rcu()
-                        };
-                        rcu.controller.sync_actuator(in_force);
-                        if accepted && (applied - before).abs() > 1e-9 {
-                            rcu.actions += 1;
-                        }
-                    }
-                }
-            }
-            // Traced episodes evaluate the cross-platform alarms on the
-            // one-minute grid (the alarms' own evaluation period) and
-            // record state transitions; an `alarm:<name>` span spans the
-            // sim-time interval each alarm stays in ALARM.
-            if self.recorder.is_enabled() && next.as_millis().is_multiple_of(60_000) {
-                let transitions = self.monitor.observe(self.engine.metrics(), next);
-                self.recorder.set_now(next);
-                for tr in &transitions {
-                    let mut fields: Vec<(&'static str, FieldValue)> = vec![
-                        ("alarm", tr.alarm.as_str().into()),
-                        ("from", tr.from.to_string().into()),
-                        ("to", tr.to.to_string().into()),
-                    ];
-                    if let Some(value) = tr.value {
-                        fields.push(("value", value.into()));
-                    }
-                    self.recorder.emit(kind::ALARM_TRANSITION, &fields);
-                    self.recorder.count("alarm.transitions", 1);
-                    let span_name = format!("alarm:{}", tr.alarm);
-                    if tr.to == AlarmState::Alarm {
-                        let id = self.recorder.span_enter(&span_name);
-                        self.alarm_spans.insert(tr.alarm.clone(), id);
-                    } else if let Some(id) = self.alarm_spans.remove(&tr.alarm) {
-                        self.recorder.span_exit(id);
-                    }
-                }
-            }
-            // Re-planning rounds at the (much slower) replanner cadence.
-            // A failed round (thin window, infeasible problem) leaves the
-            // previous bounds in force.
-            if let Some(replanner) = &mut self.replanner {
-                if replanner.is_due(next) {
-                    if let Ok(outcome) = replanner.replan(self.engine.metrics(), next) {
-                        for (layer, max_units) in outcome.plan.shares.iter() {
-                            self.provisioning.set_bounds(layer, 1.0, max_units.max(1.0));
-                        }
-                    }
-                }
-            }
-            self.now = next;
-        }
+        self.sched.run_until(until.min(end), &mut self.world);
         true
     }
 
@@ -813,20 +1063,37 @@ impl ElasticityManager {
     /// totals, exit the `episode.run` span, and return a clone of the
     /// cumulative report. A no-op span-wise when no episode is open.
     pub fn finish_episode(&mut self) -> EpisodeReport {
-        let managed = self.report.layers.clone();
+        let managed = self.world.report.layers.clone();
         for (i, layer) in managed.into_iter().enumerate() {
-            if let Some(slot) = self.report.rejected_actuations.get_mut(i) {
-                *slot = self.provisioning.rejected(layer);
+            if let Some(slot) = self.world.report.rejected_actuations.get_mut(i) {
+                *slot = self.world.provisioning.rejected(layer);
             }
         }
-        if let Some(rcu) = &self.rcu_loop {
-            self.report.rcu_actions = rcu.actions;
+        if let Some(rcu) = &self.world.rcu_loop {
+            self.world.report.rcu_actions = rcu.actions;
         }
-        if let Some(state) = self.episode.take() {
-            self.recorder.set_now(self.now);
-            self.recorder.span_exit(state.span);
+        self.world.report.events_executed = self.sched.executed();
+        self.world.report.queue_high_water = self.sched.high_water() as u64;
+        if let Some(state) = self.world.episode.take() {
+            self.world.recorder.set_now(self.sched.now());
+            // Event-core counters ride only on fast-forwarded episodes:
+            // golden fixtures recorded from tick-compat runs must keep
+            // their summary bytes.
+            if self.world.fast_forward && self.world.recorder.is_enabled() {
+                self.world.recorder.count(
+                    "engine.events_executed",
+                    self.sched.executed().saturating_sub(state.events_at_start),
+                );
+                self.world
+                    .recorder
+                    .gauge("engine.queue_depth", self.sched.pending() as f64);
+                self.world
+                    .recorder
+                    .gauge("engine.queue_high_water", self.sched.high_water() as f64);
+            }
+            self.world.recorder.span_exit(state.span);
         }
-        self.report.clone()
+        self.world.report.clone()
     }
 
     /// Run for `minutes` simulated minutes.
@@ -834,17 +1101,18 @@ impl ElasticityManager {
         self.run_for(SimDuration::from_mins(minutes))
     }
 
-    /// Force the replanner's next round to run at the next tick
+    /// Force the replanner's next round to run at the next second
     /// boundary (the `force-replan` live command). Returns `false`
     /// when no replanner is attached.
     pub fn force_replan(&mut self) -> bool {
-        match self.replanner.as_mut() {
+        match self.world.replanner.as_mut() {
             Some(replanner) => {
                 replanner.force_next();
-                true
             }
-            None => false,
+            None => return false,
         }
+        reschedule_replan(&mut self.sched, &mut self.world);
+        true
     }
 
     /// Change the replanner's budget for subsequent rounds (the
@@ -854,7 +1122,7 @@ impl ElasticityManager {
         if !budget.is_finite() || budget <= 0.0 {
             return false;
         }
-        match self.replanner.as_mut() {
+        match self.world.replanner.as_mut() {
             Some(replanner) => {
                 replanner.set_budget(budget);
                 true
@@ -868,7 +1136,8 @@ impl ElasticityManager {
     /// default resilience policy on first use; later clauses join the
     /// existing injector's plan, preserving its RNG stream positions.
     pub fn inject_fault(&mut self, seed: u64, clause: flower_chaos::FaultClause) {
-        self.provisioning.inject_fault(seed, clause);
+        self.world.provisioning.inject_fault(seed, clause);
+        reschedule_poll(&mut self.sched, &mut self.world);
     }
 }
 
@@ -898,6 +1167,7 @@ mod tests {
         assert!(report.offered_records > 250_000);
         assert!(report.accepted_records <= report.offered_records);
         assert_eq!(m.now(), SimTime::from_mins(5));
+        assert!(report.events_executed > 300, "engine + housekeeping events");
     }
 
     #[test]
@@ -1013,6 +1283,25 @@ mod tests {
     }
 
     #[test]
+    fn run_until_advances_in_second_steps_like_serve() {
+        // The serve daemon's drive pattern: one second per call, live
+        // commands between calls. Must produce the same report as one
+        // batch run_until.
+        let mut stepped = manager(Workload::constant(800.0));
+        stepped.start_episode(SimDuration::from_mins(2));
+        let mut boundaries = 0;
+        while stepped.run_until(stepped.now() + SimDuration::from_secs(1)) {
+            boundaries += 1;
+        }
+        let stepped_report = stepped.finish_episode();
+        assert_eq!(boundaries, 120, "one advancing call per second");
+
+        let mut batch = manager(Workload::constant(800.0));
+        let batch_report = batch.run_for_mins(2);
+        assert_eq!(stepped_report, batch_report);
+    }
+
+    #[test]
     fn response_metrics_are_computable() {
         let mut m = manager(Workload::constant(2_000.0));
         let report = m.run_for_mins(10);
@@ -1046,6 +1335,77 @@ mod tests {
         m.run_for_mins(25);
         assert!(recorder.counter("chaos.faults") > 0, "faults injected");
         assert!(recorder.counter("resilience.retries") > 0, "retries fired");
+    }
+
+    #[test]
+    fn fast_forward_is_inert_while_the_workload_stays_active() {
+        // With a never-quiet workload there is nothing to skip, so the
+        // fast-forward engine must reproduce tick-compat byte-for-byte
+        // — including the executed-event count.
+        let run = |ff| {
+            let mut m = ElasticityManager::builder(clickstream_flow())
+                .workload(Workload::constant(1_200.0))
+                .seed(11)
+                .fast_forward(ff)
+                .build()
+                .unwrap();
+            m.run_for_mins(5)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn fast_forward_skips_quiet_windows() {
+        let run = |ff| {
+            let mut m = ElasticityManager::builder(clickstream_flow())
+                .workload(Workload::step(800.0, 0.0, SimTime::from_mins(2)))
+                .seed(11)
+                .fast_forward(ff)
+                .build()
+                .unwrap();
+            m.run_for_mins(30)
+        };
+        let compat = run(false);
+        let fast = run(true);
+        assert_eq!(compat.arrival_trace.len(), 1_800, "one sample per second");
+        assert!(
+            fast.events_executed * 5 < compat.events_executed,
+            "quiet-heavy episode must shed most events: {} vs {}",
+            fast.events_executed,
+            compat.events_executed
+        );
+        // The active prefix (2 min + one monitoring period of grace) is
+        // simulated identically.
+        assert_eq!(fast.offered_records, compat.offered_records);
+        assert_eq!(
+            &fast.arrival_trace[..150],
+            &compat.arrival_trace[..150],
+            "active prefix ticks second-by-second"
+        );
+        // And fast-forward is deterministic in its own right.
+        assert_eq!(fast, run(true));
+    }
+
+    #[test]
+    fn fast_forward_covers_long_horizons_cheaply() {
+        // A month of quiet SimTime: the event count stays proportional
+        // to housekeeping rounds, not seconds (2.6 M ticks retired).
+        let mut m = ElasticityManager::builder(clickstream_flow())
+            .workload(Workload::step(600.0, 0.0, SimTime::from_mins(1)))
+            .seed(7)
+            .fast_forward(true)
+            .build()
+            .unwrap();
+        let report = m.run_for(SimDuration::from_hours(24 * 30));
+        assert_eq!(m.now(), SimTime::from_hours(24 * 30));
+        let seconds = 30 * 24 * 3600_u64;
+        assert!(
+            report.events_executed < seconds / 5,
+            "{} events for {} simulated seconds",
+            report.events_executed,
+            seconds
+        );
+        assert!(report.total_cost_dollars > 0.0);
     }
 
     #[test]

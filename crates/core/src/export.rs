@@ -132,6 +132,8 @@ mod tests {
             rejected_actuations: vec![0; 3],
             throttled_reads: 0,
             rcu_actions: 0,
+            events_executed: 0,
+            queue_high_water: 0,
         };
         let mut buf = Vec::new();
         episode_to_csv(&report, &mut buf).unwrap();

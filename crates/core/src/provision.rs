@@ -609,6 +609,36 @@ impl ProvisioningManager {
             }
         }
     }
+
+    /// The earliest instant at which [`ProvisioningManager::poll`] has
+    /// work to do: the soonest of any delayed-resize landing, in-flight
+    /// actuation deadline, or retry due time. `None` means polling is a
+    /// no-op until a future control decision creates new work. After a
+    /// `poll(now)` drained everything due, any remaining due is strictly
+    /// in the future.
+    pub fn next_due(&self) -> Option<SimTime> {
+        let mut next: Option<SimTime> = None;
+        let mut consider = |t: SimTime| {
+            next = Some(match next {
+                Some(cur) => cur.min(t),
+                None => t,
+            });
+        };
+        if let Some(inj) = self.injector.as_ref() {
+            for d in inj.pending_delayed() {
+                consider(d.due);
+            }
+        }
+        if let Some(res) = self.resilience.as_ref() {
+            for f in &res.in_flight {
+                consider(f.deadline);
+            }
+            for t in &res.retries {
+                consider(t.due);
+            }
+        }
+        next
+    }
 }
 
 /// One degraded control round for `l`: enter degraded mode on the first

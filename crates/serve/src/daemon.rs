@@ -5,21 +5,22 @@
 //! - An **accept thread** owns the listener; each connection gets a
 //!   **reader thread** (lines → control channel) and a **writer
 //!   thread** (outbound frame channel → socket), so a slow client can
-//!   never stall the tick loop.
+//!   never stall the control loop.
 //! - The **control loop** (the calling thread) owns the
-//!   [`ElasticityManager`] outright. Between ticks it drains the
-//!   control channel, applies commands at the current tick boundary,
+//!   [`ElasticityManager`] outright. It advances the event-driven core
+//!   in 1-second `run_until` strides; between strides it drains the
+//!   control channel, applies commands at the current second boundary,
 //!   and appends each applied state-affecting command to the record
 //!   file stamped with the sim time. The deterministic core never sees
 //!   a socket.
-//! - A buffering [`EventSink`] taps the recorder; after every tick the
-//!   loop drains it and broadcasts one `event` frame per event to
+//! - A buffering [`EventSink`] taps the recorder; after every stride
+//!   the loop drains it and broadcasts one `event` frame per event to
 //!   subscribed clients — the nested object is byte-identical to the
 //!   `flower-trace/v1` event line.
 //!
-//! Because commands only land on tick boundaries and everything else
-//! is the untouched deterministic core, [`replay`] of a
-//! `flower-record/v1` file reproduces the live session's trace
+//! Because commands only land on whole-second boundaries and
+//! everything else is the untouched deterministic core, [`replay`] of
+//! a `flower-record/v1` file reproduces the live session's trace
 //! byte-for-byte — no sockets required.
 
 use std::cell::RefCell;
@@ -136,9 +137,10 @@ impl Daemon {
         self.listener.local_addr().map_err(|e| e.to_string())
     }
 
-    /// Serve one episode to completion (or `shutdown`): tick the
-    /// manager, stream events, apply live commands at tick boundaries,
-    /// and record the applied command stream.
+    /// Serve one episode to completion (or `shutdown`): advance the
+    /// manager one sim-second at a time, stream events, apply live
+    /// commands at second boundaries, and record the applied command
+    /// stream.
     ///
     /// # Errors
     ///
@@ -180,8 +182,8 @@ impl Daemon {
 
         manager.start_episode(config.duration);
         loop {
-            // Between-tick command window. While paused (or pacing), we
-            // block briefly instead of spinning.
+            // Between-stride command window. While paused (or pacing),
+            // we block briefly instead of spinning.
             loop {
                 let msg = if paused {
                     control_rx.recv_timeout(Duration::from_millis(25)).ok()
@@ -249,7 +251,7 @@ impl Daemon {
             if shut_down {
                 break;
             }
-            if !manager.tick() {
+            if !manager.run_until(manager.now() + SimDuration::from_secs(1)) {
                 break;
             }
             broadcast_events(&buffer, &mut clients);
@@ -308,7 +310,7 @@ fn broadcast_events(buffer: &Rc<RefCell<VecDeque<Event>>>, clients: &mut [Client
 }
 
 /// Apply one state-affecting command to the manager at its current
-/// tick boundary. Pause/resume/shutdown are loop states, not manager
+/// second boundary. Pause/resume/shutdown are loop states, not manager
 /// state, and are handled by the caller.
 fn apply_command(manager: &mut ElasticityManager, command: &Command) -> Result<(), String> {
     match command {
@@ -339,13 +341,14 @@ fn apply_command(manager: &mut ElasticityManager, command: &Command) -> Result<(
 }
 
 /// Replay a recorded command stream against a freshly built manager:
-/// run the episode tick by tick, applying each command when the sim
-/// clock reaches its `t_ms` stamp. With the same manager construction,
-/// the resulting trace is byte-identical to the live session's.
+/// run the episode in the same 1-second strides as the live loop,
+/// applying each command when the sim clock reaches its `t_ms` stamp.
+/// With the same manager construction, the resulting trace is
+/// byte-identical to the live session's.
 ///
 /// # Errors
 ///
-/// Rejects command stamps that are not tick boundaries reachable by
+/// Rejects command stamps that are not second boundaries reachable by
 /// the episode, and invalid commands (same validation as live).
 pub fn replay(
     manager: &mut ElasticityManager,
@@ -374,7 +377,7 @@ pub fn replay(
             }
             next = queue.next();
         }
-        if shut_down || !manager.tick() {
+        if shut_down || !manager.run_until(manager.now() + SimDuration::from_secs(1)) {
             break;
         }
     }

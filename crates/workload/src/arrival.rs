@@ -15,6 +15,19 @@ pub trait ArrivalProcess {
 
     /// Human-readable name for reports.
     fn name(&self) -> &str;
+
+    /// The earliest instant `>= t` at which the process may offer a
+    /// non-zero rate; [`SimTime::MAX`] means "quiet forever from `t`".
+    /// The event-driven episode core uses this to fast-forward across
+    /// quiet windows, so an over-eager answer costs only wasted work
+    /// while a late one would skip real traffic — implementations must
+    /// never return an instant later than the true next activity. The
+    /// conservative default, `t` itself, declares the process
+    /// always-possibly-active and disables skipping (correct for
+    /// stateful processes like the MMPP whose phase advances per call).
+    fn next_active(&self, t: SimTime) -> SimTime {
+        t
+    }
 }
 
 /// A constant intensity.
@@ -37,6 +50,13 @@ impl ArrivalProcess for ConstantRate {
     }
     fn name(&self) -> &str {
         "constant"
+    }
+    fn next_active(&self, t: SimTime) -> SimTime {
+        if self.rate > 0.0 {
+            t
+        } else {
+            SimTime::MAX
+        }
     }
 }
 
@@ -67,6 +87,17 @@ impl ArrivalProcess for StepRate {
     }
     fn name(&self) -> &str {
         "step"
+    }
+    fn next_active(&self, t: SimTime) -> SimTime {
+        if t < self.at && self.before > 0.0 {
+            t
+        } else if t < self.at && self.after > 0.0 {
+            self.at
+        } else if t >= self.at && self.after > 0.0 {
+            t
+        } else {
+            SimTime::MAX
+        }
     }
 }
 
@@ -200,6 +231,18 @@ impl ArrivalProcess for FlashCrowd {
     }
     fn name(&self) -> &str {
         "flash-crowd"
+    }
+    fn next_active(&self, t: SimTime) -> SimTime {
+        if self.base > 0.0 {
+            t
+        } else if self.spike <= 0.0 {
+            SimTime::MAX
+        } else if t < self.start {
+            self.start
+        } else {
+            // The exponential tail never reaches exactly zero.
+            t
+        }
     }
 }
 
@@ -358,6 +401,13 @@ impl ArrivalProcess for CompositeProcess {
     }
     fn name(&self) -> &str {
         &self.name
+    }
+    fn next_active(&self, t: SimTime) -> SimTime {
+        self.parts
+            .iter()
+            .map(|p| p.next_active(t))
+            .min()
+            .unwrap_or(SimTime::MAX)
     }
 }
 
@@ -583,5 +633,82 @@ mod tests {
     #[should_panic(expected = "composite of nothing")]
     fn empty_composite_panics() {
         CompositeProcess::sum(vec![]);
+    }
+
+    #[test]
+    fn next_active_for_constant_rates() {
+        let t = SimTime::from_secs(10);
+        assert_eq!(ConstantRate::new(5.0).next_active(t), t);
+        assert_eq!(ConstantRate::new(0.0).next_active(t), SimTime::MAX);
+    }
+
+    #[test]
+    fn next_active_for_steps() {
+        let at = SimTime::from_secs(100);
+        let quiet_then_busy = StepRate::new(0.0, 50.0, at);
+        assert_eq!(quiet_then_busy.next_active(SimTime::from_secs(3)), at);
+        assert_eq!(
+            quiet_then_busy.next_active(SimTime::from_secs(200)),
+            SimTime::from_secs(200)
+        );
+        let busy_then_quiet = StepRate::new(50.0, 0.0, at);
+        assert_eq!(
+            busy_then_quiet.next_active(SimTime::from_secs(3)),
+            SimTime::from_secs(3)
+        );
+        assert_eq!(
+            busy_then_quiet.next_active(SimTime::from_secs(200)),
+            SimTime::MAX
+        );
+        assert_eq!(
+            StepRate::new(0.0, 0.0, at).next_active(SimTime::ZERO),
+            SimTime::MAX
+        );
+    }
+
+    #[test]
+    fn next_active_for_flash_crowd() {
+        let start = SimTime::from_mins(10);
+        let f = FlashCrowd::new(
+            0.0,
+            900.0,
+            start,
+            SimDuration::from_mins(5),
+            SimDuration::from_mins(10),
+        );
+        assert_eq!(f.next_active(SimTime::from_secs(1)), start);
+        let after = start + SimDuration::from_mins(30);
+        assert_eq!(f.next_active(after), after, "decay tail stays active");
+        let busy_base = FlashCrowd::new(
+            10.0,
+            900.0,
+            start,
+            SimDuration::from_mins(5),
+            SimDuration::from_mins(10),
+        );
+        assert_eq!(busy_base.next_active(SimTime::ZERO), SimTime::ZERO);
+    }
+
+    #[test]
+    fn next_active_for_composites_takes_the_min() {
+        let c = CompositeProcess::sum(vec![
+            Box::new(StepRate::new(0.0, 10.0, SimTime::from_secs(300))),
+            Box::new(StepRate::new(0.0, 10.0, SimTime::from_secs(100))),
+        ]);
+        assert_eq!(c.next_active(SimTime::ZERO), SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn next_active_default_is_conservative() {
+        // Stateful processes fall back to "always possibly active".
+        let m = MmppRate::new(
+            0.0,
+            100.0,
+            SimDuration::from_mins(1),
+            SimDuration::from_mins(1),
+            SimRng::seed(3),
+        );
+        let t = SimTime::from_secs(42);
+        assert_eq!(m.next_active(t), t);
     }
 }

@@ -151,6 +151,24 @@ impl ArrivalProcess for TraceReplay {
     fn name(&self) -> &str {
         "trace-replay"
     }
+    fn next_active(&self, t: SimTime) -> SimTime {
+        if self.trace.samples.is_empty() {
+            return SimTime::MAX;
+        }
+        let period = self.trace.period.as_millis();
+        let last = self.trace.samples.len() - 1;
+        let idx = ((t.as_millis() / period) as usize).min(last);
+        if self.trace.samples[idx] > 0.0 {
+            return t;
+        }
+        // Zero-order hold: past the end, the (zero) last sample holds
+        // forever, so a positive sample must lie strictly inside the
+        // trace.
+        match (idx + 1..=last).find(|&j| self.trace.samples[j] > 0.0) {
+            Some(j) => SimTime::from_millis(j as u64 * period),
+            None => SimTime::MAX,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -220,5 +238,28 @@ mod tests {
     #[should_panic(expected = "invalid rate")]
     fn push_rejects_negative() {
         RateTrace::new(SimDuration::from_secs(1)).push(-1.0);
+    }
+
+    #[test]
+    fn replay_next_active_finds_the_next_positive_sample() {
+        let mut trace = RateTrace::new(SimDuration::from_secs(10));
+        for r in [0.0, 0.0, 7.0, 0.0] {
+            trace.push(r);
+        }
+        let replay = trace.replay();
+        assert_eq!(
+            replay.next_active(SimTime::ZERO),
+            SimTime::from_secs(20),
+            "skips leading zero samples"
+        );
+        let busy = SimTime::from_secs(25);
+        assert_eq!(replay.next_active(busy), busy, "active sample holds");
+        assert_eq!(
+            replay.next_active(SimTime::from_secs(30)),
+            SimTime::MAX,
+            "a zero tail (held forever) is quiet forever"
+        );
+        let empty = RateTrace::new(SimDuration::from_secs(1)).replay();
+        assert_eq!(empty.next_active(SimTime::ZERO), SimTime::MAX);
     }
 }

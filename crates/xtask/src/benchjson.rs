@@ -207,7 +207,8 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Value, String> {
 
 /// Validate a `BENCH_nsga2.json` document against the v2 schema:
 /// required top-level fields, non-empty `results` with finite positive
-/// timings (including the `replan_*` row family), and `comparisons`
+/// timings (including the `replan_*` and `event_core_*` row families),
+/// and `comparisons`
 /// whose names reference real results. Returns a human summary on
 /// success; comparisons whose measured direction contradicts the
 /// promise in their name (`_speedup` / `_overhead` / `_vs_` names
@@ -272,6 +273,11 @@ pub fn validate_bench_json(text: &str) -> Result<String, String> {
     }
     if !names.iter().any(|n| n.starts_with("replan_")) {
         return Err("`results` has no `replan_*` row (warm-start family missing)".to_owned());
+    }
+    if !names.iter().any(|n| n.starts_with("event_core_")) {
+        return Err(
+            "`results` has no `event_core_*` row (event-driven episode family missing)".to_owned(),
+        );
     }
 
     let comparisons = obj
@@ -350,17 +356,20 @@ mod tests {
       "note": "n/a",
       "results": [
         {"name": "replan_cold", "median_ns": 10.5, "mean_ns": 11.0, "samples": 5, "iters_per_sample": 3},
-        {"name": "replan_warm", "median_ns": 20.0, "mean_ns": 21.0, "samples": 5, "iters_per_sample": 3}
+        {"name": "replan_warm", "median_ns": 20.0, "mean_ns": 21.0, "samples": 5, "iters_per_sample": 3},
+        {"name": "event_core_tick_compat", "median_ns": 50.0, "mean_ns": 51.0, "samples": 5, "iters_per_sample": 1},
+        {"name": "event_core_fast_forward", "median_ns": 4.0, "mean_ns": 4.1, "samples": 5, "iters_per_sample": 1}
       ],
       "comparisons": [
-        {"name": "replan_warm_vs_cold", "baseline": "replan_cold", "candidate": "replan_warm", "speedup": 1.9}
+        {"name": "replan_warm_vs_cold", "baseline": "replan_cold", "candidate": "replan_warm", "speedup": 1.9},
+        {"name": "event_core_fast_forward_speedup", "baseline": "event_core_tick_compat", "candidate": "event_core_fast_forward", "speedup": 12.5}
       ]
     }"#;
 
     #[test]
     fn good_document_validates() {
         let summary = validate_bench_json(GOOD).unwrap();
-        assert!(summary.contains("2 result(s)"), "{summary}");
+        assert!(summary.contains("4 result(s)"), "{summary}");
         assert!(summary.contains("smoke mode"), "{summary}");
         assert!(!summary.contains("warning"), "{summary}");
     }
@@ -392,6 +401,16 @@ mod tests {
             .replace("replan_warm", "other_b");
         let err = validate_bench_json(&doc).unwrap_err();
         assert!(err.contains("no `replan_*` row"), "{err}");
+    }
+
+    #[test]
+    fn missing_event_core_rows_are_rejected() {
+        let doc = GOOD
+            .replace("event_core_tick_compat", "other_compat")
+            .replace("event_core_fast_forward_speedup", "other_ff_speedup")
+            .replace("event_core_fast_forward", "other_ff");
+        let err = validate_bench_json(&doc).unwrap_err();
+        assert!(err.contains("no `event_core_*` row"), "{err}");
     }
 
     #[test]
@@ -431,6 +450,8 @@ mod tests {
                 r#"{"schema": "flower-bench/nsga2/v2", "smoke": false,
                     "cores": 1, "workers": 1, "seed": 0,
                     "results": [{"name": "replan_a", "median_ns": 1, "mean_ns": 1,
+                                 "samples": 1, "iters_per_sample": 1},
+                                {"name": "event_core_a", "median_ns": 1, "mean_ns": 1,
                                  "samples": 1, "iters_per_sample": 1}],
                     "comparisons": [{"name": "x", "baseline": "ghost",
                                      "candidate": "replan_a", "speedup": 2.0}]}"#,

@@ -92,6 +92,12 @@ pub const RULES: &[(&str, &str)] = &[
          and drags sockets and wall clocks into replayable code",
     ),
     (
+        "fixed-step-loop",
+        "a while/loop/for body advances SimTime by a constant step every iteration (the \
+         retired tick-loop shape): quiet windows cost one iteration per step; schedule \
+         discrete events on flower_sim::Scheduler and let run_until jump the clock",
+    ),
+    (
         "allow-invalid",
         "malformed lint:allow directive: unknown rule name or missing justification",
     ),
@@ -457,6 +463,49 @@ fn f64_sequence_names(tokens: &[Token]) -> Vec<String> {
     names
 }
 
+/// Names bound to a literal-argument `SimDuration` constructor —
+/// `let step = SimDuration::from_secs(1)` or `const STEP: SimDuration =
+/// SimDuration::from_mins(5)`. The `fixed-step-loop` rule treats
+/// `t += step` inside a loop the same as the inline constructor: both
+/// advance the clock by a compile-time constant per iteration.
+fn const_duration_names(tokens: &[Token]) -> Vec<String> {
+    let text = |i: usize| tokens.get(i).map_or("", |t: &Token| t.text.as_str());
+    let mut names: Vec<String> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.text != "let" && t.text != "const" {
+            continue;
+        }
+        let mut j = i + 1;
+        if text(j) == "mut" {
+            j += 1;
+        }
+        let Some(name) = tokens.get(j).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        let mut k = j + 1;
+        if text(k) == ":" && text(k + 1) == "SimDuration" {
+            k += 2;
+        }
+        if text(k) == "=" && is_const_duration_call(tokens, k + 1) && !names.contains(&name.text) {
+            names.push(name.text.clone());
+        }
+    }
+    names
+}
+
+/// Does a `SimDuration::from_*(<numeric literal>)` call start at `i`?
+fn is_const_duration_call(tokens: &[Token], i: usize) -> bool {
+    let text = |i: usize| tokens.get(i).map_or("", |t: &Token| t.text.as_str());
+    text(i) == "SimDuration"
+        && text(i + 1) == "::"
+        && text(i + 2).starts_with("from_")
+        && text(i + 3) == "("
+        && tokens
+            .get(i + 4)
+            .is_some_and(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+        && text(i + 5) == ")"
+}
+
 /// Run every token-pattern rule over non-test tokens.
 fn scan_tokens(file: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Violation>) {
     let text = |i: usize| tokens.get(i).map_or("", |t: &Token| t.text.as_str());
@@ -471,6 +520,7 @@ fn scan_tokens(file: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Violat
     };
 
     let f64_seqs = f64_sequence_names(tokens);
+    let const_durs = const_duration_names(tokens);
     // `for`-loop variables currently in scope, each with the brace depth
     // of its loop body. A `for i in ..` records a pending variable that
     // activates at the next `{` and retires when that brace closes.
@@ -478,6 +528,11 @@ fn scan_tokens(file: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Violat
     // depth stays consistent across them.
     let mut loop_vars: Vec<(String, i64)> = Vec::new();
     let mut pending_loop_var: Option<String> = None;
+    // Brace depths of `while`/`loop`/`for` bodies currently open, for
+    // the `fixed-step-loop` rule: the keyword arms a pending marker
+    // that lands at the next `{` and retires when that brace closes.
+    let mut loop_depths: Vec<i64> = Vec::new();
+    let mut pending_loop = false;
     let mut depth = 0i64;
 
     for i in 0..tokens.len() {
@@ -492,12 +547,44 @@ fn scan_tokens(file: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Violat
                     if let Some(name) = pending_loop_var.take() {
                         loop_vars.push((name, depth));
                     }
+                    if pending_loop {
+                        pending_loop = false;
+                        loop_depths.push(depth);
+                    }
                 }
                 "}" => {
                     loop_vars.retain(|(_, d)| *d < depth);
+                    loop_depths.retain(|d| *d < depth);
                     depth -= 1;
                 }
                 _ => {}
+            }
+        }
+        // --- event discipline: fixed-step clock advances in loops ---
+        // `t += SimDuration::from_secs(1)` or `t = t + step` (with
+        // `step` a literal-constructed SimDuration) inside a loop body
+        // is the retired tick-loop shape.
+        if t.kind == TokKind::Ident && !loop_depths.is_empty() {
+            let plus_assign = text(i + 1) == "+=";
+            let self_add = text(i + 1) == "=" && text(i + 2) == t.text && text(i + 3) == "+";
+            let rhs = if plus_assign { i + 2 } else { i + 4 };
+            if (plus_assign || self_add)
+                && (is_const_duration_call(tokens, rhs)
+                    || (kind(rhs) == Some(TokKind::Ident)
+                        && text(rhs + 1) == ";"
+                        && const_durs.iter().any(|n| n == text(rhs))))
+            {
+                emit(
+                    out,
+                    "fixed-step-loop",
+                    t.line,
+                    format!(
+                        "`{}` advances by a constant duration every loop iteration; \
+                         schedule an event on flower_sim::Scheduler instead of \
+                         stepping the clock on a fixed grid",
+                        t.text
+                    ),
+                );
             }
         }
         // Float comparisons are handled by the typed pass
@@ -642,6 +729,12 @@ fn scan_tokens(file: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Violat
                 // --- panic freedom: indexed loops over float slices ---
                 "for" if kind(i + 1) == Some(TokKind::Ident) && text(i + 2) == "in" => {
                     pending_loop_var = Some(text(i + 1).to_owned());
+                    pending_loop = true;
+                }
+                // --- event discipline: arm the loop-body marker ---
+                // (`for<'a>` higher-ranked bounds are not loops)
+                "while" | "loop" | "for" if text(i + 1) != "<" => {
+                    pending_loop = true;
                 }
                 // --- panic freedom: indexing by literal or loop var ---
                 _ => {
@@ -1038,6 +1131,82 @@ mod tests {
         // Tuple-struct field access `self.0` and newtype indexing look
         // different at token level; only `ident [ int ]` fires.
         assert!(rules_hit("impl X { fn g(&self) -> u64 { self.0 } }").is_empty());
+    }
+
+    #[test]
+    fn catches_fixed_step_loops() {
+        // The retired tick-loop shape, in each spelling the rule knows.
+        let src = r#"
+            fn run(end: SimTime) {
+                let mut now = SimTime::ZERO;
+                while now < end {
+                    step(now);
+                    now += SimDuration::from_secs(1);
+                }
+            }
+            fn drain(mut t: SimTime, end: SimTime) {
+                let dt = SimDuration::from_millis(500);
+                loop {
+                    if t >= end { break; }
+                    t += dt;
+                }
+            }
+            fn sweep(mut t: SimTime) {
+                for _round in 0..60 {
+                    t = t + SimDuration::from_mins(1);
+                }
+            }
+        "#;
+        let hits = rules_hit(src);
+        assert_eq!(
+            hits.iter().filter(|r| **r == "fixed-step-loop").count(),
+            3,
+            "hits: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn event_driven_advances_are_not_fixed_step_loops() {
+        // Negative fixtures: advancing to a *computed* instant, constant
+        // steps outside any loop, and non-time arithmetic in loops.
+        let src = r#"
+            fn run_until(sched: &mut Scheduler, until: SimTime) {
+                while let Some(at) = sched.next_event_time() {
+                    if at > until { break; }
+                    sched.step();
+                }
+            }
+            fn schedule_next(t: SimTime) -> SimTime {
+                t + SimDuration::from_secs(1)
+            }
+            fn vary(mut t: SimTime, period: SimDuration, end: SimTime) {
+                while t < end {
+                    t += period;
+                }
+            }
+            fn count(mut n: u64) {
+                for _ in 0..4 {
+                    n += 1;
+                }
+            }
+        "#;
+        assert!(rules_hit(src).is_empty(), "{:?}", rules_hit(src));
+    }
+
+    #[test]
+    fn justified_allow_suppresses_fixed_step_loop() {
+        let src = r#"
+            fn roll_day(day_start: &mut SimTime, now: SimTime) {
+                while now.since(*day_start) >= SimDuration::from_hours(24) {
+                    // lint:allow(fixed-step-loop): day-boundary catch-up, bounded by elapsed days
+                    *day_start += SimDuration::from_hours(24);
+                }
+            }
+        "#;
+        let report = analyze_no_idx("fixture.rs", "cloud", src);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.allows_used.len(), 1);
+        assert_eq!(report.allows_used[0].rule, "fixed-step-loop");
     }
 
     #[test]
